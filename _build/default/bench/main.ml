@@ -1,0 +1,386 @@
+(* Benchmark harness: regenerates every figure and table of the paper's
+   evaluation (Section VII).  See DESIGN.md for the experiment index and
+   EXPERIMENTS.md for paper-vs-measured notes.
+
+   Usage:
+     dune exec bench/main.exe                    # everything, paper settings
+     dune exec bench/main.exe -- fig2 tab3       # a subset
+     dune exec bench/main.exe -- -quick          # smoke-test sizes
+     dune exec bench/main.exe -- -scale 0.25 fig4
+   Experiments: fig1 fig2 fig3 fig4 fig5 tab3 tab4 fig6 fig7 bechamel *)
+
+module Experiments = Indq_experiments.Experiments
+module Report = Indq_experiments.Report
+
+let seed = ref 2024
+let scale = ref 1.0
+let utilities = ref 10
+let max_n = ref 1_000_000
+let quick = ref false
+let selected : string list ref = ref []
+
+let usage = "main.exe [-quick] [-scale S] [-utilities K] [-max-n N] [-seed S] [experiments...]"
+
+let spec =
+  [
+    ("-seed", Arg.Set_int seed, "random seed (default 2024)");
+    ("-scale", Arg.Set_float scale, "dataset size scale in (0,1] (default 1.0)");
+    ("-utilities", Arg.Set_int utilities, "random utility functions per cell (default 10)");
+    ("-max-n", Arg.Set_int max_n, "cap for the fig6 scalability sweep (default 1000000)");
+    ("-quick", Arg.Set quick, "smoke-test settings (scale 0.05, 3 utilities, max-n 10000)");
+  ]
+
+let section title = Printf.printf "#### %s ####\n\n%!" title
+
+let run_fig1 () =
+  section "fig1";
+  Report.print_sweep
+    (Experiments.fig1 ~utilities:!utilities ~scale:!scale ~seed:!seed ())
+
+let per_dataset
+    (f :
+      ?utilities:int ->
+      ?scale:float ->
+      seed:int ->
+      Experiments.dataset_kind ->
+      Experiments.sweep) =
+  List.iter
+    (fun kind ->
+      Report.print_sweep
+        (f ~utilities:!utilities ~scale:!scale ~seed:!seed kind))
+    Experiments.[ Island_like; Nba_like; House_like ]
+
+let run_fig2 () = section "fig2"; per_dataset Experiments.fig2
+let run_fig3 () = section "fig3"; per_dataset Experiments.fig3
+let run_fig4 () = section "fig4"; per_dataset Experiments.fig4
+let run_fig5 () = section "fig5"; per_dataset Experiments.fig5
+
+let dataset_labels = [ "Island"; "NBA"; "House" ]
+
+let run_tab3 () =
+  section "tab3";
+  Report.print_time_sweep ~labels:dataset_labels
+    (Experiments.tab3 ~utilities:!utilities ~scale:!scale ~seed:!seed ())
+
+let run_tab4 () =
+  section "tab4";
+  Report.print_time_sweep ~labels:dataset_labels
+    (Experiments.tab4 ~utilities:!utilities ~scale:!scale ~seed:!seed ())
+
+let run_fig6 () =
+  section "fig6";
+  Report.print_sweep
+    (Experiments.fig6 ~utilities:!utilities ~max_n:!max_n ~seed:!seed ())
+
+let run_fig7 () =
+  section "fig7";
+  let n = max 500 (int_of_float (!scale *. 10_000.)) in
+  Report.print_sweep (Experiments.fig7 ~utilities:!utilities ~n ~seed:!seed ())
+
+(* --- Bechamel micro-benchmarks: one Test.make per running-time table ---
+
+   Tables III and IV time whole algorithm executions; Bechamel needs
+   sub-second units to sample, so each table gets a micro workload (an
+   NBA-like subset) per algorithm.  Relative ordering is what these
+   establish; the wall-clock tables above carry the paper-scale numbers. *)
+
+let bechamel_micro_test ~name ~delta =
+  let open Bechamel in
+  let module Algo = Indq_core.Algo in
+  let module Oracle = Indq_user.Oracle in
+  let module Utility = Indq_user.Utility in
+  let module Rng = Indq_util.Rng in
+  let data =
+    Indq_dataset.Realistic.nba ~n:1500 (Rng.create (!seed + 77))
+  in
+  let d = Indq_dataset.Dataset.dim data in
+  let config = { (Algo.default_config ~d) with Algo.delta } in
+  let tests =
+    List.map
+      (fun algo ->
+        Test.make
+          ~name:(Algo.to_string algo)
+          (Staged.stage (fun () ->
+               let rng = Rng.create !seed in
+               let u = Utility.random rng ~d in
+               let oracle =
+                 if delta > 0. then
+                   Oracle.with_error ~delta ~rng:(Rng.split rng) u
+                 else Oracle.exact u
+               in
+               ignore (Algo.run algo config ~data ~oracle ~rng:(Rng.split rng)))))
+      Algo.all
+  in
+  Test.make_grouped ~name tests
+
+let run_bechamel () =
+  section "bechamel micro-benchmarks (NBA-like, n=1500)";
+  let open Bechamel in
+  let benchmark test =
+    let ols =
+      Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+    in
+    let instances = [ Toolkit.Instance.monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:30 ~quota:(Time.second 2.0) ~kde:None
+        ~stabilize:false ()
+    in
+    let raw = Benchmark.all cfg instances test in
+    Analyze.all ols Toolkit.Instance.monotonic_clock raw
+  in
+  let print_results title results =
+    let t =
+      Indq_util.Tabulate.create ~title ~columns:[ "algorithm"; "ms/run" ]
+    in
+    let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
+    List.iter
+      (fun (name, ols) ->
+        let ms =
+          match Analyze.OLS.estimates ols with
+          | Some (t :: _) -> t /. 1e6
+          | _ -> Float.nan
+        in
+        Indq_util.Tabulate.add_row t [ name; Printf.sprintf "%.2f" ms ])
+      (List.sort compare rows);
+    Indq_util.Tabulate.print t
+  in
+  print_results "Table III micro (delta=0)"
+    (benchmark (bechamel_micro_test ~name:"tab3" ~delta:0.));
+  print_results "Table IV micro (delta=0.05)"
+    (benchmark (bechamel_micro_test ~name:"tab4" ~delta:0.05))
+
+(* --- Ablations: design choices called out in DESIGN.md --- *)
+
+module Dataset = Indq_dataset.Dataset
+module Generator = Indq_dataset.Generator
+module Skyline = Indq_dominance.Skyline
+module Algo = Indq_core.Algo
+module Indist = Indq_core.Indist
+module Oracle = Indq_user.Oracle
+module Utility = Indq_user.Utility
+module Nonlinear = Indq_user.Nonlinear
+module Rng = Indq_util.Rng
+module Tabulate = Indq_util.Tabulate
+module Timer = Indq_util.Timer
+
+(* Which c-skyline implementation should back Observation 3's filter? *)
+let run_ablation_skyline () =
+  section "ablation-skyline (c = 1.05)";
+  let rng = Rng.create !seed in
+  let cases =
+    [
+      ("island-like 2D", Indq_dataset.Realistic.island
+         ~n:(max 500 (int_of_float (!scale *. 63383.))) rng);
+      ("anti-corr 3D", Generator.anti_correlated rng
+         ~n:(max 500 (int_of_float (!scale *. 50000.))) ~d:3);
+      ("anti-corr 5D", Generator.anti_correlated rng
+         ~n:(max 500 (int_of_float (!scale *. 10000.))) ~d:5);
+    ]
+  in
+  let t =
+    Tabulate.create ~title:"c-skyline implementations, seconds (result size)"
+      ~columns:[ "dataset"; "SFS"; "sweep-2D"; "R-tree"; "BNL (n<=3000)" ]
+  in
+  List.iter
+    (fun (label, data) ->
+      let time f =
+        let result, secs = Timer.time f in
+        Printf.sprintf "%.3f (%d)" secs (Dataset.size result)
+      in
+      let c = 1.05 in
+      let sfs = time (fun () -> Skyline.c_skyline_sfs ~c data) in
+      let sweep =
+        if Dataset.dim data = 2 then
+          time (fun () -> Skyline.c_skyline_sweep_2d ~c data)
+        else "n/a"
+      in
+      let rtree = time (fun () -> Skyline.c_skyline_rtree ~c data) in
+      let bnl =
+        if Dataset.size data <= 3000 then
+          time (fun () -> Skyline.c_skyline_bnl ~c data)
+        else "skipped"
+      in
+      Tabulate.add_row t [ label; sfs; sweep; rtree; bnl ])
+    cases;
+  Tabulate.print t
+
+(* How many Lemma 2 anchor tuples are worth trying? *)
+let run_ablation_anchors () =
+  section "ablation-anchors (UH-Random on House-like)";
+  let data = Experiments.load ~scale:(Float.min !scale 0.3) ~seed:!seed House_like in
+  let d = Dataset.dim data in
+  let t =
+    Tabulate.create ~title:"Lemma 2 anchor-pool size"
+      ~columns:[ "anchors"; "alpha(mean)"; "|output|(mean)"; "time(mean s)" ]
+  in
+  List.iter
+    (fun anchors ->
+      let trials = !utilities in
+      let alphas = ref 0. and sizes = ref 0. and times = ref 0. in
+      for trial = 0 to trials - 1 do
+        let rng = Rng.create ((trial * 7919) + anchors) in
+        let u = Utility.random rng ~d in
+        let oracle = Oracle.exact u in
+        let (result : Indq_core.Real_points.result), secs =
+          Timer.time (fun () ->
+              Indq_core.Real_points.run ~anchors Indq_core.Real_points.Random
+                ~data ~s:d ~q:(3 * d) ~eps:0.05 ~oracle ~rng:(Rng.split rng))
+        in
+        alphas :=
+          !alphas
+          +. Indist.alpha ~eps:0.05 u ~data ~output:result.Indq_core.Real_points.output;
+        sizes := !sizes +. float_of_int (Dataset.size result.Indq_core.Real_points.output);
+        times := !times +. secs
+      done;
+      let k = float_of_int trials in
+      Tabulate.add_row t
+        [
+          string_of_int anchors;
+          Printf.sprintf "%.4f" (!alphas /. k);
+          Printf.sprintf "%.1f" (!sizes /. k);
+          Printf.sprintf "%.2f" (!times /. k);
+        ])
+    [ 1; 2; 4; 8 ];
+  Tabulate.print t
+
+(* Squeeze-u's final filter: O(n) heuristic vs exact corner test. *)
+let run_ablation_prune () =
+  section "ablation-prune (Squeeze-u final filter)";
+  let rng = Rng.create !seed in
+  let data =
+    Generator.anti_correlated rng ~n:(max 500 (int_of_float (!scale *. 20000.))) ~d:4
+  in
+  let d = Dataset.dim data in
+  let t =
+    Tabulate.create ~title:"fast heuristic vs exact box-corner filter"
+      ~columns:[ "filter"; "alpha(mean)"; "|output|(mean)"; "time(mean s)"; "false-neg" ]
+  in
+  List.iter
+    (fun (label, exact_prune) ->
+      let trials = !utilities in
+      let alphas = ref 0. and sizes = ref 0. and times = ref 0. in
+      let fn = ref 0 in
+      for trial = 0 to trials - 1 do
+        let trial_rng = Rng.create ((trial * 6011) + 3) in
+        let u = Utility.random trial_rng ~d in
+        let oracle = Oracle.exact u in
+        let config = { (Algo.default_config ~d) with Algo.exact_prune } in
+        let result = Algo.run Algo.Squeeze_u config ~data ~oracle ~rng:trial_rng in
+        alphas := !alphas +. Indist.alpha ~eps:0.05 u ~data ~output:result.Algo.output;
+        sizes := !sizes +. float_of_int (Dataset.size result.Algo.output);
+        times := !times +. result.Algo.seconds;
+        if Indist.has_false_negatives ~eps:0.05 u ~data ~output:result.Algo.output
+        then incr fn
+      done;
+      let k = float_of_int trials in
+      Tabulate.add_row t
+        [
+          label;
+          Printf.sprintf "%.4f" (!alphas /. k);
+          Printf.sprintf "%.1f" (!sizes /. k);
+          Printf.sprintf "%.3f" (!times /. k);
+          string_of_int !fn;
+        ])
+    [ ("fast (paper IV-A)", false); ("exact corners", true) ];
+  Tabulate.print t
+
+(* Open question 3: how do the linear-assuming algorithms fare when the
+   user's real utility is concave?  alpha is measured under the true
+   non-linear utility. *)
+let run_ablation_nonlinear () =
+  section "ablation-nonlinear (concave-power users vs linear algorithms)";
+  let rng = Rng.create !seed in
+  let data =
+    Generator.independent rng ~n:(max 500 (int_of_float (!scale *. 10000.))) ~d:3
+  in
+  let d = Dataset.dim data in
+  let t =
+    Tabulate.create
+      ~title:"Squeeze-u under f(x) = sum w_i x_i^e  (e = 1 is the linear case)"
+      ~columns:[ "exponent e"; "alpha(mean)"; "false-neg runs"; "|output|(mean)"; "|I|(mean)" ]
+  in
+  List.iter
+    (fun exponent ->
+      let trials = !utilities in
+      let alphas = ref 0. and sizes = ref 0. and truth_sizes = ref 0. in
+      let fn = ref 0 in
+      for trial = 0 to trials - 1 do
+        let trial_rng = Rng.create ((trial * 104729) + 17) in
+        let user = Nonlinear.random_concave trial_rng ~d ~exponent in
+        let f = Nonlinear.value user in
+        let oracle = Nonlinear.oracle user in
+        let config = Algo.default_config ~d in
+        let result =
+          Algo.run Algo.Squeeze_u config ~data ~oracle ~rng:(Rng.split trial_rng)
+        in
+        alphas := !alphas +. Indist.alpha_fn ~eps:0.05 f ~data ~output:result.Algo.output;
+        sizes := !sizes +. float_of_int (Dataset.size result.Algo.output);
+        truth_sizes :=
+          !truth_sizes
+          +. float_of_int (Dataset.size (Indist.query_exact_fn ~eps:0.05 f data));
+        if Indist.has_false_negatives_fn ~eps:0.05 f ~data ~output:result.Algo.output
+        then incr fn
+      done;
+      let k = float_of_int trials in
+      Tabulate.add_row t
+        [
+          Printf.sprintf "%.1f" exponent;
+          Printf.sprintf "%.4f" (!alphas /. k);
+          string_of_int !fn;
+          Printf.sprintf "%.1f" (!sizes /. k);
+          Printf.sprintf "%.1f" (!truth_sizes /. k);
+        ])
+    [ 1.0; 0.8; 0.6; 0.4 ];
+  Tabulate.print t;
+  print_endline
+    "e = 1 must show alpha ~ 0 and no false negatives; smaller e (more concave)";
+  print_endline
+    "degrades both -- quantifying the cost of the paper's linearity assumption.\n"
+
+let all_experiments =
+  [
+    ("fig1", run_fig1);
+    ("fig2", run_fig2);
+    ("fig3", run_fig3);
+    ("fig4", run_fig4);
+    ("fig5", run_fig5);
+    ("tab3", run_tab3);
+    ("tab4", run_tab4);
+    ("fig6", run_fig6);
+    ("fig7", run_fig7);
+    ("bechamel", run_bechamel);
+    ("ablation-skyline", run_ablation_skyline);
+    ("ablation-anchors", run_ablation_anchors);
+    ("ablation-prune", run_ablation_prune);
+    ("ablation-nonlinear", run_ablation_nonlinear);
+  ]
+
+let () =
+  Arg.parse spec (fun name -> selected := name :: !selected) usage;
+  if !quick then begin
+    scale := 0.05;
+    utilities := 3;
+    max_n := 10_000
+  end;
+  let chosen =
+    match List.rev !selected with
+    | [] | [ "all" ] -> List.map fst all_experiments
+    | names -> names
+  in
+  Printf.printf
+    "indistinguishability-query benchmarks (seed=%d scale=%g utilities=%d max-n=%d)\n\n%!"
+    !seed !scale !utilities !max_n;
+  let total_start = Sys.time () in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name all_experiments with
+      | Some f ->
+        let start = Sys.time () in
+        f ();
+        Printf.printf "[%s completed in %.1fs]\n\n%!" name (Sys.time () -. start)
+      | None ->
+        Printf.eprintf "unknown experiment %S; available: %s\n" name
+          (String.concat ", " (List.map fst all_experiments));
+        exit 2)
+    chosen;
+  Printf.printf "total: %.1fs\n" (Sys.time () -. total_start)

@@ -1,0 +1,281 @@
+(* indq: command-line front end for the indistinguishability-query library.
+
+   Subcommands:
+     generate     write a synthetic / simulated data set as CSV
+     exact        ground-truth I(f, eps) for a known utility vector
+     simulate     run an interactive algorithm against a simulated user
+     interactive  run an algorithm with YOU as the user (choices on stdin)
+     experiment   run one of the paper's evaluation experiments *)
+
+open Cmdliner
+
+module Dataset = Indq_dataset.Dataset
+module Tuple = Indq_dataset.Tuple
+module Generator = Indq_dataset.Generator
+module Realistic = Indq_dataset.Realistic
+module Algo = Indq_core.Algo
+module Indist = Indq_core.Indist
+module Utility = Indq_user.Utility
+module Oracle = Indq_user.Oracle
+module Rng = Indq_util.Rng
+module Experiments = Indq_experiments.Experiments
+module Report = Indq_experiments.Report
+
+(* --- shared arguments --- *)
+
+let seed_arg =
+  let doc = "Random seed (all randomness in indq is reproducible)." in
+  Arg.(value & opt int 2024 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let eps_arg =
+  let doc = "Indistinguishability parameter eps (> 0)." in
+  Arg.(value & opt float 0.05 & info [ "eps"; "e" ] ~docv:"EPS" ~doc)
+
+let delta_arg =
+  let doc = "User error parameter delta (>= 0)." in
+  Arg.(value & opt float 0. & info [ "delta" ] ~docv:"DELTA" ~doc)
+
+let s_arg =
+  let doc = "Tuples shown per question (0 = use the dimension d)." in
+  Arg.(value & opt int 0 & info [ "s" ] ~docv:"S" ~doc)
+
+let q_arg =
+  let doc = "Question budget (0 = use 3d)." in
+  Arg.(value & opt int 0 & info [ "q" ] ~docv:"Q" ~doc)
+
+let algo_arg =
+  let doc = "Algorithm: squeeze-u, uh-random, mind or minr." in
+  let parse s =
+    try Ok (Algo.of_string s) with Invalid_argument m -> Error (`Msg m)
+  in
+  let print ppf a = Format.pp_print_string ppf (Algo.to_string a) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Algo.Squeeze_u
+    & info [ "algo"; "a" ] ~docv:"ALGO" ~doc)
+
+let data_arg =
+  let doc =
+    "Data source: a CSV path, or one of island, nba, house, independent, \
+     correlated, anti_correlated."
+  in
+  Arg.(value & opt string "independent" & info [ "data" ] ~docv:"DATA" ~doc)
+
+let n_arg =
+  let doc = "Number of tuples for generated data (0 = source default)." in
+  Arg.(value & opt int 0 & info [ "n" ] ~docv:"N" ~doc)
+
+let d_arg =
+  let doc = "Dimensions for synthetic data." in
+  Arg.(value & opt int 3 & info [ "d" ] ~docv:"D" ~doc)
+
+let load_data ~source ~n ~d ~seed =
+  let rng = Rng.create seed in
+  match String.lowercase_ascii source with
+  | "island" | "nba" | "house" ->
+    let n = if n > 0 then Some n else None in
+    Realistic.by_name source ?n rng
+  | "independent" | "correlated" | "anti_correlated" | "anti-correlated" ->
+    let n = if n > 0 then n else 10_000 in
+    Generator.by_name source rng ~n ~d
+  | path -> Dataset.load_csv path
+
+let config_of ~data ~s ~q ~eps ~delta =
+  let d = Dataset.dim data in
+  let base = Algo.default_config ~d in
+  {
+    base with
+    Algo.s = (if s > 0 then s else base.Algo.s);
+    q = (if q > 0 then q else base.Algo.q);
+    eps;
+    delta;
+  }
+
+let print_tuples ?(limit = 25) data =
+  let n = Dataset.size data in
+  Array.iteri
+    (fun i p ->
+      if i < limit then Format.printf "  %a@." Tuple.pp p
+      else if i = limit then Format.printf "  ... (%d more)@." (n - limit))
+    (Dataset.tuples data)
+
+(* --- generate --- *)
+
+let generate_cmd =
+  let run source n d seed output =
+    let data = load_data ~source ~n ~d ~seed in
+    (match output with
+    | Some path ->
+      Dataset.save_csv data path;
+      Printf.printf "wrote %d tuples (%d-dimensional) to %s\n" (Dataset.size data)
+        (Dataset.dim data) path
+    | None -> print_string (Dataset.to_csv data));
+    0
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"PATH" ~doc:"Output CSV path (default stdout).")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a data set as CSV.")
+    Term.(const run $ data_arg $ n_arg $ d_arg $ seed_arg $ output)
+
+(* --- exact --- *)
+
+let utility_arg =
+  let doc = "Utility vector as comma-separated weights, e.g. 1,20." in
+  Arg.(required & opt (some string) None & info [ "utility"; "u" ] ~docv:"U" ~doc)
+
+let parse_utility s =
+  String.split_on_char ',' s
+  |> List.map (fun x -> float_of_string (String.trim x))
+  |> Array.of_list
+
+let exact_cmd =
+  let run source n d seed eps utility =
+    let data = load_data ~source ~n ~d ~seed in
+    let u = parse_utility utility in
+    let result = Indist.query_exact ~eps u data in
+    let best, value = Dataset.max_utility data u in
+    Format.printf "optimum: %a (utility %.6g)@." Tuple.pp best value;
+    Format.printf "I(f, %.3g) has %d of %d tuples:@." eps (Dataset.size result)
+      (Dataset.size data);
+    print_tuples result;
+    0
+  in
+  Cmd.v
+    (Cmd.info "exact" ~doc:"Ground-truth indistinguishability query for a known utility.")
+    Term.(const run $ data_arg $ n_arg $ d_arg $ seed_arg $ eps_arg $ utility_arg)
+
+(* --- simulate --- *)
+
+let simulate_cmd =
+  let run source n d seed eps delta s q algo =
+    let data = load_data ~source ~n ~d ~seed in
+    let rng = Rng.create (seed + 1) in
+    let u = Utility.random rng ~d:(Dataset.dim data) in
+    let oracle =
+      if delta > 0. then Oracle.with_error ~delta ~rng:(Rng.split rng) u
+      else Oracle.exact u
+    in
+    let config = config_of ~data ~s ~q ~eps ~delta in
+    let result = Algo.run algo config ~data ~oracle ~rng:(Rng.split rng) in
+    let alpha = Indist.alpha ~eps u ~data ~output:result.Algo.output in
+    let truth = Indist.query_exact ~eps u data in
+    Format.printf "hidden utility: %a@." Indq_linalg.Vec.pp u;
+    Format.printf "%s: %d questions, %.3fs, output %d tuples (exact I has %d)@."
+      (Algo.to_string algo) result.Algo.questions_used result.Algo.seconds
+      (Dataset.size result.Algo.output) (Dataset.size truth);
+    Format.printf "alpha = %.6f, false negatives: %b@." alpha
+      (Indist.has_false_negatives ~eps u ~data ~output:result.Algo.output);
+    print_tuples result.Algo.output;
+    0
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run an algorithm against a simulated random user.")
+    Term.(
+      const run $ data_arg $ n_arg $ d_arg $ seed_arg $ eps_arg $ delta_arg
+      $ s_arg $ q_arg $ algo_arg)
+
+(* --- interactive --- *)
+
+let interactive_cmd =
+  let run source n d seed eps s q algo =
+    let data = load_data ~source ~n ~d ~seed in
+    let stdin_chooser options =
+      Format.printf "@.Which do you prefer?@.";
+      Array.iteri
+        (fun i p -> Format.printf "  [%d] %a@." (i + 1) Indq_linalg.Vec.pp p)
+        options;
+      let rec ask () =
+        Format.printf "choice (1-%d): %!" (Array.length options);
+        match int_of_string_opt (String.trim (input_line stdin)) with
+        | Some k when k >= 1 && k <= Array.length options -> k - 1
+        | _ ->
+          Format.printf "please enter a number between 1 and %d@."
+            (Array.length options);
+          ask ()
+      in
+      ask ()
+    in
+    let oracle = Oracle.of_chooser stdin_chooser in
+    let config = config_of ~data ~s ~q ~eps ~delta:0. in
+    let result =
+      Algo.run algo config ~data ~oracle ~rng:(Rng.create (seed + 2))
+    in
+    Format.printf
+      "@.Done after %d questions.  These %d tuples are within %.1f%% of your optimum:@."
+      result.Algo.questions_used
+      (Dataset.size result.Algo.output)
+      (100. *. (1. -. (1. /. (1. +. eps))));
+    print_tuples ~limit:50 result.Algo.output;
+    0
+  in
+  Cmd.v
+    (Cmd.info "interactive" ~doc:"Run an algorithm with you answering the questions.")
+    Term.(
+      const run $ data_arg $ n_arg $ d_arg $ seed_arg $ eps_arg $ s_arg $ q_arg
+      $ algo_arg)
+
+(* --- experiment --- *)
+
+let experiment_cmd =
+  let run name seed scale utilities max_n =
+    let dataset_labels = [ "Island"; "NBA"; "House" ] in
+    let per_dataset f =
+      List.iter
+        (fun kind -> Report.print_sweep (f kind))
+        Experiments.[ Island_like; Nba_like; House_like ]
+    in
+    (match String.lowercase_ascii name with
+    | "fig1" -> Report.print_sweep (Experiments.fig1 ~utilities ~scale ~seed ())
+    | "fig2" -> per_dataset (Experiments.fig2 ~utilities ~scale ~seed)
+    | "fig3" -> per_dataset (Experiments.fig3 ~utilities ~scale ~seed)
+    | "fig4" -> per_dataset (Experiments.fig4 ~utilities ~scale ~seed)
+    | "fig5" -> per_dataset (Experiments.fig5 ~utilities ~scale ~seed)
+    | "tab3" ->
+      Report.print_time_sweep ~labels:dataset_labels
+        (Experiments.tab3 ~utilities ~scale ~seed ())
+    | "tab4" ->
+      Report.print_time_sweep ~labels:dataset_labels
+        (Experiments.tab4 ~utilities ~scale ~seed ())
+    | "fig6" -> Report.print_sweep (Experiments.fig6 ~utilities ~max_n ~seed ())
+    | "fig7" -> Report.print_sweep (Experiments.fig7 ~utilities ~seed ())
+    | other ->
+      Printf.eprintf "unknown experiment %S (fig1-fig7, tab3, tab4)\n" other;
+      exit 2);
+    0
+  in
+  let experiment_name =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"EXPERIMENT" ~doc:"fig1..fig7, tab3 or tab4.")
+  in
+  let scale =
+    Arg.(
+      value & opt float 1.0
+      & info [ "scale" ] ~docv:"S" ~doc:"Data-set size scale in (0,1].")
+  in
+  let utilities =
+    Arg.(
+      value & opt int 10
+      & info [ "utilities" ] ~docv:"K" ~doc:"Random utilities per cell.")
+  in
+  let max_n =
+    Arg.(
+      value & opt int 1_000_000
+      & info [ "max-n" ] ~docv:"N" ~doc:"Cap for the fig6 size sweep.")
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Run one of the paper's evaluation experiments.")
+    Term.(const run $ experiment_name $ seed_arg $ scale $ utilities $ max_n)
+
+let main_cmd =
+  let doc = "interactive indistinguishability queries (ICDE 2024 reproduction)" in
+  Cmd.group (Cmd.info "indq" ~version:"1.0.0" ~doc)
+    [ generate_cmd; exact_cmd; simulate_cmd; interactive_cmd; experiment_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

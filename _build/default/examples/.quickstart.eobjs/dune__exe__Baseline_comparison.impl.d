@@ -1,0 +1,1 @@
+examples/baseline_comparison.ml: Array Float Indq_core Indq_dataset Indq_user Indq_util List Printf

@@ -1,0 +1,1 @@
+examples/car_shopping.ml: Array Float Indq_core Indq_dataset Indq_linalg Indq_user Indq_util List Printf

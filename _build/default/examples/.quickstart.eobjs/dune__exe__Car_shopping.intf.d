@@ -1,0 +1,1 @@
+examples/car_shopping.mli:

@@ -1,0 +1,1 @@
+examples/epsilon_refinement.ml: Indq_core Indq_dataset Indq_user Indq_util List Printf

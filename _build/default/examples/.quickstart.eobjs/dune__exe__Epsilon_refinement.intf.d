@@ -1,0 +1,1 @@
+examples/epsilon_refinement.mli:

@@ -1,0 +1,1 @@
+examples/guided_session.ml: Array Indq_core Indq_dataset Indq_linalg Indq_user Indq_util Printf

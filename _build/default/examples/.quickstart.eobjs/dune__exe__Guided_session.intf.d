@@ -1,0 +1,1 @@
+examples/guided_session.mli:

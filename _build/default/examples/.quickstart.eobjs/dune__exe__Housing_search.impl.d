@@ -1,0 +1,1 @@
+examples/housing_search.ml: Array Indq_core Indq_dataset Indq_dominance Indq_user Indq_util Printf

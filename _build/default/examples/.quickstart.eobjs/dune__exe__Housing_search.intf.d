@@ -1,0 +1,1 @@
+examples/housing_search.mli:

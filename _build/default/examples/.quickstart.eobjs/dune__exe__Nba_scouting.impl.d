@@ -1,0 +1,1 @@
+examples/nba_scouting.ml: Array Indq_core Indq_dataset Indq_user Indq_util List Printf

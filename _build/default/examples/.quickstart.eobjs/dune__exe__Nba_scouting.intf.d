@@ -1,0 +1,1 @@
+examples/nba_scouting.mli:

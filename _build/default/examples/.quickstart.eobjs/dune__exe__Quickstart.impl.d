@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Indq_core Indq_dataset Indq_user Printf

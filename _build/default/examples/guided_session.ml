@@ -1,0 +1,59 @@
+(* Embedding the query in an application: the Session API.
+
+   Algo.run owns its interaction loop, which suits batch simulation; a GUI
+   or web service instead wants to receive one question at a time, persist
+   state between user visits, and resume.  Session inverts control with
+   OCaml 5 effects: the unchanged algorithm runs as a coroutine that
+   suspends at each question.
+
+   Here a simulated shopper answers a Squeeze-u session one question at a
+   time while the application inspects and logs every round.
+
+   Run with:  dune exec examples/guided_session.exe *)
+
+module Dataset = Indq_dataset.Dataset
+module Generator = Indq_dataset.Generator
+module Algo = Indq_core.Algo
+module Session = Indq_core.Session
+module Indist = Indq_core.Indist
+module Utility = Indq_user.Utility
+module Rng = Indq_util.Rng
+
+let () =
+  let rng = Rng.create 31 in
+  let data = Generator.independent rng ~n:2000 ~d:3 in
+  let shopper = Utility.random rng ~d:3 in
+  let config = Algo.default_config ~d:3 in
+
+  Printf.printf "starting a %s session (s=%d, q=%d, eps=%.2f)\n\n"
+    (Algo.to_string Algo.Squeeze_u) config.Algo.s config.Algo.q config.Algo.eps;
+  let session = Session.start Algo.Squeeze_u config ~data ~rng:(Rng.split rng) in
+
+  let rec drive () =
+    match Session.current session with
+    | Session.Asking options ->
+      Printf.printf "question %d - the application renders %d options:\n"
+        (Session.questions_asked session + 1)
+        (Array.length options);
+      Array.iteri
+        (fun i p -> Printf.printf "    [%d] %s\n" (i + 1) (Indq_linalg.Vec.to_string p))
+        options;
+      (* In a real application this is where you return to the event loop
+         and wait; the session object holds all the state.  Our shopper
+         answers immediately. *)
+      let pick = Utility.best_index shopper options in
+      Printf.printf "    -> shopper picks [%d]\n\n" (pick + 1);
+      Session.answer session pick;
+      drive ()
+    | Session.Finished result -> result
+  in
+  let result = drive () in
+
+  Printf.printf "session complete: %d questions, %d tuples in the answer\n"
+    result.Algo.questions_used
+    (Dataset.size result.Algo.output);
+  Printf.printf "alpha = %.6f, contains all of I: %b\n"
+    (Indist.alpha ~eps:config.Algo.eps shopper ~data ~output:result.Algo.output)
+    (not
+       (Indist.has_false_negatives ~eps:config.Algo.eps shopper ~data
+          ~output:result.Algo.output))

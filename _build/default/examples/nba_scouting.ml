@@ -1,0 +1,74 @@
+(* Scouting under sloppy judgment: a scout compares NBA-like player seasons
+   but cannot reliably tell apart players within ~5% of each other
+   (delta = 0.05).  Squeeze-u2 (Algorithm 3) widens its inference to stay
+   sound under such errors.  We sweep the scout's true sloppiness and show
+   the paper's Section VI behaviour: sound at small delta, degrading
+   smoothly as delta grows past 1%.
+
+   Run with:  dune exec examples/nba_scouting.exe *)
+
+module Dataset = Indq_dataset.Dataset
+module Realistic = Indq_dataset.Realistic
+module Indist = Indq_core.Indist
+module Squeeze_u2 = Indq_core.Squeeze_u2
+module Oracle = Indq_user.Oracle
+module Utility = Indq_user.Utility
+module Rng = Indq_util.Rng
+module Stats = Indq_util.Stats
+module Tabulate = Indq_util.Tabulate
+
+let () =
+  let rng = Rng.create 11 in
+  let players = Realistic.nba ~n:5000 rng in
+  let d = Dataset.dim players in
+  let eps = 0.05 in
+  Printf.printf
+    "Scouting %d player-seasons across %d stats (simulated NBA-like data).\n\n"
+    (Dataset.size players) d;
+
+  let table =
+    Tabulate.create
+      ~title:"Squeeze-u2 vs scout sloppiness (s=d, q=3d, eps=0.05, 10 scouts each)"
+      ~columns:[ "delta"; "alpha(mean)"; "|output|(mean)"; "false-negative runs" ]
+  in
+  List.iter
+    (fun delta ->
+      let trials = 10 in
+      let alphas = Array.make trials 0. in
+      let sizes = Array.make trials 0. in
+      let fn = ref 0 in
+      for t = 0 to trials - 1 do
+        let trial_rng = Rng.create ((t * 7919) + 13) in
+        let scout_taste = Utility.random trial_rng ~d in
+        let oracle =
+          if delta > 0. then
+            Oracle.with_error ~delta ~rng:(Rng.split trial_rng) scout_taste
+          else Oracle.exact scout_taste
+        in
+        let result =
+          Squeeze_u2.run ~data:players ~s:d ~q:(3 * d) ~eps ~delta ~oracle ()
+        in
+        alphas.(t) <-
+          Indist.alpha ~eps scout_taste ~data:players
+            ~output:result.Squeeze_u2.output;
+        sizes.(t) <- float_of_int (Dataset.size result.Squeeze_u2.output);
+        if
+          Indist.has_false_negatives ~eps scout_taste ~data:players
+            ~output:result.Squeeze_u2.output
+        then incr fn
+      done;
+      Tabulate.add_row table
+        [
+          Printf.sprintf "%.3f" delta;
+          Printf.sprintf "%.4f" (Stats.mean alphas);
+          Printf.sprintf "%.1f" (Stats.mean sizes);
+          string_of_int !fn;
+        ])
+    [ 0.; 0.001; 0.01; 0.05; 0.1 ];
+  Tabulate.print table;
+  print_endline
+    "Reading the table: alpha stays near zero for small delta and the";
+  print_endline
+    "false-negative column stays 0 -- the widened bounds never discard a";
+  print_endline
+    "player the scout would actually want, at the cost of a larger shortlist."

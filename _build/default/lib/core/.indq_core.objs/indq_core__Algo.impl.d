@@ -1,0 +1,1 @@
+lib/core/algo.ml: Indq_dataset Indq_user Indq_util Real_points Squeeze_u Squeeze_u2 String

@@ -1,0 +1,1 @@
+lib/core/algo.mli: Indq_dataset Indq_user Indq_util

@@ -1,0 +1,1 @@
+lib/core/baselines.ml: Array Float Format Hashtbl Indist Indq_dataset Indq_dominance Indq_user List

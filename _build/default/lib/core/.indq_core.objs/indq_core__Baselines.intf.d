@@ -1,0 +1,1 @@
+lib/core/baselines.mli: Format Indq_dataset Indq_user

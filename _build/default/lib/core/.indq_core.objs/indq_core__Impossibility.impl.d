@@ -1,0 +1,1 @@
+lib/core/impossibility.ml: Array Float Indist Indq_dataset

@@ -1,0 +1,1 @@
+lib/core/impossibility.mli: Indq_dataset Indq_user

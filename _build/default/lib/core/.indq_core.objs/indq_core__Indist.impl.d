@@ -1,0 +1,1 @@
+lib/core/indist.ml: Array Float Hashtbl Indq_dataset Indq_user

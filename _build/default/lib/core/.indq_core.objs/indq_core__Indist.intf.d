@@ -1,0 +1,1 @@
+lib/core/indist.mli: Indq_dataset Indq_user

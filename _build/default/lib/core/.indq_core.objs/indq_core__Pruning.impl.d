@@ -1,0 +1,1 @@
+lib/core/pruning.ml: Array Float Indq_dataset Indq_geom Indq_linalg List Region

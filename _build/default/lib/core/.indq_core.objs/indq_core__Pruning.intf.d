@@ -1,0 +1,1 @@
+lib/core/pruning.mli: Indq_dataset Region

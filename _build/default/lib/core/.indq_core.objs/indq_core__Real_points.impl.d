@@ -1,0 +1,1 @@
+lib/core/real_points.ml: Array Indq_dataset Indq_dominance Indq_user Indq_util Pruning Region

@@ -1,0 +1,1 @@
+lib/core/real_points.mli: Indq_dataset Indq_user Indq_util Region

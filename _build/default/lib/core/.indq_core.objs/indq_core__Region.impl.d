@@ -1,0 +1,1 @@
+lib/core/region.ml: Indq_geom List

@@ -1,0 +1,1 @@
+lib/core/regret.ml: Array Float Hashtbl Indist Indq_dataset Indq_user List

@@ -1,0 +1,1 @@
+lib/core/regret.mli: Indq_dataset Indq_user

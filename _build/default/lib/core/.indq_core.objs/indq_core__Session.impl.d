@@ -1,0 +1,1 @@
+lib/core/session.ml: Algo Array Effect Indq_user

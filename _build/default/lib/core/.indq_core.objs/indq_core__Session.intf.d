@@ -1,0 +1,1 @@
+lib/core/session.mli: Algo Indq_dataset Indq_util

@@ -1,0 +1,1 @@
+lib/core/squeeze_u.ml: Array Float Indq_dataset Indq_dominance Indq_user Pruning

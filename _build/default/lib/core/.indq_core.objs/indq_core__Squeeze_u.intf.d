@@ -1,0 +1,1 @@
+lib/core/squeeze_u.mli: Indq_dataset Indq_user

@@ -1,0 +1,1 @@
+lib/core/squeeze_u2.ml: Array Float Indq_dataset Indq_dominance Indq_linalg Indq_user Pruning Squeeze_u

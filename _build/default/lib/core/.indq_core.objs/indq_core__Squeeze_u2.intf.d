@@ -1,0 +1,1 @@
+lib/core/squeeze_u2.mli: Indq_dataset Indq_user

@@ -1,0 +1,80 @@
+module Dataset = Indq_dataset.Dataset
+module Oracle = Indq_user.Oracle
+module Timer = Indq_util.Timer
+
+type name = Squeeze_u | Uh_random | MinD | MinR
+
+type config = {
+  s : int;
+  q : int;
+  eps : float;
+  delta : float;
+  trials : int;
+  exact_prune : bool;
+}
+
+type run_result = {
+  output : Dataset.t;
+  questions_used : int;
+  seconds : float;
+}
+
+let default_config ~d =
+  {
+    s = max 2 d;
+    q = 3 * d;
+    eps = 0.05;
+    delta = 0.;
+    trials = 10;
+    exact_prune = false;
+  }
+
+let all = [ Squeeze_u; Uh_random; MinD; MinR ]
+
+let to_string = function
+  | Squeeze_u -> "Squeeze-u"
+  | Uh_random -> "UH-Random"
+  | MinD -> "MinD"
+  | MinR -> "MinR"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "squeeze-u" | "squeeze_u" | "squeezeu" -> Squeeze_u
+  | "uh-random" | "uh_random" | "uhrandom" -> Uh_random
+  | "mind" -> MinD
+  | "minr" -> MinR
+  | other -> invalid_arg ("Algo.of_string: unknown algorithm " ^ other)
+
+let run name config ~data ~oracle ~rng =
+  let { s; q; eps; delta; trials; exact_prune } = config in
+  let execute () =
+    match name with
+    | Squeeze_u ->
+      if delta > 0. then begin
+        let r =
+          Squeeze_u2.run ~exact_prune ~data ~s ~q ~eps ~delta ~oracle ()
+        in
+        (r.Squeeze_u2.output, r.Squeeze_u2.questions_used)
+      end
+      else begin
+        let r = Squeeze_u.run ~exact_prune ~data ~s ~q ~eps ~oracle () in
+        (r.Squeeze_u.output, r.Squeeze_u.questions_used)
+      end
+    | Uh_random ->
+      let r = Real_points.uh_random ~delta ~data ~s ~q ~eps ~oracle ~rng () in
+      (r.Real_points.output, r.Real_points.questions_used)
+    | MinD ->
+      let r =
+        Real_points.run ~delta ~trials Real_points.MinD ~data ~s ~q ~eps
+          ~oracle ~rng
+      in
+      (r.Real_points.output, r.Real_points.questions_used)
+    | MinR ->
+      let r =
+        Real_points.run ~delta ~trials Real_points.MinR ~data ~s ~q ~eps
+          ~oracle ~rng
+      in
+      (r.Real_points.output, r.Real_points.questions_used)
+  in
+  let (output, questions_used), seconds = Timer.time execute in
+  { output; questions_used; seconds }

@@ -1,0 +1,51 @@
+(** Uniform front door to the four evaluated algorithms.
+
+    The experiment harness, CLI and examples all run algorithms through this
+    module so that configuration, interaction accounting and timing are
+    identical across Squeeze-u, UH-Random, MinD and MinR — mirroring the
+    "Algorithms" paragraph of Section VII.  When [delta > 0], [Squeeze_u]
+    dispatches to Algorithm 3 (the paper also labels those results
+    "Squeeze-u"). *)
+
+type name = Squeeze_u | Uh_random | MinD | MinR
+
+type config = {
+  s : int;  (** tuples shown per round *)
+  q : int;  (** question budget *)
+  eps : float;  (** indistinguishability parameter *)
+  delta : float;  (** modeled user error (0 = error-free updates) *)
+  trials : int;  (** the paper's T, for MinR/MinD *)
+  exact_prune : bool;  (** Squeeze-u: exact box-corner final filter *)
+}
+
+type run_result = {
+  output : Indq_dataset.Dataset.t;
+  questions_used : int;
+  seconds : float;  (** algorithm time, excluding oracle thinking *)
+}
+
+val default_config : d:int -> config
+(** The paper's defaults: [s = d], [q = 3d], [eps = 0.05], [delta = 0],
+    [trials = 10], heuristic pruning. *)
+
+val all : name list
+(** In the paper's reporting order:
+    [Squeeze_u; Uh_random; MinD; MinR]. *)
+
+val to_string : name -> string
+(** Paper spelling: ["Squeeze-u"], ["UH-Random"], ["MinD"], ["MinR"]. *)
+
+val of_string : string -> name
+(** Case-insensitive; also accepts ["squeeze_u"], ["uh_random"].  Raises
+    [Invalid_argument] on unknown names. *)
+
+val run :
+  name ->
+  config ->
+  data:Indq_dataset.Dataset.t ->
+  oracle:Indq_user.Oracle.t ->
+  rng:Indq_util.Rng.t ->
+  run_result
+(** Execute one algorithm once.  The [rng] drives only algorithmic
+    randomness (display-set sampling); user error randomness lives inside
+    the oracle. *)

@@ -1,0 +1,103 @@
+module Dataset = Indq_dataset.Dataset
+module Tuple = Indq_dataset.Tuple
+module Skyline_op = Indq_dominance.Skyline
+module Utility = Indq_user.Utility
+
+let top_k data u ~k = Dataset.top_k data u k
+
+let skyline data = Dataset.to_list (Skyline_op.skyline data)
+
+let greedy_regret_set data ~size ~sample_utilities =
+  if Dataset.size data = 0 then invalid_arg "Baselines.greedy_regret_set: empty dataset";
+  if size <= 0 then invalid_arg "Baselines.greedy_regret_set: size must be positive";
+  if sample_utilities = [] then
+    invalid_arg "Baselines.greedy_regret_set: empty utility sample";
+  let utilities = Array.of_list sample_utilities in
+  (* optima.(i): the best utility value in the whole dataset for u_i. *)
+  let optima =
+    Array.map (fun u -> snd (Dataset.max_utility data u)) utilities
+  in
+  (* best_in_set.(i): best value covered by the chosen set so far. *)
+  let best_in_set = Array.make (Array.length utilities) 0. in
+  let max_regret () =
+    let worst = ref 0. in
+    Array.iteri
+      (fun i opt ->
+        if opt > 0. then
+          worst := Float.max !worst (1. -. (best_in_set.(i) /. opt)))
+      optima;
+    !worst
+  in
+  let chosen = ref [] in
+  let chosen_ids = Hashtbl.create size in
+  let pick_next () =
+    (* The tuple minimizing the resulting max regret when added. *)
+    let best_tuple = ref None and best_score = ref infinity in
+    Array.iter
+      (fun p ->
+        if not (Hashtbl.mem chosen_ids (Tuple.id p)) then begin
+          let worst = ref 0. in
+          Array.iteri
+            (fun i opt ->
+              if opt > 0. then begin
+                let covered =
+                  Float.max best_in_set.(i) (Tuple.utility p utilities.(i))
+                in
+                worst := Float.max !worst (1. -. (covered /. opt))
+              end)
+            optima;
+          if !worst < !best_score then begin
+            best_score := !worst;
+            best_tuple := Some p
+          end
+        end)
+      (Dataset.tuples data);
+    !best_tuple
+  in
+  let rec grow () =
+    if List.length !chosen < size && max_regret () > 1e-12 then begin
+      match pick_next () with
+      | None -> ()
+      | Some p ->
+        chosen := p :: !chosen;
+        Hashtbl.replace chosen_ids (Tuple.id p) ();
+        Array.iteri
+          (fun i u ->
+            best_in_set.(i) <- Float.max best_in_set.(i) (Tuple.utility p u))
+          utilities;
+        grow ()
+    end
+  in
+  grow ();
+  List.rev !chosen
+
+type comparison = {
+  truth_size : int;
+  result_size : int;
+  covered : int;
+  coverage : float;
+  false_positives : int;
+}
+
+let compare_with_truth ~eps u ~data result =
+  let truth = Indist.query_exact ~eps u data in
+  let truth_ids = Hashtbl.create (Dataset.size truth) in
+  Array.iter
+    (fun p -> Hashtbl.replace truth_ids (Tuple.id p) ())
+    (Dataset.tuples truth);
+  let covered =
+    List.length (List.filter (fun p -> Hashtbl.mem truth_ids (Tuple.id p)) result)
+  in
+  let truth_size = Dataset.size truth in
+  {
+    truth_size;
+    result_size = List.length result;
+    covered;
+    coverage =
+      (if truth_size = 0 then 1. else float_of_int covered /. float_of_int truth_size);
+    false_positives = List.length result - covered;
+  }
+
+let pp_comparison ppf c =
+  Format.fprintf ppf "|I|=%d |result|=%d covered=%d (%.0f%%) false-positives=%d"
+    c.truth_size c.result_size c.covered (100. *. c.coverage) c.false_positives

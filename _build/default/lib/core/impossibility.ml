@@ -1,0 +1,44 @@
+module Dataset = Indq_dataset.Dataset
+module Tuple = Indq_dataset.Tuple
+
+let check ~f ~eps =
+  if f <= 1 then invalid_arg "Impossibility: f must be > 1";
+  if eps <= 0. then invalid_arg "Impossibility: eps must be positive"
+
+let m ~f ~eps =
+  check ~f ~eps;
+  int_of_float (Float.ceil ((1. +. eps) *. float_of_int f))
+
+let database ~f ~eps =
+  let m = m ~f ~eps in
+  let mf = float_of_int m in
+  Dataset.create
+    (Array.init (m + 1) (fun i ->
+         let x = float_of_int i /. mf in
+         [| x; 1. -. x |]))
+
+let utility_u = [| 1.; 0. |]
+
+let utility_u' ~eps =
+  if eps <= 0. then invalid_arg "Impossibility.utility_u': eps must be positive";
+  [| 1.; 1. /. (1. +. eps) |]
+
+let identical_rankings ~f ~eps =
+  let data = database ~f ~eps in
+  let u = utility_u and u' = utility_u' ~eps in
+  let tuples = Dataset.tuples data in
+  let consistent = ref true in
+  Array.iter
+    (fun a ->
+      Array.iter
+        (fun b ->
+          let order u = Float.compare (Tuple.utility a u) (Tuple.utility b u) in
+          if order u <> order u' then consistent := false)
+        tuples)
+    tuples;
+  !consistent
+
+let forced_false_positives ~f ~eps =
+  let data = database ~f ~eps in
+  let size_for u = Dataset.size (Indist.query_exact ~eps u data) in
+  size_for (utility_u' ~eps) - size_for utility_u

@@ -1,0 +1,30 @@
+(** The Theorem 1 construction: a database on which any deterministic
+    real-tuples algorithm with no false negatives must emit false positives.
+
+    For a target false-positive count [f > 1] and [eps > 0], let
+    [m = ceil((1+eps) f)] and [D = { (i/m, 1 - i/m) : 0 <= i <= m }].
+    Users [u = (1, 0)] and [u' = (1, 1/(1+eps))] rank every pair of tuples
+    of [D] identically — no sequence of real-tuple comparisons separates
+    them — yet [I(u, eps)] omits [p_0 .. p_{f-1}] while [I(u', eps)] is all
+    of [D].  The test suite replays the paper's proof on these artifacts. *)
+
+val m : f:int -> eps:float -> int
+(** [ceil ((1+eps) * f)]. *)
+
+val database : f:int -> eps:float -> Indq_dataset.Dataset.t
+(** The [m+1] tuples [p_i = (i/m, 1-i/m)], ids [0..m].
+    Raises [Invalid_argument] unless [f > 1] and [eps > 0]. *)
+
+val utility_u : Indq_user.Utility.t
+(** [(1, 0)]. *)
+
+val utility_u' : eps:float -> Indq_user.Utility.t
+(** [(1, 1/(1+eps))]. *)
+
+val identical_rankings : f:int -> eps:float -> bool
+(** Executable lemma: both users order every pair of database tuples the
+    same way. *)
+
+val forced_false_positives : f:int -> eps:float -> int
+(** [|I(u', eps)| - |I(u, eps)|]: how many tuples a no-false-negative
+    algorithm must over-report for user [u].  At least [f] by Theorem 1. *)

@@ -1,0 +1,79 @@
+module Dataset = Indq_dataset.Dataset
+module Tuple = Indq_dataset.Tuple
+module Utility = Indq_user.Utility
+
+let check_eps eps =
+  if eps <= 0. then invalid_arg "Indist: eps must be positive"
+
+let indistinguishable ~eps u p1 p2 =
+  check_eps eps;
+  let v1 = Utility.value u p1 and v2 = Utility.value u p2 in
+  v1 <= (1. +. eps) *. v2 && v2 <= (1. +. eps) *. v1
+
+let query_exact ~eps u data =
+  check_eps eps;
+  if Dataset.size data = 0 then invalid_arg "Indist.query_exact: empty dataset";
+  let _, best = Dataset.max_utility data u in
+  (* p is in I iff (1+eps) u.p >= u.p* (the other direction is automatic
+     since p* is optimal). *)
+  Dataset.filter data (fun p ->
+      (1. +. eps) *. Tuple.utility p u >= best)
+
+let in_query ~eps u ~data p =
+  check_eps eps;
+  let _, best = Dataset.max_utility data u in
+  (1. +. eps) *. Tuple.utility p u >= best
+
+let alpha ~eps u ~data ~output =
+  check_eps eps;
+  if Dataset.size data = 0 then invalid_arg "Indist.alpha: empty dataset";
+  let _, best = Dataset.max_utility data u in
+  Array.fold_left
+    (fun acc p ->
+      Float.max acc (best -. ((1. +. eps) *. Tuple.utility p u)))
+    0.
+    (Dataset.tuples output)
+
+let has_false_negatives ~eps u ~data ~output =
+  let truth = query_exact ~eps u data in
+  let present = Hashtbl.create (Dataset.size output) in
+  Array.iter
+    (fun p -> Hashtbl.replace present (Tuple.id p) ())
+    (Dataset.tuples output);
+  Array.exists
+    (fun p -> not (Hashtbl.mem present (Tuple.id p)))
+    (Dataset.tuples truth)
+
+let optimum_fn ~f data =
+  if Dataset.size data = 0 then invalid_arg "Indist: empty dataset";
+  Array.fold_left
+    (fun acc p -> Float.max acc (f (Tuple.values p)))
+    neg_infinity (Dataset.tuples data)
+
+let query_exact_fn ~eps f data =
+  check_eps eps;
+  let best = optimum_fn ~f data in
+  Dataset.filter data (fun p -> (1. +. eps) *. f (Tuple.values p) >= best)
+
+let alpha_fn ~eps f ~data ~output =
+  check_eps eps;
+  let best = optimum_fn ~f data in
+  Array.fold_left
+    (fun acc p -> Float.max acc (best -. ((1. +. eps) *. f (Tuple.values p))))
+    0. (Dataset.tuples output)
+
+let has_false_negatives_fn ~eps f ~data ~output =
+  let truth = query_exact_fn ~eps f data in
+  let present = Hashtbl.create (Dataset.size output) in
+  Array.iter (fun p -> Hashtbl.replace present (Tuple.id p) ()) (Dataset.tuples output);
+  Array.exists
+    (fun p -> not (Hashtbl.mem present (Tuple.id p)))
+    (Dataset.tuples truth)
+
+let monotone_subset_check ~eps ~eps' u data =
+  if not (eps' < eps) then invalid_arg "Indist.monotone_subset_check: need eps' < eps";
+  let small = query_exact ~eps:eps' u data in
+  let big = query_exact ~eps u data in
+  let present = Hashtbl.create (Dataset.size big) in
+  Array.iter (fun p -> Hashtbl.replace present (Tuple.id p) ()) (Dataset.tuples big);
+  Array.for_all (fun p -> Hashtbl.mem present (Tuple.id p)) (Dataset.tuples small)

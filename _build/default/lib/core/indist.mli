@@ -1,0 +1,80 @@
+(** The indistinguishability query: definitions 1–3 and observations 1–4.
+
+    Ground truth is computed against a {i known} utility function; the
+    interactive algorithms of this library approximate it without that
+    knowledge.  The approximation quality measure [alpha] (Definition 3) is
+    what every experiment in Section VII reports. *)
+
+val indistinguishable :
+  eps:float -> Indq_user.Utility.t -> float array -> float array -> bool
+(** Definition 1: [f(p1) <= (1+eps) f(p2)] and [f(p2) <= (1+eps) f(p1)]. *)
+
+val query_exact :
+  eps:float ->
+  Indq_user.Utility.t ->
+  Indq_dataset.Dataset.t ->
+  Indq_dataset.Dataset.t
+(** Definition 2: the set [I] of tuples eps-indistinguishable from the
+    optimal [p* = argmax u . p].  O(n).  Raises [Invalid_argument] on an
+    empty dataset or non-positive [eps]. *)
+
+val in_query :
+  eps:float ->
+  Indq_user.Utility.t ->
+  data:Indq_dataset.Dataset.t ->
+  Indq_dataset.Tuple.t ->
+  bool
+(** Membership of one tuple in [I] (against the optimum of [data]). *)
+
+val alpha :
+  eps:float ->
+  Indq_user.Utility.t ->
+  data:Indq_dataset.Dataset.t ->
+  output:Indq_dataset.Dataset.t ->
+  float
+(** Definition 3 quality of an algorithm output [S]:
+    [max (0, max_{p' in S} (p* . u - (1+eps) p' . u))].  Tuples of [I]
+    contribute 0, so this is the worst-case shortfall of the false
+    positives.  Smaller is better; 0 iff [S] contains only tuples of [I]. *)
+
+val has_false_negatives :
+  eps:float ->
+  Indq_user.Utility.t ->
+  data:Indq_dataset.Dataset.t ->
+  output:Indq_dataset.Dataset.t ->
+  bool
+(** True when some tuple of the exact [I] is missing from [output] — the
+    failure mode Definition 3 forbids. *)
+
+val monotone_subset_check :
+  eps:float -> eps':float -> Indq_user.Utility.t -> Indq_dataset.Dataset.t -> bool
+(** Observation 4 as an executable check: for [eps' < eps],
+    [I(eps') ⊆ I(eps)].  Used by tests and the epsilon-refinement example. *)
+
+(** {2 Generic (possibly non-linear) utilities}
+
+    Definitions 1–3 never use linearity; these variants take an arbitrary
+    utility evaluator, enabling the non-linear ablation (see
+    {!Indq_user.Nonlinear}). *)
+
+val query_exact_fn :
+  eps:float ->
+  (float array -> float) ->
+  Indq_dataset.Dataset.t ->
+  Indq_dataset.Dataset.t
+(** [I(f, eps)] for an arbitrary non-negative utility evaluator. *)
+
+val alpha_fn :
+  eps:float ->
+  (float array -> float) ->
+  data:Indq_dataset.Dataset.t ->
+  output:Indq_dataset.Dataset.t ->
+  float
+(** Definition 3 measured under an arbitrary utility evaluator. *)
+
+val has_false_negatives_fn :
+  eps:float ->
+  (float array -> float) ->
+  data:Indq_dataset.Dataset.t ->
+  output:Indq_dataset.Dataset.t ->
+  bool

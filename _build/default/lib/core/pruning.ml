@@ -1,0 +1,133 @@
+module Dataset = Indq_dataset.Dataset
+module Tuple = Indq_dataset.Tuple
+module Vec = Indq_linalg.Vec
+module Polytope = Indq_geom.Polytope
+
+let check_box ~lo ~hi d =
+  if Array.length lo <> d || Array.length hi <> d then
+    invalid_arg "Pruning: bound dimension mismatch";
+  for i = 0 to d - 1 do
+    if lo.(i) > hi.(i) then invalid_arg "Pruning: lo > hi"
+  done
+
+let box_prune_fast ~eps ~lo ~hi data =
+  if eps <= 0. then invalid_arg "Pruning.box_prune_fast: eps must be positive";
+  if Dataset.size data = 0 then data
+  else begin
+    check_box ~lo ~hi (Dataset.dim data);
+    let floor_value =
+      Array.fold_left
+        (fun acc p -> Float.max acc (Vec.dot (Tuple.values p) lo))
+        neg_infinity (Dataset.tuples data)
+    in
+    (* Relative slack so float-rounding can never drop a tuple sitting
+       exactly on the threshold. *)
+    let slack = 1e-9 *. Float.max 1. (Float.abs floor_value) in
+    Dataset.filter data (fun p ->
+        (1. +. eps) *. Vec.dot (Tuple.values p) hi >= floor_value -. slack)
+  end
+
+(* Minimum of the linear form w . v over the box [lo, hi]: the coordinates
+   separate, so pick per coordinate whichever corner of [lo_i, hi_i]
+   minimizes w_i v_i.  This evaluates the paper's "check all 2^d corners"
+   test in O(d). *)
+let min_over_box w ~lo ~hi =
+  let acc = ref 0. in
+  for i = 0 to Array.length w - 1 do
+    acc := !acc +. Float.min (w.(i) *. lo.(i)) (w.(i) *. hi.(i))
+  done;
+  !acc
+
+let box_prune_exact ~eps ~lo ~hi data =
+  if eps <= 0. then invalid_arg "Pruning.box_prune_exact: eps must be positive";
+  if Dataset.size data = 0 then data
+  else begin
+    let d = Dataset.dim data in
+    if d > 20 then invalid_arg "Pruning.box_prune_exact: dimension too large";
+    check_box ~lo ~hi d;
+    let tuples = Dataset.tuples data in
+    let eliminated q =
+      let qv = Tuple.values q in
+      Array.exists
+        (fun p ->
+          Tuple.id p <> Tuple.id q
+          &&
+          let w =
+            Array.init d (fun i -> Tuple.get p i -. ((1. +. eps) *. qv.(i)))
+          in
+          min_over_box w ~lo ~hi > 1e-9)
+        tuples
+    in
+    Dataset.filter data (fun q -> not (eliminated q))
+  end
+
+let anchor_pool ~anchors region data =
+  let center = Region.center region in
+  let scored =
+    Array.map (fun p -> (Vec.dot (Tuple.values p) center, p)) (Dataset.tuples data)
+  in
+  Array.sort (fun (a, _) (b, _) -> Float.compare b a) scored;
+  let k = min anchors (Array.length scored) in
+  List.init k (fun i -> snd scored.(i))
+
+let utility_floor region data =
+  if Dataset.size data = 0 then invalid_arg "Pruning.utility_floor: empty dataset";
+  if Region.is_empty region then invalid_arg "Pruning.utility_floor: empty region";
+  let poly = Region.polytope region in
+  let pool = anchor_pool ~anchors:4 region data in
+  List.fold_left
+    (fun acc a ->
+      match Polytope.minimize poly (Tuple.values a) with
+      | Some (v, _) -> Float.max acc v
+      | None -> acc)
+    neg_infinity pool
+
+let region_prune ?(anchors = 4) ~eps region data =
+  if eps <= 0. then invalid_arg "Pruning.region_prune: eps must be positive";
+  if anchors <= 0 then invalid_arg "Pruning.region_prune: anchors must be positive";
+  if Dataset.size data = 0 || Region.is_empty region then data
+  else begin
+    let poly = Region.polytope region in
+    let pool = anchor_pool ~anchors region data in
+    let floor_value =
+      List.fold_left
+        (fun acc a ->
+          match Polytope.minimize poly (Tuple.values a) with
+          | Some (v, _) -> Float.max acc v
+          | None -> acc)
+        neg_infinity pool
+    in
+    (* Margin above the LP solver's own accuracy: pruning must only fire
+       with clear daylight, keeping the no-false-negative contract under
+       float noise. *)
+    let tol = 1e-7 in
+    (* Witness points of the region (coordinate-extreme vertices plus the
+       center): if some witness v has w . v >= 0, then max w . v >= 0 and
+       the candidate is provably not prunable via that test — no LP
+       needed.  Early rounds, when almost nothing is prunable, then cost
+       only dot products. *)
+    let bounds, vertex_witnesses = Polytope.coordinate_profile poly in
+    let witnesses = Region.center region :: vertex_witnesses in
+    let hi_corner = Array.map snd bounds in
+    let disproved_by_witness w =
+      List.exists (fun v -> Vec.dot w v >= -.tol) witnesses
+    in
+    let prunable b =
+      let scaled = Vec.scale (1. +. eps) (Tuple.values b) in
+      (* Cheap sound prune: max (1+eps) b . v <= (1+eps) b . hi_corner. *)
+      if Vec.dot scaled hi_corner < floor_value -. tol then true
+      else
+        List.exists
+          (fun a ->
+            Tuple.id a <> Tuple.id b
+            &&
+            let w = Vec.sub scaled (Tuple.values a) in
+            (not (disproved_by_witness w))
+            &&
+            match Polytope.maximize poly w with
+            | Some (m, _) -> m < -.tol
+            | None -> false)
+          pool
+    in
+    Dataset.filter data (fun b -> not (prunable b))
+  end

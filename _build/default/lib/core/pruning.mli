@@ -1,0 +1,49 @@
+(** Candidate pruning — the machinery that turns learned utility bounds into
+    a small output set while never discarding a member of [I(f, eps)].
+
+    Three testers, matching DESIGN.md:
+
+    - {b box, fast} (Section IV-A): with per-coordinate utility bounds
+      [L <= u <= H], compute the utility floor [V = max_p p . L] and drop
+      every [p] with [(1+eps) p . H < V].  O(n); the default inside
+      Squeeze-u.
+    - {b box, exact}: drop [q] when some [p] has
+      [(p - (1+eps) q) . v > 0] on all [2^d] corners of the box — the
+      paper's full test, exponential in [d]; used on small inputs and as
+      ground truth in tests.
+    - {b region} (Lemma 2): over a feasible region [R], drop [b] when some
+      anchor tuple [a] has [max_{v in R} ((1+eps) b - a) . v < 0].  One LP
+      per (candidate, anchor) pair plus a shared scalar floor pre-test. *)
+
+val box_prune_fast :
+  eps:float ->
+  lo:float array ->
+  hi:float array ->
+  Indq_dataset.Dataset.t ->
+  Indq_dataset.Dataset.t
+(** The O(n) heuristic filter.  [lo]/[hi] are the [L]/[H] bounds of
+    Algorithm 1; requires [lo <= hi] component-wise. *)
+
+val box_prune_exact :
+  eps:float ->
+  lo:float array ->
+  hi:float array ->
+  Indq_dataset.Dataset.t ->
+  Indq_dataset.Dataset.t
+(** The [2^d n^2] corner test.  Raises [Invalid_argument] for [d > 20]. *)
+
+val region_prune :
+  ?anchors:int ->
+  eps:float ->
+  Region.t ->
+  Indq_dataset.Dataset.t ->
+  Indq_dataset.Dataset.t
+(** Lemma 2 pruning of a candidate set against a feasible region.
+    [anchors] (default 4) is how many high-value tuples are tried as the
+    dominating witness [a].  An empty region returns the input unchanged
+    (no sound inference is possible from inconsistent answers). *)
+
+val utility_floor : Region.t -> Indq_dataset.Dataset.t -> float
+(** [max_a min_{v in R} a . v] over the anchor pool — a lower bound on the
+    utility the user's optimum achieves, used by the scalar pre-test.
+    Exposed for tests. *)

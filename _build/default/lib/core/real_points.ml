@@ -1,0 +1,100 @@
+module Dataset = Indq_dataset.Dataset
+module Tuple = Indq_dataset.Tuple
+module Skyline = Indq_dominance.Skyline
+module Oracle = Indq_user.Oracle
+module Rng = Indq_util.Rng
+
+type strategy = Random | MinR | MinD
+
+type result = {
+  output : Dataset.t;
+  region : Region.t;
+  questions_used : int;
+}
+
+let score_display_set ~delta ~metric region display =
+  let n = Array.length display in
+  if n = 0 then invalid_arg "Real_points.score_display_set: empty display";
+  let total = ref 0. in
+  for winner_index = 0 to n - 1 do
+    let winner = Tuple.values display.(winner_index) in
+    let losers = ref [] in
+    Array.iteri
+      (fun i p -> if i <> winner_index then losers := Tuple.values p :: !losers)
+      display;
+    let posterior = Region.observe ~delta region ~winner ~losers:!losers in
+    let contribution =
+      if Region.is_empty posterior then 0.
+      else
+        match metric with
+        | `Width -> Region.width posterior
+        | `Diameter -> Region.diameter posterior
+    in
+    total := !total +. contribution
+  done;
+  !total /. float_of_int n
+
+let pick_display ~strategy ~trials ~delta ~rng region candidates s =
+  let pool = Dataset.tuples candidates in
+  let count = min s (Array.length pool) in
+  let sample () = Rng.sample_without_replacement rng count pool in
+  match strategy with
+  | Random -> sample ()
+  | MinR | MinD ->
+    let metric = if strategy = MinR then `Width else `Diameter in
+    let best = ref (sample ()) in
+    let best_score = ref (score_display_set ~delta ~metric region !best) in
+    for _ = 2 to trials do
+      let candidate = sample () in
+      let score = score_display_set ~delta ~metric region candidate in
+      if score < !best_score then begin
+        best := candidate;
+        best_score := score
+      end
+    done;
+    !best
+
+let run ?(delta = 0.) ?(trials = 10) ?(anchors = 4) strategy ~data ~s ~q ~eps
+    ~oracle ~rng =
+  if s < 2 then invalid_arg "Real_points.run: s must be >= 2";
+  if q < 0 then invalid_arg "Real_points.run: negative question budget";
+  if eps <= 0. then invalid_arg "Real_points.run: eps must be positive";
+  if delta < 0. then invalid_arg "Real_points.run: negative delta";
+  if trials < 1 then invalid_arg "Real_points.run: trials must be >= 1";
+  if Dataset.size data = 0 then invalid_arg "Real_points.run: empty dataset";
+  let questions_before = Oracle.questions_asked oracle in
+  let d = Dataset.dim data in
+  (* Line 1: Observation 3 pre-filter. *)
+  let candidates = ref (Skyline.prune_eps_dominated ~eps data) in
+  let region = ref (Region.initial ~d) in
+  let rounds_left = ref q in
+  while !rounds_left > 0 && Dataset.size !candidates > 1 do
+    let display =
+      pick_display ~strategy ~trials ~delta ~rng !region !candidates s
+    in
+    if Array.length display >= 2 then begin
+      let values = Array.map Tuple.values display in
+      let choice = Oracle.choose oracle values in
+      let winner = values.(choice) in
+      let losers = ref [] in
+      Array.iteri (fun i v -> if i <> choice then losers := v :: !losers) values;
+      (* Line 12: cut the region; keep the old one if the answers were
+         inconsistent beyond the modeled delta (empty region admits no
+         sound inference). *)
+      let updated = Region.observe ~delta !region ~winner ~losers:!losers in
+      if not (Region.is_empty updated) then begin
+        region := updated;
+        (* Line 13: Lemma 2 pruning. *)
+        candidates := Pruning.region_prune ~anchors ~eps !region !candidates
+      end
+    end;
+    decr rounds_left
+  done;
+  {
+    output = !candidates;
+    region = !region;
+    questions_used = Oracle.questions_asked oracle - questions_before;
+  }
+
+let uh_random ?delta ?anchors ~data ~s ~q ~eps ~oracle ~rng () =
+  run ?delta ?anchors Random ~data ~s ~q ~eps ~oracle ~rng

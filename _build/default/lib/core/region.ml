@@ -1,0 +1,34 @@
+module Polytope = Indq_geom.Polytope
+module Halfspace = Indq_geom.Halfspace
+
+type t = { polytope : Polytope.t; questions : int }
+
+let initial ~d = { polytope = Polytope.simplex d; questions = 0 }
+
+let dim t = Polytope.dim t.polytope
+
+let observe ?(delta = 0.) t ~winner ~losers =
+  let cuts =
+    List.map
+      (fun loser -> Halfspace.of_preference ~delta ~winner ~loser ())
+      losers
+  in
+  match cuts with
+  | [] -> t
+  | _ ->
+    {
+      polytope = Polytope.cut_many t.polytope cuts;
+      questions = t.questions + 1;
+    }
+
+let polytope t = t.polytope
+
+let is_empty t = Polytope.is_empty t.polytope
+
+let width t = Polytope.width t.polytope
+
+let diameter t = Polytope.diameter t.polytope
+
+let center t = Polytope.center_estimate t.polytope
+
+let questions_recorded t = t.questions

@@ -1,0 +1,37 @@
+(** The feasible region [R_j] of the user's utility vector, maintained by
+    the real-points algorithms (Section V) and by UH-Random.
+
+    A thin wrapper over {!Indq_geom.Polytope} that speaks in terms of user
+    choices: {!observe} records "the user chose [winner] out of a display
+    set", adding one utility hyperplane per loser — the δ-weakened version
+    [((1+delta) winner - loser) . v >= 0] when the user may err
+    (Section VI-B). *)
+
+type t
+
+val initial : d:int -> t
+(** [R_0], the whole utility simplex (sum-normalized utilities). *)
+
+val dim : t -> int
+
+val observe : ?delta:float -> t -> winner:float array -> losers:float array list -> t
+(** Cut with the hyperplanes learned from one round.  [delta] defaults
+    to 0. *)
+
+val polytope : t -> Indq_geom.Polytope.t
+
+val is_empty : t -> bool
+(** An empty region means recorded answers were mutually inconsistent
+    (possible when a δ-erring user is processed with too small a [delta]). *)
+
+val width : t -> float
+(** MinR metric; see {!Indq_geom.Polytope.width}. *)
+
+val diameter : t -> float
+(** MinD metric; see {!Indq_geom.Polytope.diameter}. *)
+
+val center : t -> float array
+(** Representative utility estimate. *)
+
+val questions_recorded : t -> int
+(** Number of {!observe} calls that produced at least one cut. *)

@@ -1,0 +1,40 @@
+module Dataset = Indq_dataset.Dataset
+module Tuple = Indq_dataset.Tuple
+module Utility = Indq_user.Utility
+
+let optimum ~data u =
+  if Dataset.size data = 0 then invalid_arg "Regret: empty dataset";
+  let _, best = Dataset.max_utility data u in
+  if best <= 0. then invalid_arg "Regret: optimum has non-positive utility";
+  best
+
+let tuple_regret ~data u p =
+  let best = optimum ~data u in
+  1. -. (Tuple.utility p u /. best)
+
+let set_regret ~data u subset =
+  if subset = [] then invalid_arg "Regret.set_regret: empty subset";
+  let best = optimum ~data u in
+  let best_in_subset =
+    List.fold_left (fun acc p -> Float.max acc (Tuple.utility p u)) 0. subset
+  in
+  1. -. (best_in_subset /. best)
+
+let max_regret_ratio ~data ~sample_utilities subset =
+  if sample_utilities = [] then
+    invalid_arg "Regret.max_regret_ratio: no sample utilities";
+  List.fold_left
+    (fun acc u -> Float.max acc (set_regret ~data u subset))
+    0. sample_utilities
+
+let matches_indistinguishability ~eps u data =
+  let threshold = eps /. (1. +. eps) in
+  let truth = Indist.query_exact ~eps u data in
+  let in_truth = Hashtbl.create (Dataset.size truth) in
+  Array.iter (fun p -> Hashtbl.replace in_truth (Tuple.id p) ()) (Dataset.tuples truth);
+  Array.for_all
+    (fun p ->
+      let by_regret = tuple_regret ~data u p <= threshold +. 1e-12 in
+      let by_query = Hashtbl.mem in_truth (Tuple.id p) in
+      by_regret = by_query)
+    (Dataset.tuples data)

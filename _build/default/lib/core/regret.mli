@@ -1,0 +1,36 @@
+(** Regret ratios (Nanongkai et al., VLDB 2010), for Observation 2: the
+    indistinguishability set [I(f, eps)] is exactly the set of tuples whose
+    regret ratio against the optimum is at most [eps / (1 + eps)] — i.e.
+    whose utility is at least [1/(1+eps)] of the optimum. *)
+
+val tuple_regret :
+  data:Indq_dataset.Dataset.t ->
+  Indq_user.Utility.t ->
+  Indq_dataset.Tuple.t ->
+  float
+(** [1 - (u . p) / (u . p_star)]; 0 for the optimal tuple.  Raises on an empty
+    dataset or when the optimum has zero utility. *)
+
+val set_regret :
+  data:Indq_dataset.Dataset.t ->
+  Indq_user.Utility.t ->
+  Indq_dataset.Tuple.t list ->
+  float
+(** Regret ratio of a result set for a fixed utility: the regret of the best
+    tuple in the set.  Raises on an empty subset. *)
+
+val max_regret_ratio :
+  data:Indq_dataset.Dataset.t ->
+  sample_utilities:Indq_user.Utility.t list ->
+  Indq_dataset.Tuple.t list ->
+  float
+(** The maximum of {!set_regret} over a sample of utility functions — the
+    sampled version of the classic maximum regret ratio. *)
+
+val matches_indistinguishability :
+  eps:float ->
+  Indq_user.Utility.t ->
+  Indq_dataset.Dataset.t ->
+  bool
+(** Executable Observation 2: [I(f,eps)] equals the set of tuples with
+    [tuple_regret <= eps/(1+eps)] (within float tolerance). *)

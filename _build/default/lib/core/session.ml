@@ -1,0 +1,63 @@
+module Oracle = Indq_user.Oracle
+
+type state =
+  | Asking of float array array
+  | Finished of Algo.run_result
+
+(* The algorithm coroutine performs [Ask] at each question; the session
+   stores the one-shot continuation and resumes it on [answer]. *)
+type _ Effect.t += Ask : float array array -> int Effect.t
+
+type suspended =
+  | Pending of (int, state) Effect.Deep.continuation
+  | Done
+
+type t = {
+  mutable state : state;
+  mutable resume : suspended;
+  mutable questions : int;
+}
+
+let start name config ~data ~rng =
+  let session =
+    { state = Asking [||]; resume = Done; questions = 0 }
+  in
+  let oracle = Oracle.of_chooser (fun options -> Effect.perform (Ask options)) in
+  let final =
+    Effect.Deep.match_with
+      (fun () -> Algo.run name config ~data ~oracle ~rng)
+      ()
+      {
+        retc = (fun result -> Finished result);
+        exnc = raise;
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Ask options ->
+              Some
+                (fun (k : (a, state) Effect.Deep.continuation) ->
+                  session.resume <- Pending k;
+                  Asking options)
+            | _ -> None);
+      }
+  in
+  session.state <- final;
+  session
+
+let current t = t.state
+
+let questions_asked t = t.questions
+
+let result t = match t.state with Finished r -> Some r | Asking _ -> None
+
+let answer t choice =
+  match (t.state, t.resume) with
+  | Finished _, _ | _, Done ->
+    invalid_arg "Session.answer: session already finished"
+  | Asking options, Pending k ->
+    if choice < 0 || choice >= Array.length options then
+      invalid_arg "Session.answer: choice out of range";
+    t.resume <- Done;
+    t.questions <- t.questions + 1;
+    let next = Effect.Deep.continue k choice in
+    t.state <- next

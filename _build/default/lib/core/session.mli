@@ -1,0 +1,49 @@
+(** Incremental driver for building interactive front ends.
+
+    {!Algo.run} drives the whole interaction loop itself, which suits
+    simulations; a UI instead wants to {i be} the user: receive one round of
+    options, render them, send back a choice, repeat.  [Session] inverts
+    control over the unchanged, fully-tested algorithms using OCaml 5
+    effects — the algorithm runs as a coroutine that suspends at every
+    question.
+
+    {[
+      let session = Session.start Algo.Squeeze_u config ~data ~rng in
+      let rec loop () =
+        match Session.current session with
+        | Session.Asking options ->
+          let choice = render_and_ask options in
+          Session.answer session choice;
+          loop ()
+        | Session.Finished result -> result
+      in
+      loop ()
+    ]} *)
+
+type t
+
+type state =
+  | Asking of float array array
+      (** the options to show for the current question *)
+  | Finished of Algo.run_result
+
+val start :
+  Algo.name ->
+  Algo.config ->
+  data:Indq_dataset.Dataset.t ->
+  rng:Indq_util.Rng.t ->
+  t
+(** Begin a run.  The algorithm executes up to its first question (or to
+    completion if it never needs one). *)
+
+val current : t -> state
+
+val answer : t -> int -> unit
+(** Answer the pending question with the index of the chosen option.
+    Raises [Invalid_argument] if the session is finished or the index is
+    out of range for the pending options. *)
+
+val questions_asked : t -> int
+
+val result : t -> Algo.run_result option
+(** [Some] once finished. *)

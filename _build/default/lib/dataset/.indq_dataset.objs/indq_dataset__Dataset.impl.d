@@ -1,0 +1,1 @@
+lib/dataset/dataset.ml: Array Buffer Float Fun In_channel List Printf Seq String Tuple

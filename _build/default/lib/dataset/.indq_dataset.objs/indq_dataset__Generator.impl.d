@@ -1,0 +1,1 @@
+lib/dataset/generator.ml: Array Dataset Float Indq_util String

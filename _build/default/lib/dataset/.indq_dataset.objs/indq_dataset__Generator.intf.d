@@ -1,0 +1,1 @@
+lib/dataset/generator.mli: Dataset Indq_util

@@ -1,0 +1,1 @@
+lib/dataset/realistic.ml: Array Dataset Float Indq_util String

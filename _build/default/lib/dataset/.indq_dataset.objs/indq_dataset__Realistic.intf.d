@@ -1,0 +1,1 @@
+lib/dataset/realistic.mli: Dataset Indq_util

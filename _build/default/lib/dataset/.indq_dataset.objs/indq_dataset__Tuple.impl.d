@@ -1,0 +1,1 @@
+lib/dataset/tuple.ml: Array Format Indq_linalg Int

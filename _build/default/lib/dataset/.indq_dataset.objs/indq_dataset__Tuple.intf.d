@@ -1,0 +1,1 @@
+lib/dataset/tuple.mli: Format

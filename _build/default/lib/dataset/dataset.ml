@@ -1,0 +1,196 @@
+type t = { tuples : Tuple.t array; dim : int }
+
+let create rows =
+  let n = Array.length rows in
+  if n = 0 then { tuples = [||]; dim = 0 }
+  else begin
+    let d = Array.length rows.(0) in
+    if d = 0 then invalid_arg "Dataset.create: zero-dimensional rows";
+    Array.iter
+      (fun r ->
+        if Array.length r <> d then invalid_arg "Dataset.create: ragged rows")
+      rows;
+    { tuples = Array.mapi (fun i r -> Tuple.make ~id:i r) rows; dim = d }
+  end
+
+let of_tuples ~dim tuples =
+  if dim <= 0 then invalid_arg "Dataset.of_tuples: dimension must be positive";
+  List.iter
+    (fun p ->
+      if Tuple.dim p <> dim then invalid_arg "Dataset.of_tuples: dimension mismatch")
+    tuples;
+  { tuples = Array.of_list tuples; dim }
+
+let size t = Array.length t.tuples
+
+let dim t = t.dim
+
+let get t i = t.tuples.(i)
+
+let tuples t = t.tuples
+
+let to_list t = Array.to_list t.tuples
+
+let find_by_id t id = Array.find_opt (fun p -> Tuple.id p = id) t.tuples
+
+let map_values t f =
+  {
+    t with
+    tuples =
+      Array.map
+        (fun p -> Tuple.make ~id:(Tuple.id p) (f (Tuple.values p)))
+        t.tuples;
+  }
+
+let filter t keep = { t with tuples = Array.of_seq (Seq.filter keep (Array.to_seq t.tuples)) }
+
+let attribute_ranges t =
+  if size t = 0 then invalid_arg "Dataset.attribute_ranges: empty dataset";
+  Array.init t.dim (fun i ->
+      Array.fold_left
+        (fun (lo, hi) p ->
+          let x = Tuple.get p i in
+          (Float.min lo x, Float.max hi x))
+        (infinity, neg_infinity) t.tuples)
+
+let normalize_global t =
+  if size t = 0 then t
+  else begin
+    let max_value =
+      Array.fold_left
+        (fun acc p ->
+          Array.fold_left
+            (fun acc x ->
+              if x < 0. then
+                invalid_arg "Dataset.normalize_global: negative value"
+              else Float.max acc x)
+            acc (Tuple.values p))
+        0. t.tuples
+    in
+    if max_value <= 0. then t
+    else map_values t (Array.map (fun x -> x /. max_value))
+  end
+
+let normalize_per_attribute t =
+  if size t = 0 then t
+  else begin
+    let ranges = attribute_ranges t in
+    map_values t (fun values ->
+        Array.mapi
+          (fun i x ->
+            let lo, hi = ranges.(i) in
+            if hi -. lo <= 0. then 0. else (x -. lo) /. (hi -. lo))
+          values)
+  end
+
+let scale_to_unit_max t =
+  if size t = 0 then t
+  else begin
+    let ranges = attribute_ranges t in
+    Array.iter
+      (fun p ->
+        Array.iter
+          (fun x ->
+            if x < 0. then invalid_arg "Dataset.scale_to_unit_max: negative value")
+          (Tuple.values p))
+      t.tuples;
+    map_values t (fun values ->
+        Array.mapi
+          (fun i x ->
+            let _, hi = ranges.(i) in
+            if hi <= 0. then x else x /. hi)
+          values)
+  end
+
+let invert_attributes t ~smaller_is_better =
+  if Array.length smaller_is_better <> t.dim then
+    invalid_arg "Dataset.invert_attributes: flag array length mismatch";
+  if size t = 0 then t
+  else begin
+    let ranges = attribute_ranges t in
+    map_values t (fun values ->
+        Array.mapi
+          (fun i x ->
+            if smaller_is_better.(i) then snd ranges.(i) -. x else x)
+          values)
+  end
+
+let max_utility t u =
+  if size t = 0 then invalid_arg "Dataset.max_utility: empty dataset";
+  let best = ref t.tuples.(0) in
+  let best_value = ref (Tuple.utility t.tuples.(0) u) in
+  Array.iter
+    (fun p ->
+      let v = Tuple.utility p u in
+      if v > !best_value then begin
+        best := p;
+        best_value := v
+      end)
+    t.tuples;
+  (!best, !best_value)
+
+let top_k t u k =
+  let scored =
+    Array.map (fun p -> (Tuple.utility p u, p)) t.tuples
+  in
+  Array.sort
+    (fun (va, pa) (vb, pb) ->
+      match Float.compare vb va with
+      | 0 -> Tuple.compare_id pa pb
+      | c -> c)
+    scored;
+  let k = min k (Array.length scored) in
+  List.init k (fun i -> snd scored.(i))
+
+let to_csv t =
+  let buf = Buffer.create (size t * 16) in
+  Array.iter
+    (fun p ->
+      Buffer.add_string buf (string_of_int (Tuple.id p));
+      Array.iter
+        (fun x ->
+          Buffer.add_char buf ',';
+          Buffer.add_string buf (Printf.sprintf "%.17g" x))
+        (Tuple.values p);
+      Buffer.add_char buf '\n')
+    t.tuples;
+  Buffer.contents buf
+
+let of_csv text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  let parse_line line =
+    match String.split_on_char ',' line with
+    | [] | [ _ ] -> failwith "Dataset.of_csv: malformed line"
+    | id :: rest ->
+      let id =
+        try int_of_string (String.trim id)
+        with _ -> failwith "Dataset.of_csv: bad id"
+      in
+      let values =
+        List.map
+          (fun s ->
+            try float_of_string (String.trim s)
+            with _ -> failwith "Dataset.of_csv: bad value")
+          rest
+      in
+      Tuple.make ~id (Array.of_list values)
+  in
+  let parsed = List.map parse_line lines in
+  match parsed with
+  | [] -> { tuples = [||]; dim = 0 }
+  | first :: _ -> of_tuples ~dim:(Tuple.dim first) parsed
+
+let save_csv t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_csv t))
+
+let load_csv path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_csv (In_channel.input_all ic))

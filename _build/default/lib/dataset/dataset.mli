@@ -1,0 +1,85 @@
+(** An in-memory collection of tuples with the preprocessing steps the paper
+    applies before any algorithm runs (Section III):
+
+    - attributes where smaller is better are inverted by subtracting from the
+      maximum ({!invert_attributes});
+    - values are normalized so the largest value across all dimensions is 1
+      ({!normalize_global}), or per attribute into [0,1]
+      ({!normalize_per_attribute}, used when each attribute should span its
+      full range). *)
+
+type t
+
+val create : float array array -> t
+(** Rows become tuples with ids [0, 1, ...].  All rows must share one
+    positive dimension; raises [Invalid_argument] otherwise. *)
+
+val of_tuples : dim:int -> Tuple.t list -> t
+(** Keeps the given ids.  All tuples must have dimension [dim]. *)
+
+val size : t -> int
+
+val dim : t -> int
+
+val get : t -> int -> Tuple.t
+(** Positional access (not by id). *)
+
+val tuples : t -> Tuple.t array
+(** The live array — treat as read-only. *)
+
+val to_list : t -> Tuple.t list
+
+val find_by_id : t -> int -> Tuple.t option
+
+val map_values : t -> (float array -> float array) -> t
+(** Transform every tuple's values, keeping ids. *)
+
+val filter : t -> (Tuple.t -> bool) -> t
+
+val attribute_ranges : t -> (float * float) array
+(** [(min_i, max_i)] per attribute (the [m_i], [M_i] of Algorithm 1).
+    Raises [Invalid_argument] on an empty dataset. *)
+
+val normalize_global : t -> t
+(** Divide every value by the single largest value across all attributes, so
+    the maximum over the dataset is exactly 1 (paper Section III).  Values
+    must be non-negative; raises otherwise.  The empty dataset and the
+    all-zero dataset are returned unchanged. *)
+
+val normalize_per_attribute : t -> t
+(** Min-max scale each attribute into [0,1].  Constant attributes map
+    to 0.  {b Warning}: the shift by the minimum changes utility values by
+    an additive constant, so this changes which tuples are
+    eps-indistinguishable; use {!scale_to_unit_max} when the query result
+    must be preserved. *)
+
+val scale_to_unit_max : t -> t
+(** Divide each attribute by its own maximum, so every attribute tops out
+    at 1.  A pure per-attribute scaling: for any utility [u] over the
+    original data, the utility [u'_i = u_i * max_i] over the scaled data
+    gives identical tuple rankings {i and} identical indistinguishability
+    sets.  This is the practical preprocessing for Squeeze-u, whose phase-1
+    inference assumes comparable attribute ranges.  Values must be
+    non-negative; all-zero attributes are left unchanged. *)
+
+val invert_attributes : t -> smaller_is_better:bool array -> t
+(** Replace marked attributes [x] by [max_attr - x] so that bigger is always
+    better. *)
+
+val max_utility : t -> float array -> Tuple.t * float
+(** The optimal tuple [p* = argmax u . p] and its utility.  Raises
+    [Invalid_argument] on an empty dataset. *)
+
+val top_k : t -> float array -> int -> Tuple.t list
+(** The k highest-utility tuples, best first (ties by id).  [k] larger than
+    the dataset returns everything. *)
+
+val to_csv : t -> string
+(** One line per tuple: [id,v1,...,vd]. *)
+
+val of_csv : string -> t
+(** Inverse of {!to_csv}.  Raises [Failure] on malformed input. *)
+
+val save_csv : t -> string -> unit
+
+val load_csv : string -> t

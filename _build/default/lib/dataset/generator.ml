@@ -1,0 +1,68 @@
+module Rng = Indq_util.Rng
+module Floatx = Indq_util.Floatx
+
+let check_sizes ~n ~d =
+  if n < 0 then invalid_arg "Generator: negative n";
+  if d <= 0 then invalid_arg "Generator: dimension must be positive"
+
+let independent rng ~n ~d =
+  check_sizes ~n ~d;
+  Dataset.create (Array.init n (fun _ -> Array.init d (fun _ -> Rng.uniform rng)))
+
+(* Both correlated and anti-correlated follow the Borzsony et al. recipe:
+   draw an overall "quality" level, then spread the coordinates around it —
+   with small symmetric jitter for correlated data, and with value transfers
+   between pairs of dimensions (preserving the sum) for anti-correlated
+   data. *)
+
+let clamp01 = Floatx.clamp ~lo:0. ~hi:1.
+
+(* A normal deviate clipped into [0,1], redrawn until inside like the
+   original generator. *)
+let peaked rng ~mu ~sigma =
+  let rec draw attempts =
+    if attempts = 0 then clamp01 mu
+    else begin
+      let x = Rng.gaussian ~mu ~sigma rng in
+      if x >= 0. && x <= 1. then x else draw (attempts - 1)
+    end
+  in
+  draw 16
+
+let correlated rng ~n ~d =
+  check_sizes ~n ~d;
+  let row () =
+    let level = peaked rng ~mu:0.5 ~sigma:0.25 in
+    Array.init d (fun _ -> clamp01 (peaked rng ~mu:level ~sigma:0.05))
+  in
+  Dataset.create (Array.init n (fun _ -> row ()))
+
+let anti_correlated rng ~n ~d =
+  check_sizes ~n ~d;
+  let row () =
+    let level = peaked rng ~mu:0.5 ~sigma:0.12 in
+    let v = Array.make d level in
+    (* Transfer value between random coordinate pairs, keeping the sum
+       constant: this creates the negative correlation. *)
+    let transfers = 2 * d in
+    for _ = 1 to transfers do
+      let i = Rng.int rng d and j = Rng.int rng d in
+      if i <> j then begin
+        let headroom = Float.min (1. -. v.(i)) v.(j) in
+        if headroom > 0. then begin
+          let amount = Rng.float rng headroom in
+          v.(i) <- v.(i) +. amount;
+          v.(j) <- v.(j) -. amount
+        end
+      end
+    done;
+    Array.map clamp01 v
+  in
+  Dataset.create (Array.init n (fun _ -> row ()))
+
+let by_name name rng ~n ~d =
+  match String.lowercase_ascii name with
+  | "independent" | "indep" -> independent rng ~n ~d
+  | "correlated" | "corr" -> correlated rng ~n ~d
+  | "anti_correlated" | "anti-correlated" | "anti" -> anti_correlated rng ~n ~d
+  | other -> invalid_arg ("Generator.by_name: unknown distribution " ^ other)

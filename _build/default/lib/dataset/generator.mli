@@ -1,0 +1,21 @@
+(** Synthetic workload generators.
+
+    Reimplementation of the classic skyline-benchmark generator of Borzsony,
+    Kossmann and Stocker (ICDE 2001), which the paper uses for its synthetic
+    experiments — in particular the {b anti-correlated} distribution, whose
+    large skylines stress-test the algorithms (Figures 6 and 7). *)
+
+val independent : Indq_util.Rng.t -> n:int -> d:int -> Dataset.t
+(** Uniform i.i.d. values in [0,1]^d. *)
+
+val correlated : Indq_util.Rng.t -> n:int -> d:int -> Dataset.t
+(** Points concentrated around the main diagonal: a point that is good in
+    one dimension tends to be good in the others.  Tiny skylines. *)
+
+val anti_correlated : Indq_util.Rng.t -> n:int -> d:int -> Dataset.t
+(** Points concentrated around the hyperplane [sum x_i = d/2]: a point good
+    in one dimension tends to be bad in the others.  Large skylines. *)
+
+val by_name : string -> Indq_util.Rng.t -> n:int -> d:int -> Dataset.t
+(** ["independent" | "correlated" | "anti_correlated"] (also accepts
+    ["anti-correlated"]).  Raises [Invalid_argument] on unknown names. *)

@@ -1,0 +1,94 @@
+module Rng = Indq_util.Rng
+module Floatx = Indq_util.Floatx
+
+let clamp01 = Floatx.clamp ~lo:0. ~hi:1.
+
+let island ?(n = 63383) rng =
+  if n < 0 then invalid_arg "Realistic.island: negative n";
+  (* Coastal geography: a dominant outer "shoreline" — a noisy quarter-circle
+     arc around the origin, whose points are mutually non-dominated — plus
+     inland arcs and background scatter.  The dense convex frontier is what
+     makes the real Island data set stress the real-points algorithms: the
+     (1+eps)-skyline stays in the thousands, exactly the regime of the
+     paper's Table III. *)
+  let inland_arc_count = 5 in
+  let inland_arcs =
+    Array.init inland_arc_count (fun _ ->
+        let cx = Rng.in_range rng 0.2 0.7
+        and cy = Rng.in_range rng 0.2 0.7
+        and radius = Rng.in_range rng 0.1 0.4
+        and angle0 = Rng.float rng (2. *. Float.pi)
+        and sweep = Rng.in_range rng 0.8 2.5 in
+        (cx, cy, radius, angle0, sweep))
+  in
+  let row () =
+    let kind = Rng.uniform rng in
+    if kind < 0.25 then begin
+      (* Shoreline band: radius within a few percent of the coast. *)
+      let angle = Rng.float rng (Float.pi /. 2.) in
+      let radius = 0.97 -. Rng.exponential ~rate:40. rng in
+      let noise () = Rng.gaussian ~sigma:0.004 rng in
+      [|
+        clamp01 ((radius *. cos angle) +. noise ());
+        clamp01 ((radius *. sin angle) +. noise ());
+      |]
+    end
+    else if kind < 0.35 then [| Rng.uniform rng; Rng.uniform rng |]
+    else begin
+      let cx, cy, radius, angle0, sweep = Rng.choose rng inland_arcs in
+      let angle = angle0 +. Rng.float rng sweep in
+      let noise () = Rng.gaussian ~sigma:0.012 rng in
+      [|
+        clamp01 (cx +. (radius *. cos angle) +. noise ());
+        clamp01 (cy +. (radius *. sin angle) +. noise ());
+      |]
+    end
+  in
+  Dataset.normalize_global (Dataset.create (Array.init n (fun _ -> row ())))
+
+let nba ?(n = 21961) rng =
+  if n < 0 then invalid_arg "Realistic.nba: negative n";
+  (* Latent skill drives all four stats; exponent skews the marginals the
+     way season totals are skewed (many journeymen, few superstars). *)
+  let row () =
+    let skill = Rng.uniform rng ** 1.7 in
+    let stat weight sigma =
+      let x = (weight *. skill) +. Rng.gaussian ~sigma rng in
+      Float.max 0. x
+    in
+    [| stat 1.0 0.12; stat 0.8 0.15; stat 0.7 0.18; stat 0.5 0.20 |]
+  in
+  Dataset.normalize_global (Dataset.create (Array.init n (fun _ -> row ())))
+
+let house ?(n = 12793) rng =
+  if n < 0 then invalid_arg "Realistic.house: negative n";
+  (* Six spending categories: a shared household-size factor plus per-
+     category log-normal variation.  Spending is a cost, so we invert after
+     generation; inversion turns the positive correlation into the mild
+     anti-correlation that gives House its large skyline. *)
+  let d = 6 in
+  let row () =
+    let household = Rng.gaussian ~mu:0.0 ~sigma:0.55 rng in
+    Array.init d (fun i ->
+        let category_scale = 0.5 +. (0.12 *. float_of_int i) in
+        let ln = household +. Rng.gaussian ~mu:0.0 ~sigma:0.35 rng in
+        category_scale *. exp ln)
+  in
+  let raw = Dataset.create (Array.init n (fun _ -> row ())) in
+  let inverted =
+    Dataset.invert_attributes raw ~smaller_is_better:(Array.make d true)
+  in
+  Dataset.normalize_global inverted
+
+let default_size = function
+  | "island" -> 63383
+  | "nba" -> 21961
+  | "house" -> 12793
+  | other -> invalid_arg ("Realistic.default_size: unknown data set " ^ other)
+
+let by_name name ?n rng =
+  match String.lowercase_ascii name with
+  | "island" -> island ?n rng
+  | "nba" -> nba ?n rng
+  | "house" -> house ?n rng
+  | other -> invalid_arg ("Realistic.by_name: unknown data set " ^ other)

@@ -1,0 +1,30 @@
+(** Simulated stand-ins for the paper's three real data sets.
+
+    The originals (Island: 63,383 2-D geographic coordinates; NBA: 21,961
+    4-D player/season records; House: 12,793 6-D household utility spends)
+    are not available in this sealed environment, so we synthesize data sets
+    with the same dimensionality, cardinality and correlation structure —
+    the properties the algorithms actually interact with.  See DESIGN.md
+    ("Substitutions") for the full rationale.  All outputs are normalized so
+    the largest value is 1, exactly as the paper normalizes its inputs. *)
+
+val island : ?n:int -> Indq_util.Rng.t -> Dataset.t
+(** 2-D point cloud shaped like coastal arcs: a mixture of noisy circular
+    arc segments plus background scatter.  Default [n = 63383]. *)
+
+val nba : ?n:int -> Indq_util.Rng.t -> Dataset.t
+(** 4-D positively correlated, right-skewed "player stats": a latent skill
+    level drives four noisy per-stat outputs (think points, rebounds,
+    assists, steals per season).  Default [n = 21961]. *)
+
+val house : ?n:int -> Indq_util.Rng.t -> Dataset.t
+(** 6-D household spending: correlated log-normal expenses, inverted so
+    bigger is better (the paper inverts smaller-is-better attributes), which
+    yields a mildly anti-correlated data set with a large skyline.
+    Default [n = 12793]. *)
+
+val by_name : string -> ?n:int -> Indq_util.Rng.t -> Dataset.t
+(** ["island" | "nba" | "house"].  Raises [Invalid_argument] otherwise. *)
+
+val default_size : string -> int
+(** The paper's cardinality for a data-set name. *)

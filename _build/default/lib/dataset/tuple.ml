@@ -1,0 +1,20 @@
+type t = { id : int; values : float array }
+
+let make ~id values = { id; values = Array.copy values }
+
+let id t = t.id
+
+let values t = t.values
+
+let get t i = t.values.(i)
+
+let dim t = Array.length t.values
+
+let utility t u = Indq_linalg.Vec.dot t.values u
+
+let equal_id a b = a.id = b.id
+
+let compare_id a b = Int.compare a.id b.id
+
+let pp ppf t =
+  Format.fprintf ppf "#%d%a" t.id Indq_linalg.Vec.pp t.values

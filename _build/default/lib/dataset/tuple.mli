@@ -1,0 +1,28 @@
+(** A database tuple: a stable identifier plus the user-selected attribute
+    values (the [d] dimensions of Section III).
+
+    Identifiers survive normalization, pruning and skyline filtering, so a
+    query result can always be traced back to the original row. *)
+
+type t = { id : int; values : float array }
+
+val make : id:int -> float array -> t
+(** Copies the value array. *)
+
+val id : t -> int
+
+val values : t -> float array
+(** The live array — do not mutate.  Use {!get} for single coordinates. *)
+
+val get : t -> int -> float
+
+val dim : t -> int
+
+val utility : t -> float array -> float
+(** [utility p u] is the linear utility [u . p] (Section III). *)
+
+val equal_id : t -> t -> bool
+
+val compare_id : t -> t -> int
+
+val pp : Format.formatter -> t -> unit

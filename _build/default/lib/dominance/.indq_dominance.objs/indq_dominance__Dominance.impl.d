@@ -1,0 +1,1 @@
+lib/dominance/dominance.ml: Array Indq_dataset

@@ -1,0 +1,1 @@
+lib/dominance/dominance.mli: Indq_dataset

@@ -1,0 +1,1 @@
+lib/dominance/skyline.ml: Array Dominance Float Fun Hashtbl Indq_dataset Indq_linalg Indq_rtree List

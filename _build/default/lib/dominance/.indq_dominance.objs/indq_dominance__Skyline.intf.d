@@ -1,0 +1,1 @@
+lib/dominance/skyline.mli: Indq_dataset

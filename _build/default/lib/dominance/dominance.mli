@@ -1,0 +1,22 @@
+(** Dominance predicates (Definitions 4–5 of the paper).
+
+    A tuple [a] dominates [b] when it is at least as good in every attribute
+    and strictly better in at least one.  For [c >= 1], [a] {i c-dominates}
+    [b] when [a] dominates the scaled tuple [c * b]; Observation 3 shows a
+    tuple that is [(1+eps)]-dominated can never be in the
+    indistinguishability set, which is the pre-processing filter all
+    algorithms apply. *)
+
+val dominates : float array -> float array -> bool
+(** [dominates a b]: [a_i >= b_i] for all [i] and [a_i > b_i] for some [i]. *)
+
+val c_dominates : c:float -> float array -> float array -> bool
+(** [c_dominates ~c a b] is [dominates a (c * b)].  Requires [c >= 1]. *)
+
+val dominates_tuple : Indq_dataset.Tuple.t -> Indq_dataset.Tuple.t -> bool
+
+val c_dominates_tuple :
+  c:float -> Indq_dataset.Tuple.t -> Indq_dataset.Tuple.t -> bool
+
+val incomparable : float array -> float array -> bool
+(** Neither dominates the other. *)

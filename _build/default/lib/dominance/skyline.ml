@@ -1,0 +1,158 @@
+module Dataset = Indq_dataset.Dataset
+module Tuple = Indq_dataset.Tuple
+module Vec = Indq_linalg.Vec
+
+let c_skyline_bnl ~c data =
+  if c < 1. then invalid_arg "Skyline.c_skyline_bnl: c must be >= 1";
+  Dataset.filter data (fun p ->
+      not
+        (Array.exists
+           (fun q ->
+             Tuple.id q <> Tuple.id p && Dominance.c_dominates_tuple ~c q p)
+           (Dataset.tuples data)))
+
+let c_skyline_sfs ~c data =
+  if c < 1. then invalid_arg "Skyline.c_skyline_sfs: c must be >= 1";
+  let n = Dataset.size data in
+  if n = 0 then data
+  else begin
+    (* Sort by decreasing coordinate sum: any c-dominator (c >= 1, data
+       >= 0) has a strictly larger sum, so one window pass suffices. *)
+    let scored =
+      Array.map (fun p -> (Vec.sum (Tuple.values p), p)) (Dataset.tuples data)
+    in
+    Array.sort
+      (fun (sa, pa) (sb, pb) ->
+        match Float.compare sb sa with
+        | 0 -> Tuple.compare_id pa pb
+        | cmp -> cmp)
+      scored;
+    let window = ref [] in
+    Array.iter
+      (fun (_, p) ->
+        let dominated =
+          List.exists (fun q -> Dominance.c_dominates_tuple ~c q p) !window
+        in
+        if not dominated then window := p :: !window)
+      scored;
+    (* Restore the original dataset order for stable downstream behaviour. *)
+    let keep = Hashtbl.create (List.length !window) in
+    List.iter (fun p -> Hashtbl.replace keep (Tuple.id p) ()) !window;
+    Dataset.filter data (fun p -> Hashtbl.mem keep (Tuple.id p))
+  end
+
+(* Plane sweep for d = 2.  A point p is c-dominated iff some q satisfies
+   [q.x >= c p.x && q.y > c p.y] or [q.x > c p.x && q.y >= c p.y]; with the
+   points sorted by decreasing x, both existential tests become prefix
+   queries answered by a prefix-maximum of y. *)
+let c_skyline_sweep_2d ~c data =
+  if c < 1. then invalid_arg "Skyline.c_skyline_sweep_2d: c must be >= 1";
+  if Dataset.size data > 0 && Dataset.dim data <> 2 then
+    invalid_arg "Skyline.c_skyline_sweep_2d: data must be 2-dimensional";
+  let n = Dataset.size data in
+  if n = 0 then data
+  else begin
+    let pts = Array.map Tuple.values (Dataset.tuples data) in
+    let order = Array.init n Fun.id in
+    Array.sort
+      (fun i j -> Float.compare pts.(j).(0) pts.(i).(0))
+      order;
+    (* xs sorted descending; prefix_max_y.(k) = max y among the first k. *)
+    let xs = Array.map (fun i -> pts.(i).(0)) order in
+    let prefix_max_y = Array.make (n + 1) neg_infinity in
+    Array.iteri
+      (fun k i ->
+        prefix_max_y.(k + 1) <- Float.max prefix_max_y.(k) pts.(i).(1))
+      order;
+    (* Count of leading entries with x >= bound (weak) or x > bound
+       (strict), by binary search on the descending xs. *)
+    let count_with ~strict bound =
+      let keep x = if strict then x > bound else x >= bound in
+      let lo = ref 0 and hi = ref n in
+      (* invariant: all indices < lo satisfy keep, all >= hi do not *)
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if keep xs.(mid) then lo := mid + 1 else hi := mid
+      done;
+      !lo
+    in
+    let dominated p =
+      let cx = c *. p.(0) and cy = c *. p.(1) in
+      let weak = count_with ~strict:false cx in
+      let strict = count_with ~strict:true cx in
+      prefix_max_y.(weak) > cy || prefix_max_y.(strict) >= cy
+    in
+    Dataset.filter data (fun p -> not (dominated (Tuple.values p)))
+  end
+
+let c_skyline_rtree ~c data =
+  if c < 1. then invalid_arg "Skyline.c_skyline_rtree: c must be >= 1";
+  let n = Dataset.size data in
+  if n = 0 then data
+  else begin
+    let d = Dataset.dim data in
+    let tree = Indq_rtree.Rtree.create ~dim:d () in
+    (* Upper corner of the data, for the dominance query boxes. *)
+    let upper = Array.make d neg_infinity in
+    Array.iter
+      (fun p ->
+        let v = Tuple.values p in
+        for i = 0 to d - 1 do
+          if v.(i) > upper.(i) then upper.(i) <- v.(i)
+        done;
+        Indq_rtree.Rtree.insert_point tree v p)
+      (Dataset.tuples data);
+    let dominated p =
+      let v = Tuple.values p in
+      let corner = Array.map (fun x -> c *. x) v in
+      (* Outside the data envelope, nothing can c-dominate. *)
+      if Array.exists2 (fun cx ux -> cx > ux) corner upper then false
+      else begin
+        let query = Indq_rtree.Rect.above_corner corner ~upper in
+        Indq_rtree.Rtree.exists_overlapping tree query ~f:(fun _ q ->
+            Tuple.id q <> Tuple.id p && Dominance.c_dominates_tuple ~c q p)
+      end
+    in
+    Dataset.filter data (fun p -> not (dominated p))
+  end
+
+(* Dispatch: the 2-D sweep is always best for d = 2; the SFS window pass
+   wins while the c-skyline is small, but on data whose c-skyline grows
+   with n (anti-correlated) it degenerates to O(n * |skyline|), so large
+   inputs go to the R-tree variant instead. *)
+let c_skyline ~c data =
+  if Dataset.size data > 0 && Dataset.dim data = 2 then
+    c_skyline_sweep_2d ~c data
+  else if Dataset.size data > 50_000 then c_skyline_rtree ~c data
+  else c_skyline_sfs ~c data
+
+let skyline data = c_skyline ~c:1. data
+
+let prune_eps_dominated ~eps data =
+  if eps < 0. then invalid_arg "Skyline.prune_eps_dominated: negative eps";
+  c_skyline ~c:(1. +. eps) data
+
+let is_dominated_by_any data p =
+  Array.exists
+    (fun q -> Tuple.id q <> Tuple.id p && Dominance.dominates_tuple q p)
+    (Dataset.tuples data)
+
+let dominance_counts data =
+  let tuples = Dataset.tuples data in
+  Array.map
+    (fun p ->
+      Array.fold_left
+        (fun acc q ->
+          if Tuple.id q <> Tuple.id p && Dominance.dominates_tuple q p then
+            acc + 1
+          else acc)
+        0 tuples)
+    tuples
+
+let k_skyband ~k data =
+  if k < 1 then invalid_arg "Skyline.k_skyband: k must be >= 1";
+  let counts = dominance_counts data in
+  let index = ref (-1) in
+  Dataset.filter data (fun _ ->
+      incr index;
+      counts.(!index) < k)

@@ -1,0 +1,55 @@
+(** Skyline (Pareto-optimal subset) and c-skyline operators.
+
+    The c-skyline (Definition 5) keeps every tuple not c-dominated by
+    another; with [c = 1 + eps] it is exactly the pre-processing filter of
+    Observation 3 (Line 1 of Algorithms 1–3).  Two algorithms are provided:
+    block-nested-loops (the obviously correct baseline, used as ground truth
+    in tests) and sort-filter-skyline (sort by coordinate sum, single
+    window pass), which is the default. *)
+
+val skyline : Indq_dataset.Dataset.t -> Indq_dataset.Dataset.t
+(** The classic skyline ([c = 1]), via {!c_skyline_sfs}. *)
+
+val c_skyline : c:float -> Indq_dataset.Dataset.t -> Indq_dataset.Dataset.t
+(** Default algorithm (SFS).  Requires [c >= 1]. *)
+
+val c_skyline_bnl : c:float -> Indq_dataset.Dataset.t -> Indq_dataset.Dataset.t
+(** Block-nested-loops: compares every pair.  O(n² d) — small inputs and
+    tests only. *)
+
+val c_skyline_sfs : c:float -> Indq_dataset.Dataset.t -> Indq_dataset.Dataset.t
+(** Sort-filter-skyline: tuples sorted by decreasing coordinate sum can only
+    be c-dominated by earlier window entries (valid for any [c >= 1] because
+    [c]-domination implies plain domination on normalized non-negative
+    data). *)
+
+val c_skyline_sweep_2d :
+  c:float -> Indq_dataset.Dataset.t -> Indq_dataset.Dataset.t
+(** O(n log n) plane-sweep for [d = 2]: sort by the first coordinate, use
+    prefix maxima of the second to answer each c-domination test in
+    O(log n).  Raises [Invalid_argument] unless the data is 2-dimensional.
+    {!c_skyline} dispatches here automatically for 2-D inputs. *)
+
+val c_skyline_rtree :
+  c:float -> Indq_dataset.Dataset.t -> Indq_dataset.Dataset.t
+(** Index-assisted variant (Section V-A mentions R-tree pruning): every
+    c-domination test becomes an early-exit rectangle query
+    [\[c * p, upper\]] against an R-tree of the data.  Best when the
+    c-skyline is small relative to [n]; compared against the other variants
+    in the ablation bench. *)
+
+val prune_eps_dominated : eps:float -> Indq_dataset.Dataset.t -> Indq_dataset.Dataset.t
+(** Observation 3 filter: [c_skyline ~c:(1 +. eps)]. *)
+
+val is_dominated_by_any : Indq_dataset.Dataset.t -> Indq_dataset.Tuple.t -> bool
+(** Whether any {i other} tuple (different id) dominates the given one. *)
+
+val k_skyband : k:int -> Indq_dataset.Dataset.t -> Indq_dataset.Dataset.t
+(** The k-skyband: tuples dominated by fewer than [k] others ([k = 1] is
+    the skyline).  Related work the paper contrasts against; useful as a
+    non-interactive baseline that, like the indistinguishability query,
+    retains some dominated tuples.  O(n²d).  Requires [k >= 1]. *)
+
+val dominance_counts : Indq_dataset.Dataset.t -> int array
+(** For each tuple (positional order), how many other tuples dominate it.
+    0 exactly for skyline members. *)

@@ -1,0 +1,1 @@
+lib/experiments/experiments.ml: Array Hashtbl Indq_core Indq_dataset Indq_user Indq_util List Printf

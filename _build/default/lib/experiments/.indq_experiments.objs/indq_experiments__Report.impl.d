@@ -1,0 +1,1 @@
+lib/experiments/report.ml: Array Experiments Float Indq_core Indq_util List Printf

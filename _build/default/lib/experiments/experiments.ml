@@ -1,0 +1,262 @@
+module Algo = Indq_core.Algo
+module Indist = Indq_core.Indist
+module Dataset = Indq_dataset.Dataset
+module Realistic = Indq_dataset.Realistic
+module Generator = Indq_dataset.Generator
+module Utility = Indq_user.Utility
+module Oracle = Indq_user.Oracle
+module Rng = Indq_util.Rng
+module Stats = Indq_util.Stats
+
+type dataset_kind = Island_like | Nba_like | House_like
+
+let dataset_name = function
+  | Island_like -> "Island"
+  | Nba_like -> "NBA"
+  | House_like -> "House"
+
+let scaled_size ~scale full = max 500 (int_of_float (scale *. float_of_int full))
+
+let load ?(scale = 1.) ~seed kind =
+  if scale <= 0. || scale > 1. then invalid_arg "Experiments.load: scale in (0,1]";
+  let rng = Rng.create seed in
+  match kind with
+  | Island_like -> Realistic.island ~n:(scaled_size ~scale 63383) rng
+  | Nba_like -> Realistic.nba ~n:(scaled_size ~scale 21961) rng
+  | House_like -> Realistic.house ~n:(scaled_size ~scale 12793) rng
+
+type cell = {
+  alpha_mean : float;
+  alpha_sd : float;
+  time_mean : float;
+  output_size_mean : float;
+  false_negative_runs : int;
+}
+
+type sweep = {
+  title : string;
+  x_label : string;
+  x_values : float list;
+  algorithms : Algo.name list;
+  cells : cell array array;
+}
+
+(* One (dataset, config, algorithm) measurement averaged over [utilities]
+   random users.  The user's true error is [user_delta]; the algorithm's
+   modeled delta is [config.delta]. *)
+let measure ~utilities ~user_delta ~seed name data (config : Algo.config) =
+  let d = Dataset.dim data in
+  let alphas = Array.make utilities 0. in
+  let times = Array.make utilities 0. in
+  let sizes = Array.make utilities 0. in
+  let false_negatives = ref 0 in
+  for trial = 0 to utilities - 1 do
+    let rng = Rng.create ((seed * 7919) + (trial * 104729) + Hashtbl.hash name) in
+    let u = Utility.random rng ~d in
+    let oracle =
+      if user_delta > 0. then
+        Oracle.with_error ~delta:user_delta ~rng:(Rng.split rng) u
+      else Oracle.exact u
+    in
+    let result = Algo.run name config ~data ~oracle ~rng:(Rng.split rng) in
+    alphas.(trial) <-
+      Indist.alpha ~eps:config.Algo.eps u ~data ~output:result.Algo.output;
+    times.(trial) <- result.Algo.seconds;
+    sizes.(trial) <- float_of_int (Dataset.size result.Algo.output);
+    if
+      Indist.has_false_negatives ~eps:config.Algo.eps u ~data
+        ~output:result.Algo.output
+    then incr false_negatives
+  done;
+  {
+    alpha_mean = Stats.mean alphas;
+    alpha_sd = Stats.stddev alphas;
+    time_mean = Stats.mean times;
+    output_size_mean = Stats.mean sizes;
+    false_negative_runs = !false_negatives;
+  }
+
+let run_sweep ~title ~x_label ~algorithms ~points ~utilities ~user_delta ~seed =
+  if utilities < 1 then invalid_arg "Experiments.run_sweep: utilities < 1";
+  let cells =
+    List.mapi
+      (fun xi (_, data, config) ->
+        Array.of_list
+          (List.map
+             (fun name ->
+               measure ~utilities ~user_delta ~seed:(seed + (xi * 31)) name data
+                 config)
+             algorithms))
+      points
+    |> Array.of_list
+  in
+  {
+    title;
+    x_label;
+    x_values = List.map (fun (x, _, _) -> x) points;
+    algorithms;
+    cells;
+  }
+
+let default_utilities = 10
+
+let paper_config ~d = Algo.default_config ~d
+
+(* --- Fig. 1: vary T (MinR / MinD on NBA) --- *)
+
+let fig1 ?(utilities = default_utilities) ?(scale = 1.) ~seed () =
+  let data = load ~scale ~seed Nba_like in
+  let d = Dataset.dim data in
+  let points =
+    List.map
+      (fun t ->
+        (float_of_int t, data, { (paper_config ~d) with Algo.trials = t }))
+      [ 1; 5; 10; 20; 50; 100 ]
+  in
+  run_sweep ~title:"Fig 1: varying T on NBA (q=3d, s=d, eps=0.05, delta=0)"
+    ~x_label:"T" ~algorithms:[ Algo.MinD; Algo.MinR ] ~points ~utilities
+    ~user_delta:0. ~seed
+
+(* --- Fig. 2: vary q --- *)
+
+let fig2 ?(utilities = default_utilities) ?(scale = 1.) ~seed kind =
+  let data = load ~scale ~seed kind in
+  let d = Dataset.dim data in
+  let points =
+    List.map
+      (fun q -> (float_of_int q, data, { (paper_config ~d) with Algo.q }))
+      (List.init 6 (fun i -> (i + 1) * d))
+  in
+  run_sweep
+    ~title:
+      (Printf.sprintf "Fig 2 (%s): varying questions q (s=d, eps=0.05, delta=0)"
+         (dataset_name kind))
+    ~x_label:"q" ~algorithms:Algo.all ~points ~utilities ~user_delta:0. ~seed
+
+(* --- Fig. 3: vary s --- *)
+
+let fig3 ?(utilities = default_utilities) ?(scale = 1.) ~seed kind =
+  let data = load ~scale ~seed kind in
+  let d = Dataset.dim data in
+  let points =
+    List.map
+      (fun s -> (float_of_int s, data, { (paper_config ~d) with Algo.s }))
+      (List.init (max 1 ((2 * d) - 1)) (fun i -> i + 2))
+  in
+  run_sweep
+    ~title:
+      (Printf.sprintf "Fig 3 (%s): varying display size s (q=3d, eps=0.05, delta=0)"
+         (dataset_name kind))
+    ~x_label:"s" ~algorithms:Algo.all ~points ~utilities ~user_delta:0. ~seed
+
+(* --- Fig. 4: vary eps --- *)
+
+let fig4 ?(utilities = default_utilities) ?(scale = 1.) ~seed kind =
+  let data = load ~scale ~seed kind in
+  let d = Dataset.dim data in
+  let points =
+    List.map
+      (fun eps -> (eps, data, { (paper_config ~d) with Algo.eps }))
+      [ 0.001; 0.005; 0.01; 0.05; 0.1 ]
+  in
+  run_sweep
+    ~title:
+      (Printf.sprintf "Fig 4 (%s): varying eps (s=d, q=3d, delta=0), log-x"
+         (dataset_name kind))
+    ~x_label:"eps" ~algorithms:Algo.all ~points ~utilities ~user_delta:0. ~seed
+
+(* --- Fig. 5: vary delta --- *)
+
+let fig5 ?(utilities = default_utilities) ?(scale = 1.) ~seed kind =
+  let data = load ~scale ~seed kind in
+  let d = Dataset.dim data in
+  let deltas = [ 0.001; 0.005; 0.01; 0.05; 0.1 ] in
+  (* The user really errs by delta and the algorithms model the same
+     delta (the paper sets delta = eps-style symmetric defaults). *)
+  let sweeps =
+    List.map
+      (fun delta ->
+        let config = { (paper_config ~d) with Algo.delta } in
+        let points = [ (delta, data, config) ] in
+        run_sweep ~title:"" ~x_label:"delta" ~algorithms:Algo.all ~points
+          ~utilities ~user_delta:delta ~seed)
+      deltas
+  in
+  {
+    title =
+      Printf.sprintf "Fig 5 (%s): varying delta (s=d, q=3d, eps=0.05), log-x"
+        (dataset_name kind);
+    x_label = "delta";
+    x_values = deltas;
+    algorithms = Algo.all;
+    cells = Array.concat (List.map (fun s -> s.cells) sweeps);
+  }
+
+(* --- Tables III / IV: running times --- *)
+
+let time_table ~title ~utilities ~scale ~seed ~delta =
+  let kinds = [ Island_like; Nba_like; House_like ] in
+  let sweeps =
+    List.mapi
+      (fun i kind ->
+        let data = load ~scale ~seed:(seed + i) kind in
+        let d = Dataset.dim data in
+        let config = { (paper_config ~d) with Algo.delta } in
+        run_sweep ~title:"" ~x_label:"dataset" ~algorithms:Algo.all
+          ~points:[ (float_of_int i, data, config) ]
+          ~utilities ~user_delta:delta ~seed)
+      kinds
+  in
+  {
+    title;
+    x_label = "dataset";
+    x_values = List.mapi (fun i _ -> float_of_int i) kinds;
+    algorithms = Algo.all;
+    cells = Array.concat (List.map (fun s -> s.cells) sweeps);
+  }
+
+let tab3 ?(utilities = default_utilities) ?(scale = 1.) ~seed () =
+  time_table
+    ~title:"Table III: running time (s), eps=0.05, delta=0, s=d, q=3d"
+    ~utilities ~scale ~seed ~delta:0.
+
+let tab4 ?(utilities = default_utilities) ?(scale = 1.) ~seed () =
+  time_table
+    ~title:"Table IV: running time (s), eps=delta=0.05, s=d, q=3d" ~utilities
+    ~scale ~seed ~delta:0.05
+
+(* --- Fig. 6: scalability in n (anti-correlated, d = 3) --- *)
+
+let fig6 ?(utilities = default_utilities) ?(max_n = 1_000_000) ~seed () =
+  let d = 3 in
+  let sizes = List.filter (fun n -> n <= max_n) [ 1_000; 10_000; 100_000; 1_000_000 ] in
+  let config = { (paper_config ~d) with Algo.delta = 0.05 } in
+  let points =
+    List.map
+      (fun n ->
+        let rng = Rng.create (seed + n) in
+        (float_of_int n, Generator.anti_correlated rng ~n ~d, config))
+      sizes
+  in
+  run_sweep
+    ~title:"Fig 6: anti-correlated, varying n (s=d=3, q=9, eps=delta=0.05)"
+    ~x_label:"n" ~algorithms:Algo.all ~points ~utilities ~user_delta:0.05 ~seed
+
+(* --- Fig. 7: scalability in d (anti-correlated, n = 10000) --- *)
+
+let fig7 ?(utilities = default_utilities) ?(n = 10_000) ~seed () =
+  let dims = [ 2; 3; 4; 5; 6 ] in
+  let points =
+    List.map
+      (fun d ->
+        let rng = Rng.create (seed + d) in
+        let config =
+          { (paper_config ~d) with Algo.s = 6; q = 18; delta = 0.05 }
+        in
+        (float_of_int d, Generator.anti_correlated rng ~n ~d, config))
+      dims
+  in
+  run_sweep
+    ~title:
+      "Fig 7: anti-correlated, varying d (n=10000, s=6, q=18, eps=delta=0.05)"
+    ~x_label:"d" ~algorithms:Algo.all ~points ~utilities ~user_delta:0.05 ~seed

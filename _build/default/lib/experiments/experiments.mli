@@ -1,0 +1,86 @@
+(** The evaluation harness: one generator per figure/table of Section VII.
+
+    Every experiment follows the paper's protocol: draw [utilities]
+    independent random linear utility functions (default 10), run each
+    algorithm against a fresh simulated user per utility, and report the
+    mean approximation value α (Definition 3) and the mean wall-clock
+    seconds.  Defaults mirror the paper: [eps = delta = 0.05], [s = d],
+    [q = 3d], [T = 10].
+
+    A [scale] in (0, 1] shrinks the data-set cardinalities proportionally
+    (minimum 500 tuples) so the whole suite can be smoke-tested quickly;
+    [scale = 1.] reproduces the paper's sizes. *)
+
+type dataset_kind = Island_like | Nba_like | House_like
+
+val dataset_name : dataset_kind -> string
+(** ["Island"], ["NBA"], ["House"] — paper labels (our data is simulated;
+    see DESIGN.md). *)
+
+val load : ?scale:float -> seed:int -> dataset_kind -> Indq_dataset.Dataset.t
+
+type cell = {
+  alpha_mean : float;
+  alpha_sd : float;
+  time_mean : float;  (** seconds per run *)
+  output_size_mean : float;
+  false_negative_runs : int;
+      (** runs in which the output missed a tuple of the exact [I];
+          0 in every sound configuration *)
+}
+
+type sweep = {
+  title : string;
+  x_label : string;
+  x_values : float list;
+  algorithms : Indq_core.Algo.name list;
+  cells : cell array array;  (** [cells.(xi).(algo)] *)
+}
+
+val run_sweep :
+  title:string ->
+  x_label:string ->
+  algorithms:Indq_core.Algo.name list ->
+  points:(float * Indq_dataset.Dataset.t * Indq_core.Algo.config) list ->
+  utilities:int ->
+  user_delta:float ->
+  seed:int ->
+  sweep
+(** The generic engine: for each (x, data, config) point, average over
+    [utilities] random users.  [user_delta] is the {i simulated} user's
+    true error; the algorithms' update rules use [config.delta]. *)
+
+(* Paper experiments.  [utilities] defaults to 10, [scale] to 1. *)
+
+val fig1 : ?utilities:int -> ?scale:float -> seed:int -> unit -> sweep
+(** Fig. 1: vary [T] in {1,5,10,20,50,100} for MinR/MinD on NBA
+    ([q = 3d], [s = d], [eps = 0.05], [delta = 0]). *)
+
+val fig2 : ?utilities:int -> ?scale:float -> seed:int -> dataset_kind -> sweep
+(** Fig. 2: vary the number of questions [q] in {d..6d} ([s = d],
+    [eps = 0.05], [delta = 0]). *)
+
+val fig3 : ?utilities:int -> ?scale:float -> seed:int -> dataset_kind -> sweep
+(** Fig. 3: vary the display size [s] in {2..2d} ([q = 3d]). *)
+
+val fig4 : ?utilities:int -> ?scale:float -> seed:int -> dataset_kind -> sweep
+(** Fig. 4: vary [eps] in {0.001, 0.005, 0.01, 0.05, 0.1} (log x-axis). *)
+
+val fig5 : ?utilities:int -> ?scale:float -> seed:int -> dataset_kind -> sweep
+(** Fig. 5: vary user error [delta] in {0.001, 0.005, 0.01, 0.05, 0.1}
+    with [eps = 0.05]; algorithms run their δ-aware variants. *)
+
+val tab3 : ?utilities:int -> ?scale:float -> seed:int -> unit -> sweep
+(** Table III: running time per algorithm per data set, [delta = 0]. *)
+
+val tab4 : ?utilities:int -> ?scale:float -> seed:int -> unit -> sweep
+(** Table IV: running time with user error, [eps = delta = 0.05]. *)
+
+val fig6 : ?utilities:int -> ?max_n:int -> seed:int -> unit -> sweep
+(** Fig. 6: anti-correlated, [d = 3], vary [n] in {1k, 10k, 100k, 1M}
+    ([s = d = 3], [q = 9], [eps = delta = 0.05]).  [max_n] caps the sweep
+    (default 1_000_000). *)
+
+val fig7 : ?utilities:int -> ?n:int -> seed:int -> unit -> sweep
+(** Fig. 7: anti-correlated, [n = 10000], vary [d] in {2..6}
+    ([s = 6], [q = 18], [eps = delta = 0.05] — the caption's settings). *)

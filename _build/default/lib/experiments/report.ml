@@ -1,0 +1,74 @@
+module Tabulate = Indq_util.Tabulate
+module Algo = Indq_core.Algo
+
+let algo_columns (sweep : Experiments.sweep) =
+  List.map Algo.to_string sweep.Experiments.algorithms
+
+let x_cell x =
+  if Float.is_integer x && Float.abs x < 1e15 then
+    string_of_int (int_of_float x)
+  else Printf.sprintf "%g" x
+
+let grid ~title ~value_of ~fmt (sweep : Experiments.sweep) =
+  let t =
+    Tabulate.create ~title
+      ~columns:(sweep.Experiments.x_label :: algo_columns sweep)
+  in
+  List.iteri
+    (fun xi x ->
+      let row = Array.to_list sweep.Experiments.cells.(xi) in
+      Tabulate.add_float_row ~fmt t (x_cell x) (List.map value_of row))
+    sweep.Experiments.x_values;
+  t
+
+let alpha_table sweep =
+  grid
+    ~title:(sweep.Experiments.title ^ " -- alpha")
+    ~value_of:(fun c -> c.Experiments.alpha_mean)
+    ~fmt:Tabulate.float_cell sweep
+
+let time_table sweep =
+  grid
+    ~title:(sweep.Experiments.title ^ " -- time (s)")
+    ~value_of:(fun c -> c.Experiments.time_mean)
+    ~fmt:Tabulate.seconds_cell sweep
+
+let size_table sweep =
+  grid
+    ~title:(sweep.Experiments.title ^ " -- |output|")
+    ~value_of:(fun c -> c.Experiments.output_size_mean)
+    ~fmt:(fun x -> Printf.sprintf "%.1f" x)
+    sweep
+
+let false_negative_total (sweep : Experiments.sweep) =
+  Array.fold_left
+    (fun acc row ->
+      Array.fold_left
+        (fun acc c -> acc + c.Experiments.false_negative_runs)
+        acc row)
+    0 sweep.Experiments.cells
+
+let print_sweep ?(with_sizes = false) sweep =
+  Tabulate.print (alpha_table sweep);
+  Tabulate.print (time_table sweep);
+  if with_sizes then Tabulate.print (size_table sweep);
+  let fn = false_negative_total sweep in
+  Printf.printf "false-negative audit: %d run(s) missed a tuple of I%s\n\n" fn
+    (if fn = 0 then " [OK]" else " [VIOLATION]")
+
+let print_time_sweep ~labels (sweep : Experiments.sweep) =
+  let t =
+    Tabulate.create
+      ~title:sweep.Experiments.title
+      ~columns:("dataset" :: algo_columns sweep)
+  in
+  List.iteri
+    (fun xi label ->
+      let row = Array.to_list sweep.Experiments.cells.(xi) in
+      Tabulate.add_float_row ~fmt:Tabulate.seconds_cell t label
+        (List.map (fun c -> c.Experiments.time_mean) row))
+    labels;
+  Tabulate.print t;
+  let fn = false_negative_total sweep in
+  Printf.printf "false-negative audit: %d run(s) missed a tuple of I%s\n\n" fn
+    (if fn = 0 then " [OK]" else " [VIOLATION]")

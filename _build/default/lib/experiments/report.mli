@@ -1,0 +1,24 @@
+(** Rendering of experiment sweeps in the paper's layout.
+
+    Figures become series tables (x in the first column, one α column per
+    algorithm); the running-time tables become dataset-by-algorithm grids of
+    seconds.  Every render also reports output sizes and the
+    false-negative audit (which must read 0 everywhere). *)
+
+val alpha_table : Experiments.sweep -> Indq_util.Tabulate.t
+(** α(mean) per x per algorithm. *)
+
+val time_table : Experiments.sweep -> Indq_util.Tabulate.t
+(** Seconds (mean) per x per algorithm. *)
+
+val size_table : Experiments.sweep -> Indq_util.Tabulate.t
+(** Mean output-set size per x per algorithm. *)
+
+val false_negative_total : Experiments.sweep -> int
+(** Sum of false-negative runs across all cells; must be 0. *)
+
+val print_sweep : ?with_sizes:bool -> Experiments.sweep -> unit
+(** α table, time table, optional size table, and the audit line. *)
+
+val print_time_sweep : labels:string list -> Experiments.sweep -> unit
+(** For Tables III/IV: rows labeled by dataset name instead of x value. *)

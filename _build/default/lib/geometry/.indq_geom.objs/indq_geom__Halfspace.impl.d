@@ -1,0 +1,1 @@
+lib/geometry/halfspace.ml: Array Format Indq_linalg Indq_lp Indq_util

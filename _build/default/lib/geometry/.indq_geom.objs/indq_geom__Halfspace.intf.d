@@ -1,0 +1,1 @@
+lib/geometry/halfspace.mli: Format Indq_lp

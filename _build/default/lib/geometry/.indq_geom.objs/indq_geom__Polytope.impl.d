@@ -1,0 +1,1 @@
+lib/geometry/polytope.ml: Array Float Halfspace Indq_linalg Indq_lp Indq_util List

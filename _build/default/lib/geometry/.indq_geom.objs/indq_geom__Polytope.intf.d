@@ -1,0 +1,1 @@
+lib/geometry/polytope.mli: Halfspace Indq_lp Indq_util

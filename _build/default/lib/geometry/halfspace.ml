@@ -1,0 +1,28 @@
+module Vec = Indq_linalg.Vec
+module Lp = Indq_lp.Lp
+
+type t = { normal : float array; offset : float }
+
+let ge normal offset =
+  if Array.length normal = 0 then invalid_arg "Halfspace.ge: empty normal";
+  { normal = Array.copy normal; offset }
+
+let le normal offset = ge (Array.map (fun x -> -.x) normal) (-.offset)
+
+let dim h = Array.length h.normal
+
+let of_preference ?(delta = 0.) ~winner ~loser () =
+  if delta < 0. then invalid_arg "Halfspace.of_preference: negative delta";
+  let normal =
+    Vec.sub (Vec.scale (1. +. delta) winner) loser
+  in
+  ge normal 0.
+
+let slack h x = Vec.dot h.normal x -. h.offset
+
+let satisfies ?tol h x = Indq_util.Floatx.geq ?tol (slack h x) 0.
+
+let to_lp_constr h = Lp.constr h.normal Lp.Ge h.offset
+
+let pp ppf h =
+  Format.fprintf ppf "%a . x >= %.6g" Vec.pp h.normal h.offset

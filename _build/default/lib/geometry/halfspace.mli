@@ -1,0 +1,35 @@
+(** Closed halfspaces [normal . x >= offset] in R^d.
+
+    The interactive algorithms narrow the feasible region of the user's
+    utility vector with one halfspace per discarded tuple per round: if the
+    user prefers [a] to [b], every consistent utility [v] satisfies
+    [(a - b) . v > 0] (Section V), weakened to [((1+delta) a - b) . v >= 0]
+    when the user may err on delta-indistinguishable tuples (Section VI-B).
+    We store the closure of these constraints; see DESIGN.md for why that is
+    sound. *)
+
+type t = private { normal : float array; offset : float }
+
+val ge : float array -> float -> t
+(** [ge normal offset] is the halfspace [normal . x >= offset]. *)
+
+val le : float array -> float -> t
+(** [le normal offset] is [normal . x <= offset], stored negated. *)
+
+val dim : t -> int
+
+val of_preference : ?delta:float -> winner:float array -> loser:float array -> unit -> t
+(** The hyperplane constraint learned from "user prefers [winner] over
+    [loser]": [((1+delta) winner - loser) . v >= 0].  [delta] defaults to 0
+    (the error-free update rule). *)
+
+val satisfies : ?tol:float -> t -> float array -> bool
+(** Membership in the closed halfspace, within tolerance. *)
+
+val slack : t -> float array -> float
+(** [slack h x] is [normal . x - offset]; non-negative iff [x] inside. *)
+
+val to_lp_constr : t -> Indq_lp.Lp.constr
+(** The same constraint in LP form. *)
+
+val pp : Format.formatter -> t -> unit

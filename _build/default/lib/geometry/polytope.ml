@@ -1,0 +1,185 @@
+module Vec = Indq_linalg.Vec
+module Lp = Indq_lp.Lp
+module Rng = Indq_util.Rng
+module Floatx = Indq_util.Floatx
+
+type t = {
+  dim : int;
+  cuts : Halfspace.t list;  (* most recent first *)
+  mutable emptiness : bool option;  (* cached LP feasibility verdict *)
+}
+
+let simplex d =
+  if d < 1 then invalid_arg "Polytope.simplex: dimension must be >= 1";
+  { dim = d; cuts = []; emptiness = Some false }
+
+let dim r = r.dim
+
+let halfspaces r = r.cuts
+
+let cut r h =
+  if Halfspace.dim h <> r.dim then invalid_arg "Polytope.cut: dimension mismatch";
+  { dim = r.dim; cuts = h :: r.cuts; emptiness = None }
+
+let cut_many r hs = List.fold_left cut r hs
+
+let to_lp_constraints r =
+  let ones = Array.make r.dim 1. in
+  Lp.constr ones Lp.Eq 1. :: List.map Halfspace.to_lp_constr r.cuts
+
+let is_empty r =
+  match r.emptiness with
+  | Some verdict -> verdict
+  | None ->
+    let verdict = not (Lp.is_feasible ~n:r.dim (to_lp_constraints r)) in
+    r.emptiness <- Some verdict;
+    verdict
+
+let maximize r c =
+  if Array.length c <> r.dim then invalid_arg "Polytope.maximize: bad objective";
+  match Lp.maximize ~n:r.dim ~objective:c (to_lp_constraints r) with
+  | Lp.Optimal { objective; point } ->
+    r.emptiness <- Some false;
+    Some (objective, point)
+  | Lp.Infeasible ->
+    r.emptiness <- Some true;
+    None
+  | Lp.Unbounded ->
+    (* Impossible over the compact simplex; flag loudly if the LP ever
+       reports it. *)
+    assert false
+
+let minimize r c =
+  match maximize r (Array.map (fun x -> -.x) c) with
+  | Some (value, point) -> Some (-.value, point)
+  | None -> None
+
+let contains ?tol r v =
+  Array.length v = r.dim
+  && Array.for_all (fun x -> Floatx.geq ?tol x 0.) v
+  && Floatx.approx_equal ?tol (Vec.sum v) 1.
+  && List.for_all (fun h -> Halfspace.satisfies ?tol h v) r.cuts
+
+let require_nonempty name r =
+  if is_empty r then invalid_arg (name ^ ": empty region")
+
+let coordinate_profile r =
+  require_nonempty "Polytope.coordinate_bounds" r;
+  let witnesses = ref [] in
+  let bounds =
+    Array.init r.dim (fun i ->
+        let e = Vec.basis r.dim i in
+        let lo, p_lo =
+          match minimize r e with Some (v, p) -> (v, p) | None -> assert false
+        in
+        let hi, p_hi =
+          match maximize r e with Some (v, p) -> (v, p) | None -> assert false
+        in
+        witnesses := p_lo :: p_hi :: !witnesses;
+        (lo, hi))
+  in
+  (bounds, !witnesses)
+
+let coordinate_bounds r = fst (coordinate_profile r)
+
+let width r =
+  let bounds = coordinate_bounds r in
+  Array.fold_left (fun acc (lo, hi) -> Float.max acc (hi -. lo)) 0. bounds
+
+let support_width r dir =
+  require_nonempty "Polytope.support_width" r;
+  match (maximize r dir, minimize r dir) with
+  | Some (hi, _), Some (lo, _) -> hi -. lo
+  | _ -> assert false
+
+let axis_pair_directions d =
+  let dirs = ref [] in
+  for i = 0 to d - 1 do
+    for j = i + 1 to d - 1 do
+      let dir = Array.make d 0. in
+      dir.(i) <- 1.;
+      dir.(j) <- -1.;
+      dirs := dir :: !dirs
+    done
+  done;
+  !dirs
+
+let diameter ?(extra_directions = [||]) r =
+  require_nonempty "Polytope.diameter" r;
+  let axes = List.init r.dim (fun i -> Vec.basis r.dim i) in
+  let dirs = axes @ axis_pair_directions r.dim @ Array.to_list extra_directions in
+  List.fold_left
+    (fun acc dir ->
+      let extent = support_width r dir /. Float.max (Vec.norm2 dir) 1e-12 in
+      Float.max acc extent)
+    0. dirs
+
+let center_estimate r =
+  require_nonempty "Polytope.center_estimate" r;
+  let acc = Array.make r.dim 0. in
+  let count = ref 0 in
+  for i = 0 to r.dim - 1 do
+    let e = Vec.basis r.dim i in
+    (match maximize r e with
+    | Some (_, p) ->
+      for j = 0 to r.dim - 1 do
+        acc.(j) <- acc.(j) +. p.(j)
+      done;
+      incr count
+    | None -> assert false);
+    match minimize r e with
+    | Some (_, p) ->
+      for j = 0 to r.dim - 1 do
+        acc.(j) <- acc.(j) +. p.(j)
+      done;
+      incr count
+    | None -> assert false
+  done;
+  Array.map (fun x -> x /. float_of_int !count) acc
+
+(* How far can we move from [x] along [w] (with sum w_i = 0) before leaving
+   the region?  Clips against v >= 0 and each cut; returns (t_min, t_max). *)
+let line_clip r x w =
+  let t_lo = ref neg_infinity and t_hi = ref infinity in
+  let tighten coeff bound =
+    (* constraint: coeff * t >= bound *)
+    if Float.abs coeff < 1e-14 then begin
+      (* Direction parallel to the constraint: if violated we produce an
+         empty interval. *)
+      if bound > 1e-12 then begin
+        t_lo := infinity;
+        t_hi := neg_infinity
+      end
+    end
+    else if coeff > 0. then t_lo := Float.max !t_lo (bound /. coeff)
+    else t_hi := Float.min !t_hi (bound /. coeff)
+  in
+  (* v_i = x_i + t w_i >= 0  <=>  w_i * t >= -x_i *)
+  for i = 0 to r.dim - 1 do
+    tighten w.(i) (-.x.(i))
+  done;
+  List.iter
+    (fun (h : Halfspace.t) ->
+      (* normal.(x + t w) >= offset  <=>  (normal.w) t >= offset - normal.x *)
+      let coeff = Vec.dot (h.normal : float array) w in
+      tighten coeff (-.Halfspace.slack h x))
+    r.cuts;
+  (!t_lo, !t_hi)
+
+let random_point r rng ~steps =
+  require_nonempty "Polytope.random_point" r;
+  let x = ref (center_estimate r) in
+  for _ = 1 to steps do
+    (* Random direction on the simplex hyperplane: gaussian, centered. *)
+    let raw = Array.init r.dim (fun _ -> Rng.gaussian rng) in
+    let mean = Vec.sum raw /. float_of_int r.dim in
+    let w = Array.map (fun v -> v -. mean) raw in
+    if Vec.norm2 w > 1e-9 then begin
+      let t_lo, t_hi = line_clip r !x w in
+      if t_lo < t_hi && Float.is_finite t_lo && Float.is_finite t_hi then begin
+        let t = Rng.in_range rng t_lo t_hi in
+        x := Vec.axpy t w !x
+      end
+    end
+  done;
+  !x

@@ -1,0 +1,76 @@
+(** The feasible utility region [R_j]: a convex subset of the standard
+    simplex [{ u in R^d : u >= 0, sum u_i = 1 }] cut by the preference
+    halfspaces accumulated so far.
+
+    Every question asked of the user adds up to [s - 1] halfspaces; the MinR
+    and MinD heuristics rank candidate question sets by the expected
+    post-answer width / diameter of this region (Algorithm 2), and Lemma 2
+    prunes candidate tuples by checking emptiness of a cut of this region.
+    All of those reduce to small LPs solved by {!Indq_lp.Lp}. *)
+
+type t
+
+val simplex : int -> t
+(** [simplex d] is the initial region [R_0] for [d] attributes.
+    Raises [Invalid_argument] if [d < 1]. *)
+
+val dim : t -> int
+
+val halfspaces : t -> Halfspace.t list
+(** The accumulated cuts, most recent first (without the simplex itself). *)
+
+val cut : t -> Halfspace.t -> t
+(** [cut r h] is the region [r ∩ h].  O(1); feasibility is evaluated
+    lazily. *)
+
+val cut_many : t -> Halfspace.t list -> t
+
+val is_empty : t -> bool
+(** LP feasibility check.  Cached per region value. *)
+
+val maximize : t -> float array -> (float * float array) option
+(** [maximize r c] is [Some (value, argmax)] of [max c . v] over the region,
+    or [None] when the region is empty.  The maximum always exists because
+    the region is compact. *)
+
+val minimize : t -> float array -> (float * float array) option
+
+val contains : ?tol:float -> t -> float array -> bool
+(** Membership: on the simplex and inside every cut. *)
+
+val coordinate_bounds : t -> (float * float) array
+(** [(lo_i, hi_i)] per coordinate via 2d LPs.  Raises [Invalid_argument] on
+    an empty region. *)
+
+val coordinate_profile : t -> (float * float) array * float array list
+(** {!coordinate_bounds} plus the [2d] witness vertices where the extremes
+    are attained (each a point of the region).  The witnesses let callers
+    disprove "max over the region < 0" claims without further LPs. *)
+
+val width : t -> float
+(** Paper's MinR metric: the largest coordinate range
+    [max_i (hi_i - lo_i)].  0 for a point; raises on an empty region. *)
+
+val support_width : t -> float array -> float
+(** [support_width r dir] is [max dir.v - min dir.v] over the region —
+    the extent along [dir].  Raises on an empty region. *)
+
+val diameter : ?extra_directions:float array array -> t -> float
+(** Paper's MinD metric.  Estimated as the largest support width over a
+    direction set: all coordinate axes, all pairwise axis differences
+    [e_i - e_j], plus any [extra_directions].  This is a lower bound on the
+    true diameter and exact whenever the diameter is realized along one of
+    the probed directions; MinD only uses it to {i rank} candidate question
+    sets.  Raises on an empty region. *)
+
+val center_estimate : t -> float array
+(** An interior-ish representative point: the average of the [2d]
+    coordinate-extreme vertices.  Raises on an empty region. *)
+
+val random_point : t -> Indq_util.Rng.t -> steps:int -> float array
+(** Hit-and-run sampling from {!center_estimate}, staying on the simplex
+    hyperplane.  More [steps] decorrelates from the center.  Raises on an
+    empty region. *)
+
+val to_lp_constraints : t -> Indq_lp.Lp.constr list
+(** Simplex equality + cuts, for composing custom LPs over the region. *)

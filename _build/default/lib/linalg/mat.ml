@@ -1,0 +1,65 @@
+type t = { data : float array array }
+
+let create rows cols =
+  if rows <= 0 || cols <= 0 then invalid_arg "Mat.create: non-positive size";
+  { data = Array.init rows (fun _ -> Array.make cols 0.) }
+
+let of_rows rows =
+  if Array.length rows = 0 then invalid_arg "Mat.of_rows: no rows";
+  let width = Array.length rows.(0) in
+  Array.iter
+    (fun r ->
+      if Array.length r <> width then invalid_arg "Mat.of_rows: ragged rows")
+    rows;
+  { data = Array.map Array.copy rows }
+
+let rows m = Array.length m.data
+
+let cols m = Array.length m.data.(0)
+
+let get m i j = m.data.(i).(j)
+
+let set m i j x = m.data.(i).(j) <- x
+
+let row m i = Array.copy m.data.(i)
+
+let col m j = Array.init (rows m) (fun i -> m.data.(i).(j))
+
+let mul_vec m v =
+  if Array.length v <> cols m then invalid_arg "Mat.mul_vec: dimension mismatch";
+  Array.init (rows m) (fun i -> Vec.dot m.data.(i) v)
+
+let transpose m =
+  let r = rows m and c = cols m in
+  { data = Array.init c (fun j -> Array.init r (fun i -> m.data.(i).(j))) }
+
+let copy m = { data = Array.map Array.copy m.data }
+
+let swap_rows m i j =
+  let tmp = m.data.(i) in
+  m.data.(i) <- m.data.(j);
+  m.data.(j) <- tmp
+
+let scale_row m i c =
+  let r = m.data.(i) in
+  for j = 0 to Array.length r - 1 do
+    r.(j) <- r.(j) *. c
+  done
+
+let add_scaled_row m ~src ~dst c =
+  let s = m.data.(src) and d = m.data.(dst) in
+  for j = 0 to Array.length d - 1 do
+    d.(j) <- d.(j) +. (c *. s.(j))
+  done
+
+let pp ppf m =
+  Array.iter
+    (fun r ->
+      Format.fprintf ppf "[";
+      Array.iteri
+        (fun j x ->
+          if j > 0 then Format.fprintf ppf " ";
+          Format.fprintf ppf "%8.4f" x)
+        r;
+      Format.fprintf ppf "]@.")
+    m.data

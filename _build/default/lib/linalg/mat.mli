@@ -1,0 +1,43 @@
+(** Dense row-major matrices, sized for the small LP tableaux used by the
+    utility-region geometry (at most a few dozen rows/columns). *)
+
+type t
+(** A mutable [rows x cols] matrix of floats. *)
+
+val create : int -> int -> t
+(** [create rows cols] is the zero matrix. *)
+
+val of_rows : float array array -> t
+(** Build from row vectors (copied).  All rows must have equal length and
+    there must be at least one row. *)
+
+val rows : t -> int
+
+val cols : t -> int
+
+val get : t -> int -> int -> float
+
+val set : t -> int -> int -> float -> unit
+
+val row : t -> int -> float array
+(** A copy of row [i]. *)
+
+val col : t -> int -> float array
+(** A copy of column [j]. *)
+
+val mul_vec : t -> float array -> float array
+(** Matrix-vector product.  The vector length must equal [cols]. *)
+
+val transpose : t -> t
+
+val copy : t -> t
+
+val swap_rows : t -> int -> int -> unit
+
+val scale_row : t -> int -> float -> unit
+(** [scale_row m i c] multiplies row [i] by [c] in place. *)
+
+val add_scaled_row : t -> src:int -> dst:int -> float -> unit
+(** [add_scaled_row m ~src ~dst c] does [row dst += c * row src] in place. *)
+
+val pp : Format.formatter -> t -> unit

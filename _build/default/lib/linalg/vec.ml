@@ -1,0 +1,87 @@
+type t = float array
+
+let dim = Array.length
+
+let make d x = Array.make d x
+
+let basis d i =
+  if i < 0 || i >= d then invalid_arg "Vec.basis: index out of range";
+  Array.init d (fun j -> if j = i then 1. else 0.)
+
+let copy = Array.copy
+
+let check_same_dim name a b =
+  if Array.length a <> Array.length b then
+    invalid_arg (name ^ ": dimension mismatch")
+
+let dot a b =
+  check_same_dim "Vec.dot" a b;
+  let acc = ref 0. in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. (a.(i) *. b.(i))
+  done;
+  !acc
+
+let add a b =
+  check_same_dim "Vec.add" a b;
+  Array.init (Array.length a) (fun i -> a.(i) +. b.(i))
+
+let sub a b =
+  check_same_dim "Vec.sub" a b;
+  Array.init (Array.length a) (fun i -> a.(i) -. b.(i))
+
+let scale c a = Array.map (fun x -> c *. x) a
+
+let axpy c x y =
+  check_same_dim "Vec.axpy" x y;
+  Array.init (Array.length x) (fun i -> (c *. x.(i)) +. y.(i))
+
+let norm2 a = sqrt (dot a a)
+
+let norm_inf a = Array.fold_left (fun acc x -> Float.max acc (Float.abs x)) 0. a
+
+let dist2 a b = norm2 (sub a b)
+
+let normalize a =
+  let n = norm2 a in
+  if n < 1e-12 then invalid_arg "Vec.normalize: zero vector";
+  scale (1. /. n) a
+
+let sum a = Array.fold_left ( +. ) 0. a
+
+let max_coord a =
+  if Array.length a = 0 then invalid_arg "Vec.max_coord: empty vector";
+  Array.fold_left Float.max a.(0) a
+
+let min_coord a =
+  if Array.length a = 0 then invalid_arg "Vec.min_coord: empty vector";
+  Array.fold_left Float.min a.(0) a
+
+let argmax a =
+  if Array.length a = 0 then invalid_arg "Vec.argmax: empty vector";
+  let best = ref 0 in
+  for i = 1 to Array.length a - 1 do
+    if a.(i) > a.(!best) then best := i
+  done;
+  !best
+
+let approx_equal ?tol a b =
+  Array.length a = Array.length b
+  && begin
+       let ok = ref true in
+       for i = 0 to Array.length a - 1 do
+         if not (Indq_util.Floatx.approx_equal ?tol a.(i) b.(i)) then ok := false
+       done;
+       !ok
+     end
+
+let pp ppf a =
+  Format.fprintf ppf "(";
+  Array.iteri
+    (fun i x ->
+      if i > 0 then Format.fprintf ppf ", ";
+      Format.fprintf ppf "%.4f" x)
+    a;
+  Format.fprintf ppf ")"
+
+let to_string a = Format.asprintf "%a" pp a

@@ -1,0 +1,62 @@
+(** Dense float vectors.
+
+    Tuples, utility vectors and LP rows are all plain [float array]s; this
+    module collects the operations used throughout the codebase.  Functions
+    that combine two vectors require equal lengths and raise
+    [Invalid_argument] otherwise. *)
+
+type t = float array
+
+val dim : t -> int
+(** Number of coordinates. *)
+
+val make : int -> float -> t
+(** [make d x] is the d-vector with every coordinate [x]. *)
+
+val basis : int -> int -> t
+(** [basis d i] is the i-th standard basis vector of R^d (0-indexed). *)
+
+val copy : t -> t
+
+val dot : t -> t -> float
+(** Inner product. *)
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+val scale : float -> t -> t
+
+val axpy : float -> t -> t -> t
+(** [axpy a x y] is [a*x + y] (fresh vector). *)
+
+val norm2 : t -> float
+(** Euclidean norm. *)
+
+val norm_inf : t -> float
+(** Max absolute coordinate. *)
+
+val dist2 : t -> t -> float
+(** Euclidean distance. *)
+
+val normalize : t -> t
+(** Scale to unit Euclidean norm.  Raises [Invalid_argument] on the zero
+    vector. *)
+
+val sum : t -> float
+
+val max_coord : t -> float
+(** Largest coordinate value.  Raises [Invalid_argument] on empty input. *)
+
+val min_coord : t -> float
+
+val argmax : t -> int
+(** Index of the largest coordinate (first on ties). *)
+
+val approx_equal : ?tol:float -> t -> t -> bool
+(** Coordinate-wise comparison with tolerance. *)
+
+val pp : Format.formatter -> t -> unit
+(** Renders as [(x1, x2, ...)] with 4 decimals. *)
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/lp/lp.ml: Array Float List

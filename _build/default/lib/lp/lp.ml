@@ -1,0 +1,281 @@
+type relation = Le | Ge | Eq
+
+type constr = { coeffs : float array; relation : relation; rhs : float }
+
+type solution = { objective : float; point : float array }
+
+type outcome = Optimal of solution | Infeasible | Unbounded
+
+let constr coeffs relation rhs = { coeffs; relation; rhs }
+
+(* Internal mutable tableau for the two-phase simplex.
+
+   Columns: [0, n) structural vars, [n, n+slacks) slack/surplus vars,
+   [n+slacks, total) artificial vars.  Each row i carries its constraint
+   coefficients in [rows.(i)] and its right-hand side in [rhs.(i)]; the
+   variable basic in row i is [basis.(i)].  The objective row [obj] holds
+   reduced costs for the current basis and [obj_value] the negated objective
+   so far (standard tableau bookkeeping). *)
+type tableau = {
+  n : int;  (* structural variables *)
+  total : int;  (* all columns *)
+  art_start : int;  (* first artificial column *)
+  rows : float array array;
+  rhs : float array;
+  basis : int array;
+  mutable obj : float array;
+  mutable obj_value : float;
+  tol : float;
+}
+
+let check_inputs ~n objective constraints =
+  if n <= 0 then invalid_arg "Lp: need at least one variable";
+  if Array.length objective <> n then invalid_arg "Lp: objective length <> n";
+  List.iter
+    (fun (c : constr) ->
+      if Array.length c.coeffs <> n then
+        invalid_arg "Lp: constraint coefficient length <> n")
+    constraints
+
+(* Build the phase-1 tableau.  Every row is first normalized to rhs >= 0. *)
+let build ~tol ~n constraints =
+  let cs = Array.of_list constraints in
+  let m = Array.length cs in
+  (* Count extra columns. *)
+  let slack_count =
+    Array.fold_left
+      (fun acc (c : constr) -> match c.relation with Le | Ge -> acc + 1 | Eq -> acc)
+      0 cs
+  in
+  (* Normalize rows so rhs >= 0, which may flip the relation.  A >= row
+     with rhs exactly 0 is rewritten as a <= row (negated): its slack can
+     start basic at 0, avoiding an artificial variable — the common case
+     for preference-hyperplane cuts [(a - b) . v >= 0]. *)
+  let normalized =
+    Array.map
+      (fun (c : constr) ->
+        if c.rhs < 0. || (c.rhs = 0. && c.relation = Ge) then
+          let flipped =
+            match c.relation with Le -> Ge | Ge -> Le | Eq -> Eq
+          in
+          { coeffs = Array.map (fun x -> -.x) c.coeffs;
+            relation = flipped;
+            rhs = -.c.rhs }
+        else c)
+      cs
+  in
+  (* A <= row with rhs >= 0 starts with its slack basic; >= and = rows need
+     an artificial.  Count artificials. *)
+  let art_count =
+    Array.fold_left
+      (fun acc (c : constr) -> match c.relation with Le -> acc | Ge | Eq -> acc + 1)
+      0 normalized
+  in
+  let art_start = n + slack_count in
+  let total = art_start + art_count in
+  let rows = Array.init m (fun _ -> Array.make total 0.) in
+  let rhs = Array.make m 0. in
+  let basis = Array.make m (-1) in
+  let next_slack = ref n in
+  let next_art = ref art_start in
+  Array.iteri
+    (fun i (c : constr) ->
+      Array.blit c.coeffs 0 rows.(i) 0 n;
+      rhs.(i) <- c.rhs;
+      (match c.relation with
+      | Le ->
+        rows.(i).(!next_slack) <- 1.;
+        basis.(i) <- !next_slack;
+        incr next_slack
+      | Ge ->
+        rows.(i).(!next_slack) <- -1.;
+        incr next_slack;
+        rows.(i).(!next_art) <- 1.;
+        basis.(i) <- !next_art;
+        incr next_art
+      | Eq ->
+        rows.(i).(!next_art) <- 1.;
+        basis.(i) <- !next_art;
+        incr next_art))
+    normalized;
+  (* Phase-1 objective: minimize the sum of artificials.  Express its reduced
+     costs for the starting basis by subtracting each artificial's row. *)
+  let obj = Array.make total 0. in
+  for j = art_start to total - 1 do
+    obj.(j) <- 1.
+  done;
+  let obj_value = ref 0. in
+  Array.iteri
+    (fun i b ->
+      if b >= art_start then begin
+        for j = 0 to total - 1 do
+          obj.(j) <- obj.(j) -. rows.(i).(j)
+        done;
+        obj_value := !obj_value -. rhs.(i)
+      end)
+    basis;
+  { n; total; art_start; rows; rhs; basis; obj; obj_value = !obj_value; tol }
+
+let pivot t ~row ~col =
+  let pivot_value = t.rows.(row).(col) in
+  let r = t.rows.(row) in
+  for j = 0 to t.total - 1 do
+    r.(j) <- r.(j) /. pivot_value
+  done;
+  t.rhs.(row) <- t.rhs.(row) /. pivot_value;
+  for i = 0 to Array.length t.rows - 1 do
+    if i <> row then begin
+      let factor = t.rows.(i).(col) in
+      if Float.abs factor > 0. then begin
+        let ri = t.rows.(i) in
+        for j = 0 to t.total - 1 do
+          ri.(j) <- ri.(j) -. (factor *. r.(j))
+        done;
+        t.rhs.(i) <- t.rhs.(i) -. (factor *. t.rhs.(row))
+      end
+    end
+  done;
+  let factor = t.obj.(col) in
+  if Float.abs factor > 0. then begin
+    for j = 0 to t.total - 1 do
+      t.obj.(j) <- t.obj.(j) -. (factor *. r.(j))
+    done;
+    t.obj_value <- t.obj_value -. (factor *. t.rhs.(row))
+  end;
+  t.basis.(row) <- col
+
+(* One simplex run with Bland's rule on the current objective row.
+   [allowed j] restricts the entering columns (used to freeze artificials in
+   phase 2).  Returns [`Optimal] or [`Unbounded]. *)
+let solve_phase t ~allowed =
+  let m = Array.length t.rows in
+  let rec iterate () =
+    (* Entering column: smallest index with reduced cost < -tol. *)
+    let entering = ref (-1) in
+    (try
+       for j = 0 to t.total - 1 do
+         if allowed j && t.obj.(j) < -.t.tol then begin
+           entering := j;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !entering < 0 then `Optimal
+    else begin
+      let col = !entering in
+      (* Ratio test; Bland tie-break on smallest basic variable index. *)
+      let best_row = ref (-1) in
+      let best_ratio = ref infinity in
+      for i = 0 to m - 1 do
+        let a = t.rows.(i).(col) in
+        if a > t.tol then begin
+          let ratio = t.rhs.(i) /. a in
+          if
+            ratio < !best_ratio -. t.tol
+            || (Float.abs (ratio -. !best_ratio) <= t.tol
+               && (!best_row < 0 || t.basis.(i) < t.basis.(!best_row)))
+          then begin
+            best_row := i;
+            best_ratio := ratio
+          end
+        end
+      done;
+      if !best_row < 0 then `Unbounded
+      else begin
+        pivot t ~row:!best_row ~col;
+        iterate ()
+      end
+    end
+  in
+  iterate ()
+
+(* Drive any artificial variable that is still basic (necessarily at value
+   ~0) out of the basis, or mark its row as redundant by leaving it — the row
+   then has all-zero structural coefficients and never constrains phase 2
+   because artificial columns are frozen. *)
+let expel_artificials t =
+  let m = Array.length t.rows in
+  for i = 0 to m - 1 do
+    if t.basis.(i) >= t.art_start then begin
+      let col = ref (-1) in
+      (try
+         for j = 0 to t.art_start - 1 do
+           if Float.abs t.rows.(i).(j) > t.tol then begin
+             col := j;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      if !col >= 0 then pivot t ~row:i ~col:!col
+    end
+  done
+
+let extract_point t =
+  let x = Array.make t.n 0. in
+  Array.iteri
+    (fun i b -> if b < t.n then x.(b) <- t.rhs.(i))
+    t.basis;
+  x
+
+(* Install a fresh objective (phase 2) and express it in terms of the current
+   basis. *)
+let install_objective t cost =
+  let obj = Array.make t.total 0. in
+  Array.blit cost 0 obj 0 t.n;
+  let obj_value = ref 0. in
+  Array.iteri
+    (fun i b ->
+      if Float.abs obj.(b) > 0. then begin
+        let factor = obj.(b) in
+        let r = t.rows.(i) in
+        for j = 0 to t.total - 1 do
+          obj.(j) <- obj.(j) -. (factor *. r.(j))
+        done;
+        obj_value := !obj_value -. (factor *. t.rhs.(i))
+      end)
+    t.basis;
+  t.obj <- obj;
+  t.obj_value <- !obj_value
+
+let minimize ?(tol = 1e-9) ~n ~objective constraints =
+  check_inputs ~n objective constraints;
+  if constraints = [] then begin
+    (* Only x >= 0: the minimum is 0 at the origin unless some objective
+       coefficient is negative, in which case the problem is unbounded. *)
+    if Array.exists (fun c -> c < -.tol) objective then Unbounded
+    else Optimal { objective = 0.; point = Array.make n 0. }
+  end
+  else begin
+    let t = build ~tol ~n constraints in
+    match solve_phase t ~allowed:(fun _ -> true) with
+    | `Unbounded ->
+      (* Phase-1 objective (sum of artificials, all bounded below by 0) can
+         never be unbounded; treat as numerically infeasible. *)
+      Infeasible
+    | `Optimal ->
+      (* obj_value holds the negated phase-1 objective. *)
+      if -.t.obj_value > 1e-7 then Infeasible
+      else begin
+        expel_artificials t;
+        install_objective t objective;
+        let allowed j = j < t.art_start in
+        match solve_phase t ~allowed with
+        | `Unbounded -> Unbounded
+        | `Optimal ->
+          Optimal { objective = -.t.obj_value; point = extract_point t }
+      end
+  end
+
+let maximize ?tol ~n ~objective constraints =
+  let neg = Array.map (fun c -> -.c) objective in
+  match minimize ?tol ~n ~objective:neg constraints with
+  | Optimal { objective; point } -> Optimal { objective = -.objective; point }
+  | (Infeasible | Unbounded) as o -> o
+
+let feasible_point ?tol ~n constraints =
+  match minimize ?tol ~n ~objective:(Array.make n 0.) constraints with
+  | Optimal { point; _ } -> Some point
+  | Infeasible -> None
+  | Unbounded -> None
+
+let is_feasible ?tol ~n constraints = feasible_point ?tol ~n constraints <> None

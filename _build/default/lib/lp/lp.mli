@@ -1,0 +1,53 @@
+(** A dense two-phase primal simplex linear-programming solver.
+
+    This is the workhorse behind every feasible-utility-region operation in
+    the reproduction: emptiness checks after hyperplane updates (Section V),
+    the Lemma 2 pruning test, and the width/diameter metrics of the MinR and
+    MinD heuristics.  Problems here are small — [d <= 10] variables and a few
+    dozen constraints — so a dense tableau with Bland's anti-cycling rule is
+    both simple and fast.
+
+    All structural variables are constrained to be non-negative ([x >= 0]),
+    which matches utility vectors [u] in the non-negative orthant.  General
+    constraints of the three relations [<=], [>=], [=] are supported via
+    slack, surplus and artificial variables. *)
+
+type relation = Le | Ge | Eq
+
+type constr = {
+  coeffs : float array;  (** one coefficient per structural variable *)
+  relation : relation;
+  rhs : float;
+}
+(** The linear constraint [coeffs . x  <relation>  rhs]. *)
+
+type solution = {
+  objective : float;  (** optimal objective value *)
+  point : float array;  (** an optimal assignment of the structural variables *)
+}
+
+type outcome =
+  | Optimal of solution
+  | Infeasible  (** no [x >= 0] satisfies the constraints *)
+  | Unbounded  (** the objective is unbounded over the feasible set *)
+
+val constr : float array -> relation -> float -> constr
+(** Convenience constructor. *)
+
+val maximize :
+  ?tol:float -> n:int -> objective:float array -> constr list -> outcome
+(** [maximize ~n ~objective constraints] solves
+    [max objective . x  s.t.  constraints, x >= 0] with [n] structural
+    variables.  [tol] (default 1e-9) is the pivoting tolerance.  Raises
+    [Invalid_argument] if any coefficient vector does not have length [n]. *)
+
+val minimize :
+  ?tol:float -> n:int -> objective:float array -> constr list -> outcome
+(** Same, minimizing. *)
+
+val feasible_point : ?tol:float -> n:int -> constr list -> float array option
+(** [feasible_point ~n constraints] is [Some x] for some feasible [x >= 0],
+    or [None] when the system is infeasible. *)
+
+val is_feasible : ?tol:float -> n:int -> constr list -> bool
+(** [feasible_point <> None]. *)

@@ -1,0 +1,1 @@
+lib/rtree/rect.ml: Array Float Format Indq_linalg List

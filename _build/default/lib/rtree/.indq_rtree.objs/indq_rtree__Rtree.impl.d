@@ -1,0 +1,1 @@
+lib/rtree/rtree.ml: Array Float List Rect

@@ -1,0 +1,1 @@
+lib/rtree/rtree.mli: Rect

@@ -1,0 +1,81 @@
+type t = { lo : float array; hi : float array }
+
+let make ~lo ~hi =
+  let d = Array.length lo in
+  if d = 0 || Array.length hi <> d then invalid_arg "Rect.make: bad corners";
+  for i = 0 to d - 1 do
+    if lo.(i) > hi.(i) then invalid_arg "Rect.make: lo > hi"
+  done;
+  { lo = Array.copy lo; hi = Array.copy hi }
+
+let of_point p = make ~lo:p ~hi:p
+
+let dim r = Array.length r.lo
+
+let lo r = Array.copy r.lo
+
+let hi r = Array.copy r.hi
+
+let intersects a b =
+  let d = dim a in
+  if dim b <> d then invalid_arg "Rect.intersects: dimension mismatch";
+  let ok = ref true in
+  for i = 0 to d - 1 do
+    if a.lo.(i) > b.hi.(i) || b.lo.(i) > a.hi.(i) then ok := false
+  done;
+  !ok
+
+let contains_point r p =
+  let d = dim r in
+  if Array.length p <> d then invalid_arg "Rect.contains_point: dimension mismatch";
+  let ok = ref true in
+  for i = 0 to d - 1 do
+    if p.(i) < r.lo.(i) || p.(i) > r.hi.(i) then ok := false
+  done;
+  !ok
+
+let contains_rect ~outer ~inner =
+  let d = dim outer in
+  if dim inner <> d then invalid_arg "Rect.contains_rect: dimension mismatch";
+  let ok = ref true in
+  for i = 0 to d - 1 do
+    if inner.lo.(i) < outer.lo.(i) || inner.hi.(i) > outer.hi.(i) then ok := false
+  done;
+  !ok
+
+let union a b =
+  let d = dim a in
+  if dim b <> d then invalid_arg "Rect.union: dimension mismatch";
+  {
+    lo = Array.init d (fun i -> Float.min a.lo.(i) b.lo.(i));
+    hi = Array.init d (fun i -> Float.max a.hi.(i) b.hi.(i));
+  }
+
+let union_many = function
+  | [] -> invalid_arg "Rect.union_many: empty list"
+  | r :: rest -> List.fold_left union r rest
+
+let area r =
+  let acc = ref 1. in
+  for i = 0 to dim r - 1 do
+    acc := !acc *. (r.hi.(i) -. r.lo.(i))
+  done;
+  !acc
+
+let margin r =
+  let acc = ref 0. in
+  for i = 0 to dim r - 1 do
+    acc := !acc +. (r.hi.(i) -. r.lo.(i))
+  done;
+  !acc
+
+let enlargement r extra = area (union r extra) -. area r
+
+let above_corner p ~upper =
+  let d = Array.length p in
+  if Array.length upper <> d then invalid_arg "Rect.above_corner: dimension mismatch";
+  let lo = Array.init d (fun i -> Float.min p.(i) upper.(i)) in
+  { lo; hi = Array.copy upper }
+
+let pp ppf r =
+  Format.fprintf ppf "[%a .. %a]" Indq_linalg.Vec.pp r.lo Indq_linalg.Vec.pp r.hi

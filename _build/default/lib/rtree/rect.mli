@@ -1,0 +1,49 @@
+(** Axis-aligned minimum bounding rectangles in R^d. *)
+
+type t = private { lo : float array; hi : float array }
+
+val make : lo:float array -> hi:float array -> t
+(** Raises [Invalid_argument] when lengths differ or some [lo_i > hi_i]. *)
+
+val of_point : float array -> t
+(** The degenerate rectangle containing exactly one point. *)
+
+val dim : t -> int
+
+val lo : t -> float array
+(** A copy of the lower corner. *)
+
+val hi : t -> float array
+(** A copy of the upper corner. *)
+
+val intersects : t -> t -> bool
+(** Closed-interval overlap in every dimension. *)
+
+val contains_point : t -> float array -> bool
+
+val contains_rect : outer:t -> inner:t -> bool
+
+val union : t -> t -> t
+(** Smallest rectangle covering both. *)
+
+val union_many : t list -> t
+(** Raises [Invalid_argument] on the empty list. *)
+
+val area : t -> float
+(** Product of side lengths (0 for degenerate rectangles). *)
+
+val margin : t -> float
+(** Sum of side lengths. *)
+
+val enlargement : t -> t -> float
+(** [enlargement r extra] is [area (union r extra) - area r]: the classic
+    Guttman insertion cost. *)
+
+val above_corner : float array -> upper:float array -> t
+(** [above_corner p ~upper] is the box [[p, upper]] — the region of points
+    with every coordinate at least [p]'s, used for dominance queries.
+    Coordinates of [p] above [upper] are clamped so the box is valid (such a
+    box contains only points that would dominate [p] in the clamped space;
+    with data normalized into the unit box this never triggers). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,287 @@
+(* Guttman R-tree (quadratic split).  Nodes keep children in plain lists —
+   fanout is small (<= max_entries) so list traversal is fine. *)
+
+type 'a node = {
+  mutable mbr : Rect.t;
+  mutable contents : 'a contents;
+}
+
+and 'a contents =
+  | Leaf of (Rect.t * 'a) list
+  | Internal of 'a node list
+
+type 'a t = {
+  dimension : int;
+  max_entries : int;
+  min_entries : int;
+  mutable root : 'a node option;
+  mutable count : int;
+}
+
+let create ?(max_entries = 8) ~dim () =
+  if dim <= 0 then invalid_arg "Rtree.create: dimension must be positive";
+  if max_entries < 4 then invalid_arg "Rtree.create: max_entries must be >= 4";
+  {
+    dimension = dim;
+    max_entries;
+    min_entries = max_entries / 2;
+    root = None;
+    count = 0;
+  }
+
+let dim t = t.dimension
+
+let size t = t.count
+
+let node_mbr_of_children = function
+  | Leaf entries -> Rect.union_many (List.map fst entries)
+  | Internal kids -> Rect.union_many (List.map (fun n -> n.mbr) kids)
+
+let refresh_mbr node = node.mbr <- node_mbr_of_children node.contents
+
+(* Quadratic split over an abstract item list with rectangle accessor. *)
+let quadratic_split ~min_entries ~rect_of items =
+  (* Pick the two seeds wasting the most area if grouped together. *)
+  let arr = Array.of_list items in
+  let n = Array.length arr in
+  let seed_a = ref 0 and seed_b = ref 1 and worst = ref neg_infinity in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let ri = rect_of arr.(i) and rj = rect_of arr.(j) in
+      let waste = Rect.area (Rect.union ri rj) -. Rect.area ri -. Rect.area rj in
+      if waste > !worst then begin
+        worst := waste;
+        seed_a := i;
+        seed_b := j
+      end
+    done
+  done;
+  let group_a = ref [ arr.(!seed_a) ] and group_b = ref [ arr.(!seed_b) ] in
+  let mbr_a = ref (rect_of arr.(!seed_a)) and mbr_b = ref (rect_of arr.(!seed_b)) in
+  let remaining = ref [] in
+  for i = n - 1 downto 0 do
+    if i <> !seed_a && i <> !seed_b then remaining := arr.(i) :: !remaining
+  done;
+  let assign_to_a item =
+    group_a := item :: !group_a;
+    mbr_a := Rect.union !mbr_a (rect_of item)
+  and assign_to_b item =
+    group_b := item :: !group_b;
+    mbr_b := Rect.union !mbr_b (rect_of item)
+  in
+  let rec distribute todo =
+    match todo with
+    | [] -> ()
+    | _ ->
+      let left = List.length todo in
+      (* Force-assign when one group must absorb the rest to reach the
+         minimum fill. *)
+      if List.length !group_a + left <= min_entries then begin
+        List.iter assign_to_a todo
+      end
+      else if List.length !group_b + left <= min_entries then begin
+        List.iter assign_to_b todo
+      end
+      else begin
+        (* Pick the item with the strongest preference (max enlargement
+           difference), classic Guttman PickNext. *)
+        let best = ref (List.hd todo) and best_diff = ref neg_infinity in
+        List.iter
+          (fun item ->
+            let r = rect_of item in
+            let da = Rect.enlargement !mbr_a r in
+            let db = Rect.enlargement !mbr_b r in
+            let diff = Float.abs (da -. db) in
+            if diff > !best_diff then begin
+              best_diff := diff;
+              best := item
+            end)
+          todo;
+        let item = !best in
+        let rest = List.filter (fun x -> x != item) todo in
+        let da = Rect.enlargement !mbr_a (rect_of item) in
+        let db = Rect.enlargement !mbr_b (rect_of item) in
+        let prefer_a =
+          da < db
+          || (da = db
+             && (Rect.area !mbr_a < Rect.area !mbr_b
+                || (Rect.area !mbr_a = Rect.area !mbr_b
+                   && List.length !group_a <= List.length !group_b)))
+        in
+        if prefer_a then assign_to_a item else assign_to_b item;
+        distribute rest
+      end
+  in
+  distribute !remaining;
+  (!group_a, !group_b)
+
+(* Insert an entry; on overflow returns the sibling node created by the
+   split. *)
+let rec insert_into t node rect payload =
+  match node.contents with
+  | Leaf entries ->
+    let entries = (rect, payload) :: entries in
+    node.contents <- Leaf entries;
+    node.mbr <- Rect.union node.mbr rect;
+    if List.length entries <= t.max_entries then None
+    else begin
+      let ga, gb =
+        quadratic_split ~min_entries:t.min_entries ~rect_of:fst entries
+      in
+      node.contents <- Leaf ga;
+      refresh_mbr node;
+      let sibling =
+        { mbr = Rect.union_many (List.map fst gb); contents = Leaf gb }
+      in
+      Some sibling
+    end
+  | Internal kids ->
+    (* ChooseSubtree: least enlargement, ties by smaller area. *)
+    let best = ref (List.hd kids) and best_cost = ref infinity and best_area = ref infinity in
+    List.iter
+      (fun kid ->
+        let cost = Rect.enlargement kid.mbr rect in
+        let a = Rect.area kid.mbr in
+        if cost < !best_cost || (cost = !best_cost && a < !best_area) then begin
+          best := kid;
+          best_cost := cost;
+          best_area := a
+        end)
+      kids;
+    let overflow = insert_into t !best rect payload in
+    node.mbr <- Rect.union node.mbr rect;
+    (match overflow with
+    | None -> None
+    | Some sibling ->
+      let kids = sibling :: kids in
+      node.contents <- Internal kids;
+      refresh_mbr node;
+      if List.length kids <= t.max_entries then None
+      else begin
+        let ga, gb =
+          quadratic_split ~min_entries:t.min_entries
+            ~rect_of:(fun n -> n.mbr) kids
+        in
+        node.contents <- Internal ga;
+        refresh_mbr node;
+        Some
+          {
+            mbr = Rect.union_many (List.map (fun n -> n.mbr) gb);
+            contents = Internal gb;
+          }
+      end)
+
+let insert t rect payload =
+  if Rect.dim rect <> t.dimension then invalid_arg "Rtree.insert: dimension mismatch";
+  (match t.root with
+  | None -> t.root <- Some { mbr = rect; contents = Leaf [ (rect, payload) ] }
+  | Some root ->
+    (match insert_into t root rect payload with
+    | None -> ()
+    | Some sibling ->
+      let new_root =
+        {
+          mbr = Rect.union root.mbr sibling.mbr;
+          contents = Internal [ root; sibling ];
+        }
+      in
+      t.root <- Some new_root));
+  t.count <- t.count + 1
+
+let insert_point t p payload = insert t (Rect.of_point p) payload
+
+let of_points ?max_entries ~dim points =
+  let t = create ?max_entries ~dim () in
+  List.iter (fun (p, v) -> insert_point t p v) points;
+  t
+
+let fold_overlapping t query ~init ~f =
+  let rec go acc node =
+    if not (Rect.intersects node.mbr query) then acc
+    else
+      match node.contents with
+      | Leaf entries ->
+        List.fold_left
+          (fun acc (r, v) -> if Rect.intersects r query then f acc r v else acc)
+          acc entries
+      | Internal kids -> List.fold_left go acc kids
+  in
+  match t.root with None -> init | Some root -> go init root
+
+let search t query =
+  fold_overlapping t query ~init:[] ~f:(fun acc _ v -> v :: acc)
+
+exception Found
+
+let exists_overlapping t query ~f =
+  let rec go node =
+    if Rect.intersects node.mbr query then
+      match node.contents with
+      | Leaf entries ->
+        List.iter
+          (fun (r, v) -> if Rect.intersects r query && f r v then raise Found)
+          entries
+      | Internal kids -> List.iter go kids
+  in
+  match t.root with
+  | None -> false
+  | Some root -> ( try go root; false with Found -> true)
+
+let iter t f =
+  let rec go node =
+    match node.contents with
+    | Leaf entries -> List.iter (fun (r, v) -> f r v) entries
+    | Internal kids -> List.iter go kids
+  in
+  match t.root with None -> () | Some root -> go root
+
+let depth t =
+  let rec go node =
+    match node.contents with
+    | Leaf _ -> 1
+    | Internal kids -> 1 + go (List.hd kids)
+  in
+  match t.root with None -> 0 | Some root -> go root
+
+let check_invariants t =
+  let ok = ref true in
+  let rec leaf_depths node d =
+    (match node.contents with
+    | Leaf entries ->
+      List.iter
+        (fun (r, _) ->
+          if not (Rect.contains_rect ~outer:node.mbr ~inner:r) then ok := false)
+        entries;
+      [ d ]
+    | Internal kids ->
+      List.iter
+        (fun kid ->
+          if not (Rect.contains_rect ~outer:node.mbr ~inner:kid.mbr) then
+            ok := false)
+        kids;
+      List.concat_map (fun kid -> leaf_depths kid (d + 1)) kids)
+  in
+  let fanout_ok node is_root =
+    let n =
+      match node.contents with
+      | Leaf entries -> List.length entries
+      | Internal kids -> List.length kids
+    in
+    if is_root then n <= t.max_entries
+    else n <= t.max_entries && n >= 1
+  in
+  let rec check_fanout node is_root =
+    if not (fanout_ok node is_root) then ok := false;
+    match node.contents with
+    | Leaf _ -> ()
+    | Internal kids -> List.iter (fun kid -> check_fanout kid false) kids
+  in
+  (match t.root with
+  | None -> ()
+  | Some root ->
+    check_fanout root true;
+    let depths = leaf_depths root 0 in
+    (match depths with
+    | [] -> ()
+    | d0 :: rest -> if List.exists (fun d -> d <> d0) rest then ok := false));
+  !ok

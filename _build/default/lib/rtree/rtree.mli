@@ -1,0 +1,44 @@
+(** A Guttman R-tree with quadratic split.
+
+    The paper prunes candidate tuples "in O(n) time using an R-tree"
+    (Section V-A); we use the index for dominance-style queries: "is there a
+    point whose coordinates all exceed this corner?" maps to a rectangle
+    search with early exit ({!exists_overlapping}). *)
+
+type 'a t
+(** A mutable R-tree storing payloads of type ['a] under bounding
+    rectangles. *)
+
+val create : ?max_entries:int -> dim:int -> unit -> 'a t
+(** [create ~dim ()] is an empty tree for [dim]-dimensional rectangles.
+    [max_entries] (default 8, minimum 4) bounds node fanout; the minimum
+    fill is [max_entries / 2]. *)
+
+val dim : 'a t -> int
+
+val size : 'a t -> int
+(** Number of stored entries. *)
+
+val insert : 'a t -> Rect.t -> 'a -> unit
+
+val insert_point : 'a t -> float array -> 'a -> unit
+(** [insert tree (Rect.of_point p) v]. *)
+
+val of_points : ?max_entries:int -> dim:int -> (float array * 'a) list -> 'a t
+
+val search : 'a t -> Rect.t -> 'a list
+(** All payloads whose rectangle intersects the query (closed intervals). *)
+
+val fold_overlapping : 'a t -> Rect.t -> init:'b -> f:('b -> Rect.t -> 'a -> 'b) -> 'b
+
+val exists_overlapping : 'a t -> Rect.t -> f:(Rect.t -> 'a -> bool) -> bool
+(** Early-exit search: true as soon as [f] accepts one overlapping entry. *)
+
+val iter : 'a t -> (Rect.t -> 'a -> unit) -> unit
+
+val depth : 'a t -> int
+(** Height of the tree (0 when empty); exposed for tests. *)
+
+val check_invariants : 'a t -> bool
+(** Structural sanity: every node's MBR covers its children, fanout within
+    bounds (root excepted), all leaves at equal depth.  For tests. *)

@@ -1,0 +1,1 @@
+lib/user/nonlinear.ml: Array Float Indq_util List Oracle Utility

@@ -1,0 +1,1 @@
+lib/user/nonlinear.mli: Indq_util Oracle

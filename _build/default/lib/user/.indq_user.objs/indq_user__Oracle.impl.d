@@ -1,0 +1,1 @@
+lib/user/oracle.ml: Array Float Indq_util List Utility

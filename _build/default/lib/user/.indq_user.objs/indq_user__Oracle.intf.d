@@ -1,0 +1,1 @@
+lib/user/oracle.mli: Indq_util Utility

@@ -1,0 +1,1 @@
+lib/user/utility.ml: Array Float Indq_linalg Indq_util List

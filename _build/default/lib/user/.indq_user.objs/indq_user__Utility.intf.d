@@ -1,0 +1,1 @@
+lib/user/utility.mli: Indq_util

@@ -1,0 +1,63 @@
+module Rng = Indq_util.Rng
+
+type t =
+  | Linear of float array
+  | Concave_power of { weights : float array; exponent : float }
+  | Ces of { weights : float array; rho : float }
+
+let validate = function
+  | Linear w -> Utility.validate w
+  | Concave_power { weights; exponent } ->
+    Utility.validate weights;
+    if not (exponent > 0. && exponent <= 1.) then
+      invalid_arg "Nonlinear.validate: exponent must be in (0, 1]"
+  | Ces { weights; rho } ->
+    Utility.validate weights;
+    if rho = 0. || rho > 1. then
+      invalid_arg "Nonlinear.validate: rho must be non-zero and <= 1"
+
+let value t x =
+  match t with
+  | Linear w -> Utility.value w x
+  | Concave_power { weights; exponent } ->
+    let acc = ref 0. in
+    Array.iteri (fun i w -> acc := !acc +. (w *. (x.(i) ** exponent))) weights;
+    !acc
+  | Ces { weights; rho } ->
+    let acc = ref 0. in
+    Array.iteri (fun i w -> acc := !acc +. (w *. (x.(i) ** rho))) weights;
+    if !acc <= 0. then 0. else !acc ** (1. /. rho)
+
+let best_index t options =
+  if Array.length options = 0 then invalid_arg "Nonlinear.best_index: empty array";
+  let best = ref 0 in
+  for i = 1 to Array.length options - 1 do
+    if value t options.(i) > value t options.(!best) then best := i
+  done;
+  !best
+
+let oracle ?(delta = 0.) ?rng t =
+  validate t;
+  if delta < 0. then invalid_arg "Nonlinear.oracle: negative delta";
+  if delta = 0. then Oracle.of_chooser (best_index t)
+  else begin
+    match rng with
+    | None -> invalid_arg "Nonlinear.oracle: delta > 0 requires an rng"
+    | Some rng ->
+      Oracle.of_chooser (fun options ->
+          let values = Array.map (value t) options in
+          let best = Array.fold_left Float.max values.(0) values in
+          let candidates = ref [] in
+          Array.iteri
+            (fun i v ->
+              if (1. +. delta) *. v >= best then candidates := i :: !candidates)
+            values;
+          match !candidates with
+          | [] -> best_index t options
+          | cs -> List.nth cs (Rng.int rng (List.length cs)))
+  end
+
+let random_concave rng ~d ~exponent =
+  let t = Concave_power { weights = Utility.random rng ~d; exponent } in
+  validate t;
+  t

@@ -1,0 +1,37 @@
+(** Non-linear utility functions — the paper's open question 3.
+
+    The algorithms assume a linear utility; this module provides the
+    standard non-linear families used in the regret literature (Kessler
+    Faulkner et al., VLDB 2015) so the repository can {i measure} how the
+    linear-assuming algorithms degrade when the real user is non-linear
+    (see the [ablation-nonlinear] bench):
+
+    - {b concave power}: [f(x) = sum_i w_i x_i^e] with [0 < e <= 1]
+      (diminishing returns per attribute; [e = 1] is linear);
+    - {b CES}: [f(x) = (sum_i w_i x_i^rho)^(1/rho)] with [rho <= 1],
+      [rho <> 0] (constant elasticity of substitution). *)
+
+type t =
+  | Linear of float array
+  | Concave_power of { weights : float array; exponent : float }
+  | Ces of { weights : float array; rho : float }
+
+val validate : t -> unit
+(** Raises [Invalid_argument] on non-positive weights vectors, exponents
+    outside (0, 1], or [rho] outside [(-inf, 1] \ {0}]. *)
+
+val value : t -> float array -> float
+(** Evaluate on a non-negative tuple. *)
+
+val best_index : t -> float array array -> int
+(** Argmax over a non-empty array (first on ties). *)
+
+val oracle :
+  ?delta:float -> ?rng:Indq_util.Rng.t -> t -> Oracle.t
+(** A user oracle driven by this utility.  With [delta > 0] (requires
+    [rng]) the user errs among options delta-indistinguishable {i under
+    this utility}, mirroring {!Oracle.with_error}. *)
+
+val random_concave :
+  Indq_util.Rng.t -> d:int -> exponent:float -> t
+(** Random simplex weights with the given exponent. *)

@@ -1,0 +1,94 @@
+module Rng = Indq_util.Rng
+
+type chooser =
+  | Exact of Utility.t
+  | Erring of { utility : Utility.t; delta : float; rng : Rng.t }
+  | External of (float array array -> int)
+
+type t = {
+  chooser : chooser;
+  mutable questions : int;
+  mutable options : int;
+}
+
+let exact utility =
+  Utility.validate utility;
+  { chooser = Exact (Array.copy utility); questions = 0; options = 0 }
+
+let with_error ~delta ~rng utility =
+  Utility.validate utility;
+  if delta < 0. then invalid_arg "Oracle.with_error: negative delta";
+  {
+    chooser = Erring { utility = Array.copy utility; delta; rng };
+    questions = 0;
+    options = 0;
+  }
+
+let of_chooser f = { chooser = External f; questions = 0; options = 0 }
+
+(* Paper protocol: among the shown options, find the best utility, collect
+   everything delta-indistinguishable from it, pick uniformly. *)
+let erring_pick ~utility ~delta ~rng options =
+  let values = Array.map (Utility.value utility) options in
+  let best = Array.fold_left Float.max values.(0) values in
+  let candidates = ref [] in
+  Array.iteri
+    (fun i v -> if (1. +. delta) *. v >= best then candidates := i :: !candidates)
+    values;
+  match !candidates with
+  | [] -> Utility.best_index utility options (* unreachable: best qualifies *)
+  | cs -> List.nth cs (Rng.int rng (List.length cs))
+
+let choose t options =
+  if Array.length options = 0 then invalid_arg "Oracle.choose: no options";
+  t.questions <- t.questions + 1;
+  t.options <- t.options + Array.length options;
+  match t.chooser with
+  | Exact utility -> Utility.best_index utility options
+  | Erring { utility; delta; rng } -> erring_pick ~utility ~delta ~rng options
+  | External f ->
+    let i = f options in
+    if i < 0 || i >= Array.length options then
+      invalid_arg "Oracle.choose: external chooser returned bad index";
+    i
+
+let questions_asked t = t.questions
+
+let options_shown t = t.options
+
+let reset_counters t =
+  t.questions <- 0;
+  t.options <- 0
+
+let true_utility t =
+  match t.chooser with
+  | Exact u | Erring { utility = u; _ } -> Some (Array.copy u)
+  | External _ -> None
+
+let delta t =
+  match t.chooser with
+  | Exact _ | External _ -> 0.
+  | Erring { delta; _ } -> delta
+
+type round = { options : float array array; choice : int }
+
+let recording inner =
+  let log = ref [] in
+  let wrapped =
+    of_chooser (fun options ->
+        let choice = choose inner options in
+        log := { options = Array.map Array.copy options; choice } :: !log;
+        choice)
+  in
+  (wrapped, fun () -> List.rev !log)
+
+let replay rounds =
+  let remaining = ref rounds in
+  of_chooser (fun options ->
+      match !remaining with
+      | [] -> invalid_arg "Oracle.replay: transcript exhausted"
+      | r :: rest ->
+        if Array.length r.options <> Array.length options then
+          invalid_arg "Oracle.replay: option-count mismatch";
+        remaining := rest;
+        r.choice)

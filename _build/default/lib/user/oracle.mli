@@ -1,0 +1,68 @@
+(** The interactive user.
+
+    Algorithms interact with the user only through {!choose}: show a round
+    of [s] options (attribute vectors — real tuples or the artificial points
+    of Algorithms 1 and 3) and receive the index of the user's favorite.
+    The oracle counts rounds and options so experiments can report
+    interaction effort.
+
+    Three constructors:
+    - {!exact}: always picks the true argmax of the hidden utility;
+    - {!with_error}: the paper's δ-error protocol (Section VII-B) — collect
+      every shown option δ-indistinguishable from the best shown, pick one
+      uniformly at random;
+    - {!of_chooser}: wraps an external decision procedure (e.g. a human on
+      stdin), for which no hidden utility is available. *)
+
+type t
+
+val exact : Utility.t -> t
+(** Error-free user ([delta = 0]) with the given hidden utility. *)
+
+val with_error : delta:float -> rng:Indq_util.Rng.t -> Utility.t -> t
+(** δ-error user.  [delta = 0.] behaves like {!exact} (modulo random tie
+    breaking among exactly-equal options).  Raises [Invalid_argument] for
+    negative [delta]. *)
+
+val of_chooser : (float array array -> int) -> t
+(** An external chooser; it must return a valid index into the shown
+    array. *)
+
+val choose : t -> float array array -> int
+(** Ask one round.  Raises [Invalid_argument] on an empty option array, or
+    if an external chooser returns an out-of-range index. *)
+
+val questions_asked : t -> int
+(** Rounds so far. *)
+
+val options_shown : t -> int
+(** Total options across all rounds. *)
+
+val reset_counters : t -> unit
+
+val true_utility : t -> Utility.t option
+(** The hidden utility, for {i evaluation only} ([None] for external
+    choosers).  Algorithms must not call this. *)
+
+val delta : t -> float
+(** The user's error parameter (0 for exact and external users). *)
+
+(** {2 Transcripts} *)
+
+type round = {
+  options : float array array;  (** what the user was shown *)
+  choice : int;  (** the index they picked *)
+}
+
+val recording : t -> t * (unit -> round list)
+(** [recording oracle] wraps an oracle so every round is logged.  Returns
+    the wrapped oracle and a function producing the rounds so far in
+    chronological order.  Useful for auditing an interaction, replaying it
+    ({!replay}), or rendering a session summary. *)
+
+val replay : round list -> t
+(** An oracle that answers with the recorded choices in order, verifying at
+    each round that it is shown the same number of options; raises
+    [Invalid_argument] on mismatch or when the transcript runs out.
+    Replaying a recorded run of a deterministic algorithm reproduces it
+    exactly. *)

@@ -1,0 +1,50 @@
+module Rng = Indq_util.Rng
+module Vec = Indq_linalg.Vec
+
+type t = float array
+
+let value u p = Vec.dot u p
+
+let validate u =
+  if Array.length u = 0 then invalid_arg "Utility.validate: empty vector";
+  Array.iter
+    (fun x ->
+      if not (Float.is_finite x) || x < 0. then
+        invalid_arg "Utility.validate: components must be finite and >= 0")
+    u;
+  if Array.for_all (fun x -> x = 0.) u then
+    invalid_arg "Utility.validate: all-zero utility"
+
+let normalize_max u =
+  validate u;
+  let m = Vec.max_coord u in
+  Vec.scale (1. /. m) u
+
+let normalize_sum u =
+  validate u;
+  let s = Vec.sum u in
+  Vec.scale (1. /. s) u
+
+let random rng ~d =
+  if d <= 0 then invalid_arg "Utility.random: dimension must be positive";
+  let raw = Array.init d (fun _ -> Rng.exponential rng) in
+  normalize_sum raw
+
+let random_max_normalized rng ~d = normalize_max (random rng ~d)
+
+let best u = function
+  | [] -> invalid_arg "Utility.best: empty list"
+  | first :: rest ->
+    let pick (best_p, best_v) p =
+      let v = value u p in
+      if v > best_v then (p, v) else (best_p, best_v)
+    in
+    fst (List.fold_left pick (first, value u first) rest)
+
+let best_index u options =
+  if Array.length options = 0 then invalid_arg "Utility.best_index: empty array";
+  let best = ref 0 in
+  for i = 1 to Array.length options - 1 do
+    if value u options.(i) > value u options.(!best) then best := i
+  done;
+  !best

@@ -1,0 +1,37 @@
+(** Linear utility functions [f(p) = u . p] with [u >= 0] (Section III).
+
+    Two normalizations appear in the paper and are both provided:
+    {!normalize_max} scales so [max_i u_i = 1] (used by the Squeeze-u
+    analysis) and {!normalize_sum} scales so [sum_i u_i = 1] (used by the
+    real-points algorithms' feasible region).  Neither changes the relative
+    order of tuples, hence neither changes the query answer. *)
+
+type t = float array
+(** The utility vector [u]. *)
+
+val value : t -> float array -> float
+(** [value u p] is [u . p]. *)
+
+val validate : t -> unit
+(** Raises [Invalid_argument] unless all components are non-negative, finite
+    and at least one is positive. *)
+
+val normalize_max : t -> t
+(** Scale so the largest component is 1. *)
+
+val normalize_sum : t -> t
+(** Scale so the components sum to 1. *)
+
+val random : Indq_util.Rng.t -> d:int -> t
+(** A random utility drawn uniformly from the simplex (exponential trick),
+    then sum-normalized — the paper evaluates on "ten independently random
+    utility functions". *)
+
+val random_max_normalized : Indq_util.Rng.t -> d:int -> t
+(** As {!random} but max-normalized. *)
+
+val best : t -> float array list -> float array
+(** The argmax of [value u] over a non-empty list (first on ties). *)
+
+val best_index : t -> float array array -> int
+(** Argmax index over a non-empty array (first on ties). *)

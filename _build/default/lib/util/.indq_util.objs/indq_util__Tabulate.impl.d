@@ -1,0 +1,1 @@
+lib/util/tabulate.ml: Float List Printf String

@@ -1,0 +1,18 @@
+let default_tolerance = 1e-9
+
+let approx_equal ?(tol = default_tolerance) a b = Float.abs (a -. b) <= tol
+
+let leq ?(tol = default_tolerance) a b = a <= b +. tol
+
+let geq ?(tol = default_tolerance) a b = a >= b -. tol
+
+let lt_strict ?(tol = default_tolerance) a b = a < b -. tol
+
+let clamp ~lo ~hi x =
+  if lo > hi then invalid_arg "Floatx.clamp: lo > hi";
+  if x < lo then lo else if x > hi then hi else x
+
+let is_unit_box p =
+  Array.for_all
+    (fun x -> x >= -.default_tolerance && x <= 1. +. default_tolerance)
+    p

@@ -1,0 +1,25 @@
+(** Float helpers shared across the numeric code.
+
+    All geometric predicates in this repository compare floats through these
+    helpers with an explicit tolerance, never with [=]. *)
+
+val default_tolerance : float
+(** 1e-9; appropriate for the unit-box data used throughout. *)
+
+val approx_equal : ?tol:float -> float -> float -> bool
+(** Absolute-difference comparison: [|a - b| <= tol]. *)
+
+val leq : ?tol:float -> float -> float -> bool
+(** [leq a b] is [a <= b + tol]. *)
+
+val geq : ?tol:float -> float -> float -> bool
+(** [geq a b] is [a >= b - tol]. *)
+
+val lt_strict : ?tol:float -> float -> float -> bool
+(** [lt_strict a b] is [a < b - tol]: strictly less, beyond tolerance. *)
+
+val clamp : lo:float -> hi:float -> float -> float
+(** Clamp a value into [\[lo, hi\]].  Requires [lo <= hi]. *)
+
+val is_unit_box : float array -> bool
+(** All coordinates within [\[-tol, 1+tol\]]. *)

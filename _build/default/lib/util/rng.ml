@@ -1,0 +1,103 @@
+type t = {
+  mutable state : int64;
+  (* Cached second Box–Muller deviate, if any. *)
+  mutable spare_gaussian : float option;
+}
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed; spare_gaussian = None }
+
+let copy rng = { state = rng.state; spare_gaussian = rng.spare_gaussian }
+
+(* splitmix64 finalizer: advance by the golden gamma and mix. *)
+let bits64 rng =
+  rng.state <- Int64.add rng.state golden_gamma;
+  let z = rng.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split rng =
+  let seed = bits64 rng in
+  { state = seed; spare_gaussian = None }
+
+let int rng bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling on a 63-bit draw to avoid modulo bias. *)
+  let bound64 = Int64.of_int bound in
+  let limit = Int64.sub Int64.max_int (Int64.rem Int64.max_int bound64) in
+  let rec draw () =
+    let raw = Int64.shift_right_logical (bits64 rng) 1 in
+    if raw >= limit then draw () else Int64.to_int (Int64.rem raw bound64)
+  in
+  draw ()
+
+let uniform rng =
+  (* 53 uniform mantissa bits. *)
+  let raw = Int64.shift_right_logical (bits64 rng) 11 in
+  Int64.to_float raw *. (1.0 /. 9007199254740992.0)
+
+let float rng bound =
+  if not (bound > 0. && Float.is_finite bound) then
+    invalid_arg "Rng.float: bound must be positive and finite";
+  uniform rng *. bound
+
+let in_range rng lo hi =
+  if not (hi > lo) then invalid_arg "Rng.in_range: need lo < hi";
+  lo +. (uniform rng *. (hi -. lo))
+
+let bool rng = Int64.logand (bits64 rng) 1L = 1L
+
+let gaussian ?(mu = 0.) ?(sigma = 1.) rng =
+  match rng.spare_gaussian with
+  | Some g ->
+    rng.spare_gaussian <- None;
+    mu +. (sigma *. g)
+  | None ->
+    (* Box–Muller: u1 in (0,1] to keep log finite. *)
+    let u1 = 1.0 -. uniform rng in
+    let u2 = uniform rng in
+    let r = sqrt (-2.0 *. log u1) in
+    let theta = 2.0 *. Float.pi *. u2 in
+    rng.spare_gaussian <- Some (r *. sin theta);
+    mu +. (sigma *. (r *. cos theta))
+
+let exponential ?(rate = 1.) rng =
+  if rate <= 0. then invalid_arg "Rng.exponential: rate must be positive";
+  -.log (1.0 -. uniform rng) /. rate
+
+let shuffle_in_place rng arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int rng (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let choose rng arr =
+  if Array.length arr = 0 then invalid_arg "Rng.choose: empty array";
+  arr.(int rng (Array.length arr))
+
+let sample_without_replacement rng k arr =
+  let n = Array.length arr in
+  if k < 0 || k > n then invalid_arg "Rng.sample_without_replacement";
+  (* Partial Fisher–Yates on an index array. *)
+  let idx = Array.init n (fun i -> i) in
+  for i = 0 to k - 1 do
+    let j = i + int rng (n - i) in
+    let tmp = idx.(i) in
+    idx.(i) <- idx.(j);
+    idx.(j) <- tmp
+  done;
+  Array.init k (fun i -> arr.(idx.(i)))
+
+let direction rng d =
+  if d <= 0 then invalid_arg "Rng.direction: dimension must be positive";
+  let rec draw () =
+    let v = Array.init d (fun _ -> gaussian rng) in
+    let norm = sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0. v) in
+    if norm < 1e-12 then draw ()
+    else Array.map (fun x -> x /. norm) v
+  in
+  draw ()

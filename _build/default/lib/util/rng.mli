@@ -1,0 +1,61 @@
+(** Deterministic pseudo-random number generation.
+
+    A small, self-contained splitmix64-based PRNG so that every experiment in
+    this repository is reproducible from a single integer seed, independent of
+    the OCaml stdlib [Random] implementation (which may change across compiler
+    releases).  Generators are mutable; use {!split} to derive independent
+    streams for parallel or per-trial use. *)
+
+type t
+(** A mutable PRNG state. *)
+
+val create : int -> t
+(** [create seed] makes a fresh generator.  Equal seeds give equal streams. *)
+
+val split : t -> t
+(** [split rng] derives a new generator whose stream is statistically
+    independent from further draws of [rng]. *)
+
+val copy : t -> t
+(** [copy rng] duplicates the current state (same future stream). *)
+
+val bits64 : t -> int64
+(** Next raw 64 bits of the stream. *)
+
+val int : t -> int -> int
+(** [int rng bound] is uniform in [\[0, bound)].  [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float rng bound] is uniform in [\[0, bound)].  [bound] must be
+    positive and finite. *)
+
+val uniform : t -> float
+(** [uniform rng] is uniform in [\[0, 1)]. *)
+
+val in_range : t -> float -> float -> float
+(** [in_range rng lo hi] is uniform in [\[lo, hi)]. *)
+
+val bool : t -> bool
+(** A fair coin flip. *)
+
+val gaussian : ?mu:float -> ?sigma:float -> t -> float
+(** [gaussian ~mu ~sigma rng] draws from N(mu, sigma²) via Box–Muller.
+    Defaults: [mu = 0.], [sigma = 1.]. *)
+
+val exponential : ?rate:float -> t -> float
+(** [exponential ~rate rng] draws from Exp(rate); default [rate = 1.]. *)
+
+val shuffle_in_place : t -> 'a array -> unit
+(** Fisher–Yates shuffle of the array, in place. *)
+
+val choose : t -> 'a array -> 'a
+(** [choose rng arr] is a uniformly random element.  [arr] must be
+    non-empty. *)
+
+val sample_without_replacement : t -> int -> 'a array -> 'a array
+(** [sample_without_replacement rng k arr] picks [k] distinct elements
+    uniformly.  Requires [0 <= k <= Array.length arr]. *)
+
+val direction : t -> int -> float array
+(** [direction rng d] is a uniformly random unit vector in R^d (via
+    normalized Gaussian draws). *)

@@ -1,0 +1,33 @@
+(** Summary statistics over float samples.
+
+    Used by the experiment harness to average the approximation value α and
+    running times over the paper's ten independent random utility functions
+    (Section VII, "Parameter settings"). *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;  (** sample standard deviation (n-1 denominator); 0 if n < 2 *)
+  min : float;
+  max : float;
+  median : float;
+}
+
+val mean : float array -> float
+(** Arithmetic mean; 0 on the empty array. *)
+
+val stddev : float array -> float
+(** Sample standard deviation (n-1 denominator); 0 when fewer than 2 points. *)
+
+val median : float array -> float
+(** Median (average of middle two for even length); 0 on the empty array. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [\[0,100\]], linear interpolation between
+    order statistics.  Raises [Invalid_argument] on an empty array. *)
+
+val summarize : float array -> summary
+(** All of the above in one pass (plus sorting for the median). *)
+
+val pp_summary : Format.formatter -> summary -> unit
+(** Human-readable one-line rendering, e.g. for logs. *)

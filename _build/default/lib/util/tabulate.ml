@@ -1,0 +1,56 @@
+type t = {
+  title : string;
+  columns : string list;
+  mutable rows : string list list;  (* reverse order *)
+}
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let add_row t row =
+  let width = List.length t.columns in
+  let len = List.length row in
+  if len > width then invalid_arg "Tabulate.add_row: row longer than header";
+  let padded =
+    if len = width then row else row @ List.init (width - len) (fun _ -> "")
+  in
+  t.rows <- padded :: t.rows
+
+let float_cell x =
+  if Float.abs x < 5e-5 then "0.0000" else Printf.sprintf "%.4f" x
+
+let seconds_cell x = Printf.sprintf "%.2f" x
+
+let add_float_row ?(fmt = float_cell) t label xs =
+  add_row t (label :: List.map fmt xs)
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.columns :: rows in
+  let width = List.length t.columns in
+  let col_width j =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row j with
+        | Some cell -> max acc (String.length cell)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init width col_width in
+  let render_row row =
+    String.concat "  "
+      (List.mapi
+         (fun j cell ->
+           let w = List.nth widths j in
+           let pad = String.make (w - String.length cell) ' ' in
+           if j = 0 then cell ^ pad else pad ^ cell)
+         row)
+  in
+  let header = render_row t.columns in
+  let sep = String.make (String.length header) '-' in
+  let body = List.map render_row rows in
+  String.concat "\n" (("== " ^ t.title ^ " ==") :: header :: sep :: body)
+
+let print t =
+  print_string (render t);
+  print_newline ();
+  print_newline ()

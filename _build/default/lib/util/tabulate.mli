@@ -1,0 +1,33 @@
+(** Plain-text table and series rendering for the benchmark harness.
+
+    The benchmark executable prints each reproduced figure as a series table
+    (x value in the first column, one column per algorithm) and each
+    reproduced table in the paper's row/column layout.  Everything goes
+    through this module so the output format is uniform. *)
+
+type t
+(** A table under construction. *)
+
+val create : title:string -> columns:string list -> t
+(** [create ~title ~columns] starts a table with a header row. *)
+
+val add_row : t -> string list -> unit
+(** Append a row.  Short rows are padded with empty cells; rows longer than
+    the header raise [Invalid_argument]. *)
+
+val add_float_row : ?fmt:(float -> string) -> t -> string -> float list -> unit
+(** [add_float_row t label xs] appends [label] followed by formatted floats.
+    Default format: [%.4f] with very small magnitudes shown as [0.0000]. *)
+
+val render : t -> string
+(** Render with column alignment, a title line, and a separator under the
+    header. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a blank line. *)
+
+val float_cell : float -> string
+(** The default float formatting used by {!add_float_row}. *)
+
+val seconds_cell : float -> string
+(** Format a running time in seconds with two decimals (paper style). *)

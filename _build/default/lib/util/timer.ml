@@ -1,0 +1,9 @@
+let time f =
+  let start = Sys.time () in
+  let result = f () in
+  let stop = Sys.time () in
+  (result, stop -. start)
+
+let time_seconds f =
+  let _, s = time f in
+  s

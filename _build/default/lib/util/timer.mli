@@ -1,0 +1,13 @@
+(** Wall-clock timing for the running-time tables (Tables III and IV).
+
+    Uses [Unix]-free [Sys.time]-independent monotonic-ish measurement via
+    [Unix.gettimeofday]-equivalent: we rely on [Sys.time] for CPU seconds and
+    [Unix] is avoided to keep the dependency footprint minimal, so this module
+    reports CPU time, matching how the paper reports algorithm cost on an
+    otherwise idle machine. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result and elapsed CPU seconds. *)
+
+val time_seconds : (unit -> unit) -> float
+(** Like {!time} but discards the result. *)

@@ -1,0 +1,1 @@
+test/test_algorithms.ml: Alcotest Array Float Indq_core Indq_dataset Indq_dominance Indq_geom Indq_linalg Indq_user Indq_util List Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_dataset.ml: Alcotest Array Float Indq_core Indq_dataset Indq_util List

@@ -1,0 +1,1 @@
+test/test_dominance.ml: Alcotest Array Indq_dataset Indq_dominance Indq_util List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array Indq_core Indq_dataset Indq_experiments Indq_user Indq_util List String

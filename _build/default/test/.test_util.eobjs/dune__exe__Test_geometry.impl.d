@@ -1,0 +1,1 @@
+test/test_geometry.ml: Alcotest Array Indq_geom Indq_linalg Indq_util QCheck2 QCheck_alcotest

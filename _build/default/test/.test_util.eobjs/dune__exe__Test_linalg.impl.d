@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Float Indq_linalg Indq_util QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Float Indq_lp Indq_util List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_rtree.ml: Alcotest Array Float Indq_rtree Indq_util List QCheck2 QCheck_alcotest

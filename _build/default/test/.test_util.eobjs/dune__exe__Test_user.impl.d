@@ -1,0 +1,1 @@
+test/test_user.ml: Alcotest Array Float Indq_core Indq_dataset Indq_user Indq_util List QCheck2 QCheck_alcotest

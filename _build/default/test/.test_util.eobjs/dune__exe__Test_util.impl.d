@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Fun Indq_util String

@@ -1,0 +1,637 @@
+(* End-to-end tests of the four interactive algorithms.  The headline
+   invariant, from Definition 3: outputs must contain the exact
+   indistinguishability set (no false negatives), under both exact and
+   delta-erring users. *)
+
+module Algo = Indq_core.Algo
+module Squeeze_u = Indq_core.Squeeze_u
+module Squeeze_u2 = Indq_core.Squeeze_u2
+module Real_points = Indq_core.Real_points
+module Indist = Indq_core.Indist
+module Region = Indq_core.Region
+module Dataset = Indq_dataset.Dataset
+module Tuple = Indq_dataset.Tuple
+module Generator = Indq_dataset.Generator
+module Skyline = Indq_dominance.Skyline
+module Utility = Indq_user.Utility
+module Oracle = Indq_user.Oracle
+module Rng = Indq_util.Rng
+
+(* Independent data augmented with the d basis rows and the origin, pinning
+   every attribute range to exactly [0, 1] — the normalization regime under
+   which Algorithm 1's phase-1 inference is exact (see DESIGN.md). *)
+let pinned_dataset rng ~n ~d =
+  let base = Generator.independent rng ~n ~d in
+  let rows =
+    Array.append
+      (Array.map Tuple.values (Dataset.tuples base))
+      (Array.init (d + 1) (fun i ->
+           if i = d then Array.make d 0.
+           else Array.init d (fun j -> if i = j then 1. else 0.)))
+  in
+  Dataset.create rows
+
+let check_no_false_negatives ~eps ~u ~data ~output what =
+  Alcotest.(check bool)
+    (what ^ ": no false negatives")
+    false
+    (Indist.has_false_negatives ~eps u ~data ~output)
+
+(* --- Squeeze-u (Algorithm 1) --- *)
+
+let test_chi_ladder () =
+  let chi = Squeeze_u.chi_ladder ~lo:0.2 ~hi:0.7 ~s:5 in
+  Alcotest.(check int) "length" 6 (Array.length chi);
+  Alcotest.(check (float 1e-9)) "first" 0.2 chi.(0);
+  Alcotest.(check (float 1e-9)) "last" 0.7 chi.(5);
+  Alcotest.(check (float 1e-9)) "step" 0.3 chi.(1)
+
+let test_ladder_points_shape () =
+  let chi = Squeeze_u.chi_ladder ~lo:0. ~hi:1. ~s:3 in
+  let pts = Squeeze_u.ladder_points ~d:4 ~s:3 ~i:2 ~i_star:0 ~chi in
+  Alcotest.(check int) "s points" 3 (Array.length pts);
+  Array.iteri
+    (fun k0 p ->
+      let k = k0 + 1 in
+      Alcotest.(check (float 1e-9)) "coordinate i" (float_of_int k /. 3.) p.(2);
+      Alcotest.(check (float 1e-9)) "others zero" 0. p.(1);
+      Alcotest.(check (float 1e-9)) "others zero" 0. p.(3))
+    pts;
+  (* p_s has an empty chi tail in coordinate i*. *)
+  Alcotest.(check (float 1e-9)) "tail of p_s" 0. pts.(2).(0)
+
+let test_ladder_choice_brackets_truth () =
+  (* For any true ratio r in [0,1], an exact user's ladder choice must
+     bracket r: chi_{c-1} <= r <= chi_c. *)
+  let rng = Rng.create 41 in
+  for _ = 1 to 100 do
+    let d = 3 and s = 4 and i = 1 and i_star = 0 in
+    let r = Rng.uniform rng in
+    let u = [| 1.; r; Rng.uniform rng |] in
+    let chi = Squeeze_u.chi_ladder ~lo:0. ~hi:1. ~s in
+    let pts = Squeeze_u.ladder_points ~d ~s ~i ~i_star ~chi in
+    let c = Utility.best_index u pts + 1 in
+    Alcotest.(check bool) "bracket low" true (chi.(c - 1) <= r +. 1e-9);
+    Alcotest.(check bool) "bracket high" true (r <= chi.(c) +. 1e-9)
+  done
+
+let test_squeeze_u_finds_i_star () =
+  let rng = Rng.create 43 in
+  for _ = 1 to 20 do
+    let d = 2 + Rng.int rng 4 in
+    let data = pinned_dataset rng ~n:50 ~d in
+    let u = Utility.random rng ~d in
+    let oracle = Oracle.exact u in
+    let result =
+      Squeeze_u.run ~data ~s:(max 2 d) ~q:(3 * d) ~eps:0.05 ~oracle ()
+    in
+    Alcotest.(check int) "i* is argmax"
+      (Indq_linalg.Vec.argmax u)
+      result.Squeeze_u.i_star
+  done
+
+let test_squeeze_u_lemma1_bound () =
+  (* Lemma 1: after q questions, |H_i - L_i| <= 1/s^floor((q - phase1)/(d-1)). *)
+  let rng = Rng.create 47 in
+  for _ = 1 to 10 do
+    let d = 3 in
+    let s = d in
+    let q = 3 * d in
+    let data = pinned_dataset rng ~n:60 ~d in
+    let u = Utility.random rng ~d in
+    let oracle = Oracle.exact u in
+    let result = Squeeze_u.run ~data ~s ~q ~eps:0.05 ~oracle () in
+    let phase1 = ((d - 2) / (s - 1)) + 1 in
+    let updates = (q - phase1) / (d - 1) in
+    let bound = 1. /. (float_of_int s ** float_of_int updates) in
+    Array.iteri
+      (fun i lo ->
+        let width = result.Squeeze_u.hi.(i) -. lo in
+        Alcotest.(check bool)
+          (Printf.sprintf "width %g <= %g" width bound)
+          true
+          (width <= bound +. 1e-9))
+      result.Squeeze_u.lo
+  done
+
+let test_squeeze_u_no_false_negatives () =
+  let rng = Rng.create 53 in
+  for trial = 1 to 20 do
+    let d = 2 + Rng.int rng 3 in
+    let data = pinned_dataset rng ~n:100 ~d in
+    let u = Utility.random rng ~d in
+    let oracle = Oracle.exact u in
+    let eps = 0.05 in
+    let result = Squeeze_u.run ~data ~s:(max 2 d) ~q:(3 * d) ~eps ~oracle () in
+    check_no_false_negatives ~eps ~u ~data ~output:result.Squeeze_u.output
+      (Printf.sprintf "squeeze-u trial %d" trial)
+  done
+
+let test_squeeze_u_bounds_contain_truth () =
+  let rng = Rng.create 59 in
+  for _ = 1 to 20 do
+    let d = 2 + Rng.int rng 3 in
+    let data = pinned_dataset rng ~n:60 ~d in
+    let u = Utility.random_max_normalized rng ~d in
+    let oracle = Oracle.exact u in
+    let result = Squeeze_u.run ~data ~s:(max 2 d) ~q:(3 * d) ~eps:0.05 ~oracle () in
+    Array.iteri
+      (fun i x ->
+        Alcotest.(check bool) "lo <= u_i" true (result.Squeeze_u.lo.(i) <= x +. 1e-9);
+        Alcotest.(check bool) "u_i <= hi" true (x <= result.Squeeze_u.hi.(i) +. 1e-9))
+      u
+  done
+
+let test_squeeze_u_theorem2_bound () =
+  (* Theorem 2: alpha <= tau * d * (2 + eps), where tau bounds the learned
+     box widths.  Check the measured alpha against the bound computed from
+     the run's own lo/hi. *)
+  let rng = Rng.create 307 in
+  for _ = 1 to 15 do
+    let d = 2 + Rng.int rng 3 in
+    let data = pinned_dataset rng ~n:80 ~d in
+    let u = Utility.random rng ~d in
+    let eps = 0.05 in
+    let oracle = Oracle.exact u in
+    (* The Theorem 2 proof assumes the exact box test (every surviving p'
+       has a witness v in the box with (1+eps) p'.v >= p*.v); the O(n)
+       heuristic filter is weaker, so run with exact pruning. *)
+    let result =
+      Squeeze_u.run ~exact_prune:true ~data ~s:(max 2 d) ~q:(3 * d) ~eps
+        ~oracle ()
+    in
+    let tau = ref 0. in
+    Array.iteri
+      (fun i lo -> tau := Float.max !tau (result.Squeeze_u.hi.(i) -. lo))
+      result.Squeeze_u.lo;
+    let bound = !tau *. float_of_int d *. (2. +. eps) in
+    let alpha =
+      Indq_core.Indist.alpha ~eps u ~data ~output:result.Squeeze_u.output
+    in
+    (* alpha is measured with the raw (sum-normalized) utility, while the
+       theorem normalizes max u_i = 1; scaling u up only scales alpha up,
+       so compare in the theorem's normalization. *)
+    let alpha_normalized = alpha /. Indq_linalg.Vec.max_coord u in
+    Alcotest.(check bool)
+      (Printf.sprintf "alpha %.4f within bound %.4f" alpha_normalized bound)
+      true
+      (alpha_normalized <= bound +. 1e-9)
+  done
+
+let test_squeeze_u_question_budget () =
+  let rng = Rng.create 61 in
+  let d = 4 in
+  let data = pinned_dataset rng ~n:40 ~d in
+  let u = Utility.random rng ~d in
+  let oracle = Oracle.exact u in
+  let result = Squeeze_u.run ~data ~s:d ~q:7 ~eps:0.05 ~oracle () in
+  Alcotest.(check int) "uses exactly q" 7 result.Squeeze_u.questions_used;
+  Alcotest.(check int) "oracle agrees" 7 (Oracle.questions_asked oracle)
+
+let test_squeeze_u_zero_questions () =
+  let rng = Rng.create 67 in
+  let data = pinned_dataset rng ~n:30 ~d:3 in
+  let u = Utility.random rng ~d:3 in
+  let oracle = Oracle.exact u in
+  let result = Squeeze_u.run ~data ~s:3 ~q:0 ~eps:0.05 ~oracle () in
+  (* Without questions the bounds stay [0,1] and nothing of I is lost. *)
+  check_no_false_negatives ~eps:0.05 ~u ~data ~output:result.Squeeze_u.output "q=0"
+
+let test_squeeze_u_unequal_ranges_no_false_negatives () =
+  (* Regression: attribute 1 spans only [0, 0.05] while attribute 0 spans
+     [0, 1].  With the paper's literal H_j = 1 initialization, a user whose
+     weight ratio u_1/u_0 exceeds 1 (here 10) breaks the inference and the
+     optimal tuple gets pruned; the range-ratio bound keeps it. *)
+  let rng = Rng.create 97 in
+  let rows =
+    Array.init 120 (fun _ -> [| Rng.uniform rng; 0.05 *. Rng.uniform rng |])
+  in
+  (* Pin the ranges exactly. *)
+  let rows =
+    Array.append rows [| [| 0.; 0. |]; [| 1.; 0. |]; [| 0.; 0.05 |] |]
+  in
+  let data = Dataset.create rows in
+  let eps = 0.05 in
+  for trial = 1 to 10 do
+    let trial_rng = Rng.create (trial * 53) in
+    (* Weight attribute 1 heavily: ratios from ~2 up to ~40. *)
+    let u = [| 1.; 2. +. Rng.float trial_rng 38. |] in
+    let oracle = Oracle.exact u in
+    let result = Squeeze_u.run ~data ~s:2 ~q:8 ~eps ~oracle () in
+    check_no_false_negatives ~eps ~u ~data ~output:result.Squeeze_u.output
+      (Printf.sprintf "unequal ranges trial %d" trial)
+  done
+
+let test_squeeze_u_one_dimension () =
+  (* d = 1: no questions are needed; the answer is everything within
+     (1+eps) of the single maximum. *)
+  let data = Dataset.create [| [| 1.0 |]; [| 0.97 |]; [| 0.5 |] |] in
+  let oracle = Oracle.exact [| 1. |] in
+  let result = Squeeze_u.run ~data ~s:2 ~q:5 ~eps:0.05 ~oracle () in
+  Alcotest.(check int) "no questions" 0 result.Squeeze_u.questions_used;
+  let got = List.sort compare (List.map Tuple.id (Dataset.to_list result.Squeeze_u.output)) in
+  Alcotest.(check (list int)) "exactly I" [ 0; 1 ] got
+
+let test_squeeze_u_large_eps () =
+  let rng = Rng.create 63 in
+  let data = pinned_dataset rng ~n:50 ~d:3 in
+  let u = Utility.random rng ~d:3 in
+  let oracle = Oracle.exact u in
+  let result = Squeeze_u.run ~data ~s:3 ~q:9 ~eps:0.9 ~oracle () in
+  check_no_false_negatives ~eps:0.9 ~u ~data ~output:result.Squeeze_u.output "eps=0.9"
+
+let test_squeeze_u_guards () =
+  let data = Dataset.create [| [| 1.; 0. |] |] in
+  let oracle = Oracle.exact [| 1.; 1. |] in
+  Alcotest.check_raises "s too small" (Invalid_argument "Squeeze_u.run: s must be >= 2")
+    (fun () -> ignore (Squeeze_u.run ~data ~s:1 ~q:3 ~eps:0.05 ~oracle ()));
+  Alcotest.check_raises "bad eps" (Invalid_argument "Squeeze_u.run: eps must be positive")
+    (fun () -> ignore (Squeeze_u.run ~data ~s:2 ~q:3 ~eps:0. ~oracle ()))
+
+(* --- Squeeze-u2 (Algorithm 3) --- *)
+
+let test_robust_bounds_delta_zero () =
+  let chi = Squeeze_u.chi_ladder ~lo:0.2 ~hi:0.8 ~s:3 in
+  let lo, hi = Squeeze_u2.robust_bounds ~delta:0. ~s:3 ~chi ~c:2 in
+  Alcotest.(check (float 1e-9)) "lo = chi_1" chi.(1) lo;
+  Alcotest.(check (float 1e-9)) "hi = chi_2" chi.(2) hi
+
+let test_robust_bounds_widen_with_delta () =
+  let chi = Squeeze_u.chi_ladder ~lo:0. ~hi:1. ~s:4 in
+  let lo0, hi0 = Squeeze_u2.robust_bounds ~delta:0. ~s:4 ~chi ~c:2 in
+  let lo1, hi1 = Squeeze_u2.robust_bounds ~delta:0.05 ~s:4 ~chi ~c:2 in
+  Alcotest.(check bool) "lo shrinks" true (lo1 <= lo0);
+  Alcotest.(check bool) "hi grows" true (hi1 >= hi0)
+
+let test_robust_bounds_degenerate_denominator () =
+  let chi = Squeeze_u.chi_ladder ~lo:0. ~hi:1. ~s:3 in
+  let _, hi = Squeeze_u2.robust_bounds ~delta:0.5 ~s:3 ~chi ~c:3 in
+  Alcotest.(check bool) "H unconstrained" true (hi = infinity)
+
+let test_squeeze_u2_no_false_negatives_with_error () =
+  let rng = Rng.create 71 in
+  for trial = 1 to 20 do
+    let d = 2 + Rng.int rng 3 in
+    let data = pinned_dataset rng ~n:80 ~d in
+    let u = Utility.random rng ~d in
+    let delta = 0.05 in
+    let oracle = Oracle.with_error ~delta ~rng:(Rng.split rng) u in
+    let eps = 0.05 in
+    let result =
+      Squeeze_u2.run ~data ~s:(max 2 d) ~q:(3 * d) ~eps ~delta ~oracle ()
+    in
+    check_no_false_negatives ~eps ~u ~data ~output:result.Squeeze_u2.output
+      (Printf.sprintf "squeeze-u2 trial %d" trial)
+  done
+
+let test_squeeze_u2_bounds_contain_truth_under_error () =
+  let rng = Rng.create 73 in
+  for _ = 1 to 20 do
+    let d = 2 + Rng.int rng 3 in
+    let data = pinned_dataset rng ~n:60 ~d in
+    let u = Utility.random rng ~d in
+    let delta = 0.03 in
+    let oracle = Oracle.with_error ~delta ~rng:(Rng.split rng) u in
+    let result =
+      Squeeze_u2.run ~data ~s:(max 2 d) ~q:(3 * d) ~eps:0.05 ~delta ~oracle ()
+    in
+    (* The true ratios u_i / u_{i*} must stay inside the learned box. *)
+    let i_star = result.Squeeze_u2.i_star in
+    let ratio i = u.(i) /. u.(i_star) in
+    Array.iteri
+      (fun i lo ->
+        if i <> i_star then begin
+          Alcotest.(check bool) "lo <= ratio" true (lo <= ratio i +. 1e-9);
+          Alcotest.(check bool) "ratio <= hi" true
+            (ratio i <= result.Squeeze_u2.hi.(i) +. 1e-9)
+        end)
+      result.Squeeze_u2.lo
+  done
+
+let test_squeeze_u2_matches_u1_when_delta_zero () =
+  (* With delta = 0 and an exact user, Algorithm 3's ladder phase performs
+     the Algorithm 1 updates, so the learned boxes coincide (phase-1 display
+     points differ but identify the same i* on range-pinned data). *)
+  let rng = Rng.create 79 in
+  let d = 3 in
+  let data = pinned_dataset rng ~n:50 ~d in
+  let u = Utility.random rng ~d in
+  let r1 = Squeeze_u.run ~data ~s:d ~q:9 ~eps:0.05 ~oracle:(Oracle.exact u) () in
+  let r2 =
+    Squeeze_u2.run ~data ~s:d ~q:9 ~eps:0.05 ~delta:0. ~oracle:(Oracle.exact u) ()
+  in
+  Alcotest.(check int) "same i*" r1.Squeeze_u.i_star r2.Squeeze_u2.i_star;
+  Array.iteri
+    (fun i lo1 ->
+      Alcotest.(check (float 1e-9)) "same lo" lo1 r2.Squeeze_u2.lo.(i);
+      Alcotest.(check (float 1e-9)) "same hi" r1.Squeeze_u.hi.(i) r2.Squeeze_u2.hi.(i))
+    r1.Squeeze_u.lo
+
+(* --- Real-points algorithms (Algorithm 2 + UH-Random) --- *)
+
+let strategies =
+  [ ("random", Real_points.Random); ("minr", Real_points.MinR); ("mind", Real_points.MinD) ]
+
+let test_real_points_no_false_negatives () =
+  let rng = Rng.create 83 in
+  List.iter
+    (fun (label, strategy) ->
+      for trial = 1 to 8 do
+        let d = 2 + Rng.int rng 2 in
+        let data = Generator.anti_correlated rng ~n:60 ~d in
+        let u = Utility.random rng ~d in
+        let oracle = Oracle.exact u in
+        let eps = 0.05 in
+        let result =
+          Real_points.run ~trials:5 strategy ~data ~s:d ~q:(3 * d) ~eps ~oracle
+            ~rng:(Rng.split rng)
+        in
+        check_no_false_negatives ~eps ~u ~data ~output:result.Real_points.output
+          (Printf.sprintf "%s trial %d" label trial)
+      done)
+    strategies
+
+let test_real_points_no_false_negatives_with_error () =
+  let rng = Rng.create 89 in
+  List.iter
+    (fun (label, strategy) ->
+      for trial = 1 to 5 do
+        let d = 2 + Rng.int rng 2 in
+        let data = Generator.anti_correlated rng ~n:50 ~d in
+        let u = Utility.random rng ~d in
+        let delta = 0.05 in
+        let oracle = Oracle.with_error ~delta ~rng:(Rng.split rng) u in
+        let eps = 0.05 in
+        let result =
+          Real_points.run ~delta ~trials:5 strategy ~data ~s:d ~q:(3 * d) ~eps
+            ~oracle ~rng:(Rng.split rng)
+        in
+        check_no_false_negatives ~eps ~u ~data ~output:result.Real_points.output
+          (Printf.sprintf "%s with error, trial %d" label trial)
+      done)
+    strategies
+
+let test_real_points_output_within_skyline () =
+  let rng = Rng.create 97 in
+  let data = Generator.anti_correlated rng ~n:80 ~d:3 in
+  let u = Utility.random rng ~d:3 in
+  let eps = 0.05 in
+  let sky_ids =
+    List.map Tuple.id (Dataset.to_list (Skyline.prune_eps_dominated ~eps data))
+  in
+  let result =
+    Real_points.run Real_points.Random ~data ~s:3 ~q:9 ~eps
+      ~oracle:(Oracle.exact u) ~rng:(Rng.split rng)
+  in
+  Array.iter
+    (fun p ->
+      Alcotest.(check bool) "output within (1+eps)-skyline" true
+        (List.mem (Tuple.id p) sky_ids))
+    (Dataset.tuples result.Real_points.output)
+
+let test_real_points_region_contains_truth () =
+  let rng = Rng.create 101 in
+  let data = Generator.independent rng ~n:60 ~d:3 in
+  let u = Utility.random rng ~d:3 in
+  let result =
+    Real_points.run Real_points.Random ~data ~s:3 ~q:9 ~eps:0.05
+      ~oracle:(Oracle.exact u) ~rng:(Rng.split rng)
+  in
+  let poly = Region.polytope result.Real_points.region in
+  Alcotest.(check bool) "true utility in final region" true
+    (Indq_geom.Polytope.contains ~tol:1e-7 poly (Utility.normalize_sum u))
+
+let test_real_points_early_stop_single_candidate () =
+  (* A dataset where one tuple (1+eps)-dominates everything: the candidate
+     set collapses immediately and no questions are needed. *)
+  let data = Dataset.create [| [| 1.; 1. |]; [| 0.5; 0.5 |]; [| 0.2; 0.2 |] |] in
+  let oracle = Oracle.exact [| 1.; 1. |] in
+  let result =
+    Real_points.run Real_points.Random ~data ~s:2 ~q:6 ~eps:0.05 ~oracle
+      ~rng:(Rng.create 0)
+  in
+  Alcotest.(check int) "single candidate" 1 (Dataset.size result.Real_points.output);
+  Alcotest.(check int) "no questions" 0 result.Real_points.questions_used
+
+let test_score_display_set_prefers_informative () =
+  (* Two identical tuples give no information (region unchanged); two very
+     different tuples split the region.  The informative pair must score
+     lower. *)
+  let region = Region.initial ~d:2 in
+  let t v = Tuple.make ~id:0 v in
+  let dull = [| t [| 0.5; 0.5 |]; t [| 0.5; 0.5 |] |] in
+  let sharp = [| t [| 1.; 0. |]; t [| 0.; 1. |] |] in
+  let score set = Real_points.score_display_set ~delta:0. ~metric:`Width region set in
+  Alcotest.(check bool) "sharp beats dull" true (score sharp < score dull)
+
+(* --- Algo dispatcher --- *)
+
+let test_algo_names () =
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) "roundtrip" true
+        (Algo.of_string (Algo.to_string name) = name))
+    Algo.all;
+  Alcotest.(check bool) "case insensitive" true (Algo.of_string "mind" = Algo.MinD);
+  Alcotest.check_raises "unknown" (Invalid_argument "Algo.of_string: unknown algorithm nope")
+    (fun () -> ignore (Algo.of_string "nope"))
+
+let test_algo_default_config () =
+  let c = Algo.default_config ~d:4 in
+  Alcotest.(check int) "s" 4 c.Algo.s;
+  Alcotest.(check int) "q" 12 c.Algo.q;
+  Alcotest.(check (float 1e-9)) "eps" 0.05 c.Algo.eps
+
+let test_algo_run_all () =
+  let rng = Rng.create 103 in
+  let d = 3 in
+  let data = pinned_dataset rng ~n:60 ~d in
+  let u = Utility.random rng ~d in
+  let config = Algo.default_config ~d in
+  List.iter
+    (fun name ->
+      let oracle = Oracle.exact u in
+      let result = Algo.run name config ~data ~oracle ~rng:(Rng.split rng) in
+      Alcotest.(check bool)
+        (Algo.to_string name ^ " asked some questions")
+        true
+        (result.Algo.questions_used >= 0 && result.Algo.questions_used <= config.Algo.q);
+      check_no_false_negatives ~eps:config.Algo.eps ~u ~data
+        ~output:result.Algo.output
+        (Algo.to_string name))
+    Algo.all
+
+let test_algo_squeeze_dispatches_on_delta () =
+  let rng = Rng.create 107 in
+  let d = 2 in
+  let data = pinned_dataset rng ~n:40 ~d in
+  let u = Utility.random rng ~d in
+  let config = { (Algo.default_config ~d) with Algo.delta = 0.05 } in
+  let oracle = Oracle.with_error ~delta:0.05 ~rng:(Rng.split rng) u in
+  let result = Algo.run Algo.Squeeze_u config ~data ~oracle ~rng:(Rng.split rng) in
+  check_no_false_negatives ~eps:config.Algo.eps ~u ~data ~output:result.Algo.output
+    "dispatched squeeze-u2"
+
+(* --- Session (effects-based incremental driver) --- *)
+
+module Session = Indq_core.Session
+
+let drive_session session u =
+  let rec loop () =
+    match Session.current session with
+    | Session.Asking options ->
+      Session.answer session (Utility.best_index u options);
+      loop ()
+    | Session.Finished result -> result
+  in
+  loop ()
+
+let test_session_matches_batch_run () =
+  (* Driving the coroutine with the same exact-user policy must reproduce
+     Algo.run exactly (same questions, same output). *)
+  let rng = Rng.create 211 in
+  let d = 3 in
+  let data = pinned_dataset rng ~n:60 ~d in
+  let u = Utility.random rng ~d in
+  let config = Algo.default_config ~d in
+  List.iter
+    (fun name ->
+      let algo_rng_a = Rng.create 5 and algo_rng_b = Rng.create 5 in
+      let batch = Algo.run name config ~data ~oracle:(Oracle.exact u) ~rng:algo_rng_a in
+      let session = Session.start name config ~data ~rng:algo_rng_b in
+      let live = drive_session session u in
+      let ids r =
+        List.sort compare (List.map Tuple.id (Dataset.to_list r.Algo.output))
+      in
+      Alcotest.(check (list int))
+        (Algo.to_string name ^ ": same output")
+        (ids batch) (ids live);
+      Alcotest.(check int)
+        (Algo.to_string name ^ ": same question count")
+        batch.Algo.questions_used live.Algo.questions_used)
+    Algo.all
+
+let test_session_counts_questions () =
+  let rng = Rng.create 223 in
+  let d = 2 in
+  let data = pinned_dataset rng ~n:40 ~d in
+  let u = Utility.random rng ~d in
+  let session =
+    Session.start Algo.Squeeze_u (Algo.default_config ~d) ~data ~rng:(Rng.split rng)
+  in
+  let result = drive_session session u in
+  Alcotest.(check int) "session count matches result"
+    result.Algo.questions_used
+    (Session.questions_asked session);
+  Alcotest.(check bool) "result accessor" true (Session.result session <> None)
+
+let test_session_answer_guards () =
+  let rng = Rng.create 227 in
+  let d = 2 in
+  let data = pinned_dataset rng ~n:30 ~d in
+  let session =
+    Session.start Algo.Squeeze_u (Algo.default_config ~d) ~data ~rng
+  in
+  (match Session.current session with
+  | Session.Asking options ->
+    Alcotest.check_raises "out of range"
+      (Invalid_argument "Session.answer: choice out of range") (fun () ->
+        Session.answer session (Array.length options))
+  | Session.Finished _ -> Alcotest.fail "should be asking");
+  (* Finish it, then answering must fail. *)
+  let u = Utility.random (Rng.create 0) ~d in
+  ignore (drive_session session u);
+  Alcotest.check_raises "already finished"
+    (Invalid_argument "Session.answer: session already finished") (fun () ->
+      Session.answer session 0)
+
+(* Property: across random configurations and algorithms, never a false
+   negative with exact users. *)
+let prop_never_false_negatives =
+  QCheck2.Test.make ~count:25 ~name:"all algorithms: I subset of output"
+    QCheck2.Gen.(int_bound 100000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let d = 2 + Rng.int rng 2 in
+      let data = pinned_dataset rng ~n:(30 + Rng.int rng 50) ~d in
+      let u = Utility.random rng ~d in
+      let config =
+        {
+          Algo.s = max 2 d;
+          q = d + Rng.int rng (3 * d);
+          eps = 0.02 +. Rng.float rng 0.15;
+          delta = 0.;
+          trials = 3;
+          exact_prune = false;
+        }
+      in
+      List.for_all
+        (fun name ->
+          let oracle = Oracle.exact u in
+          let result = Algo.run name config ~data ~oracle ~rng:(Rng.split rng) in
+          not
+            (Indist.has_false_negatives ~eps:config.Algo.eps u ~data
+               ~output:result.Algo.output))
+        Algo.all)
+
+let () =
+  Alcotest.run "algorithms"
+    [
+      ( "squeeze-u",
+        [
+          Alcotest.test_case "chi ladder" `Quick test_chi_ladder;
+          Alcotest.test_case "ladder points" `Quick test_ladder_points_shape;
+          Alcotest.test_case "ladder brackets truth" `Quick test_ladder_choice_brackets_truth;
+          Alcotest.test_case "finds i*" `Quick test_squeeze_u_finds_i_star;
+          Alcotest.test_case "lemma 1 bound" `Quick test_squeeze_u_lemma1_bound;
+          Alcotest.test_case "no false negatives" `Quick test_squeeze_u_no_false_negatives;
+          Alcotest.test_case "bounds contain truth" `Quick test_squeeze_u_bounds_contain_truth;
+          Alcotest.test_case "theorem 2 bound" `Quick test_squeeze_u_theorem2_bound;
+          Alcotest.test_case "question budget" `Quick test_squeeze_u_question_budget;
+          Alcotest.test_case "zero questions" `Quick test_squeeze_u_zero_questions;
+          Alcotest.test_case "unequal ranges" `Quick
+            test_squeeze_u_unequal_ranges_no_false_negatives;
+          Alcotest.test_case "one dimension" `Quick test_squeeze_u_one_dimension;
+          Alcotest.test_case "large eps" `Quick test_squeeze_u_large_eps;
+          Alcotest.test_case "guards" `Quick test_squeeze_u_guards;
+        ] );
+      ( "squeeze-u2",
+        [
+          Alcotest.test_case "robust bounds delta=0" `Quick test_robust_bounds_delta_zero;
+          Alcotest.test_case "bounds widen with delta" `Quick
+            test_robust_bounds_widen_with_delta;
+          Alcotest.test_case "degenerate denominator" `Quick
+            test_robust_bounds_degenerate_denominator;
+          Alcotest.test_case "no false negatives (erring user)" `Quick
+            test_squeeze_u2_no_false_negatives_with_error;
+          Alcotest.test_case "bounds contain ratios (erring user)" `Quick
+            test_squeeze_u2_bounds_contain_truth_under_error;
+          Alcotest.test_case "delta=0 matches Algorithm 1" `Quick
+            test_squeeze_u2_matches_u1_when_delta_zero;
+        ] );
+      ( "real-points",
+        [
+          Alcotest.test_case "no false negatives" `Quick test_real_points_no_false_negatives;
+          Alcotest.test_case "no false negatives (erring user)" `Quick
+            test_real_points_no_false_negatives_with_error;
+          Alcotest.test_case "output within skyline" `Quick
+            test_real_points_output_within_skyline;
+          Alcotest.test_case "region keeps truth" `Quick test_real_points_region_contains_truth;
+          Alcotest.test_case "early stop" `Quick test_real_points_early_stop_single_candidate;
+          Alcotest.test_case "display scoring" `Quick test_score_display_set_prefers_informative;
+        ] );
+      ( "session",
+        [
+          Alcotest.test_case "matches batch run" `Quick test_session_matches_batch_run;
+          Alcotest.test_case "counts questions" `Quick test_session_counts_questions;
+          Alcotest.test_case "answer guards" `Quick test_session_answer_guards;
+        ] );
+      ( "dispatcher",
+        [
+          Alcotest.test_case "names" `Quick test_algo_names;
+          Alcotest.test_case "default config" `Quick test_algo_default_config;
+          Alcotest.test_case "run all" `Quick test_algo_run_all;
+          Alcotest.test_case "delta dispatch" `Quick test_algo_squeeze_dispatches_on_delta;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_never_false_negatives ]);
+    ]

@@ -1,0 +1,481 @@
+(* Tests for the core definitions: the indistinguishability query itself,
+   regret equivalence (Obs. 2), the feasible region, the pruning testers and
+   the Theorem 1 impossibility construction. *)
+
+module Indist = Indq_core.Indist
+module Regret = Indq_core.Regret
+module Region = Indq_core.Region
+module Pruning = Indq_core.Pruning
+module Impossibility = Indq_core.Impossibility
+module Dataset = Indq_dataset.Dataset
+module Tuple = Indq_dataset.Tuple
+module Generator = Indq_dataset.Generator
+module Skyline = Indq_dominance.Skyline
+module Utility = Indq_user.Utility
+module Rng = Indq_util.Rng
+
+let ids data = List.map Tuple.id (Dataset.to_list data) |> List.sort compare
+
+(* Table I of the paper: five cars, u = (MPG-weight 1, SR-weight 20),
+   eps = 0.05 must select {c1, c3, c5}.  The paper's utility column gives
+   c5 the value 158, i.e. MPG 98 (the "95" in some renderings of the table
+   is inconsistent with its own utility column and with the claimed answer
+   set: 95 + 60 = 155 < 164/1.05). *)
+let car_table =
+  Dataset.create
+    [| [| 59.; 5. |]; [| 36.; 4. |]; [| 104.; 3. |]; [| 34.; 5. |]; [| 98.; 3. |] |]
+
+let car_utility = [| 1.; 20. |]
+
+let test_paper_car_example () =
+  let result = Indist.query_exact ~eps:0.05 car_utility car_table in
+  Alcotest.(check (list int)) "cars c1,c3,c5" [ 0; 2; 4 ] (ids result)
+
+let test_indistinguishable_symmetric () =
+  let u = [| 1.; 1. |] in
+  Alcotest.(check bool) "close pair" true
+    (Indist.indistinguishable ~eps:0.05 u [| 0.5; 0.5 |] [| 0.49; 0.49 |]);
+  Alcotest.(check bool) "far pair" false
+    (Indist.indistinguishable ~eps:0.05 u [| 0.5; 0.5 |] [| 0.4; 0.4 |]);
+  (* Symmetry. *)
+  Alcotest.(check bool) "symmetric" true
+    (Indist.indistinguishable ~eps:0.05 u [| 0.49; 0.49 |] [| 0.5; 0.5 |])
+
+let test_query_contains_optimum () =
+  let rng = Rng.create 4 in
+  let data = Generator.independent rng ~n:100 ~d:3 in
+  let u = Utility.random rng ~d:3 in
+  let result = Indist.query_exact ~eps:0.05 u data in
+  let best, _ = Dataset.max_utility data u in
+  Alcotest.(check bool) "p* in I" true
+    (List.mem (Tuple.id best) (ids result))
+
+let test_alpha_zero_for_exact_answer () =
+  let result = Indist.query_exact ~eps:0.05 car_utility car_table in
+  Alcotest.(check (float 1e-9)) "alpha 0" 0.
+    (Indist.alpha ~eps:0.05 car_utility ~data:car_table ~output:result)
+
+let test_alpha_positive_for_overfull_answer () =
+  (* Returning everything: c2 (utility 116) is far off; alpha must be
+     164 - 1.05 * 116 = 42.2. *)
+  let a =
+    Indist.alpha ~eps:0.05 car_utility ~data:car_table ~output:car_table
+  in
+  Alcotest.(check (float 1e-6)) "alpha" (164. -. (1.05 *. 116.)) a
+
+let test_false_negative_detection () =
+  let missing_best = Dataset.filter car_table (fun p -> Tuple.id p <> 2) in
+  Alcotest.(check bool) "detects" true
+    (Indist.has_false_negatives ~eps:0.05 car_utility ~data:car_table
+       ~output:missing_best);
+  Alcotest.(check bool) "full set fine" false
+    (Indist.has_false_negatives ~eps:0.05 car_utility ~data:car_table
+       ~output:car_table)
+
+let test_observation4_monotone () =
+  Alcotest.(check bool) "I(eps') subset I(eps)" true
+    (Indist.monotone_subset_check ~eps:0.05 ~eps':0.01 car_utility car_table)
+
+let test_eps_guard () =
+  Alcotest.check_raises "eps 0" (Invalid_argument "Indist: eps must be positive")
+    (fun () -> ignore (Indist.query_exact ~eps:0. car_utility car_table))
+
+(* Observation 1: if |I| = k then I = top-k. *)
+let test_observation1_topk () =
+  let result = Indist.query_exact ~eps:0.05 car_utility car_table in
+  let k = Dataset.size result in
+  let topk = Dataset.top_k car_table car_utility k in
+  Alcotest.(check (list int)) "I = top-k"
+    (ids result)
+    (List.sort compare (List.map Tuple.id topk))
+
+let test_regret_values () =
+  let r = Regret.tuple_regret ~data:car_table car_utility (Dataset.get car_table 1) in
+  Alcotest.(check (float 1e-9)) "c2 regret" (1. -. (116. /. 164.)) r;
+  let r0 = Regret.tuple_regret ~data:car_table car_utility (Dataset.get car_table 2) in
+  Alcotest.(check (float 1e-9)) "optimal regret 0" 0. r0
+
+let test_set_regret () =
+  let subset = [ Dataset.get car_table 0; Dataset.get car_table 1 ] in
+  Alcotest.(check (float 1e-9)) "best of subset" (1. -. (159. /. 164.))
+    (Regret.set_regret ~data:car_table car_utility subset)
+
+let test_observation2_regret_equivalence () =
+  Alcotest.(check bool) "cars" true
+    (Regret.matches_indistinguishability ~eps:0.05 car_utility car_table);
+  let rng = Rng.create 6 in
+  for _ = 1 to 10 do
+    let data = Generator.anti_correlated rng ~n:80 ~d:3 in
+    let u = Utility.random rng ~d:3 in
+    Alcotest.(check bool) "random data" true
+      (Regret.matches_indistinguishability ~eps:0.1 u data)
+  done
+
+let test_max_regret_ratio () =
+  let us = [ [| 1.; 0. |]; [| 0.; 1. |] ] in
+  let subset = [ Dataset.get car_table 2 ] in
+  (* c3=(104,3): for u=(0,1) optimum is 5 (c1/c4), regret 1-3/5 = 0.4. *)
+  let data = car_table in
+  Alcotest.(check (float 1e-9)) "max regret" 0.4
+    (Regret.max_regret_ratio ~data ~sample_utilities:us subset)
+
+(* Region tests. *)
+
+let test_region_observe_narrows () =
+  let r0 = Region.initial ~d:2 in
+  Alcotest.(check (float 1e-6)) "initial width" 1. (Region.width r0);
+  let r1 =
+    Region.observe r0 ~winner:[| 1.; 0. |] ~losers:[ [| 0.; 1. |] ]
+  in
+  Alcotest.(check (float 1e-6)) "narrowed" 0.5 (Region.width r1);
+  Alcotest.(check int) "counted" 1 (Region.questions_recorded r1)
+
+let test_region_no_losers_no_cut () =
+  let r0 = Region.initial ~d:2 in
+  let r1 = Region.observe r0 ~winner:[| 1.; 0. |] ~losers:[] in
+  Alcotest.(check int) "not counted" 0 (Region.questions_recorded r1)
+
+let test_region_delta_weaker () =
+  let r_strict =
+    Region.observe (Region.initial ~d:2) ~winner:[| 1.; 0. |] ~losers:[ [| 0.; 1. |] ]
+  in
+  let r_weak =
+    Region.observe ~delta:0.2 (Region.initial ~d:2) ~winner:[| 1.; 0. |]
+      ~losers:[ [| 0.; 1. |] ]
+  in
+  Alcotest.(check bool) "delta region wider" true
+    (Region.width r_weak >= Region.width r_strict -. 1e-9)
+
+let test_region_consistency_with_true_utility () =
+  (* Simulating an exact user, the true utility must stay in the region. *)
+  let rng = Rng.create 17 in
+  for _ = 1 to 20 do
+    let d = 2 + Rng.int rng 3 in
+    let u = Utility.random rng ~d in
+    let region = ref (Region.initial ~d) in
+    for _ = 1 to 5 do
+      let options = Array.init 3 (fun _ -> Array.init d (fun _ -> Rng.uniform rng)) in
+      let best = Utility.best_index u options in
+      let losers = ref [] in
+      Array.iteri (fun i p -> if i <> best then losers := p :: !losers) options;
+      region := Region.observe !region ~winner:options.(best) ~losers:!losers
+    done;
+    let poly = Region.polytope !region in
+    Alcotest.(check bool) "u in region" true
+      (Indq_geom.Polytope.contains ~tol:1e-7 poly (Utility.normalize_sum u))
+  done
+
+(* Pruning tests. *)
+
+let test_box_prune_fast_keeps_ground_truth () =
+  let rng = Rng.create 23 in
+  for _ = 1 to 20 do
+    let d = 2 + Rng.int rng 3 in
+    let data = Generator.independent rng ~n:120 ~d in
+    let u = Utility.random_max_normalized rng ~d in
+    (* A box that genuinely contains u. *)
+    let lo = Array.map (fun x -> Float.max 0. (x -. 0.1)) u in
+    let hi = Array.map (fun x -> Float.min 1. (x +. 0.1)) u in
+    let eps = 0.05 in
+    let pruned = Pruning.box_prune_fast ~eps ~lo ~hi data in
+    Alcotest.(check bool) "no false negatives" false
+      (Indist.has_false_negatives ~eps u ~data ~output:pruned)
+  done
+
+let test_box_prune_exact_subset_of_fast_input () =
+  let rng = Rng.create 29 in
+  let data = Generator.independent rng ~n:80 ~d:3 in
+  let u = Utility.random_max_normalized rng ~d:3 in
+  let lo = Array.map (fun x -> Float.max 0. (x -. 0.05)) u in
+  let hi = Array.map (fun x -> Float.min 1. (x +. 0.05)) u in
+  let eps = 0.05 in
+  let exact = Pruning.box_prune_exact ~eps ~lo ~hi data in
+  (* The exact test prunes at least as hard as the fast heuristic and never
+     drops ground truth. *)
+  Alcotest.(check bool) "no false negatives" false
+    (Indist.has_false_negatives ~eps u ~data ~output:exact)
+
+let test_box_prune_degenerate_box_is_sharp () =
+  (* With lo = hi = u the fast prune computes I exactly (V = optimum). *)
+  let u = [| 1.; 0.5 |] in
+  let data =
+    Dataset.create [| [| 1.; 1. |]; [| 0.97; 0.97 |]; [| 0.1; 0.1 |] |]
+  in
+  let pruned = Pruning.box_prune_fast ~eps:0.05 ~lo:u ~hi:u data in
+  Alcotest.(check (list int)) "exact I" (ids (Indist.query_exact ~eps:0.05 u data))
+    (ids pruned)
+
+let test_region_prune_no_false_negatives () =
+  let rng = Rng.create 31 in
+  for _ = 1 to 10 do
+    let d = 2 + Rng.int rng 2 in
+    let data = Generator.anti_correlated rng ~n:60 ~d in
+    let u = Utility.random rng ~d in
+    (* Region narrowed by a few true-preference cuts. *)
+    let region = ref (Region.initial ~d) in
+    for _ = 1 to 3 do
+      let pool = Dataset.tuples data in
+      let opts = Rng.sample_without_replacement rng (min 3 (Array.length pool)) pool in
+      let values = Array.map Tuple.values opts in
+      let best = Utility.best_index u values in
+      let losers = ref [] in
+      Array.iteri (fun i v -> if i <> best then losers := v :: !losers) values;
+      region := Region.observe !region ~winner:values.(best) ~losers:!losers
+    done;
+    let eps = 0.05 in
+    let pruned = Pruning.region_prune ~eps !region data in
+    Alcotest.(check bool) "no false negatives" false
+      (Indist.has_false_negatives ~eps u ~data ~output:pruned)
+  done
+
+let test_region_prune_actually_prunes () =
+  (* A sharply-narrowed region prunes obviously bad tuples. *)
+  let data =
+    Dataset.create [| [| 1.; 0.5 |]; [| 0.05; 0.55 |]; [| 0.99; 0.49 |] |]
+  in
+  (* User strongly prefers attribute 0: region near u = (1,0)... cut with a
+     decisive comparison. *)
+  let region =
+    Region.observe (Region.initial ~d:2) ~winner:[| 1.; 0. |]
+      ~losers:[ [| 0.; 0.9 |] ]
+  in
+  let pruned = Pruning.region_prune ~eps:0.05 region data in
+  Alcotest.(check bool) "bad tuple pruned" false (List.mem 1 (ids pruned));
+  Alcotest.(check bool) "good tuples kept" true
+    (List.mem 0 (ids pruned) && List.mem 2 (ids pruned))
+
+let test_utility_floor_bounds_optimum () =
+  let rng = Rng.create 37 in
+  let data = Generator.independent rng ~n:50 ~d:3 in
+  let u = Utility.random rng ~d:3 in
+  let region = Region.initial ~d:3 in
+  let floor_value = Pruning.utility_floor region data in
+  let _, best = Dataset.max_utility data u in
+  Alcotest.(check bool) "floor <= optimum" true (floor_value <= best +. 1e-9)
+
+let test_generic_utility_query () =
+  (* query_exact_fn with a linear evaluator must equal query_exact. *)
+  let u = car_utility in
+  let f p = Indq_linalg.Vec.dot u p in
+  Alcotest.(check (list int)) "linear agreement"
+    (ids (Indist.query_exact ~eps:0.05 u car_table))
+    (ids (Indist.query_exact_fn ~eps:0.05 f car_table));
+  Alcotest.(check (float 1e-9)) "alpha agreement"
+    (Indist.alpha ~eps:0.05 u ~data:car_table ~output:car_table)
+    (Indist.alpha_fn ~eps:0.05 f ~data:car_table ~output:car_table)
+
+let test_generic_utility_nonlinear () =
+  (* A concave user can rank a dominated-in-sum tuple first; the generic
+     query must follow the evaluator, not linearity. *)
+  let data = Dataset.create [| [| 1.0; 0.0 |]; [| 0.45; 0.45 |] |] in
+  let f p = sqrt p.(0) +. sqrt p.(1) in
+  let result = Indist.query_exact_fn ~eps:0.05 f data in
+  (* sqrt(0.45)*2 = 1.342 > 1, so the balanced tuple is optimal and the
+     extreme one is excluded at eps = 0.05 (1.05 < 1.342). *)
+  Alcotest.(check (list int)) "balanced only" [ 1 ] (ids result);
+  Alcotest.(check bool) "false negatives detected" true
+    (Indist.has_false_negatives_fn ~eps:0.05 f ~data
+       ~output:(Dataset.filter data (fun p -> Tuple.id p = 0)))
+
+(* Baselines (top-k / skyline / greedy k-regret + coverage metrics). *)
+
+module Baselines = Indq_core.Baselines
+
+let test_baselines_topk_and_skyline () =
+  let top2 = Baselines.top_k car_table car_utility ~k:2 in
+  Alcotest.(check (list int)) "top-2" [ 2; 0 ] (List.map Tuple.id top2);
+  let sky = Baselines.skyline car_table in
+  (* c2 (36,4) and c4 (34,5) are dominated by c1 (59,5); c5 (98,3) is
+     dominated by c3 (104,3) — which is exactly why the skyline cannot
+     answer the indistinguishability query (c5 is in I but off-skyline). *)
+  Alcotest.(check (list int)) "skyline" [ 0; 2 ]
+    (List.sort compare (List.map Tuple.id sky))
+
+let test_greedy_regret_set () =
+  let rng = Rng.create 59 in
+  let data = Generator.anti_correlated rng ~n:100 ~d:3 in
+  let sample = List.init 20 (fun _ -> Utility.random rng ~d:3) in
+  let set = Baselines.greedy_regret_set data ~size:5 ~sample_utilities:sample in
+  Alcotest.(check bool) "non-empty" true (List.length set >= 1);
+  Alcotest.(check bool) "within size" true (List.length set <= 5);
+  (* Greedy is monotone: a larger budget never increases sampled regret. *)
+  let regret set = Regret.max_regret_ratio ~data ~sample_utilities:sample set in
+  let bigger = Baselines.greedy_regret_set data ~size:10 ~sample_utilities:sample in
+  Alcotest.(check bool) "monotone improvement" true
+    (regret bigger <= regret set +. 1e-9)
+
+let test_greedy_regret_set_guards () =
+  let data = Dataset.create [| [| 1. |] |] in
+  Alcotest.check_raises "size" (Invalid_argument "Baselines.greedy_regret_set: size must be positive")
+    (fun () ->
+      ignore (Baselines.greedy_regret_set data ~size:0 ~sample_utilities:[ [| 1. |] ]));
+  Alcotest.check_raises "sample" (Invalid_argument "Baselines.greedy_regret_set: empty utility sample")
+    (fun () -> ignore (Baselines.greedy_regret_set data ~size:1 ~sample_utilities:[]))
+
+let test_compare_with_truth () =
+  let u = car_utility in
+  (* The true I is {0,2,4}; offer {0,2,1}: 2 covered, 1 false positive. *)
+  let result = [ Dataset.get car_table 0; Dataset.get car_table 2; Dataset.get car_table 1 ] in
+  let c = Baselines.compare_with_truth ~eps:0.05 u ~data:car_table result in
+  Alcotest.(check int) "truth size" 3 c.Baselines.truth_size;
+  Alcotest.(check int) "covered" 2 c.Baselines.covered;
+  Alcotest.(check int) "false positives" 1 c.Baselines.false_positives;
+  Alcotest.(check (float 1e-9)) "coverage" (2. /. 3.) c.Baselines.coverage
+
+let test_skyline_baseline_misses_indistinguishable () =
+  (* The motivating failure mode: a dominated-but-indistinguishable tuple
+     is invisible to the skyline baseline. *)
+  let data = Dataset.create [| [| 1.; 1. |]; [| 0.99; 0.99 |] |] in
+  let u = [| 0.5; 0.5 |] in
+  let c = Baselines.compare_with_truth ~eps:0.05 u ~data (Baselines.skyline data) in
+  Alcotest.(check int) "I has both" 2 c.Baselines.truth_size;
+  Alcotest.(check bool) "skyline misses one" true (c.Baselines.coverage < 1.)
+
+(* Impossibility (Theorem 1). *)
+
+let test_impossibility_m () =
+  Alcotest.(check int) "m = ceil(1.05*10)" 11 (Impossibility.m ~f:10 ~eps:0.05);
+  Alcotest.(check int) "m exact multiple" 3 (Impossibility.m ~f:2 ~eps:0.5)
+
+let test_impossibility_database_shape () =
+  let data = Impossibility.database ~f:5 ~eps:0.1 in
+  let m = Impossibility.m ~f:5 ~eps:0.1 in
+  Alcotest.(check int) "size m+1" (m + 1) (Dataset.size data);
+  (* Every tuple sums to 1. *)
+  Array.iter
+    (fun p ->
+      Alcotest.(check (float 1e-9)) "x + y = 1" 1.
+        (Tuple.get p 0 +. Tuple.get p 1))
+    (Dataset.tuples data)
+
+let test_impossibility_identical_rankings () =
+  List.iter
+    (fun (f, eps) ->
+      Alcotest.(check bool) "indistinguishable users" true
+        (Impossibility.identical_rankings ~f ~eps))
+    [ (5, 0.05); (10, 0.1); (3, 0.5); (20, 0.01) ]
+
+let test_impossibility_forced_false_positives () =
+  List.iter
+    (fun (f, eps) ->
+      let forced = Impossibility.forced_false_positives ~f ~eps in
+      Alcotest.(check bool)
+        (Printf.sprintf "at least f=%d forced (got %d)" f forced)
+        true (forced >= f))
+    [ (5, 0.05); (10, 0.1); (3, 0.5); (7, 0.01) ]
+
+let test_impossibility_u'_wants_everything () =
+  let f = 6 and eps = 0.1 in
+  let data = Impossibility.database ~f ~eps in
+  let all = Indist.query_exact ~eps (Impossibility.utility_u' ~eps) data in
+  Alcotest.(check int) "I(u') = D" (Dataset.size data) (Dataset.size all)
+
+let test_impossibility_guards () =
+  Alcotest.check_raises "f = 1" (Invalid_argument "Impossibility: f must be > 1")
+    (fun () -> ignore (Impossibility.database ~f:1 ~eps:0.1))
+
+(* Property: query_exact output = brute-force filter by definition. *)
+let prop_query_matches_definition =
+  QCheck2.Test.make ~count:60 ~name:"query matches Definition 2"
+    QCheck2.Gen.(int_bound 100000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let d = 1 + Rng.int rng 4 in
+      let n = 1 + Rng.int rng 100 in
+      let data = Generator.independent rng ~n ~d in
+      let u = Utility.random rng ~d in
+      let eps = 0.01 +. Rng.float rng 0.3 in
+      let result = ids (Indist.query_exact ~eps u data) in
+      let best, _ = Dataset.max_utility data u in
+      let expected =
+        Dataset.to_list data
+        |> List.filter (fun p ->
+               Indist.indistinguishable ~eps u (Tuple.values p) (Tuple.values best))
+        |> List.map Tuple.id |> List.sort compare
+      in
+      result = expected)
+
+(* Property: I is always a subset of the (1+eps)-skyline (Observation 3). *)
+let prop_obs3_skyline_superset =
+  QCheck2.Test.make ~count:60 ~name:"I subset of (1+eps)-skyline"
+    QCheck2.Gen.(int_bound 100000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let d = 1 + Rng.int rng 4 in
+      let data = Generator.anti_correlated rng ~n:(20 + Rng.int rng 100) ~d in
+      let u = Utility.random rng ~d in
+      let eps = 0.01 +. Rng.float rng 0.2 in
+      let truth = ids (Indist.query_exact ~eps u data) in
+      let sky = ids (Skyline.prune_eps_dominated ~eps data) in
+      List.for_all (fun id -> List.mem id sky) truth)
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "indist",
+        [
+          Alcotest.test_case "paper car example" `Quick test_paper_car_example;
+          Alcotest.test_case "symmetric" `Quick test_indistinguishable_symmetric;
+          Alcotest.test_case "contains optimum" `Quick test_query_contains_optimum;
+          Alcotest.test_case "alpha zero" `Quick test_alpha_zero_for_exact_answer;
+          Alcotest.test_case "alpha positive" `Quick test_alpha_positive_for_overfull_answer;
+          Alcotest.test_case "false negatives" `Quick test_false_negative_detection;
+          Alcotest.test_case "observation 4" `Quick test_observation4_monotone;
+          Alcotest.test_case "observation 1 top-k" `Quick test_observation1_topk;
+          Alcotest.test_case "eps guard" `Quick test_eps_guard;
+          Alcotest.test_case "generic utility linear" `Quick test_generic_utility_query;
+          Alcotest.test_case "generic utility nonlinear" `Quick
+            test_generic_utility_nonlinear;
+        ] );
+      ( "regret",
+        [
+          Alcotest.test_case "tuple regret" `Quick test_regret_values;
+          Alcotest.test_case "set regret" `Quick test_set_regret;
+          Alcotest.test_case "observation 2" `Quick test_observation2_regret_equivalence;
+          Alcotest.test_case "max regret ratio" `Quick test_max_regret_ratio;
+        ] );
+      ( "region",
+        [
+          Alcotest.test_case "observe narrows" `Quick test_region_observe_narrows;
+          Alcotest.test_case "no losers no cut" `Quick test_region_no_losers_no_cut;
+          Alcotest.test_case "delta weaker" `Quick test_region_delta_weaker;
+          Alcotest.test_case "true utility stays" `Quick
+            test_region_consistency_with_true_utility;
+        ] );
+      ( "pruning",
+        [
+          Alcotest.test_case "fast keeps truth" `Quick test_box_prune_fast_keeps_ground_truth;
+          Alcotest.test_case "exact keeps truth" `Quick
+            test_box_prune_exact_subset_of_fast_input;
+          Alcotest.test_case "degenerate box sharp" `Quick
+            test_box_prune_degenerate_box_is_sharp;
+          Alcotest.test_case "region prune keeps truth" `Quick
+            test_region_prune_no_false_negatives;
+          Alcotest.test_case "region prune prunes" `Quick test_region_prune_actually_prunes;
+          Alcotest.test_case "utility floor" `Quick test_utility_floor_bounds_optimum;
+        ] );
+      ( "baselines",
+        [
+          Alcotest.test_case "top-k and skyline" `Quick test_baselines_topk_and_skyline;
+          Alcotest.test_case "greedy regret set" `Quick test_greedy_regret_set;
+          Alcotest.test_case "greedy guards" `Quick test_greedy_regret_set_guards;
+          Alcotest.test_case "compare with truth" `Quick test_compare_with_truth;
+          Alcotest.test_case "skyline misses indistinguishable" `Quick
+            test_skyline_baseline_misses_indistinguishable;
+        ] );
+      ( "impossibility",
+        [
+          Alcotest.test_case "m" `Quick test_impossibility_m;
+          Alcotest.test_case "database shape" `Quick test_impossibility_database_shape;
+          Alcotest.test_case "identical rankings" `Quick test_impossibility_identical_rankings;
+          Alcotest.test_case "forced false positives" `Quick
+            test_impossibility_forced_false_positives;
+          Alcotest.test_case "u' wants everything" `Quick test_impossibility_u'_wants_everything;
+          Alcotest.test_case "guards" `Quick test_impossibility_guards;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_query_matches_definition;
+          QCheck_alcotest.to_alcotest prop_obs3_skyline_superset;
+        ] );
+    ]

@@ -1,0 +1,264 @@
+(* Tests for tuples, datasets, normalization, CSV round-trips and the
+   synthetic / simulated-real generators. *)
+
+module Tuple = Indq_dataset.Tuple
+module Dataset = Indq_dataset.Dataset
+module Generator = Indq_dataset.Generator
+module Realistic = Indq_dataset.Realistic
+module Rng = Indq_util.Rng
+
+let test_tuple_basics () =
+  let p = Tuple.make ~id:7 [| 0.5; 0.25 |] in
+  Alcotest.(check int) "id" 7 (Tuple.id p);
+  Alcotest.(check int) "dim" 2 (Tuple.dim p);
+  Alcotest.(check (float 1e-9)) "get" 0.25 (Tuple.get p 1);
+  Alcotest.(check (float 1e-9)) "utility" 1.0 (Tuple.utility p [| 1.; 2. |])
+
+let test_tuple_copy_isolation () =
+  let src = [| 1.; 2. |] in
+  let p = Tuple.make ~id:0 src in
+  src.(0) <- 99.;
+  Alcotest.(check (float 1e-9)) "copied on make" 1. (Tuple.get p 0)
+
+let test_dataset_create () =
+  let d = Dataset.create [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  Alcotest.(check int) "size" 2 (Dataset.size d);
+  Alcotest.(check int) "dim" 2 (Dataset.dim d);
+  Alcotest.(check int) "ids assigned" 1 (Tuple.id (Dataset.get d 1));
+  Alcotest.check_raises "ragged" (Invalid_argument "Dataset.create: ragged rows")
+    (fun () -> ignore (Dataset.create [| [| 1. |]; [| 1.; 2. |] |]))
+
+let test_find_by_id () =
+  let d = Dataset.create [| [| 1. |]; [| 2. |]; [| 3. |] |] in
+  (match Dataset.find_by_id d 2 with
+  | Some p -> Alcotest.(check (float 1e-9)) "value" 3. (Tuple.get p 0)
+  | None -> Alcotest.fail "id 2 exists");
+  Alcotest.(check bool) "missing" true (Dataset.find_by_id d 9 = None)
+
+let test_attribute_ranges () =
+  let d = Dataset.create [| [| 1.; 10. |]; [| 3.; 4. |]; [| 2.; 7. |] |] in
+  let ranges = Dataset.attribute_ranges d in
+  Alcotest.(check (float 1e-9)) "min0" 1. (fst ranges.(0));
+  Alcotest.(check (float 1e-9)) "max0" 3. (snd ranges.(0));
+  Alcotest.(check (float 1e-9)) "min1" 4. (fst ranges.(1));
+  Alcotest.(check (float 1e-9)) "max1" 10. (snd ranges.(1))
+
+let test_normalize_global () =
+  let d = Dataset.create [| [| 1.; 10. |]; [| 3.; 4. |] |] in
+  let n = Dataset.normalize_global d in
+  Alcotest.(check (float 1e-9)) "largest is 1" 1. (Tuple.get (Dataset.get n 0) 1);
+  Alcotest.(check (float 1e-9)) "scaled" 0.1 (Tuple.get (Dataset.get n 0) 0);
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Dataset.normalize_global: negative value") (fun () ->
+      ignore (Dataset.normalize_global (Dataset.create [| [| -1. |] |])))
+
+let test_normalize_per_attribute () =
+  let d = Dataset.create [| [| 1.; 10. |]; [| 3.; 4. |]; [| 2.; 7. |] |] in
+  let n = Dataset.normalize_per_attribute d in
+  let ranges = Dataset.attribute_ranges n in
+  Array.iter
+    (fun (lo, hi) ->
+      Alcotest.(check (float 1e-9)) "lo" 0. lo;
+      Alcotest.(check (float 1e-9)) "hi" 1. hi)
+    ranges
+
+let test_normalize_constant_attribute () =
+  let d = Dataset.create [| [| 5.; 1. |]; [| 5.; 2. |] |] in
+  let n = Dataset.normalize_per_attribute d in
+  Alcotest.(check (float 1e-9)) "constant maps to 0" 0. (Tuple.get (Dataset.get n 0) 0)
+
+let test_scale_to_unit_max () =
+  let d = Dataset.create [| [| 50.; 2. |]; [| 100.; 5. |] |] in
+  let s = Dataset.scale_to_unit_max d in
+  Alcotest.(check (float 1e-9)) "attr0 max 1" 1. (Tuple.get (Dataset.get s 1) 0);
+  Alcotest.(check (float 1e-9)) "attr0 ratio" 0.5 (Tuple.get (Dataset.get s 0) 0);
+  Alcotest.(check (float 1e-9)) "attr1 max 1" 1. (Tuple.get (Dataset.get s 1) 1);
+  Alcotest.(check (float 1e-9)) "attr1 ratio" 0.4 (Tuple.get (Dataset.get s 0) 1);
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Dataset.scale_to_unit_max: negative value") (fun () ->
+      ignore (Dataset.scale_to_unit_max (Dataset.create [| [| -1. |] |])))
+
+let test_scale_to_unit_max_preserves_query () =
+  (* Pure per-attribute scaling preserves I when the utility is rescaled
+     reciprocally — the documented contract. *)
+  let rng = Rng.create 99 in
+  for _ = 1 to 10 do
+    let raw =
+      Dataset.create
+        (Array.init 50 (fun _ ->
+             Array.init 3 (fun i -> Rng.float rng (10. ** float_of_int i))))
+    in
+    let scaled = Dataset.scale_to_unit_max raw in
+    let ranges = Dataset.attribute_ranges raw in
+    let u = Array.init 3 (fun _ -> 0.1 +. Rng.uniform rng) in
+    let u' = Array.mapi (fun i w -> w *. snd ranges.(i)) u in
+    let ids data =
+      List.sort compare (List.map Tuple.id (Dataset.to_list data))
+    in
+    let module Indist = Indq_core.Indist in
+    Alcotest.(check bool) "same I" true
+      (ids (Indist.query_exact ~eps:0.05 u raw)
+      = ids (Indist.query_exact ~eps:0.05 u' scaled))
+  done
+
+let test_invert_attributes () =
+  (* Price 100..300: inverted, cheaper is higher. *)
+  let d = Dataset.create [| [| 100.; 1. |]; [| 300.; 2. |] |] in
+  let inv = Dataset.invert_attributes d ~smaller_is_better:[| true; false |] in
+  Alcotest.(check (float 1e-9)) "cheap becomes best" 200. (Tuple.get (Dataset.get inv 0) 0);
+  Alcotest.(check (float 1e-9)) "expensive becomes 0" 0. (Tuple.get (Dataset.get inv 1) 0);
+  Alcotest.(check (float 1e-9)) "untouched attribute" 2. (Tuple.get (Dataset.get inv 1) 1)
+
+let test_max_utility_and_top_k () =
+  let d = Dataset.create [| [| 1.; 0. |]; [| 0.; 1. |]; [| 0.6; 0.6 |] |] in
+  let u = [| 1.; 1. |] in
+  let best, v = Dataset.max_utility d u in
+  Alcotest.(check int) "best id" 2 (Tuple.id best);
+  Alcotest.(check (float 1e-9)) "best value" 1.2 v;
+  let top2 = Dataset.top_k d u 2 in
+  Alcotest.(check (list int)) "top-2 ids" [ 2; 0 ] (List.map Tuple.id top2);
+  Alcotest.(check int) "k > n" 3 (List.length (Dataset.top_k d u 10))
+
+let test_csv_roundtrip () =
+  let d = Dataset.create [| [| 0.25; 0.75 |]; [| 1e-9; 1. |] |] in
+  let d' = Dataset.of_csv (Dataset.to_csv d) in
+  Alcotest.(check int) "size" (Dataset.size d) (Dataset.size d');
+  for i = 0 to Dataset.size d - 1 do
+    let a = Dataset.get d i and b = Dataset.get d' i in
+    Alcotest.(check int) "id" (Tuple.id a) (Tuple.id b);
+    for j = 0 to Dataset.dim d - 1 do
+      Alcotest.(check (float 1e-12)) "value" (Tuple.get a j) (Tuple.get b j)
+    done
+  done
+
+let test_csv_malformed () =
+  Alcotest.check_raises "bad value" (Failure "Dataset.of_csv: bad value")
+    (fun () -> ignore (Dataset.of_csv "0,notafloat\n"))
+
+let test_generator_shapes () =
+  let rng = Rng.create 1 in
+  List.iter
+    (fun kind ->
+      let d = Generator.by_name kind rng ~n:200 ~d:3 in
+      Alcotest.(check int) (kind ^ " size") 200 (Dataset.size d);
+      Alcotest.(check int) (kind ^ " dim") 3 (Dataset.dim d);
+      Array.iter
+        (fun p ->
+          Array.iter
+            (fun x ->
+              Alcotest.(check bool) (kind ^ " in unit box") true (x >= 0. && x <= 1.))
+            (Tuple.values p))
+        (Dataset.tuples d))
+    [ "independent"; "correlated"; "anti_correlated" ]
+
+let pearson xs ys =
+  let n = float_of_int (Array.length xs) in
+  let mean a = Array.fold_left ( +. ) 0. a /. n in
+  let mx = mean xs and my = mean ys in
+  let cov = ref 0. and vx = ref 0. and vy = ref 0. in
+  Array.iteri
+    (fun i x ->
+      let dx = x -. mx and dy = ys.(i) -. my in
+      cov := !cov +. (dx *. dy);
+      vx := !vx +. (dx *. dx);
+      vy := !vy +. (dy *. dy))
+    xs;
+  !cov /. sqrt (!vx *. !vy)
+
+let column data j =
+  Array.map (fun p -> Tuple.get p j) (Dataset.tuples data)
+
+let test_generator_correlation_signs () =
+  let rng = Rng.create 42 in
+  let corr = Generator.correlated rng ~n:3000 ~d:2 in
+  let anti = Generator.anti_correlated rng ~n:3000 ~d:2 in
+  let r_corr = pearson (column corr 0) (column corr 1) in
+  let r_anti = pearson (column anti 0) (column anti 1) in
+  Alcotest.(check bool) "correlated r > 0.5" true (r_corr > 0.5);
+  Alcotest.(check bool) "anti-correlated r < -0.2" true (r_anti < -0.2)
+
+let test_generator_determinism () =
+  let a = Generator.independent (Rng.create 9) ~n:50 ~d:2 in
+  let b = Generator.independent (Rng.create 9) ~n:50 ~d:2 in
+  for i = 0 to 49 do
+    for j = 0 to 1 do
+      Alcotest.(check (float 0.)) "same draw"
+        (Tuple.get (Dataset.get a i) j)
+        (Tuple.get (Dataset.get b i) j)
+    done
+  done
+
+let test_realistic_shapes () =
+  let rng = Rng.create 3 in
+  let island = Realistic.island ~n:500 rng in
+  Alcotest.(check int) "island dim" 2 (Dataset.dim island);
+  Alcotest.(check int) "island size" 500 (Dataset.size island);
+  let nba = Realistic.nba ~n:400 rng in
+  Alcotest.(check int) "nba dim" 4 (Dataset.dim nba);
+  let house = Realistic.house ~n:300 rng in
+  Alcotest.(check int) "house dim" 6 (Dataset.dim house);
+  (* All normalized: max value across attributes is 1. *)
+  List.iter
+    (fun data ->
+      let m =
+        Array.fold_left
+          (fun acc p -> Array.fold_left Float.max acc (Tuple.values p))
+          0. (Dataset.tuples data)
+      in
+      Alcotest.(check (float 1e-9)) "global max is 1" 1. m)
+    [ island; nba; house ]
+
+let test_realistic_nba_correlated () =
+  let rng = Rng.create 8 in
+  let nba = Realistic.nba ~n:3000 rng in
+  Alcotest.(check bool) "stats positively correlated" true
+    (pearson (column nba 0) (column nba 1) > 0.3)
+
+let test_realistic_defaults () =
+  Alcotest.(check int) "island" 63383 (Realistic.default_size "island");
+  Alcotest.(check int) "nba" 21961 (Realistic.default_size "nba");
+  Alcotest.(check int) "house" 12793 (Realistic.default_size "house")
+
+let test_by_name_unknown () =
+  Alcotest.check_raises "unknown dataset"
+    (Invalid_argument "Realistic.by_name: unknown data set mars") (fun () ->
+      ignore (Realistic.by_name "mars" ~n:10 (Rng.create 0)))
+
+let () =
+  Alcotest.run "dataset"
+    [
+      ( "tuple",
+        [
+          Alcotest.test_case "basics" `Quick test_tuple_basics;
+          Alcotest.test_case "copy isolation" `Quick test_tuple_copy_isolation;
+        ] );
+      ( "dataset",
+        [
+          Alcotest.test_case "create" `Quick test_dataset_create;
+          Alcotest.test_case "find by id" `Quick test_find_by_id;
+          Alcotest.test_case "ranges" `Quick test_attribute_ranges;
+          Alcotest.test_case "normalize global" `Quick test_normalize_global;
+          Alcotest.test_case "normalize per-attr" `Quick test_normalize_per_attribute;
+          Alcotest.test_case "normalize constant" `Quick test_normalize_constant_attribute;
+          Alcotest.test_case "scale to unit max" `Quick test_scale_to_unit_max;
+          Alcotest.test_case "scaling preserves query" `Quick
+            test_scale_to_unit_max_preserves_query;
+          Alcotest.test_case "invert attributes" `Quick test_invert_attributes;
+          Alcotest.test_case "max utility / top-k" `Quick test_max_utility_and_top_k;
+          Alcotest.test_case "csv roundtrip" `Quick test_csv_roundtrip;
+          Alcotest.test_case "csv malformed" `Quick test_csv_malformed;
+        ] );
+      ( "generator",
+        [
+          Alcotest.test_case "shapes" `Quick test_generator_shapes;
+          Alcotest.test_case "correlation signs" `Quick test_generator_correlation_signs;
+          Alcotest.test_case "determinism" `Quick test_generator_determinism;
+        ] );
+      ( "realistic",
+        [
+          Alcotest.test_case "shapes" `Quick test_realistic_shapes;
+          Alcotest.test_case "nba correlated" `Quick test_realistic_nba_correlated;
+          Alcotest.test_case "default sizes" `Quick test_realistic_defaults;
+          Alcotest.test_case "unknown name" `Quick test_by_name_unknown;
+        ] );
+    ]

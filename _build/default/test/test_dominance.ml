@@ -1,0 +1,213 @@
+(* Tests for dominance predicates and skyline operators, including the
+   BNL-vs-SFS equivalence property. *)
+
+module Dominance = Indq_dominance.Dominance
+module Skyline = Indq_dominance.Skyline
+module Dataset = Indq_dataset.Dataset
+module Tuple = Indq_dataset.Tuple
+module Generator = Indq_dataset.Generator
+module Rng = Indq_util.Rng
+
+let test_dominates () =
+  Alcotest.(check bool) "strict" true (Dominance.dominates [| 1.; 1. |] [| 0.5; 0.5 |]);
+  Alcotest.(check bool) "partial tie" true (Dominance.dominates [| 1.; 0.5 |] [| 0.5; 0.5 |]);
+  Alcotest.(check bool) "equal" false (Dominance.dominates [| 0.5; 0.5 |] [| 0.5; 0.5 |]);
+  Alcotest.(check bool) "incomparable" false (Dominance.dominates [| 1.; 0. |] [| 0.; 1. |]);
+  Alcotest.(check bool) "reverse" false (Dominance.dominates [| 0.5; 0.5 |] [| 1.; 1. |])
+
+let test_c_dominates () =
+  (* a = (1, 1), b = (0.9, 0.9): a dominates 1.05*b = (0.945, 0.945). *)
+  Alcotest.(check bool) "c-dominated" true
+    (Dominance.c_dominates ~c:1.05 [| 1.; 1. |] [| 0.9; 0.9 |]);
+  (* b = (0.97, 0.97): 1.05*b = (1.0185, ...) escapes. *)
+  Alcotest.(check bool) "escapes" false
+    (Dominance.c_dominates ~c:1.05 [| 1.; 1. |] [| 0.97; 0.97 |]);
+  Alcotest.check_raises "c < 1" (Invalid_argument "Dominance.c_dominates: c must be >= 1")
+    (fun () -> ignore (Dominance.c_dominates ~c:0.9 [| 1. |] [| 1. |]))
+
+let test_c_dominates_zero_tuple () =
+  Alcotest.(check bool) "anything beats zero" true
+    (Dominance.c_dominates ~c:1.05 [| 0.1; 0. |] [| 0.; 0. |])
+
+let test_incomparable () =
+  Alcotest.(check bool) "incomparable" true
+    (Dominance.incomparable [| 1.; 0. |] [| 0.; 1. |]);
+  Alcotest.(check bool) "comparable" false
+    (Dominance.incomparable [| 1.; 1. |] [| 0.; 0. |])
+
+let ids data = List.map Tuple.id (Dataset.to_list data) |> List.sort compare
+
+let test_skyline_small () =
+  let data =
+    Dataset.create
+      [| [| 1.; 0. |]; [| 0.; 1. |]; [| 0.8; 0.8 |]; [| 0.5; 0.5 |]; [| 0.7; 0.7 |] |]
+  in
+  (* (0.5,0.5) and (0.7,0.7) are dominated by (0.8,0.8). *)
+  Alcotest.(check (list int)) "skyline ids" [ 0; 1; 2 ] (ids (Skyline.skyline data))
+
+let test_skyline_duplicates_kept () =
+  let data = Dataset.create [| [| 0.5; 0.5 |]; [| 0.5; 0.5 |] |] in
+  Alcotest.(check int) "both duplicates kept" 2 (Dataset.size (Skyline.skyline data))
+
+let test_c_skyline_prunes_more () =
+  let data =
+    Dataset.create [| [| 1.; 1. |]; [| 0.97; 0.97 |]; [| 0.9; 0.9 |] |]
+  in
+  (* Plain skyline keeps only (1,1)'s non-dominated set = {(1,1)}; here both
+     others are dominated.  The 1.05-skyline keeps (0.97,0.97) because
+     1.05*(0.97) > 1. *)
+  Alcotest.(check (list int)) "skyline" [ 0 ] (ids (Skyline.skyline data));
+  Alcotest.(check (list int)) "1.05-skyline" [ 0; 1 ]
+    (ids (Skyline.c_skyline ~c:1.05 data))
+
+let test_prune_eps_keeps_dominated_but_close () =
+  (* The indistinguishability query must retain dominated tuples that are
+     not (1+eps)-dominated (Section I discussion). *)
+  let data = Dataset.create [| [| 1.; 1. |]; [| 0.98; 0.99 |] |] in
+  Alcotest.(check int) "dominated tuple survives" 2
+    (Dataset.size (Skyline.prune_eps_dominated ~eps:0.05 data))
+
+let test_empty_dataset () =
+  let empty = Dataset.create [||] in
+  Alcotest.(check int) "skyline of empty" 0 (Dataset.size (Skyline.skyline empty))
+
+let test_is_dominated_by_any () =
+  let data = Dataset.create [| [| 1.; 1. |]; [| 0.5; 0.5 |] |] in
+  Alcotest.(check bool) "dominated" true
+    (Skyline.is_dominated_by_any data (Dataset.get data 1));
+  Alcotest.(check bool) "not dominated" false
+    (Skyline.is_dominated_by_any data (Dataset.get data 0))
+
+let test_k_skyband () =
+  let data =
+    Dataset.create
+      [| [| 1.; 1. |]; [| 0.9; 0.9 |]; [| 0.8; 0.8 |]; [| 0.95; 0.1 |] |]
+  in
+  (* Dominance counts: id0 by none, id1 by {0}, id2 by {0,1}, id3 by {0}. *)
+  Alcotest.(check (array int)) "counts" [| 0; 1; 2; 1 |]
+    (Skyline.dominance_counts data);
+  Alcotest.(check (list int)) "1-skyband = skyline" [ 0 ]
+    (ids (Skyline.k_skyband ~k:1 data));
+  Alcotest.(check (list int)) "2-skyband" [ 0; 1; 3 ]
+    (ids (Skyline.k_skyband ~k:2 data));
+  Alcotest.(check (list int)) "3-skyband all" [ 0; 1; 2; 3 ]
+    (ids (Skyline.k_skyband ~k:3 data));
+  Alcotest.check_raises "k guard" (Invalid_argument "Skyline.k_skyband: k must be >= 1")
+    (fun () -> ignore (Skyline.k_skyband ~k:0 data))
+
+let random_dataset rng =
+  let n = 1 + Rng.int rng 150 in
+  let d = 1 + Rng.int rng 4 in
+  let kind = Rng.int rng 3 in
+  match kind with
+  | 0 -> Generator.independent rng ~n ~d
+  | 1 -> Generator.correlated rng ~n ~d
+  | _ -> Generator.anti_correlated rng ~n ~d
+
+let prop_sfs_equals_bnl =
+  QCheck2.Test.make ~count:80 ~name:"SFS c-skyline = BNL c-skyline"
+    QCheck2.Gen.(int_bound 100000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let data = random_dataset rng in
+      let c = 1. +. Rng.float rng 0.3 in
+      ids (Skyline.c_skyline_sfs ~c data) = ids (Skyline.c_skyline_bnl ~c data))
+
+let prop_skyline_members_undominated =
+  QCheck2.Test.make ~count:60 ~name:"skyline members are undominated"
+    QCheck2.Gen.(int_bound 100000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let data = random_dataset rng in
+      let sky = Skyline.skyline data in
+      Array.for_all
+        (fun p -> not (Skyline.is_dominated_by_any data p))
+        (Dataset.tuples sky))
+
+let prop_c_skyline_monotone_in_c =
+  QCheck2.Test.make ~count:60 ~name:"larger c keeps at least as much"
+    QCheck2.Gen.(int_bound 100000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let data = random_dataset rng in
+      let c1 = 1. +. Rng.float rng 0.1 in
+      let c2 = c1 +. Rng.float rng 0.2 in
+      let s1 = ids (Skyline.c_skyline ~c:c1 data) in
+      let s2 = ids (Skyline.c_skyline ~c:c2 data) in
+      (* Larger c makes c-domination harder, so the c-skyline grows:
+         s1 ⊆ s2. *)
+      List.for_all (fun id -> List.mem id s2) s1)
+
+let prop_rtree_equals_bnl =
+  QCheck2.Test.make ~count:60 ~name:"R-tree c-skyline = BNL"
+    QCheck2.Gen.(int_bound 100000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let data = random_dataset rng in
+      let c = 1. +. Rng.float rng 0.3 in
+      ids (Skyline.c_skyline_rtree ~c data) = ids (Skyline.c_skyline_bnl ~c data))
+
+let prop_sweep_2d_equals_bnl =
+  QCheck2.Test.make ~count:120 ~name:"2D sweep c-skyline = BNL"
+    QCheck2.Gen.(int_bound 100000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 1 + Rng.int rng 200 in
+      (* Include exact duplicates, zeros and boundary values on purpose. *)
+      let coarse () = float_of_int (Rng.int rng 8) /. 7. in
+      let data =
+        Dataset.create (Array.init n (fun _ -> [| coarse (); coarse () |]))
+      in
+      let c = if Rng.bool rng then 1. else 1. +. Rng.float rng 0.3 in
+      ids (Skyline.c_skyline_sweep_2d ~c data) = ids (Skyline.c_skyline_bnl ~c data))
+
+let test_sweep_2d_dimension_guard () =
+  let data = Dataset.create [| [| 1.; 2.; 3. |] |] in
+  Alcotest.check_raises "3D rejected"
+    (Invalid_argument "Skyline.c_skyline_sweep_2d: data must be 2-dimensional")
+    (fun () -> ignore (Skyline.c_skyline_sweep_2d ~c:1.05 data))
+
+let prop_dominance_transitive =
+  QCheck2.Test.make ~count:100 ~name:"dominance is transitive"
+    QCheck2.Gen.(int_bound 100000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let d = 1 + Rng.int rng 4 in
+      let p () = Array.init d (fun _ -> Rng.uniform rng) in
+      let a = p () and b = p () and c = p () in
+      if Dominance.dominates a b && Dominance.dominates b c then
+        Dominance.dominates a c
+      else true)
+
+let () =
+  Alcotest.run "dominance"
+    [
+      ( "predicates",
+        [
+          Alcotest.test_case "dominates" `Quick test_dominates;
+          Alcotest.test_case "c-dominates" `Quick test_c_dominates;
+          Alcotest.test_case "zero tuple" `Quick test_c_dominates_zero_tuple;
+          Alcotest.test_case "incomparable" `Quick test_incomparable;
+        ] );
+      ( "skyline",
+        [
+          Alcotest.test_case "small example" `Quick test_skyline_small;
+          Alcotest.test_case "duplicates kept" `Quick test_skyline_duplicates_kept;
+          Alcotest.test_case "c-skyline prunes more" `Quick test_c_skyline_prunes_more;
+          Alcotest.test_case "keeps dominated-but-close" `Quick
+            test_prune_eps_keeps_dominated_but_close;
+          Alcotest.test_case "empty dataset" `Quick test_empty_dataset;
+          Alcotest.test_case "is dominated by any" `Quick test_is_dominated_by_any;
+          Alcotest.test_case "sweep 2d guard" `Quick test_sweep_2d_dimension_guard;
+          Alcotest.test_case "k-skyband" `Quick test_k_skyband;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_sfs_equals_bnl;
+          QCheck_alcotest.to_alcotest prop_sweep_2d_equals_bnl;
+          QCheck_alcotest.to_alcotest prop_rtree_equals_bnl;
+          QCheck_alcotest.to_alcotest prop_skyline_members_undominated;
+          QCheck_alcotest.to_alcotest prop_c_skyline_monotone_in_c;
+          QCheck_alcotest.to_alcotest prop_dominance_transitive;
+        ] );
+    ]

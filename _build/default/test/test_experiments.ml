@@ -1,0 +1,166 @@
+(* Tests for the evaluation harness (lib/experiments) and for algorithm
+   robustness under adversarial / inconsistent users (failure injection). *)
+
+module Experiments = Indq_experiments.Experiments
+module Report = Indq_experiments.Report
+module Algo = Indq_core.Algo
+module Indist = Indq_core.Indist
+module Real_points = Indq_core.Real_points
+module Dataset = Indq_dataset.Dataset
+module Generator = Indq_dataset.Generator
+module Oracle = Indq_user.Oracle
+module Utility = Indq_user.Utility
+module Rng = Indq_util.Rng
+
+let tiny_points ~seed =
+  let rng = Rng.create seed in
+  let data = Generator.independent rng ~n:60 ~d:2 in
+  let config = Algo.default_config ~d:2 in
+  [ (1., data, config); (2., data, { config with Algo.q = 4 }) ]
+
+let test_run_sweep_shape () =
+  let sweep =
+    Experiments.run_sweep ~title:"t" ~x_label:"x" ~algorithms:Algo.all
+      ~points:(tiny_points ~seed:3) ~utilities:2 ~user_delta:0. ~seed:5
+  in
+  Alcotest.(check int) "x count" 2 (List.length sweep.Experiments.x_values);
+  Alcotest.(check int) "rows" 2 (Array.length sweep.Experiments.cells);
+  Alcotest.(check int) "cols" (List.length Algo.all)
+    (Array.length sweep.Experiments.cells.(0));
+  Array.iter
+    (Array.iter (fun c ->
+         Alcotest.(check bool) "alpha >= 0" true (c.Experiments.alpha_mean >= 0.);
+         Alcotest.(check bool) "sizes >= 1" true (c.Experiments.output_size_mean >= 1.)))
+    sweep.Experiments.cells
+
+let test_sweep_no_false_negatives () =
+  let sweep =
+    Experiments.run_sweep ~title:"t" ~x_label:"x" ~algorithms:Algo.all
+      ~points:(tiny_points ~seed:11) ~utilities:3 ~user_delta:0. ~seed:13
+  in
+  Alcotest.(check int) "audit zero" 0 (Report.false_negative_total sweep)
+
+let test_sweep_deterministic () =
+  let run () =
+    Experiments.run_sweep ~title:"t" ~x_label:"x" ~algorithms:[ Algo.Squeeze_u ]
+      ~points:(tiny_points ~seed:17) ~utilities:2 ~user_delta:0.05 ~seed:19
+  in
+  let a = run () and b = run () in
+  Array.iteri
+    (fun i row ->
+      Array.iteri
+        (fun j c ->
+          Alcotest.(check (float 0.)) "same alpha" c.Experiments.alpha_mean
+            b.Experiments.cells.(i).(j).Experiments.alpha_mean)
+        row)
+    a.Experiments.cells
+
+let test_load_scaling () =
+  let small = Experiments.load ~scale:0.02 ~seed:1 Experiments.Nba_like in
+  Alcotest.(check int) "scaled size" (max 500 (int_of_float (0.02 *. 21961.)))
+    (Dataset.size small);
+  Alcotest.check_raises "scale guard"
+    (Invalid_argument "Experiments.load: scale in (0,1]") (fun () ->
+      ignore (Experiments.load ~scale:0. ~seed:1 Experiments.Nba_like))
+
+let test_dataset_names () =
+  Alcotest.(check string) "island" "Island" (Experiments.dataset_name Experiments.Island_like);
+  Alcotest.(check string) "nba" "NBA" (Experiments.dataset_name Experiments.Nba_like);
+  Alcotest.(check string) "house" "House" (Experiments.dataset_name Experiments.House_like)
+
+let test_report_tables_render () =
+  let sweep =
+    Experiments.run_sweep ~title:"render check" ~x_label:"x"
+      ~algorithms:[ Algo.Squeeze_u; Algo.MinR ] ~points:(tiny_points ~seed:23)
+      ~utilities:1 ~user_delta:0. ~seed:29
+  in
+  let contains hay needle =
+    let hl = String.length hay and nl = String.length needle in
+    let rec scan i = i + nl <= hl && (String.sub hay i nl = needle || scan (i + 1)) in
+    scan 0
+  in
+  let alpha = Indq_util.Tabulate.render (Report.alpha_table sweep) in
+  Alcotest.(check bool) "has title" true (contains alpha "render check");
+  Alcotest.(check bool) "has algorithms" true
+    (contains alpha "Squeeze-u" && contains alpha "MinR");
+  let time = Indq_util.Tabulate.render (Report.time_table sweep) in
+  Alcotest.(check bool) "time table" true (contains time "time (s)")
+
+(* --- failure injection: users the model does not cover --- *)
+
+(* An adversarial chooser that always picks the worst option must still
+   produce a structurally valid run (and cannot crash the region logic,
+   even though its answers may be mutually inconsistent). *)
+let test_adversarial_worst_picker () =
+  let rng = Rng.create 31 in
+  let data = Generator.anti_correlated rng ~n:50 ~d:3 in
+  let u = Utility.random rng ~d:3 in
+  let worst options =
+    let worst = ref 0 in
+    Array.iteri
+      (fun i p -> if Utility.value u p < Utility.value u options.(!worst) then worst := i)
+      options;
+    !worst
+  in
+  List.iter
+    (fun strategy ->
+      let oracle = Oracle.of_chooser worst in
+      let result =
+        Real_points.run ~trials:3 strategy ~data ~s:3 ~q:9 ~eps:0.05 ~oracle
+          ~rng:(Rng.split rng)
+      in
+      Alcotest.(check bool) "non-empty output" true
+        (Dataset.size result.Real_points.output >= 1))
+    [ Real_points.Random; Real_points.MinR; Real_points.MinD ]
+
+(* A random (uniform, utility-free) clicker: outputs remain valid subsets
+   of the candidates and runs terminate. *)
+let test_random_clicker () =
+  let rng = Rng.create 37 in
+  let data = Generator.independent rng ~n:80 ~d:3 in
+  let click_rng = Rng.create 41 in
+  let oracle = Oracle.of_chooser (fun options -> Rng.int click_rng (Array.length options)) in
+  let config = Algo.default_config ~d:3 in
+  List.iter
+    (fun name ->
+      let result = Algo.run name config ~data ~oracle ~rng:(Rng.split rng) in
+      Alcotest.(check bool)
+        (Algo.to_string name ^ " output non-empty")
+        true
+        (Dataset.size result.Algo.output >= 1))
+    Algo.all
+
+(* A user whose real error exceeds the modeled delta: soundness is not
+   guaranteed (the paper's model excludes this), but runs must complete and
+   report coherent sizes. *)
+let test_under_modeled_error () =
+  let rng = Rng.create 43 in
+  let data = Generator.independent rng ~n:60 ~d:3 in
+  let u = Utility.random rng ~d:3 in
+  let oracle = Oracle.with_error ~delta:0.3 ~rng:(Rng.split rng) u in
+  let config = { (Algo.default_config ~d:3) with Algo.delta = 0.01 } in
+  List.iter
+    (fun name ->
+      let result = Algo.run name config ~data ~oracle ~rng:(Rng.split rng) in
+      Alcotest.(check bool) "completes" true (Dataset.size result.Algo.output >= 0))
+    Algo.all
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "harness",
+        [
+          Alcotest.test_case "sweep shape" `Quick test_run_sweep_shape;
+          Alcotest.test_case "no false negatives" `Quick test_sweep_no_false_negatives;
+          Alcotest.test_case "deterministic" `Quick test_sweep_deterministic;
+          Alcotest.test_case "load scaling" `Quick test_load_scaling;
+          Alcotest.test_case "dataset names" `Quick test_dataset_names;
+          Alcotest.test_case "report renders" `Quick test_report_tables_render;
+        ] );
+      ( "failure-injection",
+        [
+          Alcotest.test_case "adversarial worst picker" `Quick test_adversarial_worst_picker;
+          Alcotest.test_case "random clicker" `Quick test_random_clicker;
+          Alcotest.test_case "under-modeled error" `Quick test_under_modeled_error;
+        ] );
+    ]

@@ -1,0 +1,139 @@
+(* Tests for dense vector/matrix operations. *)
+
+module Vec = Indq_linalg.Vec
+module Mat = Indq_linalg.Mat
+module Rng = Indq_util.Rng
+
+let vecf = Alcotest.(array (float 1e-9))
+
+let test_basis () =
+  Alcotest.check vecf "basis" [| 0.; 1.; 0. |] (Vec.basis 3 1);
+  Alcotest.check_raises "out of range" (Invalid_argument "Vec.basis: index out of range")
+    (fun () -> ignore (Vec.basis 3 3))
+
+let test_dot () =
+  Alcotest.(check (float 1e-9)) "dot" 32. (Vec.dot [| 1.; 2.; 3. |] [| 4.; 5.; 6. |]);
+  Alcotest.check_raises "mismatch" (Invalid_argument "Vec.dot: dimension mismatch")
+    (fun () -> ignore (Vec.dot [| 1. |] [| 1.; 2. |]))
+
+let test_arith () =
+  Alcotest.check vecf "add" [| 5.; 7. |] (Vec.add [| 1.; 2. |] [| 4.; 5. |]);
+  Alcotest.check vecf "sub" [| -3.; -3. |] (Vec.sub [| 1.; 2. |] [| 4.; 5. |]);
+  Alcotest.check vecf "scale" [| 2.; 4. |] (Vec.scale 2. [| 1.; 2. |]);
+  Alcotest.check vecf "axpy" [| 6.; 9. |] (Vec.axpy 2. [| 1.; 2. |] [| 4.; 5. |])
+
+let test_norms () =
+  Alcotest.(check (float 1e-9)) "norm2" 5. (Vec.norm2 [| 3.; 4. |]);
+  Alcotest.(check (float 1e-9)) "norm_inf" 4. (Vec.norm_inf [| 3.; -4. |]);
+  Alcotest.(check (float 1e-9)) "dist2" 5. (Vec.dist2 [| 0.; 0. |] [| 3.; 4. |]);
+  Alcotest.check vecf "normalize" [| 0.6; 0.8 |] (Vec.normalize [| 3.; 4. |]);
+  Alcotest.check_raises "normalize zero" (Invalid_argument "Vec.normalize: zero vector")
+    (fun () -> ignore (Vec.normalize [| 0.; 0. |]))
+
+let test_extrema () =
+  Alcotest.(check (float 1e-9)) "sum" 6. (Vec.sum [| 1.; 2.; 3. |]);
+  Alcotest.(check (float 1e-9)) "max" 3. (Vec.max_coord [| 1.; 3.; 2. |]);
+  Alcotest.(check (float 1e-9)) "min" 1. (Vec.min_coord [| 1.; 3.; 2. |]);
+  Alcotest.(check int) "argmax" 1 (Vec.argmax [| 1.; 3.; 2. |]);
+  Alcotest.(check int) "argmax first tie" 0 (Vec.argmax [| 3.; 3.; 2. |])
+
+let test_approx_equal () =
+  Alcotest.(check bool) "equal" true
+    (Vec.approx_equal [| 1.; 2. |] [| 1. +. 1e-12; 2. |]);
+  Alcotest.(check bool) "different dims" false (Vec.approx_equal [| 1. |] [| 1.; 2. |]);
+  Alcotest.(check bool) "different values" false
+    (Vec.approx_equal [| 1.; 2. |] [| 1.; 2.1 |])
+
+let test_mat_basic () =
+  let m = Mat.of_rows [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  Alcotest.(check int) "rows" 2 (Mat.rows m);
+  Alcotest.(check int) "cols" 2 (Mat.cols m);
+  Alcotest.(check (float 1e-9)) "get" 3. (Mat.get m 1 0);
+  Alcotest.check vecf "row" [| 3.; 4. |] (Mat.row m 1);
+  Alcotest.check vecf "col" [| 2.; 4. |] (Mat.col m 1);
+  Alcotest.check vecf "mul_vec" [| 5.; 11. |] (Mat.mul_vec m [| 1.; 2. |])
+
+let test_mat_transpose () =
+  let m = Mat.of_rows [| [| 1.; 2.; 3. |]; [| 4.; 5.; 6. |] |] in
+  let mt = Mat.transpose m in
+  Alcotest.(check int) "rows" 3 (Mat.rows mt);
+  Alcotest.check vecf "row of transpose" [| 2.; 5. |] (Mat.row mt 1)
+
+let test_mat_row_ops () =
+  let m = Mat.of_rows [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  Mat.swap_rows m 0 1;
+  Alcotest.check vecf "swapped" [| 3.; 4. |] (Mat.row m 0);
+  Mat.scale_row m 0 2.;
+  Alcotest.check vecf "scaled" [| 6.; 8. |] (Mat.row m 0);
+  Mat.add_scaled_row m ~src:0 ~dst:1 1.;
+  Alcotest.check vecf "added" [| 7.; 10. |] (Mat.row m 1)
+
+let test_mat_ragged () =
+  Alcotest.check_raises "ragged" (Invalid_argument "Mat.of_rows: ragged rows")
+    (fun () -> ignore (Mat.of_rows [| [| 1. |]; [| 1.; 2. |] |]))
+
+let prop_dot_symmetric =
+  QCheck2.Test.make ~count:100 ~name:"dot is symmetric"
+    QCheck2.Gen.(int_bound 100000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let d = 1 + Rng.int rng 6 in
+      let a = Array.init d (fun _ -> Rng.in_range rng (-10.) 10.) in
+      let b = Array.init d (fun _ -> Rng.in_range rng (-10.) 10.) in
+      Float.abs (Vec.dot a b -. Vec.dot b a) < 1e-9)
+
+let prop_triangle_inequality =
+  QCheck2.Test.make ~count:100 ~name:"triangle inequality"
+    QCheck2.Gen.(int_bound 100000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let d = 1 + Rng.int rng 6 in
+      let a = Array.init d (fun _ -> Rng.in_range rng (-10.) 10.) in
+      let b = Array.init d (fun _ -> Rng.in_range rng (-10.) 10.) in
+      Vec.norm2 (Vec.add a b) <= Vec.norm2 a +. Vec.norm2 b +. 1e-9)
+
+let prop_transpose_involution =
+  QCheck2.Test.make ~count:50 ~name:"transpose . transpose = id"
+    QCheck2.Gen.(int_bound 100000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let r = 1 + Rng.int rng 4 and c = 1 + Rng.int rng 4 in
+      let m =
+        Mat.of_rows
+          (Array.init r (fun _ -> Array.init c (fun _ -> Rng.uniform rng)))
+      in
+      let mtt = Mat.transpose (Mat.transpose m) in
+      let same = ref true in
+      for i = 0 to r - 1 do
+        for j = 0 to c - 1 do
+          if Float.abs (Mat.get m i j -. Mat.get mtt i j) > 0. then same := false
+        done
+      done;
+      !same)
+
+let () =
+  Alcotest.run "linalg"
+    [
+      ( "vec",
+        [
+          Alcotest.test_case "basis" `Quick test_basis;
+          Alcotest.test_case "dot" `Quick test_dot;
+          Alcotest.test_case "arith" `Quick test_arith;
+          Alcotest.test_case "norms" `Quick test_norms;
+          Alcotest.test_case "extrema" `Quick test_extrema;
+          Alcotest.test_case "approx equal" `Quick test_approx_equal;
+        ] );
+      ( "mat",
+        [
+          Alcotest.test_case "basic" `Quick test_mat_basic;
+          Alcotest.test_case "transpose" `Quick test_mat_transpose;
+          Alcotest.test_case "row ops" `Quick test_mat_row_ops;
+          Alcotest.test_case "ragged" `Quick test_mat_ragged;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_dot_symmetric;
+          QCheck_alcotest.to_alcotest prop_triangle_inequality;
+          QCheck_alcotest.to_alcotest prop_transpose_involution;
+        ] );
+    ]

@@ -1,0 +1,255 @@
+(* Unit and property tests for the two-phase simplex LP solver. *)
+
+module Lp = Indq_lp.Lp
+module Rng = Indq_util.Rng
+
+let check_float = Alcotest.(check (float 1e-6))
+
+let solve_max ~n ~objective cs =
+  match Lp.maximize ~n ~objective cs with
+  | Lp.Optimal s -> s
+  | Lp.Infeasible -> Alcotest.fail "unexpected infeasible"
+  | Lp.Unbounded -> Alcotest.fail "unexpected unbounded"
+
+let solve_min ~n ~objective cs =
+  match Lp.minimize ~n ~objective cs with
+  | Lp.Optimal s -> s
+  | Lp.Infeasible -> Alcotest.fail "unexpected infeasible"
+  | Lp.Unbounded -> Alcotest.fail "unexpected unbounded"
+
+(* max x + y st x + 2y <= 4, 3x + y <= 6 -> optimum at (1.6, 1.2), value 2.8 *)
+let test_textbook_max () =
+  let cs =
+    [ Lp.constr [| 1.; 2. |] Lp.Le 4.; Lp.constr [| 3.; 1. |] Lp.Le 6. ]
+  in
+  let s = solve_max ~n:2 ~objective:[| 1.; 1. |] cs in
+  check_float "value" 2.8 s.objective;
+  check_float "x" 1.6 s.point.(0);
+  check_float "y" 1.2 s.point.(1)
+
+(* min 2x + 3y st x + y >= 4, x >= 1 -> optimum at (4, 0), value 8 *)
+let test_textbook_min () =
+  let cs =
+    [ Lp.constr [| 1.; 1. |] Lp.Ge 4.; Lp.constr [| 1.; 0. |] Lp.Ge 1. ]
+  in
+  let s = solve_min ~n:2 ~objective:[| 2.; 3. |] cs in
+  check_float "value" 8. s.objective;
+  check_float "x" 4. s.point.(0);
+  check_float "y" 0. s.point.(1)
+
+let test_equality_constraint () =
+  (* max x st x + y = 1 -> x = 1 *)
+  let cs = [ Lp.constr [| 1.; 1. |] Lp.Eq 1. ] in
+  let s = solve_max ~n:2 ~objective:[| 1.; 0. |] cs in
+  check_float "value" 1. s.objective;
+  check_float "y" 0. s.point.(1)
+
+let test_infeasible () =
+  let cs =
+    [ Lp.constr [| 1.; 1. |] Lp.Le 1.; Lp.constr [| 1.; 1. |] Lp.Ge 2. ]
+  in
+  match Lp.maximize ~n:2 ~objective:[| 1.; 0. |] cs with
+  | Lp.Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible"
+
+let test_unbounded () =
+  let cs = [ Lp.constr [| 1.; -1. |] Lp.Le 1. ] in
+  match Lp.maximize ~n:2 ~objective:[| 1.; 1. |] cs with
+  | Lp.Unbounded -> ()
+  | _ -> Alcotest.fail "expected unbounded"
+
+let test_no_constraints_min () =
+  match Lp.minimize ~n:3 ~objective:[| 1.; 2.; 3. |] [] with
+  | Lp.Optimal s -> check_float "value" 0. s.objective
+  | _ -> Alcotest.fail "expected optimal at origin"
+
+let test_no_constraints_unbounded () =
+  match Lp.maximize ~n:2 ~objective:[| 1.; 0. |] [] with
+  | Lp.Unbounded -> ()
+  | _ -> Alcotest.fail "expected unbounded"
+
+let test_negative_rhs_normalization () =
+  (* x - y <= -1 means y >= x + 1; max x st also y <= 2 -> x = 1. *)
+  let cs =
+    [ Lp.constr [| 1.; -1. |] Lp.Le (-1.); Lp.constr [| 0.; 1. |] Lp.Le 2. ]
+  in
+  let s = solve_max ~n:2 ~objective:[| 1.; 0. |] cs in
+  check_float "value" 1. s.objective
+
+let test_degenerate_vertex () =
+  (* Three constraints meeting at one vertex; Bland's rule must not cycle. *)
+  let cs =
+    [
+      Lp.constr [| 1.; 1. |] Lp.Le 2.;
+      Lp.constr [| 1.; 0. |] Lp.Le 1.;
+      Lp.constr [| 0.; 1. |] Lp.Le 1.;
+    ]
+  in
+  let s = solve_max ~n:2 ~objective:[| 1.; 1. |] cs in
+  check_float "value" 2. s.objective
+
+let test_simplex_vertex_objective () =
+  (* Over the probability simplex, max c.x is max_i c_i. *)
+  let cs = [ Lp.constr [| 1.; 1.; 1. |] Lp.Eq 1. ] in
+  let s = solve_max ~n:3 ~objective:[| 0.3; 0.9; 0.5 |] cs in
+  check_float "value" 0.9 s.objective;
+  check_float "x1" 1. s.point.(1)
+
+let test_redundant_equalities () =
+  (* Duplicate equality rows leave a basic artificial on a zero row; the
+     solver must still answer. *)
+  let cs =
+    [
+      Lp.constr [| 1.; 1. |] Lp.Eq 1.;
+      Lp.constr [| 1.; 1. |] Lp.Eq 1.;
+      Lp.constr [| 2.; 2. |] Lp.Eq 2.;
+    ]
+  in
+  let s = solve_max ~n:2 ~objective:[| 1.; 2. |] cs in
+  check_float "value" 2. s.objective
+
+let test_feasible_point () =
+  let cs =
+    [ Lp.constr [| 1.; 1. |] Lp.Eq 1.; Lp.constr [| 1.; -1. |] Lp.Ge 0. ]
+  in
+  match Lp.feasible_point ~n:2 cs with
+  | Some p ->
+    check_float "sum" 1. (p.(0) +. p.(1));
+    Alcotest.(check bool) "x >= y" true (p.(0) >= p.(1) -. 1e-9)
+  | None -> Alcotest.fail "should be feasible"
+
+let test_ge_with_positive_rhs () =
+  (* Exercises the artificial-variable path (Ge rows with rhs > 0 cannot be
+     rewritten as Le rows). *)
+  let cs =
+    [ Lp.constr [| 1.; 1. |] Lp.Ge 2.; Lp.constr [| 1.; 0. |] Lp.Le 1.5 ]
+  in
+  let s = solve_min ~n:2 ~objective:[| 3.; 1. |] cs in
+  (* min 3x + y st x + y >= 2, x <= 1.5 -> all weight on y: (0, 2). *)
+  check_float "value" 2. s.objective;
+  check_float "y" 2. s.point.(1)
+
+let test_mixed_equalities_phase1 () =
+  (* x + y = 1 and x - y = 0.5 pin (0.75, 0.25); objective irrelevant. *)
+  let cs =
+    [ Lp.constr [| 1.; 1. |] Lp.Eq 1.; Lp.constr [| 1.; -1. |] Lp.Eq 0.5 ]
+  in
+  let s = solve_max ~n:2 ~objective:[| 1.; 7. |] cs in
+  check_float "x" 0.75 s.point.(0);
+  check_float "y" 0.25 s.point.(1)
+
+let test_zero_rhs_ge_rewrite () =
+  (* w . x >= 0 cuts are the hot path; check they behave like constraints,
+     not like no-ops: max y st y - x <= 0 (i.e. x - y >= 0), x <= 1. *)
+  let cs =
+    [ Lp.constr [| 1.; -1. |] Lp.Ge 0.; Lp.constr [| 1.; 0. |] Lp.Le 1. ]
+  in
+  let s = solve_max ~n:2 ~objective:[| 0.; 1. |] cs in
+  check_float "y bounded by x" 1. s.objective
+
+let test_invalid_inputs () =
+  Alcotest.check_raises "bad objective length" (Invalid_argument "Lp: objective length <> n")
+    (fun () -> ignore (Lp.maximize ~n:2 ~objective:[| 1. |] []));
+  Alcotest.check_raises "bad constraint length"
+    (Invalid_argument "Lp: constraint coefficient length <> n") (fun () ->
+      ignore (Lp.maximize ~n:2 ~objective:[| 1.; 1. |] [ Lp.constr [| 1. |] Lp.Le 1. ]))
+
+(* Property: on random bounded problems, the reported optimum is feasible and
+   no random feasible point beats it. *)
+let random_bounded_problem rng =
+  let n = 2 + Rng.int rng 3 in
+  let m = 1 + Rng.int rng 5 in
+  (* Box plus random <= cuts keeps the problem bounded and feasible at 0. *)
+  let box =
+    List.init n (fun i ->
+        let coeffs = Array.init n (fun j -> if i = j then 1. else 0.) in
+        Lp.constr coeffs Lp.Le (0.5 +. Rng.uniform rng))
+  in
+  let cuts =
+    List.init m (fun _ ->
+        let coeffs = Array.init n (fun _ -> Rng.uniform rng) in
+        Lp.constr coeffs Lp.Le (0.1 +. Rng.uniform rng))
+  in
+  let objective = Array.init n (fun _ -> Rng.in_range rng (-1.) 1.) in
+  (n, objective, box @ cuts)
+
+let prop_optimal_dominates_samples =
+  QCheck2.Test.make ~count:100 ~name:"lp optimum beats random feasible points"
+    QCheck2.Gen.(int_bound 100000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n, objective, cs = random_bounded_problem rng in
+      match Lp.maximize ~n ~objective cs with
+      | Lp.Unbounded -> false (* impossible: box-bounded *)
+      | Lp.Infeasible -> false (* impossible: origin feasible *)
+      | Lp.Optimal { objective = best; point } ->
+        let feasible p =
+          List.for_all
+            (fun (c : Lp.constr) ->
+              let v = ref 0. in
+              Array.iteri (fun i x -> v := !v +. (x *. p.(i))) c.coeffs;
+              match c.relation with
+              | Lp.Le -> !v <= c.rhs +. 1e-6
+              | Lp.Ge -> !v >= c.rhs -. 1e-6
+              | Lp.Eq -> Float.abs (!v -. c.rhs) <= 1e-6)
+            cs
+          && Array.for_all (fun x -> x >= -1e-9) p
+        in
+        if not (feasible point) then false
+        else begin
+          (* Random feasible candidates obtained by scaling random rays until
+             feasible; none may exceed the optimum. *)
+          let ok = ref true in
+          for _ = 1 to 30 do
+            let p = Array.init n (fun _ -> Rng.uniform rng *. 0.2) in
+            if feasible p then begin
+              let v = ref 0. in
+              Array.iteri (fun i x -> v := !v +. (x *. p.(i))) objective;
+              if !v > best +. 1e-6 then ok := false
+            end
+          done;
+          !ok
+        end)
+
+let prop_minimize_is_negated_maximize =
+  QCheck2.Test.make ~count:60 ~name:"min f = -max(-f)"
+    QCheck2.Gen.(int_bound 100000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n, objective, cs = random_bounded_problem rng in
+      let neg = Array.map (fun x -> -.x) objective in
+      match (Lp.minimize ~n ~objective cs, Lp.maximize ~n ~objective:neg cs) with
+      | Lp.Optimal a, Lp.Optimal b -> Float.abs (a.objective +. b.objective) < 1e-6
+      | Lp.Infeasible, Lp.Infeasible -> true
+      | Lp.Unbounded, Lp.Unbounded -> true
+      | _ -> false)
+
+let () =
+  Alcotest.run "lp"
+    [
+      ( "simplex-solver",
+        [
+          Alcotest.test_case "textbook max" `Quick test_textbook_max;
+          Alcotest.test_case "textbook min" `Quick test_textbook_min;
+          Alcotest.test_case "equality" `Quick test_equality_constraint;
+          Alcotest.test_case "infeasible" `Quick test_infeasible;
+          Alcotest.test_case "unbounded" `Quick test_unbounded;
+          Alcotest.test_case "no constraints min" `Quick test_no_constraints_min;
+          Alcotest.test_case "no constraints unbounded" `Quick
+            test_no_constraints_unbounded;
+          Alcotest.test_case "negative rhs" `Quick test_negative_rhs_normalization;
+          Alcotest.test_case "degenerate vertex" `Quick test_degenerate_vertex;
+          Alcotest.test_case "simplex vertex" `Quick test_simplex_vertex_objective;
+          Alcotest.test_case "redundant equalities" `Quick test_redundant_equalities;
+          Alcotest.test_case "feasible point" `Quick test_feasible_point;
+          Alcotest.test_case "ge with positive rhs" `Quick test_ge_with_positive_rhs;
+          Alcotest.test_case "mixed equalities" `Quick test_mixed_equalities_phase1;
+          Alcotest.test_case "zero-rhs ge rewrite" `Quick test_zero_rhs_ge_rewrite;
+          Alcotest.test_case "invalid inputs" `Quick test_invalid_inputs;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_optimal_dominates_samples;
+          QCheck_alcotest.to_alcotest prop_minimize_is_negated_maximize;
+        ] );
+    ]

@@ -1,0 +1,308 @@
+(* Tests for utility vectors and the user oracle, including the paper's
+   delta-error selection protocol. *)
+
+module Utility = Indq_user.Utility
+module Oracle = Indq_user.Oracle
+module Rng = Indq_util.Rng
+
+let test_utility_value () =
+  Alcotest.(check (float 1e-9)) "dot" 1.4
+    (Utility.value [| 1.; 2. |] [| 0.4; 0.5 |])
+
+let test_utility_validate () =
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Utility.validate: components must be finite and >= 0")
+    (fun () -> Utility.validate [| 1.; -0.1 |]);
+  Alcotest.check_raises "all zero" (Invalid_argument "Utility.validate: all-zero utility")
+    (fun () -> Utility.validate [| 0.; 0. |]);
+  Utility.validate [| 0.; 1. |]
+
+let test_normalizations () =
+  let u = [| 2.; 4. |] in
+  let m = Utility.normalize_max u in
+  Alcotest.(check (float 1e-9)) "max is 1" 1. m.(1);
+  Alcotest.(check (float 1e-9)) "ratio kept" 0.5 m.(0);
+  let s = Utility.normalize_sum u in
+  Alcotest.(check (float 1e-9)) "sums to 1" 1. (s.(0) +. s.(1))
+
+let test_random_utility () =
+  let rng = Rng.create 2 in
+  for _ = 1 to 50 do
+    let u = Utility.random rng ~d:4 in
+    Alcotest.(check (float 1e-9)) "sum 1" 1. (Array.fold_left ( +. ) 0. u);
+    Array.iter (fun x -> Alcotest.(check bool) "non-negative" true (x >= 0.)) u
+  done
+
+let test_best () =
+  let u = [| 1.; 0. |] in
+  let best = Utility.best u [ [| 0.2; 0.9 |]; [| 0.8; 0.1 |]; [| 0.5; 0.5 |] ] in
+  Alcotest.(check (float 1e-9)) "argmax" 0.8 best.(0);
+  Alcotest.(check int) "best index" 1
+    (Utility.best_index u [| [| 0.2; 0.9 |]; [| 0.8; 0.1 |] |])
+
+let test_exact_oracle_picks_argmax () =
+  let oracle = Oracle.exact [| 1.; 2. |] in
+  let options = [| [| 1.; 0. |]; [| 0.; 1. |]; [| 0.4; 0.4 |] |] in
+  Alcotest.(check int) "argmax" 1 (Oracle.choose oracle options);
+  Alcotest.(check int) "questions" 1 (Oracle.questions_asked oracle);
+  Alcotest.(check int) "options" 3 (Oracle.options_shown oracle)
+
+let test_counters_reset () =
+  let oracle = Oracle.exact [| 1. |] in
+  ignore (Oracle.choose oracle [| [| 1. |]; [| 0. |] |]);
+  Oracle.reset_counters oracle;
+  Alcotest.(check int) "reset" 0 (Oracle.questions_asked oracle)
+
+let test_error_oracle_never_picks_distinguishable () =
+  (* With delta = 0.1, an option at less than 1/(1+0.1) of the best shown
+     must never be chosen. *)
+  let rng = Rng.create 11 in
+  let u = [| 1.; 1. |] in
+  let oracle = Oracle.with_error ~delta:0.1 ~rng u in
+  let options = [| [| 1.; 0. |]; [| 0.85; 0. |]; [| 0.5; 0. |] |] in
+  for _ = 1 to 200 do
+    let c = Oracle.choose oracle options in
+    Alcotest.(check bool) "never the bad one" true (c <> 2)
+  done
+
+let test_error_oracle_sometimes_errs () =
+  (* Options within delta of each other: over many trials both must
+     appear. *)
+  let rng = Rng.create 12 in
+  let oracle = Oracle.with_error ~delta:0.1 ~rng [| 1. |] in
+  let options = [| [| 1. |]; [| 0.95 |] |] in
+  let seen = Array.make 2 false in
+  for _ = 1 to 200 do
+    seen.(Oracle.choose oracle options) <- true
+  done;
+  Alcotest.(check bool) "both picked" true (seen.(0) && seen.(1))
+
+let test_error_oracle_delta_zero_is_exact () =
+  let rng = Rng.create 13 in
+  let oracle = Oracle.with_error ~delta:0. ~rng [| 1.; 0. |] in
+  let options = [| [| 0.3; 1. |]; [| 0.7; 0. |] |] in
+  for _ = 1 to 50 do
+    Alcotest.(check int) "always argmax" 1 (Oracle.choose oracle options)
+  done
+
+let test_external_chooser () =
+  let oracle = Oracle.of_chooser (fun options -> Array.length options - 1) in
+  Alcotest.(check int) "last" 2
+    (Oracle.choose oracle [| [| 1. |]; [| 2. |]; [| 3. |] |]);
+  Alcotest.(check bool) "no hidden utility" true (Oracle.true_utility oracle = None);
+  let bad = Oracle.of_chooser (fun _ -> 99) in
+  Alcotest.check_raises "bad index"
+    (Invalid_argument "Oracle.choose: external chooser returned bad index")
+    (fun () -> ignore (Oracle.choose bad [| [| 1. |] |]))
+
+let test_oracle_guards () =
+  let oracle = Oracle.exact [| 1. |] in
+  Alcotest.check_raises "empty options" (Invalid_argument "Oracle.choose: no options")
+    (fun () -> ignore (Oracle.choose oracle [||]));
+  Alcotest.check_raises "negative delta" (Invalid_argument "Oracle.with_error: negative delta")
+    (fun () -> ignore (Oracle.with_error ~delta:(-0.1) ~rng:(Rng.create 0) [| 1. |]))
+
+let test_true_utility_copies () =
+  let oracle = Oracle.exact [| 1.; 2. |] in
+  (match Oracle.true_utility oracle with
+  | Some u -> u.(0) <- 99.
+  | None -> Alcotest.fail "has utility");
+  match Oracle.true_utility oracle with
+  | Some u -> Alcotest.(check (float 1e-9)) "unchanged" 1. u.(0)
+  | None -> Alcotest.fail "has utility"
+
+let test_delta_accessor () =
+  Alcotest.(check (float 0.)) "exact" 0. (Oracle.delta (Oracle.exact [| 1. |]));
+  Alcotest.(check (float 0.)) "erring" 0.07
+    (Oracle.delta (Oracle.with_error ~delta:0.07 ~rng:(Rng.create 0) [| 1. |]))
+
+let test_recording_and_replay () =
+  let base = Oracle.exact [| 1.; 0. |] in
+  let recorder, transcript = Oracle.recording base in
+  let rounds =
+    [| [| [| 1.; 0. |]; [| 0.; 1. |] |]; [| [| 0.2; 0.1 |]; [| 0.9; 0.3 |] |] |]
+  in
+  let choices = Array.map (Oracle.choose recorder) rounds in
+  let log = transcript () in
+  Alcotest.(check int) "two rounds" 2 (List.length log);
+  List.iteri
+    (fun i (r : Oracle.round) ->
+      Alcotest.(check int) "choice logged" choices.(i) r.Oracle.choice)
+    log;
+  (* Replay gives the same choices on the same rounds. *)
+  let replayer = Oracle.replay log in
+  Array.iteri
+    (fun i options ->
+      Alcotest.(check int) "replayed" choices.(i) (Oracle.choose replayer options))
+    rounds;
+  Alcotest.check_raises "exhausted" (Invalid_argument "Oracle.replay: transcript exhausted")
+    (fun () -> ignore (Oracle.choose replayer rounds.(0)))
+
+let test_replay_mismatch () =
+  let replayer = Oracle.replay [ { Oracle.options = [| [| 1. |]; [| 2. |] |]; choice = 0 } ] in
+  Alcotest.check_raises "mismatch" (Invalid_argument "Oracle.replay: option-count mismatch")
+    (fun () -> ignore (Oracle.choose replayer [| [| 1. |] |]))
+
+let test_replay_reproduces_algorithm_run () =
+  (* Record a full Squeeze-u run, then replay the transcript: identical
+     output. *)
+  let module Algo = Indq_core.Algo in
+  let module Dataset = Indq_dataset.Dataset in
+  let rng = Rng.create 301 in
+  let data = Indq_dataset.Generator.independent rng ~n:80 ~d:3 in
+  let u = Utility.random rng ~d:3 in
+  let config = Algo.default_config ~d:3 in
+  let recorder, transcript = Oracle.recording (Oracle.exact u) in
+  let original = Algo.run Algo.Squeeze_u config ~data ~oracle:recorder ~rng:(Rng.create 1) in
+  let replayed =
+    Algo.run Algo.Squeeze_u config ~data ~oracle:(Oracle.replay (transcript ()))
+      ~rng:(Rng.create 1)
+  in
+  let ids r =
+    List.sort compare
+      (List.map Indq_dataset.Tuple.id (Dataset.to_list r.Algo.output))
+  in
+  Alcotest.(check (list int)) "same output" (ids original) (ids replayed)
+
+(* --- Non-linear utilities (paper open question 3) --- *)
+
+module Nonlinear = Indq_user.Nonlinear
+
+let test_nonlinear_linear_case_agrees () =
+  let w = [| 0.3; 0.7 |] in
+  let lin = Nonlinear.Linear w in
+  let pow1 = Nonlinear.Concave_power { weights = w; exponent = 1. } in
+  let rng = Rng.create 3 in
+  for _ = 1 to 50 do
+    let x = [| Rng.uniform rng; Rng.uniform rng |] in
+    Alcotest.(check (float 1e-9)) "linear = power(1)"
+      (Nonlinear.value lin x) (Nonlinear.value pow1 x);
+    Alcotest.(check (float 1e-9)) "linear = dot" (Utility.value w x)
+      (Nonlinear.value lin x)
+  done
+
+let test_nonlinear_concavity_diminishing_returns () =
+  (* With exponent 0.5 a balanced tuple beats an extreme one of equal sum. *)
+  let f = Nonlinear.Concave_power { weights = [| 1.; 1. |]; exponent = 0.5 } in
+  Alcotest.(check bool) "balanced wins" true
+    (Nonlinear.value f [| 0.5; 0.5 |] > Nonlinear.value f [| 1.; 0. |])
+
+let test_nonlinear_ces () =
+  (* rho = 1 CES is linear. *)
+  let w = [| 0.4; 0.6 |] in
+  let ces = Nonlinear.Ces { weights = w; rho = 1. } in
+  Alcotest.(check (float 1e-9)) "ces(1) linear" (Utility.value w [| 0.3; 0.8 |])
+    (Nonlinear.value ces [| 0.3; 0.8 |]);
+  (* rho -> small: strongly complementary; zero coordinate kills value. *)
+  let comp = Nonlinear.Ces { weights = [| 1.; 1. |]; rho = 0.2 } in
+  Alcotest.(check bool) "complementary" true
+    (Nonlinear.value comp [| 0.5; 0.5 |] > Nonlinear.value comp [| 1.0; 0.01 |])
+
+let test_nonlinear_validate () =
+  Alcotest.check_raises "bad exponent"
+    (Invalid_argument "Nonlinear.validate: exponent must be in (0, 1]") (fun () ->
+      Nonlinear.validate
+        (Nonlinear.Concave_power { weights = [| 1. |]; exponent = 1.5 }));
+  Alcotest.check_raises "rho zero"
+    (Invalid_argument "Nonlinear.validate: rho must be non-zero and <= 1")
+    (fun () -> Nonlinear.validate (Nonlinear.Ces { weights = [| 1. |]; rho = 0. }))
+
+let test_nonlinear_oracle_picks_argmax () =
+  let user = Nonlinear.Concave_power { weights = [| 1.; 1. |]; exponent = 0.5 } in
+  let oracle = Nonlinear.oracle user in
+  (* Balanced option wins under the concave utility but would lose under
+     the linear one. *)
+  let options = [| [| 1.0; 0.0 |]; [| 0.45; 0.45 |] |] in
+  Alcotest.(check int) "concave pick" 1 (Oracle.choose oracle options)
+
+let test_nonlinear_oracle_delta_requires_rng () =
+  let user = Nonlinear.Linear [| 1. |] in
+  Alcotest.check_raises "missing rng"
+    (Invalid_argument "Nonlinear.oracle: delta > 0 requires an rng") (fun () ->
+      ignore (Nonlinear.oracle ~delta:0.1 user))
+
+let prop_nonlinear_delta_pick_close =
+  QCheck2.Test.make ~count:60 ~name:"nonlinear delta pick is delta-close"
+    QCheck2.Gen.(int_bound 100000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let d = 1 + Rng.int rng 3 in
+      let delta = Rng.float rng 0.2 in
+      let user = Nonlinear.random_concave rng ~d ~exponent:(0.3 +. Rng.float rng 0.7) in
+      let oracle = Nonlinear.oracle ~delta ~rng:(Rng.split rng) user in
+      let options =
+        Array.init (2 + Rng.int rng 4) (fun _ ->
+            Array.init d (fun _ -> Rng.uniform rng))
+      in
+      let c = Oracle.choose oracle options in
+      let best =
+        Array.fold_left (fun acc p -> Float.max acc (Nonlinear.value user p)) 0. options
+      in
+      (1. +. delta) *. Nonlinear.value user options.(c) >= best -. 1e-12)
+
+(* Property: the erring oracle's pick is always delta-indistinguishable from
+   the best shown option. *)
+let prop_error_pick_is_delta_close =
+  QCheck2.Test.make ~count:100 ~name:"delta-error pick is delta-close to best"
+    QCheck2.Gen.(int_bound 100000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let d = 1 + Rng.int rng 4 in
+      let delta = Rng.float rng 0.2 in
+      let u = Utility.random rng ~d in
+      let oracle = Oracle.with_error ~delta ~rng:(Rng.split rng) u in
+      let k = 2 + Rng.int rng 5 in
+      let options =
+        Array.init k (fun _ -> Array.init d (fun _ -> Rng.uniform rng))
+      in
+      let c = Oracle.choose oracle options in
+      let best =
+        Array.fold_left (fun acc p -> Float.max acc (Utility.value u p)) 0. options
+      in
+      (1. +. delta) *. Utility.value u options.(c) >= best -. 1e-12)
+
+let () =
+  Alcotest.run "user"
+    [
+      ( "utility",
+        [
+          Alcotest.test_case "value" `Quick test_utility_value;
+          Alcotest.test_case "validate" `Quick test_utility_validate;
+          Alcotest.test_case "normalizations" `Quick test_normalizations;
+          Alcotest.test_case "random" `Quick test_random_utility;
+          Alcotest.test_case "best" `Quick test_best;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "exact picks argmax" `Quick test_exact_oracle_picks_argmax;
+          Alcotest.test_case "counters reset" `Quick test_counters_reset;
+          Alcotest.test_case "error never distinguishable" `Quick
+            test_error_oracle_never_picks_distinguishable;
+          Alcotest.test_case "error sometimes errs" `Quick test_error_oracle_sometimes_errs;
+          Alcotest.test_case "delta=0 exact" `Quick test_error_oracle_delta_zero_is_exact;
+          Alcotest.test_case "external chooser" `Quick test_external_chooser;
+          Alcotest.test_case "guards" `Quick test_oracle_guards;
+          Alcotest.test_case "true utility copies" `Quick test_true_utility_copies;
+          Alcotest.test_case "delta accessor" `Quick test_delta_accessor;
+          Alcotest.test_case "recording and replay" `Quick test_recording_and_replay;
+          Alcotest.test_case "replay mismatch" `Quick test_replay_mismatch;
+          Alcotest.test_case "replay reproduces run" `Quick
+            test_replay_reproduces_algorithm_run;
+        ] );
+      ( "nonlinear",
+        [
+          Alcotest.test_case "linear case agrees" `Quick test_nonlinear_linear_case_agrees;
+          Alcotest.test_case "diminishing returns" `Quick
+            test_nonlinear_concavity_diminishing_returns;
+          Alcotest.test_case "ces" `Quick test_nonlinear_ces;
+          Alcotest.test_case "validate" `Quick test_nonlinear_validate;
+          Alcotest.test_case "oracle argmax" `Quick test_nonlinear_oracle_picks_argmax;
+          Alcotest.test_case "oracle delta needs rng" `Quick
+            test_nonlinear_oracle_delta_requires_rng;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_error_pick_is_delta_close;
+          QCheck_alcotest.to_alcotest prop_nonlinear_delta_pick_close;
+        ] );
+    ]

@@ -1,0 +1,191 @@
+(* Tests for the util substrate: RNG determinism/uniformity, statistics,
+   float helpers, table rendering. *)
+
+module Rng = Indq_util.Rng
+module Stats = Indq_util.Stats
+module Floatx = Indq_util.Floatx
+module Tabulate = Indq_util.Tabulate
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  Alcotest.(check bool) "different" true (Rng.bits64 a <> Rng.bits64 b)
+
+let test_rng_int_range () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let x = Rng.int rng 10 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 10)
+  done
+
+let test_rng_int_covers_all_values () =
+  let rng = Rng.create 11 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 500 do
+    seen.(Rng.int rng 5) <- true
+  done;
+  Alcotest.(check bool) "all values hit" true (Array.for_all Fun.id seen)
+
+let test_rng_uniform_mean () =
+  let rng = Rng.create 3 in
+  let n = 20000 in
+  let acc = ref 0. in
+  for _ = 1 to n do
+    acc := !acc +. Rng.uniform rng
+  done;
+  let mean = !acc /. float_of_int n in
+  Alcotest.(check bool) "mean near 0.5" true (Float.abs (mean -. 0.5) < 0.01)
+
+let test_rng_gaussian_moments () =
+  let rng = Rng.create 5 in
+  let n = 20000 in
+  let xs = Array.init n (fun _ -> Rng.gaussian ~mu:2. ~sigma:3. rng) in
+  let s = Stats.summarize xs in
+  Alcotest.(check bool) "mean near 2" true (Float.abs (s.mean -. 2.) < 0.1);
+  Alcotest.(check bool) "sd near 3" true (Float.abs (s.stddev -. 3.) < 0.1)
+
+let test_rng_split_independence () =
+  let parent = Rng.create 9 in
+  let child = Rng.split parent in
+  (* The child stream must differ from the parent's continuation. *)
+  let differs = ref false in
+  for _ = 1 to 20 do
+    if Rng.bits64 parent <> Rng.bits64 child then differs := true
+  done;
+  Alcotest.(check bool) "streams differ" true !differs
+
+let test_rng_copy () =
+  let a = Rng.create 4 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.bits64 a) (Rng.bits64 b)
+
+let test_sample_without_replacement () =
+  let rng = Rng.create 21 in
+  let arr = Array.init 10 Fun.id in
+  let s = Rng.sample_without_replacement rng 4 arr in
+  Alcotest.(check int) "size" 4 (Array.length s);
+  let sorted = Array.copy s in
+  Array.sort compare sorted;
+  for i = 1 to 3 do
+    Alcotest.(check bool) "distinct" true (sorted.(i) <> sorted.(i - 1))
+  done
+
+let test_sample_full () =
+  let rng = Rng.create 22 in
+  let arr = [| 1; 2; 3 |] in
+  let s = Rng.sample_without_replacement rng 3 arr in
+  let sorted = Array.copy s in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" [| 1; 2; 3 |] sorted
+
+let test_direction_is_unit () =
+  let rng = Rng.create 30 in
+  for _ = 1 to 50 do
+    let v = Rng.direction rng 4 in
+    let norm = sqrt (Array.fold_left (fun a x -> a +. (x *. x)) 0. v) in
+    Alcotest.(check (float 1e-9)) "unit norm" 1.0 norm
+  done
+
+let test_shuffle_is_permutation () =
+  let rng = Rng.create 13 in
+  let arr = Array.init 20 Fun.id in
+  let copy = Array.copy arr in
+  Rng.shuffle_in_place rng copy;
+  Array.sort compare copy;
+  Alcotest.(check (array int)) "permutation" arr copy
+
+let test_stats_mean_stddev () =
+  let xs = [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |] in
+  Alcotest.(check (float 1e-9)) "mean" 5. (Stats.mean xs);
+  (* Sample sd with n-1 denominator: sqrt(32/7). *)
+  Alcotest.(check (float 1e-9)) "stddev" (sqrt (32. /. 7.)) (Stats.stddev xs)
+
+let test_stats_median () =
+  Alcotest.(check (float 1e-9)) "odd" 3. (Stats.median [| 5.; 3.; 1. |]);
+  Alcotest.(check (float 1e-9)) "even" 2.5 (Stats.median [| 4.; 1.; 2.; 3. |]);
+  Alcotest.(check (float 1e-9)) "empty" 0. (Stats.median [||])
+
+let test_stats_percentile () =
+  let xs = [| 1.; 2.; 3.; 4.; 5. |] in
+  Alcotest.(check (float 1e-9)) "p0" 1. (Stats.percentile xs 0.);
+  Alcotest.(check (float 1e-9)) "p50" 3. (Stats.percentile xs 50.);
+  Alcotest.(check (float 1e-9)) "p100" 5. (Stats.percentile xs 100.);
+  Alcotest.(check (float 1e-9)) "p25" 2. (Stats.percentile xs 25.)
+
+let test_stats_summary () =
+  let s = Stats.summarize [| 1.; 2.; 3. |] in
+  Alcotest.(check int) "n" 3 s.n;
+  Alcotest.(check (float 1e-9)) "min" 1. s.min;
+  Alcotest.(check (float 1e-9)) "max" 3. s.max;
+  Alcotest.(check (float 1e-9)) "median" 2. s.median
+
+let test_floatx () =
+  Alcotest.(check bool) "approx eq" true (Floatx.approx_equal 1.0 (1.0 +. 1e-12));
+  Alcotest.(check bool) "not approx eq" false (Floatx.approx_equal 1.0 1.1);
+  Alcotest.(check bool) "leq" true (Floatx.leq 1.0 1.0);
+  Alcotest.(check bool) "lt_strict false on equal" false (Floatx.lt_strict 1.0 1.0);
+  Alcotest.(check bool) "lt_strict true" true (Floatx.lt_strict 1.0 2.0);
+  Alcotest.(check (float 0.)) "clamp low" 0. (Floatx.clamp ~lo:0. ~hi:1. (-5.));
+  Alcotest.(check (float 0.)) "clamp high" 1. (Floatx.clamp ~lo:0. ~hi:1. 5.);
+  Alcotest.(check (float 0.)) "clamp mid" 0.5 (Floatx.clamp ~lo:0. ~hi:1. 0.5)
+
+let test_tabulate_render () =
+  let t = Tabulate.create ~title:"demo" ~columns:[ "x"; "a"; "b" ] in
+  Tabulate.add_float_row t "1" [ 0.5; 0.25 ];
+  Tabulate.add_row t [ "2"; "x" ];
+  let s = Tabulate.render t in
+  Alcotest.(check bool) "has title" true
+    (String.length s > 0 && String.sub s 0 3 = "== ");
+  let contains haystack needle =
+    let hl = String.length haystack and nl = String.length needle in
+    let rec scan i = i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1)) in
+    scan 0
+  in
+  Alcotest.(check bool) "contains value" true (contains s "0.5000");
+  Alcotest.(check bool) "pads short row" true (contains s "2")
+
+let test_tabulate_row_too_long () =
+  let t = Tabulate.create ~title:"t" ~columns:[ "only" ] in
+  Alcotest.check_raises "too long"
+    (Invalid_argument "Tabulate.add_row: row longer than header") (fun () ->
+      Tabulate.add_row t [ "a"; "b" ])
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "int range" `Quick test_rng_int_range;
+          Alcotest.test_case "int covers values" `Quick test_rng_int_covers_all_values;
+          Alcotest.test_case "uniform mean" `Quick test_rng_uniform_mean;
+          Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian_moments;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independence;
+          Alcotest.test_case "copy" `Quick test_rng_copy;
+          Alcotest.test_case "sample w/o replacement" `Quick
+            test_sample_without_replacement;
+          Alcotest.test_case "sample full" `Quick test_sample_full;
+          Alcotest.test_case "direction unit" `Quick test_direction_is_unit;
+          Alcotest.test_case "shuffle permutes" `Quick test_shuffle_is_permutation;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean/stddev" `Quick test_stats_mean_stddev;
+          Alcotest.test_case "median" `Quick test_stats_median;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "summary" `Quick test_stats_summary;
+        ] );
+      ("floatx", [ Alcotest.test_case "predicates" `Quick test_floatx ]);
+      ( "tabulate",
+        [
+          Alcotest.test_case "render" `Quick test_tabulate_render;
+          Alcotest.test_case "row too long" `Quick test_tabulate_row_too_long;
+        ] );
+    ]
