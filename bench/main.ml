@@ -17,9 +17,10 @@ let scale = ref 1.0
 let utilities = ref 10
 let max_n = ref 1_000_000
 let quick = ref false
+let metrics = ref false
 let selected : string list ref = ref []
 
-let usage = "main.exe [-quick] [-scale S] [-utilities K] [-max-n N] [-seed S] [experiments...]"
+let usage = "main.exe [-quick] [-metrics] [-scale S] [-utilities K] [-max-n N] [-seed S] [experiments...]"
 
 let spec =
   [
@@ -28,13 +29,19 @@ let spec =
     ("-utilities", Arg.Set_int utilities, "random utility functions per cell (default 10)");
     ("-max-n", Arg.Set_int max_n, "cap for the fig6 scalability sweep (default 1000000)");
     ("-quick", Arg.Set quick, "smoke-test settings (scale 0.05, 3 utilities, max-n 10000)");
+    ("-metrics", Arg.Set metrics, "also print mean per-run work counters per sweep");
   ]
+
+let print_sweep sweep = Report.print_sweep ~with_metrics:!metrics sweep
+
+let print_time_sweep ~labels sweep =
+  Report.print_time_sweep ~with_metrics:!metrics ~labels sweep
 
 let section title = Printf.printf "#### %s ####\n\n%!" title
 
 let run_fig1 () =
   section "fig1";
-  Report.print_sweep
+  print_sweep
     (Experiments.fig1 ~utilities:!utilities ~scale:!scale ~seed:!seed ())
 
 let per_dataset
@@ -46,8 +53,7 @@ let per_dataset
       Experiments.sweep) =
   List.iter
     (fun kind ->
-      Report.print_sweep
-        (f ~utilities:!utilities ~scale:!scale ~seed:!seed kind))
+      print_sweep (f ~utilities:!utilities ~scale:!scale ~seed:!seed kind))
     Experiments.[ Island_like; Nba_like; House_like ]
 
 let run_fig2 () = section "fig2"; per_dataset Experiments.fig2
@@ -59,23 +65,23 @@ let dataset_labels = [ "Island"; "NBA"; "House" ]
 
 let run_tab3 () =
   section "tab3";
-  Report.print_time_sweep ~labels:dataset_labels
+  print_time_sweep ~labels:dataset_labels
     (Experiments.tab3 ~utilities:!utilities ~scale:!scale ~seed:!seed ())
 
 let run_tab4 () =
   section "tab4";
-  Report.print_time_sweep ~labels:dataset_labels
+  print_time_sweep ~labels:dataset_labels
     (Experiments.tab4 ~utilities:!utilities ~scale:!scale ~seed:!seed ())
 
 let run_fig6 () =
   section "fig6";
-  Report.print_sweep
+  print_sweep
     (Experiments.fig6 ~utilities:!utilities ~max_n:!max_n ~seed:!seed ())
 
 let run_fig7 () =
   section "fig7";
   let n = max 500 (int_of_float (!scale *. 10_000.)) in
-  Report.print_sweep (Experiments.fig7 ~utilities:!utilities ~n ~seed:!seed ())
+  print_sweep (Experiments.fig7 ~utilities:!utilities ~n ~seed:!seed ())
 
 (* --- Bechamel micro-benchmarks: one Test.make per running-time table ---
 

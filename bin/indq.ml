@@ -4,6 +4,7 @@
      generate     write a synthetic / simulated data set as CSV
      exact        ground-truth I(f, eps) for a known utility vector
      simulate     run an interactive algorithm against a simulated user
+     run          alias of simulate
      interactive  run an algorithm with YOU as the user (choices on stdin)
      experiment   run one of the paper's evaluation experiments *)
 
@@ -15,9 +16,14 @@ module Generator = Indq_dataset.Generator
 module Realistic = Indq_dataset.Realistic
 module Algo = Indq_core.Algo
 module Indist = Indq_core.Indist
+module Region = Indq_core.Region
 module Utility = Indq_user.Utility
 module Oracle = Indq_user.Oracle
 module Rng = Indq_util.Rng
+module Tabulate = Indq_util.Tabulate
+module Counter = Indq_obs.Counter
+module Span = Indq_obs.Span
+module Trace = Indq_obs.Trace
 module Experiments = Indq_experiments.Experiments
 module Report = Indq_experiments.Report
 
@@ -79,6 +85,102 @@ let load_data ~source ~n ~d ~seed =
     let n = if n > 0 then n else 10_000 in
     Generator.by_name source rng ~n ~d
   | path -> Dataset.load_csv path
+
+let trace_arg =
+  let doc =
+    "Stream trace events of the run: $(b,-) renders a live per-round table, \
+     any other value is a path receiving one JSON object per line."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc =
+    "After the run, print work counters (run delta and process total), span \
+     timings and an audit of the utility region implied by the transcript."
+  in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+(* Install the requested trace sink around [f]. *)
+let with_trace trace f =
+  match trace with
+  | None -> f ()
+  | Some "-" ->
+    Trace.set_sink (Trace.console_sink ());
+    Fun.protect ~finally:Trace.clear_sink f
+  | Some path ->
+    let oc =
+      try open_out path
+      with Sys_error msg ->
+        Printf.eprintf "indq: cannot open trace file: %s\n" msg;
+        exit 2
+    in
+    Trace.set_sink (Trace.jsonl_sink oc);
+    Fun.protect
+      ~finally:(fun () ->
+        Trace.clear_sink ();
+        close_out oc)
+      f
+
+(* Replay a recorded transcript through the region machinery: the audit both
+   reports what the answers imply about the hidden utility and exercises the
+   LP stack even for algorithms (Squeeze-u) that never build a region
+   themselves. *)
+let print_region_audit ~delta ~d rounds =
+  let region = ref (Region.initial ~d) in
+  List.iter
+    (fun { Oracle.options; choice } ->
+      let winner = options.(choice) in
+      let losers = ref [] in
+      Array.iteri (fun i v -> if i <> choice then losers := v :: !losers) options;
+      let updated = Region.observe ~delta !region ~winner ~losers:!losers in
+      if not (Region.is_empty updated) then region := updated)
+    rounds;
+  let r = !region in
+  Format.printf
+    "implied utility region: %d halfspaces, width %.4f, diameter %.4f@."
+    (List.length (Indq_geom.Polytope.halfspaces (Region.polytope r)))
+    (Region.width r) (Region.diameter r)
+
+let counter_cell v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.1f" v
+
+(* [run_metrics] are the per-run deltas from [Algo.run_result.metrics]; the
+   process totals are read afterwards so they include the audit's LP work. *)
+let print_counter_table run_metrics =
+  let t =
+    Tabulate.create ~title:"counters"
+      ~columns:[ "counter"; "run"; "process total" ]
+  in
+  List.iter
+    (fun (name, total) ->
+      let run =
+        match List.assoc_opt name run_metrics with Some v -> v | None -> 0.
+      in
+      Tabulate.add_row t [ name; counter_cell run; counter_cell total ])
+    (Counter.snapshot ());
+  Tabulate.print t
+
+let print_span_table () =
+  match Span.snapshot () with
+  | [] -> ()
+  | stats ->
+    let t =
+      Tabulate.create ~title:"spans"
+        ~columns:[ "span"; "calls"; "total (s)"; "self (s)" ]
+    in
+    List.iter
+      (fun (name, st) ->
+        Tabulate.add_row t
+          [
+            name;
+            string_of_int st.Span.calls;
+            Printf.sprintf "%.4f" st.Span.cumulative;
+            Printf.sprintf "%.4f" st.Span.self;
+          ])
+      stats;
+    Tabulate.print t
 
 let config_of ~data ~s ~q ~eps ~delta =
   let d = Dataset.dim data in
@@ -151,33 +253,63 @@ let exact_cmd =
 
 (* --- simulate --- *)
 
-let simulate_cmd =
-  let run source n d seed eps delta s q algo =
-    let data = load_data ~source ~n ~d ~seed in
-    let rng = Rng.create (seed + 1) in
-    let u = Utility.random rng ~d:(Dataset.dim data) in
-    let oracle =
-      if delta > 0. then Oracle.with_error ~delta ~rng:(Rng.split rng) u
-      else Oracle.exact u
-    in
-    let config = config_of ~data ~s ~q ~eps ~delta in
-    let result = Algo.run algo config ~data ~oracle ~rng:(Rng.split rng) in
-    let alpha = Indist.alpha ~eps u ~data ~output:result.Algo.output in
-    let truth = Indist.query_exact ~eps u data in
-    Format.printf "hidden utility: %a@." Indq_linalg.Vec.pp u;
-    Format.printf "%s: %d questions, %.3fs, output %d tuples (exact I has %d)@."
-      (Algo.to_string algo) result.Algo.questions_used result.Algo.seconds
-      (Dataset.size result.Algo.output) (Dataset.size truth);
-    Format.printf "alpha = %.6f, false negatives: %b@." alpha
-      (Indist.has_false_negatives ~eps u ~data ~output:result.Algo.output);
-    print_tuples result.Algo.output;
-    0
+let simulate_run source n d seed eps delta s q algo trace metrics =
+  let data = load_data ~source ~n ~d ~seed in
+  let rng = Rng.create (seed + 1) in
+  let u = Utility.random rng ~d:(Dataset.dim data) in
+  let base_oracle =
+    if delta > 0. then Oracle.with_error ~delta ~rng:(Rng.split rng) u
+    else Oracle.exact u
   in
+  let oracle, transcript =
+    if metrics then
+      let o, rounds = Oracle.recording base_oracle in
+      (o, Some rounds)
+    else (base_oracle, None)
+  in
+  if metrics then Span.enable ();
+  let config = config_of ~data ~s ~q ~eps ~delta in
+  let result =
+    with_trace trace (fun () ->
+        Algo.run algo config ~data ~oracle ~rng:(Rng.split rng))
+  in
+  let alpha = Indist.alpha ~eps u ~data ~output:result.Algo.output in
+  let truth = Indist.query_exact ~eps u data in
+  Format.printf "hidden utility: %a@." Indq_linalg.Vec.pp u;
+  Format.printf "%s: %d questions, %.3fs, output %d tuples (exact I has %d)@."
+    (Algo.to_string algo) result.Algo.questions_used result.Algo.seconds
+    (Dataset.size result.Algo.output) (Dataset.size truth);
+  Format.printf "alpha = %.6f, false negatives: %b@." alpha
+    (Indist.has_false_negatives ~eps u ~data ~output:result.Algo.output);
+  print_tuples result.Algo.output;
+  (match transcript with
+  | Some rounds ->
+    Format.printf "@.";
+    print_region_audit ~delta ~d:(Dataset.dim data) (rounds ());
+    Format.printf "@.";
+    print_counter_table result.Algo.metrics;
+    print_span_table ();
+    Span.disable ()
+  | None -> ());
+  0
+
+let simulate_term =
+  Term.(
+    const simulate_run $ data_arg $ n_arg $ d_arg $ seed_arg $ eps_arg
+    $ delta_arg $ s_arg $ q_arg $ algo_arg $ trace_arg $ metrics_arg)
+
+let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run an algorithm against a simulated random user.")
-    Term.(
-      const run $ data_arg $ n_arg $ d_arg $ seed_arg $ eps_arg $ delta_arg
-      $ s_arg $ q_arg $ algo_arg)
+    simulate_term
+
+let run_cmd =
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Run an algorithm against a simulated random user (alias of \
+          simulate).")
+    simulate_term
 
 (* --- interactive --- *)
 
@@ -222,27 +354,28 @@ let interactive_cmd =
 (* --- experiment --- *)
 
 let experiment_cmd =
-  let run name seed scale utilities max_n =
+  let run name seed scale utilities max_n with_metrics =
     let dataset_labels = [ "Island"; "NBA"; "House" ] in
+    let print_sweep = Report.print_sweep ~with_metrics in
     let per_dataset f =
       List.iter
-        (fun kind -> Report.print_sweep (f kind))
+        (fun kind -> print_sweep (f kind))
         Experiments.[ Island_like; Nba_like; House_like ]
     in
     (match String.lowercase_ascii name with
-    | "fig1" -> Report.print_sweep (Experiments.fig1 ~utilities ~scale ~seed ())
+    | "fig1" -> print_sweep (Experiments.fig1 ~utilities ~scale ~seed ())
     | "fig2" -> per_dataset (Experiments.fig2 ~utilities ~scale ~seed)
     | "fig3" -> per_dataset (Experiments.fig3 ~utilities ~scale ~seed)
     | "fig4" -> per_dataset (Experiments.fig4 ~utilities ~scale ~seed)
     | "fig5" -> per_dataset (Experiments.fig5 ~utilities ~scale ~seed)
     | "tab3" ->
-      Report.print_time_sweep ~labels:dataset_labels
+      Report.print_time_sweep ~with_metrics ~labels:dataset_labels
         (Experiments.tab3 ~utilities ~scale ~seed ())
     | "tab4" ->
-      Report.print_time_sweep ~labels:dataset_labels
+      Report.print_time_sweep ~with_metrics ~labels:dataset_labels
         (Experiments.tab4 ~utilities ~scale ~seed ())
-    | "fig6" -> Report.print_sweep (Experiments.fig6 ~utilities ~max_n ~seed ())
-    | "fig7" -> Report.print_sweep (Experiments.fig7 ~utilities ~seed ())
+    | "fig6" -> print_sweep (Experiments.fig6 ~utilities ~max_n ~seed ())
+    | "fig7" -> print_sweep (Experiments.fig7 ~utilities ~seed ())
     | other ->
       Printf.eprintf "unknown experiment %S (fig1-fig7, tab3, tab4)\n" other;
       exit 2);
@@ -271,11 +404,20 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Run one of the paper's evaluation experiments.")
-    Term.(const run $ experiment_name $ seed_arg $ scale $ utilities $ max_n)
+    Term.(
+      const run $ experiment_name $ seed_arg $ scale $ utilities $ max_n
+      $ metrics_arg)
 
 let main_cmd =
   let doc = "interactive indistinguishability queries (ICDE 2024 reproduction)" in
   Cmd.group (Cmd.info "indq" ~version:"1.0.0" ~doc)
-    [ generate_cmd; exact_cmd; simulate_cmd; interactive_cmd; experiment_cmd ]
+    [
+      generate_cmd;
+      exact_cmd;
+      simulate_cmd;
+      run_cmd;
+      interactive_cmd;
+      experiment_cmd;
+    ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -1,6 +1,8 @@
 module Dataset = Indq_dataset.Dataset
 module Oracle = Indq_user.Oracle
 module Timer = Indq_util.Timer
+module Counter = Indq_obs.Counter
+module Trace = Indq_obs.Trace
 
 type name = Squeeze_u | Uh_random | MinD | MinR
 
@@ -17,6 +19,7 @@ type run_result = {
   output : Dataset.t;
   questions_used : int;
   seconds : float;
+  metrics : (string * float) list;
 }
 
 let default_config ~d =
@@ -47,6 +50,18 @@ let of_string s =
 
 let run name config ~data ~oracle ~rng =
   let { s; q; eps; delta; trials; exact_prune } = config in
+  Trace.emit_with (fun () ->
+      Trace.Run_started
+        {
+          algo = to_string name;
+          n = Dataset.size data;
+          d = Dataset.dim data;
+          s;
+          q;
+          eps;
+          delta;
+        });
+  let before = Counter.snapshot () in
   let execute () =
     match name with
     | Squeeze_u ->
@@ -77,4 +92,8 @@ let run name config ~data ~oracle ~rng =
       (r.Real_points.output, r.Real_points.questions_used)
   in
   let (output, questions_used), seconds = Timer.time execute in
-  { output; questions_used; seconds }
+  let metrics = Counter.since before in
+  Trace.emit_with (fun () ->
+      Trace.Run_finished
+        { questions = questions_used; output = Dataset.size output; seconds });
+  { output; questions_used; seconds; metrics }

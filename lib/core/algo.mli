@@ -21,7 +21,13 @@ type config = {
 type run_result = {
   output : Indq_dataset.Dataset.t;
   questions_used : int;
-  seconds : float;  (** algorithm time, excluding oracle thinking *)
+  seconds : float;
+      (** wall-clock algorithm time ([Timer.wall]), excluding any real
+          user's thinking time only insofar as the oracle answers
+          synchronously *)
+  metrics : (string * float) list;
+      (** per-run deltas of every {!Indq_obs.Counter} (sorted by name):
+          what this run added to each process-wide counter *)
 }
 
 val default_config : d:int -> config

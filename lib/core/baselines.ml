@@ -2,12 +2,14 @@ module Dataset = Indq_dataset.Dataset
 module Tuple = Indq_dataset.Tuple
 module Skyline_op = Indq_dominance.Skyline
 module Utility = Indq_user.Utility
+module Span = Indq_obs.Span
 
 let top_k data u ~k = Dataset.top_k data u k
 
 let skyline data = Dataset.to_list (Skyline_op.skyline data)
 
 let greedy_regret_set data ~size ~sample_utilities =
+  Span.timed "baselines.greedy_regret_set" @@ fun () ->
   if Dataset.size data = 0 then invalid_arg "Baselines.greedy_regret_set: empty dataset";
   if size <= 0 then invalid_arg "Baselines.greedy_regret_set: size must be positive";
   if sample_utilities = [] then

@@ -2,6 +2,18 @@ module Dataset = Indq_dataset.Dataset
 module Tuple = Indq_dataset.Tuple
 module Vec = Indq_linalg.Vec
 module Polytope = Indq_geom.Polytope
+module Counter = Indq_obs.Counter
+module Trace = Indq_obs.Trace
+
+let c_scalar_hits = Counter.make "prune.scalar_hits"
+let c_corner_hits = Counter.make "prune.corner_hits"
+let c_lp_calls = Counter.make "prune.lp_calls"
+let c_witness_hits = Counter.make "prune.witness_hits"
+
+let emit_stage ~stage ~before result =
+  Trace.emit_with (fun () ->
+      Trace.Prune_stage { stage; before; after = Dataset.size result });
+  result
 
 let check_box ~lo ~hi d =
   if Array.length lo <> d || Array.length hi <> d then
@@ -24,7 +36,12 @@ let box_prune_fast ~eps ~lo ~hi data =
        exactly on the threshold. *)
     let slack = 1e-9 *. Float.max 1. (Float.abs floor_value) in
     Dataset.filter data (fun p ->
-        (1. +. eps) *. Vec.dot (Tuple.values p) hi >= floor_value -. slack)
+        let keep =
+          (1. +. eps) *. Vec.dot (Tuple.values p) hi >= floor_value -. slack
+        in
+        if not keep then Counter.incr c_scalar_hits;
+        keep)
+    |> emit_stage ~stage:"box_fast" ~before:(Dataset.size data)
   end
 
 (* Minimum of the linear form w . v over the box [lo, hi]: the coordinates
@@ -58,7 +75,11 @@ let box_prune_exact ~eps ~lo ~hi data =
           min_over_box w ~lo ~hi > 1e-9)
         tuples
     in
-    Dataset.filter data (fun q -> not (eliminated q))
+    Dataset.filter data (fun q ->
+        let out = eliminated q in
+        if out then Counter.incr c_corner_hits;
+        not out)
+    |> emit_stage ~stage:"box_exact" ~before:(Dataset.size data)
   end
 
 let anchor_pool ~anchors region data =
@@ -77,6 +98,7 @@ let utility_floor region data =
   let pool = anchor_pool ~anchors:4 region data in
   List.fold_left
     (fun acc a ->
+      Counter.incr c_lp_calls;
       match Polytope.minimize poly (Tuple.values a) with
       | Some (v, _) -> Float.max acc v
       | None -> acc)
@@ -92,6 +114,7 @@ let region_prune ?(anchors = 4) ~eps region data =
     let floor_value =
       List.fold_left
         (fun acc a ->
+          Counter.incr c_lp_calls;
           match Polytope.minimize poly (Tuple.values a) with
           | Some (v, _) -> Float.max acc v
           | None -> acc)
@@ -115,19 +138,28 @@ let region_prune ?(anchors = 4) ~eps region data =
     let prunable b =
       let scaled = Vec.scale (1. +. eps) (Tuple.values b) in
       (* Cheap sound prune: max (1+eps) b . v <= (1+eps) b . hi_corner. *)
-      if Vec.dot scaled hi_corner < floor_value -. tol then true
+      if Vec.dot scaled hi_corner < floor_value -. tol then begin
+        Counter.incr c_scalar_hits;
+        true
+      end
       else
         List.exists
           (fun a ->
             Tuple.id a <> Tuple.id b
             &&
             let w = Vec.sub scaled (Tuple.values a) in
-            (not (disproved_by_witness w))
-            &&
-            match Polytope.maximize poly w with
-            | Some (m, _) -> m < -.tol
-            | None -> false)
+            if disproved_by_witness w then begin
+              Counter.incr c_witness_hits;
+              false
+            end
+            else begin
+              Counter.incr c_lp_calls;
+              match Polytope.maximize poly w with
+              | Some (m, _) -> m < -.tol
+              | None -> false
+            end)
           pool
     in
     Dataset.filter data (fun b -> not (prunable b))
+    |> emit_stage ~stage:"lemma2" ~before:(Dataset.size data)
   end

@@ -3,6 +3,8 @@ module Tuple = Indq_dataset.Tuple
 module Skyline = Indq_dominance.Skyline
 module Oracle = Indq_user.Oracle
 module Rng = Indq_util.Rng
+module Span = Indq_obs.Span
+module Trace = Indq_obs.Trace
 
 type strategy = Random | MinR | MinD
 
@@ -65,12 +67,27 @@ let run ?(delta = 0.) ?(trials = 10) ?(anchors = 4) strategy ~data ~s ~q ~eps
   let questions_before = Oracle.questions_asked oracle in
   let d = Dataset.dim data in
   (* Line 1: Observation 3 pre-filter. *)
-  let candidates = ref (Skyline.prune_eps_dominated ~eps data) in
+  let candidates =
+    ref
+      (Span.timed "real_points.skyline" (fun () ->
+           Skyline.prune_eps_dominated ~eps data))
+  in
+  Trace.emit_with (fun () ->
+      Trace.Prune_stage
+        {
+          stage = "skyline";
+          before = Dataset.size data;
+          after = Dataset.size !candidates;
+        });
   let region = ref (Region.initial ~d) in
   let rounds_left = ref q in
   while !rounds_left > 0 && Dataset.size !candidates > 1 do
+    let round = q - !rounds_left + 1 in
+    Trace.emit_with (fun () ->
+        Trace.Round_started { round; candidates = Dataset.size !candidates });
     let display =
-      pick_display ~strategy ~trials ~delta ~rng !region !candidates s
+      Span.timed "real_points.pick_display" (fun () ->
+          pick_display ~strategy ~trials ~delta ~rng !region !candidates s)
     in
     if Array.length display >= 2 then begin
       let values = Array.map Tuple.values display in
@@ -81,11 +98,26 @@ let run ?(delta = 0.) ?(trials = 10) ?(anchors = 4) strategy ~data ~s ~q ~eps
       (* Line 12: cut the region; keep the old one if the answers were
          inconsistent beyond the modeled delta (empty region admits no
          sound inference). *)
-      let updated = Region.observe ~delta !region ~winner ~losers:!losers in
-      if not (Region.is_empty updated) then begin
+      let updated =
+        Span.timed "real_points.observe" (fun () ->
+            Region.observe ~delta !region ~winner ~losers:!losers)
+      in
+      let empty = Region.is_empty updated in
+      Trace.emit_with (fun () ->
+          Trace.Region_updated
+            {
+              round;
+              halfspaces =
+                List.length
+                  (Indq_geom.Polytope.halfspaces (Region.polytope updated));
+              empty;
+            });
+      if not empty then begin
         region := updated;
         (* Line 13: Lemma 2 pruning. *)
-        candidates := Pruning.region_prune ~anchors ~eps !region !candidates
+        candidates :=
+          Span.timed "real_points.lemma2_prune" (fun () ->
+              Pruning.region_prune ~anchors ~eps !region !candidates)
       end
     end;
     decr rounds_left

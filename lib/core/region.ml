@@ -1,5 +1,8 @@
 module Polytope = Indq_geom.Polytope
 module Halfspace = Indq_geom.Halfspace
+module Counter = Indq_obs.Counter
+
+let c_halfspaces = Counter.make "region.halfspaces"
 
 type t = { polytope : Polytope.t; questions : int }
 
@@ -16,6 +19,7 @@ let observe ?(delta = 0.) t ~winner ~losers =
   match cuts with
   | [] -> t
   | _ ->
+    Counter.add c_halfspaces (float_of_int (List.length cuts));
     {
       polytope = Polytope.cut_many t.polytope cuts;
       questions = t.questions + 1;

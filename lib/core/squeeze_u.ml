@@ -1,6 +1,8 @@
 module Dataset = Indq_dataset.Dataset
 module Skyline = Indq_dominance.Skyline
 module Oracle = Indq_user.Oracle
+module Span = Indq_obs.Span
+module Trace = Indq_obs.Trace
 
 type result = {
   output : Dataset.t;
@@ -31,12 +33,17 @@ let ladder_points ~d ~s ~i ~i_star ~chi =
       p)
 
 (* Phase 1 (Lines 2-8): tournament over the e_i points to find i*.
-   [questions] is the remaining budget; returns (i_star, questions_left). *)
-let discover_i_star ~d ~s ~make_point ~oracle ~budget =
+   [questions] is the remaining budget; returns (i_star, questions_left).
+   [candidates] (default 0) is only reported in trace events. *)
+let discover_i_star ?(candidates = 0) ~d ~s ~make_point ~oracle ~budget () =
   let i_star = ref 0 in
   let i = ref 1 in
   let budget = ref budget in
+  let round = ref 0 in
   while !i < d && !budget > 0 do
+    incr round;
+    Trace.emit_with (fun () ->
+        Trace.Round_started { round = !round; candidates });
     let count = min (s - 1) (d - !i) in
     let display =
       Array.init (count + 1) (fun k ->
@@ -65,7 +72,18 @@ let run ?(exact_prune = false) ~data ~s ~q ~eps ~oracle () =
   let questions_before = Oracle.questions_asked oracle in
   let d = Dataset.dim data in
   (* Line 1: Observation 3 pre-filter. *)
-  let candidates = Skyline.prune_eps_dominated ~eps data in
+  let candidates =
+    Span.timed "squeeze_u.skyline" (fun () ->
+        Skyline.prune_eps_dominated ~eps data)
+  in
+  Trace.emit_with (fun () ->
+      Trace.Prune_stage
+        {
+          stage = "skyline";
+          before = Dataset.size data;
+          after = Dataset.size candidates;
+        });
+  let n_candidates = Dataset.size candidates in
   (* Lines 2-3: the e_i display points from the data ranges. *)
   let ranges = Dataset.attribute_ranges candidates in
   let make_point i =
@@ -75,7 +93,10 @@ let run ?(exact_prune = false) ~data ~s ~q ~eps ~oracle () =
   in
   let i_star, remaining =
     if d = 1 then (0, q)
-    else discover_i_star ~d ~s ~make_point ~oracle ~budget:q
+    else
+      Span.timed "squeeze_u.phase1" (fun () ->
+          discover_i_star ~candidates:n_candidates ~d ~s ~make_point ~oracle
+            ~budget:q ())
   in
   (* Line 9: initial bounds relative to u_{i*} = 1.  The paper sets
      H_j = 1, which is only valid when every attribute spans the same
@@ -104,22 +125,28 @@ let run ?(exact_prune = false) ~data ~s ~q ~eps ~oracle () =
   hi.(i_star) <- 1.;
   (* Lines 10-17: cycle through the other dimensions. *)
   let remaining = ref remaining in
+  let round = ref (q - !remaining) in
   let i = ref (if i_star = 0 && d > 1 then 1 else 0) in
-  while d > 1 && !remaining > 0 do
-    ladder_round ~d ~s ~i:!i ~i_star ~lo ~hi ~oracle
-      ~update:(fun ~chi ~c ->
-        lo.(!i) <- chi.(c - 1);
-        hi.(!i) <- chi.(c));
-    decr remaining;
-    (* Advance to the next dimension, skipping i*. *)
-    let next = ref ((!i + 1) mod d) in
-    if !next = i_star then next := (!next + 1) mod d;
-    i := !next
-  done;
+  Span.timed "squeeze_u.ladder" (fun () ->
+      while d > 1 && !remaining > 0 do
+        incr round;
+        Trace.emit_with (fun () ->
+            Trace.Round_started { round = !round; candidates = n_candidates });
+        ladder_round ~d ~s ~i:!i ~i_star ~lo ~hi ~oracle
+          ~update:(fun ~chi ~c ->
+            lo.(!i) <- chi.(c - 1);
+            hi.(!i) <- chi.(c));
+        decr remaining;
+        (* Advance to the next dimension, skipping i*. *)
+        let next = ref ((!i + 1) mod d) in
+        if !next = i_star then next := (!next + 1) mod d;
+        i := !next
+      done);
   (* Lines 18-21: prune with the learned box. *)
   let output =
-    if exact_prune then Pruning.box_prune_exact ~eps ~lo ~hi candidates
-    else Pruning.box_prune_fast ~eps ~lo ~hi candidates
+    Span.timed "squeeze_u.box_prune" (fun () ->
+        if exact_prune then Pruning.box_prune_exact ~eps ~lo ~hi candidates
+        else Pruning.box_prune_fast ~eps ~lo ~hi candidates)
   in
   {
     output;

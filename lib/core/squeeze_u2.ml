@@ -2,6 +2,8 @@ module Dataset = Indq_dataset.Dataset
 module Skyline = Indq_dominance.Skyline
 module Oracle = Indq_user.Oracle
 module Vec = Indq_linalg.Vec
+module Span = Indq_obs.Span
+module Trace = Indq_obs.Trace
 
 type result = {
   output : Dataset.t;
@@ -35,28 +37,45 @@ let run ?(exact_prune = false) ~data ~s ~q ~eps ~delta ~oracle () =
   let questions_before = Oracle.questions_asked oracle in
   let d = Dataset.dim data in
   (* Line 1: Observation 3 pre-filter. *)
-  let candidates = Skyline.prune_eps_dominated ~eps data in
+  let candidates =
+    Span.timed "squeeze_u2.skyline" (fun () ->
+        Skyline.prune_eps_dominated ~eps data)
+  in
+  Trace.emit_with (fun () ->
+      Trace.Prune_stage
+        {
+          stage = "skyline";
+          before = Dataset.size data;
+          after = Dataset.size candidates;
+        });
+  let n_candidates = Dataset.size candidates in
   (* Line 2: unit display points. *)
   let make_point i = Vec.basis d i in
   let i_star, remaining =
     if d = 1 then (0, q)
     else
       (* Same tournament as Algorithm 1, but over unit vectors. *)
-      let i_star = ref 0 in
-      let i = ref 1 in
-      let budget = ref q in
-      while !i < d && !budget > 0 do
-        let count = min (s - 1) (d - !i) in
-        let display =
-          Array.init (count + 1) (fun k ->
-              if k = 0 then make_point !i_star else make_point (!i + k - 1))
-        in
-        let choice = Oracle.choose oracle display in
-        if choice > 0 then i_star := !i + choice - 1;
-        i := !i + count;
-        decr budget
-      done;
-      (!i_star, !budget)
+      Span.timed "squeeze_u2.phase1" (fun () ->
+          let i_star = ref 0 in
+          let i = ref 1 in
+          let budget = ref q in
+          let round = ref 0 in
+          while !i < d && !budget > 0 do
+            incr round;
+            Trace.emit_with (fun () ->
+                Trace.Round_started
+                  { round = !round; candidates = n_candidates });
+            let count = min (s - 1) (d - !i) in
+            let display =
+              Array.init (count + 1) (fun k ->
+                  if k = 0 then make_point !i_star else make_point (!i + k - 1))
+            in
+            let choice = Oracle.choose oracle display in
+            if choice > 0 then i_star := !i + choice - 1;
+            i := !i + count;
+            decr budget
+          done;
+          (!i_star, !budget))
   in
   (* Line 8: the discovered u_{i*} may be short of the maximum by up to
      (1+delta) per tournament round, so widen the other upper bounds. *)
@@ -74,26 +93,32 @@ let run ?(exact_prune = false) ~data ~s ~q ~eps ~delta ~oracle () =
   hi.(i_star) <- 1.;
   (* Lines 9-17: delta-robust ladder rounds. *)
   let remaining = ref remaining in
+  let round = ref (q - !remaining) in
   let i = ref (if i_star = 0 && d > 1 then 1 else 0) in
-  while d > 1 && !remaining > 0 do
-    let chi = Squeeze_u.chi_ladder ~lo:lo.(!i) ~hi:hi.(!i) ~s in
-    let display = Squeeze_u.ladder_points ~d ~s ~i:!i ~i_star ~chi in
-    let c = Oracle.choose oracle display + 1 in
-    let new_lo, new_hi = robust_bounds ~delta ~s ~chi ~c in
-    (* Line 16: only ever tighten, and keep the interval well-formed under
-       float noise. *)
-    lo.(!i) <- Float.max lo.(!i) (Float.max 0. new_lo);
-    hi.(!i) <- Float.min hi.(!i) new_hi;
-    if lo.(!i) > hi.(!i) then lo.(!i) <- hi.(!i);
-    decr remaining;
-    let next = ref ((!i + 1) mod d) in
-    if !next = i_star then next := (!next + 1) mod d;
-    i := !next
-  done;
+  Span.timed "squeeze_u2.ladder" (fun () ->
+      while d > 1 && !remaining > 0 do
+        incr round;
+        Trace.emit_with (fun () ->
+            Trace.Round_started { round = !round; candidates = n_candidates });
+        let chi = Squeeze_u.chi_ladder ~lo:lo.(!i) ~hi:hi.(!i) ~s in
+        let display = Squeeze_u.ladder_points ~d ~s ~i:!i ~i_star ~chi in
+        let c = Oracle.choose oracle display + 1 in
+        let new_lo, new_hi = robust_bounds ~delta ~s ~chi ~c in
+        (* Line 16: only ever tighten, and keep the interval well-formed under
+           float noise. *)
+        lo.(!i) <- Float.max lo.(!i) (Float.max 0. new_lo);
+        hi.(!i) <- Float.min hi.(!i) new_hi;
+        if lo.(!i) > hi.(!i) then lo.(!i) <- hi.(!i);
+        decr remaining;
+        let next = ref ((!i + 1) mod d) in
+        if !next = i_star then next := (!next + 1) mod d;
+        i := !next
+      done);
   (* Lines 18-21: prune with the learned box. *)
   let output =
-    if exact_prune then Pruning.box_prune_exact ~eps ~lo ~hi candidates
-    else Pruning.box_prune_fast ~eps ~lo ~hi candidates
+    Span.timed "squeeze_u2.box_prune" (fun () ->
+        if exact_prune then Pruning.box_prune_exact ~eps ~lo ~hi candidates
+        else Pruning.box_prune_fast ~eps ~lo ~hi candidates)
   in
   {
     output;

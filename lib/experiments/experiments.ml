@@ -31,6 +31,7 @@ type cell = {
   time_mean : float;
   output_size_mean : float;
   false_negative_runs : int;
+  metrics_mean : (string * float) list;
 }
 
 type sweep = {
@@ -50,6 +51,7 @@ let measure ~utilities ~user_delta ~seed name data (config : Algo.config) =
   let times = Array.make utilities 0. in
   let sizes = Array.make utilities 0. in
   let false_negatives = ref 0 in
+  let metric_sums : (string, float) Hashtbl.t = Hashtbl.create 16 in
   for trial = 0 to utilities - 1 do
     let rng = Rng.create ((seed * 7919) + (trial * 104729) + Hashtbl.hash name) in
     let u = Utility.random rng ~d in
@@ -63,17 +65,29 @@ let measure ~utilities ~user_delta ~seed name data (config : Algo.config) =
       Indist.alpha ~eps:config.Algo.eps u ~data ~output:result.Algo.output;
     times.(trial) <- result.Algo.seconds;
     sizes.(trial) <- float_of_int (Dataset.size result.Algo.output);
+    List.iter
+      (fun (k, v) ->
+        let sum = try Hashtbl.find metric_sums k with Not_found -> 0. in
+        Hashtbl.replace metric_sums k (sum +. v))
+      result.Algo.metrics;
     if
       Indist.has_false_negatives ~eps:config.Algo.eps u ~data
         ~output:result.Algo.output
     then incr false_negatives
   done;
+  let metrics_mean =
+    Hashtbl.fold
+      (fun k sum acc -> (k, sum /. float_of_int utilities) :: acc)
+      metric_sums []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
   {
     alpha_mean = Stats.mean alphas;
     alpha_sd = Stats.stddev alphas;
     time_mean = Stats.mean times;
     output_size_mean = Stats.mean sizes;
     false_negative_runs = !false_negatives;
+    metrics_mean;
   }
 
 let run_sweep ~title ~x_label ~algorithms ~points ~utilities ~user_delta ~seed =

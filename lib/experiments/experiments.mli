@@ -27,6 +27,9 @@ type cell = {
   false_negative_runs : int;
       (** runs in which the output missed a tuple of the exact [I];
           0 in every sound configuration *)
+  metrics_mean : (string * float) list;
+      (** mean per-run {!Indq_obs.Counter} deltas over the [utilities]
+          trials, sorted by counter name *)
 }
 
 type sweep = {

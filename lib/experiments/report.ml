@@ -40,6 +40,39 @@ let size_table sweep =
     ~fmt:(fun x -> Printf.sprintf "%.1f" x)
     sweep
 
+(* Counters are sparse per cell: take the union of names across the row so
+   every algorithm lines up, printing a dash where a counter never fired. *)
+let metric_cell name cell =
+  match List.assoc_opt name cell.Experiments.metrics_mean with
+  | None -> "-"
+  | Some v ->
+    if Float.abs (v -. Float.round v) < 1e-9 && Float.abs v < 1e15 then
+      Printf.sprintf "%.0f" v
+    else Printf.sprintf "%.1f" v
+
+let metrics_table (sweep : Experiments.sweep) =
+  let t =
+    Tabulate.create
+      ~title:(sweep.Experiments.title ^ " -- counters (mean/run)")
+      ~columns:(sweep.Experiments.x_label :: "counter" :: algo_columns sweep)
+  in
+  List.iteri
+    (fun xi x ->
+      let row = Array.to_list sweep.Experiments.cells.(xi) in
+      let names =
+        List.concat_map
+          (fun c -> List.map fst c.Experiments.metrics_mean)
+          row
+        |> List.sort_uniq String.compare
+      in
+      List.iter
+        (fun name ->
+          Tabulate.add_row t
+            (x_cell x :: name :: List.map (metric_cell name) row))
+        names)
+    sweep.Experiments.x_values;
+  t
+
 let false_negative_total (sweep : Experiments.sweep) =
   Array.fold_left
     (fun acc row ->
@@ -48,15 +81,17 @@ let false_negative_total (sweep : Experiments.sweep) =
         acc row)
     0 sweep.Experiments.cells
 
-let print_sweep ?(with_sizes = false) sweep =
+let print_sweep ?(with_sizes = false) ?(with_metrics = false) sweep =
   Tabulate.print (alpha_table sweep);
   Tabulate.print (time_table sweep);
   if with_sizes then Tabulate.print (size_table sweep);
+  if with_metrics then Tabulate.print (metrics_table sweep);
   let fn = false_negative_total sweep in
   Printf.printf "false-negative audit: %d run(s) missed a tuple of I%s\n\n" fn
     (if fn = 0 then " [OK]" else " [VIOLATION]")
 
-let print_time_sweep ~labels (sweep : Experiments.sweep) =
+let print_time_sweep ?(with_metrics = false) ~labels
+    (sweep : Experiments.sweep) =
   let t =
     Tabulate.create
       ~title:sweep.Experiments.title
@@ -69,6 +104,7 @@ let print_time_sweep ~labels (sweep : Experiments.sweep) =
         (List.map (fun c -> c.Experiments.time_mean) row))
     labels;
   Tabulate.print t;
+  if with_metrics then Tabulate.print (metrics_table sweep);
   let fn = false_negative_total sweep in
   Printf.printf "false-negative audit: %d run(s) missed a tuple of I%s\n\n" fn
     (if fn = 0 then " [OK]" else " [VIOLATION]")

@@ -14,11 +14,18 @@ val time_table : Experiments.sweep -> Indq_util.Tabulate.t
 val size_table : Experiments.sweep -> Indq_util.Tabulate.t
 (** Mean output-set size per x per algorithm. *)
 
+val metrics_table : Experiments.sweep -> Indq_util.Tabulate.t
+(** Mean per-run counter deltas: one row per (x, counter) pair, one column
+    per algorithm ([-] where a counter never fired for that algorithm). *)
+
 val false_negative_total : Experiments.sweep -> int
 (** Sum of false-negative runs across all cells; must be 0. *)
 
-val print_sweep : ?with_sizes:bool -> Experiments.sweep -> unit
-(** α table, time table, optional size table, and the audit line. *)
+val print_sweep :
+  ?with_sizes:bool -> ?with_metrics:bool -> Experiments.sweep -> unit
+(** α table, time table, optional size table, optional counter table, and
+    the audit line. *)
 
-val print_time_sweep : labels:string list -> Experiments.sweep -> unit
+val print_time_sweep :
+  ?with_metrics:bool -> labels:string list -> Experiments.sweep -> unit
 (** For Tables III/IV: rows labeled by dataset name instead of x value. *)

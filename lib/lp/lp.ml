@@ -1,3 +1,8 @@
+module Counter = Indq_obs.Counter
+
+let c_solves = Counter.make "lp.solves"
+let c_iterations = Counter.make "lp.iterations"
+
 type relation = Le | Ge | Eq
 
 type constr = { coeffs : float array; relation : relation; rhs : float }
@@ -117,6 +122,7 @@ let build ~tol ~n constraints =
   { n; total; art_start; rows; rhs; basis; obj; obj_value = !obj_value; tol }
 
 let pivot t ~row ~col =
+  Counter.incr c_iterations;
   let pivot_value = t.rows.(row).(col) in
   let r = t.rows.(row) in
   for j = 0 to t.total - 1 do
@@ -239,6 +245,7 @@ let install_objective t cost =
 
 let minimize ?(tol = 1e-9) ~n ~objective constraints =
   check_inputs ~n objective constraints;
+  Counter.incr c_solves;
   if constraints = [] then begin
     (* Only x >= 0: the minimum is 0 at the origin unless some objective
        coefficient is negative, in which case the problem is unbounded. *)

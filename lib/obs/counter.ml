@@ -1,0 +1,42 @@
+type t = { name : string; mutable value : float }
+
+(* Registry of every counter ever created.  Counters are created once at
+   module-initialization time in the instrumented modules, so the hot path
+   (incr/add on a handle) is a single float store — no hashing. *)
+let registry : (string, t) Hashtbl.t = Hashtbl.create 32
+
+let all : t list ref = ref []
+
+let make name =
+  match Hashtbl.find_opt registry name with
+  | Some c -> c
+  | None ->
+    let c = { name; value = 0. } in
+    Hashtbl.replace registry name c;
+    all := c :: !all;
+    c
+
+let incr c = c.value <- c.value +. 1.
+
+let add c x = c.value <- c.value +. x
+
+let value c = c.value
+
+let name c = c.name
+
+let get n =
+  match Hashtbl.find_opt registry n with Some c -> c.value | None -> 0.
+
+let snapshot () =
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (List.rev_map (fun c -> (c.name, c.value)) !all)
+
+let since before =
+  List.map
+    (fun (n, v) ->
+      let b = match List.assoc_opt n before with Some x -> x | None -> 0. in
+      (n, v -. b))
+    (snapshot ())
+
+let reset_all () = List.iter (fun c -> c.value <- 0.) !all

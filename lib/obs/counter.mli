@@ -1,0 +1,51 @@
+(** Process-wide work counters for the algorithm stack's hot paths.
+
+    Instrumented modules create a handle once at module-initialization time
+    ([let c = Counter.make "lp.solves"]) and bump it on the hot path; a bump
+    is a single float store, so counters stay on permanently.  Reporting
+    code reads the registry through {!snapshot} / {!since}.
+
+    Conventional names used across the reproduction (dotted,
+    [subsystem.event]):
+
+    - ["lp.solves"], ["lp.iterations"] — simplex runs and pivots;
+    - ["prune.scalar_hits"], ["prune.corner_hits"], ["prune.lp_calls"],
+      ["prune.witness_hits"] — the pruning cascade (Section IV-A / Lemma 2);
+    - ["region.halfspaces"] — hyperplane cuts applied to feasible regions;
+    - ["oracle.questions"] — rounds asked of the user;
+    - ["rtree.nodes_visited"] — R-tree nodes touched by queries.
+
+    Counters are process-wide and not thread-safe (the whole reproduction is
+    single-threaded). *)
+
+type t
+(** A counter handle. *)
+
+val make : string -> t
+(** [make name] returns the counter registered under [name], creating it at
+    zero on first call.  Handles for the same name are shared. *)
+
+val incr : t -> unit
+(** Add 1. *)
+
+val add : t -> float -> unit
+(** Add an arbitrary (possibly fractional) amount. *)
+
+val value : t -> float
+
+val name : t -> string
+
+val get : string -> float
+(** Current value by name; 0 for names never registered. *)
+
+val snapshot : unit -> (string * float) list
+(** Every registered counter with its current value, sorted by name. *)
+
+val since : (string * float) list -> (string * float) list
+(** [since before] subtracts an earlier {!snapshot} from the current one,
+    yielding the work done in between.  Counters created after [before] was
+    taken are reported in full.  Sorted by name; zero deltas are kept so
+    lookups are total. *)
+
+val reset_all : unit -> unit
+(** Zero every registered counter. *)

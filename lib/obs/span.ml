@@ -1,0 +1,76 @@
+module Timer = Indq_util.Timer
+
+type stat = { calls : int; cumulative : float; self : float }
+
+type cell = {
+  mutable calls : int;
+  mutable cumulative : float;
+  mutable self : float;
+}
+
+type frame = { cell_name : string; start : float; mutable child : float }
+
+let on = ref false
+
+let cells : (string, cell) Hashtbl.t = Hashtbl.create 16
+
+let names : string list ref = ref []
+
+let stack : frame list ref = ref []
+
+let enabled () = !on
+
+let enable () = on := true
+
+let disable () = on := false
+
+let cell name =
+  match Hashtbl.find_opt cells name with
+  | Some c -> c
+  | None ->
+    let c = { calls = 0; cumulative = 0.; self = 0. } in
+    Hashtbl.replace cells name c;
+    names := name :: !names;
+    c
+
+let record fr =
+  let elapsed = Timer.wall () -. fr.start in
+  (match !stack with
+  | top :: rest when top == fr -> stack := rest
+  | _ -> stack := List.filter (fun f -> f != fr) !stack);
+  (match !stack with
+  | parent :: _ -> parent.child <- parent.child +. elapsed
+  | [] -> ());
+  let c = cell fr.cell_name in
+  c.calls <- c.calls + 1;
+  c.cumulative <- c.cumulative +. elapsed;
+  c.self <- c.self +. Float.max 0. (elapsed -. fr.child)
+
+let timed name f =
+  if not !on then f ()
+  else begin
+    let fr = { cell_name = name; start = Timer.wall (); child = 0. } in
+    stack := fr :: !stack;
+    match f () with
+    | v ->
+      record fr;
+      v
+    | exception e ->
+      record fr;
+      raise e
+  end
+
+let snapshot () =
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (List.rev_map
+       (fun n ->
+         let c = Hashtbl.find cells n in
+         (n, { calls = c.calls; cumulative = c.cumulative; self = c.self }
+              : string * stat))
+       !names)
+
+let reset () =
+  Hashtbl.reset cells;
+  names := [];
+  stack := []

@@ -1,0 +1,31 @@
+(** Nestable named timing scopes over the monotonic-enough wall clock
+    ({!Indq_util.Timer.wall}).
+
+    A span accumulates, per name, the number of calls, cumulative wall time
+    and {i self} time (cumulative minus time spent in nested spans), so a
+    profile like "Squeeze-u spends 80% of its round in the final box filter"
+    falls straight out of a run.
+
+    Spans are {b disabled by default}: when disabled, {!timed} costs one
+    branch and calls the thunk directly, so instrumentation can stay in the
+    hot paths permanently (the zero-cost-when-disabled contract, see
+    DESIGN.md "Observability").  Not thread-safe. *)
+
+type stat = { calls : int; cumulative : float; self : float }
+
+val enabled : unit -> bool
+
+val enable : unit -> unit
+
+val disable : unit -> unit
+
+val timed : string -> (unit -> 'a) -> 'a
+(** [timed name f] runs [f ()] inside a span named [name] when enabled,
+    or just runs [f ()] when disabled.  Re-entrant and exception-safe:
+    the span is recorded even when [f] raises. *)
+
+val snapshot : unit -> (string * stat) list
+(** Accumulated statistics per span name, sorted by name. *)
+
+val reset : unit -> unit
+(** Drop all accumulated statistics (and any dangling frames). *)

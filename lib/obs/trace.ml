@@ -1,0 +1,246 @@
+type event =
+  | Run_started of {
+      algo : string;
+      n : int;
+      d : int;
+      s : int;
+      q : int;
+      eps : float;
+      delta : float;
+    }
+  | Round_started of { round : int; candidates : int }
+  | Question_asked of { round : int; options : int; choice : int }
+  | Prune_stage of { stage : string; before : int; after : int }
+  | Region_updated of { round : int; halfspaces : int; empty : bool }
+  | Run_finished of { questions : int; output : int; seconds : float }
+
+type sink = event -> unit
+
+let sink : sink option ref = ref None
+
+let set_sink s = sink := Some s
+
+let clear_sink () = sink := None
+
+let active () = !sink <> None
+
+let emit ev = match !sink with None -> () | Some s -> s ev
+
+let emit_with f = match !sink with None -> () | Some s -> s (f ())
+
+(* --- JSONL serialization --- *)
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let unescape s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    (match s.[!i] with
+    | '\\' when !i + 1 < n ->
+      incr i;
+      (match s.[!i] with
+      | 'n' -> Buffer.add_char buf '\n'
+      | 't' -> Buffer.add_char buf '\t'
+      | 'u' when !i + 4 < n ->
+        let code = int_of_string ("0x" ^ String.sub s (!i + 1) 4) in
+        Buffer.add_char buf (Char.chr (code land 0xff));
+        i := !i + 4
+      | c -> Buffer.add_char buf c)
+    | c -> Buffer.add_char buf c);
+    incr i
+  done;
+  Buffer.contents buf
+
+let float_token x = Printf.sprintf "%g" x
+
+let to_json = function
+  | Run_started { algo; n; d; s; q; eps; delta } ->
+    Printf.sprintf
+      {|{"type":"run_started","algo":"%s","n":%d,"d":%d,"s":%d,"q":%d,"eps":%s,"delta":%s}|}
+      (escape algo) n d s q (float_token eps) (float_token delta)
+  | Round_started { round; candidates } ->
+    Printf.sprintf {|{"type":"round_started","round":%d,"candidates":%d}|} round
+      candidates
+  | Question_asked { round; options; choice } ->
+    Printf.sprintf
+      {|{"type":"question_asked","round":%d,"options":%d,"choice":%d}|} round
+      options choice
+  | Prune_stage { stage; before; after } ->
+    Printf.sprintf {|{"type":"prune_stage","stage":"%s","before":%d,"after":%d}|}
+      (escape stage) before after
+  | Region_updated { round; halfspaces; empty } ->
+    Printf.sprintf
+      {|{"type":"region_updated","round":%d,"halfspaces":%d,"empty":%b}|} round
+      halfspaces empty
+  | Run_finished { questions; output; seconds } ->
+    Printf.sprintf
+      {|{"type":"run_finished","questions":%d,"output":%d,"seconds":%s}|}
+      questions output (float_token seconds)
+
+(* Minimal field extraction for the flat one-line objects emitted above; not
+   a general JSON parser. *)
+
+let find_sub line pat =
+  let n = String.length line and m = String.length pat in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub line i m = pat then Some (i + m)
+    else go (i + 1)
+  in
+  go 0
+
+let string_field line key =
+  match find_sub line (Printf.sprintf {|"%s":"|} key) with
+  | None -> None
+  | Some start ->
+    let buf = Buffer.create 16 in
+    let n = String.length line in
+    let rec go i =
+      if i >= n then None
+      else
+        match line.[i] with
+        | '"' -> Some (unescape (Buffer.contents buf))
+        | '\\' when i + 1 < n ->
+          Buffer.add_char buf '\\';
+          Buffer.add_char buf line.[i + 1];
+          go (i + 2)
+        | c ->
+          Buffer.add_char buf c;
+          go (i + 1)
+    in
+    go start
+
+let scalar_field line key =
+  match find_sub line (Printf.sprintf {|"%s":|} key) with
+  | None -> None
+  | Some start ->
+    let n = String.length line in
+    let stop = ref start in
+    while !stop < n && line.[!stop] <> ',' && line.[!stop] <> '}' do
+      incr stop
+    done;
+    Some (String.trim (String.sub line start (!stop - start)))
+
+let int_field line key = Option.bind (scalar_field line key) int_of_string_opt
+
+let float_field line key =
+  Option.bind (scalar_field line key) float_of_string_opt
+
+let bool_field line key = Option.bind (scalar_field line key) bool_of_string_opt
+
+let of_json_line line =
+  let ( let* ) = Option.bind in
+  match string_field line "type" with
+  | Some "run_started" ->
+    let* algo = string_field line "algo" in
+    let* n = int_field line "n" in
+    let* d = int_field line "d" in
+    let* s = int_field line "s" in
+    let* q = int_field line "q" in
+    let* eps = float_field line "eps" in
+    let* delta = float_field line "delta" in
+    Some (Run_started { algo; n; d; s; q; eps; delta })
+  | Some "round_started" ->
+    let* round = int_field line "round" in
+    let* candidates = int_field line "candidates" in
+    Some (Round_started { round; candidates })
+  | Some "question_asked" ->
+    let* round = int_field line "round" in
+    let* options = int_field line "options" in
+    let* choice = int_field line "choice" in
+    Some (Question_asked { round; options; choice })
+  | Some "prune_stage" ->
+    let* stage = string_field line "stage" in
+    let* before = int_field line "before" in
+    let* after = int_field line "after" in
+    Some (Prune_stage { stage; before; after })
+  | Some "region_updated" ->
+    let* round = int_field line "round" in
+    let* halfspaces = int_field line "halfspaces" in
+    let* empty = bool_field line "empty" in
+    Some (Region_updated { round; halfspaces; empty })
+  | Some "run_finished" ->
+    let* questions = int_field line "questions" in
+    let* output = int_field line "output" in
+    let* seconds = float_field line "seconds" in
+    Some (Run_finished { questions; output; seconds })
+  | _ -> None
+
+let jsonl_sink oc ev =
+  output_string oc (to_json ev);
+  output_char oc '\n'
+
+(* --- live per-round console table --- *)
+
+let console_sink () =
+  let header = ref false in
+  let pending = ref false in
+  let round = ref 0 in
+  let candidates = ref (-1) in
+  let options = ref 0 in
+  let choice = ref (-1) in
+  let pruned = ref 0 in
+  let cuts = ref (-1) in
+  let opt_int v = if v >= 0 then string_of_int v else "-" in
+  let ensure_header () =
+    if not !header then begin
+      Printf.printf "%6s %11s %8s %7s %7s %5s\n" "round" "candidates" "options"
+        "choice" "pruned" "cuts";
+      header := true
+    end
+  in
+  let flush () =
+    if !pending then begin
+      ensure_header ();
+      Printf.printf "%6d %11s %8d %7s %7d %5s\n%!" !round (opt_int !candidates)
+        !options
+        (if !choice >= 0 then string_of_int (!choice + 1) else "-")
+        !pruned (opt_int !cuts);
+      pending := false;
+      candidates := -1;
+      options := 0;
+      choice := -1;
+      pruned := 0;
+      cuts := -1
+    end
+  in
+  fun ev ->
+    match ev with
+    | Run_started r ->
+      Printf.printf "# %s: n=%d d=%d s=%d q=%d eps=%g delta=%g\n%!" r.algo r.n
+        r.d r.s r.q r.eps r.delta
+    | Round_started r ->
+      flush ();
+      pending := true;
+      round := r.round;
+      candidates := r.candidates
+    | Question_asked qa ->
+      if not !pending then begin
+        pending := true;
+        round := qa.round
+      end;
+      options := qa.options;
+      choice := qa.choice
+    | Prune_stage p ->
+      if !pending then pruned := !pruned + (p.before - p.after)
+      else Printf.printf "# prune[%s]: %d -> %d\n%!" p.stage p.before p.after
+    | Region_updated r -> if !pending then cuts := r.halfspaces
+    | Run_finished f ->
+      flush ();
+      Printf.printf "# finished: %d questions, %d tuples, %.3fs\n%!" f.questions
+        f.output f.seconds

@@ -1,0 +1,72 @@
+(** Structured event stream for interactive-algorithm runs.
+
+    Algorithms emit one {!event} per notable step: a run starting, a round
+    starting with the current candidate-set size, a question shown to the
+    user, a pruning stage shrinking the candidates, a region cut applied, a
+    run finishing.  Events flow to at most one {b sink}; with no sink
+    installed (the default) {!emit_with} does not even build the event —
+    one ref read and a branch — so tracing can stay wired into every
+    algorithm permanently (the zero-cost-when-disabled contract).
+
+    Two ready-made sinks: {!jsonl_sink} serializes events one JSON object
+    per line for offline analysis ({!of_json_line} parses them back), and
+    {!console_sink} renders a live per-round table for the CLI.
+
+    Round numbers are 1-based and local to the emitting component: a fresh
+    oracle and a single run number rounds identically everywhere. *)
+
+type event =
+  | Run_started of {
+      algo : string;
+      n : int;  (** dataset size *)
+      d : int;  (** dimensions *)
+      s : int;
+      q : int;
+      eps : float;
+      delta : float;
+    }
+  | Round_started of { round : int; candidates : int }
+      (** [candidates] is the candidate-set size entering the round. *)
+  | Question_asked of { round : int; options : int; choice : int }
+      (** [choice] is the 0-based index the user picked. *)
+  | Prune_stage of { stage : string; before : int; after : int }
+      (** One pruning stage ran: ["skyline"], ["box_fast"], ["box_exact"]
+          or ["lemma2"]. *)
+  | Region_updated of { round : int; halfspaces : int; empty : bool }
+      (** A feasible-region cut was applied; [halfspaces] is the region's
+          total cut count afterwards. *)
+  | Run_finished of { questions : int; output : int; seconds : float }
+
+type sink = event -> unit
+
+val set_sink : sink -> unit
+(** Install the sink (replacing any previous one). *)
+
+val clear_sink : unit -> unit
+(** Back to the no-op default. *)
+
+val active : unit -> bool
+
+val emit : event -> unit
+(** Deliver to the sink, or do nothing when none is installed. *)
+
+val emit_with : (unit -> event) -> unit
+(** Like {!emit} but builds the event lazily: the thunk only runs when a
+    sink is installed.  Use this on hot paths where constructing the event
+    allocates. *)
+
+val to_json : event -> string
+(** One flat JSON object, no trailing newline. *)
+
+val of_json_line : string -> event option
+(** Parse a line produced by {!to_json}; [None] on anything else. *)
+
+val jsonl_sink : out_channel -> sink
+(** Append [to_json event ^ "\n"] per event.  The caller owns the channel
+    (flush/close after {!clear_sink}). *)
+
+val console_sink : unit -> sink
+(** A stateful sink printing a live table to stdout: one row per round
+    (candidates entering, options shown, user choice, tuples pruned, region
+    cuts), plus summary lines for run start/finish and out-of-round pruning
+    stages. *)

@@ -1,6 +1,10 @@
 (* Guttman R-tree (quadratic split).  Nodes keep children in plain lists —
    fanout is small (<= max_entries) so list traversal is fine. *)
 
+module Counter = Indq_obs.Counter
+
+let c_nodes_visited = Counter.make "rtree.nodes_visited"
+
 type 'a node = {
   mutable mbr : Rect.t;
   mutable contents : 'a contents;
@@ -197,6 +201,7 @@ let of_points ?max_entries ~dim points =
 
 let fold_overlapping t query ~init ~f =
   let rec go acc node =
+    Counter.incr c_nodes_visited;
     if not (Rect.intersects node.mbr query) then acc
     else
       match node.contents with
@@ -215,6 +220,7 @@ exception Found
 
 let exists_overlapping t query ~f =
   let rec go node =
+    Counter.incr c_nodes_visited;
     if Rect.intersects node.mbr query then
       match node.contents with
       | Leaf entries ->

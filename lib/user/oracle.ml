@@ -1,4 +1,8 @@
 module Rng = Indq_util.Rng
+module Counter = Indq_obs.Counter
+module Trace = Indq_obs.Trace
+
+let c_questions = Counter.make "oracle.questions"
 
 type chooser =
   | Exact of Utility.t
@@ -39,10 +43,10 @@ let erring_pick ~utility ~delta ~rng options =
   | [] -> Utility.best_index utility options (* unreachable: best qualifies *)
   | cs -> List.nth cs (Rng.int rng (List.length cs))
 
-let choose t options =
-  if Array.length options = 0 then invalid_arg "Oracle.choose: no options";
-  t.questions <- t.questions + 1;
-  t.options <- t.options + Array.length options;
+(* The selection logic alone, with no interaction accounting: shared by
+   [choose] and by [recording], which must not count the inner oracle's
+   answer as a second question. *)
+let select t options =
   match t.chooser with
   | Exact utility -> Utility.best_index utility options
   | Erring { utility; delta; rng } -> erring_pick ~utility ~delta ~rng options
@@ -51,6 +55,17 @@ let choose t options =
     if i < 0 || i >= Array.length options then
       invalid_arg "Oracle.choose: external chooser returned bad index";
     i
+
+let choose t options =
+  if Array.length options = 0 then invalid_arg "Oracle.choose: no options";
+  t.questions <- t.questions + 1;
+  t.options <- t.options + Array.length options;
+  Counter.incr c_questions;
+  let i = select t options in
+  Trace.emit_with (fun () ->
+      Trace.Question_asked
+        { round = t.questions; options = Array.length options; choice = i });
+  i
 
 let questions_asked t = t.questions
 
@@ -76,7 +91,9 @@ let recording inner =
   let log = ref [] in
   let wrapped =
     of_chooser (fun options ->
-        let choice = choose inner options in
+        (* [select], not [choose]: the wrapper's own [choose] call already
+           does the per-question accounting (question counters, trace). *)
+        let choice = select inner options in
         log := { options = Array.map Array.copy options; choice } :: !log;
         choice)
   in

@@ -1,8 +1,16 @@
-let time f =
-  let start = Sys.time () in
+let wall () = Unix.gettimeofday ()
+
+let cpu () = Sys.time ()
+
+let time_with clock f =
+  let start = clock () in
   let result = f () in
-  let stop = Sys.time () in
+  let stop = clock () in
   (result, stop -. start)
+
+let time f = time_with wall f
+
+let time_cpu f = time_with cpu f
 
 let time_seconds f =
   let _, s = time f in

@@ -1,13 +1,29 @@
-(** Wall-clock timing for the running-time tables (Tables III and IV).
+(** Timing for the running-time tables (Tables III and IV) and the
+    observability spans.
 
-    Uses [Unix]-free [Sys.time]-independent monotonic-ish measurement via
-    [Unix.gettimeofday]-equivalent: we rely on [Sys.time] for CPU seconds and
-    [Unix] is avoided to keep the dependency footprint minimal, so this module
-    reports CPU time, matching how the paper reports algorithm cost on an
-    otherwise idle machine. *)
+    Two clocks are exposed explicitly so callers never have to guess what a
+    number means:
+
+    - {!wall} is real elapsed time ([Unix.gettimeofday]) — what a user
+      waiting on an interactive round experiences.  Algorithm results and
+      spans report wall time, so runs that include oracle latency (a human
+      on stdin, a δ-erring simulator) are accounted honestly.
+    - {!cpu} is process CPU seconds ([Sys.time]) — useful for comparing
+      algorithmic work on an otherwise idle machine, the way the paper
+      reports cost. *)
+
+val wall : unit -> float
+(** Wall-clock seconds since the epoch.  Only differences are meaningful. *)
+
+val cpu : unit -> float
+(** CPU seconds consumed by this process. *)
 
 val time : (unit -> 'a) -> 'a * float
-(** [time f] runs [f ()] and returns its result and elapsed CPU seconds. *)
+(** [time f] runs [f ()] and returns its result and elapsed {b wall-clock}
+    seconds. *)
+
+val time_cpu : (unit -> 'a) -> 'a * float
+(** Like {!time} but measuring {b CPU} seconds. *)
 
 val time_seconds : (unit -> unit) -> float
 (** Like {!time} but discards the result. *)

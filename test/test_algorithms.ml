@@ -461,6 +461,44 @@ let test_algo_run_all () =
         (Algo.to_string name))
     Algo.all
 
+let test_algo_metrics_count_questions () =
+  (* The "oracle.questions" counter delta in run_result.metrics must agree
+     with the oracle's own accounting for every algorithm. *)
+  let rng = Rng.create 109 in
+  let d = 3 in
+  let data = pinned_dataset rng ~n:60 ~d in
+  let u = Utility.random rng ~d in
+  let config = Algo.default_config ~d in
+  List.iter
+    (fun name ->
+      let oracle = Oracle.exact u in
+      let result = Algo.run name config ~data ~oracle ~rng:(Rng.split rng) in
+      let counted =
+        match List.assoc_opt "oracle.questions" result.Algo.metrics with
+        | Some v -> int_of_float v
+        | None -> -1
+      in
+      Alcotest.(check int)
+        (Algo.to_string name ^ ": oracle.questions counter = questions_used")
+        result.Algo.questions_used counted)
+    Algo.all
+
+let test_algo_metrics_count_questions_recording () =
+  (* Wrapping the oracle in Oracle.recording must not double-count. *)
+  let rng = Rng.create 113 in
+  let d = 3 in
+  let data = pinned_dataset rng ~n:40 ~d in
+  let u = Utility.random rng ~d in
+  let oracle, _rounds = Oracle.recording (Oracle.exact u) in
+  let result =
+    Algo.run Algo.Squeeze_u (Algo.default_config ~d) ~data ~oracle
+      ~rng:(Rng.split rng)
+  in
+  Alcotest.(check (float 1e-9))
+    "recorded oracle counts each question once"
+    (float_of_int result.Algo.questions_used)
+    (List.assoc "oracle.questions" result.Algo.metrics)
+
 let test_algo_squeeze_dispatches_on_delta () =
   let rng = Rng.create 107 in
   let d = 2 in
@@ -631,6 +669,10 @@ let () =
           Alcotest.test_case "names" `Quick test_algo_names;
           Alcotest.test_case "default config" `Quick test_algo_default_config;
           Alcotest.test_case "run all" `Quick test_algo_run_all;
+          Alcotest.test_case "metrics count questions" `Quick
+            test_algo_metrics_count_questions;
+          Alcotest.test_case "recording does not double-count" `Quick
+            test_algo_metrics_count_questions_recording;
           Alcotest.test_case "delta dispatch" `Quick test_algo_squeeze_dispatches_on_delta;
         ] );
       ("properties", [ QCheck_alcotest.to_alcotest prop_never_false_negatives ]);

@@ -1,0 +1,300 @@
+(* Tests for the observability layer (Indq_obs): process-wide counters,
+   nestable timing spans, and the structured trace stream — including the
+   zero-cost-when-disabled contract and the JSONL round trip. *)
+
+module Counter = Indq_obs.Counter
+module Span = Indq_obs.Span
+module Trace = Indq_obs.Trace
+module Algo = Indq_core.Algo
+module Squeeze_u = Indq_core.Squeeze_u
+module Dataset = Indq_dataset.Dataset
+module Generator = Indq_dataset.Generator
+module Utility = Indq_user.Utility
+module Oracle = Indq_user.Oracle
+module Rng = Indq_util.Rng
+
+(* --- counters --- *)
+
+let test_counter_incr_and_add () =
+  let c = Counter.make "test.alpha" in
+  let v0 = Counter.value c in
+  Counter.incr c;
+  Counter.incr c;
+  Counter.add c 2.5;
+  Alcotest.(check (float 1e-9)) "incr + add" (v0 +. 4.5) (Counter.value c);
+  Alcotest.(check (float 1e-9)) "get by name" (v0 +. 4.5)
+    (Counter.get "test.alpha");
+  Alcotest.(check string) "name" "test.alpha" (Counter.name c)
+
+let test_counter_handles_shared () =
+  let a = Counter.make "test.shared" in
+  let b = Counter.make "test.shared" in
+  let v0 = Counter.value a in
+  Counter.incr a;
+  Alcotest.(check (float 1e-9)) "same cell" (v0 +. 1.) (Counter.value b)
+
+let test_counter_snapshot_sorted () =
+  ignore (Counter.make "test.zz");
+  ignore (Counter.make "test.aa");
+  let names = List.map fst (Counter.snapshot ()) in
+  Alcotest.(check (list string)) "sorted" (List.sort compare names) names
+
+let test_counter_since () =
+  let c = Counter.make "test.since" in
+  let d = Counter.make "test.untouched" in
+  ignore d;
+  let before = Counter.snapshot () in
+  Counter.add c 3.;
+  let delta = Counter.since before in
+  Alcotest.(check (float 1e-9)) "bumped counter delta" 3.
+    (List.assoc "test.since" delta);
+  (* Zero deltas are kept, so lookups are total. *)
+  Alcotest.(check (float 1e-9)) "untouched counter delta" 0.
+    (List.assoc "test.untouched" delta)
+
+let test_counter_since_new_counter () =
+  let before = Counter.snapshot () in
+  let c = Counter.make "test.born-later" in
+  Counter.add c 7.;
+  Alcotest.(check (float 1e-9)) "created-after counter reported in full" 7.
+    (List.assoc "test.born-later" (Counter.since before))
+
+let test_counter_reset_all () =
+  let c = Counter.make "test.reset" in
+  Counter.add c 5.;
+  Counter.reset_all ();
+  Alcotest.(check (float 1e-9)) "zeroed" 0. (Counter.value c);
+  List.iter
+    (fun (name, v) -> Alcotest.(check (float 1e-9)) (name ^ " zeroed") 0. v)
+    (Counter.snapshot ())
+
+(* --- spans --- *)
+
+let test_span_disabled_by_default () =
+  Alcotest.(check bool) "disabled" false (Span.enabled ());
+  Span.reset ();
+  let x = Span.timed "test.noop" (fun () -> 41 + 1) in
+  Alcotest.(check int) "thunk still runs" 42 x;
+  Alcotest.(check bool) "nothing recorded" true (Span.snapshot () = [])
+
+let test_span_nesting_and_self_time () =
+  Span.reset ();
+  Span.enable ();
+  let spin seconds =
+    let start = Indq_util.Timer.wall () in
+    while Indq_util.Timer.wall () -. start < seconds do
+      ()
+    done
+  in
+  Span.timed "test.outer" (fun () ->
+      spin 0.004;
+      Span.timed "test.inner" (fun () -> spin 0.004));
+  Span.timed "test.outer" (fun () -> spin 0.002);
+  Span.disable ();
+  let stats = Span.snapshot () in
+  let outer = List.assoc "test.outer" stats in
+  let inner = List.assoc "test.inner" stats in
+  Alcotest.(check int) "outer calls" 2 outer.Span.calls;
+  Alcotest.(check int) "inner calls" 1 inner.Span.calls;
+  Alcotest.(check bool) "outer cumulative covers inner" true
+    (outer.Span.cumulative >= inner.Span.cumulative);
+  (* Self excludes the nested span: outer self + inner cumulative should
+     recover outer cumulative (up to clock granularity). *)
+  Alcotest.(check (float 1e-3)) "self + child = cumulative"
+    outer.Span.cumulative
+    (outer.Span.self +. inner.Span.cumulative);
+  Span.reset ()
+
+let test_span_exception_safe () =
+  Span.reset ();
+  Span.enable ();
+  (try Span.timed "test.raises" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  let x = Span.timed "test.after" (fun () -> 7) in
+  Span.disable ();
+  Alcotest.(check int) "spans keep working after a raise" 7 x;
+  let stats = Span.snapshot () in
+  Alcotest.(check int) "raising span recorded" 1
+    (List.assoc "test.raises" stats).Span.calls;
+  (* The raising frame was popped: "test.after" is a root span, so its self
+     time is its cumulative time. *)
+  let after = List.assoc "test.after" stats in
+  Alcotest.(check (float 1e-9)) "no dangling parent" after.Span.cumulative
+    after.Span.self;
+  Span.reset ()
+
+(* --- trace sink --- *)
+
+let test_trace_no_sink_skips_thunk () =
+  Trace.clear_sink ();
+  Alcotest.(check bool) "inactive" false (Trace.active ());
+  let built = ref false in
+  Trace.emit_with (fun () ->
+      built := true;
+      Trace.Round_started { round = 1; candidates = 0 });
+  Alcotest.(check bool) "event never built" false !built
+
+let test_trace_sink_receives_events () =
+  let seen = ref [] in
+  Trace.set_sink (fun e -> seen := e :: !seen);
+  Alcotest.(check bool) "active" true (Trace.active ());
+  Trace.emit (Trace.Round_started { round = 3; candidates = 17 });
+  Trace.emit_with (fun () ->
+      Trace.Prune_stage { stage = "skyline"; before = 10; after = 4 });
+  Trace.clear_sink ();
+  Trace.emit (Trace.Round_started { round = 4; candidates = 1 });
+  Alcotest.(check int) "two events, none after clear" 2 (List.length !seen)
+
+let sample_events =
+  [
+    Trace.Run_started
+      { algo = "Squeeze-u"; n = 100; d = 3; s = 3; q = 9; eps = 0.05; delta = 0. };
+    Trace.Round_started { round = 1; candidates = 42 };
+    Trace.Question_asked { round = 1; options = 3; choice = 2 };
+    Trace.Prune_stage { stage = "box_fast"; before = 42; after = 7 };
+    Trace.Region_updated { round = 1; halfspaces = 2; empty = false };
+    Trace.Region_updated { round = 2; halfspaces = 4; empty = true };
+    Trace.Run_finished { questions = 9; output = 7; seconds = 0.125 };
+  ]
+
+let test_trace_json_round_trip () =
+  List.iter
+    (fun event ->
+      let line = Trace.to_json event in
+      match Trace.of_json_line line with
+      | None -> Alcotest.failf "unparsable: %s" line
+      | Some back ->
+        Alcotest.(check string) "stable round trip" line (Trace.to_json back))
+    sample_events
+
+let test_trace_json_escaping () =
+  let event =
+    Trace.Prune_stage { stage = "we\"ird\\st\nage"; before = 1; after = 0 }
+  in
+  let line = Trace.to_json event in
+  match Trace.of_json_line line with
+  | Some (Trace.Prune_stage { stage; _ }) ->
+    Alcotest.(check string) "escaped string survives" "we\"ird\\st\nage" stage
+  | _ -> Alcotest.fail "round trip failed"
+
+let test_trace_rejects_garbage () =
+  List.iter
+    (fun line ->
+      Alcotest.(check bool) ("rejects " ^ line) true
+        (Trace.of_json_line line = None))
+    [ ""; "not json"; "{}"; {|{"type":"unknown_event","round":1}|};
+      {|{"type":"round_started"}|} ]
+
+(* --- integration with the algorithm stack --- *)
+
+let run_squeeze_u () =
+  let rng = Rng.create 4242 in
+  let d = 3 in
+  let data = Generator.independent rng ~n:80 ~d in
+  let u = Utility.random rng ~d in
+  let oracle = Oracle.exact u in
+  Algo.run Algo.Squeeze_u (Algo.default_config ~d) ~data ~oracle
+    ~rng:(Rng.split rng)
+
+let test_run_without_sink_is_silent () =
+  Trace.clear_sink ();
+  (* Any emit_with reaching a sink would be a contract violation; prove it
+     by installing a counting probe around a run... without a sink we can
+     only assert the run completes and the API stays inactive. *)
+  let result = run_squeeze_u () in
+  Alcotest.(check bool) "run completed" true
+    (Dataset.size result.Algo.output > 0);
+  Alcotest.(check bool) "still inactive" false (Trace.active ())
+
+let test_run_metrics_match_counters () =
+  let before = Counter.snapshot () in
+  let result = run_squeeze_u () in
+  (* The run_result carries exactly the per-run counter deltas. *)
+  let delta = result.Algo.metrics in
+  List.iter
+    (fun (name, v) ->
+      let total = Counter.get name in
+      let was = match List.assoc_opt name before with Some x -> x | None -> 0. in
+      Alcotest.(check (float 1e-9)) (name ^ " delta consistent") (total -. was) v)
+    delta;
+  Alcotest.(check bool) "asked questions" true
+    (List.assoc "oracle.questions" delta > 0.);
+  Alcotest.(check bool) "scalar prune fired" true
+    (List.assoc "prune.scalar_hits" delta > 0.)
+
+let test_jsonl_trace_of_real_run () =
+  (* Stream a real Squeeze-u run through the JSONL serializer and parse it
+     back: every line must round-trip verbatim, and the stream must have the
+     run/round/question structure the algorithms promise. *)
+  let lines = ref [] in
+  Trace.set_sink (fun e -> lines := Trace.to_json e :: !lines);
+  let result = run_squeeze_u () in
+  Trace.clear_sink ();
+  let lines = List.rev !lines in
+  Alcotest.(check bool) "some events" true (List.length lines > 0);
+  let events =
+    List.map
+      (fun line ->
+        match Trace.of_json_line line with
+        | Some e ->
+          Alcotest.(check string) "verbatim round trip" line (Trace.to_json e);
+          e
+        | None -> Alcotest.failf "unparsable line: %s" line)
+      lines
+  in
+  let count p = List.length (List.filter p events) in
+  Alcotest.(check int) "one run_started" 1
+    (count (function Trace.Run_started _ -> true | _ -> false));
+  Alcotest.(check int) "one run_finished" 1
+    (count (function Trace.Run_finished _ -> true | _ -> false));
+  Alcotest.(check int) "a question per round" (result.Algo.questions_used)
+    (count (function Trace.Question_asked _ -> true | _ -> false));
+  Alcotest.(check int) "rounds match questions" (result.Algo.questions_used)
+    (count (function Trace.Round_started _ -> true | _ -> false));
+  Alcotest.(check bool) "skyline stage present" true
+    (count (function
+         | Trace.Prune_stage { stage = "skyline"; _ } -> true
+         | _ -> false)
+     = 1)
+
+let test_console_sink_smoke () =
+  (* The console sink must tolerate a full event stream without raising. *)
+  let sink = Trace.console_sink () in
+  List.iter sink sample_events
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "counters",
+        [
+          Alcotest.test_case "incr and add" `Quick test_counter_incr_and_add;
+          Alcotest.test_case "handles shared" `Quick test_counter_handles_shared;
+          Alcotest.test_case "snapshot sorted" `Quick test_counter_snapshot_sorted;
+          Alcotest.test_case "since" `Quick test_counter_since;
+          Alcotest.test_case "since new counter" `Quick test_counter_since_new_counter;
+          Alcotest.test_case "reset all" `Quick test_counter_reset_all;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "disabled by default" `Quick test_span_disabled_by_default;
+          Alcotest.test_case "nesting and self time" `Quick test_span_nesting_and_self_time;
+          Alcotest.test_case "exception safe" `Quick test_span_exception_safe;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "no sink skips thunk" `Quick test_trace_no_sink_skips_thunk;
+          Alcotest.test_case "sink receives events" `Quick test_trace_sink_receives_events;
+          Alcotest.test_case "json round trip" `Quick test_trace_json_round_trip;
+          Alcotest.test_case "json escaping" `Quick test_trace_json_escaping;
+          Alcotest.test_case "rejects garbage" `Quick test_trace_rejects_garbage;
+          Alcotest.test_case "console sink smoke" `Quick test_console_sink_smoke;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "silent without sink" `Quick test_run_without_sink_is_silent;
+          Alcotest.test_case "run metrics match counters" `Quick
+            test_run_metrics_match_counters;
+          Alcotest.test_case "jsonl trace of real run" `Quick
+            test_jsonl_trace_of_real_run;
+        ] );
+    ]
