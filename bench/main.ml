@@ -11,6 +11,7 @@
 
 module Experiments = Indq_experiments.Experiments
 module Report = Indq_experiments.Report
+module Pool = Indq_exec.Pool
 
 let seed = ref 2024
 let scale = ref 1.0
@@ -18,9 +19,15 @@ let utilities = ref 10
 let max_n = ref 1_000_000
 let quick = ref false
 let metrics = ref false
+let jobs = ref 1
+let with_times = ref true
 let selected : string list ref = ref []
 
-let usage = "main.exe [-quick] [-metrics] [-scale S] [-utilities K] [-max-n N] [-seed S] [experiments...]"
+(* Set once in [main]; sweeps are deterministic for every pool size, so the
+   pool never appears in the printed output. *)
+let pool : Pool.t option ref = ref None
+
+let usage = "main.exe [-quick] [-metrics] [-j N] [-no-times] [-scale S] [-utilities K] [-max-n N] [-seed S] [experiments...]"
 
 let spec =
   [
@@ -30,30 +37,38 @@ let spec =
     ("-max-n", Arg.Set_int max_n, "cap for the fig6 scalability sweep (default 1000000)");
     ("-quick", Arg.Set quick, "smoke-test settings (scale 0.05, 3 utilities, max-n 10000)");
     ("-metrics", Arg.Set metrics, "also print mean per-run work counters per sweep");
+    ("-j", Arg.Set_int jobs, "worker domains for sweep trials (default 1 = sequential)");
+    ("-no-times", Arg.Clear with_times,
+     "omit every wall-clock figure so output is identical across -j values");
   ]
 
-let print_sweep sweep = Report.print_sweep ~with_metrics:!metrics sweep
+let print_sweep sweep =
+  Report.print_sweep ~with_metrics:!metrics ~with_times:!with_times sweep
 
 let print_time_sweep ~labels sweep =
-  Report.print_time_sweep ~with_metrics:!metrics ~labels sweep
+  Report.print_time_sweep ~with_metrics:!metrics ~with_times:!with_times
+    ~labels sweep
 
 let section title = Printf.printf "#### %s ####\n\n%!" title
 
 let run_fig1 () =
   section "fig1";
   print_sweep
-    (Experiments.fig1 ~utilities:!utilities ~scale:!scale ~seed:!seed ())
+    (Experiments.fig1 ~utilities:!utilities ~scale:!scale ?pool:!pool
+       ~seed:!seed ())
 
 let per_dataset
     (f :
       ?utilities:int ->
       ?scale:float ->
+      ?pool:Pool.t ->
       seed:int ->
       Experiments.dataset_kind ->
       Experiments.sweep) =
   List.iter
     (fun kind ->
-      print_sweep (f ~utilities:!utilities ~scale:!scale ~seed:!seed kind))
+      print_sweep
+        (f ~utilities:!utilities ~scale:!scale ?pool:!pool ~seed:!seed kind))
     Experiments.[ Island_like; Nba_like; House_like ]
 
 let run_fig2 () = section "fig2"; per_dataset Experiments.fig2
@@ -66,22 +81,26 @@ let dataset_labels = [ "Island"; "NBA"; "House" ]
 let run_tab3 () =
   section "tab3";
   print_time_sweep ~labels:dataset_labels
-    (Experiments.tab3 ~utilities:!utilities ~scale:!scale ~seed:!seed ())
+    (Experiments.tab3 ~utilities:!utilities ~scale:!scale ?pool:!pool
+       ~seed:!seed ())
 
 let run_tab4 () =
   section "tab4";
   print_time_sweep ~labels:dataset_labels
-    (Experiments.tab4 ~utilities:!utilities ~scale:!scale ~seed:!seed ())
+    (Experiments.tab4 ~utilities:!utilities ~scale:!scale ?pool:!pool
+       ~seed:!seed ())
 
 let run_fig6 () =
   section "fig6";
   print_sweep
-    (Experiments.fig6 ~utilities:!utilities ~max_n:!max_n ~seed:!seed ())
+    (Experiments.fig6 ~utilities:!utilities ~max_n:!max_n ?pool:!pool
+       ~seed:!seed ())
 
 let run_fig7 () =
   section "fig7";
   let n = max 500 (int_of_float (!scale *. 10_000.)) in
-  print_sweep (Experiments.fig7 ~utilities:!utilities ~n ~seed:!seed ())
+  print_sweep
+    (Experiments.fig7 ~utilities:!utilities ~n ?pool:!pool ~seed:!seed ())
 
 (* --- Bechamel micro-benchmarks: one Test.make per running-time table ---
 
@@ -368,25 +387,36 @@ let () =
     utilities := 3;
     max_n := 10_000
   end;
+  if !jobs < 1 then begin
+    Printf.eprintf "-j must be >= 1 (got %d)\n" !jobs;
+    exit 2
+  end;
   let chosen =
     match List.rev !selected with
     | [] | [ "all" ] -> List.map fst all_experiments
     | names -> names
   in
+  (* The header deliberately omits -j: output must be identical across -j
+     values (the CI smoke job diffs -j 1 against -j 4 under -no-times). *)
   Printf.printf
     "indistinguishability-query benchmarks (seed=%d scale=%g utilities=%d max-n=%d)\n\n%!"
     !seed !scale !utilities !max_n;
-  let total_start = Sys.time () in
-  List.iter
-    (fun name ->
-      match List.assoc_opt name all_experiments with
-      | Some f ->
-        let start = Sys.time () in
-        f ();
-        Printf.printf "[%s completed in %.1fs]\n\n%!" name (Sys.time () -. start)
-      | None ->
-        Printf.eprintf "unknown experiment %S; available: %s\n" name
-          (String.concat ", " (List.map fst all_experiments));
-        exit 2)
-    chosen;
-  Printf.printf "total: %.1fs\n" (Sys.time () -. total_start)
+  Pool.with_pool ~domains:!jobs (fun p ->
+      if Pool.size p > 1 then pool := Some p;
+      let total_start = Sys.time () in
+      List.iter
+        (fun name ->
+          match List.assoc_opt name all_experiments with
+          | Some f ->
+            let start = Sys.time () in
+            f ();
+            if !with_times then
+              Printf.printf "[%s completed in %.1fs]\n\n%!" name
+                (Sys.time () -. start)
+          | None ->
+            Printf.eprintf "unknown experiment %S; available: %s\n" name
+              (String.concat ", " (List.map fst all_experiments));
+            exit 2)
+        chosen;
+      if !with_times then
+        Printf.printf "total: %.1fs\n" (Sys.time () -. total_start))

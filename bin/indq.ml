@@ -26,6 +26,7 @@ module Span = Indq_obs.Span
 module Trace = Indq_obs.Trace
 module Experiments = Indq_experiments.Experiments
 module Report = Indq_experiments.Report
+module Pool = Indq_exec.Pool
 
 (* --- shared arguments --- *)
 
@@ -100,13 +101,13 @@ let metrics_arg =
   in
   Arg.(value & flag & info [ "metrics" ] ~doc)
 
-(* Install the requested trace sink around [f]. *)
-let with_trace trace f =
+(* Build the requested trace sink and hand it to [f]; the run passes it
+   explicitly to [Algo.run ?trace], which scopes it to the run's duration on
+   the executing domain — no global sink state. *)
+let with_trace_sink trace f =
   match trace with
-  | None -> f ()
-  | Some "-" ->
-    Trace.set_sink (Trace.console_sink ());
-    Fun.protect ~finally:Trace.clear_sink f
+  | None -> f None
+  | Some "-" -> f (Some (Trace.console_sink ()))
   | Some path ->
     let oc =
       try open_out path
@@ -114,12 +115,9 @@ let with_trace trace f =
         Printf.eprintf "indq: cannot open trace file: %s\n" msg;
         exit 2
     in
-    Trace.set_sink (Trace.jsonl_sink oc);
     Fun.protect
-      ~finally:(fun () ->
-        Trace.clear_sink ();
-        close_out oc)
-      f
+      ~finally:(fun () -> close_out oc)
+      (fun () -> f (Some (Trace.jsonl_sink oc)))
 
 (* Replay a recorded transcript through the region machinery: the audit both
    reports what the answers imply about the hidden utility and exercises the
@@ -270,8 +268,8 @@ let simulate_run source n d seed eps delta s q algo trace metrics =
   if metrics then Span.enable ();
   let config = config_of ~data ~s ~q ~eps ~delta in
   let result =
-    with_trace trace (fun () ->
-        Algo.run algo config ~data ~oracle ~rng:(Rng.split rng))
+    with_trace_sink trace (fun sink ->
+        Algo.run ?trace:sink algo config ~data ~oracle ~rng:(Rng.split rng))
   in
   let alpha = Indist.alpha ~eps u ~data ~output:result.Algo.output in
   let truth = Indist.query_exact ~eps u data in
@@ -354,8 +352,16 @@ let interactive_cmd =
 (* --- experiment --- *)
 
 let experiment_cmd =
-  let run name seed scale utilities max_n with_metrics =
+  let run name seed scale utilities max_n jobs with_metrics =
+    if jobs < 1 then begin
+      Printf.eprintf "indq: -j must be >= 1 (got %d)\n" jobs;
+      exit 2
+    end;
     let dataset_labels = [ "Island"; "NBA"; "House" ] in
+    Pool.with_pool ~domains:jobs @@ fun p ->
+    (* Results are bit-identical for every -j, so a size-1 pool and a real
+       one print the same report. *)
+    let pool = if Pool.size p > 1 then Some p else None in
     let print_sweep = Report.print_sweep ~with_metrics in
     let per_dataset f =
       List.iter
@@ -363,19 +369,19 @@ let experiment_cmd =
         Experiments.[ Island_like; Nba_like; House_like ]
     in
     (match String.lowercase_ascii name with
-    | "fig1" -> print_sweep (Experiments.fig1 ~utilities ~scale ~seed ())
-    | "fig2" -> per_dataset (Experiments.fig2 ~utilities ~scale ~seed)
-    | "fig3" -> per_dataset (Experiments.fig3 ~utilities ~scale ~seed)
-    | "fig4" -> per_dataset (Experiments.fig4 ~utilities ~scale ~seed)
-    | "fig5" -> per_dataset (Experiments.fig5 ~utilities ~scale ~seed)
+    | "fig1" -> print_sweep (Experiments.fig1 ~utilities ~scale ?pool ~seed ())
+    | "fig2" -> per_dataset (Experiments.fig2 ~utilities ~scale ?pool ~seed)
+    | "fig3" -> per_dataset (Experiments.fig3 ~utilities ~scale ?pool ~seed)
+    | "fig4" -> per_dataset (Experiments.fig4 ~utilities ~scale ?pool ~seed)
+    | "fig5" -> per_dataset (Experiments.fig5 ~utilities ~scale ?pool ~seed)
     | "tab3" ->
       Report.print_time_sweep ~with_metrics ~labels:dataset_labels
-        (Experiments.tab3 ~utilities ~scale ~seed ())
+        (Experiments.tab3 ~utilities ~scale ?pool ~seed ())
     | "tab4" ->
       Report.print_time_sweep ~with_metrics ~labels:dataset_labels
-        (Experiments.tab4 ~utilities ~scale ~seed ())
-    | "fig6" -> print_sweep (Experiments.fig6 ~utilities ~max_n ~seed ())
-    | "fig7" -> print_sweep (Experiments.fig7 ~utilities ~seed ())
+        (Experiments.tab4 ~utilities ~scale ?pool ~seed ())
+    | "fig6" -> print_sweep (Experiments.fig6 ~utilities ~max_n ?pool ~seed ())
+    | "fig7" -> print_sweep (Experiments.fig7 ~utilities ?pool ~seed ())
     | other ->
       Printf.eprintf "unknown experiment %S (fig1-fig7, tab3, tab4)\n" other;
       exit 2);
@@ -402,10 +408,18 @@ let experiment_cmd =
       value & opt int 1_000_000
       & info [ "max-n" ] ~docv:"N" ~doc:"Cap for the fig6 size sweep.")
   in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains running the sweep's trials.  Results are \
+             bit-identical for every value; only wall-clock times change.")
+  in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Run one of the paper's evaluation experiments.")
     Term.(
-      const run $ experiment_name $ seed_arg $ scale $ utilities $ max_n
+      const run $ experiment_name $ seed_arg $ scale $ utilities $ max_n $ jobs
       $ metrics_arg)
 
 let main_cmd =

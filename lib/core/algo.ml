@@ -48,7 +48,7 @@ let of_string s =
   | "minr" -> MinR
   | other -> invalid_arg ("Algo.of_string: unknown algorithm " ^ other)
 
-let run name config ~data ~oracle ~rng =
+let run_traced name config ~data ~oracle ~rng =
   let { s; q; eps; delta; trials; exact_prune } = config in
   Trace.emit_with (fun () ->
       Trace.Run_started
@@ -97,3 +97,9 @@ let run name config ~data ~oracle ~rng =
       Trace.Run_finished
         { questions = questions_used; output = Dataset.size output; seconds });
   { output; questions_used; seconds; metrics }
+
+let run ?trace name config ~data ~oracle ~rng =
+  match trace with
+  | None -> run_traced name config ~data ~oracle ~rng
+  | Some sink ->
+    Trace.with_sink sink (fun () -> run_traced name config ~data ~oracle ~rng)

@@ -27,7 +27,7 @@ type run_result = {
           synchronously *)
   metrics : (string * float) list;
       (** per-run deltas of every {!Indq_obs.Counter} (sorted by name):
-          what this run added to each process-wide counter *)
+          what this run added to each of the executing domain's counters *)
 }
 
 val default_config : d:int -> config
@@ -46,6 +46,7 @@ val of_string : string -> name
     [Invalid_argument] on unknown names. *)
 
 val run :
+  ?trace:Indq_obs.Trace.sink ->
   name ->
   config ->
   data:Indq_dataset.Dataset.t ->
@@ -54,4 +55,13 @@ val run :
   run_result
 (** Execute one algorithm once.  The [rng] drives only algorithmic
     randomness (display-set sampling); user error randomness lives inside
-    the oracle. *)
+    the oracle.
+
+    The run's whole execution context is explicit: the user via [oracle],
+    randomness via [rng], and tracing via [trace] — when given, the sink
+    is installed on the calling domain for exactly the duration of the run
+    ({!Indq_obs.Trace.with_sink}) and the previous sink is restored after,
+    so concurrent runs on different domains trace independently.  Without
+    [trace], events flow to the calling domain's ambient sink (usually
+    none).  [metrics] are the calling domain's counter deltas — exact under
+    domain-parallelism because counters are domain-local. *)

@@ -1,0 +1,141 @@
+module Obs = Indq_obs.Obs
+module Rng = Indq_util.Rng
+
+type job = unit -> unit
+
+type t = {
+  size : int;
+  queue : job Queue.t;
+  lock : Mutex.t;
+  work_available : Condition.t;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t array;
+}
+
+let size pool = pool.size
+
+(* Workers block on the queue until shutdown.  Jobs never escape an
+   exception: [parallel_map] wraps each chunk so failures travel back to
+   the submitting domain. *)
+let rec worker_loop pool =
+  Mutex.lock pool.lock;
+  let rec next () =
+    match Queue.take_opt pool.queue with
+    | Some job ->
+      Mutex.unlock pool.lock;
+      job ();
+      worker_loop pool
+    | None ->
+      if pool.stopping then Mutex.unlock pool.lock
+      else begin
+        Condition.wait pool.work_available pool.lock;
+        next ()
+      end
+  in
+  next ()
+
+let create ~domains =
+  if domains < 1 then invalid_arg "Pool.create: domains must be >= 1";
+  let pool =
+    {
+      size = domains;
+      queue = Queue.create ();
+      lock = Mutex.create ();
+      work_available = Condition.create ();
+      stopping = false;
+      workers = [||];
+    }
+  in
+  if domains > 1 then
+    pool.workers <-
+      Array.init domains (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let shutdown pool =
+  if Array.length pool.workers > 0 then begin
+    Mutex.lock pool.lock;
+    pool.stopping <- true;
+    Condition.broadcast pool.work_available;
+    Mutex.unlock pool.lock;
+    Array.iter Domain.join pool.workers;
+    pool.workers <- [||]
+  end
+
+let with_pool ~domains f =
+  let pool = create ~domains in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+(* Enough chunks that an uneven workload still balances, few enough that
+   per-chunk bookkeeping stays invisible. *)
+let chunks_per_worker = 4
+
+let parallel_map ?chunks pool f arr =
+  let n = Array.length arr in
+  (match chunks with
+  | Some c when c < 1 -> invalid_arg "Pool.parallel_map: chunks must be >= 1"
+  | _ -> ());
+  if Array.length pool.workers = 0 || n <= 1 then Array.map f arr
+  else begin
+    (* The decomposition is fixed up-front from (n, chunk count) alone —
+       never from scheduling — so a run is reproducible for any -j. *)
+    let chunks =
+      match chunks with
+      | Some c -> min c n
+      | None -> min n (pool.size * chunks_per_worker)
+    in
+    let results = Array.make n None in
+    let deltas = Array.make chunks None in
+    let failures = Array.make chunks None in
+    let finish_lock = Mutex.create () in
+    let finished = Condition.create () in
+    let remaining = ref chunks in
+    let job ci () =
+      let lo = ci * n / chunks and hi = (ci + 1) * n / chunks in
+      let before = Obs.snapshot () in
+      (try
+         for i = lo to hi - 1 do
+           results.(i) <- Some (f arr.(i))
+         done
+       with e -> failures.(ci) <- Some (e, Printexc.get_raw_backtrace ()));
+      deltas.(ci) <- Some (Obs.diff (Obs.snapshot ()) before);
+      Mutex.lock finish_lock;
+      decr remaining;
+      if !remaining = 0 then Condition.signal finished;
+      Mutex.unlock finish_lock
+    in
+    Mutex.lock pool.lock;
+    for ci = 0 to chunks - 1 do
+      Queue.add (job ci) pool.queue
+    done;
+    Condition.broadcast pool.work_available;
+    Mutex.unlock pool.lock;
+    Mutex.lock finish_lock;
+    while !remaining > 0 do
+      Condition.wait finished finish_lock
+    done;
+    Mutex.unlock finish_lock;
+    (* Deterministic join: every chunk's counter/span delta folds into the
+       caller's domain in chunk-index order, regardless of which worker ran
+       what, so merged totals are bit-identical to a sequential run (all
+       counters hold exactly representable integer sums). *)
+    Array.iter (function Some d -> Obs.merge d | None -> ()) deltas;
+    Array.iter
+      (function
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> ())
+      failures;
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let parallel_map_seeded ?chunks pool ~rng f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else begin
+    (* Seeds are drawn sequentially from [rng] before anything runs, in
+       index order: task i's stream depends only on (rng, i). *)
+    let tasks = Array.make n (Rng.split rng, arr.(0)) in
+    for i = 1 to n - 1 do
+      tasks.(i) <- (Rng.split rng, arr.(i))
+    done;
+    parallel_map ?chunks pool (fun (task_rng, x) -> f task_rng x) tasks
+  end

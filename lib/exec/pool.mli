@@ -1,0 +1,66 @@
+(** A fixed-size domain pool with a deterministic, chunked [parallel_map].
+
+    The pool exists so the experiment harness (and every future sharding /
+    batching layer) can fan independent tasks across OCaml 5 domains while
+    keeping results {b bit-identical to the sequential run}:
+
+    - the task decomposition (chunk boundaries) is computed up-front from
+      the input length and chunk count alone, never from scheduling;
+    - per-task RNG streams ({!parallel_map_seeded}) are split from the
+      caller's generator sequentially, in index order, before anything
+      runs;
+    - results land in an array slot per input index;
+    - each chunk's observability delta ({!Indq_obs.Obs}: counter and span
+      increments, captured on whichever worker domain ran it) merges into
+      the calling domain {i in chunk-index order} on join, so counter
+      totals equal the sequential ones exactly (counters hold exactly
+      representable integer sums).
+
+    A pool of size 1 spawns no domains: every [parallel_map] runs inline on
+    the caller, byte-for-byte today's sequential behavior.  Trace sinks are
+    domain-local and {b not} inherited by workers — a task that must trace
+    installs its own sink (e.g. via [Algo.run ?trace]).
+
+    Pools are not reentrant from their own workers: submit from the domain
+    that created the pool (nested submission would deadlock a fully busy
+    pool). *)
+
+type t
+
+val create : domains:int -> t
+(** [create ~domains] spawns [domains] worker domains ([domains >= 1];
+    size 1 spawns none and runs everything inline).  Workers idle on a
+    condition variable between calls. *)
+
+val size : t -> int
+(** The configured domain count. *)
+
+val shutdown : t -> unit
+(** Stop and join every worker.  Idempotent.  Outstanding work finishes
+    first; the pool must not be used afterwards. *)
+
+val with_pool : domains:int -> (t -> 'a) -> 'a
+(** [with_pool ~domains f] brackets [f] with {!create}/{!shutdown}
+    (shutdown runs even when [f] raises). *)
+
+val parallel_map : ?chunks:int -> t -> ('a -> 'b) -> 'a array -> 'b array
+(** [parallel_map pool f arr] is [Array.map f arr] computed by the pool's
+    workers in [chunks] contiguous chunks (default: 4 per worker, capped at
+    the array length).  Results are in input order.  If any [f] raises, the
+    first failing chunk's exception is re-raised on the caller (with its
+    backtrace) after all chunks finish and observability deltas merge.
+    Counter/span work from every chunk is folded into the calling domain in
+    chunk order — see {!Indq_obs.Obs}. *)
+
+val parallel_map_seeded :
+  ?chunks:int ->
+  t ->
+  rng:Indq_util.Rng.t ->
+  (Indq_util.Rng.t -> 'a -> 'b) ->
+  'a array ->
+  'b array
+(** [parallel_map_seeded pool ~rng f arr] gives each task its own RNG,
+    split from [rng] sequentially in index order {i before} any task runs:
+    task [i] receives a stream that depends only on [rng]'s state and [i],
+    so outputs are identical for every pool size and schedule.  [rng]
+    advances by exactly [Array.length arr] splits. *)

@@ -7,6 +7,7 @@ module Utility = Indq_user.Utility
 module Oracle = Indq_user.Oracle
 module Rng = Indq_util.Rng
 module Stats = Indq_util.Stats
+module Pool = Indq_exec.Pool
 
 type dataset_kind = Island_like | Nba_like | House_like
 
@@ -17,13 +18,45 @@ let dataset_name = function
 
 let scaled_size ~scale full = max 500 (int_of_float (scale *. float_of_int full))
 
-let load ?(scale = 1.) ~seed kind =
-  if scale <= 0. || scale > 1. then invalid_arg "Experiments.load: scale in (0,1]";
+(* Generated workloads are deterministic in (kind, scale, seed), so a sweep
+   that revisits the same configuration (every figure does, and fig5 /
+   tab3 / tab4 reload per delta or per kind) reuses the dataset instead of
+   regenerating 63k points each time.  Guarded by a mutex only because
+   sweeps may one day be driven from several domains; the tables stay tiny
+   (a handful of configurations per process). *)
+let dataset_cache : (dataset_kind * float * int, Dataset.t) Hashtbl.t =
+  Hashtbl.create 8
+
+let dataset_cache_lock = Mutex.create ()
+
+let clear_dataset_cache () =
+  Mutex.protect dataset_cache_lock (fun () -> Hashtbl.reset dataset_cache)
+
+let generate ~scale ~seed kind =
   let rng = Rng.create seed in
   match kind with
   | Island_like -> Realistic.island ~n:(scaled_size ~scale 63383) rng
   | Nba_like -> Realistic.nba ~n:(scaled_size ~scale 21961) rng
   | House_like -> Realistic.house ~n:(scaled_size ~scale 12793) rng
+
+let load ?(scale = 1.) ~seed kind =
+  if scale <= 0. || scale > 1. then invalid_arg "Experiments.load: scale in (0,1]";
+  let key = (kind, scale, seed) in
+  match
+    Mutex.protect dataset_cache_lock (fun () ->
+        Hashtbl.find_opt dataset_cache key)
+  with
+  | Some data -> data
+  | None ->
+    (* Generate outside the lock; a racing generator produces the identical
+       dataset, and whichever registers first wins. *)
+    let data = generate ~scale ~seed kind in
+    Mutex.protect dataset_cache_lock (fun () ->
+        match Hashtbl.find_opt dataset_cache key with
+        | Some cached -> cached
+        | None ->
+          Hashtbl.replace dataset_cache key data;
+          data)
 
 type cell = {
   alpha_mean : float;
@@ -42,39 +75,54 @@ type sweep = {
   cells : cell array array;
 }
 
-(* One (dataset, config, algorithm) measurement averaged over [utilities]
-   random users.  The user's true error is [user_delta]; the algorithm's
-   modeled delta is [config.delta]. *)
-let measure ~utilities ~user_delta ~seed name data (config : Algo.config) =
+(* One trial of the sweep: (point, algorithm, simulated user).  The trial's
+   whole context is derived up-front from its coordinates — the RNG seed is
+   a pure function of (sweep seed, point index, algorithm, trial index) —
+   so trials are independent and can run on any domain in any order with
+   bit-identical results.  The user's true error is [user_delta]; the
+   algorithm's modeled delta is [config.delta]. *)
+type trial_outcome = {
+  t_alpha : float;
+  t_seconds : float;
+  t_size : float;
+  t_false_negative : bool;
+  t_metrics : (string * float) list;
+}
+
+let run_trial ~user_delta ~seed name data (config : Algo.config) ~trial =
   let d = Dataset.dim data in
-  let alphas = Array.make utilities 0. in
-  let times = Array.make utilities 0. in
-  let sizes = Array.make utilities 0. in
-  let false_negatives = ref 0 in
-  let metric_sums : (string, float) Hashtbl.t = Hashtbl.create 16 in
-  for trial = 0 to utilities - 1 do
-    let rng = Rng.create ((seed * 7919) + (trial * 104729) + Hashtbl.hash name) in
-    let u = Utility.random rng ~d in
-    let oracle =
-      if user_delta > 0. then
-        Oracle.with_error ~delta:user_delta ~rng:(Rng.split rng) u
-      else Oracle.exact u
-    in
-    let result = Algo.run name config ~data ~oracle ~rng:(Rng.split rng) in
-    alphas.(trial) <-
+  let rng = Rng.create ((seed * 7919) + (trial * 104729) + Hashtbl.hash name) in
+  let u = Utility.random rng ~d in
+  let oracle =
+    if user_delta > 0. then
+      Oracle.with_error ~delta:user_delta ~rng:(Rng.split rng) u
+    else Oracle.exact u
+  in
+  let result = Algo.run name config ~data ~oracle ~rng:(Rng.split rng) in
+  {
+    t_alpha =
       Indist.alpha ~eps:config.Algo.eps u ~data ~output:result.Algo.output;
-    times.(trial) <- result.Algo.seconds;
-    sizes.(trial) <- float_of_int (Dataset.size result.Algo.output);
-    List.iter
-      (fun (k, v) ->
-        let sum = try Hashtbl.find metric_sums k with Not_found -> 0. in
-        Hashtbl.replace metric_sums k (sum +. v))
-      result.Algo.metrics;
-    if
+    t_seconds = result.Algo.seconds;
+    t_size = float_of_int (Dataset.size result.Algo.output);
+    t_false_negative =
       Indist.has_false_negatives ~eps:config.Algo.eps u ~data
-        ~output:result.Algo.output
-    then incr false_negatives
-  done;
+        ~output:result.Algo.output;
+    t_metrics = result.Algo.metrics;
+  }
+
+(* Fold one cell's trials, in trial order, exactly as the sequential
+   harness always has (so -j N output is byte-identical to -j 1). *)
+let cell_of_trials (outcomes : trial_outcome array) =
+  let utilities = Array.length outcomes in
+  let metric_sums : (string, float) Hashtbl.t = Hashtbl.create 16 in
+  Array.iter
+    (fun o ->
+      List.iter
+        (fun (k, v) ->
+          let sum = try Hashtbl.find metric_sums k with Not_found -> 0. in
+          Hashtbl.replace metric_sums k (sum +. v))
+        o.t_metrics)
+    outcomes;
   let metrics_mean =
     Hashtbl.fold
       (fun k sum acc -> (k, sum /. float_of_int utilities) :: acc)
@@ -82,27 +130,48 @@ let measure ~utilities ~user_delta ~seed name data (config : Algo.config) =
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   in
   {
-    alpha_mean = Stats.mean alphas;
-    alpha_sd = Stats.stddev alphas;
-    time_mean = Stats.mean times;
-    output_size_mean = Stats.mean sizes;
-    false_negative_runs = !false_negatives;
+    alpha_mean = Stats.mean (Array.map (fun o -> o.t_alpha) outcomes);
+    alpha_sd = Stats.stddev (Array.map (fun o -> o.t_alpha) outcomes);
+    time_mean = Stats.mean (Array.map (fun o -> o.t_seconds) outcomes);
+    output_size_mean = Stats.mean (Array.map (fun o -> o.t_size) outcomes);
+    false_negative_runs =
+      Array.fold_left
+        (fun acc o -> if o.t_false_negative then acc + 1 else acc)
+        0 outcomes;
     metrics_mean;
   }
 
-let run_sweep ~title ~x_label ~algorithms ~points ~utilities ~user_delta ~seed =
+let run_sweep ?pool ~title ~x_label ~algorithms ~points ~utilities ~user_delta
+    ~seed () =
   if utilities < 1 then invalid_arg "Experiments.run_sweep: utilities < 1";
+  let points_arr = Array.of_list points in
+  let algos = Array.of_list algorithms in
+  let n_points = Array.length points_arr and n_algos = Array.length algos in
+  (* Every (point × algorithm × user) trial of the sweep becomes one task,
+     fanned across the pool.  Task order is point-major then algorithm then
+     trial — the sequential harness's order — and each cell's fold consumes
+     its trials in that order. *)
+  let n_tasks = n_points * n_algos * utilities in
+  let coords =
+    Array.init n_tasks (fun k ->
+        let xi = k / (n_algos * utilities) in
+        let rest = k mod (n_algos * utilities) in
+        (xi, rest / utilities, rest mod utilities))
+  in
+  let run (xi, ai, trial) =
+    let _, data, config = points_arr.(xi) in
+    run_trial ~user_delta ~seed:(seed + (xi * 31)) algos.(ai) data config ~trial
+  in
+  let outcomes =
+    match pool with
+    | None -> Array.map run coords
+    | Some pool -> Pool.parallel_map pool run coords
+  in
   let cells =
-    List.mapi
-      (fun xi (_, data, config) ->
-        Array.of_list
-          (List.map
-             (fun name ->
-               measure ~utilities ~user_delta ~seed:(seed + (xi * 31)) name data
-                 config)
-             algorithms))
-      points
-    |> Array.of_list
+    Array.init n_points (fun xi ->
+        Array.init n_algos (fun ai ->
+            let base = ((xi * n_algos) + ai) * utilities in
+            cell_of_trials (Array.sub outcomes base utilities)))
   in
   {
     title;
@@ -118,7 +187,7 @@ let paper_config ~d = Algo.default_config ~d
 
 (* --- Fig. 1: vary T (MinR / MinD on NBA) --- *)
 
-let fig1 ?(utilities = default_utilities) ?(scale = 1.) ~seed () =
+let fig1 ?(utilities = default_utilities) ?(scale = 1.) ?pool ~seed () =
   let data = load ~scale ~seed Nba_like in
   let d = Dataset.dim data in
   let points =
@@ -127,13 +196,13 @@ let fig1 ?(utilities = default_utilities) ?(scale = 1.) ~seed () =
         (float_of_int t, data, { (paper_config ~d) with Algo.trials = t }))
       [ 1; 5; 10; 20; 50; 100 ]
   in
-  run_sweep ~title:"Fig 1: varying T on NBA (q=3d, s=d, eps=0.05, delta=0)"
+  run_sweep ?pool ~title:"Fig 1: varying T on NBA (q=3d, s=d, eps=0.05, delta=0)"
     ~x_label:"T" ~algorithms:[ Algo.MinD; Algo.MinR ] ~points ~utilities
-    ~user_delta:0. ~seed
+    ~user_delta:0. ~seed ()
 
 (* --- Fig. 2: vary q --- *)
 
-let fig2 ?(utilities = default_utilities) ?(scale = 1.) ~seed kind =
+let fig2 ?(utilities = default_utilities) ?(scale = 1.) ?pool ~seed kind =
   let data = load ~scale ~seed kind in
   let d = Dataset.dim data in
   let points =
@@ -141,15 +210,15 @@ let fig2 ?(utilities = default_utilities) ?(scale = 1.) ~seed kind =
       (fun q -> (float_of_int q, data, { (paper_config ~d) with Algo.q }))
       (List.init 6 (fun i -> (i + 1) * d))
   in
-  run_sweep
+  run_sweep ?pool
     ~title:
       (Printf.sprintf "Fig 2 (%s): varying questions q (s=d, eps=0.05, delta=0)"
          (dataset_name kind))
-    ~x_label:"q" ~algorithms:Algo.all ~points ~utilities ~user_delta:0. ~seed
+    ~x_label:"q" ~algorithms:Algo.all ~points ~utilities ~user_delta:0. ~seed ()
 
 (* --- Fig. 3: vary s --- *)
 
-let fig3 ?(utilities = default_utilities) ?(scale = 1.) ~seed kind =
+let fig3 ?(utilities = default_utilities) ?(scale = 1.) ?pool ~seed kind =
   let data = load ~scale ~seed kind in
   let d = Dataset.dim data in
   let points =
@@ -157,15 +226,15 @@ let fig3 ?(utilities = default_utilities) ?(scale = 1.) ~seed kind =
       (fun s -> (float_of_int s, data, { (paper_config ~d) with Algo.s }))
       (List.init (max 1 ((2 * d) - 1)) (fun i -> i + 2))
   in
-  run_sweep
+  run_sweep ?pool
     ~title:
       (Printf.sprintf "Fig 3 (%s): varying display size s (q=3d, eps=0.05, delta=0)"
          (dataset_name kind))
-    ~x_label:"s" ~algorithms:Algo.all ~points ~utilities ~user_delta:0. ~seed
+    ~x_label:"s" ~algorithms:Algo.all ~points ~utilities ~user_delta:0. ~seed ()
 
 (* --- Fig. 4: vary eps --- *)
 
-let fig4 ?(utilities = default_utilities) ?(scale = 1.) ~seed kind =
+let fig4 ?(utilities = default_utilities) ?(scale = 1.) ?pool ~seed kind =
   let data = load ~scale ~seed kind in
   let d = Dataset.dim data in
   let points =
@@ -173,15 +242,15 @@ let fig4 ?(utilities = default_utilities) ?(scale = 1.) ~seed kind =
       (fun eps -> (eps, data, { (paper_config ~d) with Algo.eps }))
       [ 0.001; 0.005; 0.01; 0.05; 0.1 ]
   in
-  run_sweep
+  run_sweep ?pool
     ~title:
       (Printf.sprintf "Fig 4 (%s): varying eps (s=d, q=3d, delta=0), log-x"
          (dataset_name kind))
-    ~x_label:"eps" ~algorithms:Algo.all ~points ~utilities ~user_delta:0. ~seed
+    ~x_label:"eps" ~algorithms:Algo.all ~points ~utilities ~user_delta:0. ~seed ()
 
 (* --- Fig. 5: vary delta --- *)
 
-let fig5 ?(utilities = default_utilities) ?(scale = 1.) ~seed kind =
+let fig5 ?(utilities = default_utilities) ?(scale = 1.) ?pool ~seed kind =
   let data = load ~scale ~seed kind in
   let d = Dataset.dim data in
   let deltas = [ 0.001; 0.005; 0.01; 0.05; 0.1 ] in
@@ -192,8 +261,8 @@ let fig5 ?(utilities = default_utilities) ?(scale = 1.) ~seed kind =
       (fun delta ->
         let config = { (paper_config ~d) with Algo.delta } in
         let points = [ (delta, data, config) ] in
-        run_sweep ~title:"" ~x_label:"delta" ~algorithms:Algo.all ~points
-          ~utilities ~user_delta:delta ~seed)
+        run_sweep ?pool ~title:"" ~x_label:"delta" ~algorithms:Algo.all ~points
+          ~utilities ~user_delta:delta ~seed ())
       deltas
   in
   {
@@ -208,7 +277,7 @@ let fig5 ?(utilities = default_utilities) ?(scale = 1.) ~seed kind =
 
 (* --- Tables III / IV: running times --- *)
 
-let time_table ~title ~utilities ~scale ~seed ~delta =
+let time_table ?pool ~title ~utilities ~scale ~seed ~delta () =
   let kinds = [ Island_like; Nba_like; House_like ] in
   let sweeps =
     List.mapi
@@ -216,9 +285,9 @@ let time_table ~title ~utilities ~scale ~seed ~delta =
         let data = load ~scale ~seed:(seed + i) kind in
         let d = Dataset.dim data in
         let config = { (paper_config ~d) with Algo.delta } in
-        run_sweep ~title:"" ~x_label:"dataset" ~algorithms:Algo.all
+        run_sweep ?pool ~title:"" ~x_label:"dataset" ~algorithms:Algo.all
           ~points:[ (float_of_int i, data, config) ]
-          ~utilities ~user_delta:delta ~seed)
+          ~utilities ~user_delta:delta ~seed ())
       kinds
   in
   {
@@ -229,19 +298,19 @@ let time_table ~title ~utilities ~scale ~seed ~delta =
     cells = Array.concat (List.map (fun s -> s.cells) sweeps);
   }
 
-let tab3 ?(utilities = default_utilities) ?(scale = 1.) ~seed () =
-  time_table
+let tab3 ?(utilities = default_utilities) ?(scale = 1.) ?pool ~seed () =
+  time_table ?pool
     ~title:"Table III: running time (s), eps=0.05, delta=0, s=d, q=3d"
-    ~utilities ~scale ~seed ~delta:0.
+    ~utilities ~scale ~seed ~delta:0. ()
 
-let tab4 ?(utilities = default_utilities) ?(scale = 1.) ~seed () =
-  time_table
+let tab4 ?(utilities = default_utilities) ?(scale = 1.) ?pool ~seed () =
+  time_table ?pool
     ~title:"Table IV: running time (s), eps=delta=0.05, s=d, q=3d" ~utilities
-    ~scale ~seed ~delta:0.05
+    ~scale ~seed ~delta:0.05 ()
 
 (* --- Fig. 6: scalability in n (anti-correlated, d = 3) --- *)
 
-let fig6 ?(utilities = default_utilities) ?(max_n = 1_000_000) ~seed () =
+let fig6 ?(utilities = default_utilities) ?(max_n = 1_000_000) ?pool ~seed () =
   let d = 3 in
   let sizes = List.filter (fun n -> n <= max_n) [ 1_000; 10_000; 100_000; 1_000_000 ] in
   let config = { (paper_config ~d) with Algo.delta = 0.05 } in
@@ -252,13 +321,13 @@ let fig6 ?(utilities = default_utilities) ?(max_n = 1_000_000) ~seed () =
         (float_of_int n, Generator.anti_correlated rng ~n ~d, config))
       sizes
   in
-  run_sweep
+  run_sweep ?pool
     ~title:"Fig 6: anti-correlated, varying n (s=d=3, q=9, eps=delta=0.05)"
-    ~x_label:"n" ~algorithms:Algo.all ~points ~utilities ~user_delta:0.05 ~seed
+    ~x_label:"n" ~algorithms:Algo.all ~points ~utilities ~user_delta:0.05 ~seed ()
 
 (* --- Fig. 7: scalability in d (anti-correlated, n = 10000) --- *)
 
-let fig7 ?(utilities = default_utilities) ?(n = 10_000) ~seed () =
+let fig7 ?(utilities = default_utilities) ?(n = 10_000) ?pool ~seed () =
   let dims = [ 2; 3; 4; 5; 6 ] in
   let points =
     List.map
@@ -270,7 +339,7 @@ let fig7 ?(utilities = default_utilities) ?(n = 10_000) ~seed () =
         (float_of_int d, Generator.anti_correlated rng ~n ~d, config))
       dims
   in
-  run_sweep
+  run_sweep ?pool
     ~title:
       "Fig 7: anti-correlated, varying d (n=10000, s=6, q=18, eps=delta=0.05)"
-    ~x_label:"d" ~algorithms:Algo.all ~points ~utilities ~user_delta:0.05 ~seed
+    ~x_label:"d" ~algorithms:Algo.all ~points ~utilities ~user_delta:0.05 ~seed ()

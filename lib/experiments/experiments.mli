@@ -18,6 +18,14 @@ val dataset_name : dataset_kind -> string
     see DESIGN.md). *)
 
 val load : ?scale:float -> seed:int -> dataset_kind -> Indq_dataset.Dataset.t
+(** Generated workloads are memoized per [(kind, scale, seed)] — a sweep
+    that revisits the same configuration (fig5, tab3, tab4, and every
+    multi-dataset driver) reuses the dataset instead of regenerating it.
+    Generation is deterministic, so the cache is semantically invisible. *)
+
+val clear_dataset_cache : unit -> unit
+(** Drop every memoized dataset (frees the memory; the next {!load}
+    regenerates identically). *)
 
 type cell = {
   alpha_mean : float;
@@ -41,6 +49,7 @@ type sweep = {
 }
 
 val run_sweep :
+  ?pool:Indq_exec.Pool.t ->
   title:string ->
   x_label:string ->
   algorithms:Indq_core.Algo.name list ->
@@ -48,42 +57,71 @@ val run_sweep :
   utilities:int ->
   user_delta:float ->
   seed:int ->
+  unit ->
   sweep
 (** The generic engine: for each (x, data, config) point, average over
     [utilities] random users.  [user_delta] is the {i simulated} user's
-    true error; the algorithms' update rules use [config.delta]. *)
+    true error; the algorithms' update rules use [config.delta].
 
-(* Paper experiments.  [utilities] defaults to 10, [scale] to 1. *)
+    With [pool], every (point × algorithm × user) trial fans across the
+    pool's domains.  Each trial's RNG seed is a pure function of its
+    coordinates (fixed before anything runs) and each cell folds its
+    trials in trial order, so the sweep — α, output sizes, false-negative
+    counts and merged counter deltas — is {b bit-identical} for every pool
+    size and schedule; only wall-clock [time_mean] varies.  Without
+    [pool] (or with a size-1 pool) trials run inline, exactly the
+    historical sequential harness. *)
 
-val fig1 : ?utilities:int -> ?scale:float -> seed:int -> unit -> sweep
+(* Paper experiments.  [utilities] defaults to 10, [scale] to 1; [pool]
+   parallelizes the sweep's trials (see {!run_sweep}). *)
+
+val fig1 :
+  ?utilities:int -> ?scale:float -> ?pool:Indq_exec.Pool.t -> seed:int ->
+  unit -> sweep
 (** Fig. 1: vary [T] in {1,5,10,20,50,100} for MinR/MinD on NBA
     ([q = 3d], [s = d], [eps = 0.05], [delta = 0]). *)
 
-val fig2 : ?utilities:int -> ?scale:float -> seed:int -> dataset_kind -> sweep
+val fig2 :
+  ?utilities:int -> ?scale:float -> ?pool:Indq_exec.Pool.t -> seed:int ->
+  dataset_kind -> sweep
 (** Fig. 2: vary the number of questions [q] in {d..6d} ([s = d],
     [eps = 0.05], [delta = 0]). *)
 
-val fig3 : ?utilities:int -> ?scale:float -> seed:int -> dataset_kind -> sweep
+val fig3 :
+  ?utilities:int -> ?scale:float -> ?pool:Indq_exec.Pool.t -> seed:int ->
+  dataset_kind -> sweep
 (** Fig. 3: vary the display size [s] in {2..2d} ([q = 3d]). *)
 
-val fig4 : ?utilities:int -> ?scale:float -> seed:int -> dataset_kind -> sweep
+val fig4 :
+  ?utilities:int -> ?scale:float -> ?pool:Indq_exec.Pool.t -> seed:int ->
+  dataset_kind -> sweep
 (** Fig. 4: vary [eps] in {0.001, 0.005, 0.01, 0.05, 0.1} (log x-axis). *)
 
-val fig5 : ?utilities:int -> ?scale:float -> seed:int -> dataset_kind -> sweep
+val fig5 :
+  ?utilities:int -> ?scale:float -> ?pool:Indq_exec.Pool.t -> seed:int ->
+  dataset_kind -> sweep
 (** Fig. 5: vary user error [delta] in {0.001, 0.005, 0.01, 0.05, 0.1}
     with [eps = 0.05]; algorithms run their δ-aware variants. *)
 
-val tab3 : ?utilities:int -> ?scale:float -> seed:int -> unit -> sweep
+val tab3 :
+  ?utilities:int -> ?scale:float -> ?pool:Indq_exec.Pool.t -> seed:int ->
+  unit -> sweep
 (** Table III: running time per algorithm per data set, [delta = 0]. *)
 
-val tab4 : ?utilities:int -> ?scale:float -> seed:int -> unit -> sweep
+val tab4 :
+  ?utilities:int -> ?scale:float -> ?pool:Indq_exec.Pool.t -> seed:int ->
+  unit -> sweep
 (** Table IV: running time with user error, [eps = delta = 0.05]. *)
 
-val fig6 : ?utilities:int -> ?max_n:int -> seed:int -> unit -> sweep
+val fig6 :
+  ?utilities:int -> ?max_n:int -> ?pool:Indq_exec.Pool.t -> seed:int ->
+  unit -> sweep
 (** Fig. 6: anti-correlated, [d = 3], vary [n] in {1k, 10k, 100k, 1M}
     ([s = d = 3], [q = 9], [eps = delta = 0.05]).  [max_n] caps the sweep
     (default 1_000_000). *)
 
-val fig7 : ?utilities:int -> ?n:int -> seed:int -> unit -> sweep
+val fig7 :
+  ?utilities:int -> ?n:int -> ?pool:Indq_exec.Pool.t -> seed:int ->
+  unit -> sweep
 (** Fig. 7: anti-correlated, [n = 10000], vary [d] in {2..6}
     ([s = 6], [q = 18], [eps = delta = 0.05] — the caption's settings). *)

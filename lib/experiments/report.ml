@@ -81,29 +81,35 @@ let false_negative_total (sweep : Experiments.sweep) =
         acc row)
     0 sweep.Experiments.cells
 
-let print_sweep ?(with_sizes = false) ?(with_metrics = false) sweep =
+(* [with_times = false] drops every wall-clock figure from the report so
+   the remaining output is deterministic — the CI smoke job diffs a -j 1
+   report against a -j 4 one byte for byte. *)
+let print_sweep ?(with_sizes = false) ?(with_metrics = false)
+    ?(with_times = true) sweep =
   Tabulate.print (alpha_table sweep);
-  Tabulate.print (time_table sweep);
+  if with_times then Tabulate.print (time_table sweep);
   if with_sizes then Tabulate.print (size_table sweep);
   if with_metrics then Tabulate.print (metrics_table sweep);
   let fn = false_negative_total sweep in
   Printf.printf "false-negative audit: %d run(s) missed a tuple of I%s\n\n" fn
     (if fn = 0 then " [OK]" else " [VIOLATION]")
 
-let print_time_sweep ?(with_metrics = false) ~labels
+let print_time_sweep ?(with_metrics = false) ?(with_times = true) ~labels
     (sweep : Experiments.sweep) =
-  let t =
-    Tabulate.create
-      ~title:sweep.Experiments.title
-      ~columns:("dataset" :: algo_columns sweep)
-  in
-  List.iteri
-    (fun xi label ->
-      let row = Array.to_list sweep.Experiments.cells.(xi) in
-      Tabulate.add_float_row ~fmt:Tabulate.seconds_cell t label
-        (List.map (fun c -> c.Experiments.time_mean) row))
-    labels;
-  Tabulate.print t;
+  if with_times then begin
+    let t =
+      Tabulate.create
+        ~title:sweep.Experiments.title
+        ~columns:("dataset" :: algo_columns sweep)
+    in
+    List.iteri
+      (fun xi label ->
+        let row = Array.to_list sweep.Experiments.cells.(xi) in
+        Tabulate.add_float_row ~fmt:Tabulate.seconds_cell t label
+          (List.map (fun c -> c.Experiments.time_mean) row))
+      labels;
+    Tabulate.print t
+  end;
   if with_metrics then Tabulate.print (metrics_table sweep);
   let fn = false_negative_total sweep in
   Printf.printf "false-negative audit: %d run(s) missed a tuple of I%s\n\n" fn

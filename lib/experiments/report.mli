@@ -22,10 +22,24 @@ val false_negative_total : Experiments.sweep -> int
 (** Sum of false-negative runs across all cells; must be 0. *)
 
 val print_sweep :
-  ?with_sizes:bool -> ?with_metrics:bool -> Experiments.sweep -> unit
+  ?with_sizes:bool ->
+  ?with_metrics:bool ->
+  ?with_times:bool ->
+  Experiments.sweep ->
+  unit
 (** α table, time table, optional size table, optional counter table, and
-    the audit line. *)
+    the audit line.  [with_times = false] (default [true]) omits the time
+    table, leaving only deterministic output — a [-j N] report then diffs
+    byte-for-byte against a [-j 1] one (the CI smoke job does exactly
+    that). *)
 
 val print_time_sweep :
-  ?with_metrics:bool -> labels:string list -> Experiments.sweep -> unit
-(** For Tables III/IV: rows labeled by dataset name instead of x value. *)
+  ?with_metrics:bool ->
+  ?with_times:bool ->
+  labels:string list ->
+  Experiments.sweep ->
+  unit
+(** For Tables III/IV: rows labeled by dataset name instead of x value.
+    [with_times = false] omits the seconds grid (the table's whole point,
+    but the counter table and audit line remain — the deterministic
+    remainder the CI smoke diff checks). *)

@@ -122,16 +122,12 @@ let center_estimate r =
     let e = Vec.basis r.dim i in
     (match maximize r e with
     | Some (_, p) ->
-      for j = 0 to r.dim - 1 do
-        acc.(j) <- acc.(j) +. p.(j)
-      done;
+      Vec.add_ip acc p;
       incr count
     | None -> assert false);
     match minimize r e with
     | Some (_, p) ->
-      for j = 0 to r.dim - 1 do
-        acc.(j) <- acc.(j) +. p.(j)
-      done;
+      Vec.add_ip acc p;
       incr count
     | None -> assert false
   done;
@@ -168,18 +164,20 @@ let line_clip r x w =
 
 let random_point r rng ~steps =
   require_nonempty "Polytope.random_point" r;
-  let x = ref (center_estimate r) in
+  (* [center_estimate] returns a fresh vector, so the walk can step it in
+     place ([axpy_ip] computes the same bits as [axpy]). *)
+  let x = center_estimate r in
   for _ = 1 to steps do
     (* Random direction on the simplex hyperplane: gaussian, centered. *)
     let raw = Array.init r.dim (fun _ -> Rng.gaussian rng) in
     let mean = Vec.sum raw /. float_of_int r.dim in
     let w = Array.map (fun v -> v -. mean) raw in
     if Vec.norm2 w > 1e-9 then begin
-      let t_lo, t_hi = line_clip r !x w in
+      let t_lo, t_hi = line_clip r x w in
       if t_lo < t_hi && Float.is_finite t_lo && Float.is_finite t_hi then begin
         let t = Rng.in_range rng t_lo t_hi in
-        x := Vec.axpy t w !x
+        Vec.axpy_ip t w x
       end
     end
   done;
-  !x
+  x

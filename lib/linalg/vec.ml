@@ -36,6 +36,23 @@ let axpy c x y =
   check_same_dim "Vec.axpy" x y;
   Array.init (Array.length x) (fun i -> (c *. x.(i)) +. y.(i))
 
+let add_ip y x =
+  check_same_dim "Vec.add_ip" y x;
+  for i = 0 to Array.length y - 1 do
+    y.(i) <- y.(i) +. x.(i)
+  done
+
+let axpy_ip c x y =
+  check_same_dim "Vec.axpy_ip" x y;
+  for i = 0 to Array.length x - 1 do
+    y.(i) <- (c *. x.(i)) +. y.(i)
+  done
+
+let scale_ip c y =
+  for i = 0 to Array.length y - 1 do
+    y.(i) <- c *. y.(i)
+  done
+
 let norm2 a = sqrt (dot a a)
 
 let norm_inf a = Array.fold_left (fun acc x -> Float.max acc (Float.abs x)) 0. a

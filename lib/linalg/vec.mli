@@ -30,6 +30,20 @@ val scale : float -> t -> t
 val axpy : float -> t -> t -> t
 (** [axpy a x y] is [a*x + y] (fresh vector). *)
 
+(* In-place variants for hot loops (the simplex row operations run millions
+   of these per solve); each coordinate computes exactly the same float
+   expression as its allocating counterpart, so switching is bit-neutral. *)
+
+val add_ip : t -> t -> unit
+(** [add_ip y x] sets [y.(i) <- y.(i) +. x.(i)] for every coordinate. *)
+
+val axpy_ip : float -> t -> t -> unit
+(** [axpy_ip a x y] sets [y.(i) <- a *. x.(i) +. y.(i)] — [axpy] without the
+    allocation. *)
+
+val scale_ip : float -> t -> unit
+(** [scale_ip c y] sets [y.(i) <- c *. y.(i)]. *)
+
 val norm2 : t -> float
 (** Euclidean norm. *)
 

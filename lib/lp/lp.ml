@@ -1,4 +1,5 @@
 module Counter = Indq_obs.Counter
+module Vec = Indq_linalg.Vec
 
 let c_solves = Counter.make "lp.solves"
 let c_iterations = Counter.make "lp.iterations"
@@ -113,9 +114,7 @@ let build ~tol ~n constraints =
   Array.iteri
     (fun i b ->
       if b >= art_start then begin
-        for j = 0 to total - 1 do
-          obj.(j) <- obj.(j) -. rows.(i).(j)
-        done;
+        Vec.axpy_ip (-1.) rows.(i) obj;
         obj_value := !obj_value -. rhs.(i)
       end)
     basis;
@@ -129,23 +128,20 @@ let pivot t ~row ~col =
     r.(j) <- r.(j) /. pivot_value
   done;
   t.rhs.(row) <- t.rhs.(row) /. pivot_value;
+  (* [y -. factor *. x] and [axpy_ip (-.factor) x y] produce the same bits
+     (negation is exact), so the in-place rewrite changes no result. *)
   for i = 0 to Array.length t.rows - 1 do
     if i <> row then begin
       let factor = t.rows.(i).(col) in
       if Float.abs factor > 0. then begin
-        let ri = t.rows.(i) in
-        for j = 0 to t.total - 1 do
-          ri.(j) <- ri.(j) -. (factor *. r.(j))
-        done;
+        Vec.axpy_ip (-.factor) r t.rows.(i);
         t.rhs.(i) <- t.rhs.(i) -. (factor *. t.rhs.(row))
       end
     end
   done;
   let factor = t.obj.(col) in
   if Float.abs factor > 0. then begin
-    for j = 0 to t.total - 1 do
-      t.obj.(j) <- t.obj.(j) -. (factor *. r.(j))
-    done;
+    Vec.axpy_ip (-.factor) r t.obj;
     t.obj_value <- t.obj_value -. (factor *. t.rhs.(row))
   end;
   t.basis.(row) <- col
@@ -233,10 +229,7 @@ let install_objective t cost =
     (fun i b ->
       if Float.abs obj.(b) > 0. then begin
         let factor = obj.(b) in
-        let r = t.rows.(i) in
-        for j = 0 to t.total - 1 do
-          obj.(j) <- obj.(j) -. (factor *. r.(j))
-        done;
+        Vec.axpy_ip (-.factor) t.rows.(i) obj;
         obj_value := !obj_value -. (factor *. t.rhs.(i))
       end)
     t.basis;

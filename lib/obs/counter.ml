@@ -1,36 +1,74 @@
-type t = { name : string; mutable value : float }
+(* Counter *names* are registered process-wide (so reporting is stable
+   across domains and independent of module-initialization order), but the
+   *values* live in a per-domain cell array reached through [Domain.DLS]:
+   a bump is an unsynchronized float store into the owning domain's cell,
+   so the hot path never touches a lock and never contends with other
+   domains.  Cross-domain aggregation is explicit — see {!Indq_obs.Obs}. *)
 
-(* Registry of every counter ever created.  Counters are created once at
-   module-initialization time in the instrumented modules, so the hot path
-   (incr/add on a handle) is a single float store — no hashing. *)
+type t = { name : string; index : int }
+
+(* Process-wide name registry.  Registration happens at module-init time
+   (cold path); the mutex only matters for counters created dynamically
+   from worker domains (tests do this). *)
 let registry : (string, t) Hashtbl.t = Hashtbl.create 32
 
-let all : t list ref = ref []
+let registry_lock = Mutex.create ()
+
+let registered = ref 0
+
+(* Per-domain value cells, indexed by [t.index].  Sized for the counters
+   registered when the domain first touches a counter; grows on demand if
+   more are registered later. *)
+let cells_key : float array ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref (Array.make (max 8 !registered) 0.))
+
+let cells (c : t) =
+  let r = Domain.DLS.get cells_key in
+  let arr = !r in
+  if c.index < Array.length arr then arr
+  else begin
+    let grown = Array.make (max (c.index + 1) (2 * Array.length arr)) 0. in
+    Array.blit arr 0 grown 0 (Array.length arr);
+    r := grown;
+    grown
+  end
 
 let make name =
-  match Hashtbl.find_opt registry name with
-  | Some c -> c
-  | None ->
-    let c = { name; value = 0. } in
-    Hashtbl.replace registry name c;
-    all := c :: !all;
-    c
+  Mutex.protect registry_lock (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some c -> c
+      | None ->
+        let c = { name; index = !registered } in
+        incr registered;
+        Hashtbl.replace registry name c;
+        c)
 
-let incr c = c.value <- c.value +. 1.
+let incr c =
+  let arr = cells c in
+  arr.(c.index) <- arr.(c.index) +. 1.
 
-let add c x = c.value <- c.value +. x
+let add c x =
+  let arr = cells c in
+  arr.(c.index) <- arr.(c.index) +. x
 
-let value c = c.value
+let value c = (cells c).(c.index)
 
 let name c = c.name
 
-let get n =
-  match Hashtbl.find_opt registry n with Some c -> c.value | None -> 0.
+(* Every registered counter, sorted by name: the order is a pure function
+   of the name set, never of module-initialization order, so reports are
+   reproducible across builds and link orders. *)
+let all () =
+  Mutex.protect registry_lock (fun () ->
+      Hashtbl.fold (fun _ c acc -> c :: acc) registry [])
+  |> List.sort (fun a b -> String.compare a.name b.name)
 
-let snapshot () =
-  List.sort
-    (fun (a, _) (b, _) -> String.compare a b)
-    (List.rev_map (fun c -> (c.name, c.value)) !all)
+let find name =
+  Mutex.protect registry_lock (fun () -> Hashtbl.find_opt registry name)
+
+let get n = match find n with Some c -> value c | None -> 0.
+
+let snapshot () = List.map (fun c -> (c.name, value c)) (all ())
 
 let since before =
   List.map
@@ -39,4 +77,6 @@ let since before =
       (n, v -. b))
     (snapshot ())
 
-let reset_all () = List.iter (fun c -> c.value <- 0.) !all
+let merge deltas = List.iter (fun (n, v) -> add (make n) v) deltas
+
+let reset_all () = List.iter (fun c -> (cells c).(c.index) <- 0.) (all ())

@@ -1,0 +1,41 @@
+type t = {
+  counters : (string * float) list;
+  spans : (string * Span.stat) list;
+}
+
+let snapshot () = { counters = Counter.snapshot (); spans = Span.snapshot () }
+
+let diff after before =
+  let counters =
+    List.map
+      (fun (n, v) ->
+        let b =
+          match List.assoc_opt n before.counters with Some x -> x | None -> 0.
+        in
+        (n, v -. b))
+      after.counters
+  in
+  let spans =
+    List.filter_map
+      (fun (n, (a : Span.stat)) ->
+        let s =
+          match List.assoc_opt n before.spans with
+          | Some (b : Span.stat) ->
+            {
+              Span.calls = a.Span.calls - b.Span.calls;
+              cumulative = a.Span.cumulative -. b.Span.cumulative;
+              self = a.Span.self -. b.Span.self;
+            }
+          | None -> a
+        in
+        if s.Span.calls = 0 && s.Span.cumulative = 0. then None else Some (n, s))
+      after.spans
+  in
+  { counters; spans }
+
+let merge t =
+  Counter.merge t.counters;
+  Span.merge t.spans
+
+let is_empty t =
+  List.for_all (fun (_, v) -> v = 0.) t.counters && t.spans = []

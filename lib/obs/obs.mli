@@ -1,0 +1,48 @@
+(** Whole-stack observability snapshots, for moving work accounting between
+    domains.
+
+    {!Counter} values and {!Span} statistics are domain-local; a parallel
+    harness that wants the coordinating domain's totals to look exactly as
+    if every task had run there brackets each task with {!snapshot} /
+    {!diff} on the worker and folds the delta back with {!merge} on the
+    coordinator:
+
+    {[
+      (* on the worker domain, around one task *)
+      let before = Obs.snapshot () in
+      let result = task () in
+      let delta = Obs.diff (Obs.snapshot ()) before in
+      (result, delta)
+
+      (* on the coordinating domain, after joining, in task order *)
+      List.iter (fun (_, delta) -> Obs.merge delta) joined
+    ]}
+
+    Merging in a fixed (task-index) order makes the folded totals
+    deterministic regardless of how tasks were scheduled across domains —
+    the determinism invariant {!Indq_exec.Pool.parallel_map} relies on.
+    {!Trace} events are not part of a snapshot: they stream to the emitting
+    domain's own sink (or nowhere). *)
+
+type t = {
+  counters : (string * float) list;
+      (** per-counter values ({!Counter.snapshot} order: sorted by name) *)
+  spans : (string * Span.stat) list;
+      (** per-span accumulated statistics, sorted by name *)
+}
+
+val snapshot : unit -> t
+(** The calling domain's current counter values and span statistics. *)
+
+val diff : t -> t -> t
+(** [diff after before] subtracts [before] from [after] entry-wise: the
+    work done between the two snapshots (both taken on the same domain).
+    Counters keep zero entries so lookups stay total; spans drop
+    all-zero entries. *)
+
+val merge : t -> unit
+(** Add every counter delta and span statistic into the calling domain, as
+    if the work had happened here. *)
+
+val is_empty : t -> bool
+(** No non-zero counter delta and no span entry. *)

@@ -10,67 +10,89 @@ type cell = {
 
 type frame = { cell_name : string; start : float; mutable child : float }
 
-let on = ref false
+(* All span state — the enabled flag, the per-name cells and the frame
+   stack — is domain-local: each domain profiles its own work and never
+   synchronizes with the others.  Cross-domain aggregation goes through
+   {!snapshot}/{!merge} (see Indq_obs.Obs). *)
+type state = {
+  mutable on : bool;
+  cells : (string, cell) Hashtbl.t;
+  mutable names : string list;
+  mutable stack : frame list;
+}
 
-let cells : (string, cell) Hashtbl.t = Hashtbl.create 16
+let key : state Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { on = false; cells = Hashtbl.create 16; names = []; stack = [] })
 
-let names : string list ref = ref []
+let state () = Domain.DLS.get key
 
-let stack : frame list ref = ref []
+let enabled () = (state ()).on
 
-let enabled () = !on
+let enable () = (state ()).on <- true
 
-let enable () = on := true
+let disable () = (state ()).on <- false
 
-let disable () = on := false
-
-let cell name =
-  match Hashtbl.find_opt cells name with
+let cell st name =
+  match Hashtbl.find_opt st.cells name with
   | Some c -> c
   | None ->
     let c = { calls = 0; cumulative = 0.; self = 0. } in
-    Hashtbl.replace cells name c;
-    names := name :: !names;
+    Hashtbl.replace st.cells name c;
+    st.names <- name :: st.names;
     c
 
-let record fr =
+let record st fr =
   let elapsed = Timer.wall () -. fr.start in
-  (match !stack with
-  | top :: rest when top == fr -> stack := rest
-  | _ -> stack := List.filter (fun f -> f != fr) !stack);
-  (match !stack with
+  (match st.stack with
+  | top :: rest when top == fr -> st.stack <- rest
+  | _ -> st.stack <- List.filter (fun f -> f != fr) st.stack);
+  (match st.stack with
   | parent :: _ -> parent.child <- parent.child +. elapsed
   | [] -> ());
-  let c = cell fr.cell_name in
+  let c = cell st fr.cell_name in
   c.calls <- c.calls + 1;
   c.cumulative <- c.cumulative +. elapsed;
   c.self <- c.self +. Float.max 0. (elapsed -. fr.child)
 
 let timed name f =
-  if not !on then f ()
+  let st = state () in
+  if not st.on then f ()
   else begin
     let fr = { cell_name = name; start = Timer.wall (); child = 0. } in
-    stack := fr :: !stack;
+    st.stack <- fr :: st.stack;
     match f () with
     | v ->
-      record fr;
+      record st fr;
       v
     | exception e ->
-      record fr;
+      record st fr;
       raise e
   end
 
 let snapshot () =
+  let st = state () in
   List.sort
     (fun (a, _) (b, _) -> String.compare a b)
     (List.rev_map
        (fun n ->
-         let c = Hashtbl.find cells n in
+         let c = Hashtbl.find st.cells n in
          (n, { calls = c.calls; cumulative = c.cumulative; self = c.self }
               : string * stat))
-       !names)
+       st.names)
+
+let merge stats =
+  let st = state () in
+  List.iter
+    (fun (name, (s : stat)) ->
+      let c = cell st name in
+      c.calls <- c.calls + s.calls;
+      c.cumulative <- c.cumulative +. s.cumulative;
+      c.self <- c.self +. s.self)
+    stats
 
 let reset () =
-  Hashtbl.reset cells;
-  names := [];
-  stack := []
+  let st = state () in
+  Hashtbl.reset st.cells;
+  st.names <- [];
+  st.stack <- []

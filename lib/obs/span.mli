@@ -7,15 +7,23 @@
     falls straight out of a run.
 
     Spans are {b disabled by default}: when disabled, {!timed} costs one
-    branch and calls the thunk directly, so instrumentation can stay in the
-    hot paths permanently (the zero-cost-when-disabled contract, see
-    DESIGN.md "Observability").  Not thread-safe. *)
+    domain-local read and a branch and calls the thunk directly, so
+    instrumentation can stay in the hot paths permanently (the
+    zero-cost-when-disabled contract, see DESIGN.md "Observability").
+
+    All span state — the enabled flag, the accumulated cells and the frame
+    stack — is {b domain-local}: each domain profiles its own work without
+    synchronization.  A freshly spawned domain starts disabled and empty;
+    fold a worker's statistics into another domain explicitly with
+    {!merge} (or {!Indq_obs.Obs.merge}). *)
 
 type stat = { calls : int; cumulative : float; self : float }
 
 val enabled : unit -> bool
+(** Whether the calling domain records spans. *)
 
 val enable : unit -> unit
+(** Start recording on the calling domain. *)
 
 val disable : unit -> unit
 
@@ -25,7 +33,14 @@ val timed : string -> (unit -> 'a) -> 'a
     the span is recorded even when [f] raises. *)
 
 val snapshot : unit -> (string * stat) list
-(** Accumulated statistics per span name, sorted by name. *)
+(** The calling domain's accumulated statistics per span name, sorted by
+    name. *)
+
+val merge : (string * stat) list -> unit
+(** [merge stats] adds calls/cumulative/self per name into the calling
+    domain's cells — used to fold a worker domain's profile into its
+    coordinator. *)
 
 val reset : unit -> unit
-(** Drop all accumulated statistics (and any dangling frames). *)
+(** Drop the calling domain's accumulated statistics (and any dangling
+    frames). *)

@@ -16,17 +16,29 @@ type event =
 
 type sink = event -> unit
 
-let sink : sink option ref = ref None
+(* The installed sink is domain-local: a worker domain starts with no sink
+   (events cost one domain-local read and a branch), and installing a sink
+   on one domain never makes another domain's hot path pay for it. *)
+let sink_key : sink option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
 
-let set_sink s = sink := Some s
+let sink () = Domain.DLS.get sink_key
 
-let clear_sink () = sink := None
+let set_sink s = sink () := Some s
 
-let active () = !sink <> None
+let clear_sink () = sink () := None
 
-let emit ev = match !sink with None -> () | Some s -> s ev
+let active () = !(sink ()) <> None
 
-let emit_with f = match !sink with None -> () | Some s -> s (f ())
+let with_sink s f =
+  let r = sink () in
+  let previous = !r in
+  r := Some s;
+  Fun.protect ~finally:(fun () -> r := previous) f
+
+let emit ev = match !(sink ()) with None -> () | Some s -> s ev
+
+let emit_with f = match !(sink ()) with None -> () | Some s -> s (f ())
 
 (* --- JSONL serialization --- *)
 

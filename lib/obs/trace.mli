@@ -39,11 +39,23 @@ type event =
 
 type sink = event -> unit
 
+(** The installed sink is {b domain-local}: each domain delivers its events
+    to its own sink (or drops them when none is installed, the default for
+    every freshly spawned domain), so parallel workers never interleave
+    writes into a sink they did not install. *)
+
 val set_sink : sink -> unit
-(** Install the sink (replacing any previous one). *)
+(** Install the calling domain's sink (replacing any previous one). *)
 
 val clear_sink : unit -> unit
-(** Back to the no-op default. *)
+(** Back to the no-op default on the calling domain. *)
+
+val with_sink : sink -> (unit -> 'a) -> 'a
+(** [with_sink s f] runs [f ()] with [s] installed on the calling domain,
+    restoring the previously installed sink (if any) afterwards, even when
+    [f] raises.  This is how callers pass a trace context {i explicitly}
+    to a run (see {!Indq_core.Algo.run}) instead of mutating global
+    state. *)
 
 val active : unit -> bool
 

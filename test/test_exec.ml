@@ -1,0 +1,195 @@
+(* Tests for the domain pool (lib/exec): order preservation, exception
+   propagation, counter-delta merging, and the headline determinism
+   contract — a sweep on 4 domains is bit-identical to the sequential one.
+   Also checks statistical independence of Rng.split streams, which the
+   per-trial seeding leans on. *)
+
+module Pool = Indq_exec.Pool
+module Obs = Indq_obs.Obs
+module Counter = Indq_obs.Counter
+module Experiments = Indq_experiments.Experiments
+module Algo = Indq_core.Algo
+module Generator = Indq_dataset.Generator
+module Rng = Indq_util.Rng
+
+(* --- pool basics --- *)
+
+let test_map_preserves_order () =
+  let input = Array.init 101 (fun i -> i) in
+  let expect = Array.map (fun i -> (i * i) + 1) input in
+  Pool.with_pool ~domains:4 (fun pool ->
+      List.iter
+        (fun chunks ->
+          let got =
+            Pool.parallel_map ?chunks pool (fun i -> (i * i) + 1) input
+          in
+          Alcotest.(check (array int))
+            (Printf.sprintf "chunks=%s"
+               (match chunks with None -> "default" | Some c -> string_of_int c))
+            expect got)
+        [ None; Some 1; Some 5; Some 101; Some 1000 ])
+
+let test_size_one_pool_runs_inline () =
+  Pool.with_pool ~domains:1 (fun pool ->
+      Alcotest.(check int) "size" 1 (Pool.size pool);
+      let here = Domain.self () in
+      let domains =
+        Pool.parallel_map pool (fun _ -> Domain.self ()) (Array.make 8 ())
+      in
+      Array.iter
+        (fun d -> Alcotest.(check bool) "caller's domain" true (d = here))
+        domains)
+
+let test_empty_and_singleton () =
+  Pool.with_pool ~domains:3 (fun pool ->
+      Alcotest.(check (array int)) "empty" [||]
+        (Pool.parallel_map pool (fun i -> i) [||]);
+      Alcotest.(check (array int)) "singleton" [| 14 |]
+        (Pool.parallel_map pool (fun i -> i * 2) [| 7 |]))
+
+let test_exception_propagates () =
+  Pool.with_pool ~domains:2 (fun pool ->
+      Alcotest.check_raises "first failure re-raised" (Failure "task 7")
+        (fun () ->
+          ignore
+            (Pool.parallel_map pool
+               (fun i -> if i = 7 then failwith "task 7" else i)
+               (Array.init 16 (fun i -> i))));
+      (* The pool survives a failing batch. *)
+      Alcotest.(check (array int)) "pool still works" [| 0; 2; 4 |]
+        (Pool.parallel_map pool (fun i -> 2 * i) [| 0; 1; 2 |]))
+
+let test_counter_deltas_merge () =
+  let c = Counter.make "test.exec.work" in
+  let before = Counter.value c in
+  Pool.with_pool ~domains:3 (fun pool ->
+      ignore
+        (Pool.parallel_map pool
+           (fun i ->
+             Counter.add c 2.;
+             i)
+           (Array.init 20 (fun i -> i))));
+  Alcotest.(check (float 0.)) "worker bumps land on the caller" (before +. 40.)
+    (Counter.value c)
+
+let test_shutdown_idempotent () =
+  let pool = Pool.create ~domains:2 in
+  ignore (Pool.parallel_map pool (fun i -> i) [| 1; 2; 3 |]);
+  Pool.shutdown pool;
+  Pool.shutdown pool
+
+(* --- determinism of seeded fan-out --- *)
+
+let seeded_run ~domains =
+  let rng = Rng.create 99 in
+  let out =
+    Pool.with_pool ~domains (fun pool ->
+        Pool.parallel_map_seeded pool ~rng
+          (fun task_rng x -> float_of_int x +. Rng.uniform task_rng)
+          (Array.init 33 (fun i -> i)))
+  in
+  (* The caller's generator must have advanced identically too. *)
+  (out, Rng.uniform rng)
+
+let test_seeded_map_pool_invariant () =
+  let seq, seq_next = seeded_run ~domains:1 in
+  let par, par_next = seeded_run ~domains:4 in
+  Alcotest.(check bool) "same outputs" true (seq = par);
+  Alcotest.(check (float 0.)) "same rng advancement" seq_next par_next
+
+(* The headline qcheck property: a full experiment sweep on a 4-domain pool
+   equals the sequential sweep bit for bit — α mean and sd, output sizes,
+   false-negative counts, and the merged per-run counter deltas.  Only
+   wall-clock [time_mean] may differ. *)
+
+let tiny_points ~seed =
+  let rng = Rng.create seed in
+  let data = Generator.independent rng ~n:60 ~d:2 in
+  let config = Algo.default_config ~d:2 in
+  [ (1., data, config); (2., data, { config with Algo.q = 4 }) ]
+
+let cell_equal (a : Experiments.cell) (b : Experiments.cell) =
+  a.Experiments.alpha_mean = b.Experiments.alpha_mean
+  && a.Experiments.alpha_sd = b.Experiments.alpha_sd
+  && a.Experiments.output_size_mean = b.Experiments.output_size_mean
+  && a.Experiments.false_negative_runs = b.Experiments.false_negative_runs
+  && a.Experiments.metrics_mean = b.Experiments.metrics_mean
+
+let sweep_equal (a : Experiments.sweep) (b : Experiments.sweep) =
+  Array.length a.Experiments.cells = Array.length b.Experiments.cells
+  && Array.for_all2
+       (fun ra rb -> Array.for_all2 cell_equal ra rb)
+       a.Experiments.cells b.Experiments.cells
+
+let parallel_sweep_bit_identical =
+  QCheck.Test.make ~count:4 ~name:"-j 4 sweep is bit-identical to -j 1"
+    QCheck.(pair (int_range 1 1000) (int_range 1 1000))
+    (fun (data_seed, sweep_seed) ->
+      let run pool =
+        Experiments.run_sweep ?pool ~title:"prop" ~x_label:"x"
+          ~algorithms:[ Algo.Squeeze_u; Algo.MinR ]
+          ~points:(tiny_points ~seed:data_seed)
+          ~utilities:2 ~user_delta:0.02 ~seed:sweep_seed ()
+      in
+      let seq = run None in
+      let par = Pool.with_pool ~domains:4 (fun p -> run (Some p)) in
+      sweep_equal seq par)
+
+(* --- Rng.split stream independence --- *)
+
+(* The pool's determinism contract seeds every task by splitting one
+   generator, so split streams must be statistically independent: uniform
+   marginals and no cross-correlation.  Thresholds sit at ~5 standard
+   errors, so the (deterministic, fixed-seed) test is far from flaky. *)
+let test_split_streams_independent () =
+  let rng = Rng.create 20240805 in
+  let a = Rng.split rng in
+  let b = Rng.split rng in
+  let n = 20_000 in
+  let xs = Array.init n (fun _ -> Rng.uniform a) in
+  let ys = Array.init n (fun _ -> Rng.uniform b) in
+  let fn = float_of_int n in
+  let mean arr = Array.fold_left ( +. ) 0. arr /. fn in
+  let mx = mean xs and my = mean ys in
+  (* se(mean) = 1/sqrt(12 n) ~ 0.002 *)
+  Alcotest.(check bool) "a uniform mean" true (Float.abs (mx -. 0.5) < 0.011);
+  Alcotest.(check bool) "b uniform mean" true (Float.abs (my -. 0.5) < 0.011);
+  let cov = ref 0. and va = ref 0. and vb = ref 0. in
+  for i = 0 to n - 1 do
+    let dx = xs.(i) -. mx and dy = ys.(i) -. my in
+    cov := !cov +. (dx *. dy);
+    va := !va +. (dx *. dx);
+    vb := !vb +. (dy *. dy)
+  done;
+  let corr = !cov /. sqrt (!va *. !vb) in
+  (* se(corr) ~ 1/sqrt(n) ~ 0.007 *)
+  Alcotest.(check bool) "uncorrelated" true (Float.abs corr < 0.036);
+  (* Splitting must not echo the parent's own stream. *)
+  let parent = Array.init 100 (fun _ -> Rng.uniform rng) in
+  Alcotest.(check bool) "distinct from parent" true
+    (parent <> Array.sub xs 0 100)
+
+let () =
+  Alcotest.run "exec"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map preserves order" `Quick test_map_preserves_order;
+          Alcotest.test_case "size-1 pool inline" `Quick test_size_one_pool_runs_inline;
+          Alcotest.test_case "empty and singleton" `Quick test_empty_and_singleton;
+          Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+          Alcotest.test_case "counter deltas merge" `Quick test_counter_deltas_merge;
+          Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "seeded map pool-invariant" `Quick
+            test_seeded_map_pool_invariant;
+          QCheck_alcotest.to_alcotest parallel_sweep_bit_identical;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "split streams independent" `Quick
+            test_split_streams_independent;
+        ] );
+    ]

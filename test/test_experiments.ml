@@ -21,7 +21,7 @@ let tiny_points ~seed =
 let test_run_sweep_shape () =
   let sweep =
     Experiments.run_sweep ~title:"t" ~x_label:"x" ~algorithms:Algo.all
-      ~points:(tiny_points ~seed:3) ~utilities:2 ~user_delta:0. ~seed:5
+      ~points:(tiny_points ~seed:3) ~utilities:2 ~user_delta:0. ~seed:5 ()
   in
   Alcotest.(check int) "x count" 2 (List.length sweep.Experiments.x_values);
   Alcotest.(check int) "rows" 2 (Array.length sweep.Experiments.cells);
@@ -36,14 +36,14 @@ let test_run_sweep_shape () =
 let test_sweep_no_false_negatives () =
   let sweep =
     Experiments.run_sweep ~title:"t" ~x_label:"x" ~algorithms:Algo.all
-      ~points:(tiny_points ~seed:11) ~utilities:3 ~user_delta:0. ~seed:13
+      ~points:(tiny_points ~seed:11) ~utilities:3 ~user_delta:0. ~seed:13 ()
   in
   Alcotest.(check int) "audit zero" 0 (Report.false_negative_total sweep)
 
 let test_sweep_deterministic () =
   let run () =
     Experiments.run_sweep ~title:"t" ~x_label:"x" ~algorithms:[ Algo.Squeeze_u ]
-      ~points:(tiny_points ~seed:17) ~utilities:2 ~user_delta:0.05 ~seed:19
+      ~points:(tiny_points ~seed:17) ~utilities:2 ~user_delta:0.05 ~seed:19 ()
   in
   let a = run () and b = run () in
   Array.iteri
@@ -72,7 +72,7 @@ let test_report_tables_render () =
   let sweep =
     Experiments.run_sweep ~title:"render check" ~x_label:"x"
       ~algorithms:[ Algo.Squeeze_u; Algo.MinR ] ~points:(tiny_points ~seed:23)
-      ~utilities:1 ~user_delta:0. ~seed:29
+      ~utilities:1 ~user_delta:0. ~seed:29 ()
   in
   let contains hay needle =
     let hl = String.length hay and nl = String.length needle in

@@ -1,10 +1,12 @@
-(* Tests for the observability layer (Indq_obs): process-wide counters,
+(* Tests for the observability layer (Indq_obs): domain-local counters,
    nestable timing spans, and the structured trace stream — including the
-   zero-cost-when-disabled contract and the JSONL round trip. *)
+   zero-cost-when-disabled contract, the JSONL round trip, and the
+   snapshot/merge API that moves deltas between domains. *)
 
 module Counter = Indq_obs.Counter
 module Span = Indq_obs.Span
 module Trace = Indq_obs.Trace
+module Obs = Indq_obs.Obs
 module Algo = Indq_core.Algo
 module Squeeze_u = Indq_core.Squeeze_u
 module Dataset = Indq_dataset.Dataset
@@ -67,6 +69,64 @@ let test_counter_reset_all () =
   List.iter
     (fun (name, v) -> Alcotest.(check (float 1e-9)) (name ^ " zeroed") 0. v)
     (Counter.snapshot ())
+
+(* --- domain isolation and the snapshot/merge protocol --- *)
+
+let test_counter_values_domain_local () =
+  let c = Counter.make "test.domain.counter" in
+  let before = Counter.value c in
+  let child_saw =
+    Domain.join
+      (Domain.spawn (fun () ->
+           let v0 = Counter.value c in
+           Counter.add c 5.;
+           (v0, Counter.value c)))
+  in
+  Alcotest.(check (pair (float 1e-9) (float 1e-9)))
+    "child starts at 0 and sees only its own bumps" (0., 5.) child_saw;
+  Alcotest.(check (float 1e-9)) "parent untouched" before (Counter.value c)
+
+let test_obs_delta_merges_across_domains () =
+  let c = Counter.make "test.domain.merge" in
+  let before = Counter.value c in
+  let delta =
+    Domain.join
+      (Domain.spawn (fun () ->
+           let t0 = Obs.snapshot () in
+           Counter.add c 3.;
+           Counter.incr c;
+           Obs.diff (Obs.snapshot ()) t0))
+  in
+  Alcotest.(check (float 1e-9)) "before merge, nothing" before
+    (Counter.value c);
+  Obs.merge delta;
+  Alcotest.(check (float 1e-9)) "merge lands the worker's delta" (before +. 4.)
+    (Counter.value c);
+  (* Merging is additive, not idempotent — exactly what a once-per-chunk
+     protocol needs. *)
+  Obs.merge delta;
+  Alcotest.(check (float 1e-9)) "merge is additive" (before +. 8.)
+    (Counter.value c)
+
+let test_trace_sink_domain_local () =
+  Trace.set_sink (fun _ -> ());
+  let child_active = Domain.join (Domain.spawn (fun () -> Trace.active ())) in
+  Trace.clear_sink ();
+  Alcotest.(check bool) "parent sink invisible to child" false child_active
+
+let test_trace_with_sink_scoped () =
+  let seen = ref 0 in
+  Trace.with_sink
+    (fun _ -> incr seen)
+    (fun () -> Trace.emit (Trace.Round_started { round = 1; candidates = 1 }));
+  Alcotest.(check int) "event delivered" 1 !seen;
+  Alcotest.(check bool) "sink removed after scope" false (Trace.active ());
+  (* A raise inside the scope still restores the previous sink. *)
+  Trace.set_sink (fun _ -> ());
+  (try Trace.with_sink (fun _ -> ()) (fun () -> failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check bool) "previous sink restored on raise" true (Trace.active ());
+  Trace.clear_sink ()
 
 (* --- spans --- *)
 
@@ -273,6 +333,17 @@ let () =
           Alcotest.test_case "since" `Quick test_counter_since;
           Alcotest.test_case "since new counter" `Quick test_counter_since_new_counter;
           Alcotest.test_case "reset all" `Quick test_counter_reset_all;
+        ] );
+      ( "domains",
+        [
+          Alcotest.test_case "counter values domain-local" `Quick
+            test_counter_values_domain_local;
+          Alcotest.test_case "obs delta merges across domains" `Quick
+            test_obs_delta_merges_across_domains;
+          Alcotest.test_case "trace sink domain-local" `Quick
+            test_trace_sink_domain_local;
+          Alcotest.test_case "with_sink scoped" `Quick
+            test_trace_with_sink_scoped;
         ] );
       ( "spans",
         [
