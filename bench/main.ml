@@ -21,13 +21,27 @@ let quick = ref false
 let metrics = ref false
 let jobs = ref 1
 let with_times = ref true
+let cold = ref false
+let json_file = ref ""
 let selected : string list ref = ref []
+
+(* Sweeps recorded for -json, in run order, tagged with their experiment
+   name.  Only sweep-shaped experiments (the fig and tab families) are
+   recorded; the bechamel and ablation sections print free-form tables and
+   stay text-only. *)
+let recorded_sweeps : (string * Experiments.sweep) list ref = ref []
+let current_experiment = ref ""
+
+let record sweep =
+  if !json_file <> "" then
+    recorded_sweeps := (!current_experiment, sweep) :: !recorded_sweeps;
+  sweep
 
 (* Set once in [main]; sweeps are deterministic for every pool size, so the
    pool never appears in the printed output. *)
 let pool : Pool.t option ref = ref None
 
-let usage = "main.exe [-quick] [-metrics] [-j N] [-no-times] [-scale S] [-utilities K] [-max-n N] [-seed S] [experiments...]"
+let usage = "main.exe [-quick] [-metrics] [-j N] [-no-times] [-cold] [-json FILE] [-scale S] [-utilities K] [-max-n N] [-seed S] [experiments...]"
 
 let spec =
   [
@@ -40,12 +54,19 @@ let spec =
     ("-j", Arg.Set_int jobs, "worker domains for sweep trials (default 1 = sequential)");
     ("-no-times", Arg.Clear with_times,
      "omit every wall-clock figure so output is identical across -j values");
+    ("-cold", Arg.Set cold,
+     "disable the incremental geometry engine (re-solve every LP from \
+      scratch); results must be identical, only counters and time change");
+    ("-json", Arg.Set_string json_file,
+     "also write the recorded sweeps as a machine-readable JSON report");
   ]
 
 let print_sweep sweep =
+  let sweep = record sweep in
   Report.print_sweep ~with_metrics:!metrics ~with_times:!with_times sweep
 
 let print_time_sweep ~labels sweep =
+  let sweep = record sweep in
   Report.print_time_sweep ~with_metrics:!metrics ~with_times:!with_times
     ~labels sweep
 
@@ -396,8 +417,10 @@ let () =
     | [] | [ "all" ] -> List.map fst all_experiments
     | names -> names
   in
-  (* The header deliberately omits -j: output must be identical across -j
-     values (the CI smoke job diffs -j 1 against -j 4 under -no-times). *)
+  if !cold then Indq_geom.Polytope.set_incremental false;
+  (* The header deliberately omits -j and -cold: output must be identical
+     across -j values and across incremental/cold (the CI smoke jobs diff
+     those pairs under -no-times). *)
   Printf.printf
     "indistinguishability-query benchmarks (seed=%d scale=%g utilities=%d max-n=%d)\n\n%!"
     !seed !scale !utilities !max_n;
@@ -408,6 +431,7 @@ let () =
         (fun name ->
           match List.assoc_opt name all_experiments with
           | Some f ->
+            current_experiment := name;
             let start = Sys.time () in
             f ();
             if !with_times then
@@ -419,4 +443,17 @@ let () =
             exit 2)
         chosen;
       if !with_times then
-        Printf.printf "total: %.1fs\n" (Sys.time () -. total_start))
+        Printf.printf "total: %.1fs\n" (Sys.time () -. total_start));
+  if !json_file <> "" then begin
+    let oc = open_out !json_file in
+    Printf.fprintf oc
+      "{\"seed\":%d,\"scale\":%g,\"utilities\":%d,\"max_n\":%d,\"sweeps\":[\n"
+      !seed !scale !utilities !max_n;
+    List.rev !recorded_sweeps
+    |> List.iteri (fun i (name, sweep) ->
+           Printf.fprintf oc "%s{\"experiment\":\"%s\",\"sweep\":%s}" (if i = 0 then "" else ",\n") name
+             (Report.sweep_to_json ~with_times:!with_times sweep));
+    output_string oc "\n]}\n";
+    close_out oc;
+    Printf.eprintf "wrote %s\n" !json_file
+  end

@@ -73,6 +73,8 @@ let greedy_regret_set data ~size ~sample_utilities =
   grow ();
   List.rev !chosen
 
+let uh_random = Real_points.uh_random
+
 type comparison = {
   truth_size : int;
   result_size : int;

@@ -28,6 +28,22 @@ val greedy_regret_set :
     0.  Raises [Invalid_argument] on an empty dataset, empty sample or
     non-positive size. *)
 
+val uh_random :
+  ?delta:float ->
+  ?anchors:int ->
+  ?store:Pruning.Store.t ->
+  data:Indq_dataset.Dataset.t ->
+  s:int ->
+  q:int ->
+  eps:float ->
+  oracle:Indq_user.Oracle.t ->
+  rng:Indq_util.Rng.t ->
+  unit ->
+  Real_points.result
+(** The interactive UH-Random baseline — {!Real_points.uh_random} under its
+    evaluation-section name, sharing the store-backed Lemma 2 pruning loop
+    with MinR/MinD so baseline numbers exercise the same code path. *)
+
 (** {2 Comparing a result set against the exact query} *)
 
 type comparison = {

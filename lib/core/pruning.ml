@@ -2,6 +2,7 @@ module Dataset = Indq_dataset.Dataset
 module Tuple = Indq_dataset.Tuple
 module Vec = Indq_linalg.Vec
 module Polytope = Indq_geom.Polytope
+module Halfspace = Indq_geom.Halfspace
 module Counter = Indq_obs.Counter
 module Trace = Indq_obs.Trace
 
@@ -9,6 +10,7 @@ let c_scalar_hits = Counter.make "prune.scalar_hits"
 let c_corner_hits = Counter.make "prune.corner_hits"
 let c_lp_calls = Counter.make "prune.lp_calls"
 let c_witness_hits = Counter.make "prune.witness_hits"
+let c_store_hits = Counter.make "prune.store_hits"
 
 let emit_stage ~stage ~before result =
   Trace.emit_with (fun () ->
@@ -82,6 +84,35 @@ let box_prune_exact ~eps ~lo ~hi data =
     |> emit_stage ~stage:"box_exact" ~before:(Dataset.size data)
   end
 
+(* --- Lemma 2 region pruning and its persistent cross-round store ------- *)
+
+module Store = struct
+  (* Certificates carried across rounds of one interaction.  Sound because
+     the region only ever shrinks: a cached point that still satisfies
+     every cut is still a region point, so whatever it certified (an
+     anchor's utility floor, a candidate's non-prunability against an
+     anchor) it still certifies — a scalar product decides, and an LP is
+     re-issued only when the certificate died.  Pruned candidates never
+     re-enter (the filtered dataset is what flows to the next round), so
+     prune decisions are monotone by construction. *)
+  type t = {
+    pair_witnesses : (int * int, float array) Hashtbl.t;
+        (* (candidate id, anchor id) -> region point v with
+           ((1+eps) b - a) . v >= -tol, i.e. "a cannot prune b" *)
+    floor_witnesses : (int, float * float array) Hashtbl.t;
+        (* anchor id -> (min a.v over the region, minimizing point) *)
+  }
+
+  let create () =
+    { pair_witnesses = Hashtbl.create 64; floor_witnesses = Hashtbl.create 8 }
+end
+
+(* Is this cached point still inside the region?  (Cached points came from
+   LP solves over an ancestor region, so they are on the simplex already;
+   only the cuts can invalidate them.) *)
+let point_in_cuts poly p =
+  List.for_all (fun h -> Halfspace.satisfies h p) (Polytope.halfspaces poly)
+
 let anchor_pool ~anchors region data =
   let center = Region.center region in
   let scored =
@@ -91,35 +122,80 @@ let anchor_pool ~anchors region data =
   let k = min anchors (Array.length scored) in
   List.init k (fun i -> snd scored.(i))
 
-let utility_floor region data =
+(* The shared utility-floor computation: [max_a min_{v in R} a . v] over an
+   anchor pool.  One LP per anchor, except that a store remembers each
+   anchor's minimizing point from the previous round — if it survived
+   every cut since, the cached minimum is still exact (the point attains
+   it inside the shrunken region, and shrinking can only raise the
+   minimum to that value). *)
+let floor_over_pool ?store poly pool =
+  let use_store = Polytope.incremental_enabled () in
+  (* d = 2 analytic floor: on the simplex line the region is an interval
+     whose profile witnesses are its complete vertex set, so an anchor's
+     minimum is a dot-product min over them — no LP.  Verdict-grade like
+     the rest of the cascade (the floor only feeds threshold tests). *)
+  let vertices =
+    if use_store && Polytope.dim poly = 2 then
+      snd (Polytope.coordinate_profile poly)
+    else []
+  in
+  List.fold_left
+    (fun acc a ->
+      let cached =
+        match store with
+        | Some (s : Store.t) when use_store ->
+          (match Hashtbl.find_opt s.floor_witnesses (Tuple.id a) with
+          | Some (v, p) when point_in_cuts poly p ->
+            Counter.incr c_store_hits;
+            Some v
+          | _ -> None)
+        | _ -> None
+      in
+      match cached with
+      | Some v -> Float.max acc v
+      | None -> (
+        match vertices with
+        | v0 :: rest ->
+          Counter.incr c_witness_hits;
+          let av = Tuple.values a in
+          let min_v, min_p =
+            List.fold_left
+              (fun (bv, bp) p ->
+                let dv = Vec.dot av p in
+                if dv < bv then (dv, p) else (bv, bp))
+              (Vec.dot av v0, v0) rest
+          in
+          (match store with
+          | Some s ->
+            Hashtbl.replace s.floor_witnesses (Tuple.id a) (min_v, min_p)
+          | None -> ());
+          Float.max acc min_v
+        | [] -> (
+          Counter.incr c_lp_calls;
+          match Polytope.minimize poly (Tuple.values a) with
+          | Some (v, p) ->
+            (match store with
+            | Some s -> Hashtbl.replace s.floor_witnesses (Tuple.id a) (v, p)
+            | None -> ());
+            Float.max acc v
+          | None -> acc)))
+    neg_infinity pool
+
+let utility_floor ?store region data =
   if Dataset.size data = 0 then invalid_arg "Pruning.utility_floor: empty dataset";
   if Region.is_empty region then invalid_arg "Pruning.utility_floor: empty region";
   let poly = Region.polytope region in
   let pool = anchor_pool ~anchors:4 region data in
-  List.fold_left
-    (fun acc a ->
-      Counter.incr c_lp_calls;
-      match Polytope.minimize poly (Tuple.values a) with
-      | Some (v, _) -> Float.max acc v
-      | None -> acc)
-    neg_infinity pool
+  floor_over_pool ?store poly pool
 
-let region_prune ?(anchors = 4) ~eps region data =
+let region_prune ?(anchors = 4) ?store ~eps region data =
   if eps <= 0. then invalid_arg "Pruning.region_prune: eps must be positive";
   if anchors <= 0 then invalid_arg "Pruning.region_prune: anchors must be positive";
   if Dataset.size data = 0 || Region.is_empty region then data
   else begin
     let poly = Region.polytope region in
     let pool = anchor_pool ~anchors region data in
-    let floor_value =
-      List.fold_left
-        (fun acc a ->
-          Counter.incr c_lp_calls;
-          match Polytope.minimize poly (Tuple.values a) with
-          | Some (v, _) -> Float.max acc v
-          | None -> acc)
-        neg_infinity pool
-    in
+    let floor_value = floor_over_pool ?store poly pool in
     (* Margin above the LP solver's own accuracy: pruning must only fire
        with clear daylight, keeping the no-false-negative contract under
        float noise. *)
@@ -135,7 +211,29 @@ let region_prune ?(anchors = 4) ~eps region data =
     let disproved_by_witness w =
       List.exists (fun v -> Vec.dot w v >= -.tol) witnesses
     in
+    let use_store = Polytope.incremental_enabled () in
+    (* "Anchor a cannot prune candidate b", certified by a cached region
+       point from an earlier round when possible. *)
+    let stored_witness b_id a_id w =
+      match store with
+      | Some (s : Store.t) when use_store ->
+        (match Hashtbl.find_opt s.pair_witnesses (b_id, a_id) with
+        | Some p when point_in_cuts poly p && Vec.dot w p >= -.tol ->
+          Counter.incr c_store_hits;
+          true
+        | Some _ ->
+          Hashtbl.remove s.pair_witnesses (b_id, a_id);
+          false
+        | None -> false)
+      | _ -> false
+    in
+    let remember b_id a_id p =
+      match store with
+      | Some s when use_store -> Hashtbl.replace s.pair_witnesses (b_id, a_id) p
+      | _ -> ()
+    in
     let prunable b =
+      let b_id = Tuple.id b in
       let scaled = Vec.scale (1. +. eps) (Tuple.values b) in
       (* Cheap sound prune: max (1+eps) b . v <= (1+eps) b . hi_corner. *)
       if Vec.dot scaled hi_corner < floor_value -. tol then begin
@@ -145,17 +243,34 @@ let region_prune ?(anchors = 4) ~eps region data =
       else
         List.exists
           (fun a ->
-            Tuple.id a <> Tuple.id b
+            Tuple.id a <> b_id
             &&
             let w = Vec.sub scaled (Tuple.values a) in
-            if disproved_by_witness w then begin
+            if stored_witness b_id (Tuple.id a) w then false
+            else if disproved_by_witness w then begin
               Counter.incr c_witness_hits;
+              (match List.find_opt (fun v -> Vec.dot w v >= -.tol) witnesses with
+              | Some v -> remember b_id (Tuple.id a) v
+              | None -> ());
               false
+            end
+            else if use_store && Polytope.dim poly = 2 then begin
+              (* d = 2: [witnesses] contains both interval endpoints — the
+                 complete vertex set — so the failed disproof already
+                 evaluated max w . v over every vertex and found it below
+                 -tol: prunable with no confirming LP. *)
+              Counter.incr c_witness_hits;
+              true
             end
             else begin
               Counter.incr c_lp_calls;
               match Polytope.maximize poly w with
-              | Some (m, _) -> m < -.tol
+              | Some (m, p) ->
+                if m < -.tol then true
+                else begin
+                  remember b_id (Tuple.id a) p;
+                  false
+                end
               | None -> false
             end)
           pool

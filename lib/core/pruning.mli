@@ -13,7 +13,15 @@
       ground truth in tests.
     - {b region} (Lemma 2): over a feasible region [R], drop [b] when some
       anchor tuple [a] has [max_{v in R} ((1+eps) b - a) . v < 0].  One LP
-      per (candidate, anchor) pair plus a shared scalar floor pre-test. *)
+      per (candidate, anchor) pair plus a shared scalar floor pre-test.
+
+    The region tester additionally accepts a {!Store.t} that persists across
+    the rounds of one interaction.  Because the region only shrinks and
+    pruned candidates never re-enter, LP certificates from earlier rounds
+    (anchor utility-floor minimizers, per-pair non-prunability witnesses)
+    stay valid as long as the witness point survives every later cut — a
+    dot product per cut to check — so most re-tests cost no LP at all
+    (counted in ["prune.store_hits"]). *)
 
 val box_prune_fast :
   eps:float ->
@@ -32,8 +40,19 @@ val box_prune_exact :
   Indq_dataset.Dataset.t
 (** The [2^d n^2] corner test.  Raises [Invalid_argument] for [d > 20]. *)
 
+module Store : sig
+  type t
+  (** Cross-round prune certificates for one interaction: per-anchor
+      utility-floor minimizers and per-(candidate, anchor) non-prunability
+      witness points.  Sound to reuse because regions only shrink; see the
+      module preamble.  Not thread-safe — use one store per session. *)
+
+  val create : unit -> t
+end
+
 val region_prune :
   ?anchors:int ->
+  ?store:Store.t ->
   eps:float ->
   Region.t ->
   Indq_dataset.Dataset.t ->
@@ -41,9 +60,15 @@ val region_prune :
 (** Lemma 2 pruning of a candidate set against a feasible region.
     [anchors] (default 4) is how many high-value tuples are tried as the
     dominating witness [a].  An empty region returns the input unchanged
-    (no sound inference is possible from inconsistent answers). *)
+    (no sound inference is possible from inconsistent answers).
+    [store] carries certificates between successive calls over a shrinking
+    region; it never changes which candidates survive, only how many LPs
+    are issued (and is ignored when {!Indq_geom.Polytope.set_incremental}
+    is off). *)
 
-val utility_floor : Region.t -> Indq_dataset.Dataset.t -> float
+val utility_floor :
+  ?store:Store.t -> Region.t -> Indq_dataset.Dataset.t -> float
 (** [max_a min_{v in R} a . v] over the anchor pool — a lower bound on the
     utility the user's optimum achieves, used by the scalar pre-test.
-    Exposed for tests. *)
+    Exposed for tests; shares its implementation (and optional certificate
+    store) with {!region_prune}. *)

@@ -29,6 +29,7 @@ val run :
   ?delta:float ->
   ?trials:int ->
   ?anchors:int ->
+  ?store:Pruning.Store.t ->
   strategy ->
   data:Indq_dataset.Dataset.t ->
   s:int ->
@@ -42,7 +43,10 @@ val run :
     rule of Section VI-B and must be an upper bound on the user's real
     error for the no-false-negative guarantee to hold.  [trials] is the
     paper's [T] (default 10, ignored by [Random]).  [anchors] tunes Lemma 2
-    pruning (see {!Pruning.region_prune}).
+    pruning (see {!Pruning.region_prune}).  [store] (default: a fresh one
+    per call) carries Lemma 2 certificates across the rounds; supply your
+    own only to share it across runs over the {i same} shrinking region,
+    e.g. when resuming an interaction.
 
     Rounds end early when one candidate remains.  Raises [Invalid_argument]
     when [s < 2], [q < 0], [eps <= 0], [delta < 0], [trials < 1] or the
@@ -51,6 +55,7 @@ val run :
 val uh_random :
   ?delta:float ->
   ?anchors:int ->
+  ?store:Pruning.Store.t ->
   data:Indq_dataset.Dataset.t ->
   s:int ->
   q:int ->
@@ -62,6 +67,7 @@ val uh_random :
 (** [run Random] under its evaluation-section name. *)
 
 val score_display_set :
+  ?stop_above:float ->
   delta:float ->
   metric:[ `Width | `Diameter ] ->
   Region.t ->
@@ -69,4 +75,8 @@ val score_display_set :
   float
 (** The MinR/MinD objective for one candidate display set: the average
     metric of the region over each possible user answer (empty posterior
-    regions contribute 0).  Exposed for tests. *)
+    regions contribute 0).  With [stop_above] (and the incremental engine
+    on), scoring aborts — returning [infinity] — as soon as the
+    non-negative partial sum proves the final score cannot be strictly
+    below the given bound, skipping the remaining posteriors' LPs.
+    Exposed for tests. *)

@@ -29,9 +29,9 @@ let polytope t = t.polytope
 
 let is_empty t = Polytope.is_empty t.polytope
 
-let width t = Polytope.width t.polytope
+let width ?stop_when t = Polytope.width ?stop_when t.polytope
 
-let diameter t = Polytope.diameter t.polytope
+let diameter ?stop_when t = Polytope.diameter ?stop_when t.polytope
 
 let center t = Polytope.center_estimate t.polytope
 

@@ -24,10 +24,10 @@ val is_empty : t -> bool
 (** An empty region means recorded answers were mutually inconsistent
     (possible when a δ-erring user is processed with too small a [delta]). *)
 
-val width : t -> float
+val width : ?stop_when:(float -> bool) -> t -> float
 (** MinR metric; see {!Indq_geom.Polytope.width}. *)
 
-val diameter : t -> float
+val diameter : ?stop_when:(float -> bool) -> t -> float
 (** MinD metric; see {!Indq_geom.Polytope.diameter}. *)
 
 val center : t -> float array

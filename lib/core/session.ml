@@ -18,14 +18,14 @@ type t = {
   mutable questions : int;
 }
 
-let start name config ~data ~rng =
+let start ?trace name config ~data ~rng =
   let session =
     { state = Asking [||]; resume = Done; questions = 0 }
   in
   let oracle = Oracle.of_chooser (fun options -> Effect.perform (Ask options)) in
   let final =
     Effect.Deep.match_with
-      (fun () -> Algo.run name config ~data ~oracle ~rng)
+      (fun () -> Algo.run ?trace name config ~data ~oracle ~rng)
       ()
       {
         retc = (fun result -> Finished result);

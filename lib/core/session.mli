@@ -28,13 +28,17 @@ type state =
   | Finished of Algo.run_result
 
 val start :
+  ?trace:Indq_obs.Trace.sink ->
   Algo.name ->
   Algo.config ->
   data:Indq_dataset.Dataset.t ->
   rng:Indq_util.Rng.t ->
   t
 (** Begin a run.  The algorithm executes up to its first question (or to
-    completion if it never needs one). *)
+    completion if it never needs one).  [trace] receives the run's
+    structured events, exactly as {!Algo.run}[ ?trace] would — note the
+    sink fires from inside the suspended coroutine, i.e. during {!start}
+    and each {!answer} call. *)
 
 val current : t -> state
 

@@ -94,6 +94,80 @@ let print_sweep ?(with_sizes = false) ?(with_metrics = false)
   Printf.printf "false-negative audit: %d run(s) missed a tuple of I%s\n\n" fn
     (if fn = 0 then " [OK]" else " [VIOLATION]")
 
+(* --- Machine-readable reports ------------------------------------------
+
+   Hand-rolled JSON: the values are flat records of floats, ints and
+   strings, and keeping the emitter dependency-free keeps the bench
+   runnable everywhere.  Output is deterministic — keys in fixed order,
+   floats via %.17g (shortest round-trippable form is not needed; exact
+   re-reads are) — so two reports diff cleanly. *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_string s = "\"" ^ json_escape s ^ "\""
+
+let json_float x =
+  if Float.is_nan x then json_string "nan"
+  else if Float.is_integer x && Float.abs x < 1e15 then
+    string_of_int (int_of_float x)
+  else Printf.sprintf "%.17g" x
+
+let json_list f xs = "[" ^ String.concat "," (List.map f xs) ^ "]"
+
+let cell_to_json ~with_times (c : Experiments.cell) =
+  let fields =
+    [ ("alpha_mean", json_float c.Experiments.alpha_mean);
+      ("alpha_sd", json_float c.Experiments.alpha_sd) ]
+    @ (if with_times then
+         [ ("time_mean", json_float c.Experiments.time_mean) ]
+       else [])
+    @ [
+        ("output_size_mean", json_float c.Experiments.output_size_mean);
+        ( "false_negative_runs",
+          string_of_int c.Experiments.false_negative_runs );
+        ( "metrics_mean",
+          "{"
+          ^ String.concat ","
+              (List.map
+                 (fun (k, v) -> json_string k ^ ":" ^ json_float v)
+                 c.Experiments.metrics_mean)
+          ^ "}" );
+      ]
+  in
+  "{"
+  ^ String.concat "," (List.map (fun (k, v) -> json_string k ^ ":" ^ v) fields)
+  ^ "}"
+
+let sweep_to_json ?(with_times = true) (sweep : Experiments.sweep) =
+  let rows =
+    List.mapi
+      (fun xi _ ->
+        json_list (cell_to_json ~with_times)
+          (Array.to_list sweep.Experiments.cells.(xi)))
+      sweep.Experiments.x_values
+  in
+  Printf.sprintf
+    "{%s:%s,%s:%s,%s:%s,%s:%s,%s:[%s]}"
+    (json_string "title") (json_string sweep.Experiments.title)
+    (json_string "x_label") (json_string sweep.Experiments.x_label)
+    (json_string "x_values") (json_list json_float sweep.Experiments.x_values)
+    (json_string "algorithms")
+    (json_list (fun a -> json_string (Algo.to_string a))
+       sweep.Experiments.algorithms)
+    (json_string "cells") (String.concat "," rows)
+
 let print_time_sweep ?(with_metrics = false) ?(with_times = true) ~labels
     (sweep : Experiments.sweep) =
   if with_times then begin

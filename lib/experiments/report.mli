@@ -33,6 +33,14 @@ val print_sweep :
     byte-for-byte against a [-j 1] one (the CI smoke job does exactly
     that). *)
 
+val sweep_to_json : ?with_times:bool -> Experiments.sweep -> string
+(** One sweep as a single-line JSON object ({i title}, {i x_label},
+    {i x_values}, {i algorithms}, {i cells}; each cell carries the
+    {!Experiments.cell} fields with [metrics_mean] as an object).
+    Deterministic: fixed key order, floats printed exactly ([%.17g]), and
+    [with_times = false] omits [time_mean] — two reports from equivalent
+    runs then diff byte-for-byte.  No JSON library needed or used. *)
+
 val print_time_sweep :
   ?with_metrics:bool ->
   ?with_times:bool ->

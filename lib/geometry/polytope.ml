@@ -2,16 +2,72 @@ module Vec = Indq_linalg.Vec
 module Lp = Indq_lp.Lp
 module Rng = Indq_util.Rng
 module Floatx = Indq_util.Floatx
+module Counter = Indq_obs.Counter
+
+let c_cache_hits = Counter.make "poly.cache_hits"
+
+(* Master switch for the incremental engine: artifact revalidation across
+   cuts, per-polytope memoization, and LP warm starts.  Off = every query
+   recomputes from scratch (the historical cold path); used by tests and by
+   [bench -cold] to prove both paths agree. *)
+let incremental = ref true
+
+let set_incremental b = incremental := b
+
+let incremental_enabled () = !incremental
+
+(* Per-coordinate / per-direction extreme: optimal value plus the region
+   point (LP vertex) where it is attained.  The point doubles as the cache
+   invalidation certificate: it survives a cut iff a dot product says so,
+   and while it survives, the cached value is still exact (the point
+   attains it and the region only shrank). *)
+type extreme = { value : float; witness : float array }
+
+(* Cached artifacts, filled lazily as queries run.  [profile] is the
+   canonical coordinate profile: always computed by cold LP solves so its
+   witness points (which feed [center_estimate] and Lemma-2 witness lists)
+   are bit-identical to the from-scratch path.  [fast_bounds] and
+   [support] memoize per-direction extremes, also cold-solved: their
+   values feed strict float comparisons downstream (trial scores can tie
+   to the last ulp), so only bit-exact reuse — a memo of the identical
+   pure solve — is admissible; ancestors contribute *upper-bound hints*
+   for skipping, never values.  [warm] is the last optimal simplex basis
+   seen for this cut list, reused to skip phase 1 on later verdict-grade
+   solves (feasibility, prune thresholds) over the same polytope. *)
+type artifacts = {
+  mutable feas_point : float array option;
+  mutable profile : ((float * float) array * float array list) option;
+  mutable fast_bounds : (extreme * extreme) option array;
+      (* per coordinate: (min, max); empty array until first use *)
+  mutable support : (int, extreme * extreme) Hashtbl.t;
+      (* canonical direction index -> (min, max) *)
+  mutable warm : Lp.basis option;
+}
 
 type t = {
   dim : int;
   cuts : Halfspace.t list;  (* most recent first *)
+  parent : t option;  (* the polytope this was cut from *)
+  depth : int;  (* List.length cuts *)
   mutable emptiness : bool option;  (* cached LP feasibility verdict *)
+  art : artifacts;
 }
+
+let fresh_artifacts () =
+  {
+    feas_point = None;
+    profile = None;
+    fast_bounds = [||];
+    support = Hashtbl.create 8;
+    warm = None;
+  }
 
 let simplex d =
   if d < 1 then invalid_arg "Polytope.simplex: dimension must be >= 1";
-  { dim = d; cuts = []; emptiness = Some false }
+  let art = fresh_artifacts () in
+  (* Any basis vector is a point of the full simplex. *)
+  art.feas_point <- Some (Vec.basis d 0);
+  { dim = d; cuts = []; parent = None; depth = 0; emptiness = Some false; art }
 
 let dim r = r.dim
 
@@ -19,7 +75,14 @@ let halfspaces r = r.cuts
 
 let cut r h =
   if Halfspace.dim h <> r.dim then invalid_arg "Polytope.cut: dimension mismatch";
-  { dim = r.dim; cuts = h :: r.cuts; emptiness = None }
+  {
+    dim = r.dim;
+    cuts = h :: r.cuts;
+    parent = Some r;
+    depth = r.depth + 1;
+    emptiness = None;
+    art = fresh_artifacts ();
+  }
 
 let cut_many r hs = List.fold_left cut r hs
 
@@ -27,23 +90,152 @@ let to_lp_constraints r =
   let ones = Array.make r.dim 1. in
   Lp.constr ones Lp.Eq 1. :: List.map Halfspace.to_lp_constr r.cuts
 
+(* --- LP plumbing ------------------------------------------------------- *)
+
+(* Cold solve: no warm start, so pivot order — and hence the optimal vertex
+   reported on a degenerate face — is exactly the historical one.  Still
+   records the resulting basis and point for *later* warm/value reuse. *)
+let solve_cold r objective direction =
+  let outcome, basis =
+    Lp.solve ~n:r.dim ~objective direction (to_lp_constraints r)
+  in
+  (match basis with Some _ -> r.art.warm <- basis | None -> ());
+  (match outcome with
+  | Lp.Optimal { point; _ } ->
+    r.emptiness <- Some false;
+    if r.art.feas_point = None then r.art.feas_point <- Some point
+  | Lp.Infeasible -> r.emptiness <- Some true
+  | Lp.Unbounded -> ());
+  outcome
+
+(* Warm-eligible solve: value-grade results (feasibility verdicts and
+   optimal values; points may sit elsewhere on a degenerate optimal
+   face). *)
+let solve_warm r objective direction =
+  let warm = if !incremental then r.art.warm else None in
+  let outcome, basis =
+    Lp.solve ?warm ~n:r.dim ~objective direction (to_lp_constraints r)
+  in
+  (match basis with Some _ -> r.art.warm <- basis | None -> ());
+  (match outcome with
+  | Lp.Optimal { point; _ } ->
+    r.emptiness <- Some false;
+    if r.art.feas_point = None then r.art.feas_point <- Some point
+  | Lp.Infeasible -> r.emptiness <- Some true
+  | Lp.Unbounded -> ());
+  outcome
+
+(* --- Ancestor-cache lookup --------------------------------------------- *)
+
+(* Every ancestor artifact [probe] finds along the cut chain (nearest
+   first), each paired with the halfspaces a witness from that ancestor
+   must satisfy to still be a point of [r].  Trying the whole chain
+   matters: when the nearest cached witness dies on a new cut, an older
+   one — a different vertex — may still survive, and its value is equally
+   exact (if an outer ancestor's extreme witness lies in [r], every
+   region between them has the same extreme, attained at that point). *)
+let ancestor_candidates r ~probe =
+  let rec go node cuts acc =
+    let acc =
+      match probe node with
+      | Some artifact -> (artifact, cuts) :: acc
+      | None -> acc
+    in
+    match (node.parent, node.cuts) with
+    | Some p, newest :: _ -> go p (newest :: cuts) acc
+    | _ -> List.rev acc
+  in
+  go r [] []
+
+let survives cuts point = List.for_all (fun h -> Halfspace.satisfies h point) cuts
+
+(* --- Feasibility ------------------------------------------------------- *)
+
+(* Points of [r] already known from any cached artifact, cheapest first.
+   Which point settles a feasibility probe is irrelevant downstream (only
+   the verdict escapes), so every cached witness is fair game. *)
+let known_points r =
+  let acc = match r.art.feas_point with Some p -> [ p ] | None -> [] in
+  let acc =
+    match r.art.profile with
+    | Some (_, witnesses) -> acc @ witnesses
+    | None -> acc
+  in
+  let acc =
+    Array.fold_left
+      (fun acc slot ->
+        match slot with
+        | Some ((mn : extreme), (mx : extreme)) ->
+          mn.witness :: mx.witness :: acc
+        | None -> acc)
+      acc r.art.fast_bounds
+  in
+  Hashtbl.fold
+    (fun _ ((mn : extreme), (mx : extreme)) acc ->
+      mn.witness :: mx.witness :: acc)
+    r.art.support acc
+
 let is_empty r =
   match r.emptiness with
   | Some verdict -> verdict
   | None ->
-    let verdict = not (Lp.is_feasible ~n:r.dim (to_lp_constraints r)) in
-    r.emptiness <- Some verdict;
-    verdict
+    let cached_point =
+      if not !incremental then None
+      else
+        (* Any ancestor point surviving the interleaving cuts is a point of
+           [r]: feasibility settled by dot products alone. *)
+        ancestor_candidates r ~probe:(fun a ->
+            match known_points a with [] -> None | ps -> Some ps)
+        |> List.find_map (fun (points, cuts) ->
+               List.find_opt (survives cuts) points)
+    in
+    (match cached_point with
+    | Some p ->
+      Counter.incr c_cache_hits;
+      r.art.feas_point <- Some p;
+      r.emptiness <- Some false;
+      false
+    | None ->
+      (* d = 2 analytic verdict: on the simplex line every polytope is an
+         interval, so the parent's two profile witnesses are its complete
+         vertex set; the newest cut excluding both excludes the whole
+         interval (a linear function attains its max at an endpoint).
+         Only sound in d = 2 — in higher dimension the 2d profile
+         vertices are not all vertices. *)
+      let analytic_empty =
+        !incremental && r.dim = 2
+        &&
+        match (r.parent, r.cuts) with
+        | Some p, newest :: _ -> (
+          match p.art.profile with
+          | Some (_, witnesses) ->
+            witnesses <> []
+            && List.for_all
+                 (fun w -> not (Halfspace.satisfies newest w))
+                 witnesses
+          | None -> false)
+        | _ -> false
+      in
+      if analytic_empty then begin
+        Counter.incr c_cache_hits;
+        r.emptiness <- Some true;
+        true
+      end
+      else
+        let verdict =
+          match solve_warm r (Array.make r.dim 0.) `Minimize with
+          | Lp.Optimal _ -> false
+          | Lp.Infeasible -> true
+          | Lp.Unbounded -> assert false
+        in
+        r.emptiness <- Some verdict;
+        verdict)
 
 let maximize r c =
   if Array.length c <> r.dim then invalid_arg "Polytope.maximize: bad objective";
-  match Lp.maximize ~n:r.dim ~objective:c (to_lp_constraints r) with
-  | Lp.Optimal { objective; point } ->
-    r.emptiness <- Some false;
-    Some (objective, point)
-  | Lp.Infeasible ->
-    r.emptiness <- Some true;
-    None
+  match solve_warm r c `Maximize with
+  | Lp.Optimal { objective; point } -> Some (objective, point)
+  | Lp.Infeasible -> None
   | Lp.Unbounded ->
     (* Impossible over the compact simplex; flag loudly if the LP ever
        reports it. *)
@@ -63,28 +255,202 @@ let contains ?tol r v =
 let require_nonempty name r =
   if is_empty r then invalid_arg (name ^ ": empty region")
 
-let coordinate_profile r =
+(* --- Canonical coordinate profile (cold-solved, memoized) -------------- *)
+
+(* The profile's witnesses feed [center_estimate] and the Lemma-2 witness
+   list, where the *identity* of the optimal vertex matters for downstream
+   decisions (anchor selection), not just the optimal value.  Cold solves
+   keep those vertices bit-identical to the from-scratch path; memoization
+   per polytope value is free of behaviour change because the solver is a
+   pure function of (constraints, objective). *)
+let compute_profile r =
   require_nonempty "Polytope.coordinate_bounds" r;
   let witnesses = ref [] in
   let bounds =
     Array.init r.dim (fun i ->
-        let e = Vec.basis r.dim i in
-        let lo, p_lo =
-          match minimize r e with Some (v, p) -> (v, p) | None -> assert false
+        (* A fast-bound slot memoizes the results of the very same two
+           cold solves this loop would issue (same pure function, same
+           arguments), so reusing value and witness alike is bit-exact. *)
+        let memo =
+          if !incremental && Array.length r.art.fast_bounds > 0 then
+            r.art.fast_bounds.(i)
+          else None
         in
-        let hi, p_hi =
-          match maximize r e with Some (v, p) -> (v, p) | None -> assert false
-        in
-        witnesses := p_lo :: p_hi :: !witnesses;
-        (lo, hi))
+        match memo with
+        | Some ((mn : extreme), (mx : extreme)) ->
+          Counter.incr c_cache_hits;
+          witnesses := mn.witness :: mx.witness :: !witnesses;
+          (mn.value, mx.value)
+        | None ->
+          let e = Vec.basis r.dim i in
+          let lo, p_lo =
+            match solve_cold r (Array.map (fun x -> -.x) e) `Maximize with
+            | Lp.Optimal { objective; point } -> (-.objective, point)
+            | _ -> assert false
+          in
+          let hi, p_hi =
+            match solve_cold r e `Maximize with
+            | Lp.Optimal { objective; point } -> (objective, point)
+            | _ -> assert false
+          in
+          witnesses := p_lo :: p_hi :: !witnesses;
+          (lo, hi))
   in
   (bounds, !witnesses)
 
+let coordinate_profile r =
+  match r.art.profile with
+  | Some p when !incremental ->
+    Counter.incr c_cache_hits;
+    p
+  | _ ->
+    let p = compute_profile r in
+    if !incremental then r.art.profile <- Some p;
+    p
+
 let coordinate_bounds r = fst (coordinate_profile r)
 
-let width r =
-  let bounds = coordinate_bounds r in
-  Array.fold_left (fun acc (lo, hi) -> Float.max acc (hi -. lo)) 0. bounds
+(* --- Value-grade extremes with cut revalidation ------------------------ *)
+
+let ensure_fast_bounds r =
+  if Array.length r.art.fast_bounds = 0 then
+    r.art.fast_bounds <- Array.make r.dim None
+
+(* The (min, max) extreme pair of [objective] over [r].
+
+   Bit-identity discipline: these values feed strict float comparisons
+   downstream (MinR/MinD trial scores, which can tie to the last ulp when
+   posteriors partition a region), so they must be the EXACT floats the
+   from-scratch path computes — produced by cold solves replicating its
+   operation order, then memoized per polytope (the solver is a pure
+   function of constraints and objective, so a memo hit is bit-safe where
+   a revalidated parent value or a warm-started re-solve is not). *)
+let extreme_pair r objective ~get ~set =
+  match get r with
+  | Some pair ->
+    Counter.incr c_cache_hits;
+    pair
+  | None ->
+    (* Low side first, matching [compute_profile]; value float ops mirror
+       the historical [minimize]-via-[maximize] path exactly. *)
+    let lo =
+      match
+        solve_cold r (Array.map (fun x -> -.x) objective) `Maximize
+      with
+      | Lp.Optimal { objective = o; point } -> { value = -.o; witness = point }
+      | _ -> assert false
+    in
+    let hi =
+      match solve_cold r objective `Maximize with
+      | Lp.Optimal { objective = o; point } -> { value = o; witness = point }
+      | _ -> assert false
+    in
+    if !incremental then set r (lo, hi);
+    (lo, hi)
+
+(* Seed a polytope's fast-bound slot for coordinate [i] from its canonical
+   profile if one was already paid for: profile witnesses are genuine
+   extremes.  Witness lists are built back-to-front — for coordinate k
+   (from d-1 down to 0) they hold [p_lo k; p_hi k; ...] — so coordinate
+   i's pair sits at offset [2 * (dim - 1 - i)]. *)
+let seed_fast_bound_from_profile r i =
+  match r.art.profile with
+  | None -> ()
+  | Some (bounds, witnesses) ->
+    ensure_fast_bounds r;
+    if r.art.fast_bounds.(i) = None then begin
+      let base = 2 * (r.dim - 1 - i) in
+      match (List.nth_opt witnesses base, List.nth_opt witnesses (base + 1)) with
+      | Some p_lo, Some p_hi ->
+        let lo, hi = bounds.(i) in
+        r.art.fast_bounds.(i) <-
+          Some ({ value = lo; witness = p_lo }, { value = hi; witness = p_hi })
+      | _ -> ()
+    end
+
+let fast_coordinate_extremes r i =
+  extreme_pair r (Vec.basis r.dim i)
+    ~get:(fun a ->
+      seed_fast_bound_from_profile a i;
+      if Array.length a.art.fast_bounds = 0 then None else a.art.fast_bounds.(i))
+    ~set:(fun a pair ->
+      ensure_fast_bounds a;
+      a.art.fast_bounds.(i) <- Some pair)
+
+(* Skip margin for hint-based pruning of max-fold directions.  A hint is
+   an ancestor's cached float, and the skipped direction's would-be cold
+   float both carry LP round-off (~1e-9 at worst on the unit simplex);
+   skipping only when the hint trails the running maximum by more than
+   this margin guarantees the skipped cold float could not have changed
+   the fold, keeping the returned value bit-identical to the cold path.
+   Directions within the margin — ties included — are solved cold. *)
+let skip_margin = 1e-6
+
+(* An upper bound on coordinate [i]'s range over [r], from the nearest
+   ancestor (or [r] itself) that ever solved it: regions only shrink, so
+   an ancestor's range bounds every descendant's — no witness revalidation
+   needed.  [None] when nothing in the chain has touched coordinate [i]. *)
+let rec range_hint r i =
+  let here =
+    if Array.length r.art.fast_bounds > 0 && r.art.fast_bounds.(i) <> None then
+      match r.art.fast_bounds.(i) with
+      | Some (mn, mx) -> Some (mx.value -. mn.value)
+      | None -> None
+    else
+      match r.art.profile with
+      | Some (bounds, _) ->
+        let lo, hi = bounds.(i) in
+        Some (hi -. lo)
+      | None -> None
+  in
+  match here with
+  | Some _ as s -> s
+  | None -> (match r.parent with Some p -> range_hint p i | None -> None)
+
+(* Process directions in descending order of their inherited upper bound,
+   so the true maximum is met early and every direction whose bound cannot
+   beat the running maximum is skipped without an LP.  Exact by the subset
+   argument above; [None] hints sort first (they must be solved). *)
+let by_descending_hint hints =
+  let arr = Array.mapi (fun i h -> (i, h)) hints in
+  Array.sort
+    (fun (i, a) (j, b) ->
+      match (a, b) with
+      | None, None -> compare i j
+      | None, Some _ -> -1
+      | Some _, None -> 1
+      | Some x, Some y ->
+        let c = Float.compare y x in
+        if c <> 0 then c else compare i j)
+    arr;
+  arr
+
+(* Break out of a max-fold once the caller has seen enough. *)
+exception Stopped
+
+let width ?stop_when r =
+  require_nonempty "Polytope.coordinate_bounds" r;
+  if not !incremental then
+    let bounds = coordinate_bounds r in
+    Array.fold_left (fun acc (lo, hi) -> Float.max acc (hi -. lo)) 0. bounds
+  else begin
+    let order = by_descending_hint (Array.init r.dim (range_hint r)) in
+    let acc = ref 0. in
+    (try
+       Array.iter
+         (fun (i, hint) ->
+           (match hint with
+           | Some h when h +. skip_margin <= !acc -> Counter.incr c_cache_hits
+           | _ ->
+             let lo, hi = fast_coordinate_extremes r i in
+             acc := Float.max !acc (hi.value -. lo.value));
+           match stop_when with
+           | Some f when f !acc -> raise Stopped
+           | _ -> ())
+         order
+     with Stopped -> ());
+    !acc
+  end
 
 let support_width r dir =
   require_nonempty "Polytope.support_width" r;
@@ -104,32 +470,85 @@ let axis_pair_directions d =
   done;
   !dirs
 
-let diameter ?(extra_directions = [||]) r =
+(* Support extremes along canonical direction [idx] (the position in
+   [axes @ axis_pair_directions dim]), cached per polytope and inherited
+   through cuts like the coordinate bounds. *)
+let fast_support_extremes r idx dir =
+  extreme_pair r dir
+    ~get:(fun a -> Hashtbl.find_opt a.art.support idx)
+    ~set:(fun a pair -> Hashtbl.replace a.art.support idx pair)
+
+(* [range_hint]'s analogue for canonical support directions; for axis
+   directions the coordinate caches hint too (an axis support width IS
+   that coordinate's range). *)
+let rec support_hint r idx =
+  match Hashtbl.find_opt r.art.support idx with
+  | Some ((mn : extreme), (mx : extreme)) -> Some (mx.value -. mn.value)
+  | None -> (match r.parent with Some p -> support_hint p idx | None -> None)
+
+let diameter ?(extra_directions = [||]) ?stop_when r =
   require_nonempty "Polytope.diameter" r;
   let axes = List.init r.dim (fun i -> Vec.basis r.dim i) in
-  let dirs = axes @ axis_pair_directions r.dim @ Array.to_list extra_directions in
-  List.fold_left
-    (fun acc dir ->
-      let extent = support_width r dir /. Float.max (Vec.norm2 dir) 1e-12 in
-      Float.max acc extent)
-    0. dirs
+  let canonical = Array.of_list (axes @ axis_pair_directions r.dim) in
+  let extent_of support dir =
+    support /. Float.max (Vec.norm2 dir) 1e-12
+  in
+  let acc = ref 0. in
+  (try
+     if not !incremental then
+       Array.iteri
+         (fun _ dir ->
+           acc := Float.max !acc (extent_of (support_width r dir) dir))
+         canonical
+     else begin
+       let hints =
+         Array.mapi
+           (fun idx dir ->
+             let h =
+               match support_hint r idx with
+               | Some _ as s -> s
+               | None -> if idx < r.dim then range_hint r idx else None
+             in
+             Option.map (fun h -> extent_of h dir) h)
+           canonical
+       in
+       Array.iter
+         (fun (idx, hint) ->
+           (match hint with
+           | Some h when h +. skip_margin <= !acc -> Counter.incr c_cache_hits
+           | _ ->
+             let dir = canonical.(idx) in
+             let lo, hi = fast_support_extremes r idx dir in
+             acc := Float.max !acc (extent_of (hi.value -. lo.value) dir));
+           match stop_when with
+           | Some f when f !acc -> raise Stopped
+           | _ -> ())
+         (by_descending_hint hints)
+     end;
+     Array.iter
+       (fun dir -> acc := Float.max !acc (extent_of (support_width r dir) dir))
+       extra_directions
+   with Stopped -> ());
+  !acc
 
 let center_estimate r =
   require_nonempty "Polytope.center_estimate" r;
+  (* Built from the canonical profile: the 2d cold-solved extreme vertices,
+     summed in the historical order (max then min per coordinate), so the
+     estimate is bit-identical to the from-scratch path while paying its
+     LPs only once per polytope. *)
+  let _, witnesses = coordinate_profile r in
+  (* witnesses = [p_lo(d-1); p_hi(d-1); ...; p_lo(0); p_hi(0)] *)
+  let arr = Array.of_list witnesses in
   let acc = Array.make r.dim 0. in
   let count = ref 0 in
   for i = 0 to r.dim - 1 do
-    let e = Vec.basis r.dim i in
-    (match maximize r e with
-    | Some (_, p) ->
-      Vec.add_ip acc p;
-      incr count
-    | None -> assert false);
-    match minimize r e with
-    | Some (_, p) ->
-      Vec.add_ip acc p;
-      incr count
-    | None -> assert false
+    let base = 2 * (r.dim - 1 - i) in
+    let p_lo = arr.(base) and p_hi = arr.(base + 1) in
+    Vec.add_ip acc p_hi;
+    incr count;
+    Vec.add_ip acc p_lo;
+    incr count
   done;
   Array.map (fun x -> x /. float_of_int !count) acc
 

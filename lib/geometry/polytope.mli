@@ -6,13 +6,34 @@
     and MinD heuristics rank candidate question sets by the expected
     post-answer width / diameter of this region (Algorithm 2), and Lemma 2
     prunes candidate tuples by checking emptiness of a cut of this region.
-    All of those reduce to small LPs solved by {!Indq_lp.Lp}. *)
+    All of those reduce to small LPs solved by {!Indq_lp.Lp}.
+
+    {b Incremental engine.}  Because regions only ever shrink (every cut
+    adds a halfspace and removes nothing), a child produced by {!cut}
+    keeps a pointer to its parent and {i revalidates} the parent's cached
+    artifacts instead of recomputing them: a cached feasible point or
+    extreme-value witness that satisfies the new halfspaces (a dot product
+    per cut) is still a point of the child, so the cached verdict or value
+    is still exact.  Only invalidated artifacts are re-solved, warm-started
+    from the last optimal simplex basis seen for the same cut list.
+    Reuse shows up in the ["poly.cache_hits"], ["lp.warm_starts"] and
+    ["lp.warm_iterations_saved"] counters.  {!set_incremental}[ false]
+    turns all of it off (every query re-solves from scratch); both paths
+    produce the same verdicts, the same canonical witnesses, and values
+    equal to float round-off. *)
 
 type t
 
 val simplex : int -> t
 (** [simplex d] is the initial region [R_0] for [d] attributes.
     Raises [Invalid_argument] if [d < 1]. *)
+
+val set_incremental : bool -> unit
+(** Globally enable / disable artifact revalidation, per-polytope
+    memoization and LP warm starts (default: enabled).  Used by
+    equivalence tests and [bench -cold]. *)
+
+val incremental_enabled : unit -> bool
 
 val dim : t -> int
 
@@ -21,7 +42,8 @@ val halfspaces : t -> Halfspace.t list
 
 val cut : t -> Halfspace.t -> t
 (** [cut r h] is the region [r ∩ h].  O(1); feasibility is evaluated
-    lazily. *)
+    lazily.  The child shares the parent's cached artifacts through
+    revalidation (see the module preamble). *)
 
 val cut_many : t -> Halfspace.t list -> t
 
@@ -47,21 +69,29 @@ val coordinate_profile : t -> (float * float) array * float array list
     are attained (each a point of the region).  The witnesses let callers
     disprove "max over the region < 0" claims without further LPs. *)
 
-val width : t -> float
+val width : ?stop_when:(float -> bool) -> t -> float
 (** Paper's MinR metric: the largest coordinate range
-    [max_i (hi_i - lo_i)].  0 for a point; raises on an empty region. *)
+    [max_i (hi_i - lo_i)].  0 for a point; raises on an empty region.
+
+    [stop_when] (incremental engine only) is polled with the running
+    maximum after each direction; when it answers [true] the fold stops
+    and the partial maximum — a lower bound on the true width — is
+    returned.  The predicate must be monotone (once true, true for every
+    larger value), which lets callers abort a doomed score without
+    affecting any decision the full value would have produced. *)
 
 val support_width : t -> float array -> float
 (** [support_width r dir] is [max dir.v - min dir.v] over the region —
     the extent along [dir].  Raises on an empty region. *)
 
-val diameter : ?extra_directions:float array array -> t -> float
+val diameter :
+  ?extra_directions:float array array -> ?stop_when:(float -> bool) -> t -> float
 (** Paper's MinD metric.  Estimated as the largest support width over a
     direction set: all coordinate axes, all pairwise axis differences
     [e_i - e_j], plus any [extra_directions].  This is a lower bound on the
     true diameter and exact whenever the diameter is realized along one of
     the probed directions; MinD only uses it to {i rank} candidate question
-    sets.  Raises on an empty region. *)
+    sets.  Raises on an empty region.  [stop_when] as in {!width}. *)
 
 val center_estimate : t -> float array
 (** An interior-ish representative point: the average of the [2d]

@@ -3,6 +3,8 @@ module Vec = Indq_linalg.Vec
 
 let c_solves = Counter.make "lp.solves"
 let c_iterations = Counter.make "lp.iterations"
+let c_warm_starts = Counter.make "lp.warm_starts"
+let c_warm_iterations_saved = Counter.make "lp.warm_iterations_saved"
 
 type relation = Le | Ge | Eq
 
@@ -11,6 +13,11 @@ type constr = { coeffs : float array; relation : relation; rhs : float }
 type solution = { objective : float; point : float array }
 
 type outcome = Optimal of solution | Infeasible | Unbounded
+
+(* An optimal basis of a previous solve over the *same* constraint list:
+   the basic column per tableau row (no artificials), plus the phase-1
+   pivot count the originating cold solve paid — what a warm reuse saves. *)
+type basis = { cols : int array; phase1_iters : int }
 
 let constr coeffs relation rhs = { coeffs; relation; rhs }
 
@@ -31,6 +38,7 @@ type tableau = {
   basis : int array;
   mutable obj : float array;
   mutable obj_value : float;
+  mutable iters : int;  (* pivots performed on this tableau *)
   tol : float;
 }
 
@@ -118,10 +126,12 @@ let build ~tol ~n constraints =
         obj_value := !obj_value -. rhs.(i)
       end)
     basis;
-  { n; total; art_start; rows; rhs; basis; obj; obj_value = !obj_value; tol }
+  { n; total; art_start; rows; rhs; basis; obj; obj_value = !obj_value;
+    iters = 0; tol }
 
 let pivot t ~row ~col =
   Counter.incr c_iterations;
+  t.iters <- t.iters + 1;
   let pivot_value = t.rows.(row).(col) in
   let r = t.rows.(row) in
   for j = 0 to t.total - 1 do
@@ -236,41 +246,117 @@ let install_objective t cost =
   t.obj <- obj;
   t.obj_value <- !obj_value
 
-let minimize ?(tol = 1e-9) ~n ~objective constraints =
+(* Re-express a fresh tableau in terms of a previously optimal basis of the
+   same constraint list, skipping phase 1 entirely.  Pivots are placed
+   greedily (any remaining target with a usable pivot element first), which
+   handles bases whose row order disagrees with a straight top-down
+   elimination.  Returns [false] — leaving the caller to rebuild cold —
+   when the basis doesn't fit (wrong row count, artificial columns,
+   numerically singular, or not primal feasible for this constraint list). *)
+let install_basis t (w : basis) =
+  let m = Array.length t.rows in
+  if Array.length w.cols <> m then false
+  else if Array.exists (fun c -> c < 0 || c >= t.art_start) w.cols then false
+  else begin
+    let placed = Array.make m false in
+    (* Rows already starting with the right basic variable need no pivot. *)
+    Array.iteri
+      (fun i c -> if t.basis.(i) = c then placed.(i) <- true)
+      w.cols;
+    let progress = ref true in
+    let remaining = ref (Array.fold_left
+      (fun acc p -> if p then acc else acc + 1) 0 placed)
+    in
+    while !remaining > 0 && !progress do
+      progress := false;
+      for i = 0 to m - 1 do
+        if (not placed.(i)) && Float.abs t.rows.(i).(w.cols.(i)) > t.tol then begin
+          pivot t ~row:i ~col:w.cols.(i);
+          placed.(i) <- true;
+          decr remaining;
+          progress := true
+        end
+      done
+    done;
+    !remaining = 0
+    && Array.for_all (fun r -> r >= 0.) t.rhs
+  end
+
+let solve ?(tol = 1e-9) ?warm ~n ~objective direction constraints =
+  let cost =
+    match direction with
+    | `Minimize -> objective
+    | `Maximize -> Array.map (fun c -> -.c) objective
+  in
   check_inputs ~n objective constraints;
   Counter.incr c_solves;
+  let finish outcome =
+    match (direction, outcome) with
+    | `Maximize, Optimal { objective; point } ->
+      Optimal { objective = -.objective; point }
+    | _, o -> o
+  in
   if constraints = [] then begin
     (* Only x >= 0: the minimum is 0 at the origin unless some objective
        coefficient is negative, in which case the problem is unbounded. *)
-    if Array.exists (fun c -> c < -.tol) objective then Unbounded
-    else Optimal { objective = 0.; point = Array.make n 0. }
+    if Array.exists (fun c -> c < -.tol) cost then (finish Unbounded, None)
+    else (finish (Optimal { objective = 0.; point = Array.make n 0. }), None)
   end
   else begin
-    let t = build ~tol ~n constraints in
-    match solve_phase t ~allowed:(fun _ -> true) with
-    | `Unbounded ->
-      (* Phase-1 objective (sum of artificials, all bounded below by 0) can
-         never be unbounded; treat as numerically infeasible. *)
-      Infeasible
-    | `Optimal ->
-      (* obj_value holds the negated phase-1 objective. *)
-      if -.t.obj_value > 1e-7 then Infeasible
-      else begin
-        expel_artificials t;
-        install_objective t objective;
-        let allowed j = j < t.art_start in
-        match solve_phase t ~allowed with
-        | `Unbounded -> Unbounded
-        | `Optimal ->
-          Optimal { objective = -.t.obj_value; point = extract_point t }
-      end
+    (* Warm path: adopt the prior optimal basis — a feasible basis for any
+       objective over the same constraint list — and go straight to
+       phase 2.  Falls back to the cold two-phase path on any mismatch. *)
+    let warm_tableau =
+      match warm with
+      | None -> None
+      | Some w ->
+        let t = build ~tol ~n constraints in
+        if install_basis t w then begin
+          Counter.incr c_warm_starts;
+          Counter.add c_warm_iterations_saved (float_of_int w.phase1_iters);
+          Some t
+        end
+        else None
+    in
+    match warm_tableau with
+    | Some t ->
+      install_objective t cost;
+      let allowed j = j < t.art_start in
+      (match solve_phase t ~allowed with
+      | `Unbounded -> (finish Unbounded, None)
+      | `Optimal ->
+        ( finish (Optimal { objective = -.t.obj_value; point = extract_point t }),
+          Some { cols = Array.copy t.basis;
+                 phase1_iters = (match warm with Some w -> w.phase1_iters | None -> 0) } ))
+    | None ->
+      let t = build ~tol ~n constraints in
+      (match solve_phase t ~allowed:(fun _ -> true) with
+      | `Unbounded ->
+        (* Phase-1 objective (sum of artificials, all bounded below by 0) can
+           never be unbounded; treat as numerically infeasible. *)
+        (finish Infeasible, None)
+      | `Optimal ->
+        (* obj_value holds the negated phase-1 objective. *)
+        if -.t.obj_value > 1e-7 then (finish Infeasible, None)
+        else begin
+          expel_artificials t;
+          let phase1_iters = t.iters in
+          install_objective t cost;
+          let allowed j = j < t.art_start in
+          match solve_phase t ~allowed with
+          | `Unbounded -> (finish Unbounded, None)
+          | `Optimal ->
+            ( finish
+                (Optimal { objective = -.t.obj_value; point = extract_point t }),
+              Some { cols = Array.copy t.basis; phase1_iters } )
+        end)
   end
 
+let minimize ?tol ~n ~objective constraints =
+  fst (solve ?tol ~n ~objective `Minimize constraints)
+
 let maximize ?tol ~n ~objective constraints =
-  let neg = Array.map (fun c -> -.c) objective in
-  match minimize ?tol ~n ~objective:neg constraints with
-  | Optimal { objective; point } -> Optimal { objective = -.objective; point }
-  | (Infeasible | Unbounded) as o -> o
+  fst (solve ?tol ~n ~objective `Maximize constraints)
 
 let feasible_point ?tol ~n constraints =
   match minimize ?tol ~n ~objective:(Array.make n 0.) constraints with

@@ -31,8 +31,40 @@ type outcome =
   | Infeasible  (** no [x >= 0] satisfies the constraints *)
   | Unbounded  (** the objective is unbounded over the feasible set *)
 
+type basis
+(** The simplex basis at which a solve stopped: which variable is basic in
+    each tableau row.  A basis returned by {!solve} is {i feasible} for the
+    exact constraint list it was solved over no matter the objective, so it
+    can warm-start any later solve over that same list, skipping phase 1.
+    Opaque: valid only for a constraint list structurally equal to the one
+    that produced it (same constraints, same order). *)
+
 val constr : float array -> relation -> float -> constr
 (** Convenience constructor. *)
+
+val solve :
+  ?tol:float ->
+  ?warm:basis ->
+  n:int ->
+  objective:float array ->
+  [ `Minimize | `Maximize ] ->
+  constr list ->
+  outcome * basis option
+(** [solve ~n ~objective dir constraints] optimizes like {!minimize} /
+    {!maximize} and additionally returns the optimal basis (when one
+    exists) for warm-starting later solves over the {b same} constraint
+    list.
+
+    With [?warm], the solver first tries to adopt the given basis: the
+    tableau is re-expressed in that basis by direct pivoting and, if the
+    basis is primal feasible here, phase 1 is skipped entirely (counted in
+    ["lp.warm_starts"], with the originating solve's phase-1 pivots
+    credited to ["lp.warm_iterations_saved"]).  An unusable basis — wrong
+    shape, singular, or infeasible for these constraints — silently falls
+    back to the cold two-phase path, so a stale basis can cost time but
+    never correctness.  Warm and cold solves agree on feasibility verdicts
+    and (to float round-off) on optimal values; with a degenerate optimal
+    face they may report different optimal {i points}. *)
 
 val maximize :
   ?tol:float -> n:int -> objective:float array -> constr list -> outcome

@@ -18,8 +18,17 @@
     [subsystem.event]):
 
     - ["lp.solves"], ["lp.iterations"] — simplex runs and pivots;
+    - ["lp.warm_starts"], ["lp.warm_iterations_saved"] — solves that reused
+      a cached optimal basis and skipped phase 1, and the phase-1 pivot
+      count they avoided;
+    - ["poly.cache_hits"] — polytope queries answered from cached
+      artifacts (memoized extremes, inherited feasibility witnesses,
+      hint-skipped directions) instead of fresh LPs;
     - ["prune.scalar_hits"], ["prune.corner_hits"], ["prune.lp_calls"],
       ["prune.witness_hits"] — the pruning cascade (Section IV-A / Lemma 2);
+    - ["prune.store_hits"] — prune decisions settled by the cross-round
+      candidate store's cached certificates (floors and non-prunability
+      witnesses revalidated by dot products);
     - ["region.halfspaces"] — hyperplane cuts applied to feasible regions;
     - ["oracle.questions"] — rounds asked of the user;
     - ["rtree.nodes_visited"] — R-tree nodes touched by queries. *)

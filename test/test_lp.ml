@@ -211,6 +211,54 @@ let prop_optimal_dominates_samples =
           !ok
         end)
 
+(* Warm starts must change cost, never answers: re-solving any bounded
+   problem from its own optimal basis (and solving a second objective from
+   the first's basis) returns the same verdict and an equal optimum. *)
+let prop_warm_start_matches_cold =
+  QCheck2.Test.make ~count:60 ~name:"warm start: same verdict and optimum"
+    QCheck2.Gen.(int_bound 100000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n, objective, cs = random_bounded_problem rng in
+      match Lp.solve ~n ~objective `Maximize cs with
+      | Lp.Optimal cold, Some basis ->
+        let same_objective =
+          match Lp.solve ~warm:basis ~n ~objective `Maximize cs with
+          | Lp.Optimal warm, _ ->
+            Float.abs (warm.objective -. cold.objective) < 1e-6
+          | _ -> false
+        in
+        let other = Array.init n (fun i -> objective.((i + 1) mod n) -. 0.5) in
+        let same_other =
+          match
+            ( Lp.solve ~warm:basis ~n ~objective:other `Maximize cs,
+              Lp.solve ~n ~objective:other `Maximize cs )
+          with
+          | (Lp.Optimal w, _), (Lp.Optimal c, _) ->
+            Float.abs (w.objective -. c.objective) < 1e-6
+          | _ -> false
+        in
+        same_objective && same_other
+      | _ -> false)
+
+(* A basis from an unrelated problem (wrong shape, wrong constraints) must
+   degrade to the cold path, not to a wrong answer. *)
+let test_bogus_warm_basis () =
+  let cs =
+    [ Lp.constr [| 1.; 2. |] Lp.Le 4.; Lp.constr [| 3.; 1. |] Lp.Le 6. ]
+  in
+  let foreign =
+    let big =
+      [ Lp.constr [| 1.; 1.; 1. |] Lp.Eq 1.; Lp.constr [| 1.; 0.; 0. |] Lp.Le 0.7 ]
+    in
+    match Lp.solve ~n:3 ~objective:[| 1.; 0.; 0. |] `Maximize big with
+    | _, Some b -> b
+    | _, None -> Alcotest.fail "no basis from the foreign problem"
+  in
+  match Lp.solve ~warm:foreign ~n:2 ~objective:[| 1.; 1. |] `Maximize cs with
+  | Lp.Optimal s, _ -> check_float "value survives bogus basis" 2.8 s.objective
+  | _ -> Alcotest.fail "bogus warm basis changed the verdict"
+
 let prop_minimize_is_negated_maximize =
   QCheck2.Test.make ~count:60 ~name:"min f = -max(-f)"
     QCheck2.Gen.(int_bound 100000)
@@ -246,10 +294,12 @@ let () =
           Alcotest.test_case "mixed equalities" `Quick test_mixed_equalities_phase1;
           Alcotest.test_case "zero-rhs ge rewrite" `Quick test_zero_rhs_ge_rewrite;
           Alcotest.test_case "invalid inputs" `Quick test_invalid_inputs;
+          Alcotest.test_case "bogus warm basis" `Quick test_bogus_warm_basis;
         ] );
       ( "properties",
         [
           QCheck_alcotest.to_alcotest prop_optimal_dominates_samples;
           QCheck_alcotest.to_alcotest prop_minimize_is_negated_maximize;
+          QCheck_alcotest.to_alcotest prop_warm_start_matches_cold;
         ] );
     ]
