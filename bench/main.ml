@@ -426,24 +426,24 @@ let () =
     !seed !scale !utilities !max_n;
   Pool.with_pool ~domains:!jobs (fun p ->
       if Pool.size p > 1 then pool := Some p;
-      let total_start = Sys.time () in
+      let total_start = Timer.cpu () in
       List.iter
         (fun name ->
           match List.assoc_opt name all_experiments with
           | Some f ->
             current_experiment := name;
-            let start = Sys.time () in
+            let start = Timer.cpu () in
             f ();
             if !with_times then
               Printf.printf "[%s completed in %.1fs]\n\n%!" name
-                (Sys.time () -. start)
+                (Timer.cpu () -. start)
           | None ->
             Printf.eprintf "unknown experiment %S; available: %s\n" name
               (String.concat ", " (List.map fst all_experiments));
             exit 2)
         chosen;
       if !with_times then
-        Printf.printf "total: %.1fs\n" (Sys.time () -. total_start));
+        Printf.printf "total: %.1fs\n" (Timer.cpu () -. total_start));
   if !json_file <> "" then begin
     let oc = open_out !json_file in
     Printf.fprintf oc

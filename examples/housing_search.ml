@@ -8,7 +8,6 @@
    Run with:  dune exec examples/housing_search.exe *)
 
 module Dataset = Indq_dataset.Dataset
-module Tuple = Indq_dataset.Tuple
 module Realistic = Indq_dataset.Realistic
 module Skyline = Indq_dominance.Skyline
 module Real_points = Indq_core.Real_points

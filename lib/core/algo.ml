@@ -1,5 +1,4 @@
 module Dataset = Indq_dataset.Dataset
-module Oracle = Indq_user.Oracle
 module Timer = Indq_util.Timer
 module Counter = Indq_obs.Counter
 module Trace = Indq_obs.Trace

@@ -1,7 +1,6 @@
 module Dataset = Indq_dataset.Dataset
 module Tuple = Indq_dataset.Tuple
 module Skyline_op = Indq_dominance.Skyline
-module Utility = Indq_user.Utility
 module Span = Indq_obs.Span
 
 let top_k data u ~k = Dataset.top_k data u k

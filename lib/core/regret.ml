@@ -1,6 +1,5 @@
 module Dataset = Indq_dataset.Dataset
 module Tuple = Indq_dataset.Tuple
-module Utility = Indq_user.Utility
 
 let optimum ~data u =
   if Dataset.size data = 0 then invalid_arg "Regret: empty dataset";

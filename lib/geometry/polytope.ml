@@ -39,7 +39,7 @@ type artifacts = {
   mutable profile : ((float * float) array * float array list) option;
   mutable fast_bounds : (extreme * extreme) option array;
       (* per coordinate: (min, max); empty array until first use *)
-  mutable support : (int, extreme * extreme) Hashtbl.t;
+  support : (int, extreme * extreme) Hashtbl.t;
       (* canonical direction index -> (min, max) *)
   mutable warm : Lp.basis option;
 }
@@ -170,10 +170,17 @@ let known_points r =
         | None -> acc)
       acc r.art.fast_bounds
   in
-  Hashtbl.fold
-    (fun _ ((mn : extreme), (mx : extreme)) acc ->
-      mn.witness :: mx.witness :: acc)
-    r.art.support acc
+  (* The support memo is a hash table; fold order is bucket order, which
+     depends on insertion history.  Which cached witness settles a
+     feasibility probe picks the [feas_point] that seeds descendant
+     probes, so enumerate in canonical-direction-index order to keep the
+     candidate sequence a pure function of the cut list (IND001). *)
+  Hashtbl.fold (fun idx pair acc -> (idx, pair) :: acc) r.art.support []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  |> List.fold_left
+       (fun acc (_, ((mn : extreme), (mx : extreme))) ->
+         mn.witness :: mx.witness :: acc)
+       acc
 
 let is_empty r =
   match r.emptiness with

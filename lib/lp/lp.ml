@@ -68,7 +68,7 @@ let build ~tol ~n constraints =
   let normalized =
     Array.map
       (fun (c : constr) ->
-        if c.rhs < 0. || (c.rhs = 0. && c.relation = Ge) then
+        if c.rhs < 0. || (Float.equal c.rhs 0. && c.relation = Ge) then
           let flipped =
             match c.relation with Le -> Ge | Ge -> Le | Eq -> Eq
           in

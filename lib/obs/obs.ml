@@ -28,7 +28,8 @@ let diff after before =
             }
           | None -> a
         in
-        if s.Span.calls = 0 && s.Span.cumulative = 0. then None else Some (n, s))
+        if s.Span.calls = 0 && Float.equal s.Span.cumulative 0. then None
+        else Some (n, s))
       after.spans
   in
   { counters; spans }
@@ -38,4 +39,4 @@ let merge t =
   Span.merge t.spans
 
 let is_empty t =
-  List.for_all (fun (_, v) -> v = 0.) t.counters && t.spans = []
+  List.for_all (fun (_, v) -> Float.equal v 0.) t.counters && t.spans = []

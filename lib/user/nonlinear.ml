@@ -13,7 +13,7 @@ let validate = function
       invalid_arg "Nonlinear.validate: exponent must be in (0, 1]"
   | Ces { weights; rho } ->
     Utility.validate weights;
-    if rho = 0. || rho > 1. then
+    if Float.equal rho 0. || rho > 1. then
       invalid_arg "Nonlinear.validate: rho must be non-zero and <= 1"
 
 let value t x =
@@ -39,7 +39,7 @@ let best_index t options =
 let oracle ?(delta = 0.) ?rng t =
   validate t;
   if delta < 0. then invalid_arg "Nonlinear.oracle: negative delta";
-  if delta = 0. then Oracle.of_chooser (best_index t)
+  if Float.equal delta 0. then Oracle.of_chooser (best_index t)
   else begin
     match rng with
     | None -> invalid_arg "Nonlinear.oracle: delta > 0 requires an rng"

@@ -12,7 +12,7 @@ let validate u =
       if not (Float.is_finite x) || x < 0. then
         invalid_arg "Utility.validate: components must be finite and >= 0")
     u;
-  if Array.for_all (fun x -> x = 0.) u then
+  if Array.for_all (fun x -> Float.equal x 0.) u then
     invalid_arg "Utility.validate: all-zero utility"
 
 let normalize_max u =

@@ -5,7 +5,6 @@
    per-trial seeding leans on. *)
 
 module Pool = Indq_exec.Pool
-module Obs = Indq_obs.Obs
 module Counter = Indq_obs.Counter
 module Experiments = Indq_experiments.Experiments
 module Algo = Indq_core.Algo

@@ -4,7 +4,6 @@
 module Experiments = Indq_experiments.Experiments
 module Report = Indq_experiments.Report
 module Algo = Indq_core.Algo
-module Indist = Indq_core.Indist
 module Real_points = Indq_core.Real_points
 module Dataset = Indq_dataset.Dataset
 module Generator = Indq_dataset.Generator

@@ -2,7 +2,6 @@
 
 module Halfspace = Indq_geom.Halfspace
 module Polytope = Indq_geom.Polytope
-module Vec = Indq_linalg.Vec
 module Rng = Indq_util.Rng
 
 let test_halfspace_membership () =

@@ -1,0 +1,186 @@
+(* indq-lint fixture suite: one known-bad snippet per rule code asserting
+   the expected diagnostic, one known-good twin asserting silence, plus
+   suppression-hygiene and doc cross-check cases.  The live tree itself is
+   linted by `dune build @lint`, which @runtest depends on. *)
+
+module Lint = Indq_lint.Lint
+
+let codes ?(path = "lib/core/fixture.ml") src =
+  let report = Lint.lint_source ~path src in
+  List.map (fun (f : Lint.finding) -> f.code) report.findings
+
+let check_codes name ~expect ?path src () =
+  Alcotest.(check (list string)) name expect (codes ?path src)
+
+(* --- IND001: hash-order consumption ------------------------------------ *)
+
+let ind001_bad =
+  {| let leak tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |}
+
+let ind001_good =
+  {| let ok tbl =
+       Hashtbl.fold (fun k _ acc -> k :: acc) tbl []
+       |> List.sort String.compare |}
+
+(* --- IND002: ambient stdlib Random -------------------------------------- *)
+
+let ind002_bad =
+  {| let seed () = Random.self_init (); Random.int 10 |}
+
+let ind002_good = {| let draw rng = Rng.int rng 10 |}
+
+(* --- IND003: process clock outside the timer layer ---------------------- *)
+
+let ind003_bad = {| let t0 () = Unix.gettimeofday () |}
+
+let ind003_good = {| let t0 () = Indq_util.Timer.wall () |}
+
+(* --- IND004: polymorphic comparison on floats --------------------------- *)
+
+let ind004_bad = {| let z x = x = 0. |}
+
+let ind004_bad_min = {| let m a b = min (a *. 2.) b |}
+
+let ind004_good = {| let z x = Float.equal x 0.
+                     let m a b = Float.min (a *. 2.) b
+                     let ints a b = min a (b : int) |}
+
+(* --- IND005: warm-started LP outside the audited wrapper ---------------- *)
+
+let ind005_bad =
+  {| let sneaky basis n objective cs = Lp.solve ~warm:basis ~n ~objective `Maximize cs |}
+
+let ind005_good =
+  {| let cold n objective cs = Lp.solve ~n ~objective `Maximize cs |}
+
+(* --- IND006: obs name discipline ---------------------------------------- *)
+
+let ind006_dynamic = {| let c name = Counter.make ("dyn." ^ name) |}
+
+let ind006_literal = {| let c = Counter.make "lp.solves" |}
+
+(* --- IND007 / suppression ----------------------------------------------- *)
+
+let suppressed_ok =
+  {| let leak tbl =
+       (Hashtbl.fold (fun k _ acc -> k :: acc) tbl []
+        [@lint.allow ("IND001", "summed through a commutative merge")]) |}
+
+let suppressed_binding =
+  {| let leak tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []
+       [@@lint.allow ("IND001", "fixture: consumed commutatively")] |}
+
+let suppressed_file =
+  {| [@@@lint.allow ("IND003", "fixture: this whole file is timing plumbing")]
+     let t0 () = Unix.gettimeofday ()
+     let t1 () = Sys.time () |}
+
+let missing_justification =
+  {| let leak tbl =
+       (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] [@lint.allow "IND001"]) |}
+
+let wrong_code_suppression =
+  {| let t0 () = (Unix.gettimeofday () [@lint.allow ("IND001", "wrong code")]) |}
+
+(* --- Path scoping -------------------------------------------------------- *)
+
+let clock_in_timer () =
+  Alcotest.(check (list string))
+    "Timer may read the clock" []
+    (codes ~path:"lib/util/timer.ml" {| let wall () = Unix.gettimeofday () |});
+  Alcotest.(check (list string))
+    "obs may read the clock" []
+    (codes ~path:"lib/obs/span.ml" {| let now () = Unix.gettimeofday () |})
+
+let warm_in_polytope () =
+  Alcotest.(check (list string))
+    "polytope wrapper may warm-start" []
+    (codes ~path:"lib/geometry/polytope.ml" ind005_bad)
+
+(* --- Doc cross-check ----------------------------------------------------- *)
+
+let obs_name name line : Lint.obs_name =
+  { obs_name = name; obs_file = "lib/x.ml"; obs_line = line }
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let doc_check () =
+  let doc = "counters: `lp.solves` and `lp.pivots` (see `run_result.metrics`)" in
+  let doc_tokens = Lint.doc_tokens_of_line ~file:"README.md" ~line:1 doc in
+  Alcotest.(check (list string))
+    "token extraction"
+    [ "lp.solves"; "lp.pivots"; "run_result.metrics" ]
+    (List.map (fun (t : Lint.doc_token) -> t.tok) doc_tokens);
+  let findings =
+    Lint.check_docs ~doc_tokens
+      ~obs_names:[ obs_name "lp.solves" 3; obs_name "lp.iterations" 4 ]
+  in
+  (* lp.iterations is undocumented; lp.pivots is stale (namespace `lp` is
+     live in the code).  run_result.metrics has no live namespace: ignored. *)
+  Alcotest.(check (list string))
+    "doc findings" [ "IND006"; "IND006" ]
+    (List.map (fun (f : Lint.finding) -> f.code) findings);
+  Alcotest.(check bool)
+    "mentions the stale name" true
+    (List.exists
+       (fun (f : Lint.finding) ->
+         f.file = "README.md" && contains ~sub:"lp.pivots" f.message)
+       findings);
+  let clean =
+    Lint.check_docs ~doc_tokens:(Lint.doc_tokens_of_line ~file:"d" ~line:1 "`lp.solves`")
+      ~obs_names:[ obs_name "lp.solves" 3 ]
+  in
+  Alcotest.(check int) "matched set is clean" 0 (List.length clean)
+
+let () =
+  Alcotest.run "lint"
+    [ ( "rules",
+        [ Alcotest.test_case "IND001 bad" `Quick
+            (check_codes "hash order" ~expect:[ "IND001" ] ind001_bad);
+          Alcotest.test_case "IND001 good" `Quick
+            (check_codes "adjacent sort" ~expect:[] ind001_good);
+          Alcotest.test_case "IND002 bad" `Quick
+            (check_codes "stdlib random" ~expect:[ "IND002"; "IND002" ] ind002_bad);
+          Alcotest.test_case "IND002 good" `Quick
+            (check_codes "rng" ~expect:[] ind002_good);
+          Alcotest.test_case "IND003 bad" `Quick
+            (check_codes "clock" ~expect:[ "IND003" ] ind003_bad);
+          Alcotest.test_case "IND003 good" `Quick
+            (check_codes "timer" ~expect:[] ind003_good);
+          Alcotest.test_case "IND004 bad" `Quick
+            (check_codes "poly eq" ~expect:[ "IND004" ] ind004_bad);
+          Alcotest.test_case "IND004 bad min" `Quick
+            (check_codes "poly min" ~expect:[ "IND004" ] ind004_bad_min);
+          Alcotest.test_case "IND004 good" `Quick
+            (check_codes "float fns" ~expect:[] ind004_good);
+          Alcotest.test_case "IND005 bad" `Quick
+            (check_codes "warm solve" ~expect:[ "IND005" ] ind005_bad);
+          Alcotest.test_case "IND005 good" `Quick
+            (check_codes "cold solve" ~expect:[] ind005_good);
+          Alcotest.test_case "IND006 dynamic name" `Quick
+            (check_codes "dynamic obs name" ~expect:[ "IND006" ] ind006_dynamic);
+          Alcotest.test_case "IND006 literal name" `Quick
+            (check_codes "literal obs name" ~expect:[] ind006_literal)
+        ] );
+      ( "suppression",
+        [ Alcotest.test_case "expression allow" `Quick
+            (check_codes "allow" ~expect:[] suppressed_ok);
+          Alcotest.test_case "binding allow" `Quick
+            (check_codes "binding allow" ~expect:[] suppressed_binding);
+          Alcotest.test_case "file allow" `Quick
+            (check_codes "file allow" ~expect:[] suppressed_file);
+          Alcotest.test_case "missing justification" `Quick
+            (check_codes "needs why" ~expect:[ "IND007"; "IND001" ]
+               missing_justification);
+          Alcotest.test_case "wrong code does not suppress" `Quick
+            (check_codes "wrong code" ~expect:[ "IND003" ] wrong_code_suppression)
+        ] );
+      ( "scoping",
+        [ Alcotest.test_case "clock allowlist" `Quick clock_in_timer;
+          Alcotest.test_case "warm allowlist" `Quick warm_in_polytope
+        ] );
+      ( "docs", [ Alcotest.test_case "cross-check" `Quick doc_check ] )
+    ]

@@ -8,7 +8,6 @@ module Span = Indq_obs.Span
 module Trace = Indq_obs.Trace
 module Obs = Indq_obs.Obs
 module Algo = Indq_core.Algo
-module Squeeze_u = Indq_core.Squeeze_u
 module Dataset = Indq_dataset.Dataset
 module Generator = Indq_dataset.Generator
 module Utility = Indq_user.Utility

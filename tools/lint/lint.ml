@@ -1,0 +1,479 @@
+(* indq-lint: repo-specific determinism and invariant rules, checked on the
+   surface syntax of every source file.
+
+   The linter is deliberately *syntactic* (ppxlib parsetree, no typing): it
+   runs on any file in isolation, needs no build context, and its verdicts
+   are stable under refactoring.  The price is that every rule is a
+   heuristic — the catalog below documents exactly what each one matches so
+   that a clean lint is a meaningful (if not airtight) certificate.
+
+   Rule catalog (see DESIGN.md §8 for rationale):
+
+   IND001  hash-order determinism.  [Hashtbl.iter]/[fold]/[to_seq*] produce
+           results in bucket order, which depends on insertion history and
+           (under [~random:true] or functorial hashes) on the process.  A
+           use is flagged unless the *enclosing top-level definition* also
+           applies a sort ([List.sort]/[sort_uniq]/[stable_sort]/
+           [Array.sort]/[Seq.sort…]) — the "adjacent sort" discipline — or
+           carries an explicit [@lint.allow] with a commutativity argument.
+
+   IND002  randomness source.  All randomness must flow through [Util.Rng]
+           (splittable, seeded, deterministic).  Any mention of the stdlib
+           [Random] module — [Random.self_init], [Random.int],
+           [Random.State.make], … — is flagged unconditionally.
+
+   IND003  wall/CPU clock.  [Sys.time], [Unix.gettimeofday], [Unix.time],
+           [Unix.times] may only appear in lib/obs/ and lib/util/timer.ml;
+           everything else must go through [Timer]/[Span] so that timing
+           never leaks into algorithm results.
+
+   IND004  float hygiene.  Polymorphic [=], [<>], [compare], [min], [max]
+           on floats are NaN-unsound ([compare nan nan = 0] but
+           [nan = nan] is false) and box their arguments.  An application
+           of an *unqualified* (or [Stdlib.]-qualified) one of these is
+           flagged when an argument is syntactically float-valued: a float
+           literal, a [+.]/[-.]/[*.]/[/.]/[**]/[~-.] application, a
+           [Float.…] call (minus the int/bool-returning ones), [sqrt] and
+           friends, or a [(… : float)] constraint.
+
+   IND005  warm-start cache purity.  PR 3's bit-determinism argument rests
+           on comparison-feeding LP values coming only from cold solves;
+           warm bases may stop on a different vertex of a degenerate
+           optimal face.  [Lp.solve] with a [~warm]/[?warm] argument is
+           therefore only legal inside the audited wrapper
+           (lib/geometry/polytope.ml, [solve_warm]); any other call site is
+           flagged.
+
+   IND006  observability discipline.  Every counter/span name is a string
+           literal at its [Counter.make]/[Span.timed] site (dynamic names
+           cannot be doc-checked and are flagged, except inside lib/obs/
+           itself, whose merge plumbing re-registers names by value).  The
+           driver then cross-checks the collected name set against the
+           backtick-quoted dotted tokens of README.md/DESIGN.md: a code
+           name missing from the docs is *undocumented*; a doc token whose
+           namespace (prefix before the first dot) is used by the code but
+           which no code site registers is *stale*.
+
+   IND007  suppression hygiene.  The only way to silence a finding is
+           [@lint.allow ("IND00x", "justification")] on the expression,
+           binding, or — as [@@@lint.allow …] — the rest of the file.  A
+           payload that is not a (code, non-empty justification) pair of
+           string literals is itself a finding, so suppressions stay
+           auditable. *)
+
+open Ppxlib
+
+type finding = {
+  file : string;
+  line : int;
+  col : int;
+  code : string;
+  message : string;
+}
+
+let finding_compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare a.code b.code
+
+let pp_finding fmt f =
+  Format.fprintf fmt "%s:%d:%d: [%s] %s" f.file f.line f.col f.code f.message
+
+(* An obs name literal registered by the code: [Counter.make "lp.solves"]
+   or [Span.timed "squeeze_u.ladder"]. *)
+type obs_name = { obs_name : string; obs_file : string; obs_line : int }
+
+type report = { findings : finding list; obs_names : obs_name list }
+
+(* --- Path scoping ------------------------------------------------------- *)
+
+(* Paths are compared repo-relative with '/' separators; the driver is
+   responsible for normalizing what it passes as [path]. *)
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let clock_allowed path =
+  has_prefix ~prefix:"lib/obs/" path || path = "lib/util/timer.ml"
+
+let warm_allowed path = path = "lib/geometry/polytope.ml"
+
+(* lib/obs implements the registry: its merge/replay plumbing re-creates
+   counters from runtime values, which is not a doc-discipline violation. *)
+let obs_impl path = has_prefix ~prefix:"lib/obs/" path
+
+(* --- Longident helpers -------------------------------------------------- *)
+
+let fn_path (e : expression) =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> (try Some (Longident.flatten_exn txt) with _ -> None)
+  | _ -> None
+
+let rec last = function [] -> "" | [ x ] -> x | _ :: tl -> last tl
+
+let modules path = match List.rev path with [] -> [] | _ :: m -> List.rev m
+
+(* --- Rule predicates ---------------------------------------------------- *)
+
+let hash_order_fns = [ "iter"; "fold"; "to_seq"; "to_seq_keys"; "to_seq_values" ]
+
+let is_hash_order_fn path =
+  List.mem (last path) hash_order_fns && List.mem "Hashtbl" (modules path)
+
+let sort_fns = [ "sort"; "sort_uniq"; "stable_sort"; "fast_sort"; "sorted_merge" ]
+
+let is_sort_fn path = List.mem (last path) sort_fns
+
+let is_stdlib_random path = List.mem "Random" (modules path)
+
+let clock_fns =
+  [ [ "Sys"; "time" ]; [ "Unix"; "gettimeofday" ]; [ "Unix"; "time" ]; [ "Unix"; "times" ] ]
+
+let is_clock_fn path =
+  let path = match path with "Stdlib" :: tl -> tl | p -> p in
+  List.mem path clock_fns
+
+let poly_compare_ops = [ "="; "<>"; "compare"; "min"; "max" ]
+
+let is_poly_compare path =
+  match path with
+  | [ op ] | [ "Stdlib"; op ] -> List.mem op poly_compare_ops
+  | _ -> false
+
+let float_unary_fns =
+  [ "sqrt"; "exp"; "log"; "log10"; "log1p"; "expm1"; "abs_float"; "float_of_int";
+    "float_of_string"; "ceil"; "floor"; "mod_float"; "ldexp" ]
+
+(* [Float.…] functions that do NOT return float (so an application of them
+   is not float-valued evidence). *)
+let float_module_non_float =
+  [ "compare"; "equal"; "to_int"; "to_string"; "is_nan"; "is_finite";
+    "is_integer"; "hash"; "sign_bit"; "classify_float" ]
+
+let float_ops = [ "+."; "-."; "*."; "/."; "**"; "~-."; "~+." ]
+
+let rec floatish (e : expression) =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | Pexp_constraint (_, { ptyp_desc = Ptyp_constr ({ txt = Lident "float"; _ }, []); _ }) ->
+    true
+  | Pexp_apply (fn, _) -> (
+    match fn_path fn with
+    | Some [ op ] when List.mem op float_ops -> true
+    | Some [ op ] when List.mem op float_unary_fns -> true
+    | Some path when last (modules path) = "Float" ->
+      not (List.mem (last path) float_module_non_float)
+    | _ -> false)
+  | Pexp_ifthenelse (_, e1, Some e2) -> floatish e1 || floatish e2
+  | Pexp_sequence (_, e1) -> floatish e1
+  | _ -> false
+
+let is_lp_warm_solve fn args =
+  (match fn_path fn with
+  | Some path -> last path = "solve" && List.mem "Lp" (modules path)
+  | None -> false)
+  && List.exists
+       (fun (label, _) ->
+         match label with
+         | Labelled "warm" | Optional "warm" -> true
+         | _ -> false)
+       args
+
+(* [Counter.make]/[Span.timed] application: returns the name argument. *)
+let obs_registration fn args =
+  let tail2 path = match List.rev path with b :: a :: _ -> [ a; b ] | _ -> [] in
+  match fn_path fn with
+  | Some path
+    when tail2 path = [ "Counter"; "make" ] || tail2 path = [ "Span"; "timed" ] -> (
+    match args with
+    | (Nolabel, arg) :: _ -> Some arg
+    | _ -> None)
+  | _ -> None
+
+(* --- Suppression -------------------------------------------------------- *)
+
+type allow = { allow_code : string; allow_why : string }
+
+let string_const (e : expression) =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_string (s, _, _)) -> Some s
+  | _ -> None
+
+(* [@lint.allow ("IND00x", "justification")] *)
+let parse_allow (attr : attribute) =
+  if attr.attr_name.txt <> "lint.allow" then None
+  else
+    let malformed =
+      Error
+        "malformed [@lint.allow] payload: expected a (\"IND00x\", \
+         \"justification\") pair of string literals"
+    in
+    let payload_expr =
+      match attr.attr_payload with
+      | PStr [ { pstr_desc = Pstr_eval (e, _); _ } ] -> Some e
+      | _ -> None
+    in
+    let result =
+      match payload_expr with
+      | Some { pexp_desc = Pexp_tuple [ a; b ]; _ } -> (
+        match (string_const a, string_const b) with
+        | Some code, Some why when String.trim why <> "" ->
+          Ok { allow_code = code; allow_why = why }
+        | Some code, Some _ ->
+          Error
+            (Printf.sprintf
+               "[@lint.allow] for %s has an empty justification: use \
+                [@lint.allow (%S, \"why this is sound\")]"
+               code code)
+        | _ -> malformed)
+      | Some e -> (
+        match string_const e with
+        | Some code ->
+          Error
+            (Printf.sprintf
+               "[@lint.allow] for %s is missing its justification: use \
+                [@lint.allow (%S, \"why this is sound\")]"
+               code code)
+        | None -> malformed)
+      | None -> malformed
+    in
+    Some result
+
+(* --- The per-file checker ----------------------------------------------- *)
+
+let lint_structure ~path (str : structure) : report =
+  let findings = ref [] in
+  let names = ref [] in
+  (* Stack of active suppression scopes, innermost first. *)
+  let allows : allow list list ref = ref [] in
+  let suppressed code =
+    List.exists (List.exists (fun a -> a.allow_code = code)) !allows
+  in
+  let emit (loc : Location.t) code message =
+    if not (suppressed code) then
+      findings :=
+        { file = path;
+          line = loc.loc_start.pos_lnum;
+          col = loc.loc_start.pos_cnum - loc.loc_start.pos_bol;
+          code;
+          message }
+        :: !findings
+  in
+  (* Attributes at any level: collect well-formed allows, report the rest. *)
+  let allows_of_attrs attrs =
+    List.filter_map
+      (fun attr ->
+        match parse_allow attr with
+        | None -> None
+        | Some (Ok a) -> Some a
+        | Some (Error msg) ->
+          emit attr.attr_loc "IND007" msg;
+          None)
+      attrs
+  in
+  (* Does this top-level item apply a sort anywhere?  (The "adjacent sort"
+     discipline for IND001 is scoped to the enclosing definition.) *)
+  let item_has_sort item =
+    let found = ref false in
+    let scan =
+      object
+        inherit Ast_traverse.iter as super
+
+        method! expression e =
+          (match e.pexp_desc with
+          | Pexp_ident _ -> (
+            match fn_path e with
+            | Some p when is_sort_fn p -> found := true
+            | _ -> ())
+          | _ -> ());
+          super#expression e
+      end
+    in
+    scan#structure_item item;
+    !found
+  in
+  let in_sorted_item = ref false in
+  let checker =
+    object
+      inherit Ast_traverse.iter as super
+
+      method! value_binding vb =
+        let scope = allows_of_attrs vb.pvb_attributes in
+        allows := scope :: !allows;
+        super#value_binding vb;
+        allows := List.tl !allows
+
+      method! expression e =
+        let scope = allows_of_attrs e.pexp_attributes in
+        allows := scope :: !allows;
+        (match e.pexp_desc with
+        | Pexp_apply (fn, args) -> (
+          (match fn_path fn with
+          | Some p when is_hash_order_fn p ->
+            if not !in_sorted_item then
+              emit e.pexp_loc "IND001"
+                (Printf.sprintf
+                   "%s observes hash-bucket order; sort the result \
+                    (List.sort/Array.sort in the same definition) or justify \
+                    commutative consumption with [@lint.allow]"
+                   (String.concat "." p))
+          | Some p when is_clock_fn p && not (clock_allowed path) ->
+            emit e.pexp_loc "IND003"
+              (Printf.sprintf
+                 "%s reads the process clock outside lib/obs//lib/util/timer.ml; \
+                  route timing through Indq_util.Timer or Indq_obs.Span"
+                 (String.concat "." p))
+          | Some p when is_poly_compare p && List.exists (fun (_, a) -> floatish a) args ->
+            emit e.pexp_loc "IND004"
+              (Printf.sprintf
+                 "polymorphic %s on a float-valued operand is NaN-unsound; use \
+                  Float.compare/Float.equal/Float.min/Float.max"
+                 (last p))
+          | _ -> ());
+          if is_lp_warm_solve fn args && not (warm_allowed path) then
+            emit e.pexp_loc "IND005"
+              "Lp.solve ~warm outside lib/geometry/polytope.ml: warm-started \
+               values are verdict-grade only and may not feed comparisons \
+               (DESIGN.md §7); call the audited Polytope wrappers instead";
+          match obs_registration fn args with
+          | Some { pexp_desc = Pexp_constant (Pconst_string (name, _, _)); pexp_loc; _ } ->
+            names := { obs_name = name; obs_file = path; obs_line = pexp_loc.loc_start.pos_lnum } :: !names
+          | Some arg ->
+            if not (obs_impl path) then
+              emit arg.pexp_loc "IND006"
+                "counter/span name must be a string literal so it can be \
+                 cross-checked against README/DESIGN"
+          | None -> ())
+        | Pexp_ident _ -> (
+          (* Bare mention of stdlib Random (even partially applied or
+             aliased) — all randomness flows through Util.Rng. *)
+          match fn_path e with
+          | Some p when is_stdlib_random p ->
+            emit e.pexp_loc "IND002"
+              (Printf.sprintf
+                 "%s uses the ambient stdlib Random; all randomness must flow \
+                  through Util.Rng (splittable + seeded)"
+                 (String.concat "." p))
+          | _ -> ())
+        | _ -> ());
+        super#expression e;
+        allows := List.tl !allows
+    end
+  in
+  let file_allows = ref [] in
+  List.iter
+    (fun item ->
+      match item.pstr_desc with
+      | Pstr_attribute attr when attr.attr_name.txt = "lint.allow" ->
+        (match parse_allow attr with
+        | Some (Ok a) -> file_allows := a :: !file_allows
+        | Some (Error msg) -> emit attr.attr_loc "IND007" msg
+        | None -> ())
+      | _ ->
+        allows := [ !file_allows ];
+        in_sorted_item := item_has_sort item;
+        checker#structure_item item)
+    str;
+  { findings = List.rev !findings; obs_names = List.rev !names }
+
+let lint_source ~path source =
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf path;
+  match Parse.implementation lexbuf with
+  | str -> lint_structure ~path str
+  | exception _ ->
+    { findings =
+        [ { file = path; line = 1; col = 0; code = "IND000";
+            message = "file does not parse; lint skipped" } ];
+      obs_names = [] }
+
+(* --- Doc cross-check (IND006, driver-level) ----------------------------- *)
+
+type doc_token = { tok : string; tok_file : string; tok_line : int }
+
+(* Backtick-quoted dotted lowercase tokens: the documentation spelling of
+   counter/span names (`lp.solves`, `squeeze_u.ladder`, …). *)
+let doc_tokens_of_line ~file ~line s =
+  let out = ref [] in
+  let n = String.length s in
+  let i = ref 0 in
+  let is_word c = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '_' || c = '.' in
+  while !i < n do
+    if s.[!i] = '`' then begin
+      let j = ref (!i + 1) in
+      while !j < n && s.[!j] <> '`' do incr j done;
+      if !j < n then begin
+        let t = String.sub s (!i + 1) (!j - !i - 1) in
+        if
+          String.length t > 0
+          && t.[0] >= 'a' && t.[0] <= 'z'
+          && String.contains t '.'
+          && String.for_all is_word t
+          && t.[String.length t - 1] <> '.'
+        then out := { tok = t; tok_file = file; tok_line = line } :: !out;
+        i := !j + 1
+      end
+      else i := n
+    end
+    else incr i
+  done;
+  List.rev !out
+
+let namespace name =
+  match String.index_opt name '.' with
+  | Some i -> String.sub name 0 i
+  | None -> name
+
+let check_docs ~(doc_tokens : doc_token list) ~(obs_names : obs_name list) =
+  let code_names = List.sort_uniq String.compare (List.map (fun o -> o.obs_name) obs_names) in
+  let doc_names = List.sort_uniq String.compare (List.map (fun t -> t.tok) doc_tokens) in
+  let code_namespaces = List.sort_uniq String.compare (List.map namespace code_names) in
+  let undocumented =
+    List.filter_map
+      (fun o ->
+        if List.mem o.obs_name doc_names then None
+        else
+          Some
+            { file = o.obs_file; line = o.obs_line; col = 0; code = "IND006";
+              message =
+                Printf.sprintf
+                  "counter/span `%s` is not documented in README.md/DESIGN.md"
+                  o.obs_name })
+      obs_names
+  in
+  (* Dedupe by name: one finding per undocumented name (first site). *)
+  let undocumented =
+    List.fold_left
+      (fun acc f -> if List.exists (fun g -> g.message = f.message) acc then acc else f :: acc)
+      [] undocumented
+    |> List.rev
+  in
+  let stale =
+    List.filter_map
+      (fun t ->
+        if
+          List.mem (namespace t.tok) code_namespaces
+          && not (List.mem t.tok code_names)
+        then
+          Some
+            { file = t.tok_file; line = t.tok_line; col = 0; code = "IND006";
+              message =
+                Printf.sprintf
+                  "doc mentions `%s` but no Counter.make/Span.timed registers it \
+                   (stale documentation?)"
+                  t.tok }
+        else None)
+      doc_tokens
+  in
+  let stale =
+    List.fold_left
+      (fun acc f -> if List.exists (fun g -> g.message = f.message) acc then acc else f :: acc)
+      [] stale
+    |> List.rev
+  in
+  undocumented @ stale

@@ -1,0 +1,85 @@
+(* indq-lint driver: walk the given paths for .ml sources, lint each file,
+   cross-check observability names against the given docs, print findings
+   as file:line:col diagnostics, and exit nonzero if any survive. *)
+
+module Lint = Indq_lint.Lint
+
+let usage = "indq_lint [--doc FILE]... [--root DIR] PATH..."
+
+let walk root =
+  (* Depth-first, name-sorted: diagnostics come out in a stable order. *)
+  let rec go acc p =
+    if Sys.is_directory p then
+      let base = Filename.basename p in
+      if base = "_build" || base = ".git" then acc
+      else
+        Sys.readdir p |> Array.to_list |> List.sort String.compare
+        |> List.fold_left (fun acc f -> go acc (Filename.concat p f)) acc
+    else if Filename.check_suffix p ".ml" then p :: acc
+    else acc
+  in
+  List.rev (go [] root)
+
+let read_file p =
+  let ic = open_in_bin p in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Paths inside the repo are reported with '/' separators relative to the
+   root, which is also what the allowlists in [Lint] match against. *)
+let normalize ~root p =
+  let p =
+    if root <> "" && Lint.has_prefix ~prefix:(root ^ "/") p then
+      String.sub p (String.length root + 1) (String.length p - String.length root - 1)
+    else p
+  in
+  String.map (fun c -> if c = '\\' then '/' else c) p
+
+let () =
+  let docs = ref [] in
+  let roots = ref [] in
+  let root = ref "" in
+  let spec =
+    [ ("--doc", Arg.String (fun f -> docs := f :: !docs),
+       "FILE markdown file whose backtick names are cross-checked (IND006)");
+      ("--root", Arg.Set_string root, "DIR strip this prefix from reported paths")
+    ]
+  in
+  Arg.parse spec (fun p -> roots := p :: !roots) usage;
+  if !roots = [] then begin
+    prerr_endline usage;
+    exit 2
+  end;
+  let files = List.concat_map walk (List.rev !roots) in
+  let reports =
+    List.map
+      (fun p ->
+        Lint.lint_source ~path:(normalize ~root:!root p) (read_file p))
+      files
+  in
+  let obs_names = List.concat_map (fun (r : Lint.report) -> r.obs_names) reports in
+  let doc_tokens =
+    List.concat_map
+      (fun doc ->
+        String.split_on_char '\n' (read_file doc)
+        |> List.mapi (fun i line ->
+               Lint.doc_tokens_of_line ~file:(normalize ~root:!root doc)
+                 ~line:(i + 1) line)
+        |> List.concat)
+      (List.rev !docs)
+  in
+  let findings =
+    List.concat_map (fun (r : Lint.report) -> r.findings) reports
+    @ (if !docs = [] then [] else Lint.check_docs ~doc_tokens ~obs_names)
+  in
+  let findings = List.sort Lint.finding_compare findings in
+  List.iter (fun f -> Format.printf "%a@." Lint.pp_finding f) findings;
+  if findings = [] then
+    Format.printf "indq-lint: %d files, %d obs names, clean@."
+      (List.length files)
+      (List.length (List.sort_uniq compare (List.map (fun o -> o.Lint.obs_name) obs_names)))
+  else begin
+    Format.printf "indq-lint: %d finding(s)@." (List.length findings);
+    exit 1
+  end
