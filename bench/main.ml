@@ -19,6 +19,7 @@ let utilities = ref 10
 let max_n = ref 1_000_000
 let quick = ref false
 let metrics = ref false
+let faults = ref false
 let jobs = ref 1
 let with_times = ref true
 let cold = ref false
@@ -59,6 +60,9 @@ let spec =
       scratch); results must be identical, only counters and time change");
     ("-json", Arg.Set_string json_file,
      "also write the recorded sweeps as a machine-readable JSON report");
+    ("-faults", Arg.Set faults,
+     "run the deterministic fault-injection matrix (one armed site at a \
+      time, plan derived from -seed) instead of the default experiments");
   ]
 
 let print_sweep sweep =
@@ -383,6 +387,133 @@ let run_ablation_nonlinear () =
   print_endline
     "degrades both -- quantifying the cost of the paper's linearity assumption.\n"
 
+(* --- Fault-injection matrix (-faults): arm one site at a time with the
+   trigger the seeded plan assigns it, drive a workload that reaches the
+   site, and report whether the stack recovered or surfaced its typed
+   error.  Entirely deterministic in -seed: same plan, same injections,
+   same outcomes. *)
+
+module Fault = Indq_fault.Fault
+module Counter = Indq_obs.Counter
+module Lp = Indq_lp.Lp
+
+let trigger_to_string = function
+  | Fault.Never -> "never"
+  | Fault.Once k -> Printf.sprintf "once@reach %d" k
+  | Fault.Every k -> Printf.sprintf "every %d" k
+  | Fault.After k -> Printf.sprintf "after %d" k
+  | Fault.Always -> "always"
+
+(* Enough reaches to cover any [Once k] the seeded plan can pick (k <= 4). *)
+let fault_reaches = 8
+
+let drive_dataset_load () =
+  let csv = "0,1,0.5\n1,0.25,1\n2,0.75,0.125\n" in
+  let errors = ref 0 and ok = ref 0 in
+  for _ = 1 to fault_reaches do
+    match Dataset.of_csv csv with
+    | _ -> incr ok
+    | exception Dataset.Load_error _ -> incr errors
+  done;
+  Printf.sprintf "typed Load_error x%d, %d clean loads" !errors !ok
+
+(* A small non-degenerate LP; the armed site decides whether a given solve
+   runs clean, recovers via the Bland fallback, or fails typed. *)
+let drive_lp site =
+  let constraints =
+    [
+      { Lp.coeffs = [| 1.; 2. |]; relation = Lp.Le; rhs = 4. };
+      { Lp.coeffs = [| 3.; 1. |]; relation = Lp.Le; rhs = 6. };
+    ]
+  in
+  let optimal = ref 0 and failed = ref 0 and retried = ref 0 in
+  for _ = 1 to fault_reaches do
+    let before = Counter.get "retry.attempts" in
+    (match
+       fst (Lp.solve ~n:2 ~objective:[| 1.; 1. |] `Maximize constraints)
+     with
+    | Lp.Optimal _ -> incr optimal
+    | Lp.Failed _ -> incr failed
+    | Lp.Infeasible | Lp.Unbounded -> assert false);
+    if Counter.get "retry.attempts" > before then incr retried
+  done;
+  match site with
+  | `Cap ->
+    Printf.sprintf "Bland fallback recovered x%d, %d optimal, %d failed"
+      !retried !optimal !failed
+  | `Nan ->
+    Printf.sprintf "typed Failed (Numerical) x%d, %d optimal" !failed !optimal
+
+(* A whole interactive run with a lying simulated user: the run must finish
+   and degrade (collapse detection / widened restart), never crash. *)
+let drive_oracle_contradiction () =
+  let rng = Rng.create !seed in
+  let data = Generator.anti_correlated rng ~n:400 ~d:3 in
+  let d = Dataset.dim data in
+  let config = Algo.default_config ~d in
+  let outcomes =
+    List.map
+      (fun algo ->
+        let u = Utility.random rng ~d in
+        let oracle = Oracle.exact u in
+        let result = Algo.run algo config ~data ~oracle ~rng:(Rng.split rng) in
+        Printf.sprintf "%s |out|=%d" (Algo.to_string algo)
+          (Dataset.size result.Algo.output))
+      [ Algo.Uh_random; Algo.Squeeze_u ]
+  in
+  let collapses = Counter.get "region.collapses" in
+  let widened = Counter.get "squeeze_u2.widened_restarts" in
+  Printf.sprintf "completed (%s); collapses=%g widened=%g"
+    (String.concat ", " outcomes) collapses widened
+
+(* Chunks are retried on simulated worker death; output must stay
+   bit-identical to the fault-free map. *)
+let drive_worker_death () =
+  let arr = Array.init 64 (fun i -> i) in
+  let f i = (i * i) + 1 in
+  let expected = Array.map f arr in
+  Pool.with_pool ~domains:2 (fun p ->
+      match Pool.parallel_map ~chunks:8 p f arr with
+      | out ->
+        if out = expected then "recovered: output bit-identical"
+        else "RECOVERY MISMATCH"
+      | exception Fault.Injected _ ->
+        "retries exhausted: typed Fault.Injected")
+
+let run_faults () =
+  section (Printf.sprintf "fault matrix (plan seed=%d)" !seed);
+  let plan = Fault.random_plan ~seed:!seed in
+  let t =
+    Tabulate.create ~title:"one armed site per row, all others quiet"
+      ~columns:[ "site"; "trigger"; "injected"; "outcome" ]
+  in
+  List.iter
+    (fun site ->
+      let trigger = List.assoc site plan.Fault.arms in
+      let site_plan = Fault.plan ~seed:!seed [ (site, trigger) ] in
+      let before = Counter.snapshot () in
+      let outcome =
+        Fault.with_plan site_plan (fun () ->
+            match site with
+            | "inject.dataset_load" -> drive_dataset_load ()
+            | "inject.lp_iteration_cap" -> drive_lp `Cap
+            | "inject.lp_nan_pivot" -> drive_lp `Nan
+            | "inject.oracle_contradiction" -> drive_oracle_contradiction ()
+            | "inject.worker_death" -> drive_worker_death ()
+            | _ -> "no driver for this site")
+      in
+      let delta = Counter.since before in
+      let injected =
+        match List.assoc_opt "fault.injected" delta with
+        | Some v -> v
+        | None -> 0.
+      in
+      Tabulate.add_row t
+        [ site; trigger_to_string trigger; Printf.sprintf "%g" injected;
+          outcome ])
+    Fault.site_names;
+  Tabulate.print t
+
 let all_experiments =
   [
     ("fig1", run_fig1);
@@ -414,6 +545,7 @@ let () =
   end;
   let chosen =
     match List.rev !selected with
+    | [] when !faults -> []
     | [] | [ "all" ] -> List.map fst all_experiments
     | names -> names
   in
@@ -424,6 +556,7 @@ let () =
   Printf.printf
     "indistinguishability-query benchmarks (seed=%d scale=%g utilities=%d max-n=%d)\n\n%!"
     !seed !scale !utilities !max_n;
+  if !faults then run_faults ();
   Pool.with_pool ~domains:!jobs (fun p ->
       if Pool.size p > 1 then pool := Some p;
       let total_start = Timer.cpu () in

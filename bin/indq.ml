@@ -17,6 +17,7 @@ module Realistic = Indq_dataset.Realistic
 module Algo = Indq_core.Algo
 module Indist = Indq_core.Indist
 module Region = Indq_core.Region
+module Session = Indq_core.Session
 module Utility = Indq_user.Utility
 module Oracle = Indq_user.Oracle
 module Rng = Indq_util.Rng
@@ -86,6 +87,18 @@ let load_data ~source ~n ~d ~seed =
     let n = if n > 0 then n else 10_000 in
     Generator.by_name source rng ~n ~d
   | path -> Dataset.load_csv path
+
+(* The library's typed failures become one-line diagnostics and exit
+   code 2 instead of a backtrace. *)
+let with_typed_errors f =
+  match f () with
+  | status -> status
+  | exception Dataset.Load_error e ->
+    Printf.eprintf "indq: %s\n" (Dataset.load_error_message e);
+    2
+  | exception Session.Error e ->
+    Printf.eprintf "indq: %s\n" (Session.error_message e);
+    2
 
 let trace_arg =
   let doc =
@@ -203,6 +216,7 @@ let print_tuples ?(limit = 25) data =
 
 let generate_cmd =
   let run source n d seed output =
+    with_typed_errors @@ fun () ->
     let data = load_data ~source ~n ~d ~seed in
     (match output with
     | Some path ->
@@ -235,6 +249,7 @@ let parse_utility s =
 
 let exact_cmd =
   let run source n d seed eps utility =
+    with_typed_errors @@ fun () ->
     let data = load_data ~source ~n ~d ~seed in
     let u = parse_utility utility in
     let result = Indist.query_exact ~eps u data in
@@ -252,6 +267,7 @@ let exact_cmd =
 (* --- simulate --- *)
 
 let simulate_run source n d seed eps delta s q algo trace metrics =
+  with_typed_errors @@ fun () ->
   let data = load_data ~source ~n ~d ~seed in
   let rng = Rng.create (seed + 1) in
   let u = Utility.random rng ~d:(Dataset.dim data) in
@@ -312,42 +328,126 @@ let run_cmd =
 (* --- interactive --- *)
 
 let interactive_cmd =
-  let run source n d seed eps s q algo =
+  let run source n d seed eps s q algo journal_path resume_path =
+    with_typed_errors @@ fun () ->
     let data = load_data ~source ~n ~d ~seed in
-    let stdin_chooser options =
-      Format.printf "@.Which do you prefer?@.";
-      Array.iteri
-        (fun i p -> Format.printf "  [%d] %a@." (i + 1) Indq_linalg.Vec.pp p)
-        options;
-      let rec ask () =
-        Format.printf "choice (1-%d): %!" (Array.length options);
-        match int_of_string_opt (String.trim (input_line stdin)) with
-        | Some k when k >= 1 && k <= Array.length options -> k - 1
-        | _ ->
-          Format.printf "please enter a number between 1 and %d@."
-            (Array.length options);
-          ask ()
-      in
-      ask ()
-    in
-    let oracle = Oracle.of_chooser stdin_chooser in
     let config = config_of ~data ~s ~q ~eps ~delta:0. in
-    let result =
-      Algo.run algo config ~data ~oracle ~rng:(Rng.create (seed + 2))
+    let rng = Rng.create (seed + 2) in
+    (* Read any journal to replay *before* opening the append sink: with
+       --journal and --resume on the same file, the continued session just
+       extends it. *)
+    let replay =
+      match resume_path with
+      | None -> None
+      | Some path ->
+        let text =
+          try In_channel.with_open_text path In_channel.input_all
+          with Sys_error msg ->
+            Printf.eprintf "indq: cannot read journal: %s\n" msg;
+            exit 2
+        in
+        Some (Session.journal_of_string text)
     in
-    Format.printf
-      "@.Done after %d questions.  These %d tuples are within %.1f%% of your optimum:@."
-      result.Algo.questions_used
-      (Dataset.size result.Algo.output)
-      (100. *. (1. -. (1. /. (1. +. eps))));
-    print_tuples ~limit:50 result.Algo.output;
-    0
+    let journal_oc =
+      Option.map
+        (fun path ->
+          try open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 path
+          with Sys_error msg ->
+            Printf.eprintf "indq: cannot open journal: %s\n" msg;
+            exit 2)
+        journal_path
+    in
+    Fun.protect
+      ~finally:(fun () -> Option.iter close_out journal_oc)
+      (fun () ->
+        (* Write-ahead: each record is on disk (flushed) before the next
+           prompt, so killing the process mid-session loses at most the
+           question currently on screen — never an accepted answer. *)
+        let journal =
+          Option.map
+            (fun oc entry ->
+              output_string oc (Session.journal_entry_to_json entry);
+              output_char oc '\n';
+              flush oc)
+            journal_oc
+        in
+        let session =
+          match replay with
+          | None -> Session.start ?journal algo config ~data ~rng
+          | Some entries ->
+            let sess = Session.resume ?journal entries algo config ~data ~rng in
+            Format.printf "Resumed session: %d answer(s) replayed.@."
+              (Session.questions_asked sess);
+            sess
+        in
+        let ask options =
+          Format.printf "@.Which do you prefer?@.";
+          Array.iteri
+            (fun i p ->
+              Format.printf "  [%d] %a@." (i + 1) Indq_linalg.Vec.pp p)
+            options;
+          let rec loop () =
+            Format.printf "choice (1-%d): %!" (Array.length options);
+            match int_of_string_opt (String.trim (input_line stdin)) with
+            | Some k when k >= 1 && k <= Array.length options -> k - 1
+            | _ ->
+              Format.printf "please enter a number between 1 and %d@."
+                (Array.length options);
+              loop ()
+          in
+          loop ()
+        in
+        let rec drive () =
+          match Session.current session with
+          | Session.Asking options ->
+            (match ask options with
+            | choice ->
+              Session.answer session choice;
+              drive ()
+            | exception End_of_file ->
+              Format.printf "@.Input closed after %d answered question(s).@."
+                (Session.questions_asked session);
+              (match journal_path with
+              | Some path ->
+                Format.printf
+                  "The session is journaled; continue it with --resume %s@."
+                  path
+              | None -> ());
+              1)
+          | Session.Finished result ->
+            Format.printf
+              "@.Done after %d questions.  These %d tuples are within %.1f%% \
+               of your optimum:@."
+              result.Algo.questions_used
+              (Dataset.size result.Algo.output)
+              (100. *. (1. -. (1. /. (1. +. eps))));
+            print_tuples ~limit:50 result.Algo.output;
+            0
+        in
+        drive ())
+  in
+  let journal_arg =
+    let doc =
+      "Write-ahead journal: append one JSON record per accepted answer to \
+       $(docv), so a crashed or interrupted session can be reconstructed \
+       with $(b,--resume)."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
+  in
+  let resume_arg =
+    let doc =
+      "Resume a journaled session: replay the answers recorded in $(docv) \
+       (written by $(b,--journal)) and continue from the next question.  All \
+       other options must match the original invocation."
+    in
+    Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"FILE" ~doc)
   in
   Cmd.v
     (Cmd.info "interactive" ~doc:"Run an algorithm with you answering the questions.")
     Term.(
       const run $ data_arg $ n_arg $ d_arg $ seed_arg $ eps_arg $ s_arg $ q_arg
-      $ algo_arg)
+      $ algo_arg $ journal_arg $ resume_arg)
 
 (* --- experiment --- *)
 

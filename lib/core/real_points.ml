@@ -11,6 +11,16 @@ module Counter = Indq_obs.Counter
    is an incremental-engine hit like any other. *)
 let c_cache_hits = Counter.make "poly.cache_hits"
 
+(* Rounds whose posterior region came back empty (contradictory answers
+   beyond the modeled delta) or unverifiable (solver failure): the round's
+   answer is dropped and the previous sound region kept. *)
+let c_collapses = Counter.make "region.collapses"
+
+(* Rounds whose Lemma 2 prune was skipped because the solver failed
+   mid-prune; the unpruned candidate set (a superset — always sound) is
+   carried to the next round instead. *)
+let c_prune_degraded = Counter.make "prune.degraded"
+
 type strategy = Random | MinR | MinD
 
 type result = {
@@ -71,7 +81,13 @@ let scored ?stop_above ~delta ~metric region display =
        if !total /. nf >= best_to_beat then raise Exit
      done;
      total := !total /. nf
-   with Exit -> total := infinity);
+   with
+  | Exit -> total := infinity
+  | Indq_geom.Polytope.Solver_error _ ->
+    (* A posterior's metric could not be computed: score the trial
+       unusable.  Like an abort, the placeholder posteriors are never
+       read because an infinite score cannot win the round. *)
+    total := infinity);
   (!total, posteriors)
 
 let score_display_set ?stop_above ~delta ~metric region display =
@@ -209,11 +225,19 @@ let run ?(delta = 0.) ?(trials = 10) ?(anchors = 4) ?store strategy ~data ~s ~q
             });
       if not empty then begin
         region := updated;
-        (* Line 13: Lemma 2 pruning. *)
-        candidates :=
+        (* Line 13: Lemma 2 pruning.  A solver failure mid-prune degrades
+           to not pruning this round: the unpruned candidate set is a
+           superset of the correctly pruned one, so no tuple the user
+           could want is lost. *)
+        match
           Span.timed "real_points.lemma2_prune" (fun () ->
               Pruning.region_prune ~anchors ~store ~eps !region !candidates)
+        with
+        | pruned -> candidates := pruned
+        | exception Indq_geom.Polytope.Solver_error _ ->
+          Counter.incr c_prune_degraded
       end
+      else Counter.incr c_collapses
     end;
     decr rounds_left
   done;

@@ -18,17 +18,69 @@
         | Session.Finished result -> result
       in
       loop ()
-    ]} *)
+    ]}
+
+    {b Crash recovery.}  A session started with [?journal] writes one
+    record {i ahead} of every state change: a header fingerprinting the run
+    (algorithm, config, data shape) and then each accepted answer, as one
+    JSON object per line (the trace stream's JSONL idiom).  {!resume}
+    replays a journal through the same coroutine machinery to reconstruct a
+    crashed session — and because every algorithm is a deterministic
+    function of (config, data, rng, answers), the reconstruction is
+    byte-identical to the uninterrupted run.  Journal writes are counted in
+    ["journal.records"], replayed answers in ["journal.replayed"], and the
+    replay runs under the ["session.replay"] span. *)
 
 type t
+
+type error =
+  | Already_finished
+      (** {!answer} on a session whose algorithm already returned *)
+  | Choice_out_of_range of { choice : int; options : int }
+      (** {!answer} with an index outside the pending options *)
+  | Journal_corrupt of { line : int; text : string }
+      (** a journal line that does not parse as a journal record *)
+  | Journal_mismatch of { round : int; reason : string }
+      (** a parsed journal that contradicts the resume arguments or the
+          replayed session (wrong algorithm or config fingerprint, wrong
+          option count at a round, records after the run finished) *)
+
+exception Error of error
+(** The one exception this module raises for misuse and recovery failures. *)
+
+val error_message : error -> string
 
 type state =
   | Asking of float array array
       (** the options to show for the current question *)
   | Finished of Algo.run_result
 
+type journal_entry =
+  | Started of {
+      algo : string;
+      s : int;
+      q : int;
+      eps : float;
+      delta : float;
+      trials : int;
+      exact_prune : bool;
+      n : int;
+      d : int;
+    }  (** run fingerprint, written once when the session starts *)
+  | Answered of { round : int; options : int; choice : int }
+      (** an accepted answer, written before the coroutine consumes it *)
+
+val journal_entry_to_json : journal_entry -> string
+(** One JSON object, no trailing newline. *)
+
+val journal_of_string : string -> journal_entry list
+(** Parse a journal read back from disk (one record per line; blank lines
+    ignored).  Raises {!Error} ([Journal_corrupt]) on the first unparseable
+    line. *)
+
 val start :
   ?trace:Indq_obs.Trace.sink ->
+  ?journal:(journal_entry -> unit) ->
   Algo.name ->
   Algo.config ->
   data:Indq_dataset.Dataset.t ->
@@ -38,14 +90,35 @@ val start :
     completion if it never needs one).  [trace] receives the run's
     structured events, exactly as {!Algo.run}[ ?trace] would — note the
     sink fires from inside the suspended coroutine, i.e. during {!start}
-    and each {!answer} call. *)
+    and each {!answer} call.  [journal] receives the write-ahead journal
+    records; persist each one (with a newline) before showing the user the
+    next question and the session survives any crash. *)
+
+val resume :
+  ?trace:Indq_obs.Trace.sink ->
+  ?journal:(journal_entry -> unit) ->
+  journal_entry list ->
+  Algo.name ->
+  Algo.config ->
+  data:Indq_dataset.Dataset.t ->
+  rng:Indq_util.Rng.t ->
+  t
+(** [resume entries name config ~data ~rng] reconstructs a session from a
+    journal: validates the header against the supplied arguments (which
+    must be the originals — the journal stores only a fingerprint, not the
+    dataset or the RNG), starts the coroutine afresh and replays every
+    journaled answer.  The resulting session is byte-identical to one that
+    ran the same answers without interruption — same pending options or
+    final result, same question count.  Replayed answers are not re-emitted
+    to [journal]; answers given after the resume are.  Raises {!Error} on
+    any inconsistency. *)
 
 val current : t -> state
 
 val answer : t -> int -> unit
 (** Answer the pending question with the index of the chosen option.
-    Raises [Invalid_argument] if the session is finished or the index is
-    out of range for the pending options. *)
+    Raises {!Error} ([Already_finished] / [Choice_out_of_range]) on
+    misuse. *)
 
 val questions_asked : t -> int
 

@@ -1,9 +1,13 @@
 module Dataset = Indq_dataset.Dataset
+module Fault = Indq_fault.Fault
 module Skyline = Indq_dominance.Skyline
 module Oracle = Indq_user.Oracle
 module Vec = Indq_linalg.Vec
+module Counter = Indq_obs.Counter
 module Span = Indq_obs.Span
 module Trace = Indq_obs.Trace
+
+let c_widened = Counter.make "squeeze_u2.widened_restarts"
 
 type result = {
   output : Dataset.t;
@@ -104,11 +108,32 @@ let run ?(exact_prune = false) ~data ~s ~q ~eps ~delta ~oracle () =
         let display = Squeeze_u.ladder_points ~d ~s ~i:!i ~i_star ~chi in
         let c = Oracle.choose oracle display + 1 in
         let new_lo, new_hi = robust_bounds ~delta ~s ~chi ~c in
-        (* Line 16: only ever tighten, and keep the interval well-formed under
-           float noise. *)
-        lo.(!i) <- Float.max lo.(!i) (Float.max 0. new_lo);
-        hi.(!i) <- Float.min hi.(!i) new_hi;
-        if lo.(!i) > hi.(!i) then lo.(!i) <- hi.(!i);
+        let lo' = Float.max lo.(!i) (Float.max 0. new_lo) in
+        let hi' = Float.min hi.(!i) new_hi in
+        (* Because the χ rungs are built on the accumulated interval, an
+           answer's Theorem 3 interval always nests inside it — so a real
+           inversion here means numeric corruption of the bounds, not a
+           mere lie.  The armed adversarial-user fault forces the same
+           degradation path so its recovery invariant is exercisable. *)
+        let corrupted = lo' -. hi' > 1e-9 *. Float.max 1. lo' in
+        if Fault.fire "inject.oracle_contradiction" || corrupted then begin
+          (* Degrading instead of keeping a collapsed (or suspect) interval:
+             restart this coordinate on the disagreement zone widened by
+             (1+eps) each way.  Every value consistent with either side
+             survives — a superset of the sound interval — so the Theorem 3
+             no-false-negatives guarantee is preserved relative to
+             whichever answers were honest. *)
+          Counter.incr c_widened;
+          lo.(!i) <- Float.max 0. (Float.min lo' hi' /. (1. +. eps));
+          hi.(!i) <- Float.min initial_hi (Float.max lo' hi' *. (1. +. eps))
+        end
+        else begin
+          (* Line 16: only ever tighten, and keep the interval well-formed
+             under float noise. *)
+          lo.(!i) <- lo';
+          hi.(!i) <- hi';
+          if lo.(!i) > hi.(!i) then lo.(!i) <- hi.(!i)
+        end;
         decr remaining;
         let next = ref ((!i + 1) mod d) in
         if !next = i_star then next := (!next + 1) mod d;

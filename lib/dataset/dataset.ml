@@ -1,4 +1,23 @@
+module Fault = Indq_fault.Fault
+
 type t = { tuples : Tuple.t array; dim : int }
+
+type load_error = { path : string option; row : int; reason : string }
+
+exception Load_error of load_error
+
+let load_failure ?path ~row reason = raise (Load_error { path; row; reason })
+
+let load_error_message { path; row; reason } =
+  let where = match path with Some p -> p | None -> "<string>" in
+  if row > 0 then Printf.sprintf "%s, row %d: %s" where row reason
+  else Printf.sprintf "%s: %s" where reason
+
+let () =
+  Printexc.register_printer (function
+    | Load_error e ->
+      Some ("Indq_dataset.Dataset.Load_error: " ^ load_error_message e)
+    | _ -> None)
 
 let create rows =
   let n = Array.length rows in
@@ -156,32 +175,65 @@ let to_csv t =
     t.tuples;
   Buffer.contents buf
 
-let of_csv text =
-  let lines =
-    String.split_on_char '\n' text
-    |> List.filter (fun l -> String.trim l <> "")
-  in
-  let parse_line line =
+let of_csv ?path text =
+  if Fault.fire "inject.dataset_load" then
+    load_failure ?path ~row:0 "injected fault: source unreadable";
+  (* Keep original line numbers for error context; blank lines are legal
+     separators and skipped. *)
+  let lines = String.split_on_char '\n' text in
+  let parse_line row line =
     match String.split_on_char ',' line with
-    | [] | [ _ ] -> failwith "Dataset.of_csv: malformed line"
+    | [] | [ _ ] -> load_failure ?path ~row "malformed line (need id,v1,...)"
     | id :: rest ->
       let id =
-        try int_of_string (String.trim id)
-        with _ -> failwith "Dataset.of_csv: bad id"
+        match int_of_string_opt (String.trim id) with
+        | Some id -> id
+        | None ->
+          load_failure ?path ~row
+            (Printf.sprintf "bad id %S" (String.trim id))
       in
       let values =
         List.map
           (fun s ->
-            try float_of_string (String.trim s)
-            with _ -> failwith "Dataset.of_csv: bad value")
+            match float_of_string_opt (String.trim s) with
+            | None ->
+              load_failure ?path ~row
+                (Printf.sprintf "bad value %S" (String.trim s))
+            | Some v when not (Float.is_finite v) ->
+              (* NaN or infinity would silently poison every downstream
+                 dot product and region cut. *)
+              load_failure ?path ~row
+                (Printf.sprintf "non-finite value %S" (String.trim s))
+            | Some v when v < 0. ->
+              (* The algorithms assume the non-negative orthant (utilities
+                 are monotone in every attribute); catch it at the border
+                 instead of deep inside geometry. *)
+              load_failure ?path ~row
+                (Printf.sprintf "negative value %S" (String.trim s))
+            | Some v -> v)
           rest
       in
       Tuple.make ~id (Array.of_list values)
   in
-  let parsed = List.map parse_line lines in
+  let parsed =
+    List.concat
+      (List.mapi
+         (fun i line ->
+           if String.trim line = "" then []
+           else [ (i + 1, parse_line (i + 1) (String.trim line)) ])
+         lines)
+  in
   match parsed with
   | [] -> { tuples = [||]; dim = 0 }
-  | first :: _ -> of_tuples ~dim:(Tuple.dim first) parsed
+  | (_, first) :: _ ->
+    let d = Tuple.dim first in
+    List.iter
+      (fun (row, t) ->
+        if Tuple.dim t <> d then
+          load_failure ?path ~row
+            (Printf.sprintf "row has %d values, expected %d" (Tuple.dim t) d))
+      parsed;
+    of_tuples ~dim:d (List.map snd parsed)
 
 let save_csv t path =
   let oc = open_out path in
@@ -190,7 +242,9 @@ let save_csv t path =
     (fun () -> output_string oc (to_csv t))
 
 let load_csv path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () -> of_csv (In_channel.input_all ic))
+  match open_in path with
+  | exception Sys_error reason -> load_failure ~path ~row:0 reason
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> of_csv ~path (In_channel.input_all ic))

@@ -10,6 +10,20 @@
 
 type t
 
+type load_error = {
+  path : string option;  (** [None] when parsing an in-memory string *)
+  row : int;  (** 1-based original line number; 0 when not row-specific *)
+  reason : string;
+}
+
+exception Load_error of load_error
+(** The typed error of the CSV loaders: I/O failures, unparseable rows, and
+    values the algorithm stack cannot accept (NaN, infinite, or negative
+    coordinates — which would silently corrupt downstream geometry). *)
+
+val load_error_message : load_error -> string
+(** Human-readable one-liner with path and row context. *)
+
 val create : float array array -> t
 (** Rows become tuples with ids [0, 1, ...].  All rows must share one
     positive dimension; raises [Invalid_argument] otherwise. *)
@@ -77,9 +91,14 @@ val top_k : t -> float array -> int -> Tuple.t list
 val to_csv : t -> string
 (** One line per tuple: [id,v1,...,vd]. *)
 
-val of_csv : string -> t
-(** Inverse of {!to_csv}.  Raises [Failure] on malformed input. *)
+val of_csv : ?path:string -> string -> t
+(** Inverse of {!to_csv}.  Validates as it parses: every value must be a
+    finite, non-negative float and every row must share the first row's
+    dimension.  Raises {!Load_error} (with [?path] and the offending
+    1-based row) on any violation. *)
 
 val save_csv : t -> string -> unit
 
 val load_csv : string -> t
+(** Reads and {!of_csv}-parses a file.  All failures — including the file
+    being unreadable — surface as {!Load_error}. *)

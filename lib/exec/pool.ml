@@ -1,5 +1,19 @@
+module Counter = Indq_obs.Counter
+module Fault = Indq_fault.Fault
 module Obs = Indq_obs.Obs
 module Rng = Indq_util.Rng
+
+(* Injection/retry accounting is done on the *calling* domain after the
+   join, in chunk order (worker-domain counter bumps between attempt
+   snapshots would be lost with the failed attempt's delta). *)
+let c_fault_injected = Counter.make "fault.injected"
+let c_retry_attempts = Counter.make "retry.attempts"
+let c_retry_exhausted = Counter.make "retry.exhausted"
+
+(* A simulated worker death ([inject.worker_death]) is retried this many
+   times in total; a chunk armed [Always] exhausts them and the typed
+   [Fault.Injected] propagates like any task exception. *)
+let max_chunk_attempts = 3
 
 type job = unit -> unit
 
@@ -86,18 +100,48 @@ let parallel_map ?chunks pool f arr =
     let results = Array.make n None in
     let deltas = Array.make chunks None in
     let failures = Array.make chunks None in
+    let deaths = Array.make chunks 0 in
+    let exhausted = Array.make chunks false in
+    (* Workers get the caller's fault plan re-installed per chunk attempt
+       (fresh reach counts each time), so whether an *inner* site fires
+       inside [f] depends only on the plan and the chunk's own work — never
+       on which worker ran it or what ran before. *)
+    let plan = Fault.current () in
     let finish_lock = Mutex.create () in
     let finished = Condition.create () in
     let remaining = ref chunks in
     let job ci () =
       let lo = ci * n / chunks and hi = (ci + 1) * n / chunks in
-      let before = Obs.snapshot () in
-      (try
-         for i = lo to hi - 1 do
-           results.(i) <- Some (f arr.(i))
-         done
-       with e -> failures.(ci) <- Some (e, Printexc.get_raw_backtrace ()));
-      deltas.(ci) <- Some (Obs.diff (Obs.snapshot ()) before);
+      (* Each attempt re-runs the whole chunk on the same inputs (and, via
+         [parallel_map_seeded], the same pre-split per-task RNGs), so a
+         retried chunk rewrites every slot with identical values: output
+         stays bit-identical to the fault-free run.  Only the successful
+         attempt's observability delta is kept — a half-done attempt's
+         counters would make totals depend on where the fault struck. *)
+      let rec attempt k =
+        let before = Obs.snapshot () in
+        match
+          Fault.with_plan_opt plan (fun () ->
+              if Fault.scheduled "inject.worker_death" ~index:ci ~attempt:k
+              then begin
+                deaths.(ci) <- deaths.(ci) + 1;
+                raise (Fault.Injected "inject.worker_death")
+              end;
+              for i = lo to hi - 1 do
+                results.(i) <- Some (f arr.(i))
+              done)
+        with
+        | () -> deltas.(ci) <- Some (Obs.diff (Obs.snapshot ()) before)
+        | exception Fault.Injected _ when k + 1 < max_chunk_attempts ->
+          attempt (k + 1)
+        | exception e ->
+          (match e with
+          | Fault.Injected _ -> exhausted.(ci) <- true
+          | _ -> ());
+          failures.(ci) <- Some (e, Printexc.get_raw_backtrace ());
+          deltas.(ci) <- Some (Obs.diff (Obs.snapshot ()) before)
+      in
+      attempt 0;
       Mutex.lock finish_lock;
       decr remaining;
       if !remaining = 0 then Condition.signal finished;
@@ -119,6 +163,18 @@ let parallel_map ?chunks pool f arr =
        what, so merged totals are bit-identical to a sequential run (all
        counters hold exactly representable integer sums). *)
     Array.iter (function Some d -> Obs.merge d | None -> ()) deltas;
+    (* Fault/retry accounting, on the caller, in chunk order: every
+       simulated death counts as an injection; each death that was retried
+       (all but the one that exhausted the attempts) counts as a retry. *)
+    Array.iteri
+      (fun ci d ->
+        if d > 0 then begin
+          Counter.add c_fault_injected (float_of_int d);
+          let retries = if exhausted.(ci) then d - 1 else d in
+          Counter.add c_retry_attempts (float_of_int retries);
+          if exhausted.(ci) then Counter.incr c_retry_exhausted
+        end)
+      deaths;
     Array.iter
       (function
         | Some (e, bt) -> Printexc.raise_with_backtrace e bt

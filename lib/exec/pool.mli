@@ -21,6 +21,19 @@
     domain-local and {b not} inherited by workers — a task that must trace
     installs its own sink (e.g. via [Algo.run ?trace]).
 
+    {b Fault resilience.}  The caller's {!Indq_fault.Fault} plan (if any) is
+    re-installed on the worker for each chunk attempt, so injection sites
+    inside tasks fire deterministically regardless of scheduling.  A
+    simulated worker death ([inject.worker_death], keyed by chunk index) is
+    caught and the whole chunk retried — same inputs, same pre-split RNGs —
+    up to 3 attempts, keeping output and merged counters bit-identical to
+    the fault-free run (only the successful attempt's observability delta is
+    kept; [fault.injected] / [retry.attempts] / [retry.exhausted] accounting
+    happens on the caller in chunk order).  A chunk whose retries are
+    exhausted re-raises the typed [Fault.Injected] like any task exception.
+    Real task exceptions are never retried.  The inline (size-1) path runs
+    no injection or retry machinery.
+
     Pools are not reentrant from their own workers: submit from the domain
     that created the pool (nested submission would deadlock a fully busy
     pool). *)

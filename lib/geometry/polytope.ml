@@ -6,6 +6,18 @@ module Counter = Indq_obs.Counter
 
 let c_cache_hits = Counter.make "poly.cache_hits"
 
+exception Solver_error of Lp.error
+(* The LP solver returned [Lp.Failed] where a verdict was required (an
+   extreme value, a profile, a width).  The region's geometry is unknown —
+   callers either degrade (score the display set as unusable, keep the
+   previous region) or let the typed error surface.  [is_empty] handles
+   [Lp.Failed] itself and never raises this. *)
+
+let () =
+  Printexc.register_printer (function
+    | Solver_error e -> Some ("Indq_geom.Polytope.Solver_error: " ^ Lp.error_message e)
+    | _ -> None)
+
 (* Master switch for the incremental engine: artifact revalidation across
    cuts, per-polytope memoization, and LP warm starts.  Off = every query
    recomputes from scratch (the historical cold path); used by tests and by
@@ -105,7 +117,7 @@ let solve_cold r objective direction =
     r.emptiness <- Some false;
     if r.art.feas_point = None then r.art.feas_point <- Some point
   | Lp.Infeasible -> r.emptiness <- Some true
-  | Lp.Unbounded -> ());
+  | Lp.Unbounded | Lp.Failed _ -> ());
   outcome
 
 (* Warm-eligible solve: value-grade results (feasibility verdicts and
@@ -122,7 +134,7 @@ let solve_warm r objective direction =
     r.emptiness <- Some false;
     if r.art.feas_point = None then r.art.feas_point <- Some point
   | Lp.Infeasible -> r.emptiness <- Some true
-  | Lp.Unbounded -> ());
+  | Lp.Unbounded | Lp.Failed _ -> ());
   outcome
 
 (* --- Ancestor-cache lookup --------------------------------------------- *)
@@ -229,14 +241,22 @@ let is_empty r =
         true
       end
       else
-        let verdict =
-          match solve_warm r (Array.make r.dim 0.) `Minimize with
-          | Lp.Optimal _ -> false
-          | Lp.Infeasible -> true
-          | Lp.Unbounded -> assert false
-        in
-        r.emptiness <- Some verdict;
-        verdict)
+        match solve_warm r (Array.make r.dim 0.) `Minimize with
+        | Lp.Optimal _ ->
+          r.emptiness <- Some false;
+          false
+        | Lp.Infeasible ->
+          r.emptiness <- Some true;
+          true
+        | Lp.Unbounded -> assert false
+        | Lp.Failed _ ->
+          (* The solver could not reach a verdict, so the region's
+             feasibility is unknown.  Report it as unusable (empty) —
+             callers discard an empty posterior and keep their last sound
+             region, which preserves no-false-negatives — but do NOT cache
+             the verdict: a later query may succeed and must not inherit a
+             fabricated emptiness. *)
+          true)
 
 let maximize r c =
   if Array.length c <> r.dim then invalid_arg "Polytope.maximize: bad objective";
@@ -247,6 +267,7 @@ let maximize r c =
     (* Impossible over the compact simplex; flag loudly if the LP ever
        reports it. *)
     assert false
+  | Lp.Failed e -> raise (Solver_error e)
 
 let minimize r c =
   match maximize r (Array.map (fun x -> -.x) c) with
@@ -293,11 +314,13 @@ let compute_profile r =
           let lo, p_lo =
             match solve_cold r (Array.map (fun x -> -.x) e) `Maximize with
             | Lp.Optimal { objective; point } -> (-.objective, point)
+            | Lp.Failed err -> raise (Solver_error err)
             | _ -> assert false
           in
           let hi, p_hi =
             match solve_cold r e `Maximize with
             | Lp.Optimal { objective; point } -> (objective, point)
+            | Lp.Failed err -> raise (Solver_error err)
             | _ -> assert false
           in
           witnesses := p_lo :: p_hi :: !witnesses;
@@ -345,11 +368,13 @@ let extreme_pair r objective ~get ~set =
         solve_cold r (Array.map (fun x -> -.x) objective) `Maximize
       with
       | Lp.Optimal { objective = o; point } -> { value = -.o; witness = point }
+      | Lp.Failed err -> raise (Solver_error err)
       | _ -> assert false
     in
     let hi =
       match solve_cold r objective `Maximize with
       | Lp.Optimal { objective = o; point } -> { value = o; witness = point }
+      | Lp.Failed err -> raise (Solver_error err)
       | _ -> assert false
     in
     if !incremental then set r (lo, hi);

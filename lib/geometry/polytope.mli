@@ -24,6 +24,13 @@
 
 type t
 
+exception Solver_error of Indq_lp.Lp.error
+(** The LP solver returned {!Indq_lp.Lp.Failed} where a value-grade answer
+    was required (an extreme, a profile, a width or diameter).  The
+    region's geometry is {i unknown} — never assume empty or feasible.
+    {!is_empty} absorbs solver failures itself (reporting the region
+    unusable without caching a verdict) and never raises this. *)
+
 val simplex : int -> t
 (** [simplex d] is the initial region [R_0] for [d] attributes.
     Raises [Invalid_argument] if [d < 1]. *)
@@ -48,7 +55,9 @@ val cut : t -> Halfspace.t -> t
 val cut_many : t -> Halfspace.t list -> t
 
 val is_empty : t -> bool
-(** LP feasibility check.  Cached per region value. *)
+(** LP feasibility check.  Cached per region value.  When the solver fails
+    ({!Indq_lp.Lp.Failed}), returns [true] — the region is unusable — but
+    caches nothing, so a later query may still reach a real verdict. *)
 
 val maximize : t -> float array -> (float * float array) option
 (** [maximize r c] is [Some (value, argmax)] of [max c . v] over the region,

@@ -1,10 +1,14 @@
 module Counter = Indq_obs.Counter
+module Fault = Indq_fault.Fault
 module Vec = Indq_linalg.Vec
 
 let c_solves = Counter.make "lp.solves"
 let c_iterations = Counter.make "lp.iterations"
 let c_warm_starts = Counter.make "lp.warm_starts"
 let c_warm_iterations_saved = Counter.make "lp.warm_iterations_saved"
+let c_failures = Counter.make "lp.failures"
+let c_retry_attempts = Counter.make "retry.attempts"
+let c_retry_exhausted = Counter.make "retry.exhausted"
 
 type relation = Le | Ge | Eq
 
@@ -12,7 +16,11 @@ type constr = { coeffs : float array; relation : relation; rhs : float }
 
 type solution = { objective : float; point : float array }
 
-type outcome = Optimal of solution | Infeasible | Unbounded
+type error =
+  | Iteration_limit of { budget : int }
+  | Numerical of { detail : string }
+
+type outcome = Optimal of solution | Infeasible | Unbounded | Failed of error
 
 (* An optimal basis of a previous solve over the *same* constraint list:
    the basic column per tableau row (no artificials), plus the phase-1
@@ -20,6 +28,17 @@ type outcome = Optimal of solution | Infeasible | Unbounded
 type basis = { cols : int array; phase1_iters : int }
 
 let constr coeffs relation rhs = { coeffs; relation; rhs }
+
+let error_message = function
+  | Iteration_limit { budget } ->
+    Printf.sprintf
+      "iteration budget of %d pivots exhausted under both pivot rules" budget
+  | Numerical { detail } -> "numerical failure: " ^ detail
+
+(* Internal escape hatch for corrupted arithmetic: raised where the tableau
+   turns out to hold a non-finite value, caught in [solve] and surfaced as
+   [Failed (Numerical _)].  Never leaves this module. *)
+exception Bad_pivot of string
 
 (* Internal mutable tableau for the two-phase simplex.
 
@@ -129,10 +148,20 @@ let build ~tol ~n constraints =
   { n; total; art_start; rows; rhs; basis; obj; obj_value = !obj_value;
     iters = 0; tol }
 
+let tableau_corrupt t =
+  let bad x = not (Float.is_finite x) in
+  Array.exists bad t.rhs
+  || Array.exists bad t.obj
+  || Array.exists (fun r -> Array.exists bad r) t.rows
+
 let pivot t ~row ~col =
   Counter.incr c_iterations;
   t.iters <- t.iters + 1;
   let pivot_value = t.rows.(row).(col) in
+  if not (Float.is_finite pivot_value) then
+    raise
+      (Bad_pivot
+         (Printf.sprintf "non-finite pivot element in row %d, column %d" row col));
   let r = t.rows.(row) in
   for j = 0 to t.total - 1 do
     r.(j) <- r.(j) /. pivot_value
@@ -156,13 +185,13 @@ let pivot t ~row ~col =
   end;
   t.basis.(row) <- col
 
-(* One simplex run with Bland's rule on the current objective row.
-   [allowed j] restricts the entering columns (used to freeze artificials in
-   phase 2).  Returns [`Optimal] or [`Unbounded]. *)
-let solve_phase t ~allowed =
-  let m = Array.length t.rows in
-  let rec iterate () =
-    (* Entering column: smallest index with reduced cost < -tol. *)
+(* Entering column under the requested pivot rule, or -1 at optimality.
+   Dantzig picks the most negative reduced cost (smallest index on exact
+   ties) — fast, but can cycle on degenerate problems; Bland picks the
+   smallest index with a negative reduced cost, which provably terminates. *)
+let entering_column t ~rule ~allowed =
+  match rule with
+  | `Bland ->
     let entering = ref (-1) in
     (try
        for j = 0 to t.total - 1 do
@@ -172,9 +201,30 @@ let solve_phase t ~allowed =
          end
        done
      with Exit -> ());
-    if !entering < 0 then `Optimal
+    !entering
+  | `Dantzig ->
+    let entering = ref (-1) in
+    let best = ref (-.t.tol) in
+    for j = 0 to t.total - 1 do
+      if allowed j && t.obj.(j) < !best then begin
+        entering := j;
+        best := t.obj.(j)
+      end
+    done;
+    !entering
+
+(* One simplex run on the current objective row.  [allowed j] restricts the
+   entering columns (used to freeze artificials in phase 2); [fuel] is the
+   remaining pivot budget, shared across phases of one attempt.  Returns
+   [`Optimal], [`Unbounded], or [`Budget] when the fuel runs out with the
+   tableau still improvable. *)
+let solve_phase t ~rule ~allowed ~fuel =
+  let m = Array.length t.rows in
+  let rec iterate () =
+    let col = entering_column t ~rule ~allowed in
+    if col < 0 then `Optimal
+    else if !fuel <= 0 then `Budget
     else begin
-      let col = !entering in
       (* Ratio test; Bland tie-break on smallest basic variable index. *)
       let best_row = ref (-1) in
       let best_ratio = ref infinity in
@@ -194,6 +244,7 @@ let solve_phase t ~allowed =
       done;
       if !best_row < 0 then `Unbounded
       else begin
+        decr fuel;
         pivot t ~row:!best_row ~col;
         iterate ()
       end
@@ -228,6 +279,16 @@ let extract_point t =
     (fun i b -> if b < t.n then x.(b) <- t.rhs.(i))
     t.basis;
   x
+
+(* The optimal solution of a finished tableau, validated finite: corrupted
+   arithmetic that slipped past the per-pivot guard is caught here instead
+   of leaking NaN into geometry. *)
+let final_solution t =
+  let objective = -.t.obj_value in
+  let point = extract_point t in
+  if Float.is_finite objective && Array.for_all Float.is_finite point then
+    Ok { objective; point }
+  else Error "non-finite optimal solution"
 
 (* Install a fresh objective (phase 2) and express it in terms of the current
    basis. *)
@@ -282,7 +343,13 @@ let install_basis t (w : basis) =
     && Array.for_all (fun r -> r >= 0.) t.rhs
   end
 
-let solve ?(tol = 1e-9) ?warm ~n ~objective direction constraints =
+(* Default pivot budget: generous for the small problems this solver sees
+   (d <= 10 variables, a few dozen constraints need well under a hundred
+   pivots), yet finite, so a degenerate cycle under the Dantzig rule is cut
+   off and retried under Bland instead of spinning forever. *)
+let default_budget ~n ~m = 1000 + (50 * (n + (3 * m)))
+
+let solve ?(tol = 1e-9) ?warm ?max_pivots ~n ~objective direction constraints =
   let cost =
     match direction with
     | `Minimize -> objective
@@ -303,53 +370,107 @@ let solve ?(tol = 1e-9) ?warm ~n ~objective direction constraints =
     else (finish (Optimal { objective = 0.; point = Array.make n 0. }), None)
   end
   else begin
-    (* Warm path: adopt the prior optimal basis — a feasible basis for any
-       objective over the same constraint list — and go straight to
-       phase 2.  Falls back to the cold two-phase path on any mismatch. *)
-    let warm_tableau =
-      match warm with
-      | None -> None
-      | Some w ->
-        let t = build ~tol ~n constraints in
-        if install_basis t w then begin
-          Counter.incr c_warm_starts;
-          Counter.add c_warm_iterations_saved (float_of_int w.phase1_iters);
-          Some t
-        end
-        else None
+    let m = List.length constraints in
+    let budget =
+      match max_pivots with Some b -> max 0 b | None -> default_budget ~n ~m
     in
-    match warm_tableau with
-    | Some t ->
-      install_objective t cost;
-      let allowed j = j < t.art_start in
-      (match solve_phase t ~allowed with
-      | `Unbounded -> (finish Unbounded, None)
-      | `Optimal ->
-        ( finish (Optimal { objective = -.t.obj_value; point = extract_point t }),
-          Some { cols = Array.copy t.basis;
-                 phase1_iters = (match warm with Some w -> w.phase1_iters | None -> 0) } ))
-    | None ->
+    (* Injection sites.  The iteration-cap site collapses only the *primary*
+       budget, so the Bland fallback is what recovers; the NaN site corrupts
+       the freshly built tableau, which the corruption scan turns into the
+       typed [Failed (Numerical _)]. *)
+    let primary_budget =
+      if Fault.fire "inject.lp_iteration_cap" then 0 else budget
+    in
+    let nan_injected = Fault.fire "inject.lp_nan_pivot" in
+    let build_tableau () =
       let t = build ~tol ~n constraints in
-      (match solve_phase t ~allowed:(fun _ -> true) with
+      if nan_injected then begin
+        t.rhs.(0) <- Float.nan;
+        if tableau_corrupt t then raise (Bad_pivot "non-finite tableau entry")
+      end;
+      t
+    in
+    (* One cold two-phase attempt under [rule].  [`Budget] means the fuel ran
+       out mid-pivot; numerical corruption escapes as [Bad_pivot]. *)
+    let cold rule fuel =
+      let t = build_tableau () in
+      match solve_phase t ~rule ~allowed:(fun _ -> true) ~fuel with
+      | `Budget -> `Budget
       | `Unbounded ->
         (* Phase-1 objective (sum of artificials, all bounded below by 0) can
            never be unbounded; treat as numerically infeasible. *)
-        (finish Infeasible, None)
+        `Done (finish Infeasible, None)
       | `Optimal ->
         (* obj_value holds the negated phase-1 objective. *)
-        if -.t.obj_value > 1e-7 then (finish Infeasible, None)
+        if -.t.obj_value > 1e-7 then `Done (finish Infeasible, None)
         else begin
           expel_artificials t;
           let phase1_iters = t.iters in
           install_objective t cost;
           let allowed j = j < t.art_start in
-          match solve_phase t ~allowed with
-          | `Unbounded -> (finish Unbounded, None)
+          match solve_phase t ~rule ~allowed ~fuel with
+          | `Budget -> `Budget
+          | `Unbounded -> `Done (finish Unbounded, None)
           | `Optimal ->
-            ( finish
-                (Optimal { objective = -.t.obj_value; point = extract_point t }),
-              Some { cols = Array.copy t.basis; phase1_iters } )
-        end)
+            (match final_solution t with
+            | Error detail -> raise (Bad_pivot detail)
+            | Ok s ->
+              `Done
+                ( finish (Optimal s),
+                  Some { cols = Array.copy t.basis; phase1_iters } ))
+        end
+    in
+    (* Warm path: adopt the prior optimal basis — a feasible basis for any
+       objective over the same constraint list — and go straight to phase 2.
+       Any trouble (unusable basis, budget, corruption) falls back to the
+       cold two-phase path, so a stale basis can cost time but never
+       correctness. *)
+    let warm_attempt () =
+      match warm with
+      | None -> None
+      | Some w ->
+        let t = build_tableau () in
+        if not (install_basis t w) then None
+        else begin
+          Counter.incr c_warm_starts;
+          Counter.add c_warm_iterations_saved (float_of_int w.phase1_iters);
+          install_objective t cost;
+          let allowed j = j < t.art_start in
+          match solve_phase t ~rule:`Dantzig ~allowed ~fuel:(ref primary_budget) with
+          | `Budget -> None
+          | `Unbounded -> Some (finish Unbounded, None)
+          | `Optimal ->
+            (match final_solution t with
+            | Error _ -> None
+            | Ok s ->
+              Some
+                ( finish (Optimal s),
+                  Some
+                    { cols = Array.copy t.basis;
+                      phase1_iters = w.phase1_iters } ))
+        end
+    in
+    let fail err =
+      Counter.incr c_failures;
+      (Failed err, None)
+    in
+    match (try warm_attempt () with Bad_pivot _ -> None) with
+    | Some r -> r
+    | None ->
+      (match cold `Dantzig (ref primary_budget) with
+      | `Done r -> r
+      | exception Bad_pivot detail -> fail (Numerical { detail })
+      | `Budget ->
+        (* Anti-cycling fallback: rebuild and rerun under Bland's rule,
+           which cannot cycle.  Exhausting the budget even there is
+           surfaced as the typed iteration-limit failure. *)
+        Counter.incr c_retry_attempts;
+        (match cold `Bland (ref budget) with
+        | `Done r -> r
+        | exception Bad_pivot detail -> fail (Numerical { detail })
+        | `Budget ->
+          Counter.incr c_retry_exhausted;
+          fail (Iteration_limit { budget })))
   end
 
 let minimize ?tol ~n ~objective constraints =
@@ -363,5 +484,6 @@ let feasible_point ?tol ~n constraints =
   | Optimal { point; _ } -> Some point
   | Infeasible -> None
   | Unbounded -> None
+  | Failed _ -> None
 
 let is_feasible ?tol ~n constraints = feasible_point ?tol ~n constraints <> None

@@ -4,13 +4,23 @@
     the reproduction: emptiness checks after hyperplane updates (Section V),
     the Lemma 2 pruning test, and the width/diameter metrics of the MinR and
     MinD heuristics.  Problems here are small — [d <= 10] variables and a few
-    dozen constraints — so a dense tableau with Bland's anti-cycling rule is
-    both simple and fast.
+    dozen constraints — so a dense tableau is both simple and fast.
 
     All structural variables are constrained to be non-negative ([x >= 0]),
     which matches utility vectors [u] in the non-negative orthant.  General
     constraints of the three relations [<=], [>=], [=] are supported via
-    slack, surplus and artificial variables. *)
+    slack, surplus and artificial variables.
+
+    {b Failure model.}  Every solve runs under a hard pivot budget with the
+    fast Dantzig entering rule; a solve that exhausts it (a degenerate cycle,
+    or the armed [inject.lp_iteration_cap] fault) is rebuilt and rerun under
+    Bland's anti-cycling rule, which provably terminates (counted in
+    ["retry.attempts"]).  A solve that cannot finish even then — budget
+    exhausted again, or a non-finite value in the tableau (guarded at every
+    pivot, at the final solution, and plantable via [inject.lp_nan_pivot]) —
+    returns the typed {!Failed} outcome (counted in ["lp.failures"], with
+    fallback exhaustion in ["retry.exhausted"]) instead of looping or
+    raising. *)
 
 type relation = Le | Ge | Eq
 
@@ -26,10 +36,21 @@ type solution = {
   point : float array;  (** an optimal assignment of the structural variables *)
 }
 
+type error =
+  | Iteration_limit of { budget : int }
+      (** the pivot budget ran out under both the Dantzig and the Bland
+          entering rule *)
+  | Numerical of { detail : string }
+      (** a non-finite value surfaced in the tableau or the optimal
+          solution *)
+
 type outcome =
   | Optimal of solution
   | Infeasible  (** no [x >= 0] satisfies the constraints *)
   | Unbounded  (** the objective is unbounded over the feasible set *)
+  | Failed of error
+      (** the solver could not reach a verdict; see {!error}.  Callers must
+          treat the region as {i unknown}, never as empty or feasible. *)
 
 type basis
 (** The simplex basis at which a solve stopped: which variable is basic in
@@ -42,9 +63,13 @@ type basis
 val constr : float array -> relation -> float -> constr
 (** Convenience constructor. *)
 
+val error_message : error -> string
+(** Human-readable rendering of a solver failure. *)
+
 val solve :
   ?tol:float ->
   ?warm:basis ->
+  ?max_pivots:int ->
   n:int ->
   objective:float array ->
   [ `Minimize | `Maximize ] ->
@@ -64,7 +89,12 @@ val solve :
     back to the cold two-phase path, so a stale basis can cost time but
     never correctness.  Warm and cold solves agree on feasibility verdicts
     and (to float round-off) on optimal values; with a degenerate optimal
-    face they may report different optimal {i points}. *)
+    face they may report different optimal {i points}.
+
+    [?max_pivots] overrides the pivot budget per attempt (the default is
+    ample for this solver's problem sizes); an exhausted budget triggers
+    the Bland's-rule fallback described in the module header, and {!Failed}
+    only after both attempts exhaust it. *)
 
 val maximize :
   ?tol:float -> n:int -> objective:float array -> constr list -> outcome

@@ -1,5 +1,6 @@
 module Rng = Indq_util.Rng
 module Counter = Indq_obs.Counter
+module Fault = Indq_fault.Fault
 module Trace = Indq_obs.Trace
 
 let c_questions = Counter.make "oracle.questions"
@@ -43,13 +44,32 @@ let erring_pick ~utility ~delta ~rng options =
   | [] -> Utility.best_index utility options (* unreachable: best qualifies *)
   | cs -> List.nth cs (Rng.int rng (List.length cs))
 
+(* The armed [inject.oracle_contradiction] fault flips a simulated user's
+   answer to the *worst* option, the strongest contradiction a single round
+   can produce: its halfspaces contradict every previous honest answer, so
+   downstream region updates must detect the collapse and degrade instead
+   of pruning from garbage. *)
+let worst_index utility options =
+  let values = Array.map (Utility.value utility) options in
+  let worst = ref 0 in
+  Array.iteri (fun i v -> if v < values.(!worst) then worst := i) values;
+  !worst
+
 (* The selection logic alone, with no interaction accounting: shared by
    [choose] and by [recording], which must not count the inner oracle's
-   answer as a second question. *)
+   answer as a second question.  Only simulated users (choosers that know
+   the utility) have injectable contradictions; an [External] chooser's
+   answers come from outside the process. *)
 let select t options =
   match t.chooser with
-  | Exact utility -> Utility.best_index utility options
-  | Erring { utility; delta; rng } -> erring_pick ~utility ~delta ~rng options
+  | Exact utility ->
+    if Fault.fire "inject.oracle_contradiction" then
+      worst_index utility options
+    else Utility.best_index utility options
+  | Erring { utility; delta; rng } ->
+    if Fault.fire "inject.oracle_contradiction" then
+      worst_index utility options
+    else erring_pick ~utility ~delta ~rng options
   | External f ->
     let i = f options in
     if i < 0 || i >= Array.length options then

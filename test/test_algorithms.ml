@@ -573,14 +573,16 @@ let test_session_answer_guards () =
   (match Session.current session with
   | Session.Asking options ->
     Alcotest.check_raises "out of range"
-      (Invalid_argument "Session.answer: choice out of range") (fun () ->
-        Session.answer session (Array.length options))
+      (Session.Error
+         (Session.Choice_out_of_range
+            { choice = Array.length options; options = Array.length options }))
+      (fun () -> Session.answer session (Array.length options))
   | Session.Finished _ -> Alcotest.fail "should be asking");
   (* Finish it, then answering must fail. *)
   let u = Utility.random (Rng.create 0) ~d in
   ignore (drive_session session u);
   Alcotest.check_raises "already finished"
-    (Invalid_argument "Session.answer: session already finished") (fun () ->
+    (Session.Error Session.Already_finished) (fun () ->
       Session.answer session 0)
 
 (* Property: across random configurations and algorithms, never a false

@@ -131,9 +131,33 @@ let test_csv_roundtrip () =
     done
   done
 
+let check_load_error name ~row ~reason text =
+  match Dataset.of_csv text with
+  | _ -> Alcotest.fail (name ^ ": expected Load_error")
+  | exception Dataset.Load_error e ->
+    Alcotest.(check int) (name ^ " row") row e.Dataset.row;
+    Alcotest.(check string) (name ^ " reason") reason e.Dataset.reason;
+    Alcotest.(check bool) (name ^ " no path") true (e.Dataset.path = None)
+
 let test_csv_malformed () =
-  Alcotest.check_raises "bad value" (Failure "Dataset.of_csv: bad value")
-    (fun () -> ignore (Dataset.of_csv "0,notafloat\n"))
+  check_load_error "bad value" ~row:1 ~reason:"bad value \"notafloat\""
+    "0,notafloat\n";
+  check_load_error "bad id" ~row:1 ~reason:"bad id \"x\"" "x,1.0\n";
+  check_load_error "nan" ~row:2 ~reason:"non-finite value \"nan\""
+    "0,1.0\n1,nan\n";
+  check_load_error "inf" ~row:2 ~reason:"non-finite value \"inf\""
+    "0,1.0\n1,inf\n";
+  check_load_error "negative" ~row:1 ~reason:"negative value \"-0.5\""
+    "0,-0.5\n";
+  (* Row numbers count original lines: the blank separator shifts the bad
+     row to line 3. *)
+  check_load_error "dim mismatch" ~row:3 ~reason:"row has 2 values, expected 1"
+    "0,1.0\n\n1,0.5,0.5\n";
+  match Dataset.load_csv "/nonexistent/indq.csv" with
+  | _ -> Alcotest.fail "expected Load_error from missing file"
+  | exception Dataset.Load_error e ->
+    Alcotest.(check bool) "path kept" true
+      (e.Dataset.path = Some "/nonexistent/indq.csv")
 
 let test_generator_shapes () =
   let rng = Rng.create 1 in

@@ -10,12 +10,14 @@ let solve_max ~n ~objective cs =
   | Lp.Optimal s -> s
   | Lp.Infeasible -> Alcotest.fail "unexpected infeasible"
   | Lp.Unbounded -> Alcotest.fail "unexpected unbounded"
+  | Lp.Failed e -> Alcotest.fail ("unexpected failure: " ^ Lp.error_message e)
 
 let solve_min ~n ~objective cs =
   match Lp.minimize ~n ~objective cs with
   | Lp.Optimal s -> s
   | Lp.Infeasible -> Alcotest.fail "unexpected infeasible"
   | Lp.Unbounded -> Alcotest.fail "unexpected unbounded"
+  | Lp.Failed e -> Alcotest.fail ("unexpected failure: " ^ Lp.error_message e)
 
 (* max x + y st x + 2y <= 4, 3x + y <= 6 -> optimum at (1.6, 1.2), value 2.8 *)
 let test_textbook_max () =
@@ -182,6 +184,7 @@ let prop_optimal_dominates_samples =
       match Lp.maximize ~n ~objective cs with
       | Lp.Unbounded -> false (* impossible: box-bounded *)
       | Lp.Infeasible -> false (* impossible: origin feasible *)
+      | Lp.Failed _ -> false (* impossible: tiny well-posed problem *)
       | Lp.Optimal { objective = best; point } ->
         let feasible p =
           List.for_all

@@ -59,7 +59,21 @@
            binding, or — as [@@@lint.allow …] — the rest of the file.  A
            payload that is not a (code, non-empty justification) pair of
            string literals is itself a finding, so suppressions stay
-           auditable. *)
+           auditable.
+
+   IND008  typed failure channel.  Runtime failures in lib/ must surface
+           through a module's typed error (Lp.Failed, Dataset.Load_error,
+           Session.Error, Fault.Injected, Polytope.Solver_error, …) that
+           callers can match on — never through the anonymous
+           [Failure]/[Invalid_argument] channel, whose payload is an
+           unmatchable string.  Flagged under lib/: any [failwith]
+           application and any explicitly constructed [Failure _] or
+           [Invalid_argument _] (so [raise (Failure …)] and
+           [raise_notrace (Invalid_argument …)] are both caught).  The
+           [invalid_arg] guard remains legal: it marks a caller bug
+           (precondition violation) in the stdlib's own idiom, not a
+           runtime failure a resilient caller should handle.  Catching
+           these exceptions (patterns) is always fine. *)
 
 open Ppxlib
 
@@ -107,6 +121,10 @@ let warm_allowed path = path = "lib/geometry/polytope.ml"
    counters from runtime values, which is not a doc-discipline violation. *)
 let obs_impl path = has_prefix ~prefix:"lib/obs/" path
 
+(* IND008 is scoped to the library stack: tests, tools, bench and bin may
+   still fail fast with anonymous exceptions. *)
+let typed_errors_required path = has_prefix ~prefix:"lib/" path
+
 (* --- Longident helpers -------------------------------------------------- *)
 
 let fn_path (e : expression) =
@@ -137,6 +155,17 @@ let clock_fns =
 let is_clock_fn path =
   let path = match path with "Stdlib" :: tl -> tl | p -> p in
   List.mem path clock_fns
+
+let is_failwith path =
+  match path with [ "failwith" ] | [ "Stdlib"; "failwith" ] -> true | _ -> false
+
+(* An explicitly constructed anonymous failure exception ([Failure "…"],
+   [Stdlib.Invalid_argument msg], …) — the raising side of IND008. *)
+let is_anonymous_failure_construct (lid : Longident.t) =
+  match lid with
+  | Lident ("Failure" | "Invalid_argument")
+  | Ldot (Lident "Stdlib", ("Failure" | "Invalid_argument")) -> true
+  | _ -> false
 
 let poly_compare_ops = [ "="; "<>"; "compare"; "min"; "max" ]
 
@@ -334,6 +363,11 @@ let lint_structure ~path (str : structure) : report =
                  "polymorphic %s on a float-valued operand is NaN-unsound; use \
                   Float.compare/Float.equal/Float.min/Float.max"
                  (last p))
+          | Some p when is_failwith p && typed_errors_required path ->
+            emit e.pexp_loc "IND008"
+              "failwith in lib/ raises an unmatchable Failure; surface the \
+               failure through the module's typed error instead (or \
+               invalid_arg for a caller-bug precondition)"
           | _ -> ());
           if is_lp_warm_solve fn args && not (warm_allowed path) then
             emit e.pexp_loc "IND005"
@@ -360,6 +394,15 @@ let lint_structure ~path (str : structure) : report =
                   through Util.Rng (splittable + seeded)"
                  (String.concat "." p))
           | _ -> ())
+        | Pexp_construct ({ txt; _ }, Some _)
+          when is_anonymous_failure_construct txt && typed_errors_required path
+          ->
+          emit e.pexp_loc "IND008"
+            (Printf.sprintf
+               "constructing %s in lib/ creates an unmatchable anonymous \
+                failure; raise the module's typed error instead (or \
+                invalid_arg for a caller-bug precondition)"
+               (String.concat "." (Longident.flatten_exn txt)))
         | _ -> ());
         super#expression e;
         allows := List.tl !allows
