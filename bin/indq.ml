@@ -6,7 +6,8 @@
      simulate     run an interactive algorithm against a simulated user
      run          alias of simulate
      interactive  run an algorithm with YOU as the user (choices on stdin)
-     experiment   run one of the paper's evaluation experiments *)
+     experiment   run one of the paper's evaluation experiments
+     profile      replay a JSONL trace into a per-phase profile *)
 
 open Cmdliner
 
@@ -25,6 +26,8 @@ module Tabulate = Indq_util.Tabulate
 module Counter = Indq_obs.Counter
 module Span = Indq_obs.Span
 module Trace = Indq_obs.Trace
+module Histogram = Indq_obs.Histogram
+module Profile = Indq_obs.Profile
 module Experiments = Indq_experiments.Experiments
 module Report = Indq_experiments.Report
 module Pool = Indq_exec.Pool
@@ -193,6 +196,36 @@ let print_span_table () =
       stats;
     Tabulate.print t
 
+(* [run_hists] are the per-run deltas from [Algo.run_result.hists]; count-
+   unit values render like counters, seconds-unit ones in microsecond
+   precision. *)
+let print_hist_table run_hists =
+  match run_hists with
+  | [] -> ()
+  | hists ->
+    let t =
+      Tabulate.create ~title:"histograms"
+        ~columns:[ "histogram"; "count"; "mean"; "p50"; "p90"; "p99" ]
+    in
+    List.iter
+      (fun (name, s) ->
+        let fmt v =
+          match s.Histogram.s_unit with
+          | Histogram.Seconds -> Printf.sprintf "%.6f" v
+          | Histogram.Count -> counter_cell v
+        in
+        Tabulate.add_row t
+          [
+            name;
+            string_of_int s.Histogram.count;
+            fmt (Histogram.mean s);
+            fmt (Histogram.p50 s);
+            fmt (Histogram.p90 s);
+            fmt (Histogram.p99 s);
+          ])
+      hists;
+    Tabulate.print t
+
 let config_of ~data ~s ~q ~eps ~delta =
   let d = Dataset.dim data in
   let base = Algo.default_config ~d in
@@ -281,7 +314,10 @@ let simulate_run source n d seed eps delta s q algo trace metrics =
       (o, Some rounds)
     else (base_oracle, None)
   in
-  if metrics then Span.enable ();
+  (* A file trace is profiler fodder: spans must be live so the stream
+     carries span_started/span_finished causality for `indq profile`. *)
+  let file_trace = match trace with Some t -> t <> "-" | None -> false in
+  if metrics || file_trace then Span.enable ();
   let config = config_of ~data ~s ~q ~eps ~delta in
   let result =
     with_trace_sink trace (fun sink ->
@@ -303,8 +339,9 @@ let simulate_run source n d seed eps delta s q algo trace metrics =
     Format.printf "@.";
     print_counter_table result.Algo.metrics;
     print_span_table ();
-    Span.disable ()
+    print_hist_table result.Algo.hists
   | None -> ());
+  if metrics || file_trace then Span.disable ();
   0
 
 let simulate_term =
@@ -522,6 +559,135 @@ let experiment_cmd =
       const run $ experiment_name $ seed_arg $ scale $ utilities $ max_n $ jobs
       $ metrics_arg)
 
+(* --- profile --- *)
+
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let profile_run trace_file folded_out speedscope_out =
+  with_typed_errors @@ fun () ->
+  match read_lines trace_file with
+  | exception Sys_error msg ->
+    Printf.eprintf "indq: cannot read trace file: %s\n" msg;
+    2
+  | lines ->
+    let prof = Profile.of_lines lines in
+    if prof.Profile.roots = [] then begin
+      Printf.eprintf
+        "indq: no span events in %s (record one with: indq simulate --trace \
+         FILE, which enables spans)\n"
+        trace_file;
+      2
+    end
+    else begin
+      let t =
+        Tabulate.create ~title:"phases"
+          ~columns:
+            [ "phase"; "calls"; "total (s)"; "self (s)"; "self %"; "what" ]
+      in
+      let phases =
+        (* Hottest self time first; ties (and zero-width spans) by name. *)
+        List.stable_sort
+          (fun a b -> Float.compare b.Profile.self a.Profile.self)
+          prof.Profile.phases
+      in
+      List.iter
+        (fun (p : Profile.phase) ->
+          Tabulate.add_row t
+            [
+              p.Profile.phase_name;
+              string_of_int p.Profile.calls;
+              Printf.sprintf "%.6f" p.Profile.total;
+              Printf.sprintf "%.6f" p.Profile.self;
+              (if prof.Profile.total > 0. then
+                 Printf.sprintf "%.1f"
+                   (100. *. p.Profile.self /. prof.Profile.total)
+               else "-");
+              (match Profile.phase_doc p.Profile.phase_name with
+              | Some doc -> doc
+              | None -> "-");
+            ])
+        phases;
+      Tabulate.print t;
+      let self_sum =
+        List.fold_left
+          (fun acc p -> acc +. p.Profile.self)
+          0. prof.Profile.phases
+      in
+      Printf.printf
+        "total traced: %.6fs; per-phase self times sum to %.6fs\n"
+        prof.Profile.total self_sum;
+      let folded_path =
+        match folded_out with Some p -> p | None -> trace_file ^ ".folded"
+      in
+      let speedscope_path =
+        match speedscope_out with
+        | Some p -> p
+        | None -> trace_file ^ ".speedscope.json"
+      in
+      (try
+         write_file folded_path (Profile.folded prof);
+         write_file speedscope_path
+           (Profile.speedscope ~name:(Filename.basename trace_file) prof)
+       with Sys_error msg ->
+         Printf.eprintf "indq: cannot write profile output: %s\n" msg;
+         exit 2);
+      Printf.printf "wrote %s (flamegraph.pl folded stacks) and %s \
+                     (speedscope JSON)\n"
+        folded_path speedscope_path;
+      0
+    end
+
+let profile_cmd =
+  let trace_file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TRACE.jsonl"
+          ~doc:
+            "JSONL trace recorded with $(b,indq simulate --trace FILE) (a \
+             file trace records span events automatically).")
+  in
+  let folded_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "folded" ] ~docv:"PATH"
+          ~doc:
+            "Where to write the flamegraph.pl folded stacks (default: \
+             TRACE.folded).")
+  in
+  let speedscope_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "speedscope" ] ~docv:"PATH"
+          ~doc:
+            "Where to write the speedscope JSON (default: \
+             TRACE.speedscope.json).")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Replay a JSONL trace into per-phase self-time attribution, \
+          folded-stack and speedscope exports.")
+    Term.(const profile_run $ trace_file $ folded_out $ speedscope_out)
+
 let main_cmd =
   let doc = "interactive indistinguishability queries (ICDE 2024 reproduction)" in
   Cmd.group (Cmd.info "indq" ~version:"1.0.0" ~doc)
@@ -532,6 +698,7 @@ let main_cmd =
       run_cmd;
       interactive_cmd;
       experiment_cmd;
+      profile_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -1,6 +1,7 @@
 module Dataset = Indq_dataset.Dataset
 module Timer = Indq_util.Timer
 module Counter = Indq_obs.Counter
+module Histogram = Indq_obs.Histogram
 module Trace = Indq_obs.Trace
 
 type name = Squeeze_u | Uh_random | MinD | MinR
@@ -19,6 +20,7 @@ type run_result = {
   questions_used : int;
   seconds : float;
   metrics : (string * float) list;
+  hists : (string * Histogram.snap) list;
 }
 
 let default_config ~d =
@@ -61,6 +63,7 @@ let run_traced name config ~data ~oracle ~rng =
           delta;
         });
   let before = Counter.snapshot () in
+  let before_h = Histogram.snapshot () in
   let execute () =
     match name with
     | Squeeze_u ->
@@ -92,10 +95,11 @@ let run_traced name config ~data ~oracle ~rng =
   in
   let (output, questions_used), seconds = Timer.time execute in
   let metrics = Counter.since before in
+  let hists = Histogram.since before_h in
   Trace.emit_with (fun () ->
       Trace.Run_finished
         { questions = questions_used; output = Dataset.size output; seconds });
-  { output; questions_used; seconds; metrics }
+  { output; questions_used; seconds; metrics; hists }
 
 let run ?trace name config ~data ~oracle ~rng =
   match trace with

@@ -28,6 +28,10 @@ type run_result = {
   metrics : (string * float) list;
       (** per-run deltas of every {!Indq_obs.Counter} (sorted by name):
           what this run added to each of the executing domain's counters *)
+  hists : (string * Indq_obs.Histogram.snap) list;
+      (** per-run {!Indq_obs.Histogram} deltas (sorted by name), dropping
+          histograms this run never observed — e.g. [lp.pivots_per_solve]
+          and, when spans are enabled, each span's duration distribution *)
 }
 
 val default_config : d:int -> config

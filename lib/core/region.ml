@@ -1,8 +1,13 @@
 module Polytope = Indq_geom.Polytope
 module Halfspace = Indq_geom.Halfspace
 module Counter = Indq_obs.Counter
+module Histogram = Indq_obs.Histogram
 
 let c_halfspaces = Counter.make "region.halfspaces"
+
+(* Cuts added per observed answer — integer-valued, so the distribution
+   (and its sum) merges exactly across worker domains. *)
+let h_halfspaces_per_round = Histogram.make "region.halfspaces_per_round"
 
 type t = { polytope : Polytope.t; questions : int }
 
@@ -20,6 +25,8 @@ let observe ?(delta = 0.) t ~winner ~losers =
   | [] -> t
   | _ ->
     Counter.add c_halfspaces (float_of_int (List.length cuts));
+    Histogram.observe h_halfspaces_per_round
+      (float_of_int (List.length cuts));
     {
       polytope = Polytope.cut_many t.polytope cuts;
       questions = t.questions + 1;

@@ -2,9 +2,16 @@ module Oracle = Indq_user.Oracle
 module Dataset = Indq_dataset.Dataset
 module Counter = Indq_obs.Counter
 module Span = Indq_obs.Span
+module Histogram = Indq_obs.Histogram
+module Timer = Indq_util.Timer
 
 let c_records = Counter.make "journal.records"
 let c_replayed = Counter.make "journal.replayed"
+
+(* Wall seconds between accepting an answer and yielding the next question
+   (or finishing) — the interactive round latency the ROADMAP's session
+   server will serve p99s from. *)
+let h_round_latency = Histogram.make ~unit_:Seconds "session.round_latency"
 
 type error =
   | Already_finished
@@ -243,7 +250,9 @@ let answer t choice =
          });
     t.resume <- Done;
     t.questions <- t.questions + 1;
-    t.state <- Effect.Deep.continue k choice
+    let started = Timer.wall () in
+    t.state <- Effect.Deep.continue k choice;
+    Histogram.observe h_round_latency (Timer.wall () -. started)
 
 let mismatch ~round reason = raise (Error (Journal_mismatch { round; reason }))
 

@@ -8,6 +8,7 @@ module Oracle = Indq_user.Oracle
 module Rng = Indq_util.Rng
 module Stats = Indq_util.Stats
 module Pool = Indq_exec.Pool
+module Histogram = Indq_obs.Histogram
 
 type dataset_kind = Island_like | Nba_like | House_like
 
@@ -62,9 +63,11 @@ type cell = {
   alpha_mean : float;
   alpha_sd : float;
   time_mean : float;
+  time_total : float;
   output_size_mean : float;
   false_negative_runs : int;
   metrics_mean : (string * float) list;
+  hists : (string * Histogram.snap) list;
 }
 
 type sweep = {
@@ -87,6 +90,7 @@ type trial_outcome = {
   t_size : float;
   t_false_negative : bool;
   t_metrics : (string * float) list;
+  t_hists : (string * Histogram.snap) list;
 }
 
 let run_trial ~user_delta ~seed name data (config : Algo.config) ~trial =
@@ -108,6 +112,7 @@ let run_trial ~user_delta ~seed name data (config : Algo.config) ~trial =
       Indist.has_false_negatives ~eps:config.Algo.eps u ~data
         ~output:result.Algo.output;
     t_metrics = result.Algo.metrics;
+    t_hists = result.Algo.hists;
   }
 
 (* Fold one cell's trials, in trial order, exactly as the sequential
@@ -129,16 +134,36 @@ let cell_of_trials (outcomes : trial_outcome array) =
       metric_sums []
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   in
+  (* Histograms combine by exact bucket addition, folded in trial order
+     like everything else; [Histogram.combine]'s float sums commute and
+     the count-unit sums are integer-valued, so the combined snaps are the
+     same for -j N and -j 1. *)
+  let hist_sums : (string, Histogram.snap) Hashtbl.t = Hashtbl.create 8 in
+  Array.iter
+    (fun o ->
+      List.iter
+        (fun (k, s) ->
+          match Hashtbl.find_opt hist_sums k with
+          | Some acc -> Hashtbl.replace hist_sums k (Histogram.combine acc s)
+          | None -> Hashtbl.replace hist_sums k s)
+        o.t_hists)
+    outcomes;
+  let hists =
+    Hashtbl.fold (fun k s acc -> (k, s) :: acc) hist_sums []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
   {
     alpha_mean = Stats.mean (Array.map (fun o -> o.t_alpha) outcomes);
     alpha_sd = Stats.stddev (Array.map (fun o -> o.t_alpha) outcomes);
     time_mean = Stats.mean (Array.map (fun o -> o.t_seconds) outcomes);
+    time_total = Array.fold_left (fun acc o -> acc +. o.t_seconds) 0. outcomes;
     output_size_mean = Stats.mean (Array.map (fun o -> o.t_size) outcomes);
     false_negative_runs =
       Array.fold_left
         (fun acc o -> if o.t_false_negative then acc + 1 else acc)
         0 outcomes;
     metrics_mean;
+    hists;
   }
 
 let run_sweep ?pool ~title ~x_label ~algorithms ~points ~utilities ~user_delta

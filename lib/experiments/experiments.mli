@@ -31,6 +31,7 @@ type cell = {
   alpha_mean : float;
   alpha_sd : float;
   time_mean : float;  (** seconds per run *)
+  time_total : float;  (** summed wall seconds over the cell's trials *)
   output_size_mean : float;
   false_negative_runs : int;
       (** runs in which the output missed a tuple of the exact [I];
@@ -38,6 +39,9 @@ type cell = {
   metrics_mean : (string * float) list;
       (** mean per-run {!Indq_obs.Counter} deltas over the [utilities]
           trials, sorted by counter name *)
+  hists : (string * Indq_obs.Histogram.snap) list;
+      (** per-run {!Indq_obs.Histogram} deltas combined over the cell's
+          trials (exact bucket addition, trial order), sorted by name *)
 }
 
 type sweep = {

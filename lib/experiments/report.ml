@@ -1,5 +1,6 @@
 module Tabulate = Indq_util.Tabulate
 module Algo = Indq_core.Algo
+module Histogram = Indq_obs.Histogram
 
 let algo_columns (sweep : Experiments.sweep) =
   List.map Algo.to_string sweep.Experiments.algorithms
@@ -126,12 +127,37 @@ let json_float x =
 
 let json_list f xs = "[" ^ String.concat "," (List.map f xs) ^ "]"
 
+(* One histogram as JSON: the unit tag, exact count/sum, and the
+   log-bucket percentile estimates.  Everything here is deterministic for
+   count-unit histograms; seconds-unit ones only appear when the report
+   carries wall-clock figures at all. *)
+let hist_to_json (s : Histogram.snap) =
+  Printf.sprintf
+    {|{"unit":%s,"count":%d,"sum":%s,"p50":%s,"p90":%s,"p99":%s}|}
+    (json_string
+       (match s.Histogram.s_unit with
+       | Histogram.Seconds -> "s"
+       | Histogram.Count -> "count"))
+    s.Histogram.count (json_float s.Histogram.sum)
+    (json_float (Histogram.p50 s))
+    (json_float (Histogram.p90 s))
+    (json_float (Histogram.p99 s))
+
+let cell_hists ~with_times (c : Experiments.cell) =
+  List.filter
+    (fun (_, s) ->
+      match s.Histogram.s_unit with
+      | Histogram.Count -> true
+      | Histogram.Seconds -> with_times)
+    c.Experiments.hists
+
 let cell_to_json ~with_times (c : Experiments.cell) =
   let fields =
     [ ("alpha_mean", json_float c.Experiments.alpha_mean);
       ("alpha_sd", json_float c.Experiments.alpha_sd) ]
     @ (if with_times then
-         [ ("time_mean", json_float c.Experiments.time_mean) ]
+         [ ("time_mean", json_float c.Experiments.time_mean);
+           ("time_total", json_float c.Experiments.time_total) ]
        else [])
     @ [
         ("output_size_mean", json_float c.Experiments.output_size_mean);
@@ -143,6 +169,13 @@ let cell_to_json ~with_times (c : Experiments.cell) =
               (List.map
                  (fun (k, v) -> json_string k ^ ":" ^ json_float v)
                  c.Experiments.metrics_mean)
+          ^ "}" );
+        ( "hists",
+          "{"
+          ^ String.concat ","
+              (List.map
+                 (fun (k, s) -> json_string k ^ ":" ^ hist_to_json s)
+                 (cell_hists ~with_times c))
           ^ "}" );
       ]
   in

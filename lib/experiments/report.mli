@@ -36,10 +36,13 @@ val print_sweep :
 val sweep_to_json : ?with_times:bool -> Experiments.sweep -> string
 (** One sweep as a single-line JSON object ({i title}, {i x_label},
     {i x_values}, {i algorithms}, {i cells}; each cell carries the
-    {!Experiments.cell} fields with [metrics_mean] as an object).
+    {!Experiments.cell} fields with [metrics_mean] and [hists] as
+    objects — per histogram its unit, exact count/sum and p50/p90/p99).
     Deterministic: fixed key order, floats printed exactly ([%.17g]), and
-    [with_times = false] omits [time_mean] — two reports from equivalent
-    runs then diff byte-for-byte.  No JSON library needed or used. *)
+    [with_times = false] omits [time_mean]/[time_total] and every
+    seconds-unit histogram — two reports from equivalent runs then diff
+    byte-for-byte.  No JSON library needed or used.  [tools/benchdiff]
+    consumes exactly this shape. *)
 
 val print_time_sweep :
   ?with_metrics:bool ->

@@ -1,4 +1,5 @@
 module Counter = Indq_obs.Counter
+module Histogram = Indq_obs.Histogram
 module Fault = Indq_fault.Fault
 module Vec = Indq_linalg.Vec
 
@@ -9,6 +10,12 @@ let c_warm_iterations_saved = Counter.make "lp.warm_iterations_saved"
 let c_failures = Counter.make "lp.failures"
 let c_retry_attempts = Counter.make "retry.attempts"
 let c_retry_exhausted = Counter.make "retry.exhausted"
+
+(* Simplex pivots per [solve] call (all attempts: warm, Dantzig, Bland
+   retry), observed as the [lp.iterations] delta around the call.  Pivot
+   counts are integers, so the histogram — including its float sum —
+   merges exactly across domains. *)
+let h_pivots_per_solve = Histogram.make "lp.pivots_per_solve"
 
 type relation = Le | Ge | Eq
 
@@ -349,7 +356,7 @@ let install_basis t (w : basis) =
    off and retried under Bland instead of spinning forever. *)
 let default_budget ~n ~m = 1000 + (50 * (n + (3 * m)))
 
-let solve ?(tol = 1e-9) ?warm ?max_pivots ~n ~objective direction constraints =
+let solve_lp ?(tol = 1e-9) ?warm ?max_pivots ~n ~objective direction constraints =
   let cost =
     match direction with
     | `Minimize -> objective
@@ -472,6 +479,13 @@ let solve ?(tol = 1e-9) ?warm ?max_pivots ~n ~objective direction constraints =
           Counter.incr c_retry_exhausted;
           fail (Iteration_limit { budget })))
   end
+
+let solve ?tol ?warm ?max_pivots ~n ~objective direction constraints =
+  let pivots_before = Counter.value c_iterations in
+  let result = solve_lp ?tol ?warm ?max_pivots ~n ~objective direction constraints in
+  Histogram.observe h_pivots_per_solve
+    (Counter.value c_iterations -. pivots_before);
+  result
 
 let minimize ?tol ~n ~objective constraints =
   fst (solve ?tol ~n ~objective `Minimize constraints)

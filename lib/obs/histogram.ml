@@ -1,0 +1,253 @@
+(* Deterministic log-bucketed latency/size distributions.  Like
+   {!Counter}, histogram *names* are registered process-wide while the
+   *buckets* live in per-domain cells reached through [Domain.DLS]: an
+   [observe] is a hash-table bump on the owning domain and never touches a
+   lock.  Bucket counts are integers and bucket boundaries are exact
+   powers-of-two fractions computed with [frexp]/[ldexp] (no [log]/[**],
+   whose last-bit behaviour varies across libms), so merging snapshots is
+   exact integer addition: the merged distribution is bit-identical for
+   every domain count and schedule. *)
+
+type unit_ = Count | Seconds
+
+type t = { name : string; index : int; unit_ : unit_ }
+
+type snap = {
+  s_unit : unit_;
+  count : int;
+  sum : float;
+  zeros : int;
+  buckets : (int * int) list;
+}
+
+(* Process-wide name registry, mirroring {!Counter}'s. *)
+let registry : (string, t) Hashtbl.t = Hashtbl.create 16
+
+let registry_lock = Mutex.create ()
+
+let registered = ref 0
+
+type cell = {
+  mutable c_count : int;
+  mutable c_sum : float;
+  mutable c_zeros : int;
+  c_buckets : (int, int ref) Hashtbl.t;
+}
+
+let new_cell () =
+  { c_count = 0; c_sum = 0.; c_zeros = 0; c_buckets = Hashtbl.create 8 }
+
+(* Per-domain cells, indexed by [t.index]; grows on demand like
+   {!Counter.cells}. *)
+let cells_key : cell array ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      ref (Array.init (max 8 !registered) (fun _ -> new_cell ())))
+
+let cells (h : t) =
+  let r = Domain.DLS.get cells_key in
+  let arr = !r in
+  if h.index < Array.length arr then arr
+  else begin
+    let n = max (h.index + 1) (2 * Array.length arr) in
+    let grown =
+      Array.init n (fun i ->
+          if i < Array.length arr then arr.(i) else new_cell ())
+    in
+    r := grown;
+    grown
+  end
+
+let make ?(unit_ = Count) name =
+  Mutex.protect registry_lock (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some h -> h
+      | None ->
+        let h = { name; index = !registered; unit_ } in
+        incr registered;
+        Hashtbl.replace registry name h;
+        h)
+
+let name h = h.name
+
+let kind h = h.unit_
+
+(* Four sub-buckets per octave.  For v > 0, [frexp v = (m, e)] with
+   m ∈ [0.5, 1); the sub-bucket is the largest k with m >= thresholds.(k).
+   The thresholds are the doubles nearest 2^-1, 2^-0.75, 2^-0.5, 2^-0.25 —
+   literals, so bucketing never calls into libm and is bit-identical on
+   every platform.  The resulting bucket index is [4*e + k], giving
+   relative bucket width 2^0.25 ≈ 1.19 (percentile error < 19 %). *)
+let sub_thresholds =
+  [| 0.5; 0.59460355750136051; 0.70710678118654757; 0.84089641525371461 |]
+
+let sub_buckets = Array.length sub_thresholds
+
+let bucket_of v =
+  let m, e = Float.frexp v in
+  let k = ref 0 in
+  for i = 1 to sub_buckets - 1 do
+    if m >= sub_thresholds.(i) then k := i
+  done;
+  (sub_buckets * e) + !k
+
+(* Inclusive lower / exclusive upper bound of a bucket, via [ldexp] —
+   exact, and the inverse of [bucket_of] by construction. *)
+let bucket_bounds index =
+  let k = ((index mod sub_buckets) + sub_buckets) mod sub_buckets in
+  let e = (index - k) / sub_buckets in
+  let lower = Float.ldexp sub_thresholds.(k) e in
+  let upper =
+    if k = sub_buckets - 1 then Float.ldexp sub_thresholds.(0) (e + 1)
+    else Float.ldexp sub_thresholds.(k + 1) e
+  in
+  (lower, upper)
+
+let observe h v =
+  let c = (cells h).(h.index) in
+  c.c_count <- c.c_count + 1;
+  c.c_sum <- c.c_sum +. v;
+  if v > 0. then begin
+    let i = bucket_of v in
+    match Hashtbl.find_opt c.c_buckets i with
+    | Some r -> incr r
+    | None -> Hashtbl.replace c.c_buckets i (ref 1)
+  end
+  else c.c_zeros <- c.c_zeros + 1
+
+let snap_of_cell u c =
+  let buckets =
+    Hashtbl.fold (fun i r acc -> (i, !r) :: acc) c.c_buckets []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  { s_unit = u; count = c.c_count; sum = c.c_sum; zeros = c.c_zeros; buckets }
+
+let value h = snap_of_cell h.unit_ (cells h).(h.index)
+
+let empty u = { s_unit = u; count = 0; sum = 0.; zeros = 0; buckets = [] }
+
+let is_empty_snap s = s.count = 0
+
+(* Pointwise bucket arithmetic on sorted assoc lists.  [op] is applied to
+   matched pairs; unmatched indices keep (or negate, for subtraction)
+   their single side.  Zero-count buckets are dropped so snaps stay
+   canonical and comparable with [=]. *)
+let merge_buckets op a b =
+  let rec go a b =
+    match (a, b) with
+    | [], rest -> List.map (fun (i, n) -> (i, op 0 n)) rest
+    | rest, [] -> rest
+    | (ia, na) :: ta, (ib, nb) :: tb ->
+      if ia < ib then (ia, na) :: go ta b
+      else if ib < ia then (ib, op 0 nb) :: go a tb
+      else (ia, op na nb) :: go ta tb
+  in
+  List.filter (fun (_, n) -> n <> 0) (go a b)
+
+let combine a b =
+  {
+    s_unit = a.s_unit;
+    count = a.count + b.count;
+    sum = a.sum +. b.sum;
+    zeros = a.zeros + b.zeros;
+    buckets = merge_buckets (fun x y -> x + y) a.buckets b.buckets;
+  }
+
+let sub_snap a b =
+  {
+    s_unit = a.s_unit;
+    count = a.count - b.count;
+    sum = a.sum -. b.sum;
+    zeros = a.zeros - b.zeros;
+    buckets = merge_buckets (fun x y -> x - y) a.buckets b.buckets;
+  }
+
+(* Every registered histogram, sorted by name (same rationale as
+   {!Counter.all}: report order must not depend on initialization order). *)
+let all () =
+  Mutex.protect registry_lock (fun () ->
+      Hashtbl.fold (fun _ h acc -> h :: acc) registry [])
+  |> List.sort (fun a b -> String.compare a.name b.name)
+
+let find name =
+  Mutex.protect registry_lock (fun () -> Hashtbl.find_opt registry name)
+
+let snapshot () = List.map (fun h -> (h.name, value h)) (all ())
+
+let since before =
+  List.filter_map
+    (fun (n, v) ->
+      let d =
+        match List.assoc_opt n before with
+        | Some b -> sub_snap v b
+        | None -> v
+      in
+      if is_empty_snap d then None else Some (n, d))
+    (snapshot ())
+
+let merge deltas =
+  List.iter
+    (fun (n, s) ->
+      let h = make ~unit_:s.s_unit n in
+      let c = (cells h).(h.index) in
+      c.c_count <- c.c_count + s.count;
+      c.c_sum <- c.c_sum +. s.sum;
+      c.c_zeros <- c.c_zeros + s.zeros;
+      List.iter
+        (fun (i, n) ->
+          match Hashtbl.find_opt c.c_buckets i with
+          | Some r -> r := !r + n
+          | None -> Hashtbl.replace c.c_buckets i (ref n))
+        s.buckets)
+    deltas
+
+let reset_all () =
+  List.iter
+    (fun h ->
+      let c = (cells h).(h.index) in
+      c.c_count <- 0;
+      c.c_sum <- 0.;
+      c.c_zeros <- 0;
+      Hashtbl.reset c.c_buckets)
+    (all ())
+
+(* Percentile estimate: the value at rank ceil(p·count) (1-based, nearest-
+   rank definition), reported as the *upper bound* of the bucket holding
+   that rank — a deterministic over-estimate within one bucket width.
+   Non-positive observations all report 0. *)
+let percentile s p =
+  if s.count = 0 then 0.
+  else begin
+    let p = Float.min 1. (Float.max 0. p) in
+    let rank =
+      Stdlib.max 1 (int_of_float (Float.ceil (p *. float_of_int s.count)))
+    in
+    if rank <= s.zeros then 0.
+    else begin
+      let acc = ref s.zeros in
+      let result = ref 0. in
+      let found = ref false in
+      List.iter
+        (fun (i, n) ->
+          if not !found then begin
+            acc := !acc + n;
+            if rank <= !acc then begin
+              result := snd (bucket_bounds i);
+              found := true
+            end
+          end)
+        s.buckets;
+      if !found then !result
+      else
+        match List.rev s.buckets with
+        | (i, _) :: _ -> snd (bucket_bounds i)
+        | [] -> 0.
+    end
+  end
+
+let p50 s = percentile s 0.50
+
+let p90 s = percentile s 0.90
+
+let p99 s = percentile s 0.99
+
+let mean s = if s.count = 0 then 0. else s.sum /. float_of_int s.count

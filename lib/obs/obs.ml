@@ -1,9 +1,15 @@
 type t = {
   counters : (string * float) list;
   spans : (string * Span.stat) list;
+  hists : (string * Histogram.snap) list;
 }
 
-let snapshot () = { counters = Counter.snapshot (); spans = Span.snapshot () }
+let snapshot () =
+  {
+    counters = Counter.snapshot ();
+    spans = Span.snapshot ();
+    hists = Histogram.snapshot ();
+  }
 
 let diff after before =
   let counters =
@@ -32,11 +38,24 @@ let diff after before =
         else Some (n, s))
       after.spans
   in
-  { counters; spans }
+  let hists =
+    List.filter_map
+      (fun (n, (a : Histogram.snap)) ->
+        let d =
+          match List.assoc_opt n before.hists with
+          | Some b -> Histogram.sub_snap a b
+          | None -> a
+        in
+        if d.Histogram.count = 0 then None else Some (n, d))
+      after.hists
+  in
+  { counters; spans; hists }
 
 let merge t =
   Counter.merge t.counters;
-  Span.merge t.spans
+  Span.merge t.spans;
+  Histogram.merge t.hists
 
 let is_empty t =
-  List.for_all (fun (_, v) -> Float.equal v 0.) t.counters && t.spans = []
+  List.for_all (fun (_, v) -> Float.equal v 0.) t.counters
+  && t.spans = [] && t.hists = []

@@ -29,20 +29,25 @@ type t = {
       (** per-counter values ({!Counter.snapshot} order: sorted by name) *)
   spans : (string * Span.stat) list;
       (** per-span accumulated statistics, sorted by name *)
+  hists : (string * Histogram.snap) list;
+      (** per-histogram snapshots, sorted by name *)
 }
 
 val snapshot : unit -> t
-(** The calling domain's current counter values and span statistics. *)
+(** The calling domain's current counter values, span statistics and
+    histogram snapshots. *)
 
 val diff : t -> t -> t
 (** [diff after before] subtracts [before] from [after] entry-wise: the
     work done between the two snapshots (both taken on the same domain).
-    Counters keep zero entries so lookups stay total; spans drop
-    all-zero entries. *)
+    Counters keep zero entries so lookups stay total; spans and
+    histograms drop all-zero entries. *)
 
 val merge : t -> unit
-(** Add every counter delta and span statistic into the calling domain, as
-    if the work had happened here. *)
+(** Add every counter delta, span statistic and histogram bucket into the
+    calling domain, as if the work had happened here.  Histogram merging
+    is exact integer bucket addition ({!Histogram.merge}), so the folded
+    distributions are bit-identical for every pool size. *)
 
 val is_empty : t -> bool
-(** No non-zero counter delta and no span entry. *)
+(** No non-zero counter delta, no span entry, no histogram entry. *)

@@ -1,0 +1,74 @@
+(** Offline profiler over {!Trace} span events.
+
+    {!Span.timed} emits [Span_started]/[Span_finished] events carrying
+    stable span ids and parent ids; {!of_events} (or {!of_lines}, for a
+    JSONL trace file) replays such a stream into the span tree and
+    attributes wall time per phase: for every span name, the number of
+    calls, the cumulative {e total} time and the {e self} time (total
+    minus time inside child spans).  Self times telescope — summed over
+    all phases they equal the total traced wall time — which is what
+    makes the attribution trustworthy.
+
+    Two export formats: {!folded} produces flamegraph.pl folded stacks
+    (one ["a;b;c <microseconds>"] line per distinct stack) and
+    {!speedscope} produces a speedscope.app "evented" JSON document.
+    Both are pure functions of the event list, so re-profiling a trace
+    file is byte-reproducible.  The [indq profile] subcommand wraps all
+    of this. *)
+
+type node = {
+  node_id : int;  (** the trace stream's span id *)
+  node_name : string;
+  n_start : float;  (** seconds since the trace's first span event *)
+  n_stop : float;
+  n_children : node list;  (** in start order *)
+}
+
+type phase = {
+  phase_name : string;
+  calls : int;
+  total : float;  (** Σ (stop − start) over this phase's spans *)
+  self : float;  (** total minus time attributed to child spans *)
+}
+
+type t = {
+  roots : node list;  (** top-level spans, in start order *)
+  phases : phase list;  (** per-name attribution, sorted by name *)
+  total : float;  (** Σ total over [roots] = Σ self over [phases] *)
+}
+
+val of_events : Trace.event list -> t
+(** Reconstruct the span tree from span events (other events are
+    ignored).  Timestamps are re-based so the first span event is 0.  A
+    span with no finish event (truncated trace) is closed at the last
+    timestamp seen; a finish with no matching start is dropped. *)
+
+val of_lines : string list -> t
+(** {!of_events} over [Trace.of_json_line]-parseable lines; anything
+    else (including non-span events) is skipped. *)
+
+val node_self : node -> float
+(** One node's self time: its duration minus its children's durations. *)
+
+val folded : t -> string
+(** flamegraph.pl folded-stack rendering: per distinct stack one line
+    ["root;child;leaf <self-microseconds>"], sorted lexicographically. *)
+
+val speedscope : ?name:string -> t -> string
+(** A speedscope "evented" JSON document (open/close event per span, a
+    shared frame table, seconds unit).  Load it at speedscope.app or
+    with [speedscope <file>]. *)
+
+val phase : string -> doc:string -> string * string
+(** [phase name ~doc] declares a known phase name with its one-line
+    description.  indq-lint collects literal [Profile.phase] names into
+    the IND006 doc cross-check, exactly like [Counter.make] /
+    [Span.timed] / [Histogram.make] registration sites. *)
+
+val catalog : (string * string) list
+(** Every known span/phase name with its description, sorted by name —
+    the reference list behind [indq profile]'s phase table.  See
+    DESIGN.md §5. *)
+
+val phase_doc : string -> string option
+(** Look a phase name up in {!catalog}. *)

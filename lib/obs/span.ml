@@ -6,24 +6,42 @@ type cell = {
   mutable calls : int;
   mutable cumulative : float;
   mutable self : float;
+  hist : Histogram.t;
+      (* per-span-name duration distribution, fed on every completion *)
 }
 
-type frame = { cell_name : string; start : float; mutable child : float }
+type frame = {
+  cell_name : string;
+  start : float;
+  mutable child : float;
+  id : int;
+  parent : int;
+}
 
 (* All span state — the enabled flag, the per-name cells and the frame
    stack — is domain-local: each domain profiles its own work and never
    synchronizes with the others.  Cross-domain aggregation goes through
-   {!snapshot}/{!merge} (see Indq_obs.Obs). *)
+   {!snapshot}/{!merge} (see Indq_obs.Obs).  [next_id] numbers this
+   domain's frames 1, 2, … for the trace stream's span/parent ids; it is
+   monotonic for the domain's lifetime (never reset) so ids in one trace
+   file stay unique per domain. *)
 type state = {
   mutable on : bool;
   cells : (string, cell) Hashtbl.t;
   mutable names : string list;
   mutable stack : frame list;
+  mutable next_id : int;
 }
 
 let key : state Domain.DLS.key =
   Domain.DLS.new_key (fun () ->
-      { on = false; cells = Hashtbl.create 16; names = []; stack = [] })
+      {
+        on = false;
+        cells = Hashtbl.create 16;
+        names = [];
+        stack = [];
+        next_id = 0;
+      })
 
 let state () = Domain.DLS.get key
 
@@ -37,13 +55,21 @@ let cell st name =
   match Hashtbl.find_opt st.cells name with
   | Some c -> c
   | None ->
-    let c = { calls = 0; cumulative = 0.; self = 0. } in
+    let c =
+      {
+        calls = 0;
+        cumulative = 0.;
+        self = 0.;
+        hist = Histogram.make ~unit_:Seconds name;
+      }
+    in
     Hashtbl.replace st.cells name c;
     st.names <- name :: st.names;
     c
 
 let record st fr =
-  let elapsed = Timer.wall () -. fr.start in
+  let stop = Timer.wall () in
+  let elapsed = stop -. fr.start in
   (match st.stack with
   | top :: rest when top == fr -> st.stack <- rest
   | _ -> st.stack <- List.filter (fun f -> f != fr) st.stack);
@@ -53,14 +79,21 @@ let record st fr =
   let c = cell st fr.cell_name in
   c.calls <- c.calls + 1;
   c.cumulative <- c.cumulative +. elapsed;
-  c.self <- c.self +. Float.max 0. (elapsed -. fr.child)
+  c.self <- c.self +. Float.max 0. (elapsed -. fr.child);
+  Histogram.observe c.hist elapsed;
+  Trace.emit_with (fun () -> Trace.Span_finished { id = fr.id; at = stop })
 
 let timed name f =
   let st = state () in
   if not st.on then f ()
   else begin
-    let fr = { cell_name = name; start = Timer.wall (); child = 0. } in
+    let parent = match st.stack with top :: _ -> top.id | [] -> 0 in
+    st.next_id <- st.next_id + 1;
+    let id = st.next_id in
+    let fr = { cell_name = name; start = Timer.wall (); child = 0.; id; parent } in
     st.stack <- fr :: st.stack;
+    Trace.emit_with (fun () ->
+        Trace.Span_started { id = fr.id; parent = fr.parent; name; at = fr.start });
     match f () with
     | v ->
       record st fr;

@@ -30,7 +30,14 @@ val disable : unit -> unit
 val timed : string -> (unit -> 'a) -> 'a
 (** [timed name f] runs [f ()] inside a span named [name] when enabled,
     or just runs [f ()] when disabled.  Re-entrant and exception-safe:
-    the span is recorded even when [f] raises. *)
+    the span is recorded even when [f] raises.
+
+    Every completion additionally (1) feeds the elapsed wall time into a
+    [Seconds]-unit {!Histogram} named after the span, so p50/p90/p99 per
+    span name fall out of any run, and (2) — when a {!Trace} sink is
+    installed — emits a {!Trace.Span_started}/{!Trace.Span_finished} pair
+    carrying this frame's stable id and its parent's id, so the JSONL
+    stream reconstructs the span tree ([indq profile] consumes this). *)
 
 val snapshot : unit -> (string * stat) list
 (** The calling domain's accumulated statistics per span name, sorted by

@@ -13,6 +13,8 @@ type event =
   | Prune_stage of { stage : string; before : int; after : int }
   | Region_updated of { round : int; halfspaces : int; empty : bool }
   | Run_finished of { questions : int; output : int; seconds : float }
+  | Span_started of { id : int; parent : int; name : string; at : float }
+  | Span_finished of { id : int; at : float }
 
 type sink = event -> unit
 
@@ -80,6 +82,11 @@ let unescape s =
 
 let float_token x = Printf.sprintf "%g" x
 
+(* Span timestamps are raw epoch-scale [Timer.wall] readings; "%g" would
+   truncate them to ~100 s precision, so they round-trip at full double
+   precision instead. *)
+let time_token x = Printf.sprintf "%.17g" x
+
 let to_json = function
   | Run_started { algo; n; d; s; q; eps; delta } ->
     Printf.sprintf
@@ -103,6 +110,13 @@ let to_json = function
     Printf.sprintf
       {|{"type":"run_finished","questions":%d,"output":%d,"seconds":%s}|}
       questions output (float_token seconds)
+  | Span_started { id; parent; name; at } ->
+    Printf.sprintf
+      {|{"type":"span_started","id":%d,"parent":%d,"name":"%s","at":%s}|} id
+      parent (escape name) (time_token at)
+  | Span_finished { id; at } ->
+    Printf.sprintf {|{"type":"span_finished","id":%d,"at":%s}|} id
+      (time_token at)
 
 (* Minimal field extraction for the flat one-line objects emitted above; not
    a general JSON parser. *)
@@ -191,6 +205,16 @@ let of_json_line line =
     let* output = int_field line "output" in
     let* seconds = float_field line "seconds" in
     Some (Run_finished { questions; output; seconds })
+  | Some "span_started" ->
+    let* id = int_field line "id" in
+    let* parent = int_field line "parent" in
+    let* name = string_field line "name" in
+    let* at = float_field line "at" in
+    Some (Span_started { id; parent; name; at })
+  | Some "span_finished" ->
+    let* id = int_field line "id" in
+    let* at = float_field line "at" in
+    Some (Span_finished { id; at })
   | _ -> None
 
 let jsonl_sink oc ev =
@@ -256,3 +280,5 @@ let console_sink () =
       flush ();
       Printf.printf "# finished: %d questions, %d tuples, %.3fs\n%!" f.questions
         f.output f.seconds
+    (* Span events are for `indq profile`, not the live table. *)
+    | Span_started _ | Span_finished _ -> ()

@@ -36,6 +36,15 @@ type event =
       (** A feasible-region cut was applied; [halfspaces] is the region's
           total cut count afterwards. *)
   | Run_finished of { questions : int; output : int; seconds : float }
+  | Span_started of { id : int; parent : int; name : string; at : float }
+      (** A {!Span.timed} scope opened.  [id] is stable within the
+          emitting domain (1-based, monotonic for the domain's lifetime);
+          [parent] is the id of the enclosing open span, or 0 at the top
+          of the stack — together they reconstruct the span tree (see
+          {!Profile}).  [at] is a raw [Timer.wall] reading, serialized at
+          full double precision. *)
+  | Span_finished of { id : int; at : float }
+      (** The matching scope closed. *)
 
 type sink = event -> unit
 
@@ -66,6 +75,10 @@ val emit_with : (unit -> event) -> unit
 (** Like {!emit} but builds the event lazily: the thunk only runs when a
     sink is installed.  Use this on hot paths where constructing the event
     allocates. *)
+
+val escape : string -> string
+(** JSON string-content escaping as used by {!to_json} (shared with
+    {!Profile}'s exporters). *)
 
 val to_json : event -> string
 (** One flat JSON object, no trailing newline. *)

@@ -1,0 +1,198 @@
+(* Tests for tools/benchdiff: the JSON reader, the finding taxonomy, and
+   the gate semantics — most importantly that an injected counter
+   regression makes [exit_code] nonzero (the CI perf-gate contract) while
+   improvements and in-tolerance timing noise do not. *)
+
+module B = Indq_benchdiff.Benchdiff
+
+(* A minimal but shape-complete BENCH report: header + one sweep with a
+   1×1 cell grid. *)
+let report ?(seed = 2024) ?(lp_solves = 40.) ?(alpha = 0.01) ?(time = 0.5)
+    ?(p99 = 64.) () =
+  Printf.sprintf
+    {|{"seed":%d,"scale":0.05,"utilities":3,"max_n":10000,"sweeps":[
+{"experiment":"tab3","sweep":{"title":"t","x_label":"x","x_values":[1],"algorithms":["Squeeze-u"],"cells":[[{"alpha_mean":%g,"alpha_sd":0,"time_mean":%g,"time_total":%g,"output_size_mean":7,"false_negative_runs":0,"metrics_mean":{"lp.solves":%g,"oracle.questions":12},"hists":{"lp.pivots_per_solve":{"unit":"count","count":40,"sum":227,"p50":8,"p90":32,"p99":%g}}}]]}}
+]}|}
+    seed alpha time (3. *. time) lp_solves p99
+
+let parse_ok s =
+  match B.parse s with
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+
+let diff ?(strict = false) ?(gate_times = false) base cur =
+  let findings =
+    B.compare_reports ~gate_times (parse_ok base) (parse_ok cur)
+  in
+  (findings, B.exit_code ~strict findings)
+
+(* --- parser --- *)
+
+let test_parse_round_trip () =
+  let v = parse_ok (report ()) in
+  Alcotest.(check (list string))
+    "header keys" [ "seed"; "scale"; "utilities"; "max_n"; "sweeps" ]
+    (B.obj_keys v);
+  (match B.member "seed" v with
+  | Some (B.Num f) -> Alcotest.(check (float 0.)) "seed" 2024. f
+  | _ -> Alcotest.fail "seed missing");
+  List.iter
+    (fun s ->
+      match B.parse s with
+      | Ok _ -> Alcotest.failf "accepted garbage: %s" s
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; {|{"a":}|}; "nope"; {|{"a":1} trailing|} ]
+
+let test_parse_escapes_and_numbers () =
+  match B.parse {|{"a\"b":[-1.5e3,true,false,null,"x\nA"]}|} with
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Ok v -> (
+    match B.member "a\"b" v with
+    | Some (B.Arr [ B.Num n; B.Bool true; B.Bool false; B.Null; B.Str s ]) ->
+      Alcotest.(check (float 0.)) "number" (-1500.) n;
+      Alcotest.(check string) "escapes" "x\nA" s
+    | _ -> Alcotest.fail "wrong structure")
+
+(* --- gate semantics --- *)
+
+let test_identical_reports_clean () =
+  let findings, code = diff (report ()) (report ()) in
+  Alcotest.(check int) "no findings" 0 (List.length findings);
+  Alcotest.(check int) "exit 0" 0 code
+
+let test_counter_regression_gates () =
+  (* The acceptance criterion: an injected counter regression (lp.solves
+     40 → 52) must exit nonzero. *)
+  let findings, code = diff (report ()) (report ~lp_solves:52. ()) in
+  Alcotest.(check bool) "a REGRESSION finding" true
+    (List.exists (fun f -> f.B.severity = B.Regression) findings);
+  Alcotest.(check int) "exit 1" 1 code
+
+let test_counter_improvement_passes () =
+  let findings, code = diff (report ()) (report ~lp_solves:31. ()) in
+  Alcotest.(check bool) "an improvement finding" true
+    (List.exists (fun f -> f.B.severity = B.Improvement) findings);
+  Alcotest.(check int) "exit 0" 0 code;
+  (* ... unless -strict gates on any difference at all. *)
+  let _, strict_code = diff ~strict:true (report ()) (report ~lp_solves:31. ()) in
+  Alcotest.(check int) "strict exit 1" 1 strict_code
+
+let test_alpha_mismatch_gates () =
+  let _, code = diff (report ()) (report ~alpha:0.02 ()) in
+  Alcotest.(check int) "semantic drift is a Mismatch" 1 code
+
+let test_header_mismatch_gates () =
+  let _, code = diff (report ()) (report ~seed:2025 ()) in
+  Alcotest.(check int) "incomparable configs refuse to pass" 1 code
+
+let test_hist_percentile_regression_gates () =
+  let _, code = diff (report ()) (report ~p99:91. ()) in
+  Alcotest.(check int) "count-unit p99 drift gates" 1 code
+
+let test_times_noted_not_gated () =
+  (* 3x slower is far beyond the 50% tolerance, but wall time only notes
+     by default. *)
+  let findings, code = diff (report ()) (report ~time:1.5 ()) in
+  Alcotest.(check bool) "a Note finding" true
+    (List.exists (fun f -> f.B.severity = B.Note) findings);
+  Alcotest.(check int) "exit 0" 0 code;
+  let _, gated = diff ~gate_times:true (report ()) (report ~time:1.5 ()) in
+  Alcotest.(check int) "-gate-times exit 1" 1 gated
+
+let test_missing_times_ignored () =
+  (* A -no-times baseline diffs clean against a timed current run: time
+     fields are only compared when present on both sides. *)
+  let strip_times s =
+    (* Cheap but honest: rebuild the report without time fields. *)
+    ignore s;
+    Printf.sprintf
+      {|{"seed":2024,"scale":0.05,"utilities":3,"max_n":10000,"sweeps":[
+{"experiment":"tab3","sweep":{"title":"t","x_label":"x","x_values":[1],"algorithms":["Squeeze-u"],"cells":[[{"alpha_mean":0.01,"alpha_sd":0,"output_size_mean":7,"false_negative_runs":0,"metrics_mean":{"lp.solves":40,"oracle.questions":12},"hists":{"lp.pivots_per_solve":{"unit":"count","count":40,"sum":227,"p50":8,"p90":32,"p99":64}}}]]}}
+]}|}
+  in
+  let _, code = diff (strip_times (report ())) (report ()) in
+  Alcotest.(check int) "exit 0" 0 code
+
+let test_malformed_cells_gate () =
+  (* A flat cells array (instead of array-of-rows) must register as a
+     Mismatch, not compare vacuously clean. *)
+  let flat =
+    {|{"seed":2024,"scale":0.05,"utilities":3,"max_n":10000,"sweeps":[
+{"experiment":"tab3","sweep":{"title":"t","x_label":"x","x_values":[1],"algorithms":["Squeeze-u"],"cells":[{"alpha_mean":0.01}]}}
+]}|}
+  in
+  let _, code = diff flat flat in
+  Alcotest.(check int) "malformed rows gate" 1 code
+
+let test_truncated_cell_gates () =
+  (* A current cell missing a mandatory field (alpha_mean dropped) must
+     gate instead of being skipped. *)
+  let truncated =
+    {|{"seed":2024,"scale":0.05,"utilities":3,"max_n":10000,"sweeps":[
+{"experiment":"tab3","sweep":{"title":"t","x_label":"x","x_values":[1],"algorithms":["Squeeze-u"],"cells":[[{"alpha_sd":0,"output_size_mean":7,"false_negative_runs":0,"metrics_mean":{"lp.solves":40,"oracle.questions":12},"hists":{}}]]}}
+]}|}
+  in
+  let findings, code = diff (report ()) truncated in
+  Alcotest.(check bool) "missing-field mismatch" true
+    (List.exists
+       (fun f -> f.B.severity = B.Mismatch && f.B.path = "tab3.cells[0][0].alpha_mean")
+       findings);
+  Alcotest.(check int) "exit 1" 1 code
+
+let test_real_report_self_diff () =
+  (* A report produced by the real serializer diffs clean against
+     itself. *)
+  let sweep =
+    let rng = Indq_util.Rng.create 5 in
+    let data = Indq_dataset.Generator.independent rng ~n:60 ~d:2 in
+    let config = Indq_core.Algo.default_config ~d:2 in
+    Indq_experiments.Experiments.run_sweep ~title:"t" ~x_label:"x"
+      ~algorithms:[ Indq_core.Algo.Squeeze_u ]
+      ~points:[ (1., data, config) ] ~utilities:2 ~user_delta:0. ~seed:9 ()
+  in
+  let body =
+    Indq_experiments.Report.sweep_to_json ~with_times:false sweep
+  in
+  let full =
+    Printf.sprintf
+      {|{"seed":9,"scale":1,"utilities":2,"max_n":60,"sweeps":[{"experiment":"t","sweep":%s}]}|}
+      body
+  in
+  let findings, code = diff full full in
+  Alcotest.(check int) "no findings" 0 (List.length findings);
+  Alcotest.(check int) "exit 0" 0 code
+
+let () =
+  Alcotest.run "benchdiff"
+    [
+      ( "parser",
+        [
+          Alcotest.test_case "round trip" `Quick test_parse_round_trip;
+          Alcotest.test_case "escapes and numbers" `Quick
+            test_parse_escapes_and_numbers;
+        ] );
+      ( "gate",
+        [
+          Alcotest.test_case "identical clean" `Quick test_identical_reports_clean;
+          Alcotest.test_case "counter regression gates" `Quick
+            test_counter_regression_gates;
+          Alcotest.test_case "improvement passes" `Quick
+            test_counter_improvement_passes;
+          Alcotest.test_case "alpha mismatch gates" `Quick
+            test_alpha_mismatch_gates;
+          Alcotest.test_case "header mismatch gates" `Quick
+            test_header_mismatch_gates;
+          Alcotest.test_case "hist percentile regression gates" `Quick
+            test_hist_percentile_regression_gates;
+          Alcotest.test_case "times noted not gated" `Quick
+            test_times_noted_not_gated;
+          Alcotest.test_case "missing times ignored" `Quick
+            test_missing_times_ignored;
+          Alcotest.test_case "malformed cells gate" `Quick
+            test_malformed_cells_gate;
+          Alcotest.test_case "truncated cell gates" `Quick
+            test_truncated_cell_gates;
+          Alcotest.test_case "real report self-diff" `Quick
+            test_real_report_self_diff;
+        ] );
+    ]

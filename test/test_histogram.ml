@@ -1,0 +1,252 @@
+(* Tests for Indq_obs.Histogram: exact log-bucketing, the algebraic laws
+   the merge protocol relies on (combine commutes and associates on
+   integer-valued observations, sub_snap inverts combine), the
+   cross-domain snapshot/since/merge round trip, and the end-to-end
+   determinism guarantee — a sweep's JSON report with histograms included
+   is byte-identical on a 4-domain pool and on the sequential harness. *)
+
+module Histogram = Indq_obs.Histogram
+module Span = Indq_obs.Span
+module Experiments = Indq_experiments.Experiments
+module Report = Indq_experiments.Report
+module Pool = Indq_exec.Pool
+module Algo = Indq_core.Algo
+module Generator = Indq_dataset.Generator
+module Rng = Indq_util.Rng
+
+let h_scratch = Histogram.make "test.hist.scratch"
+
+(* Build a snap through the real observe path, as a delta so qcheck
+   iterations don't see each other. *)
+let snap_of_list xs =
+  let before = Histogram.value h_scratch in
+  List.iter (Histogram.observe h_scratch) xs;
+  Histogram.sub_snap (Histogram.value h_scratch) before
+
+let snap_testable =
+  Alcotest.testable
+    (fun ppf (s : Histogram.snap) ->
+      Format.fprintf ppf "{count=%d; sum=%g; zeros=%d; buckets=[%s]}" s.count
+        s.sum s.zeros
+        (String.concat ";"
+           (List.map (fun (i, n) -> Printf.sprintf "%d:%d" i n) s.buckets)))
+    (fun a b -> a = b)
+
+(* --- bucketing --- *)
+
+let test_bucket_bounds_inverse =
+  QCheck2.Test.make ~count:500 ~name:"bucket_bounds inverts bucket_of"
+    QCheck2.Gen.(pfloat)
+    (fun v ->
+      QCheck2.assume (Float.is_finite v && v > 0.);
+      let lo, hi = Histogram.bucket_bounds (Histogram.bucket_of v) in
+      lo <= v && v < hi)
+
+let test_bucket_monotone =
+  QCheck2.Test.make ~count:500 ~name:"bucket_of is monotone"
+    QCheck2.Gen.(pair pfloat pfloat)
+    (fun (a, b) ->
+      QCheck2.assume
+        (Float.is_finite a && Float.is_finite b && a > 0. && b > 0.);
+      let x = Float.min a b and y = Float.max a b in
+      Histogram.bucket_of x <= Histogram.bucket_of y)
+
+let test_bucket_known_values () =
+  (* 1.0 has frexp mantissa 0.5, exponent 1 — the first sub-bucket of
+     [1, 2). *)
+  Alcotest.(check int) "bucket of 1" 4 (Histogram.bucket_of 1.);
+  let lo, hi = Histogram.bucket_bounds 4 in
+  Alcotest.(check (float 0.)) "lower bound exact" 1. lo;
+  Alcotest.(check bool) "width ~ 2^0.25" true (hi > 1.18 && hi < 1.20);
+  (* Powers of two always open a fresh quartet. *)
+  Alcotest.(check int) "bucket of 2" 8 (Histogram.bucket_of 2.);
+  Alcotest.(check int) "bucket of 0.5" 0 (Histogram.bucket_of 0.5)
+
+(* --- snap algebra --- *)
+
+let int_obs_gen =
+  (* Integer-valued observations (plus some zeros) — the regime every
+     Count-unit histogram lives in, where float sums are exact. *)
+  QCheck2.Gen.(list_size (int_bound 40) (map float_of_int (int_bound 1000)))
+
+let test_combine_commutes =
+  QCheck2.Test.make ~count:200 ~name:"combine commutes"
+    QCheck2.Gen.(pair int_obs_gen int_obs_gen)
+    (fun (xs, ys) ->
+      let a = snap_of_list xs and b = snap_of_list ys in
+      Histogram.combine a b = Histogram.combine b a)
+
+let test_combine_associates =
+  QCheck2.Test.make ~count:200 ~name:"combine associates on integer obs"
+    QCheck2.Gen.(triple int_obs_gen int_obs_gen int_obs_gen)
+    (fun (xs, ys, zs) ->
+      let a = snap_of_list xs
+      and b = snap_of_list ys
+      and c = snap_of_list zs in
+      Histogram.combine (Histogram.combine a b) c
+      = Histogram.combine a (Histogram.combine b c))
+
+let test_sub_snap_inverts_combine =
+  QCheck2.Test.make ~count:200 ~name:"sub_snap inverts combine"
+    QCheck2.Gen.(pair int_obs_gen int_obs_gen)
+    (fun (xs, ys) ->
+      let a = snap_of_list xs and b = snap_of_list ys in
+      Histogram.sub_snap (Histogram.combine a b) b = a)
+
+let test_combine_empty_identity =
+  QCheck2.Test.make ~count:200 ~name:"empty is the identity"
+    int_obs_gen
+    (fun xs ->
+      let a = snap_of_list xs in
+      Histogram.combine a (Histogram.empty Histogram.Count) = a
+      && Histogram.combine (Histogram.empty Histogram.Count) a = a)
+
+let test_snap_counts () =
+  let s = snap_of_list [ 3.; 0.; 7.; -1.; 3. ] in
+  Alcotest.(check int) "count includes non-positive" 5 s.Histogram.count;
+  Alcotest.(check int) "zeros" 2 s.Histogram.zeros;
+  Alcotest.(check (float 0.)) "sum exact" 12. s.Histogram.sum;
+  Alcotest.(check int) "bucket occupancy" 2
+    (List.assoc (Histogram.bucket_of 3.) s.Histogram.buckets)
+
+(* --- percentiles --- *)
+
+let test_percentile_monotone =
+  QCheck2.Test.make ~count:200 ~name:"p50 <= p90 <= p99"
+    int_obs_gen
+    (fun xs ->
+      let s = snap_of_list xs in
+      Histogram.p50 s <= Histogram.p90 s
+      && Histogram.p90 s <= Histogram.p99 s)
+
+let test_percentile_single_value () =
+  let s = snap_of_list [ 5.; 5.; 5. ] in
+  let expected = snd (Histogram.bucket_bounds (Histogram.bucket_of 5.)) in
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 0.)) "all percentiles in 5's bucket" expected
+        (Histogram.percentile s p))
+    [ 0.5; 0.9; 0.99; 1.0 ];
+  Alcotest.(check bool) "upper bound covers the value" true (expected > 5.)
+
+let test_percentile_empty_and_zeros () =
+  Alcotest.(check (float 0.)) "empty snap" 0.
+    (Histogram.p99 (Histogram.empty Histogram.Count));
+  let s = snap_of_list [ 0.; 0.; 0.; 100. ] in
+  Alcotest.(check (float 0.)) "rank among zeros" 0. (Histogram.p50 s);
+  Alcotest.(check bool) "tail sees the positive obs" true
+    (Histogram.p99 s > 100.);
+  Alcotest.(check (float 0.)) "mean" 25. (Histogram.mean s)
+
+(* --- registry and cross-domain protocol --- *)
+
+let test_registry_shared_handle () =
+  let a = Histogram.make "test.hist.shared" in
+  let b = Histogram.make "test.hist.shared" in
+  let c0 = (Histogram.value a).Histogram.count in
+  Histogram.observe a 2.;
+  Alcotest.(check int) "same cell" (c0 + 1) (Histogram.value b).Histogram.count;
+  Alcotest.(check string) "name" "test.hist.shared" (Histogram.name b);
+  Alcotest.(check bool) "unit fixed by first registration" true
+    (Histogram.kind b = Histogram.Count)
+
+let test_snapshot_since_merge_round_trip () =
+  let h = Histogram.make "test.hist.domains" in
+  let before_local = Histogram.value h in
+  let delta =
+    Domain.join
+      (Domain.spawn (fun () ->
+           let t0 = Histogram.snapshot () in
+           Histogram.observe h 4.;
+           Histogram.observe h 4.;
+           Histogram.observe h 9.;
+           Histogram.since t0))
+  in
+  (* The worker's observations are invisible until merged. *)
+  Alcotest.check snap_testable "domain-local before merge" before_local
+    (Histogram.value h);
+  Histogram.merge delta;
+  let after = Histogram.sub_snap (Histogram.value h) before_local in
+  Alcotest.(check int) "merged count" 3 after.Histogram.count;
+  Alcotest.(check (float 0.)) "merged sum" 17. after.Histogram.sum;
+  Alcotest.check snap_testable "merge lands the exact delta" after
+    (List.assoc "test.hist.domains" delta);
+  (* [since] drops untouched histograms entirely. *)
+  Alcotest.(check bool) "sparse delta" true
+    (not (List.mem_assoc "test.hist.scratch" delta))
+
+(* --- end-to-end: -j 4 report == -j 1 report --- *)
+
+let test_parallel_report_byte_identical () =
+  let points =
+    let rng = Rng.create 77 in
+    let data = Generator.independent rng ~n:60 ~d:2 in
+    let config = Algo.default_config ~d:2 in
+    [ (1., data, config); (2., data, { config with Algo.q = 4 }) ]
+  in
+  let run ?pool () =
+    Span.enable ();
+    Fun.protect ~finally:Span.disable (fun () ->
+        Experiments.run_sweep ?pool ~title:"det" ~x_label:"x"
+          ~algorithms:Algo.all ~points ~utilities:3 ~user_delta:0.02 ~seed:41
+          ())
+  in
+  let sequential = Report.sweep_to_json ~with_times:false (run ()) in
+  let parallel =
+    Pool.with_pool ~domains:4 (fun pool ->
+        Report.sweep_to_json ~with_times:false (run ~pool ()))
+  in
+  Alcotest.(check string) "-j 4 == -j 1, histograms included" sequential
+    parallel;
+  (* The report must actually carry histogram payloads for the identity to
+     mean anything. *)
+  let contains hay needle =
+    let hl = String.length hay and nl = String.length needle in
+    let rec scan i =
+      i + nl <= hl && (String.sub hay i nl = needle || scan (i + 1))
+    in
+    scan 0
+  in
+  Alcotest.(check bool) "pivot histogram present" true
+    (contains sequential "lp.pivots_per_solve");
+  Alcotest.(check bool) "region histogram present" true
+    (contains sequential "region.halfspaces_per_round");
+  Alcotest.(check bool) "seconds histograms filtered" true
+    (not (contains sequential "session.round_latency"))
+
+let () =
+  Alcotest.run "histogram"
+    [
+      ( "bucketing",
+        [
+          QCheck_alcotest.to_alcotest test_bucket_bounds_inverse;
+          QCheck_alcotest.to_alcotest test_bucket_monotone;
+          Alcotest.test_case "known values" `Quick test_bucket_known_values;
+        ] );
+      ( "algebra",
+        [
+          QCheck_alcotest.to_alcotest test_combine_commutes;
+          QCheck_alcotest.to_alcotest test_combine_associates;
+          QCheck_alcotest.to_alcotest test_sub_snap_inverts_combine;
+          QCheck_alcotest.to_alcotest test_combine_empty_identity;
+          Alcotest.test_case "snap counts" `Quick test_snap_counts;
+        ] );
+      ( "percentiles",
+        [
+          QCheck_alcotest.to_alcotest test_percentile_monotone;
+          Alcotest.test_case "single value" `Quick test_percentile_single_value;
+          Alcotest.test_case "empty and zeros" `Quick
+            test_percentile_empty_and_zeros;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "shared handle" `Quick test_registry_shared_handle;
+          Alcotest.test_case "snapshot/since/merge round trip" `Quick
+            test_snapshot_since_merge_round_trip;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "-j 4 report byte-identical" `Quick
+            test_parallel_report_byte_identical;
+        ] );
+    ]

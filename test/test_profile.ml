@@ -1,0 +1,199 @@
+(* Tests for Indq_obs.Profile: span-tree reconstruction from causal trace
+   events, exact self-time attribution (the per-phase self column must
+   telescope back to the traced wall time), the folded-stack and
+   speedscope renderings, and the JSONL round trip of the span events a
+   real run emits. *)
+
+module Trace = Indq_obs.Trace
+module Span = Indq_obs.Span
+module Profile = Indq_obs.Profile
+module Algo = Indq_core.Algo
+module Generator = Indq_dataset.Generator
+module Utility = Indq_user.Utility
+module Oracle = Indq_user.Oracle
+module Rng = Indq_util.Rng
+
+(* Two "a" roots, the first with children "b" then "c":
+     a: [0, 5]   b: [1, 3]   c: [3, 4]      a: [6, 8]
+   Self times: a = (5-3) + 2 = 4, b = 2, c = 1; total = 7. *)
+let sample_events =
+  [
+    Trace.Span_started { id = 1; parent = 0; name = "a"; at = 0. };
+    Trace.Span_started { id = 2; parent = 1; name = "b"; at = 1. };
+    Trace.Span_finished { id = 2; at = 3. };
+    Trace.Span_started { id = 3; parent = 1; name = "c"; at = 3. };
+    Trace.Span_finished { id = 3; at = 4. };
+    Trace.Span_finished { id = 1; at = 5. };
+    Trace.Span_started { id = 4; parent = 0; name = "a"; at = 6. };
+    Trace.Span_finished { id = 4; at = 8. };
+  ]
+
+let phase_by name t =
+  match
+    List.find_opt (fun p -> String.equal p.Profile.phase_name name) t.Profile.phases
+  with
+  | Some p -> p
+  | None -> Alcotest.failf "phase %s missing" name
+
+let test_tree_reconstruction () =
+  let t = Profile.of_events sample_events in
+  Alcotest.(check int) "two roots" 2 (List.length t.Profile.roots);
+  let first = List.hd t.Profile.roots in
+  Alcotest.(check string) "root name" "a" first.Profile.node_name;
+  Alcotest.(check (list string)) "children in start order" [ "b"; "c" ]
+    (List.map (fun n -> n.Profile.node_name) first.Profile.n_children);
+  Alcotest.(check (float 0.)) "total" 7. t.Profile.total
+
+let test_self_times_telescope () =
+  let t = Profile.of_events sample_events in
+  Alcotest.(check (float 0.)) "a self" 4. (phase_by "a" t).Profile.self;
+  Alcotest.(check (float 0.)) "b self" 2. (phase_by "b" t).Profile.self;
+  Alcotest.(check (float 0.)) "c self" 1. (phase_by "c" t).Profile.self;
+  Alcotest.(check int) "a calls" 2 (phase_by "a" t).Profile.calls;
+  let self_sum =
+    List.fold_left (fun acc p -> acc +. p.Profile.self) 0. t.Profile.phases
+  in
+  Alcotest.(check (float 0.)) "selves sum to total" t.Profile.total self_sum
+
+let test_folded_output () =
+  let t = Profile.of_events sample_events in
+  (* The two root "a" frames squash into one folded line; weights are
+     self-µs. *)
+  Alcotest.(check string) "folded stacks"
+    "a 4000000\na;b 2000000\na;c 1000000\n" (Profile.folded t)
+
+let test_speedscope_output () =
+  let t = Profile.of_events sample_events in
+  let s = Profile.speedscope ~name:"unit" t in
+  let contains needle =
+    let hl = String.length s and nl = String.length needle in
+    let rec scan i =
+      i + nl <= hl && (String.sub s i nl = needle || scan (i + 1))
+    in
+    scan 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true (contains needle))
+    [
+      {|"type":"evented"|};
+      {|"unit":"seconds"|};
+      (* endValue is the last root stop (8), not the 7s of root self time:
+         the gap between the roots is real trace time. *)
+      {|"endValue":8|};
+      {|{"name":"a"}|};
+      {|{"type":"O","frame":0,"at":0}|};
+      {|{"type":"C","frame":0,"at":8}|};
+    ]
+
+let test_unclosed_span_closed_at_t_max () =
+  let t =
+    Profile.of_events
+      [
+        Trace.Span_started { id = 1; parent = 0; name = "a"; at = 0. };
+        Trace.Span_started { id = 2; parent = 1; name = "b"; at = 1. };
+        Trace.Span_finished { id = 2; at = 4. };
+        (* id 1 never finishes: a truncated trace. *)
+      ]
+  in
+  let a = List.hd t.Profile.roots in
+  Alcotest.(check (float 0.)) "closed at last timestamp" 4. a.Profile.n_stop;
+  Alcotest.(check (float 0.)) "total still telescopes" 4. t.Profile.total
+
+let test_of_lines_skips_garbage () =
+  let lines =
+    [
+      "not json";
+      {|{"type":"span_started","id":1,"parent":0,"name":"a","at":0}|};
+      {|{"type":"round_started","round":1,"candidates":5}|};
+      "";
+      {|{"type":"span_finished","id":1,"at":2}|};
+      {|{"type":"span_finished"}|};
+    ]
+  in
+  let t = Profile.of_lines lines in
+  Alcotest.(check int) "one root" 1 (List.length t.Profile.roots);
+  Alcotest.(check (float 0.)) "total" 2. t.Profile.total
+
+let test_span_event_json_round_trip () =
+  List.iter
+    (fun event ->
+      let line = Trace.to_json event in
+      match Trace.of_json_line line with
+      | None -> Alcotest.failf "unparsable: %s" line
+      | Some back ->
+        Alcotest.(check string) "stable round trip" line (Trace.to_json back))
+    [
+      Trace.Span_started
+        { id = 12; parent = 3; name = "squeeze_u.ladder"; at = 1754640000.25 };
+      Trace.Span_finished { id = 12; at = 1754640000.625 };
+      (* Full-precision timestamps must survive: %g would truncate an
+         epoch-scale float. *)
+      Trace.Span_started
+        { id = 1; parent = 0; name = "x"; at = 1754640000.1234567 };
+    ]
+
+let test_profile_of_real_run () =
+  let lines = ref [] in
+  Trace.set_sink (fun e -> lines := Trace.to_json e :: !lines);
+  Span.enable ();
+  let rng = Rng.create 4242 in
+  let d = 3 in
+  let data = Generator.independent rng ~n:80 ~d in
+  let u = Utility.random rng ~d in
+  ignore
+    (Algo.run Algo.Squeeze_u (Algo.default_config ~d) ~data
+       ~oracle:(Oracle.exact u) ~rng:(Rng.split rng));
+  Span.disable ();
+  Trace.clear_sink ();
+  let t = Profile.of_lines (List.rev !lines) in
+  Alcotest.(check bool) "spans traced" true (t.Profile.roots <> []);
+  Alcotest.(check bool) "positive wall time" true (t.Profile.total > 0.);
+  let self_sum =
+    List.fold_left (fun acc p -> acc +. p.Profile.self) 0. t.Profile.phases
+  in
+  Alcotest.(check (float 1e-9)) "selves sum to traced total" t.Profile.total
+    self_sum;
+  (* Every phase a real run emits must be documented in the catalog
+     (IND006 holds the catalog itself against the docs). *)
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (p.Profile.phase_name ^ " documented")
+        true
+        (Profile.phase_doc p.Profile.phase_name <> None))
+    t.Profile.phases
+
+let test_catalog_sorted_unique () =
+  let names = List.map fst Profile.catalog in
+  Alcotest.(check (list string)) "sorted"
+    (List.sort_uniq String.compare names)
+    names
+
+let () =
+  Alcotest.run "profile"
+    [
+      ( "tree",
+        [
+          Alcotest.test_case "reconstruction" `Quick test_tree_reconstruction;
+          Alcotest.test_case "self times telescope" `Quick
+            test_self_times_telescope;
+          Alcotest.test_case "unclosed span" `Quick
+            test_unclosed_span_closed_at_t_max;
+          Alcotest.test_case "of_lines skips garbage" `Quick
+            test_of_lines_skips_garbage;
+        ] );
+      ( "render",
+        [
+          Alcotest.test_case "folded" `Quick test_folded_output;
+          Alcotest.test_case "speedscope" `Quick test_speedscope_output;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "span event round trip" `Quick
+            test_span_event_json_round_trip;
+          Alcotest.test_case "profile of real run" `Quick
+            test_profile_of_real_run;
+          Alcotest.test_case "catalog sorted" `Quick test_catalog_sorted_unique;
+        ] );
+    ]

@@ -1,0 +1,65 @@
+(* benchdiff driver: compare a committed baseline BENCH JSON against a
+   fresh one and exit nonzero on counter regressions or result mismatches.
+
+     benchdiff [-time-tol R] [-gate-times] [-strict] BASELINE.json CURRENT.json
+
+   Exit codes: 0 clean (improvements and notes allowed), 1 regression or
+   mismatch (or, under -strict, any finding at all), 2 usage/IO/parse
+   error. *)
+
+module B = Indq_benchdiff.Benchdiff
+
+let usage = "benchdiff [-time-tol R] [-gate-times] [-strict] BASELINE CURRENT"
+
+let read_file p =
+  let ic = open_in_bin p in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let () =
+  let tol = ref 0.5 in
+  let gate_times = ref false in
+  let strict = ref false in
+  let files = ref [] in
+  let spec =
+    [
+      ( "-time-tol",
+        Arg.Set_float tol,
+        "R relative wall-clock tolerance (default 0.5 = +50%)" );
+      ( "-gate-times",
+        Arg.Set gate_times,
+        " fail (not just note) when times exceed the tolerance" );
+      ("-strict", Arg.Set strict, " fail on any difference, even improvements");
+    ]
+  in
+  Arg.parse spec (fun p -> files := p :: !files) usage;
+  match List.rev !files with
+  | [ baseline_path; current_path ] -> (
+    let load path =
+      match B.parse (read_file path) with
+      | Ok v -> v
+      | Error msg ->
+        Printf.eprintf "benchdiff: %s: %s\n" path msg;
+        exit 2
+      | exception Sys_error msg ->
+        Printf.eprintf "benchdiff: %s\n" msg;
+        exit 2
+    in
+    let baseline = load baseline_path in
+    let current = load current_path in
+    let findings =
+      B.compare_reports ~tol:!tol ~gate_times:!gate_times baseline current
+    in
+    List.iter (fun f -> print_endline (B.pp_finding f)) findings;
+    let code = B.exit_code ~strict:!strict findings in
+    (match (findings, code) with
+    | [], _ -> Printf.printf "benchdiff: no differences\n"
+    | fs, 0 ->
+      Printf.printf "benchdiff: %d finding(s), none gating\n" (List.length fs)
+    | fs, _ ->
+      Printf.printf "benchdiff: %d finding(s), gate FAILED\n" (List.length fs));
+    exit code)
+  | _ ->
+    prerr_endline usage;
+    exit 2

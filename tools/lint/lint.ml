@@ -44,15 +44,18 @@
            (lib/geometry/polytope.ml, [solve_warm]); any other call site is
            flagged.
 
-   IND006  observability discipline.  Every counter/span name is a string
-           literal at its [Counter.make]/[Span.timed] site (dynamic names
-           cannot be doc-checked and are flagged, except inside lib/obs/
-           itself, whose merge plumbing re-registers names by value).  The
-           driver then cross-checks the collected name set against the
+   IND006  observability discipline.  Every counter/span/histogram/phase
+           name is a string literal at its [Counter.make]/[Span.timed]/
+           [Histogram.make]/[Profile.phase] site (dynamic names cannot be
+           doc-checked and are flagged, except inside lib/obs/ itself,
+           whose merge plumbing re-registers names by value).  The driver
+           then cross-checks the collected name set against the
            backtick-quoted dotted tokens of README.md/DESIGN.md: a code
            name missing from the docs is *undocumented*; a doc token whose
            namespace (prefix before the first dot) is used by the code but
-           which no code site registers is *stale*.
+           which no code site registers is *stale*.  The [indq profile]
+           phase catalog participates in both directions through its
+           [Profile.phase] entries.
 
    IND007  suppression hygiene.  The only way to silence a finding is
            [@lint.allow ("IND00x", "justification")] on the expression,
@@ -213,15 +216,22 @@ let is_lp_warm_solve fn args =
          | _ -> false)
        args
 
-(* [Counter.make]/[Span.timed] application: returns the name argument. *)
+(* [Counter.make]/[Span.timed]/[Histogram.make]/[Profile.phase]
+   application: returns the name argument — the first unlabelled one, so
+   labelled arguments like [Histogram.make ~unit_:Seconds "…"] still
+   resolve to the name. *)
 let obs_registration fn args =
   let tail2 path = match List.rev path with b :: a :: _ -> [ a; b ] | _ -> [] in
   match fn_path fn with
   | Some path
-    when tail2 path = [ "Counter"; "make" ] || tail2 path = [ "Span"; "timed" ] -> (
-    match args with
-    | (Nolabel, arg) :: _ -> Some arg
-    | _ -> None)
+    when tail2 path = [ "Counter"; "make" ]
+         || tail2 path = [ "Span"; "timed" ]
+         || tail2 path = [ "Histogram"; "make" ]
+         || tail2 path = [ "Profile"; "phase" ] ->
+    List.find_map
+      (fun (label, arg) ->
+        match label with Nolabel -> Some arg | _ -> None)
+      args
   | _ -> None
 
 (* --- Suppression -------------------------------------------------------- *)
@@ -380,8 +390,8 @@ let lint_structure ~path (str : structure) : report =
           | Some arg ->
             if not (obs_impl path) then
               emit arg.pexp_loc "IND006"
-                "counter/span name must be a string literal so it can be \
-                 cross-checked against README/DESIGN"
+                "counter/span/histogram/phase name must be a string literal \
+                 so it can be cross-checked against README/DESIGN"
           | None -> ())
         | Pexp_ident _ -> (
           (* Bare mention of stdlib Random (even partially applied or
@@ -485,7 +495,8 @@ let check_docs ~(doc_tokens : doc_token list) ~(obs_names : obs_name list) =
             { file = o.obs_file; line = o.obs_line; col = 0; code = "IND006";
               message =
                 Printf.sprintf
-                  "counter/span `%s` is not documented in README.md/DESIGN.md"
+                  "counter/span/histogram/phase `%s` is not documented in \
+                   README.md/DESIGN.md"
                   o.obs_name })
       obs_names
   in
@@ -507,8 +518,9 @@ let check_docs ~(doc_tokens : doc_token list) ~(obs_names : obs_name list) =
             { file = t.tok_file; line = t.tok_line; col = 0; code = "IND006";
               message =
                 Printf.sprintf
-                  "doc mentions `%s` but no Counter.make/Span.timed registers it \
-                   (stale documentation?)"
+                  "doc mentions `%s` but no \
+                   Counter.make/Span.timed/Histogram.make/Profile.phase \
+                   registers it (stale documentation?)"
                   t.tok }
         else None)
       doc_tokens
