@@ -20,6 +20,7 @@ let max_n = ref 1_000_000
 let quick = ref false
 let metrics = ref false
 let faults = ref false
+let lp_micro = ref false
 let jobs = ref 1
 let with_times = ref true
 let cold = ref false
@@ -42,7 +43,7 @@ let record sweep =
    pool never appears in the printed output. *)
 let pool : Pool.t option ref = ref None
 
-let usage = "main.exe [-quick] [-metrics] [-j N] [-no-times] [-cold] [-json FILE] [-scale S] [-utilities K] [-max-n N] [-seed S] [experiments...]"
+let usage = "main.exe [-quick] [-metrics] [-j N] [-no-times] [-cold] [-json FILE] [-scale S] [-utilities K] [-max-n N] [-seed S] [-faults] [-lp] [experiments...]"
 
 let spec =
   [
@@ -63,6 +64,9 @@ let spec =
     ("-faults", Arg.Set faults,
      "run the deterministic fault-injection matrix (one armed site at a \
       time, plan derived from -seed) instead of the default experiments");
+    ("-lp", Arg.Set lp_micro,
+     "run the LP micro-benchmark (flat-kernel throughput, dual-simplex \
+      vs two-phase latency) instead of the default experiments");
   ]
 
 let print_sweep sweep =
@@ -396,6 +400,7 @@ let run_ablation_nonlinear () =
 module Fault = Indq_fault.Fault
 module Counter = Indq_obs.Counter
 module Lp = Indq_lp.Lp
+module Vec = Indq_linalg.Vec
 
 let trigger_to_string = function
   | Fault.Never -> "never"
@@ -422,15 +427,15 @@ let drive_dataset_load () =
 let drive_lp site =
   let constraints =
     [
-      { Lp.coeffs = [| 1.; 2. |]; relation = Lp.Le; rhs = 4. };
-      { Lp.coeffs = [| 3.; 1. |]; relation = Lp.Le; rhs = 6. };
+      { Lp.coeffs = Vec.of_array [| 1.; 2. |]; relation = Lp.Le; rhs = 4. };
+      { Lp.coeffs = Vec.of_array [| 3.; 1. |]; relation = Lp.Le; rhs = 6. };
     ]
   in
   let optimal = ref 0 and failed = ref 0 and retried = ref 0 in
   for _ = 1 to fault_reaches do
     let before = Counter.get "retry.attempts" in
     (match
-       fst (Lp.solve ~n:2 ~objective:[| 1.; 1. |] `Maximize constraints)
+       Lp.solve ~n:2 ~objective:(Vec.of_array [| 1.; 1. |]) `Maximize constraints
      with
     | Lp.Optimal _ -> incr optimal
     | Lp.Failed _ -> incr failed
@@ -514,6 +519,167 @@ let run_faults () =
     Fault.site_names;
   Tabulate.print t
 
+(* --- LP micro-benchmark (-lp): flat-kernel throughput and the dual-simplex
+   vs two-phase latency split.  The pivot-count distributions and the
+   agreement audit are deterministic in -seed; every wall-clock figure is
+   gated behind -no-times like the rest of the harness. *)
+
+module Mat = Indq_linalg.Mat
+module Histogram = Indq_obs.Histogram
+module Polytope = Indq_geom.Polytope
+module Halfspace = Indq_geom.Halfspace
+
+let h_lp_dual = Histogram.make ~unit_:Seconds "bench.lp_dual_seconds"
+
+let h_lp_two_phase = Histogram.make ~unit_:Seconds "bench.lp_two_phase_seconds"
+
+let run_lp_micro () =
+  section (Printf.sprintf "lp micro-benchmark (seed=%d)" !seed);
+  let ms v = Printf.sprintf "%.4f" (v *. 1e3) in
+  let gated v = if !with_times then v else "-" in
+  (* Kernel throughput: ns per operation over the flat Bigarray buffers.
+     Each loop body is one kernel call; the checksum keeps the work live. *)
+  let kernels =
+    Tabulate.create ~title:"kernel throughput (ns/op)"
+      ~columns:[ "n"; "dot"; "axpy_ip"; "pivot row" ]
+  in
+  List.iter
+    (fun n ->
+      let rng = Rng.create !seed in
+      let a = Vec.init n (fun _ -> Rng.uniform rng) in
+      let b = Vec.init n (fun _ -> Rng.uniform rng) in
+      let iters = max 1_000 (2_000_000 / n) in
+      let checksum = ref 0. in
+      let ns_per f ops =
+        let _, secs = Timer.time f in
+        Printf.sprintf "%.1f" (secs /. float_of_int ops *. 1e9)
+      in
+      let dot =
+        ns_per
+          (fun () ->
+            for _ = 1 to iters do
+              checksum := !checksum +. Vec.dot a b
+            done)
+          iters
+      in
+      let axpy =
+        let y = Vec.copy b in
+        ns_per
+          (fun () ->
+            for _ = 1 to iters do
+              Vec.axpy_ip 1e-9 a y
+            done)
+          iters
+      in
+      let pivot =
+        (* One simplex pivot: normalize the pivot row, eliminate it from
+           every other row — the Live.add_cut / optimize inner loop. *)
+        let rows = 32 in
+        let m =
+          Mat.of_rows
+            (Array.init rows (fun _ -> Vec.init n (fun _ -> Rng.uniform rng)))
+        in
+        let sweeps = max 1 (iters / rows) in
+        ns_per
+          (fun () ->
+            for _ = 1 to sweeps do
+              Mat.scale_row m 0 1.0000001;
+              for r = 1 to rows - 1 do
+                Mat.add_scaled_row m ~src:0 ~dst:r 1e-9
+              done
+            done)
+          (sweeps * rows)
+      in
+      ignore !checksum;
+      Tabulate.add_row kernels
+        [ string_of_int n; gated dot; gated axpy; gated pivot ])
+    [ 16; 128; 1024 ];
+  Tabulate.print kernels;
+  (* Dual vs two-phase: random shrinking-region families.  The dual path is
+     the audited polytope wrapper (fork the frozen tableau, re-optimize);
+     the two-phase path solves the same constraint list from scratch. *)
+  let rng = Rng.create !seed in
+  let families = 60 in
+  let agreements = ref 0 and queries = ref 0 and max_gap = ref 0. in
+  let before_counters = Counter.snapshot () in
+  let before_hists = Histogram.snapshot () in
+  for _ = 1 to families do
+    let d = 3 + Rng.int rng 3 in
+    let r = ref (Polytope.simplex d) in
+    let cuts = 4 + Rng.int rng 5 in
+    for _ = 1 to cuts do
+      let normal = Vec.init d (fun _ -> Rng.float rng 2. -. 1.) in
+      r := Polytope.cut !r (Halfspace.ge normal (Rng.float rng 0.4 -. 0.2));
+      let objective = Vec.init d (fun _ -> Rng.float rng 1.) in
+      let dual, dual_secs =
+        Timer.time (fun () ->
+            if Polytope.is_empty !r then None else Polytope.maximize !r objective)
+      in
+      Histogram.observe h_lp_dual dual_secs;
+      let cold, cold_secs =
+        Timer.time (fun () ->
+            Lp.solve ~n:d ~objective `Maximize (Polytope.to_lp_constraints !r))
+      in
+      Histogram.observe h_lp_two_phase cold_secs;
+      incr queries;
+      match (dual, cold) with
+      | None, Lp.Infeasible -> incr agreements
+      | Some (v, _), Lp.Optimal s ->
+        max_gap := Float.max !max_gap (Float.abs (v -. s.Lp.objective));
+        if Float.abs (v -. s.Lp.objective) <= 1e-6 then incr agreements
+      | _ -> ()
+    done
+  done;
+  let hist_delta = Histogram.since before_hists in
+  let counter_delta = Counter.since before_counters in
+  let counter name =
+    match List.assoc_opt name counter_delta with Some v -> v | None -> 0.
+  in
+  let latency =
+    Tabulate.create ~title:"value-query latency (ms)"
+      ~columns:[ "path"; "queries"; "mean"; "p50"; "p90"; "p99" ]
+  in
+  let latency_row label h =
+    let s =
+      match List.assoc_opt (Histogram.name h) hist_delta with
+      | Some s -> s
+      | None -> Histogram.empty (Histogram.kind h)
+    in
+    Tabulate.add_row latency
+      [ label; string_of_int s.Histogram.count;
+        gated (ms (Histogram.mean s)); gated (ms (Histogram.p50 s));
+        gated (ms (Histogram.p90 s)); gated (ms (Histogram.p99 s)) ]
+  in
+  latency_row "dual (polytope fork)" h_lp_dual;
+  latency_row "two-phase (cold)" h_lp_two_phase;
+  Tabulate.print latency;
+  let pivots =
+    Tabulate.create ~title:"pivot work (deterministic)"
+      ~columns:[ "histogram"; "solves"; "pivots"; "p50"; "p90"; "p99" ]
+  in
+  let pivots_row name =
+    let s =
+      match List.assoc_opt name hist_delta with
+      | Some s -> s
+      | None -> Histogram.empty Histogram.Count
+    in
+    Tabulate.add_row pivots
+      [ name; string_of_int s.Histogram.count;
+        Printf.sprintf "%g" s.Histogram.sum;
+        Printf.sprintf "%g" (Histogram.p50 s);
+        Printf.sprintf "%g" (Histogram.p90 s);
+        Printf.sprintf "%g" (Histogram.p99 s) ]
+  in
+  pivots_row "lp.pivots_per_reopt";
+  pivots_row "lp.pivots_per_solve";
+  Tabulate.print pivots;
+  Printf.printf
+    "counters: lp.dual_reopt=%g lp.dual_pivots=%g lp.solves=%g lp.iterations=%g\n"
+    (counter "lp.dual_reopt") (counter "lp.dual_pivots") (counter "lp.solves")
+    (counter "lp.iterations");
+  Printf.printf "agreement: %d/%d dual vs two-phase (max |delta| = %.3g)\n\n"
+    !agreements !queries !max_gap
+
 let all_experiments =
   [
     ("fig1", run_fig1);
@@ -545,7 +711,7 @@ let () =
   end;
   let chosen =
     match List.rev !selected with
-    | [] when !faults -> []
+    | [] when !faults || !lp_micro -> []
     | [] | [ "all" ] -> List.map fst all_experiments
     | names -> names
   in
@@ -557,6 +723,7 @@ let () =
     "indistinguishability-query benchmarks (seed=%d scale=%g utilities=%d max-n=%d)\n\n%!"
     !seed !scale !utilities !max_n;
   if !faults then run_faults ();
+  if !lp_micro then run_lp_micro ();
   Pool.with_pool ~domains:!jobs (fun p ->
       if Pool.size p > 1 then pool := Some p;
       let total_start = Timer.cpu () in

@@ -279,6 +279,7 @@ let parse_utility s =
   String.split_on_char ',' s
   |> List.map (fun x -> float_of_string (String.trim x))
   |> Array.of_list
+  |> Indq_linalg.Vec.of_array
 
 let exact_cmd =
   let run source n d seed eps utility =

@@ -52,7 +52,9 @@ let () =
   let k = Dataset.size truth in
   let perturbed =
     Utility.normalize_sum
-      (Array.map (fun w -> Float.max 1e-6 (w *. (1. +. Rng.gaussian ~sigma:0.15 rng))) user)
+      (Indq_linalg.Vec.map
+         (fun w -> Float.max 1e-6 (w *. (1. +. Rng.gaussian ~sigma:0.15 rng)))
+         user)
   in
   row (Printf.sprintf "top-%d (perturbed utility)" k)
     (Baselines.top_k data perturbed ~k);

@@ -44,7 +44,10 @@ let () =
   let eps = 0.05 in
 
   (* The buyer cares mostly about price and safety. *)
-  let buyer = Utility.normalize_sum [| 0.15; 0.35; 0.4; 0.1 |] in
+  let buyer =
+    Utility.normalize_sum
+      (Indq_linalg.Vec.of_array [| 0.15; 0.35; 0.4; 0.1 |])
+  in
   let truth = Indist.query_exact ~eps buyer market in
   Printf.printf
     "Market: %d cars, %d criteria (MPG, safety, inverted price, comfort).\n"

@@ -22,7 +22,8 @@ let raw_cars =
   Dataset.create
     [| [| 59.; 5. |]; [| 36.; 4. |]; [| 104.; 3. |]; [| 34.; 5. |]; [| 98.; 3. |] |]
 
-let alice_raw = [| 1.; 20. |] (* hidden from the algorithm *)
+let alice_raw = Indq_linalg.Vec.of_array [| 1.; 20. |]
+(* hidden from the algorithm *)
 
 (* The paper normalizes data before querying.  We scale each attribute so
    its maximum is 1 — a pure rescaling, so the indistinguishability set is
@@ -32,7 +33,7 @@ let cars = Dataset.scale_to_unit_max raw_cars
 
 let alice =
   let ranges = Dataset.attribute_ranges raw_cars in
-  Array.mapi (fun i w -> w *. snd ranges.(i)) alice_raw
+  Indq_linalg.Vec.mapi (fun i w -> w *. snd ranges.(i)) alice_raw
 
 let print_result title result =
   Printf.printf "%s:\n" title;
@@ -63,7 +64,9 @@ let () =
     result.Squeeze_u.questions_used;
   Printf.printf
     "It learned her relative weight for attribute %d to within [%.4f, %.4f].\n\n"
-    other result.Squeeze_u.lo.(other) result.Squeeze_u.hi.(other);
+    other
+    (Indq_linalg.Vec.get result.Squeeze_u.lo other)
+    (Indq_linalg.Vec.get result.Squeeze_u.hi other);
   print_result "Squeeze-u output" result.Squeeze_u.output;
 
   let alpha = Indist.alpha ~eps alice ~data:cars ~output:result.Squeeze_u.output in

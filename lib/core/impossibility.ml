@@ -17,11 +17,11 @@ let database ~f ~eps =
          let x = float_of_int i /. mf in
          [| x; 1. -. x |]))
 
-let utility_u = [| 1.; 0. |]
+let utility_u = Indq_linalg.Vec.of_array [| 1.; 0. |]
 
 let utility_u' ~eps =
   if eps <= 0. then invalid_arg "Impossibility.utility_u': eps must be positive";
-  [| 1.; 1. /. (1. +. eps) |]
+  Indq_linalg.Vec.of_array [| 1.; 1. /. (1. +. eps) |]
 
 let identical_rankings ~f ~eps =
   let data = database ~f ~eps in

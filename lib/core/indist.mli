@@ -6,7 +6,7 @@
     what every experiment in Section VII reports. *)
 
 val indistinguishable :
-  eps:float -> Indq_user.Utility.t -> float array -> float array -> bool
+  eps:float -> Indq_user.Utility.t -> Indq_linalg.Vec.t -> Indq_linalg.Vec.t -> bool
 (** Definition 1: [f(p1) <= (1+eps) f(p2)] and [f(p2) <= (1+eps) f(p1)]. *)
 
 val query_exact :
@@ -59,14 +59,14 @@ val monotone_subset_check :
 
 val query_exact_fn :
   eps:float ->
-  (float array -> float) ->
+  (Indq_linalg.Vec.t -> float) ->
   Indq_dataset.Dataset.t ->
   Indq_dataset.Dataset.t
 (** [I(f, eps)] for an arbitrary non-negative utility evaluator. *)
 
 val alpha_fn :
   eps:float ->
-  (float array -> float) ->
+  (Indq_linalg.Vec.t -> float) ->
   data:Indq_dataset.Dataset.t ->
   output:Indq_dataset.Dataset.t ->
   float
@@ -74,7 +74,7 @@ val alpha_fn :
 
 val has_false_negatives_fn :
   eps:float ->
-  (float array -> float) ->
+  (Indq_linalg.Vec.t -> float) ->
   data:Indq_dataset.Dataset.t ->
   output:Indq_dataset.Dataset.t ->
   bool

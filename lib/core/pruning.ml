@@ -18,10 +18,10 @@ let emit_stage ~stage ~before result =
   result
 
 let check_box ~lo ~hi d =
-  if Array.length lo <> d || Array.length hi <> d then
+  if Vec.dim lo <> d || Vec.dim hi <> d then
     invalid_arg "Pruning: bound dimension mismatch";
   for i = 0 to d - 1 do
-    if lo.(i) > hi.(i) then invalid_arg "Pruning: lo > hi"
+    if Vec.get lo i > Vec.get hi i then invalid_arg "Pruning: lo > hi"
   done
 
 let box_prune_fast ~eps ~lo ~hi data =
@@ -52,8 +52,10 @@ let box_prune_fast ~eps ~lo ~hi data =
    test in O(d). *)
 let min_over_box w ~lo ~hi =
   let acc = ref 0. in
-  for i = 0 to Array.length w - 1 do
-    acc := !acc +. Float.min (w.(i) *. lo.(i)) (w.(i) *. hi.(i))
+  for i = 0 to Vec.dim w - 1 do
+    let wi = Vec.get w i in
+    acc :=
+      !acc +. Float.min (wi *. Vec.get lo i) (wi *. Vec.get hi i)
   done;
   !acc
 
@@ -72,7 +74,7 @@ let box_prune_exact ~eps ~lo ~hi data =
           Tuple.id p <> Tuple.id q
           &&
           let w =
-            Array.init d (fun i -> Tuple.get p i -. ((1. +. eps) *. qv.(i)))
+            Vec.init d (fun i -> Tuple.get p i -. ((1. +. eps) *. Vec.get qv i))
           in
           min_over_box w ~lo ~hi > 1e-9)
         tuples
@@ -96,10 +98,10 @@ module Store = struct
      re-enter (the filtered dataset is what flows to the next round), so
      prune decisions are monotone by construction. *)
   type t = {
-    pair_witnesses : (int * int, float array) Hashtbl.t;
+    pair_witnesses : (int * int, Vec.t) Hashtbl.t;
         (* (candidate id, anchor id) -> region point v with
            ((1+eps) b - a) . v >= -tol, i.e. "a cannot prune b" *)
-    floor_witnesses : (int, float * float array) Hashtbl.t;
+    floor_witnesses : (int, float * Vec.t) Hashtbl.t;
         (* anchor id -> (min a.v over the region, minimizing point) *)
   }
 
@@ -207,7 +209,7 @@ let region_prune ?(anchors = 4) ?store ~eps region data =
        only dot products. *)
     let bounds, vertex_witnesses = Polytope.coordinate_profile poly in
     let witnesses = Region.center region :: vertex_witnesses in
-    let hi_corner = Array.map snd bounds in
+    let hi_corner = Vec.init (Array.length bounds) (fun i -> snd bounds.(i)) in
     let disproved_by_witness w =
       List.exists (fun v -> Vec.dot w v >= -.tol) witnesses
     in

@@ -25,8 +25,8 @@
 
 val box_prune_fast :
   eps:float ->
-  lo:float array ->
-  hi:float array ->
+  lo:Indq_linalg.Vec.t ->
+  hi:Indq_linalg.Vec.t ->
   Indq_dataset.Dataset.t ->
   Indq_dataset.Dataset.t
 (** The O(n) heuristic filter.  [lo]/[hi] are the [L]/[H] bounds of
@@ -34,8 +34,8 @@ val box_prune_fast :
 
 val box_prune_exact :
   eps:float ->
-  lo:float array ->
-  hi:float array ->
+  lo:Indq_linalg.Vec.t ->
+  hi:Indq_linalg.Vec.t ->
   Indq_dataset.Dataset.t ->
   Indq_dataset.Dataset.t
 (** The [2^d n^2] corner test.  Raises [Invalid_argument] for [d > 20]. *)

@@ -14,7 +14,12 @@ val initial : d:int -> t
 
 val dim : t -> int
 
-val observe : ?delta:float -> t -> winner:float array -> losers:float array list -> t
+val observe :
+  ?delta:float ->
+  t ->
+  winner:Indq_linalg.Vec.t ->
+  losers:Indq_linalg.Vec.t list ->
+  t
 (** Cut with the hyperplanes learned from one round.  [delta] defaults
     to 0. *)
 
@@ -30,7 +35,7 @@ val width : ?stop_when:(float -> bool) -> t -> float
 val diameter : ?stop_when:(float -> bool) -> t -> float
 (** MinD metric; see {!Indq_geom.Polytope.diameter}. *)
 
-val center : t -> float array
+val center : t -> Indq_linalg.Vec.t
 (** Representative utility estimate. *)
 
 val questions_recorded : t -> int

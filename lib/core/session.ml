@@ -158,12 +158,12 @@ let journal_of_string text =
 (* --- The session coroutine --------------------------------------------- *)
 
 type state =
-  | Asking of float array array
+  | Asking of Indq_linalg.Vec.t array
   | Finished of Algo.run_result
 
 (* The algorithm coroutine performs [Ask] at each question; the session
    stores the one-shot continuation and resumes it on [answer]. *)
-type _ Effect.t += Ask : float array array -> int Effect.t
+type _ Effect.t += Ask : Indq_linalg.Vec.t array -> int Effect.t
 
 type suspended =
   | Pending of (int, state) Effect.Deep.continuation

@@ -51,7 +51,7 @@ exception Error of error
 val error_message : error -> string
 
 type state =
-  | Asking of float array array
+  | Asking of Indq_linalg.Vec.t array
       (** the options to show for the current question *)
   | Finished of Algo.run_result
 

@@ -1,4 +1,5 @@
 module Dataset = Indq_dataset.Dataset
+module Vec = Indq_linalg.Vec
 module Skyline = Indq_dominance.Skyline
 module Oracle = Indq_user.Oracle
 module Span = Indq_obs.Span
@@ -6,8 +7,8 @@ module Trace = Indq_obs.Trace
 
 type result = {
   output : Dataset.t;
-  lo : float array;
-  hi : float array;
+  lo : Vec.t;
+  hi : Vec.t;
   i_star : int;
   questions_used : int;
 }
@@ -23,13 +24,13 @@ let ladder_points ~d ~s ~i ~i_star ~chi =
   if i = i_star then invalid_arg "Squeeze_u.ladder_points: i = i*";
   Array.init s (fun k0 ->
       let k = k0 + 1 in
-      let p = Array.make d 0. in
+      let p = Vec.make d 0. in
       let tail = ref 0. in
       for l = k to s - 1 do
         tail := !tail +. chi.(l)
       done;
-      p.(i_star) <- !tail /. float_of_int s;
-      p.(i) <- float_of_int k /. float_of_int s;
+      Vec.set p i_star (!tail /. float_of_int s);
+      Vec.set p i (float_of_int k /. float_of_int s);
       p)
 
 (* Phase 1 (Lines 2-8): tournament over the e_i points to find i*.
@@ -87,7 +88,7 @@ let run ?(exact_prune = false) ~data ~s ~q ~eps ~oracle () =
   (* Lines 2-3: the e_i display points from the data ranges. *)
   let ranges = Dataset.attribute_ranges candidates in
   let make_point i =
-    Array.init d (fun j ->
+    Vec.init d (fun j ->
         let m_j, big_m_j = ranges.(j) in
         if j = i then m_j +. ((big_m_j -. m_j) /. 2.) else m_j)
   in
@@ -143,6 +144,7 @@ let run ?(exact_prune = false) ~data ~s ~q ~eps ~oracle () =
         i := !next
       done);
   (* Lines 18-21: prune with the learned box. *)
+  let lo = Vec.of_array lo and hi = Vec.of_array hi in
   let output =
     Span.timed "squeeze_u.box_prune" (fun () ->
         if exact_prune then Pruning.box_prune_exact ~eps ~lo ~hi candidates

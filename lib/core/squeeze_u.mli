@@ -19,8 +19,9 @@
 
 type result = {
   output : Indq_dataset.Dataset.t;
-  lo : float array;  (** learned lower bounds [L] (relative to [u_{i*}] = 1) *)
-  hi : float array;  (** learned upper bounds [H] *)
+  lo : Indq_linalg.Vec.t;
+      (** learned lower bounds [L] (relative to [u_{i*}] = 1) *)
+  hi : Indq_linalg.Vec.t;  (** learned upper bounds [H] *)
   i_star : int;  (** discovered largest-coefficient attribute *)
   questions_used : int;
 }
@@ -46,6 +47,11 @@ val chi_ladder : lo:float -> hi:float -> s:int -> float array
     tests). *)
 
 val ladder_points :
-  d:int -> s:int -> i:int -> i_star:int -> chi:float array -> float array array
+  d:int ->
+  s:int ->
+  i:int ->
+  i_star:int ->
+  chi:float array ->
+  Indq_linalg.Vec.t array
 (** The artificial display tuples [p_1 .. p_s] of Line 14 (exposed for
     tests). *)

@@ -11,8 +11,8 @@ let c_widened = Counter.make "squeeze_u2.widened_restarts"
 
 type result = {
   output : Dataset.t;
-  lo : float array;
-  hi : float array;
+  lo : Vec.t;
+  hi : Vec.t;
   i_star : int;
   questions_used : int;
 }
@@ -140,6 +140,7 @@ let run ?(exact_prune = false) ~data ~s ~q ~eps ~delta ~oracle () =
         i := !next
       done);
   (* Lines 18-21: prune with the learned box. *)
+  let lo = Vec.of_array lo and hi = Vec.of_array hi in
   let output =
     Span.timed "squeeze_u2.box_prune" (fun () ->
         if exact_prune then Pruning.box_prune_exact ~eps ~lo ~hi candidates

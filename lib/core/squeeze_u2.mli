@@ -18,8 +18,8 @@
 
 type result = {
   output : Indq_dataset.Dataset.t;
-  lo : float array;
-  hi : float array;
+  lo : Indq_linalg.Vec.t;
+  hi : Indq_linalg.Vec.t;
   i_star : int;
   questions_used : int;
 }

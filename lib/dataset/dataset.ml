@@ -29,7 +29,7 @@ let create rows =
       (fun r ->
         if Array.length r <> d then invalid_arg "Dataset.create: ragged rows")
       rows;
-    { tuples = Array.mapi (fun i r -> Tuple.make ~id:i r) rows; dim = d }
+    { tuples = Array.mapi (fun i r -> Tuple.of_array ~id:i r) rows; dim = d }
   end
 
 let of_tuples ~dim tuples =
@@ -78,7 +78,7 @@ let normalize_global t =
     let max_value =
       Array.fold_left
         (fun acc p ->
-          Array.fold_left
+          Indq_linalg.Vec.fold_left
             (fun acc x ->
               if x < 0. then
                 invalid_arg "Dataset.normalize_global: negative value"
@@ -87,7 +87,7 @@ let normalize_global t =
         0. t.tuples
     in
     if max_value <= 0. then t
-    else map_values t (Array.map (fun x -> x /. max_value))
+    else map_values t (Indq_linalg.Vec.map (fun x -> x /. max_value))
   end
 
 let normalize_per_attribute t =
@@ -95,7 +95,7 @@ let normalize_per_attribute t =
   else begin
     let ranges = attribute_ranges t in
     map_values t (fun values ->
-        Array.mapi
+        Indq_linalg.Vec.mapi
           (fun i x ->
             let lo, hi = ranges.(i) in
             if hi -. lo <= 0. then 0. else (x -. lo) /. (hi -. lo))
@@ -108,13 +108,13 @@ let scale_to_unit_max t =
     let ranges = attribute_ranges t in
     Array.iter
       (fun p ->
-        Array.iter
+        Indq_linalg.Vec.iter
           (fun x ->
             if x < 0. then invalid_arg "Dataset.scale_to_unit_max: negative value")
           (Tuple.values p))
       t.tuples;
     map_values t (fun values ->
-        Array.mapi
+        Indq_linalg.Vec.mapi
           (fun i x ->
             let _, hi = ranges.(i) in
             if hi <= 0. then x else x /. hi)
@@ -128,7 +128,7 @@ let invert_attributes t ~smaller_is_better =
   else begin
     let ranges = attribute_ranges t in
     map_values t (fun values ->
-        Array.mapi
+        Indq_linalg.Vec.mapi
           (fun i x ->
             if smaller_is_better.(i) then snd ranges.(i) -. x else x)
           values)
@@ -166,7 +166,7 @@ let to_csv t =
   Array.iter
     (fun p ->
       Buffer.add_string buf (string_of_int (Tuple.id p));
-      Array.iter
+      Indq_linalg.Vec.iter
         (fun x ->
           Buffer.add_char buf ',';
           Buffer.add_string buf (Printf.sprintf "%.17g" x))
@@ -213,7 +213,7 @@ let of_csv ?path text =
             | Some v -> v)
           rest
       in
-      Tuple.make ~id (Array.of_list values)
+      Tuple.of_array ~id (Array.of_list values)
   in
   let parsed =
     List.concat

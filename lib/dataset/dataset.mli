@@ -45,7 +45,7 @@ val to_list : t -> Tuple.t list
 
 val find_by_id : t -> int -> Tuple.t option
 
-val map_values : t -> (float array -> float array) -> t
+val map_values : t -> (Indq_linalg.Vec.t -> Indq_linalg.Vec.t) -> t
 (** Transform every tuple's values, keeping ids. *)
 
 val filter : t -> (Tuple.t -> bool) -> t
@@ -80,11 +80,11 @@ val invert_attributes : t -> smaller_is_better:bool array -> t
 (** Replace marked attributes [x] by [max_attr - x] so that bigger is always
     better. *)
 
-val max_utility : t -> float array -> Tuple.t * float
+val max_utility : t -> Indq_linalg.Vec.t -> Tuple.t * float
 (** The optimal tuple [p* = argmax u . p] and its utility.  Raises
     [Invalid_argument] on an empty dataset. *)
 
-val top_k : t -> float array -> int -> Tuple.t list
+val top_k : t -> Indq_linalg.Vec.t -> int -> Tuple.t list
 (** The k highest-utility tuples, best first (ties by id).  [k] larger than
     the dataset returns everything. *)
 

@@ -1,20 +1,23 @@
-type t = { id : int; values : float array }
+module Vec = Indq_linalg.Vec
 
-let make ~id values = { id; values = Array.copy values }
+type t = { id : int; values : Vec.t }
+
+let make ~id values = { id; values = Vec.copy values }
+
+let of_array ~id values = { id; values = Vec.of_array values }
 
 let id t = t.id
 
 let values t = t.values
 
-let get t i = t.values.(i)
+let get t i = Vec.get t.values i
 
-let dim t = Array.length t.values
+let dim t = Vec.dim t.values
 
-let utility t u = Indq_linalg.Vec.dot t.values u
+let utility t u = Vec.dot t.values u
 
 let equal_id a b = a.id = b.id
 
 let compare_id a b = Int.compare a.id b.id
 
-let pp ppf t =
-  Format.fprintf ppf "#%d%a" t.id Indq_linalg.Vec.pp t.values
+let pp ppf t = Format.fprintf ppf "#%d%a" t.id Vec.pp t.values

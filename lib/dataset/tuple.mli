@@ -4,21 +4,24 @@
     Identifiers survive normalization, pruning and skyline filtering, so a
     query result can always be traced back to the original row. *)
 
-type t = { id : int; values : float array }
+type t = { id : int; values : Indq_linalg.Vec.t }
 
-val make : id:int -> float array -> t
-(** Copies the value array. *)
+val make : id:int -> Indq_linalg.Vec.t -> t
+(** Copies the value vector. *)
+
+val of_array : id:int -> float array -> t
+(** {!make} from a plain float array (serialization edges). *)
 
 val id : t -> int
 
-val values : t -> float array
-(** The live array — do not mutate.  Use {!get} for single coordinates. *)
+val values : t -> Indq_linalg.Vec.t
+(** The live vector — do not mutate.  Use {!get} for single coordinates. *)
 
 val get : t -> int -> float
 
 val dim : t -> int
 
-val utility : t -> float array -> float
+val utility : t -> Indq_linalg.Vec.t -> float
 (** [utility p u] is the linear utility [u . p] (Section III). *)
 
 val equal_id : t -> t -> bool

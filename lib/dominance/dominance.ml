@@ -1,24 +1,25 @@
 module Tuple = Indq_dataset.Tuple
+module Vec = Indq_linalg.Vec
 
 let dominates a b =
-  let d = Array.length a in
-  if Array.length b <> d then invalid_arg "Dominance.dominates: dimension mismatch";
+  let d = Vec.dim a in
+  if Vec.dim b <> d then invalid_arg "Dominance.dominates: dimension mismatch";
   let all_geq = ref true and some_gt = ref false in
   for i = 0 to d - 1 do
-    if a.(i) < b.(i) then all_geq := false;
-    if a.(i) > b.(i) then some_gt := true
+    if Vec.get a i < Vec.get b i then all_geq := false;
+    if Vec.get a i > Vec.get b i then some_gt := true
   done;
   !all_geq && !some_gt
 
 let c_dominates ~c a b =
   if c < 1. then invalid_arg "Dominance.c_dominates: c must be >= 1";
-  let d = Array.length a in
-  if Array.length b <> d then invalid_arg "Dominance.c_dominates: dimension mismatch";
+  let d = Vec.dim a in
+  if Vec.dim b <> d then invalid_arg "Dominance.c_dominates: dimension mismatch";
   let all_geq = ref true and some_gt = ref false in
   for i = 0 to d - 1 do
-    let scaled = c *. b.(i) in
-    if a.(i) < scaled then all_geq := false;
-    if a.(i) > scaled then some_gt := true
+    let scaled = c *. Vec.get b i in
+    if Vec.get a i < scaled then all_geq := false;
+    if Vec.get a i > scaled then some_gt := true
   done;
   !all_geq && !some_gt
 

@@ -7,10 +7,10 @@
     indistinguishability set, which is the pre-processing filter all
     algorithms apply. *)
 
-val dominates : float array -> float array -> bool
+val dominates : Indq_linalg.Vec.t -> Indq_linalg.Vec.t -> bool
 (** [dominates a b]: [a_i >= b_i] for all [i] and [a_i > b_i] for some [i]. *)
 
-val c_dominates : c:float -> float array -> float array -> bool
+val c_dominates : c:float -> Indq_linalg.Vec.t -> Indq_linalg.Vec.t -> bool
 (** [c_dominates ~c a b] is [dominates a (c * b)].  Requires [c >= 1]. *)
 
 val dominates_tuple : Indq_dataset.Tuple.t -> Indq_dataset.Tuple.t -> bool
@@ -18,5 +18,5 @@ val dominates_tuple : Indq_dataset.Tuple.t -> Indq_dataset.Tuple.t -> bool
 val c_dominates_tuple :
   c:float -> Indq_dataset.Tuple.t -> Indq_dataset.Tuple.t -> bool
 
-val incomparable : float array -> float array -> bool
+val incomparable : Indq_linalg.Vec.t -> Indq_linalg.Vec.t -> bool
 (** Neither dominates the other. *)

@@ -55,14 +55,14 @@ let c_skyline_sweep_2d ~c data =
     let pts = Array.map Tuple.values (Dataset.tuples data) in
     let order = Array.init n Fun.id in
     Array.sort
-      (fun i j -> Float.compare pts.(j).(0) pts.(i).(0))
+      (fun i j -> Float.compare (Vec.get pts.(j) 0) (Vec.get pts.(i) 0))
       order;
     (* xs sorted descending; prefix_max_y.(k) = max y among the first k. *)
-    let xs = Array.map (fun i -> pts.(i).(0)) order in
+    let xs = Array.map (fun i -> Vec.get pts.(i) 0) order in
     let prefix_max_y = Array.make (n + 1) neg_infinity in
     Array.iteri
       (fun k i ->
-        prefix_max_y.(k + 1) <- Float.max prefix_max_y.(k) pts.(i).(1))
+        prefix_max_y.(k + 1) <- Float.max prefix_max_y.(k) (Vec.get pts.(i) 1))
       order;
     (* Count of leading entries with x >= bound (weak) or x > bound
        (strict), by binary search on the descending xs. *)
@@ -77,7 +77,7 @@ let c_skyline_sweep_2d ~c data =
       !lo
     in
     let dominated p =
-      let cx = c *. p.(0) and cy = c *. p.(1) in
+      let cx = c *. Vec.get p 0 and cy = c *. Vec.get p 1 in
       let weak = count_with ~strict:false cx in
       let strict = count_with ~strict:true cx in
       prefix_max_y.(weak) > cy || prefix_max_y.(strict) >= cy
@@ -93,20 +93,24 @@ let c_skyline_rtree ~c data =
     let d = Dataset.dim data in
     let tree = Indq_rtree.Rtree.create ~dim:d () in
     (* Upper corner of the data, for the dominance query boxes. *)
-    let upper = Array.make d neg_infinity in
+    let upper = Vec.make d neg_infinity in
     Array.iter
       (fun p ->
         let v = Tuple.values p in
         for i = 0 to d - 1 do
-          if v.(i) > upper.(i) then upper.(i) <- v.(i)
+          if Vec.get v i > Vec.get upper i then Vec.set upper i (Vec.get v i)
         done;
         Indq_rtree.Rtree.insert_point tree v p)
       (Dataset.tuples data);
     let dominated p =
       let v = Tuple.values p in
-      let corner = Array.map (fun x -> c *. x) v in
+      let corner = Vec.map (fun x -> c *. x) v in
       (* Outside the data envelope, nothing can c-dominate. *)
-      if Array.exists2 (fun cx ux -> cx > ux) corner upper then false
+      let escapes = ref false in
+      for i = 0 to d - 1 do
+        if Vec.get corner i > Vec.get upper i then escapes := true
+      done;
+      if !escapes then false
       else begin
         let query = Indq_rtree.Rect.above_corner corner ~upper in
         Indq_rtree.Rtree.exists_overlapping tree query ~f:(fun _ q ->

@@ -1,21 +1,19 @@
 module Vec = Indq_linalg.Vec
 module Lp = Indq_lp.Lp
 
-type t = { normal : float array; offset : float }
+type t = { normal : Vec.t; offset : float }
 
 let ge normal offset =
-  if Array.length normal = 0 then invalid_arg "Halfspace.ge: empty normal";
-  { normal = Array.copy normal; offset }
+  if Vec.dim normal = 0 then invalid_arg "Halfspace.ge: empty normal";
+  { normal = Vec.copy normal; offset }
 
-let le normal offset = ge (Array.map (fun x -> -.x) normal) (-.offset)
+let le normal offset = ge (Vec.neg normal) (-.offset)
 
-let dim h = Array.length h.normal
+let dim h = Vec.dim h.normal
 
 let of_preference ?(delta = 0.) ~winner ~loser () =
   if delta < 0. then invalid_arg "Halfspace.of_preference: negative delta";
-  let normal =
-    Vec.sub (Vec.scale (1. +. delta) winner) loser
-  in
+  let normal = Vec.sub (Vec.scale (1. +. delta) winner) loser in
   ge normal 0.
 
 let slack h x = Vec.dot h.normal x -. h.offset

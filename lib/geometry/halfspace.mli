@@ -8,25 +8,30 @@
     We store the closure of these constraints; see DESIGN.md for why that is
     sound. *)
 
-type t = private { normal : float array; offset : float }
+type t = private { normal : Indq_linalg.Vec.t; offset : float }
 
-val ge : float array -> float -> t
+val ge : Indq_linalg.Vec.t -> float -> t
 (** [ge normal offset] is the halfspace [normal . x >= offset]. *)
 
-val le : float array -> float -> t
+val le : Indq_linalg.Vec.t -> float -> t
 (** [le normal offset] is [normal . x <= offset], stored negated. *)
 
 val dim : t -> int
 
-val of_preference : ?delta:float -> winner:float array -> loser:float array -> unit -> t
+val of_preference :
+  ?delta:float ->
+  winner:Indq_linalg.Vec.t ->
+  loser:Indq_linalg.Vec.t ->
+  unit ->
+  t
 (** The hyperplane constraint learned from "user prefers [winner] over
     [loser]": [((1+delta) winner - loser) . v >= 0].  [delta] defaults to 0
     (the error-free update rule). *)
 
-val satisfies : ?tol:float -> t -> float array -> bool
+val satisfies : ?tol:float -> t -> Indq_linalg.Vec.t -> bool
 (** Membership in the closed halfspace, within tolerance. *)
 
-val slack : t -> float array -> float
+val slack : t -> Indq_linalg.Vec.t -> float
 (** [slack h x] is [normal . x - offset]; non-negative iff [x] inside. *)
 
 val to_lp_constr : t -> Indq_lp.Lp.constr

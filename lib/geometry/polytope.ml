@@ -18,10 +18,22 @@ let () =
     | Solver_error e -> Some ("Indq_geom.Polytope.Solver_error: " ^ Lp.error_message e)
     | _ -> None)
 
-(* Master switch for the incremental engine: artifact revalidation across
-   cuts, per-polytope memoization, and LP warm starts.  Off = every query
-   recomputes from scratch (the historical cold path); used by tests and by
-   [bench -cold] to prove both paths agree. *)
+(* Master switch for the incremental engine: per-polytope memoization of
+   the frozen tableau, extreme pairs, profiles and feasibility verdicts.
+   Off = every query recomputes from scratch (the canonical replay, run
+   without any cross-query cache); used by tests and by [bench -cold] to
+   prove both paths agree.
+
+   The central determinism discipline of this module: every LP-derived
+   value is a *pure function of the cut list* (plus static query
+   parameters).  Each region owns a canonical "frozen" dual-simplex
+   tableau obtained by replaying its cuts oldest-to-newest through
+   [Lp.Live.add_cut] under the zero objective; every value query forks
+   that tableau and optimizes on the fork, so the pivot sequence — and
+   hence every float — depends only on (cuts, query), never on which
+   queries ran before.  Incremental mode memoizes the frozen tableau and
+   the query results per node; cold mode rebuilds the same objects per
+   query and necessarily lands on the same bits. *)
 let incremental = ref true
 
 let set_incremental b = incremental := b
@@ -33,27 +45,28 @@ let incremental_enabled () = !incremental
    invalidation certificate: it survives a cut iff a dot product says so,
    and while it survives, the cached value is still exact (the point
    attains it and the region only shrank). *)
-type extreme = { value : float; witness : float array }
+type extreme = { value : float; witness : Vec.t }
 
-(* Cached artifacts, filled lazily as queries run.  [profile] is the
-   canonical coordinate profile: always computed by cold LP solves so its
-   witness points (which feed [center_estimate] and Lemma-2 witness lists)
-   are bit-identical to the from-scratch path.  [fast_bounds] and
-   [support] memoize per-direction extremes, also cold-solved: their
-   values feed strict float comparisons downstream (trial scores can tie
-   to the last ulp), so only bit-exact reuse — a memo of the identical
-   pure solve — is admissible; ancestors contribute *upper-bound hints*
-   for skipping, never values.  [warm] is the last optimal simplex basis
-   seen for this cut list, reused to skip phase 1 on later verdict-grade
-   solves (feasibility, prune thresholds) over the same polytope. *)
+(* The canonical frozen tableau of a region: the [Lp.Live] state after
+   replaying the cut list from the root simplex, one [add_cut] per node,
+   always under the zero objective.  Never mutated after construction —
+   value queries fork it ([Lp.Live.copy]) and pivot on the fork, so one
+   parent setup is reused across every candidate child and every
+   per-candidate objective (the Lemma-2 batch shape).  [Empty] is the
+   exact dual-ratio infeasibility verdict; [Fallback] records that the
+   replay failed (pivot budget, numerics) — deterministically, so both
+   engine modes take the same branch — and all queries on the region use
+   the legacy cold two-phase solver instead. *)
+type frozen = Tableau of Lp.Live.t | Empty | Fallback
+
 type artifacts = {
-  mutable feas_point : float array option;
-  mutable profile : ((float * float) array * float array list) option;
+  mutable feas_point : Vec.t option;
+  mutable profile : ((float * float) array * Vec.t list) option;
   mutable fast_bounds : (extreme * extreme) option array;
       (* per coordinate: (min, max); empty array until first use *)
   support : (int, extreme * extreme) Hashtbl.t;
       (* canonical direction index -> (min, max) *)
-  mutable warm : Lp.basis option;
+  mutable frozen : frozen option;
 }
 
 type t = {
@@ -61,7 +74,7 @@ type t = {
   cuts : Halfspace.t list;  (* most recent first *)
   parent : t option;  (* the polytope this was cut from *)
   depth : int;  (* List.length cuts *)
-  mutable emptiness : bool option;  (* cached LP feasibility verdict *)
+  mutable emptiness : bool option;  (* cached feasibility verdict *)
   art : artifacts;
 }
 
@@ -71,7 +84,7 @@ let fresh_artifacts () =
     profile = None;
     fast_bounds = [||];
     support = Hashtbl.create 8;
-    warm = None;
+    frozen = None;
   }
 
 let simplex d =
@@ -99,19 +112,16 @@ let cut r h =
 let cut_many r hs = List.fold_left cut r hs
 
 let to_lp_constraints r =
-  let ones = Array.make r.dim 1. in
+  let ones = Vec.make r.dim 1. in
   Lp.constr ones Lp.Eq 1. :: List.map Halfspace.to_lp_constr r.cuts
 
-(* --- LP plumbing ------------------------------------------------------- *)
+(* --- Legacy cold solver (fallback path) -------------------------------- *)
 
-(* Cold solve: no warm start, so pivot order — and hence the optimal vertex
-   reported on a degenerate face — is exactly the historical one.  Still
-   records the resulting basis and point for *later* warm/value reuse. *)
+(* Two-phase primal solve over the full constraint list.  Only reached
+   when the canonical replay reported [Fallback] for this region — a
+   deterministic event — so both engine modes agree on when it runs. *)
 let solve_cold r objective direction =
-  let outcome, basis =
-    Lp.solve ~n:r.dim ~objective direction (to_lp_constraints r)
-  in
-  (match basis with Some _ -> r.art.warm <- basis | None -> ());
+  let outcome = Lp.solve ~n:r.dim ~objective direction (to_lp_constraints r) in
   (match outcome with
   | Lp.Optimal { point; _ } ->
     r.emptiness <- Some false;
@@ -120,46 +130,90 @@ let solve_cold r objective direction =
   | Lp.Unbounded | Lp.Failed _ -> ());
   outcome
 
-(* Warm-eligible solve: value-grade results (feasibility verdicts and
-   optimal values; points may sit elsewhere on a degenerate optimal
-   face). *)
-let solve_warm r objective direction =
-  let warm = if !incremental then r.art.warm else None in
-  let outcome, basis =
-    Lp.solve ?warm ~n:r.dim ~objective direction (to_lp_constraints r)
+(* --- Canonical frozen tableau ------------------------------------------ *)
+
+(* Query-local replay memo for cold mode: the frozen chain root -> r is
+   built once per public query and shared by every direction that query
+   probes, instead of being rebuilt per direction (which would square the
+   replay cost).  Keyed by physical node. *)
+type ctx = (t * frozen) list ref
+
+let new_ctx () : ctx = ref []
+
+let rec frozen_via (ctx : ctx) r =
+  let cached =
+    if !incremental then r.art.frozen else List.assq_opt r !ctx
   in
-  (match basis with Some _ -> r.art.warm <- basis | None -> ());
-  (match outcome with
-  | Lp.Optimal { point; _ } ->
-    r.emptiness <- Some false;
-    if r.art.feas_point = None then r.art.feas_point <- Some point
-  | Lp.Infeasible -> r.emptiness <- Some true
-  | Lp.Unbounded | Lp.Failed _ -> ());
-  outcome
-
-(* --- Ancestor-cache lookup --------------------------------------------- *)
-
-(* Every ancestor artifact [probe] finds along the cut chain (nearest
-   first), each paired with the halfspaces a witness from that ancestor
-   must satisfy to still be a point of [r].  Trying the whole chain
-   matters: when the nearest cached witness dies on a new cut, an older
-   one — a different vertex — may still survive, and its value is equally
-   exact (if an outer ancestor's extreme witness lies in [r], every
-   region between them has the same extreme, attained at that point). *)
-let ancestor_candidates r ~probe =
-  let rec go node cuts acc =
-    let acc =
-      match probe node with
-      | Some artifact -> (artifact, cuts) :: acc
-      | None -> acc
+  match cached with
+  | Some f ->
+    if !incremental then Counter.incr c_cache_hits;
+    f
+  | None ->
+    let f =
+      match r.parent with
+      | None -> (
+        match Lp.Live.create ~n:r.dim (to_lp_constraints r) with
+        | `Feasible h -> Tableau h
+        | `Infeasible -> Empty
+        | `Failed _ -> Fallback)
+      | Some p -> (
+        match frozen_via ctx p with
+        | Empty -> Empty
+        | Fallback -> Fallback
+        | Tableau ph -> (
+          (* Each [cut] node carries exactly one halfspace of its own:
+             the head of its cut list. *)
+          let h = Lp.Live.copy ph in
+          match Lp.Live.add_cut h (Halfspace.to_lp_constr (List.hd r.cuts)) with
+          | `Sat | `Reopt _ -> Tableau h
+          | `Infeasible -> Empty
+          | `Failed _ -> Fallback))
     in
-    match (node.parent, node.cuts) with
-    | Some p, newest :: _ -> go p (newest :: cuts) acc
-    | _ -> List.rev acc
-  in
-  go r [] []
+    (if !incremental then r.art.frozen <- Some f else ctx := (r, f) :: !ctx);
+    f
 
-let survives cuts point = List.for_all (fun h -> Halfspace.satisfies h point) cuts
+(* --- The d = 2 analytic path ------------------------------------------- *)
+
+(* On the simplex line [u = (a, 1-a)], [a in [0, 1]], every region is an
+   interval: cut [n . u >= b] reduces to [(n0 - n1) a >= b - n1].  The
+   same thresholds as [line_clip] decide parallel cuts.  A pure function
+   of the cut list, shared verbatim by both engine modes, and the reason
+   the d = 2 experiment cells run without a single LP pivot. *)
+let d2_interval r =
+  let lo = ref 0. and hi = ref 1. in
+  List.iter
+    (fun (h : Halfspace.t) ->
+      let n0 = Vec.get h.normal 0 and n1 = Vec.get h.normal 1 in
+      let coeff = n0 -. n1 and bound = h.offset -. n1 in
+      if Float.abs coeff < 1e-14 then begin
+        if bound > 1e-12 then begin
+          lo := infinity;
+          hi := neg_infinity
+        end
+      end
+      else if coeff > 0. then lo := Float.max !lo (bound /. coeff)
+      else hi := Float.min !hi (bound /. coeff))
+    r.cuts;
+  (!lo, !hi)
+
+(* Same feasibility slack as the LP tolerance regime: an interval inverted
+   by no more than [d2_tol] is a degenerate (single-point) region, not an
+   empty one — matching how the simplex method absorbs round-off on a
+   boundary vertex. *)
+let d2_tol = 1e-9
+
+let d2_range r =
+  let lo, hi = d2_interval r in
+  if lo > hi +. d2_tol then None
+  else if lo > hi then
+    let m = 0.5 *. (lo +. hi) in
+    Some (m, m)
+  else Some (lo, hi)
+
+let d2_point a = Vec.init 2 (fun i -> if i = 0 then a else 1. -. a)
+
+let d2_range_exn r =
+  match d2_range r with Some iv -> iv | None -> assert false
 
 (* --- Feasibility ------------------------------------------------------- *)
 
@@ -194,139 +248,204 @@ let known_points r =
          mn.witness :: mx.witness :: acc)
        acc
 
+(* Every ancestor artifact [probe] finds along the cut chain (nearest
+   first), each paired with the halfspaces a witness from that ancestor
+   must satisfy to still be a point of [r]. *)
+let ancestor_candidates r ~probe =
+  let rec go node cuts acc =
+    let acc =
+      match probe node with
+      | Some artifact -> (artifact, cuts) :: acc
+      | None -> acc
+    in
+    match (node.parent, node.cuts) with
+    | Some p, newest :: _ -> go p (newest :: cuts) acc
+    | _ -> List.rev acc
+  in
+  go r [] []
+
+let survives cuts point = List.for_all (fun h -> Halfspace.satisfies h point) cuts
+
 let is_empty r =
   match r.emptiness with
   | Some verdict -> verdict
   | None ->
-    let cached_point =
-      if not !incremental then None
-      else
-        (* Any ancestor point surviving the interleaving cuts is a point of
-           [r]: feasibility settled by dot products alone. *)
-        ancestor_candidates r ~probe:(fun a ->
-            match known_points a with [] -> None | ps -> Some ps)
-        |> List.find_map (fun (points, cuts) ->
-               List.find_opt (survives cuts) points)
-    in
-    (match cached_point with
-    | Some p ->
-      Counter.incr c_cache_hits;
-      r.art.feas_point <- Some p;
-      r.emptiness <- Some false;
-      false
-    | None ->
-      (* d = 2 analytic verdict: on the simplex line every polytope is an
-         interval, so the parent's two profile witnesses are its complete
-         vertex set; the newest cut excluding both excludes the whole
-         interval (a linear function attains its max at an endpoint).
-         Only sound in d = 2 — in higher dimension the 2d profile
-         vertices are not all vertices. *)
-      let analytic_empty =
-        !incremental && r.dim = 2
-        &&
-        match (r.parent, r.cuts) with
-        | Some p, newest :: _ -> (
-          match p.art.profile with
-          | Some (_, witnesses) ->
-            witnesses <> []
-            && List.for_all
-                 (fun w -> not (Halfspace.satisfies newest w))
-                 witnesses
-          | None -> false)
-        | _ -> false
+    if r.dim = 2 then begin
+      let verdict = d2_range r = None in
+      r.emptiness <- Some verdict;
+      verdict
+    end
+    else
+      let cached_point =
+        if not !incremental then None
+        else
+          (* Any ancestor point surviving the interleaving cuts is a point
+             of [r]: feasibility settled by dot products alone. *)
+          ancestor_candidates r ~probe:(fun a ->
+              match known_points a with [] -> None | ps -> Some ps)
+          |> List.find_map (fun (points, cuts) ->
+                 List.find_opt (survives cuts) points)
       in
-      if analytic_empty then begin
+      (match cached_point with
+      | Some p ->
         Counter.incr c_cache_hits;
-        r.emptiness <- Some true;
-        true
-      end
-      else
-        match solve_warm r (Array.make r.dim 0.) `Minimize with
-        | Lp.Optimal _ ->
-          r.emptiness <- Some false;
-          false
-        | Lp.Infeasible ->
+        r.art.feas_point <- Some p;
+        r.emptiness <- Some false;
+        false
+      | None -> (
+        let ctx = new_ctx () in
+        match frozen_via ctx r with
+        | Empty ->
           r.emptiness <- Some true;
           true
-        | Lp.Unbounded -> assert false
-        | Lp.Failed _ ->
-          (* The solver could not reach a verdict, so the region's
-             feasibility is unknown.  Report it as unusable (empty) —
-             callers discard an empty posterior and keep their last sound
-             region, which preserves no-false-negatives — but do NOT cache
-             the verdict: a later query may succeed and must not inherit a
-             fabricated emptiness. *)
-          true)
-
-let maximize r c =
-  if Array.length c <> r.dim then invalid_arg "Polytope.maximize: bad objective";
-  match solve_warm r c `Maximize with
-  | Lp.Optimal { objective; point } -> Some (objective, point)
-  | Lp.Infeasible -> None
-  | Lp.Unbounded ->
-    (* Impossible over the compact simplex; flag loudly if the LP ever
-       reports it. *)
-    assert false
-  | Lp.Failed e -> raise (Solver_error e)
-
-let minimize r c =
-  match maximize r (Array.map (fun x -> -.x) c) with
-  | Some (value, point) -> Some (-.value, point)
-  | None -> None
+        | Tableau h ->
+          r.emptiness <- Some false;
+          if r.art.feas_point = None then r.art.feas_point <- Some (Lp.Live.point h);
+          false
+        | Fallback -> (
+          match solve_cold r (Vec.make r.dim 0.) `Minimize with
+          | Lp.Optimal _ -> false
+          | Lp.Infeasible -> true
+          | Lp.Unbounded -> assert false
+          | Lp.Failed _ ->
+            (* The solver could not reach a verdict, so the region's
+               feasibility is unknown.  Report it as unusable (empty) —
+               callers discard an empty posterior and keep their last
+               sound region, which preserves no-false-negatives — but do
+               NOT cache the verdict: a later query may succeed and must
+               not inherit a fabricated emptiness. *)
+            true)))
 
 let contains ?tol r v =
-  Array.length v = r.dim
-  && Array.for_all (fun x -> Floatx.geq ?tol x 0.) v
+  Vec.dim v = r.dim
+  && Vec.for_all (fun x -> Floatx.geq ?tol x 0.) v
   && Floatx.approx_equal ?tol (Vec.sum v) 1.
   && List.for_all (fun h -> Halfspace.satisfies ?tol h v) r.cuts
 
 let require_nonempty name r =
   if is_empty r then invalid_arg (name ^ ": empty region")
 
-(* --- Canonical coordinate profile (cold-solved, memoized) -------------- *)
+(* --- Canonical extremes ------------------------------------------------ *)
 
-(* The profile's witnesses feed [center_estimate] and the Lemma-2 witness
-   list, where the *identity* of the optimal vertex matters for downstream
-   decisions (anchor selection), not just the optimal value.  Cold solves
-   keep those vertices bit-identical to the from-scratch path; memoization
-   per polytope value is free of behaviour change because the solver is a
-   pure function of (constraints, objective). *)
-let compute_profile r =
-  require_nonempty "Polytope.coordinate_bounds" r;
-  let witnesses = ref [] in
-  let bounds =
-    Array.init r.dim (fun i ->
-        (* A fast-bound slot memoizes the results of the very same two
-           cold solves this loop would issue (same pure function, same
-           arguments), so reusing value and witness alike is bit-exact. *)
-        let memo =
-          if !incremental && Array.length r.art.fast_bounds > 0 then
-            r.art.fast_bounds.(i)
-          else None
-        in
-        match memo with
-        | Some ((mn : extreme), (mx : extreme)) ->
-          Counter.incr c_cache_hits;
-          witnesses := mn.witness :: mx.witness :: !witnesses;
-          (mn.value, mx.value)
-        | None ->
-          let e = Vec.basis r.dim i in
-          let lo, p_lo =
-            match solve_cold r (Array.map (fun x -> -.x) e) `Maximize with
-            | Lp.Optimal { objective; point } -> (-.objective, point)
-            | Lp.Failed err -> raise (Solver_error err)
-            | _ -> assert false
-          in
-          let hi, p_hi =
-            match solve_cold r e `Maximize with
-            | Lp.Optimal { objective; point } -> (objective, point)
-            | Lp.Failed err -> raise (Solver_error err)
-            | _ -> assert false
-          in
-          witnesses := p_lo :: p_hi :: !witnesses;
-          (lo, hi))
+(* One side of an extreme pair, by the legacy cold solver.  Only reached
+   below a [Fallback] replay. *)
+let cold_side r dir side =
+  match side with
+  | `Minimize -> (
+    match solve_cold r (Vec.neg dir) `Maximize with
+    | Lp.Optimal { objective = o; point } -> { value = -.o; witness = point }
+    | Lp.Failed err -> raise (Solver_error err)
+    | _ -> assert false)
+  | `Maximize -> (
+    match solve_cold r dir `Maximize with
+    | Lp.Optimal { objective = o; point } -> { value = o; witness = point }
+    | Lp.Failed err -> raise (Solver_error err)
+    | _ -> assert false)
+
+(* The (min, max) extreme pair of [dir] over [r], computed fresh at this
+   node: fork the frozen tableau and re-optimize both senses on the fork
+   (low side first).  [adopt_lo] / [adopt_hi] carry a parent-pair side
+   whose witness survived this node's cut — its value is still exact (the
+   witness attains it and the region only shrank), so that side is reused
+   verbatim and only the broken side pays pivots.  Which sides are
+   adopted is itself a pure function of the cut list, so the fork's pivot
+   sequence — and every produced float — is canonical. *)
+let fresh_pair ctx r dir ~adopt_lo ~adopt_hi =
+  match frozen_via ctx r with
+  | Empty -> invalid_arg "Polytope: extreme of empty region"
+  | Fallback ->
+    let lo = match adopt_lo with Some e -> e | None -> cold_side r dir `Minimize in
+    let hi = match adopt_hi with Some e -> e | None -> cold_side r dir `Maximize in
+    (lo, hi)
+  | Tableau fh ->
+    let fork = lazy (Lp.Live.copy fh) in
+    let side adopt sense =
+      match adopt with
+      | Some e -> e
+      | None -> (
+        match Lp.Live.optimize (Lazy.force fork) ~objective:dir sense with
+        | Lp.Optimal { objective; point } -> { value = objective; witness = point }
+        | Lp.Failed _ ->
+          (* Deterministic failure (budget, numerics): same fallback in
+             both engine modes. *)
+          cold_side r dir sense
+        | Lp.Infeasible | Lp.Unbounded -> assert false)
+    in
+    let lo = side adopt_lo `Minimize in
+    let hi = side adopt_hi `Maximize in
+    (lo, hi)
+
+(* The canonical extreme pair of [dir] over [r]: adopt the parent's pair
+   where its witnesses survive [r]'s cut, fork-and-pivot the rest.  The
+   recursion bottoms out at the root (or, in incremental mode, at the
+   nearest ancestor with a memoized pair).  Memo writes go to the queried
+   node only — ancestors are read, never written, preserving the
+   trial-local ownership discipline the parallel bench relies on. *)
+let canonical_pair ctx r dir ~get ~set =
+  let rec lookup node =
+    match (if !incremental then get node else None) with
+    | Some pair ->
+      Counter.incr c_cache_hits;
+      pair
+    | None -> (
+      match node.parent with
+      | Some p ->
+        let ((plo, phi) as parent_pair) = lookup p in
+        let cut = List.hd node.cuts in
+        let lo_ok = Halfspace.satisfies cut plo.witness in
+        let hi_ok = Halfspace.satisfies cut phi.witness in
+        if lo_ok && hi_ok then begin
+          if !incremental then Counter.incr c_cache_hits;
+          parent_pair
+        end
+        else
+          fresh_pair ctx node dir
+            ~adopt_lo:(if lo_ok then Some plo else None)
+            ~adopt_hi:(if hi_ok then Some phi else None)
+      | None -> fresh_pair ctx node dir ~adopt_lo:None ~adopt_hi:None)
   in
-  (bounds, !witnesses)
+  let pair = lookup r in
+  if !incremental then set r pair;
+  pair
+
+let ensure_fast_bounds r =
+  if Array.length r.art.fast_bounds = 0 then
+    r.art.fast_bounds <- Array.make r.dim None
+
+let axis_pair ctx r i =
+  canonical_pair ctx r (Vec.basis r.dim i)
+    ~get:(fun a ->
+      if Array.length a.art.fast_bounds = 0 then None else a.art.fast_bounds.(i))
+    ~set:(fun a pair ->
+      ensure_fast_bounds a;
+      a.art.fast_bounds.(i) <- Some pair)
+
+(* --- Coordinate profile ------------------------------------------------ *)
+
+(* d = 2: both endpoints of the interval are the region's complete vertex
+   set; the witness list keeps the legacy layout
+   [p_lo(d-1); p_hi(d-1); ...; p_lo(0); p_hi(0)]. *)
+let d2_profile r =
+  let lo, hi = d2_range_exn r in
+  let pt_lo = d2_point lo and pt_hi = d2_point hi in
+  let bounds = [| (lo, hi); (1. -. hi, 1. -. lo) |] in
+  (* Coordinate 1 is minimized at [a = hi] and maximized at [a = lo]. *)
+  let witnesses = [ pt_hi; pt_lo; pt_lo; pt_hi ] in
+  (bounds, witnesses)
+
+let compute_profile ctx r =
+  require_nonempty "Polytope.coordinate_bounds" r;
+  if r.dim = 2 then d2_profile r
+  else begin
+    let witnesses = ref [] in
+    let bounds =
+      Array.init r.dim (fun i ->
+          let lo, hi = axis_pair ctx r i in
+          witnesses := lo.witness :: hi.witness :: !witnesses;
+          (lo.value, hi.value))
+    in
+    (bounds, !witnesses)
+  end
 
 let coordinate_profile r =
   match r.art.profile with
@@ -334,88 +453,21 @@ let coordinate_profile r =
     Counter.incr c_cache_hits;
     p
   | _ ->
-    let p = compute_profile r in
+    let p = compute_profile (new_ctx ()) r in
     if !incremental then r.art.profile <- Some p;
     p
 
 let coordinate_bounds r = fst (coordinate_profile r)
 
-(* --- Value-grade extremes with cut revalidation ------------------------ *)
-
-let ensure_fast_bounds r =
-  if Array.length r.art.fast_bounds = 0 then
-    r.art.fast_bounds <- Array.make r.dim None
-
-(* The (min, max) extreme pair of [objective] over [r].
-
-   Bit-identity discipline: these values feed strict float comparisons
-   downstream (MinR/MinD trial scores, which can tie to the last ulp when
-   posteriors partition a region), so they must be the EXACT floats the
-   from-scratch path computes — produced by cold solves replicating its
-   operation order, then memoized per polytope (the solver is a pure
-   function of constraints and objective, so a memo hit is bit-safe where
-   a revalidated parent value or a warm-started re-solve is not). *)
-let extreme_pair r objective ~get ~set =
-  match get r with
-  | Some pair ->
-    Counter.incr c_cache_hits;
-    pair
-  | None ->
-    (* Low side first, matching [compute_profile]; value float ops mirror
-       the historical [minimize]-via-[maximize] path exactly. *)
-    let lo =
-      match
-        solve_cold r (Array.map (fun x -> -.x) objective) `Maximize
-      with
-      | Lp.Optimal { objective = o; point } -> { value = -.o; witness = point }
-      | Lp.Failed err -> raise (Solver_error err)
-      | _ -> assert false
-    in
-    let hi =
-      match solve_cold r objective `Maximize with
-      | Lp.Optimal { objective = o; point } -> { value = o; witness = point }
-      | Lp.Failed err -> raise (Solver_error err)
-      | _ -> assert false
-    in
-    if !incremental then set r (lo, hi);
-    (lo, hi)
-
-(* Seed a polytope's fast-bound slot for coordinate [i] from its canonical
-   profile if one was already paid for: profile witnesses are genuine
-   extremes.  Witness lists are built back-to-front — for coordinate k
-   (from d-1 down to 0) they hold [p_lo k; p_hi k; ...] — so coordinate
-   i's pair sits at offset [2 * (dim - 1 - i)]. *)
-let seed_fast_bound_from_profile r i =
-  match r.art.profile with
-  | None -> ()
-  | Some (bounds, witnesses) ->
-    ensure_fast_bounds r;
-    if r.art.fast_bounds.(i) = None then begin
-      let base = 2 * (r.dim - 1 - i) in
-      match (List.nth_opt witnesses base, List.nth_opt witnesses (base + 1)) with
-      | Some p_lo, Some p_hi ->
-        let lo, hi = bounds.(i) in
-        r.art.fast_bounds.(i) <-
-          Some ({ value = lo; witness = p_lo }, { value = hi; witness = p_hi })
-      | _ -> ()
-    end
-
-let fast_coordinate_extremes r i =
-  extreme_pair r (Vec.basis r.dim i)
-    ~get:(fun a ->
-      seed_fast_bound_from_profile a i;
-      if Array.length a.art.fast_bounds = 0 then None else a.art.fast_bounds.(i))
-    ~set:(fun a pair ->
-      ensure_fast_bounds a;
-      a.art.fast_bounds.(i) <- Some pair)
+(* --- Width / diameter folds -------------------------------------------- *)
 
 (* Skip margin for hint-based pruning of max-fold directions.  A hint is
-   an ancestor's cached float, and the skipped direction's would-be cold
+   an ancestor's cached float, and the skipped direction's canonical
    float both carry LP round-off (~1e-9 at worst on the unit simplex);
    skipping only when the hint trails the running maximum by more than
-   this margin guarantees the skipped cold float could not have changed
-   the fold, keeping the returned value bit-identical to the cold path.
-   Directions within the margin — ties included — are solved cold. *)
+   this margin guarantees the skipped float could not have changed the
+   fold, keeping the returned value identical to the skip-free fold.
+   Directions within the margin — ties included — are computed. *)
 let skip_margin = 1e-6
 
 (* An upper bound on coordinate [i]'s range over [r], from the nearest
@@ -441,8 +493,9 @@ let rec range_hint r i =
 
 (* Process directions in descending order of their inherited upper bound,
    so the true maximum is met early and every direction whose bound cannot
-   beat the running maximum is skipped without an LP.  Exact by the subset
-   argument above; [None] hints sort first (they must be solved). *)
+   beat the running maximum is skipped without touching a tableau.  Exact
+   by the margin argument above; [None] hints sort first (they must be
+   computed). *)
 let by_descending_hint hints =
   let arr = Array.mapi (fun i h -> (i, h)) hints in
   Array.sort
@@ -462,51 +515,76 @@ exception Stopped
 
 let width ?stop_when r =
   require_nonempty "Polytope.coordinate_bounds" r;
-  if not !incremental then
-    let bounds = coordinate_bounds r in
-    Array.fold_left (fun acc (lo, hi) -> Float.max acc (hi -. lo)) 0. bounds
-  else begin
-    let order = by_descending_hint (Array.init r.dim (range_hint r)) in
-    let acc = ref 0. in
-    (try
-       Array.iter
-         (fun (i, hint) ->
-           (match hint with
-           | Some h when h +. skip_margin <= !acc -> Counter.incr c_cache_hits
-           | _ ->
-             let lo, hi = fast_coordinate_extremes r i in
-             acc := Float.max !acc (hi.value -. lo.value));
-           match stop_when with
-           | Some f when f !acc -> raise Stopped
-           | _ -> ())
-         order
-     with Stopped -> ());
-    !acc
+  if r.dim = 2 then begin
+    let lo, hi = d2_range_exn r in
+    (* Both coordinate ranges, folded like the generic path folds the
+       profile bounds, so the floats agree with [coordinate_bounds]. *)
+    Float.max (Float.max 0. (hi -. lo)) ((1. -. lo) -. (1. -. hi))
   end
+  else
+    let ctx = new_ctx () in
+    if not !incremental then begin
+      let acc = ref 0. in
+      for i = 0 to r.dim - 1 do
+        let lo, hi = axis_pair ctx r i in
+        acc := Float.max !acc (hi.value -. lo.value)
+      done;
+      !acc
+    end
+    else begin
+      let order = by_descending_hint (Array.init r.dim (range_hint r)) in
+      let acc = ref 0. in
+      (try
+         Array.iter
+           (fun (i, hint) ->
+             (match hint with
+             | Some h when h +. skip_margin <= !acc -> Counter.incr c_cache_hits
+             | _ ->
+               let lo, hi = axis_pair ctx r i in
+               acc := Float.max !acc (hi.value -. lo.value));
+             match stop_when with
+             | Some f when f !acc -> raise Stopped
+             | _ -> ())
+           order
+       with Stopped -> ());
+      !acc
+    end
+
+(* Support extremes along an arbitrary direction, uncached: a fresh fork
+   of the frozen tableau per call (d = 2: the interval endpoints). *)
+let support_pair ctx r dir =
+  if r.dim = 2 then begin
+    let lo, hi = d2_range_exn r in
+    let pt_lo = d2_point lo and pt_hi = d2_point hi in
+    let v_lo = Vec.dot dir pt_lo and v_hi = Vec.dot dir pt_hi in
+    if v_lo <= v_hi then
+      ({ value = v_lo; witness = pt_lo }, { value = v_hi; witness = pt_hi })
+    else ({ value = v_hi; witness = pt_hi }, { value = v_lo; witness = pt_lo })
+  end
+  else fresh_pair ctx r dir ~adopt_lo:None ~adopt_hi:None
 
 let support_width r dir =
   require_nonempty "Polytope.support_width" r;
-  match (maximize r dir, minimize r dir) with
-  | Some (hi, _), Some (lo, _) -> hi -. lo
-  | _ -> assert false
+  let lo, hi = support_pair (new_ctx ()) r dir in
+  hi.value -. lo.value
 
 let axis_pair_directions d =
   let dirs = ref [] in
   for i = 0 to d - 1 do
     for j = i + 1 to d - 1 do
-      let dir = Array.make d 0. in
-      dir.(i) <- 1.;
-      dir.(j) <- -1.;
+      let dir = Vec.make d 0. in
+      Vec.set dir i 1.;
+      Vec.set dir j (-1.);
       dirs := dir :: !dirs
     done
   done;
   !dirs
 
 (* Support extremes along canonical direction [idx] (the position in
-   [axes @ axis_pair_directions dim]), cached per polytope and inherited
+   [axes @ axis_pair_directions dim]), cached per polytope and adopted
    through cuts like the coordinate bounds. *)
-let fast_support_extremes r idx dir =
-  extreme_pair r dir
+let fast_support_extremes ctx r idx dir =
+  canonical_pair ctx r dir
     ~get:(fun a -> Hashtbl.find_opt a.art.support idx)
     ~set:(fun a pair -> Hashtbl.replace a.art.support idx pair)
 
@@ -520,17 +598,17 @@ let rec support_hint r idx =
 
 let diameter ?(extra_directions = [||]) ?stop_when r =
   require_nonempty "Polytope.diameter" r;
+  let ctx = new_ctx () in
   let axes = List.init r.dim (fun i -> Vec.basis r.dim i) in
   let canonical = Array.of_list (axes @ axis_pair_directions r.dim) in
-  let extent_of support dir =
-    support /. Float.max (Vec.norm2 dir) 1e-12
-  in
+  let extent_of support dir = support /. Float.max (Vec.norm2 dir) 1e-12 in
   let acc = ref 0. in
   (try
-     if not !incremental then
-       Array.iteri
-         (fun _ dir ->
-           acc := Float.max !acc (extent_of (support_width r dir) dir))
+     if r.dim = 2 || not !incremental then
+       Array.iter
+         (fun dir ->
+           let lo, hi = support_pair ctx r dir in
+           acc := Float.max !acc (extent_of (hi.value -. lo.value) dir))
          canonical
      else begin
        let hints =
@@ -550,7 +628,7 @@ let diameter ?(extra_directions = [||]) ?stop_when r =
            | Some h when h +. skip_margin <= !acc -> Counter.incr c_cache_hits
            | _ ->
              let dir = canonical.(idx) in
-             let lo, hi = fast_support_extremes r idx dir in
+             let lo, hi = fast_support_extremes ctx r idx dir in
              acc := Float.max !acc (extent_of (hi.value -. lo.value) dir));
            match stop_when with
            | Some f when f !acc -> raise Stopped
@@ -558,21 +636,25 @@ let diameter ?(extra_directions = [||]) ?stop_when r =
          (by_descending_hint hints)
      end;
      Array.iter
-       (fun dir -> acc := Float.max !acc (extent_of (support_width r dir) dir))
+       (fun dir ->
+         let lo, hi = support_pair ctx r dir in
+         acc := Float.max !acc (extent_of (hi.value -. lo.value) dir))
        extra_directions
    with Stopped -> ());
   !acc
 
+(* --- Representative points --------------------------------------------- *)
+
 let center_estimate r =
   require_nonempty "Polytope.center_estimate" r;
-  (* Built from the canonical profile: the 2d cold-solved extreme vertices,
-     summed in the historical order (max then min per coordinate), so the
-     estimate is bit-identical to the from-scratch path while paying its
-     LPs only once per polytope. *)
+  (* Built from the canonical profile: the 2d extreme vertices, summed in
+     the historical order (max then min per coordinate), so the estimate
+     is a pure function of the cut list while paying its pivots only once
+     per polytope. *)
   let _, witnesses = coordinate_profile r in
   (* witnesses = [p_lo(d-1); p_hi(d-1); ...; p_lo(0); p_hi(0)] *)
   let arr = Array.of_list witnesses in
-  let acc = Array.make r.dim 0. in
+  let acc = Vec.make r.dim 0. in
   let count = ref 0 in
   for i = 0 to r.dim - 1 do
     let base = 2 * (r.dim - 1 - i) in
@@ -582,7 +664,50 @@ let center_estimate r =
     Vec.add_ip acc p_lo;
     incr count
   done;
-  Array.map (fun x -> x /. float_of_int !count) acc
+  Vec.map (fun x -> x /. float_of_int !count) acc
+
+(* --- Optimization over the region -------------------------------------- *)
+
+let maximize r c =
+  if Vec.dim c <> r.dim then invalid_arg "Polytope.maximize: bad objective";
+  if is_empty r then None
+  else if r.dim = 2 then begin
+    let lo, hi = d2_range_exn r in
+    let pt_lo = d2_point lo and pt_hi = d2_point hi in
+    let v_lo = Vec.dot c pt_lo and v_hi = Vec.dot c pt_hi in
+    if v_hi >= v_lo then Some (v_hi, pt_hi) else Some (v_lo, pt_lo)
+  end
+  else
+    let ctx = new_ctx () in
+    match frozen_via ctx r with
+    | Empty -> None
+    | Tableau fh -> (
+      let fork = Lp.Live.copy fh in
+      match Lp.Live.optimize fork ~objective:c `Maximize with
+      | Lp.Optimal { objective; point } ->
+        if r.art.feas_point = None then r.art.feas_point <- Some point;
+        Some (objective, point)
+      | Lp.Failed _ -> (
+        match solve_cold r c `Maximize with
+        | Lp.Optimal { objective; point } -> Some (objective, point)
+        | Lp.Infeasible -> None
+        | Lp.Unbounded -> assert false
+        | Lp.Failed e -> raise (Solver_error e))
+      | Lp.Infeasible | Lp.Unbounded -> assert false)
+    | Fallback -> (
+      match solve_cold r c `Maximize with
+      | Lp.Optimal { objective; point } -> Some (objective, point)
+      | Lp.Infeasible -> None
+      | Lp.Unbounded ->
+        (* Impossible over the compact simplex; flag loudly if the LP ever
+           reports it. *)
+        assert false
+      | Lp.Failed e -> raise (Solver_error e))
+
+let minimize r c =
+  match maximize r (Vec.neg c) with
+  | Some (value, point) -> Some (-.value, point)
+  | None -> None
 
 (* How far can we move from [x] along [w] (with sum w_i = 0) before leaving
    the region?  Clips against v >= 0 and each cut; returns (t_min, t_max). *)
@@ -603,12 +728,12 @@ let line_clip r x w =
   in
   (* v_i = x_i + t w_i >= 0  <=>  w_i * t >= -x_i *)
   for i = 0 to r.dim - 1 do
-    tighten w.(i) (-.x.(i))
+    tighten (Vec.get w i) (-.Vec.get x i)
   done;
   List.iter
     (fun (h : Halfspace.t) ->
       (* normal.(x + t w) >= offset  <=>  (normal.w) t >= offset - normal.x *)
-      let coeff = Vec.dot (h.normal : float array) w in
+      let coeff = Vec.dot h.normal w in
       tighten coeff (-.Halfspace.slack h x))
     r.cuts;
   (!t_lo, !t_hi)
@@ -620,9 +745,9 @@ let random_point r rng ~steps =
   let x = center_estimate r in
   for _ = 1 to steps do
     (* Random direction on the simplex hyperplane: gaussian, centered. *)
-    let raw = Array.init r.dim (fun _ -> Rng.gaussian rng) in
+    let raw = Vec.init r.dim (fun _ -> Rng.gaussian rng) in
     let mean = Vec.sum raw /. float_of_int r.dim in
-    let w = Array.map (fun v -> v -. mean) raw in
+    let w = Vec.map (fun v -> v -. mean) raw in
     if Vec.norm2 w > 1e-9 then begin
       let t_lo, t_hi = line_clip r x w in
       if t_lo < t_hi && Float.is_finite t_lo && Float.is_finite t_hi then begin

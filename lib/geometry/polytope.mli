@@ -8,19 +8,30 @@
     prunes candidate tuples by checking emptiness of a cut of this region.
     All of those reduce to small LPs solved by {!Indq_lp.Lp}.
 
-    {b Incremental engine.}  Because regions only ever shrink (every cut
-    adds a halfspace and removes nothing), a child produced by {!cut}
-    keeps a pointer to its parent and {i revalidates} the parent's cached
-    artifacts instead of recomputing them: a cached feasible point or
-    extreme-value witness that satisfies the new halfspaces (a dot product
-    per cut) is still a point of the child, so the cached verdict or value
-    is still exact.  Only invalidated artifacts are re-solved, warm-started
-    from the last optimal simplex basis seen for the same cut list.
-    Reuse shows up in the ["poly.cache_hits"], ["lp.warm_starts"] and
-    ["lp.warm_iterations_saved"] counters.  {!set_incremental}[ false]
-    turns all of it off (every query re-solves from scratch); both paths
-    produce the same verdicts, the same canonical witnesses, and values
-    equal to float round-off. *)
+    {b Canonical dual-simplex engine.}  Every LP-derived value here is a
+    {i pure function of the cut list} (plus static query parameters).
+    Each region owns a canonical {i frozen} tableau: the {!Indq_lp.Lp.Live}
+    state after replaying its cuts oldest-to-newest through one dual-simplex
+    [add_cut] per cut, always under the zero objective.  Value queries fork
+    that tableau and re-optimize on the fork — one parent setup reused
+    across every candidate child and every per-candidate objective (the
+    Lemma 2 batch) — so the pivot sequence, and hence every float, depends
+    only on (cuts, query), never on which queries ran before.  Per-direction
+    extreme pairs additionally {i adopt} the parent's pair wherever its
+    witness vertices survive the new cut (a dot product per witness): the
+    witness still attains the optimum over the shrunken region, so the value
+    is exact and costs zero pivots.  At [d = 2] the region is an interval of
+    the simplex line and everything is answered analytically, without a
+    tableau at all.
+
+    Incremental mode (the default) memoizes the frozen tableau, extreme
+    pairs, profiles and verdicts per region and skips fold directions whose
+    inherited upper-bound hints cannot affect the result; reuse shows up in
+    ["poly.cache_hits"] and dual activity in ["lp.dual_reopt"] /
+    ["lp.dual_pivots"].  {!set_incremental}[ false] (used by tests and
+    [bench -cold]) turns every cache off: each query then replays the same
+    canonical construction from scratch and lands on byte-identical
+    results. *)
 
 type t
 
@@ -36,9 +47,10 @@ val simplex : int -> t
     Raises [Invalid_argument] if [d < 1]. *)
 
 val set_incremental : bool -> unit
-(** Globally enable / disable artifact revalidation, per-polytope
-    memoization and LP warm starts (default: enabled).  Used by
-    equivalence tests and [bench -cold]. *)
+(** Globally enable / disable the per-region caches and hint-based fold
+    skipping (default: enabled).  Used by equivalence tests and
+    [bench -cold]; both settings produce byte-identical results by the
+    canonical-replay construction above. *)
 
 val incremental_enabled : unit -> bool
 
@@ -49,31 +61,35 @@ val halfspaces : t -> Halfspace.t list
 
 val cut : t -> Halfspace.t -> t
 (** [cut r h] is the region [r ∩ h].  O(1); feasibility is evaluated
-    lazily.  The child shares the parent's cached artifacts through
-    revalidation (see the module preamble). *)
+    lazily.  The child extends the parent's frozen tableau by one
+    dual-simplex row and adopts its surviving cached artifacts (see the
+    module preamble). *)
 
 val cut_many : t -> Halfspace.t list -> t
 
 val is_empty : t -> bool
-(** LP feasibility check.  Cached per region value.  When the solver fails
-    ({!Indq_lp.Lp.Failed}), returns [true] — the region is unusable — but
-    caches nothing, so a later query may still reach a real verdict. *)
+(** Feasibility check: the dual-simplex replay verdict (exact — the dual
+    ratio test certifies infeasibility), the analytic interval at [d = 2],
+    or a surviving cached ancestor point.  Cached per region.  When the
+    solver fails ({!Indq_lp.Lp.Failed}), returns [true] — the region is
+    unusable — but caches nothing, so a later query may still reach a real
+    verdict. *)
 
-val maximize : t -> float array -> (float * float array) option
+val maximize : t -> Indq_linalg.Vec.t -> (float * Indq_linalg.Vec.t) option
 (** [maximize r c] is [Some (value, argmax)] of [max c . v] over the region,
     or [None] when the region is empty.  The maximum always exists because
     the region is compact. *)
 
-val minimize : t -> float array -> (float * float array) option
+val minimize : t -> Indq_linalg.Vec.t -> (float * Indq_linalg.Vec.t) option
 
-val contains : ?tol:float -> t -> float array -> bool
+val contains : ?tol:float -> t -> Indq_linalg.Vec.t -> bool
 (** Membership: on the simplex and inside every cut. *)
 
 val coordinate_bounds : t -> (float * float) array
-(** [(lo_i, hi_i)] per coordinate via 2d LPs.  Raises [Invalid_argument] on
-    an empty region. *)
+(** [(lo_i, hi_i)] per coordinate.  Raises [Invalid_argument] on an empty
+    region. *)
 
-val coordinate_profile : t -> (float * float) array * float array list
+val coordinate_profile : t -> (float * float) array * Indq_linalg.Vec.t list
 (** {!coordinate_bounds} plus the [2d] witness vertices where the extremes
     are attained (each a point of the region).  The witnesses let callers
     disprove "max over the region < 0" claims without further LPs. *)
@@ -89,12 +105,15 @@ val width : ?stop_when:(float -> bool) -> t -> float
     larger value), which lets callers abort a doomed score without
     affecting any decision the full value would have produced. *)
 
-val support_width : t -> float array -> float
+val support_width : t -> Indq_linalg.Vec.t -> float
 (** [support_width r dir] is [max dir.v - min dir.v] over the region —
     the extent along [dir].  Raises on an empty region. *)
 
 val diameter :
-  ?extra_directions:float array array -> ?stop_when:(float -> bool) -> t -> float
+  ?extra_directions:Indq_linalg.Vec.t array ->
+  ?stop_when:(float -> bool) ->
+  t ->
+  float
 (** Paper's MinD metric.  Estimated as the largest support width over a
     direction set: all coordinate axes, all pairwise axis differences
     [e_i - e_j], plus any [extra_directions].  This is a lower bound on the
@@ -102,11 +121,11 @@ val diameter :
     the probed directions; MinD only uses it to {i rank} candidate question
     sets.  Raises on an empty region.  [stop_when] as in {!width}. *)
 
-val center_estimate : t -> float array
+val center_estimate : t -> Indq_linalg.Vec.t
 (** An interior-ish representative point: the average of the [2d]
     coordinate-extreme vertices.  Raises on an empty region. *)
 
-val random_point : t -> Indq_util.Rng.t -> steps:int -> float array
+val random_point : t -> Indq_util.Rng.t -> steps:int -> Indq_linalg.Vec.t
 (** Hit-and-run sampling from {!center_estimate}, staying on the simplex
     hyperplane.  More [steps] decorrelates from the center.  Raises on an
     empty region. *)

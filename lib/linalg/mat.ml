@@ -1,65 +1,79 @@
-type t = { data : float array array }
+(* One flat Float64 buffer, row-major: row i occupies cells
+   [i*cols, (i+1)*cols).  [row_view] is [Vec.sub_view] over that range —
+   the LP pivot kernels mutate rows through such views, touching one
+   contiguous cache line stream per row operation. *)
 
-let create rows cols =
-  if rows <= 0 || cols <= 0 then invalid_arg "Mat.create: non-positive size";
-  { data = Array.init rows (fun _ -> Array.make cols 0.) }
+type t = { nrows : int; ncols : int; data : Vec.t }
 
-let of_rows rows =
-  if Array.length rows = 0 then invalid_arg "Mat.of_rows: no rows";
-  let width = Array.length rows.(0) in
+let create nrows ncols =
+  if nrows <= 0 || ncols <= 0 then invalid_arg "Mat.create: non-positive size";
+  { nrows; ncols; data = Vec.make (nrows * ncols) 0. }
+
+let rows m = m.nrows
+
+let cols m = m.ncols
+
+let row_view m i =
+  if i < 0 || i >= m.nrows then invalid_arg "Mat.row_view: row out of range";
+  Vec.sub_view m.data ~pos:(i * m.ncols) ~len:m.ncols
+
+let of_rows rs =
+  if Array.length rs = 0 then invalid_arg "Mat.of_rows: no rows";
+  let width = Vec.dim rs.(0) in
   Array.iter
-    (fun r ->
-      if Array.length r <> width then invalid_arg "Mat.of_rows: ragged rows")
-    rows;
-  { data = Array.map Array.copy rows }
+    (fun r -> if Vec.dim r <> width then invalid_arg "Mat.of_rows: ragged rows")
+    rs;
+  let m = create (Array.length rs) width in
+  Array.iteri (fun i r -> Vec.blit ~src:r ~dst:(row_view m i)) rs;
+  m
 
-let rows m = Array.length m.data
+let get m i j =
+  if j < 0 || j >= m.ncols then invalid_arg "Mat.get: column out of range";
+  Vec.get m.data ((i * m.ncols) + j)
 
-let cols m = Array.length m.data.(0)
+let set m i j x =
+  if j < 0 || j >= m.ncols then invalid_arg "Mat.set: column out of range";
+  Vec.set m.data ((i * m.ncols) + j) x
 
-let get m i j = m.data.(i).(j)
+let row m i = Vec.copy (row_view m i)
 
-let set m i j x = m.data.(i).(j) <- x
-
-let row m i = Array.copy m.data.(i)
-
-let col m j = Array.init (rows m) (fun i -> m.data.(i).(j))
+let col m j = Vec.init m.nrows (fun i -> get m i j)
 
 let mul_vec m v =
-  if Array.length v <> cols m then invalid_arg "Mat.mul_vec: dimension mismatch";
-  Array.init (rows m) (fun i -> Vec.dot m.data.(i) v)
+  if Vec.dim v <> m.ncols then invalid_arg "Mat.mul_vec: dimension mismatch";
+  Vec.init m.nrows (fun i -> Vec.dot (row_view m i) v)
 
 let transpose m =
-  let r = rows m and c = cols m in
-  { data = Array.init c (fun j -> Array.init r (fun i -> m.data.(i).(j))) }
+  let t = create m.ncols m.nrows in
+  for i = 0 to m.nrows - 1 do
+    for j = 0 to m.ncols - 1 do
+      set t j i (get m i j)
+    done
+  done;
+  t
 
-let copy m = { data = Array.map Array.copy m.data }
+let copy m = { m with data = Vec.copy m.data }
 
 let swap_rows m i j =
-  let tmp = m.data.(i) in
-  m.data.(i) <- m.data.(j);
-  m.data.(j) <- tmp
+  if i <> j then begin
+    let ri = row_view m i and rj = row_view m j in
+    let tmp = Vec.copy ri in
+    Vec.blit ~src:rj ~dst:ri;
+    Vec.blit ~src:tmp ~dst:rj
+  end
 
-let scale_row m i c =
-  let r = m.data.(i) in
-  for j = 0 to Array.length r - 1 do
-    r.(j) <- r.(j) *. c
-  done
+let scale_row m i c = Vec.scale_ip c (row_view m i)
 
 let add_scaled_row m ~src ~dst c =
-  let s = m.data.(src) and d = m.data.(dst) in
-  for j = 0 to Array.length d - 1 do
-    d.(j) <- d.(j) +. (c *. s.(j))
-  done
+  Vec.axpy_ip c (row_view m src) (row_view m dst)
 
 let pp ppf m =
-  Array.iter
-    (fun r ->
-      Format.fprintf ppf "[";
-      Array.iteri
-        (fun j x ->
-          if j > 0 then Format.fprintf ppf " ";
-          Format.fprintf ppf "%8.4f" x)
-        r;
-      Format.fprintf ppf "]@.")
-    m.data
+  for i = 0 to m.nrows - 1 do
+    Format.fprintf ppf "[";
+    Vec.iteri
+      (fun j x ->
+        if j > 0 then Format.fprintf ppf " ";
+        Format.fprintf ppf "%8.4f" x)
+      (row_view m i);
+    Format.fprintf ppf "]@."
+  done

@@ -1,5 +1,8 @@
-(** Dense row-major matrices, sized for the small LP tableaux used by the
-    utility-region geometry (at most a few dozen rows/columns). *)
+(** Dense row-major matrices over one flat [Bigarray] buffer, sized for the
+    small LP tableaux used by the utility-region geometry (at most a few
+    dozen rows/columns).  Rows are contiguous, so {!row_view} exposes a row
+    as a zero-copy mutable {!Vec.t} — the simplex pivot kernels
+    ([Vec.scale_ip], [Vec.axpy_ip]) then stream cache-contiguous memory. *)
 
 type t
 (** A mutable [rows x cols] matrix of floats. *)
@@ -7,7 +10,7 @@ type t
 val create : int -> int -> t
 (** [create rows cols] is the zero matrix. *)
 
-val of_rows : float array array -> t
+val of_rows : Vec.t array -> t
 (** Build from row vectors (copied).  All rows must have equal length and
     there must be at least one row. *)
 
@@ -19,13 +22,17 @@ val get : t -> int -> int -> float
 
 val set : t -> int -> int -> float -> unit
 
-val row : t -> int -> float array
+val row : t -> int -> Vec.t
 (** A copy of row [i]. *)
 
-val col : t -> int -> float array
+val row_view : t -> int -> Vec.t
+(** A mutable zero-copy view of row [i]: writes through the view hit the
+    matrix.  O(1). *)
+
+val col : t -> int -> Vec.t
 (** A copy of column [j]. *)
 
-val mul_vec : t -> float array -> float array
+val mul_vec : t -> Vec.t -> Vec.t
 (** Matrix-vector product.  The vector length must equal [cols]. *)
 
 val transpose : t -> t

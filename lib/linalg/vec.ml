@@ -1,61 +1,119 @@
-type t = float array
+(* Flat Bigarray backing: one contiguous Float64 buffer per vector, C
+   layout.  IEEE double arithmetic on Bigarray cells is the same operation
+   as on [float array] cells, so every kernel below computes bit-identical
+   results to the historical array code as long as the traversal order
+   (left to right) is preserved — which it is, in every loop.
 
-let dim = Array.length
+   [Array1.unsafe_get]/[unsafe_set] are confined to this library by lint
+   rule IND009: each kernel validates dimensions once up front, after
+   which in-range indexing is structural. *)
 
-let make d x = Array.make d x
+open Bigarray
+
+type t = (float, float64_elt, c_layout) Array1.t
+
+let dim = Array1.dim
+
+let create d =
+  if d < 0 then invalid_arg "Vec.create: negative dimension";
+  Array1.create Float64 c_layout d
+
+let make d x =
+  let v = create d in
+  Array1.fill v x;
+  v
+
+let init d f =
+  let v = create d in
+  for i = 0 to d - 1 do
+    Array1.unsafe_set v i (f i)
+  done;
+  v
 
 let basis d i =
   if i < 0 || i >= d then invalid_arg "Vec.basis: index out of range";
-  Array.init d (fun j -> if j = i then 1. else 0.)
+  init d (fun j -> if j = i then 1. else 0.)
 
-let copy = Array.copy
+let of_array a = init (Array.length a) (Array.unsafe_get a)
+
+let of_list l = of_array (Array.of_list l)
+
+let to_array v = Array.init (dim v) (Array1.unsafe_get v)
+
+let to_list v = Array.to_list (to_array v)
+
+let copy v =
+  let w = create (dim v) in
+  Array1.blit v w;
+  w
+
+let get (v : t) i = Array1.get v i
+
+let set (v : t) i x = Array1.set v i x
+
+let fill (v : t) x = Array1.fill v x
 
 let check_same_dim name a b =
-  if Array.length a <> Array.length b then
-    invalid_arg (name ^ ": dimension mismatch")
+  if dim a <> dim b then invalid_arg (name ^ ": dimension mismatch")
+
+let blit ~src ~dst =
+  check_same_dim "Vec.blit" src dst;
+  Array1.blit src dst
+
+let sub_view v ~pos ~len = Array1.sub v pos len
 
 let dot a b =
   check_same_dim "Vec.dot" a b;
   let acc = ref 0. in
-  for i = 0 to Array.length a - 1 do
-    acc := !acc +. (a.(i) *. b.(i))
+  for i = 0 to dim a - 1 do
+    acc := !acc +. (Array1.unsafe_get a i *. Array1.unsafe_get b i)
   done;
   !acc
 
 let add a b =
   check_same_dim "Vec.add" a b;
-  Array.init (Array.length a) (fun i -> a.(i) +. b.(i))
+  init (dim a) (fun i -> Array1.unsafe_get a i +. Array1.unsafe_get b i)
 
 let sub a b =
   check_same_dim "Vec.sub" a b;
-  Array.init (Array.length a) (fun i -> a.(i) -. b.(i))
+  init (dim a) (fun i -> Array1.unsafe_get a i -. Array1.unsafe_get b i)
 
-let scale c a = Array.map (fun x -> c *. x) a
+let scale c a = init (dim a) (fun i -> c *. Array1.unsafe_get a i)
+
+let neg a = init (dim a) (fun i -> -.Array1.unsafe_get a i)
 
 let axpy c x y =
   check_same_dim "Vec.axpy" x y;
-  Array.init (Array.length x) (fun i -> (c *. x.(i)) +. y.(i))
+  init (dim x) (fun i -> (c *. Array1.unsafe_get x i) +. Array1.unsafe_get y i)
 
 let add_ip y x =
   check_same_dim "Vec.add_ip" y x;
-  for i = 0 to Array.length y - 1 do
-    y.(i) <- y.(i) +. x.(i)
+  for i = 0 to dim y - 1 do
+    Array1.unsafe_set y i (Array1.unsafe_get y i +. Array1.unsafe_get x i)
   done
 
 let axpy_ip c x y =
   check_same_dim "Vec.axpy_ip" x y;
-  for i = 0 to Array.length x - 1 do
-    y.(i) <- (c *. x.(i)) +. y.(i)
+  for i = 0 to dim x - 1 do
+    Array1.unsafe_set y i
+      ((c *. Array1.unsafe_get x i) +. Array1.unsafe_get y i)
   done
 
 let scale_ip c y =
-  for i = 0 to Array.length y - 1 do
-    y.(i) <- c *. y.(i)
+  for i = 0 to dim y - 1 do
+    Array1.unsafe_set y i (c *. Array1.unsafe_get y i)
   done
 
 let norm2 a = sqrt (dot a a)
 
-let norm_inf a = Array.fold_left (fun acc x -> Float.max acc (Float.abs x)) 0. a
+let fold_left f acc a =
+  let acc = ref acc in
+  for i = 0 to dim a - 1 do
+    acc := f !acc (Array1.unsafe_get a i)
+  done;
+  !acc
+
+let norm_inf a = fold_left (fun acc x -> Float.max acc (Float.abs x)) 0. a
 
 let dist2 a b = norm2 (sub a b)
 
@@ -64,37 +122,79 @@ let normalize a =
   if n < 1e-12 then invalid_arg "Vec.normalize: zero vector";
   scale (1. /. n) a
 
-let sum a = Array.fold_left ( +. ) 0. a
+let sum a = fold_left ( +. ) 0. a
 
 let max_coord a =
-  if Array.length a = 0 then invalid_arg "Vec.max_coord: empty vector";
-  Array.fold_left Float.max a.(0) a
+  if dim a = 0 then invalid_arg "Vec.max_coord: empty vector";
+  fold_left Float.max (Array1.unsafe_get a 0) a
 
 let min_coord a =
-  if Array.length a = 0 then invalid_arg "Vec.min_coord: empty vector";
-  Array.fold_left Float.min a.(0) a
+  if dim a = 0 then invalid_arg "Vec.min_coord: empty vector";
+  fold_left Float.min (Array1.unsafe_get a 0) a
 
 let argmax a =
-  if Array.length a = 0 then invalid_arg "Vec.argmax: empty vector";
+  if dim a = 0 then invalid_arg "Vec.argmax: empty vector";
   let best = ref 0 in
-  for i = 1 to Array.length a - 1 do
-    if a.(i) > a.(!best) then best := i
+  for i = 1 to dim a - 1 do
+    if Array1.unsafe_get a i > Array1.unsafe_get a !best then best := i
   done;
   !best
 
+let map f a = init (dim a) (fun i -> f (Array1.unsafe_get a i))
+
+let mapi f a = init (dim a) (fun i -> f i (Array1.unsafe_get a i))
+
+let iter f a =
+  for i = 0 to dim a - 1 do
+    f (Array1.unsafe_get a i)
+  done
+
+let iteri f a =
+  for i = 0 to dim a - 1 do
+    f i (Array1.unsafe_get a i)
+  done
+
+let for_all f a =
+  let ok = ref true in
+  (try
+     for i = 0 to dim a - 1 do
+       if not (f (Array1.unsafe_get a i)) then begin
+         ok := false;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  !ok
+
+let exists f a = not (for_all (fun x -> not (f x)) a)
+
+let equal a b =
+  dim a = dim b
+  &&
+  let ok = ref true in
+  for i = 0 to dim a - 1 do
+    if not (Float.equal (Array1.unsafe_get a i) (Array1.unsafe_get b i)) then
+      ok := false
+  done;
+  !ok
+
 let approx_equal ?tol a b =
-  Array.length a = Array.length b
+  dim a = dim b
   && begin
        let ok = ref true in
-       for i = 0 to Array.length a - 1 do
-         if not (Indq_util.Floatx.approx_equal ?tol a.(i) b.(i)) then ok := false
+       for i = 0 to dim a - 1 do
+         if
+           not
+             (Indq_util.Floatx.approx_equal ?tol (Array1.unsafe_get a i)
+                (Array1.unsafe_get b i))
+         then ok := false
        done;
        !ok
      end
 
 let pp ppf a =
   Format.fprintf ppf "(";
-  Array.iteri
+  iteri
     (fun i x ->
       if i > 0 then Format.fprintf ppf ", ";
       Format.fprintf ppf "%.4f" x)

@@ -1,11 +1,17 @@
-(** Dense float vectors.
+(** Dense float vectors over a flat [Bigarray] (Float64, C layout).
 
-    Tuples, utility vectors and LP rows are all plain [float array]s; this
-    module collects the operations used throughout the codebase.  Functions
-    that combine two vectors require equal lengths and raise
-    [Invalid_argument] otherwise. *)
+    Tuples, utility vectors, halfspace normals and LP rows all hold one of
+    these.  The representation is abstract: construct with {!make},
+    {!init}, {!basis} or {!of_array}, read with {!get} / {!to_array}.
+    Functions that combine two vectors require equal lengths and raise
+    [Invalid_argument] otherwise.
 
-type t = float array
+    The kernels ([dot], [axpy_ip], [scale_ip], ...) run bounds-check-free
+    over the flat buffer after a single dimension check; coordinate
+    traversal order is left-to-right, so every reduction computes the same
+    float expression as the historical [float array] code. *)
+
+type t
 
 val dim : t -> int
 (** Number of coordinates. *)
@@ -13,10 +19,40 @@ val dim : t -> int
 val make : int -> float -> t
 (** [make d x] is the d-vector with every coordinate [x]. *)
 
+val init : int -> (int -> float) -> t
+(** [init d f] is the vector [f 0; f 1; ...; f (d-1)]. *)
+
 val basis : int -> int -> t
 (** [basis d i] is the i-th standard basis vector of R^d (0-indexed). *)
 
+val of_array : float array -> t
+(** Copy of a plain float array. *)
+
+val of_list : float list -> t
+
+val to_array : t -> float array
+(** Fresh plain-array copy of the coordinates. *)
+
+val to_list : t -> float list
+
 val copy : t -> t
+
+val get : t -> int -> float
+(** Bounds-checked coordinate read. *)
+
+val set : t -> int -> float -> unit
+(** Bounds-checked coordinate write. *)
+
+val fill : t -> float -> unit
+(** Set every coordinate. *)
+
+val blit : src:t -> dst:t -> unit
+(** Copy [src] over [dst] (equal dimensions). *)
+
+val sub_view : t -> pos:int -> len:int -> t
+(** [sub_view v ~pos ~len] is a mutable {i view} of coordinates
+    [pos .. pos+len-1]: writes through the view are visible in [v].
+    Used for flat-matrix row views; O(1), no copy. *)
 
 val dot : t -> t -> float
 (** Inner product. *)
@@ -26,6 +62,9 @@ val add : t -> t -> t
 val sub : t -> t -> t
 
 val scale : float -> t -> t
+
+val neg : t -> t
+(** Coordinate-wise negation (fresh vector). *)
 
 val axpy : float -> t -> t -> t
 (** [axpy a x y] is [a*x + y] (fresh vector). *)
@@ -66,6 +105,23 @@ val min_coord : t -> float
 
 val argmax : t -> int
 (** Index of the largest coordinate (first on ties). *)
+
+val map : (float -> float) -> t -> t
+
+val mapi : (int -> float -> float) -> t -> t
+
+val iter : (float -> unit) -> t -> unit
+
+val iteri : (int -> float -> unit) -> t -> unit
+
+val fold_left : ('a -> float -> 'a) -> 'a -> t -> 'a
+
+val for_all : (float -> bool) -> t -> bool
+
+val exists : (float -> bool) -> t -> bool
+
+val equal : t -> t -> bool
+(** Exact (bitwise, via [Float.equal]) coordinate-wise equality. *)
 
 val approx_equal : ?tol:float -> t -> t -> bool
 (** Coordinate-wise comparison with tolerance. *)

@@ -2,37 +2,43 @@ module Counter = Indq_obs.Counter
 module Histogram = Indq_obs.Histogram
 module Fault = Indq_fault.Fault
 module Vec = Indq_linalg.Vec
+module Mat = Indq_linalg.Mat
 
 let c_solves = Counter.make "lp.solves"
 let c_iterations = Counter.make "lp.iterations"
-let c_warm_starts = Counter.make "lp.warm_starts"
-let c_warm_iterations_saved = Counter.make "lp.warm_iterations_saved"
+let c_dual_reopt = Counter.make "lp.dual_reopt"
+let c_dual_pivots = Counter.make "lp.dual_pivots"
 let c_failures = Counter.make "lp.failures"
 let c_retry_attempts = Counter.make "retry.attempts"
 let c_retry_exhausted = Counter.make "retry.exhausted"
 
-(* Simplex pivots per [solve] call (all attempts: warm, Dantzig, Bland
-   retry), observed as the [lp.iterations] delta around the call.  Pivot
-   counts are integers, so the histogram — including its float sum —
-   merges exactly across domains. *)
+(* Counters and pivot histograms are split by path, disjointly.  Cold
+   two-phase [solve] calls count in [lp.solves], pivot into
+   [lp.iterations], and observe [lp.pivots_per_solve] (all attempts:
+   Dantzig, Bland retry).  Live-tableau operations — phase-1 setup in
+   [Live.create], dual-simplex cut absorption in [add_cut], phase-2-only
+   re-optimization in [optimize] — pivot into [lp.dual_pivots], count
+   re-optimizations in [lp.dual_reopt], and observe
+   [lp.pivots_per_reopt].  A pivot lands in exactly one of
+   [lp.iterations] / [lp.dual_pivots] (decided by which tableau it runs
+   on), so the two counters compare the legacy and incremental engines
+   directly.  Each histogram is measured as the delta of its path's
+   counter around the call; pivot counts are integers, so every
+   histogram (including its float sum) merges exactly across domains. *)
 let h_pivots_per_solve = Histogram.make "lp.pivots_per_solve"
+let h_pivots_per_reopt = Histogram.make "lp.pivots_per_reopt"
 
 type relation = Le | Ge | Eq
 
-type constr = { coeffs : float array; relation : relation; rhs : float }
+type constr = { coeffs : Vec.t; relation : relation; rhs : float }
 
-type solution = { objective : float; point : float array }
+type solution = { objective : float; point : Vec.t }
 
 type error =
   | Iteration_limit of { budget : int }
   | Numerical of { detail : string }
 
 type outcome = Optimal of solution | Infeasible | Unbounded | Failed of error
-
-(* An optimal basis of a previous solve over the *same* constraint list:
-   the basic column per tableau row (no artificials), plus the phase-1
-   pivot count the originating cold solve paid — what a warm reuse saves. *)
-type basis = { cols : int array; phase1_iters : int }
 
 let constr coeffs relation rhs = { coeffs; relation; rhs }
 
@@ -43,48 +49,58 @@ let error_message = function
   | Numerical { detail } -> "numerical failure: " ^ detail
 
 (* Internal escape hatch for corrupted arithmetic: raised where the tableau
-   turns out to hold a non-finite value, caught in [solve] and surfaced as
-   [Failed (Numerical _)].  Never leaves this module. *)
+   turns out to hold a non-finite value, caught in [solve] / [Live] and
+   surfaced as [Failed (Numerical _)].  Never leaves this module. *)
 exception Bad_pivot of string
 
-(* Internal mutable tableau for the two-phase simplex.
+(* Internal mutable tableau for the simplex.
 
-   Columns: [0, n) structural vars, [n, n+slacks) slack/surplus vars,
-   [n+slacks, total) artificial vars.  Each row i carries its constraint
-   coefficients in [rows.(i)] and its right-hand side in [rhs.(i)]; the
-   variable basic in row i is [basis.(i)].  The objective row [obj] holds
-   reduced costs for the current basis and [obj_value] the negated objective
-   so far (standard tableau bookkeeping). *)
+   Columns: [0, n) structural vars, [n, art_start) slack/surplus vars,
+   [art_start, art_end) artificial vars, [art_end, ncols) slacks of rows
+   appended later by [Live.add_cut].  The live area is rows [0, m) and
+   columns [0, ncols) of a capacity grid: [data] rows keep every cell
+   beyond [ncols] at 0 and [obj] likewise, so whole-row kernel sweeps are
+   sound and appending a column is O(1) amortized.  Each row i carries its
+   right-hand side in [rhs.(i)]; the variable basic in row i is
+   [basis.(i)].  The objective row [obj] holds reduced costs for the
+   current basis and [obj_value] the negated objective so far (standard
+   tableau bookkeeping). *)
 type tableau = {
   n : int;  (* structural variables *)
-  total : int;  (* all columns *)
   art_start : int;  (* first artificial column *)
-  rows : float array array;
-  rhs : float array;
-  basis : int array;
-  mutable obj : float array;
+  art_end : int;  (* one past the last artificial column *)
+  mutable m : int;  (* live rows *)
+  mutable ncols : int;  (* live columns *)
+  mutable data : Mat.t;  (* capacity grid; live rows/cols as above *)
+  mutable rhs : Vec.t;  (* capacity [Mat.rows data] *)
+  mutable basis : int array;  (* capacity [Mat.rows data] *)
+  mutable obj : Vec.t;  (* capacity [Mat.cols data] *)
   mutable obj_value : float;
   mutable iters : int;  (* pivots performed on this tableau *)
   tol : float;
+  live : bool;  (* pivots count in lp.dual_pivots, not lp.iterations *)
 }
 
 let check_inputs ~n objective constraints =
   if n <= 0 then invalid_arg "Lp: need at least one variable";
-  if Array.length objective <> n then invalid_arg "Lp: objective length <> n";
+  if Vec.dim objective <> n then invalid_arg "Lp: objective length <> n";
   List.iter
     (fun (c : constr) ->
-      if Array.length c.coeffs <> n then
+      if Vec.dim c.coeffs <> n then
         invalid_arg "Lp: constraint coefficient length <> n")
     constraints
 
-(* Build the phase-1 tableau.  Every row is first normalized to rhs >= 0. *)
-let build ~tol ~n constraints =
+(* Build the phase-1 tableau.  Every row is first normalized to rhs >= 0.
+   [reserve] leaves headroom in both dimensions for rows a [Live] handle
+   appends later. *)
+let build ~tol ~n ?(reserve = 0) ?(live = false) constraints =
   let cs = Array.of_list constraints in
   let m = Array.length cs in
   (* Count extra columns. *)
   let slack_count =
     Array.fold_left
-      (fun acc (c : constr) -> match c.relation with Le | Ge -> acc + 1 | Eq -> acc)
+      (fun acc (c : constr) ->
+        match c.relation with Le | Ge -> acc + 1 | Eq -> acc)
       0 cs
   in
   (* Normalize rows so rhs >= 0, which may flip the relation.  A >= row
@@ -98,9 +114,7 @@ let build ~tol ~n constraints =
           let flipped =
             match c.relation with Le -> Ge | Ge -> Le | Eq -> Eq
           in
-          { coeffs = Array.map (fun x -> -.x) c.coeffs;
-            relation = flipped;
-            rhs = -.c.rhs }
+          { coeffs = Vec.neg c.coeffs; relation = flipped; rhs = -.c.rhs }
         else c)
       cs
   in
@@ -108,89 +122,103 @@ let build ~tol ~n constraints =
      an artificial.  Count artificials. *)
   let art_count =
     Array.fold_left
-      (fun acc (c : constr) -> match c.relation with Le -> acc | Ge | Eq -> acc + 1)
+      (fun acc (c : constr) ->
+        match c.relation with Le -> acc | Ge | Eq -> acc + 1)
       0 normalized
   in
   let art_start = n + slack_count in
-  let total = art_start + art_count in
-  let rows = Array.init m (fun _ -> Array.make total 0.) in
-  let rhs = Array.make m 0. in
-  let basis = Array.make m (-1) in
+  let art_end = art_start + art_count in
+  let cap_rows = m + reserve and cap_cols = art_end + reserve in
+  let data = Mat.create (max cap_rows 1) (max cap_cols 1) in
+  let rhs = Vec.make (max cap_rows 1) 0. in
+  let basis = Array.make (max cap_rows 1) (-1) in
   let next_slack = ref n in
   let next_art = ref art_start in
   Array.iteri
     (fun i (c : constr) ->
-      Array.blit c.coeffs 0 rows.(i) 0 n;
-      rhs.(i) <- c.rhs;
-      (match c.relation with
+      let row = Mat.row_view data i in
+      Vec.blit ~src:c.coeffs ~dst:(Vec.sub_view row ~pos:0 ~len:n);
+      Vec.set rhs i c.rhs;
+      match c.relation with
       | Le ->
-        rows.(i).(!next_slack) <- 1.;
+        Vec.set row !next_slack 1.;
         basis.(i) <- !next_slack;
         incr next_slack
       | Ge ->
-        rows.(i).(!next_slack) <- -1.;
+        Vec.set row !next_slack (-1.);
         incr next_slack;
-        rows.(i).(!next_art) <- 1.;
+        Vec.set row !next_art 1.;
         basis.(i) <- !next_art;
         incr next_art
       | Eq ->
-        rows.(i).(!next_art) <- 1.;
+        Vec.set row !next_art 1.;
         basis.(i) <- !next_art;
-        incr next_art))
+        incr next_art)
     normalized;
   (* Phase-1 objective: minimize the sum of artificials.  Express its reduced
      costs for the starting basis by subtracting each artificial's row. *)
-  let obj = Array.make total 0. in
-  for j = art_start to total - 1 do
-    obj.(j) <- 1.
+  let obj = Vec.make (max cap_cols 1) 0. in
+  for j = art_start to art_end - 1 do
+    Vec.set obj j 1.
   done;
   let obj_value = ref 0. in
-  Array.iteri
-    (fun i b ->
-      if b >= art_start then begin
-        Vec.axpy_ip (-1.) rows.(i) obj;
-        obj_value := !obj_value -. rhs.(i)
-      end)
-    basis;
-  { n; total; art_start; rows; rhs; basis; obj; obj_value = !obj_value;
-    iters = 0; tol }
+  for i = 0 to m - 1 do
+    if basis.(i) >= art_start && basis.(i) < art_end then begin
+      Vec.axpy_ip (-1.) (Mat.row_view data i) obj;
+      obj_value := !obj_value -. Vec.get rhs i
+    end
+  done;
+  { n; art_start; art_end; m; ncols = art_end; data; rhs; basis; obj;
+    obj_value = !obj_value; iters = 0; tol; live }
 
 let tableau_corrupt t =
   let bad x = not (Float.is_finite x) in
-  Array.exists bad t.rhs
-  || Array.exists bad t.obj
-  || Array.exists (fun r -> Array.exists bad r) t.rows
+  let live_bad v len =
+    let hit = ref false in
+    for i = 0 to len - 1 do
+      if bad (Vec.get v i) then hit := true
+    done;
+    !hit
+  in
+  let rows_bad = ref false in
+  for i = 0 to t.m - 1 do
+    if live_bad (Mat.row_view t.data i) t.ncols then rows_bad := true
+  done;
+  live_bad t.rhs t.m || live_bad t.obj t.ncols || !rows_bad
 
 let pivot t ~row ~col =
-  Counter.incr c_iterations;
+  Counter.incr (if t.live then c_dual_pivots else c_iterations);
   t.iters <- t.iters + 1;
-  let pivot_value = t.rows.(row).(col) in
+  let pivot_value = Mat.get t.data row col in
   if not (Float.is_finite pivot_value) then
     raise
       (Bad_pivot
-         (Printf.sprintf "non-finite pivot element in row %d, column %d" row col));
-  let r = t.rows.(row) in
-  for j = 0 to t.total - 1 do
-    r.(j) <- r.(j) /. pivot_value
-  done;
-  t.rhs.(row) <- t.rhs.(row) /. pivot_value;
-  (* [y -. factor *. x] and [axpy_ip (-.factor) x y] produce the same bits
-     (negation is exact), so the in-place rewrite changes no result. *)
-  for i = 0 to Array.length t.rows - 1 do
+         (Printf.sprintf "non-finite pivot element in row %d, column %d" row
+            col));
+  let r = Mat.row_view t.data row in
+  Vec.scale_ip (1. /. pivot_value) r;
+  Vec.set t.rhs row (Vec.get t.rhs row /. pivot_value);
+  (* Cells beyond [ncols] are zero in every row and in [obj], so the
+     full-capacity kernel sweeps below leave them zero. *)
+  for i = 0 to t.m - 1 do
     if i <> row then begin
-      let factor = t.rows.(i).(col) in
+      let factor = Mat.get t.data i col in
       if Float.abs factor > 0. then begin
-        Vec.axpy_ip (-.factor) r t.rows.(i);
-        t.rhs.(i) <- t.rhs.(i) -. (factor *. t.rhs.(row))
+        Vec.axpy_ip (-.factor) r (Mat.row_view t.data i);
+        Vec.set t.rhs i (Vec.get t.rhs i -. (factor *. Vec.get t.rhs row))
       end
     end
   done;
-  let factor = t.obj.(col) in
+  let factor = Vec.get t.obj col in
   if Float.abs factor > 0. then begin
     Vec.axpy_ip (-.factor) r t.obj;
-    t.obj_value <- t.obj_value -. (factor *. t.rhs.(row))
+    t.obj_value <- t.obj_value -. (factor *. Vec.get t.rhs row)
   end;
   t.basis.(row) <- col
+
+(* Columns an entering pivot may use: artificials are frozen once phase 1
+   ends, everything else — structural, slack, appended slack — is fair. *)
+let col_allowed t j = j < t.art_start || j >= t.art_end
 
 (* Entering column under the requested pivot rule, or -1 at optimality.
    Dantzig picks the most negative reduced cost (smallest index on exact
@@ -201,8 +229,8 @@ let entering_column t ~rule ~allowed =
   | `Bland ->
     let entering = ref (-1) in
     (try
-       for j = 0 to t.total - 1 do
-         if allowed j && t.obj.(j) < -.t.tol then begin
+       for j = 0 to t.ncols - 1 do
+         if allowed j && Vec.get t.obj j < -.t.tol then begin
            entering := j;
            raise Exit
          end
@@ -212,10 +240,10 @@ let entering_column t ~rule ~allowed =
   | `Dantzig ->
     let entering = ref (-1) in
     let best = ref (-.t.tol) in
-    for j = 0 to t.total - 1 do
-      if allowed j && t.obj.(j) < !best then begin
+    for j = 0 to t.ncols - 1 do
+      if allowed j && Vec.get t.obj j < !best then begin
         entering := j;
-        best := t.obj.(j)
+        best := Vec.get t.obj j
       end
     done;
     !entering
@@ -226,7 +254,6 @@ let entering_column t ~rule ~allowed =
    [`Optimal], [`Unbounded], or [`Budget] when the fuel runs out with the
    tableau still improvable. *)
 let solve_phase t ~rule ~allowed ~fuel =
-  let m = Array.length t.rows in
   let rec iterate () =
     let col = entering_column t ~rule ~allowed in
     if col < 0 then `Optimal
@@ -235,10 +262,10 @@ let solve_phase t ~rule ~allowed ~fuel =
       (* Ratio test; Bland tie-break on smallest basic variable index. *)
       let best_row = ref (-1) in
       let best_ratio = ref infinity in
-      for i = 0 to m - 1 do
-        let a = t.rows.(i).(col) in
+      for i = 0 to t.m - 1 do
+        let a = Mat.get t.data i col in
         if a > t.tol then begin
-          let ratio = t.rhs.(i) /. a in
+          let ratio = Vec.get t.rhs i /. a in
           if
             ratio < !best_ratio -. t.tol
             || (Float.abs (ratio -. !best_ratio) <= t.tol
@@ -264,13 +291,12 @@ let solve_phase t ~rule ~allowed ~fuel =
    then has all-zero structural coefficients and never constrains phase 2
    because artificial columns are frozen. *)
 let expel_artificials t =
-  let m = Array.length t.rows in
-  for i = 0 to m - 1 do
-    if t.basis.(i) >= t.art_start then begin
+  for i = 0 to t.m - 1 do
+    if t.basis.(i) >= t.art_start && t.basis.(i) < t.art_end then begin
       let col = ref (-1) in
       (try
          for j = 0 to t.art_start - 1 do
-           if Float.abs t.rows.(i).(j) > t.tol then begin
+           if Float.abs (Mat.get t.data i j) > t.tol then begin
              col := j;
              raise Exit
            end
@@ -281,10 +307,11 @@ let expel_artificials t =
   done
 
 let extract_point t =
-  let x = Array.make t.n 0. in
-  Array.iteri
-    (fun i b -> if b < t.n then x.(b) <- t.rhs.(i))
-    t.basis;
+  let x = Vec.make t.n 0. in
+  for i = 0 to t.m - 1 do
+    let b = t.basis.(i) in
+    if b < t.n then Vec.set x b (Vec.get t.rhs i)
+  done;
   x
 
 (* The optimal solution of a finished tableau, validated finite: corrupted
@@ -293,62 +320,26 @@ let extract_point t =
 let final_solution t =
   let objective = -.t.obj_value in
   let point = extract_point t in
-  if Float.is_finite objective && Array.for_all Float.is_finite point then
+  if Float.is_finite objective && Vec.for_all Float.is_finite point then
     Ok { objective; point }
   else Error "non-finite optimal solution"
 
 (* Install a fresh objective (phase 2) and express it in terms of the current
    basis. *)
 let install_objective t cost =
-  let obj = Array.make t.total 0. in
-  Array.blit cost 0 obj 0 t.n;
+  let obj = Vec.make (Mat.cols t.data) 0. in
+  Vec.blit ~src:cost ~dst:(Vec.sub_view obj ~pos:0 ~len:t.n);
   let obj_value = ref 0. in
-  Array.iteri
-    (fun i b ->
-      if Float.abs obj.(b) > 0. then begin
-        let factor = obj.(b) in
-        Vec.axpy_ip (-.factor) t.rows.(i) obj;
-        obj_value := !obj_value -. (factor *. t.rhs.(i))
-      end)
-    t.basis;
+  for i = 0 to t.m - 1 do
+    let b = t.basis.(i) in
+    if Float.abs (Vec.get obj b) > 0. then begin
+      let factor = Vec.get obj b in
+      Vec.axpy_ip (-.factor) (Mat.row_view t.data i) obj;
+      obj_value := !obj_value -. (factor *. Vec.get t.rhs i)
+    end
+  done;
   t.obj <- obj;
   t.obj_value <- !obj_value
-
-(* Re-express a fresh tableau in terms of a previously optimal basis of the
-   same constraint list, skipping phase 1 entirely.  Pivots are placed
-   greedily (any remaining target with a usable pivot element first), which
-   handles bases whose row order disagrees with a straight top-down
-   elimination.  Returns [false] — leaving the caller to rebuild cold —
-   when the basis doesn't fit (wrong row count, artificial columns,
-   numerically singular, or not primal feasible for this constraint list). *)
-let install_basis t (w : basis) =
-  let m = Array.length t.rows in
-  if Array.length w.cols <> m then false
-  else if Array.exists (fun c -> c < 0 || c >= t.art_start) w.cols then false
-  else begin
-    let placed = Array.make m false in
-    (* Rows already starting with the right basic variable need no pivot. *)
-    Array.iteri
-      (fun i c -> if t.basis.(i) = c then placed.(i) <- true)
-      w.cols;
-    let progress = ref true in
-    let remaining = ref (Array.fold_left
-      (fun acc p -> if p then acc else acc + 1) 0 placed)
-    in
-    while !remaining > 0 && !progress do
-      progress := false;
-      for i = 0 to m - 1 do
-        if (not placed.(i)) && Float.abs t.rows.(i).(w.cols.(i)) > t.tol then begin
-          pivot t ~row:i ~col:w.cols.(i);
-          placed.(i) <- true;
-          decr remaining;
-          progress := true
-        end
-      done
-    done;
-    !remaining = 0
-    && Array.for_all (fun r -> r >= 0.) t.rhs
-  end
 
 (* Default pivot budget: generous for the small problems this solver sees
    (d <= 10 variables, a few dozen constraints need well under a hundred
@@ -356,25 +347,27 @@ let install_basis t (w : basis) =
    off and retried under Bland instead of spinning forever. *)
 let default_budget ~n ~m = 1000 + (50 * (n + (3 * m)))
 
-let solve_lp ?(tol = 1e-9) ?warm ?max_pivots ~n ~objective direction constraints =
-  let cost =
-    match direction with
-    | `Minimize -> objective
-    | `Maximize -> Array.map (fun c -> -.c) objective
-  in
+let internal_cost direction objective =
+  match direction with
+  | `Minimize -> objective
+  | `Maximize -> Vec.neg objective
+
+let finish direction outcome =
+  match (direction, outcome) with
+  | `Maximize, Optimal { objective; point } ->
+    Optimal { objective = -.objective; point }
+  | _, o -> o
+
+let solve_lp ?(tol = 1e-9) ?max_pivots ~n ~objective direction constraints =
+  let cost = internal_cost direction objective in
   check_inputs ~n objective constraints;
   Counter.incr c_solves;
-  let finish outcome =
-    match (direction, outcome) with
-    | `Maximize, Optimal { objective; point } ->
-      Optimal { objective = -.objective; point }
-    | _, o -> o
-  in
+  let finish o = finish direction o in
   if constraints = [] then begin
     (* Only x >= 0: the minimum is 0 at the origin unless some objective
        coefficient is negative, in which case the problem is unbounded. *)
-    if Array.exists (fun c -> c < -.tol) cost then (finish Unbounded, None)
-    else (finish (Optimal { objective = 0.; point = Array.make n 0. }), None)
+    if Vec.exists (fun c -> c < -.tol) cost then finish Unbounded
+    else finish (Optimal { objective = 0.; point = Vec.make n 0. })
   end
   else begin
     let m = List.length constraints in
@@ -392,7 +385,7 @@ let solve_lp ?(tol = 1e-9) ?warm ?max_pivots ~n ~objective direction constraints
     let build_tableau () =
       let t = build ~tol ~n constraints in
       if nan_injected then begin
-        t.rhs.(0) <- Float.nan;
+        Vec.set t.rhs 0 Float.nan;
         if tableau_corrupt t then raise (Bad_pivot "non-finite tableau entry")
       end;
       t
@@ -406,98 +399,309 @@ let solve_lp ?(tol = 1e-9) ?warm ?max_pivots ~n ~objective direction constraints
       | `Unbounded ->
         (* Phase-1 objective (sum of artificials, all bounded below by 0) can
            never be unbounded; treat as numerically infeasible. *)
-        `Done (finish Infeasible, None)
+        `Done (finish Infeasible)
       | `Optimal ->
         (* obj_value holds the negated phase-1 objective. *)
-        if -.t.obj_value > 1e-7 then `Done (finish Infeasible, None)
+        if -.t.obj_value > 1e-7 then `Done (finish Infeasible)
         else begin
           expel_artificials t;
-          let phase1_iters = t.iters in
           install_objective t cost;
-          let allowed j = j < t.art_start in
-          match solve_phase t ~rule ~allowed ~fuel with
+          match solve_phase t ~rule ~allowed:(col_allowed t) ~fuel with
           | `Budget -> `Budget
-          | `Unbounded -> `Done (finish Unbounded, None)
+          | `Unbounded -> `Done (finish Unbounded)
           | `Optimal ->
             (match final_solution t with
             | Error detail -> raise (Bad_pivot detail)
-            | Ok s ->
-              `Done
-                ( finish (Optimal s),
-                  Some { cols = Array.copy t.basis; phase1_iters } ))
-        end
-    in
-    (* Warm path: adopt the prior optimal basis — a feasible basis for any
-       objective over the same constraint list — and go straight to phase 2.
-       Any trouble (unusable basis, budget, corruption) falls back to the
-       cold two-phase path, so a stale basis can cost time but never
-       correctness. *)
-    let warm_attempt () =
-      match warm with
-      | None -> None
-      | Some w ->
-        let t = build_tableau () in
-        if not (install_basis t w) then None
-        else begin
-          Counter.incr c_warm_starts;
-          Counter.add c_warm_iterations_saved (float_of_int w.phase1_iters);
-          install_objective t cost;
-          let allowed j = j < t.art_start in
-          match solve_phase t ~rule:`Dantzig ~allowed ~fuel:(ref primary_budget) with
-          | `Budget -> None
-          | `Unbounded -> Some (finish Unbounded, None)
-          | `Optimal ->
-            (match final_solution t with
-            | Error _ -> None
-            | Ok s ->
-              Some
-                ( finish (Optimal s),
-                  Some
-                    { cols = Array.copy t.basis;
-                      phase1_iters = w.phase1_iters } ))
+            | Ok s -> `Done (finish (Optimal s)))
         end
     in
     let fail err =
       Counter.incr c_failures;
-      (Failed err, None)
+      Failed err
     in
-    match (try warm_attempt () with Bad_pivot _ -> None) with
-    | Some r -> r
-    | None ->
-      (match cold `Dantzig (ref primary_budget) with
+    match cold `Dantzig (ref primary_budget) with
+    | `Done r -> r
+    | exception Bad_pivot detail -> fail (Numerical { detail })
+    | `Budget ->
+      (* Anti-cycling fallback: rebuild and rerun under Bland's rule,
+         which cannot cycle.  Exhausting the budget even there is
+         surfaced as the typed iteration-limit failure. *)
+      Counter.incr c_retry_attempts;
+      (match cold `Bland (ref budget) with
       | `Done r -> r
       | exception Bad_pivot detail -> fail (Numerical { detail })
       | `Budget ->
-        (* Anti-cycling fallback: rebuild and rerun under Bland's rule,
-           which cannot cycle.  Exhausting the budget even there is
-           surfaced as the typed iteration-limit failure. *)
-        Counter.incr c_retry_attempts;
-        (match cold `Bland (ref budget) with
-        | `Done r -> r
-        | exception Bad_pivot detail -> fail (Numerical { detail })
-        | `Budget ->
-          Counter.incr c_retry_exhausted;
-          fail (Iteration_limit { budget })))
+        Counter.incr c_retry_exhausted;
+        fail (Iteration_limit { budget }))
   end
 
-let solve ?tol ?warm ?max_pivots ~n ~objective direction constraints =
+let solve ?tol ?max_pivots ~n ~objective direction constraints =
   let pivots_before = Counter.value c_iterations in
-  let result = solve_lp ?tol ?warm ?max_pivots ~n ~objective direction constraints in
+  let result = solve_lp ?tol ?max_pivots ~n ~objective direction constraints in
   Histogram.observe h_pivots_per_solve
     (Counter.value c_iterations -. pivots_before);
   result
 
 let minimize ?tol ~n ~objective constraints =
-  fst (solve ?tol ~n ~objective `Minimize constraints)
+  solve ?tol ~n ~objective `Minimize constraints
 
 let maximize ?tol ~n ~objective constraints =
-  fst (solve ?tol ~n ~objective `Maximize constraints)
+  solve ?tol ~n ~objective `Maximize constraints
 
 let feasible_point ?tol ~n constraints =
-  match minimize ?tol ~n ~objective:(Array.make n 0.) constraints with
+  match minimize ?tol ~n ~objective:(Vec.make n 0.) constraints with
   | Optimal { point; _ } -> Some point
   | Infeasible -> None
   | Unbounded -> None
   | Failed _ -> None
 
 let is_feasible ?tol ~n constraints = feasible_point ?tol ~n constraints <> None
+
+(* --- Live handles: dual-simplex re-optimization ------------------------ *)
+
+module Live = struct
+  type handle = {
+    tab : tableau;
+    max_pivots : int option;
+    mutable ok : bool;  (* false once the tableau is mid-pivot garbage *)
+  }
+
+  type t = handle
+
+  let n h = h.tab.n
+
+  let usable h = h.ok
+
+  let point h = extract_point h.tab
+
+  let budget h =
+    match h.max_pivots with
+    | Some b -> max 0 b
+    | None -> default_budget ~n:h.tab.n ~m:h.tab.m
+
+  (* Grow the capacity grid.  Fresh cells are zero, preserving the
+     "dead area is all zeros" invariant the pivot sweeps rely on. *)
+  let ensure_capacity t ~rows ~cols =
+    let cap_rows = Mat.rows t.data and cap_cols = Mat.cols t.data in
+    if rows > cap_rows || cols > cap_cols then begin
+      let new_rows = if rows > cap_rows then max rows (2 * cap_rows) else cap_rows in
+      let new_cols = if cols > cap_cols then max cols (2 * cap_cols) else cap_cols in
+      let data = Mat.create new_rows new_cols in
+      for i = 0 to t.m - 1 do
+        Vec.blit
+          ~src:(Mat.row_view t.data i)
+          ~dst:(Vec.sub_view (Mat.row_view data i) ~pos:0 ~len:cap_cols)
+      done;
+      t.data <- data;
+      let rhs = Vec.make new_rows 0. in
+      Vec.blit ~src:t.rhs ~dst:(Vec.sub_view rhs ~pos:0 ~len:cap_rows);
+      t.rhs <- rhs;
+      let basis = Array.make new_rows (-1) in
+      Array.blit t.basis 0 basis 0 cap_rows;
+      t.basis <- basis;
+      let obj = Vec.make new_cols 0. in
+      Vec.blit ~src:t.obj ~dst:(Vec.sub_view obj ~pos:0 ~len:cap_cols);
+      t.obj <- obj
+    end
+
+  let copy h =
+    let t = h.tab in
+    {
+      h with
+      tab =
+        {
+          t with
+          data = Mat.copy t.data;
+          rhs = Vec.copy t.rhs;
+          basis = Array.copy t.basis;
+          obj = Vec.copy t.obj;
+        };
+    }
+
+  let create ?(tol = 1e-9) ?max_pivots ~n constraints =
+    check_inputs ~n (Vec.make n 0.) constraints;
+    if constraints = [] then
+      invalid_arg "Lp.Live.create: need at least one constraint";
+    let m = List.length constraints in
+    let budget =
+      match max_pivots with
+      | Some b -> max 0 b
+      | None -> default_budget ~n ~m
+    in
+    (* Phase 1 to a feasible basis; Bland retry on a Dantzig cycle, like
+       the cold path.  Reserve headroom for the cuts a live handle exists
+       to absorb. *)
+    let attempt rule =
+      let t = build ~tol ~n ~reserve:8 ~live:true constraints in
+      match solve_phase t ~rule ~allowed:(fun _ -> true) ~fuel:(ref budget) with
+      | `Budget -> `Budget
+      | `Unbounded -> `Done `Infeasible
+      | `Optimal ->
+        if -.t.obj_value > 1e-7 then `Done `Infeasible
+        else begin
+          expel_artificials t;
+          install_objective t (Vec.make n 0.);
+          `Done (`Feasible { tab = t; max_pivots; ok = true })
+        end
+    in
+    match attempt `Dantzig with
+    | `Done r -> r
+    | exception Bad_pivot detail -> `Failed (Numerical { detail })
+    | `Budget -> (
+      Counter.incr c_retry_attempts;
+      match attempt `Bland with
+      | `Done r -> r
+      | exception Bad_pivot detail -> `Failed (Numerical { detail })
+      | `Budget ->
+        Counter.incr c_retry_exhausted;
+        `Failed (Iteration_limit { budget }))
+
+  (* Append one row in <= form with a fresh basic slack, re-expressed in
+     the current basis.  Returns the new row's index. *)
+  let append_le_row t coeffs rhs =
+    ensure_capacity t ~rows:(t.m + 1) ~cols:(t.ncols + 1);
+    let row_idx = t.m and slack_col = t.ncols in
+    let row = Mat.row_view t.data row_idx in
+    Vec.fill row 0.;
+    Vec.blit ~src:coeffs ~dst:(Vec.sub_view row ~pos:0 ~len:t.n);
+    Vec.set row slack_col 1.;
+    Vec.set t.rhs row_idx rhs;
+    t.basis.(row_idx) <- slack_col;
+    t.m <- t.m + 1;
+    t.ncols <- t.ncols + 1;
+    (* Eliminate the current basic columns from the fresh row so the
+       tableau stays in canonical form; the slack picks up the row's
+       infeasibility (its value becomes rhs - coeffs . x̄). *)
+    for i = 0 to t.m - 2 do
+      let b = t.basis.(i) in
+      let f = Vec.get row b in
+      if Float.abs f > 0. then begin
+        Vec.axpy_ip (-.f) (Mat.row_view t.data i) row;
+        Vec.set t.rhs row_idx
+          (Vec.get t.rhs row_idx -. (f *. Vec.get t.rhs i))
+      end
+    done;
+    row_idx
+
+  (* Dual simplex: while some row is primal infeasible, pivot it out on the
+     column minimizing |reduced cost / element| over negative elements —
+     reduced costs stay non-negative (dual feasible), the basis walks back
+     to primal feasibility.  A row with no negative element certifies
+     infeasibility.  Deterministic tie-breaks: most negative rhs then
+     lowest row index; lowest column index on ratio ties. *)
+  let dual_restore t ~fuel =
+    let rec iterate pivots =
+      (* Leaving row: most negative rhs. *)
+      let row = ref (-1) in
+      let worst = ref (-.t.tol) in
+      for i = 0 to t.m - 1 do
+        if Vec.get t.rhs i < !worst then begin
+          row := i;
+          worst := Vec.get t.rhs i
+        end
+      done;
+      if !row < 0 then `Feasible pivots
+      else if !fuel <= 0 then `Budget
+      else begin
+        let r = Mat.row_view t.data !row in
+        let col = ref (-1) in
+        let best_ratio = ref infinity in
+        for j = 0 to t.ncols - 1 do
+          if col_allowed t j then begin
+            let a = Vec.get r j in
+            if a < -.t.tol then begin
+              let ratio = Vec.get t.obj j /. -.a in
+              if ratio < !best_ratio -. t.tol then begin
+                col := j;
+                best_ratio := ratio
+              end
+            end
+          end
+        done;
+        if !col < 0 then `Infeasible
+        else begin
+          decr fuel;
+          pivot t ~row:!row ~col:!col;
+          iterate (pivots + 1)
+        end
+      end
+    in
+    iterate 0
+
+  let add_cut h (c : constr) =
+    if not h.ok then `Failed (Numerical { detail = "unusable live tableau" })
+    else if Vec.dim c.coeffs <> h.tab.n then
+      invalid_arg "Lp.Live.add_cut: constraint coefficient length <> n"
+    else begin
+      Counter.incr c_dual_reopt;
+      let pivots_before = Counter.value c_dual_pivots in
+      let t = h.tab in
+      (* Express the cut in <= form; an equality contributes both sides. *)
+      (match c.relation with
+      | Le -> ignore (append_le_row t c.coeffs c.rhs)
+      | Ge -> ignore (append_le_row t (Vec.neg c.coeffs) (-.c.rhs))
+      | Eq ->
+        ignore (append_le_row t c.coeffs c.rhs);
+        ignore (append_le_row t (Vec.neg c.coeffs) (-.c.rhs)));
+      let fuel = ref (budget h) in
+      let result =
+        match dual_restore t ~fuel with
+        | `Feasible 0 -> `Sat
+        | `Feasible k -> `Reopt k
+        | `Infeasible ->
+          (* Exact verdict: a primal-infeasible row with no negative
+             entry proves the extended system empty.  The tableau is
+             abandoned mid-restore. *)
+          h.ok <- false;
+          `Infeasible
+        | `Budget ->
+          h.ok <- false;
+          `Failed (Iteration_limit { budget = budget h })
+        | exception Bad_pivot detail ->
+          h.ok <- false;
+          `Failed (Numerical { detail })
+      in
+      Histogram.observe h_pivots_per_reopt
+        (Counter.value c_dual_pivots -. pivots_before);
+      result
+    end
+
+  let optimize h ~objective direction =
+    if not h.ok then Failed (Numerical { detail = "unusable live tableau" })
+    else if Vec.dim objective <> h.tab.n then
+      invalid_arg "Lp.Live.optimize: objective length <> n"
+    else begin
+      Counter.incr c_dual_reopt;
+      let pivots_before = Counter.value c_dual_pivots in
+      let t = h.tab in
+      let cost = internal_cost direction objective in
+      let result =
+        match
+          install_objective t cost;
+          solve_phase t ~rule:`Dantzig ~allowed:(col_allowed t)
+            ~fuel:(ref (budget h))
+        with
+        | `Optimal -> (
+          match final_solution t with
+          | Ok s -> finish direction (Optimal s)
+          | Error detail ->
+            h.ok <- false;
+            Counter.incr c_failures;
+            Failed (Numerical { detail }))
+        | `Unbounded ->
+          h.ok <- false;
+          finish direction Unbounded
+        | `Budget ->
+          h.ok <- false;
+          Counter.incr c_failures;
+          Failed (Iteration_limit { budget = budget h })
+        | exception Bad_pivot detail ->
+          h.ok <- false;
+          Counter.incr c_failures;
+          Failed (Numerical { detail })
+      in
+      Histogram.observe h_pivots_per_reopt
+        (Counter.value c_dual_pivots -. pivots_before);
+      result
+    end
+end

@@ -1,36 +1,40 @@
-type t = { lo : float array; hi : float array }
+module Vec = Indq_linalg.Vec
+
+type t = { lo : Vec.t; hi : Vec.t }
 
 let make ~lo ~hi =
-  let d = Array.length lo in
-  if d = 0 || Array.length hi <> d then invalid_arg "Rect.make: bad corners";
+  let d = Vec.dim lo in
+  if d = 0 || Vec.dim hi <> d then invalid_arg "Rect.make: bad corners";
   for i = 0 to d - 1 do
-    if lo.(i) > hi.(i) then invalid_arg "Rect.make: lo > hi"
+    if Vec.get lo i > Vec.get hi i then invalid_arg "Rect.make: lo > hi"
   done;
-  { lo = Array.copy lo; hi = Array.copy hi }
+  { lo = Vec.copy lo; hi = Vec.copy hi }
 
 let of_point p = make ~lo:p ~hi:p
 
-let dim r = Array.length r.lo
+let dim r = Vec.dim r.lo
 
-let lo r = Array.copy r.lo
+let lo r = Vec.copy r.lo
 
-let hi r = Array.copy r.hi
+let hi r = Vec.copy r.hi
 
 let intersects a b =
   let d = dim a in
   if dim b <> d then invalid_arg "Rect.intersects: dimension mismatch";
   let ok = ref true in
   for i = 0 to d - 1 do
-    if a.lo.(i) > b.hi.(i) || b.lo.(i) > a.hi.(i) then ok := false
+    if Vec.get a.lo i > Vec.get b.hi i || Vec.get b.lo i > Vec.get a.hi i then
+      ok := false
   done;
   !ok
 
 let contains_point r p =
   let d = dim r in
-  if Array.length p <> d then invalid_arg "Rect.contains_point: dimension mismatch";
+  if Vec.dim p <> d then invalid_arg "Rect.contains_point: dimension mismatch";
   let ok = ref true in
   for i = 0 to d - 1 do
-    if p.(i) < r.lo.(i) || p.(i) > r.hi.(i) then ok := false
+    if Vec.get p i < Vec.get r.lo i || Vec.get p i > Vec.get r.hi i then
+      ok := false
   done;
   !ok
 
@@ -39,7 +43,10 @@ let contains_rect ~outer ~inner =
   if dim inner <> d then invalid_arg "Rect.contains_rect: dimension mismatch";
   let ok = ref true in
   for i = 0 to d - 1 do
-    if inner.lo.(i) < outer.lo.(i) || inner.hi.(i) > outer.hi.(i) then ok := false
+    if
+      Vec.get inner.lo i < Vec.get outer.lo i
+      || Vec.get inner.hi i > Vec.get outer.hi i
+    then ok := false
   done;
   !ok
 
@@ -47,8 +54,8 @@ let union a b =
   let d = dim a in
   if dim b <> d then invalid_arg "Rect.union: dimension mismatch";
   {
-    lo = Array.init d (fun i -> Float.min a.lo.(i) b.lo.(i));
-    hi = Array.init d (fun i -> Float.max a.hi.(i) b.hi.(i));
+    lo = Vec.init d (fun i -> Float.min (Vec.get a.lo i) (Vec.get b.lo i));
+    hi = Vec.init d (fun i -> Float.max (Vec.get a.hi i) (Vec.get b.hi i));
   }
 
 let union_many = function
@@ -58,24 +65,23 @@ let union_many = function
 let area r =
   let acc = ref 1. in
   for i = 0 to dim r - 1 do
-    acc := !acc *. (r.hi.(i) -. r.lo.(i))
+    acc := !acc *. (Vec.get r.hi i -. Vec.get r.lo i)
   done;
   !acc
 
 let margin r =
   let acc = ref 0. in
   for i = 0 to dim r - 1 do
-    acc := !acc +. (r.hi.(i) -. r.lo.(i))
+    acc := !acc +. (Vec.get r.hi i -. Vec.get r.lo i)
   done;
   !acc
 
 let enlargement r extra = area (union r extra) -. area r
 
 let above_corner p ~upper =
-  let d = Array.length p in
-  if Array.length upper <> d then invalid_arg "Rect.above_corner: dimension mismatch";
-  let lo = Array.init d (fun i -> Float.min p.(i) upper.(i)) in
-  { lo; hi = Array.copy upper }
+  let d = Vec.dim p in
+  if Vec.dim upper <> d then invalid_arg "Rect.above_corner: dimension mismatch";
+  let lo = Vec.init d (fun i -> Float.min (Vec.get p i) (Vec.get upper i)) in
+  { lo; hi = Vec.copy upper }
 
-let pp ppf r =
-  Format.fprintf ppf "[%a .. %a]" Indq_linalg.Vec.pp r.lo Indq_linalg.Vec.pp r.hi
+let pp ppf r = Format.fprintf ppf "[%a .. %a]" Vec.pp r.lo Vec.pp r.hi

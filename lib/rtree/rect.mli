@@ -1,25 +1,25 @@
 (** Axis-aligned minimum bounding rectangles in R^d. *)
 
-type t = private { lo : float array; hi : float array }
+type t = private { lo : Indq_linalg.Vec.t; hi : Indq_linalg.Vec.t }
 
-val make : lo:float array -> hi:float array -> t
+val make : lo:Indq_linalg.Vec.t -> hi:Indq_linalg.Vec.t -> t
 (** Raises [Invalid_argument] when lengths differ or some [lo_i > hi_i]. *)
 
-val of_point : float array -> t
+val of_point : Indq_linalg.Vec.t -> t
 (** The degenerate rectangle containing exactly one point. *)
 
 val dim : t -> int
 
-val lo : t -> float array
+val lo : t -> Indq_linalg.Vec.t
 (** A copy of the lower corner. *)
 
-val hi : t -> float array
+val hi : t -> Indq_linalg.Vec.t
 (** A copy of the upper corner. *)
 
 val intersects : t -> t -> bool
 (** Closed-interval overlap in every dimension. *)
 
-val contains_point : t -> float array -> bool
+val contains_point : t -> Indq_linalg.Vec.t -> bool
 
 val contains_rect : outer:t -> inner:t -> bool
 
@@ -39,7 +39,7 @@ val enlargement : t -> t -> float
 (** [enlargement r extra] is [area (union r extra) - area r]: the classic
     Guttman insertion cost. *)
 
-val above_corner : float array -> upper:float array -> t
+val above_corner : Indq_linalg.Vec.t -> upper:Indq_linalg.Vec.t -> t
 (** [above_corner p ~upper] is the box [[p, upper]] — the region of points
     with every coordinate at least [p]'s, used for dominance queries.
     Coordinates of [p] above [upper] are clamped so the box is valid (such a

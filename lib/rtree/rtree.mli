@@ -21,10 +21,10 @@ val size : 'a t -> int
 
 val insert : 'a t -> Rect.t -> 'a -> unit
 
-val insert_point : 'a t -> float array -> 'a -> unit
+val insert_point : 'a t -> Indq_linalg.Vec.t -> 'a -> unit
 (** [insert tree (Rect.of_point p) v]. *)
 
-val of_points : ?max_entries:int -> dim:int -> (float array * 'a) list -> 'a t
+val of_points : ?max_entries:int -> dim:int -> (Indq_linalg.Vec.t * 'a) list -> 'a t
 
 val search : 'a t -> Rect.t -> 'a list
 (** All payloads whose rectangle intersects the query (closed intervals). *)

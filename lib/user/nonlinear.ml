@@ -1,9 +1,11 @@
 module Rng = Indq_util.Rng
 
+module Vec = Indq_linalg.Vec
+
 type t =
-  | Linear of float array
-  | Concave_power of { weights : float array; exponent : float }
-  | Ces of { weights : float array; rho : float }
+  | Linear of Utility.t
+  | Concave_power of { weights : Utility.t; exponent : float }
+  | Ces of { weights : Utility.t; rho : float }
 
 let validate = function
   | Linear w -> Utility.validate w
@@ -21,11 +23,11 @@ let value t x =
   | Linear w -> Utility.value w x
   | Concave_power { weights; exponent } ->
     let acc = ref 0. in
-    Array.iteri (fun i w -> acc := !acc +. (w *. (x.(i) ** exponent))) weights;
+    Vec.iteri (fun i w -> acc := !acc +. (w *. (Vec.get x i ** exponent))) weights;
     !acc
   | Ces { weights; rho } ->
     let acc = ref 0. in
-    Array.iteri (fun i w -> acc := !acc +. (w *. (x.(i) ** rho))) weights;
+    Vec.iteri (fun i w -> acc := !acc +. (w *. (Vec.get x i ** rho))) weights;
     if !acc <= 0. then 0. else !acc ** (1. /. rho)
 
 let best_index t options =

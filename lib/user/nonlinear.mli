@@ -12,18 +12,18 @@
       [rho <> 0] (constant elasticity of substitution). *)
 
 type t =
-  | Linear of float array
-  | Concave_power of { weights : float array; exponent : float }
-  | Ces of { weights : float array; rho : float }
+  | Linear of Utility.t
+  | Concave_power of { weights : Utility.t; exponent : float }
+  | Ces of { weights : Utility.t; rho : float }
 
 val validate : t -> unit
 (** Raises [Invalid_argument] on non-positive weights vectors, exponents
     outside (0, 1], or [rho] outside [(-inf, 1] \ {0}]. *)
 
-val value : t -> float array -> float
+val value : t -> Indq_linalg.Vec.t -> float
 (** Evaluate on a non-negative tuple. *)
 
-val best_index : t -> float array array -> int
+val best_index : t -> Indq_linalg.Vec.t array -> int
 (** Argmax over a non-empty array (first on ties). *)
 
 val oracle :

@@ -8,7 +8,7 @@ let c_questions = Counter.make "oracle.questions"
 type chooser =
   | Exact of Utility.t
   | Erring of { utility : Utility.t; delta : float; rng : Rng.t }
-  | External of (float array array -> int)
+  | External of (Indq_linalg.Vec.t array -> int)
 
 type t = {
   chooser : chooser;
@@ -18,13 +18,13 @@ type t = {
 
 let exact utility =
   Utility.validate utility;
-  { chooser = Exact (Array.copy utility); questions = 0; options = 0 }
+  { chooser = Exact (Indq_linalg.Vec.copy utility); questions = 0; options = 0 }
 
 let with_error ~delta ~rng utility =
   Utility.validate utility;
   if delta < 0. then invalid_arg "Oracle.with_error: negative delta";
   {
-    chooser = Erring { utility = Array.copy utility; delta; rng };
+    chooser = Erring { utility = Indq_linalg.Vec.copy utility; delta; rng };
     questions = 0;
     options = 0;
   }
@@ -97,7 +97,7 @@ let reset_counters t =
 
 let true_utility t =
   match t.chooser with
-  | Exact u | Erring { utility = u; _ } -> Some (Array.copy u)
+  | Exact u | Erring { utility = u; _ } -> Some (Indq_linalg.Vec.copy u)
   | External _ -> None
 
 let delta t =
@@ -105,7 +105,7 @@ let delta t =
   | Exact _ | External _ -> 0.
   | Erring { delta; _ } -> delta
 
-type round = { options : float array array; choice : int }
+type round = { options : Indq_linalg.Vec.t array; choice : int }
 
 let recording inner =
   let log = ref [] in
@@ -114,7 +114,7 @@ let recording inner =
         (* [select], not [choose]: the wrapper's own [choose] call already
            does the per-question accounting (question counters, trace). *)
         let choice = select inner options in
-        log := { options = Array.map Array.copy options; choice } :: !log;
+        log := { options = Array.map Indq_linalg.Vec.copy options; choice } :: !log;
         choice)
   in
   (wrapped, fun () -> List.rev !log)

@@ -24,11 +24,11 @@ val with_error : delta:float -> rng:Indq_util.Rng.t -> Utility.t -> t
     breaking among exactly-equal options).  Raises [Invalid_argument] for
     negative [delta]. *)
 
-val of_chooser : (float array array -> int) -> t
+val of_chooser : (Indq_linalg.Vec.t array -> int) -> t
 (** An external chooser; it must return a valid index into the shown
     array. *)
 
-val choose : t -> float array array -> int
+val choose : t -> Indq_linalg.Vec.t array -> int
 (** Ask one round.  Raises [Invalid_argument] on an empty option array, or
     if an external chooser returns an out-of-range index. *)
 
@@ -50,7 +50,7 @@ val delta : t -> float
 (** {2 Transcripts} *)
 
 type round = {
-  options : float array array;  (** what the user was shown *)
+  options : Indq_linalg.Vec.t array;  (** what the user was shown *)
   choice : int;  (** the index they picked *)
 }
 

@@ -1,18 +1,18 @@
 module Rng = Indq_util.Rng
 module Vec = Indq_linalg.Vec
 
-type t = float array
+type t = Vec.t
 
 let value u p = Vec.dot u p
 
 let validate u =
-  if Array.length u = 0 then invalid_arg "Utility.validate: empty vector";
-  Array.iter
+  if Vec.dim u = 0 then invalid_arg "Utility.validate: empty vector";
+  Vec.iter
     (fun x ->
       if not (Float.is_finite x) || x < 0. then
         invalid_arg "Utility.validate: components must be finite and >= 0")
     u;
-  if Array.for_all (fun x -> Float.equal x 0.) u then
+  if Vec.for_all (fun x -> Float.equal x 0.) u then
     invalid_arg "Utility.validate: all-zero utility"
 
 let normalize_max u =
@@ -27,7 +27,7 @@ let normalize_sum u =
 
 let random rng ~d =
   if d <= 0 then invalid_arg "Utility.random: dimension must be positive";
-  let raw = Array.init d (fun _ -> Rng.exponential rng) in
+  let raw = Vec.init d (fun _ -> Rng.exponential rng) in
   normalize_sum raw
 
 let random_max_normalized rng ~d = normalize_max (random rng ~d)

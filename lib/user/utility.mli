@@ -6,10 +6,10 @@
     real-points algorithms' feasible region).  Neither changes the relative
     order of tuples, hence neither changes the query answer. *)
 
-type t = float array
+type t = Indq_linalg.Vec.t
 (** The utility vector [u]. *)
 
-val value : t -> float array -> float
+val value : t -> Indq_linalg.Vec.t -> float
 (** [value u p] is [u . p]. *)
 
 val validate : t -> unit
@@ -30,8 +30,8 @@ val random : Indq_util.Rng.t -> d:int -> t
 val random_max_normalized : Indq_util.Rng.t -> d:int -> t
 (** As {!random} but max-normalized. *)
 
-val best : t -> float array list -> float array
+val best : t -> Indq_linalg.Vec.t list -> Indq_linalg.Vec.t
 (** The argmax of [value u] over a non-empty list (first on ties). *)
 
-val best_index : t -> float array array -> int
+val best_index : t -> Indq_linalg.Vec.t array -> int
 (** Argmax index over a non-empty array (first on ties). *)

@@ -16,6 +16,9 @@ module Skyline = Indq_dominance.Skyline
 module Utility = Indq_user.Utility
 module Oracle = Indq_user.Oracle
 module Rng = Indq_util.Rng
+module Vec = Indq_linalg.Vec
+
+let vec = Vec.of_array
 
 (* Independent data augmented with the d basis rows and the origin, pinning
    every attribute range to exactly [0, 1] — the normalization regime under
@@ -24,7 +27,7 @@ let pinned_dataset rng ~n ~d =
   let base = Generator.independent rng ~n ~d in
   let rows =
     Array.append
-      (Array.map Tuple.values (Dataset.tuples base))
+      (Array.map (fun t -> Vec.to_array (Tuple.values t)) (Dataset.tuples base))
       (Array.init (d + 1) (fun i ->
            if i = d then Array.make d 0.
            else Array.init d (fun j -> if i = j then 1. else 0.)))
@@ -53,12 +56,12 @@ let test_ladder_points_shape () =
   Array.iteri
     (fun k0 p ->
       let k = k0 + 1 in
-      Alcotest.(check (float 1e-9)) "coordinate i" (float_of_int k /. 3.) p.(2);
-      Alcotest.(check (float 1e-9)) "others zero" 0. p.(1);
-      Alcotest.(check (float 1e-9)) "others zero" 0. p.(3))
+      Alcotest.(check (float 1e-9)) "coordinate i" (float_of_int k /. 3.) (Vec.get p 2);
+      Alcotest.(check (float 1e-9)) "others zero" 0. (Vec.get p 1);
+      Alcotest.(check (float 1e-9)) "others zero" 0. (Vec.get p 3))
     pts;
   (* p_s has an empty chi tail in coordinate i*. *)
-  Alcotest.(check (float 1e-9)) "tail of p_s" 0. pts.(2).(0)
+  Alcotest.(check (float 1e-9)) "tail of p_s" 0. (Vec.get pts.(2) 0)
 
 let test_ladder_choice_brackets_truth () =
   (* For any true ratio r in [0,1], an exact user's ladder choice must
@@ -67,7 +70,7 @@ let test_ladder_choice_brackets_truth () =
   for _ = 1 to 100 do
     let d = 3 and s = 4 and i = 1 and i_star = 0 in
     let r = Rng.uniform rng in
-    let u = [| 1.; r; Rng.uniform rng |] in
+    let u = vec [| 1.; r; Rng.uniform rng |] in
     let chi = Squeeze_u.chi_ladder ~lo:0. ~hi:1. ~s in
     let pts = Squeeze_u.ladder_points ~d ~s ~i ~i_star ~chi in
     let c = Utility.best_index u pts + 1 in
@@ -104,9 +107,9 @@ let test_squeeze_u_lemma1_bound () =
     let phase1 = ((d - 2) / (s - 1)) + 1 in
     let updates = (q - phase1) / (d - 1) in
     let bound = 1. /. (float_of_int s ** float_of_int updates) in
-    Array.iteri
+    Vec.iteri
       (fun i lo ->
-        let width = result.Squeeze_u.hi.(i) -. lo in
+        let width = Vec.get result.Squeeze_u.hi i -. lo in
         Alcotest.(check bool)
           (Printf.sprintf "width %g <= %g" width bound)
           true
@@ -135,10 +138,10 @@ let test_squeeze_u_bounds_contain_truth () =
     let u = Utility.random_max_normalized rng ~d in
     let oracle = Oracle.exact u in
     let result = Squeeze_u.run ~data ~s:(max 2 d) ~q:(3 * d) ~eps:0.05 ~oracle () in
-    Array.iteri
+    Vec.iteri
       (fun i x ->
-        Alcotest.(check bool) "lo <= u_i" true (result.Squeeze_u.lo.(i) <= x +. 1e-9);
-        Alcotest.(check bool) "u_i <= hi" true (x <= result.Squeeze_u.hi.(i) +. 1e-9))
+        Alcotest.(check bool) "lo <= u_i" true (Vec.get result.Squeeze_u.lo i <= x +. 1e-9);
+        Alcotest.(check bool) "u_i <= hi" true (x <= Vec.get result.Squeeze_u.hi i +. 1e-9))
       u
   done
 
@@ -161,8 +164,8 @@ let test_squeeze_u_theorem2_bound () =
         ~oracle ()
     in
     let tau = ref 0. in
-    Array.iteri
-      (fun i lo -> tau := Float.max !tau (result.Squeeze_u.hi.(i) -. lo))
+    Vec.iteri
+      (fun i lo -> tau := Float.max !tau (Vec.get result.Squeeze_u.hi i -. lo))
       result.Squeeze_u.lo;
     let bound = !tau *. float_of_int d *. (2. +. eps) in
     let alpha =
@@ -215,7 +218,7 @@ let test_squeeze_u_unequal_ranges_no_false_negatives () =
   for trial = 1 to 10 do
     let trial_rng = Rng.create (trial * 53) in
     (* Weight attribute 1 heavily: ratios from ~2 up to ~40. *)
-    let u = [| 1.; 2. +. Rng.float trial_rng 38. |] in
+    let u = vec [| 1.; 2. +. Rng.float trial_rng 38. |] in
     let oracle = Oracle.exact u in
     let result = Squeeze_u.run ~data ~s:2 ~q:8 ~eps ~oracle () in
     check_no_false_negatives ~eps ~u ~data ~output:result.Squeeze_u.output
@@ -226,7 +229,7 @@ let test_squeeze_u_one_dimension () =
   (* d = 1: no questions are needed; the answer is everything within
      (1+eps) of the single maximum. *)
   let data = Dataset.create [| [| 1.0 |]; [| 0.97 |]; [| 0.5 |] |] in
-  let oracle = Oracle.exact [| 1. |] in
+  let oracle = Oracle.exact (vec [| 1. |]) in
   let result = Squeeze_u.run ~data ~s:2 ~q:5 ~eps:0.05 ~oracle () in
   Alcotest.(check int) "no questions" 0 result.Squeeze_u.questions_used;
   let got = List.sort compare (List.map Tuple.id (Dataset.to_list result.Squeeze_u.output)) in
@@ -242,7 +245,7 @@ let test_squeeze_u_large_eps () =
 
 let test_squeeze_u_guards () =
   let data = Dataset.create [| [| 1.; 0. |] |] in
-  let oracle = Oracle.exact [| 1.; 1. |] in
+  let oracle = Oracle.exact (vec [| 1.; 1. |]) in
   Alcotest.check_raises "s too small" (Invalid_argument "Squeeze_u.run: s must be >= 2")
     (fun () -> ignore (Squeeze_u.run ~data ~s:1 ~q:3 ~eps:0.05 ~oracle ()));
   Alcotest.check_raises "bad eps" (Invalid_argument "Squeeze_u.run: eps must be positive")
@@ -297,13 +300,13 @@ let test_squeeze_u2_bounds_contain_truth_under_error () =
     in
     (* The true ratios u_i / u_{i*} must stay inside the learned box. *)
     let i_star = result.Squeeze_u2.i_star in
-    let ratio i = u.(i) /. u.(i_star) in
-    Array.iteri
+    let ratio i = Vec.get u i /. Vec.get u i_star in
+    Vec.iteri
       (fun i lo ->
         if i <> i_star then begin
           Alcotest.(check bool) "lo <= ratio" true (lo <= ratio i +. 1e-9);
           Alcotest.(check bool) "ratio <= hi" true
-            (ratio i <= result.Squeeze_u2.hi.(i) +. 1e-9)
+            (ratio i <= Vec.get result.Squeeze_u2.hi i +. 1e-9)
         end)
       result.Squeeze_u2.lo
   done
@@ -321,10 +324,11 @@ let test_squeeze_u2_matches_u1_when_delta_zero () =
     Squeeze_u2.run ~data ~s:d ~q:9 ~eps:0.05 ~delta:0. ~oracle:(Oracle.exact u) ()
   in
   Alcotest.(check int) "same i*" r1.Squeeze_u.i_star r2.Squeeze_u2.i_star;
-  Array.iteri
+  Vec.iteri
     (fun i lo1 ->
-      Alcotest.(check (float 1e-9)) "same lo" lo1 r2.Squeeze_u2.lo.(i);
-      Alcotest.(check (float 1e-9)) "same hi" r1.Squeeze_u.hi.(i) r2.Squeeze_u2.hi.(i))
+      Alcotest.(check (float 1e-9)) "same lo" lo1 (Vec.get r2.Squeeze_u2.lo i);
+      Alcotest.(check (float 1e-9)) "same hi" (Vec.get r1.Squeeze_u.hi i)
+        (Vec.get r2.Squeeze_u2.hi i))
     r1.Squeeze_u.lo
 
 (* --- Real-points algorithms (Algorithm 2 + UH-Random) --- *)
@@ -405,7 +409,7 @@ let test_real_points_early_stop_single_candidate () =
   (* A dataset where one tuple (1+eps)-dominates everything: the candidate
      set collapses immediately and no questions are needed. *)
   let data = Dataset.create [| [| 1.; 1. |]; [| 0.5; 0.5 |]; [| 0.2; 0.2 |] |] in
-  let oracle = Oracle.exact [| 1.; 1. |] in
+  let oracle = Oracle.exact (vec [| 1.; 1. |]) in
   let result =
     Real_points.run Real_points.Random ~data ~s:2 ~q:6 ~eps:0.05 ~oracle
       ~rng:(Rng.create 0)
@@ -418,7 +422,7 @@ let test_score_display_set_prefers_informative () =
      different tuples split the region.  The informative pair must score
      lower. *)
   let region = Region.initial ~d:2 in
-  let t v = Tuple.make ~id:0 v in
+  let t v = Tuple.make ~id:0 (vec v) in
   let dull = [| t [| 0.5; 0.5 |]; t [| 0.5; 0.5 |] |] in
   let sharp = [| t [| 1.; 0. |]; t [| 0.; 1. |] |] in
   let score set = Real_points.score_display_set ~delta:0. ~metric:`Width region set in

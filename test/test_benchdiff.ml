@@ -20,9 +20,9 @@ let parse_ok s =
   | Ok v -> v
   | Error msg -> Alcotest.failf "parse failed: %s" msg
 
-let diff ?(strict = false) ?(gate_times = false) base cur =
+let diff ?(strict = false) ?(gate_times = false) ?(critical = []) base cur =
   let findings =
-    B.compare_reports ~gate_times (parse_ok base) (parse_ok cur)
+    B.compare_reports ~gate_times ~critical (parse_ok base) (parse_ok cur)
   in
   (findings, B.exit_code ~strict findings)
 
@@ -139,6 +139,35 @@ let test_truncated_cell_gates () =
        findings);
   Alcotest.(check int) "exit 1" 1 code
 
+let test_critical_counter_absence_gates () =
+  (* A baseline that predates a critical counter (lp.iterations only in
+     current here) must gate instead of noting — otherwise a stale
+     baseline silently un-gates the exact quantities the perf-gate
+     protects.  Non-critical one-sided counters stay Notes. *)
+  let with_iters =
+    {|{"seed":2024,"scale":0.05,"utilities":3,"max_n":10000,"sweeps":[
+{"experiment":"tab3","sweep":{"title":"t","x_label":"x","x_values":[1],"algorithms":["Squeeze-u"],"cells":[[{"alpha_mean":0.01,"alpha_sd":0,"output_size_mean":7,"false_negative_runs":0,"metrics_mean":{"lp.iterations":99,"lp.solves":40,"oracle.questions":12},"hists":{"lp.pivots_per_solve":{"unit":"count","count":40,"sum":227,"p50":8,"p90":32,"p99":64}}}]]}}
+]}|}
+  in
+  let findings, code = diff (report ~time:0. ()) with_iters in
+  Alcotest.(check bool) "note only, by default" true
+    (List.for_all (fun f -> f.B.severity = B.Note) findings);
+  Alcotest.(check int) "default exit 0" 0 code;
+  let findings, code =
+    diff ~critical:[ "lp.iterations" ] (report ~time:0. ()) with_iters
+  in
+  Alcotest.(check bool) "critical absence is a Mismatch" true
+    (List.exists
+       (fun f ->
+         f.B.severity = B.Mismatch
+         && f.B.path = "tab3.cells[0][0].metrics_mean.lp.iterations")
+       findings);
+  Alcotest.(check int) "critical exit 1" 1 code;
+  (* Present on both sides, a critical counter gates like any other:
+     exact match clean, increase fails. *)
+  let _, code = diff ~critical:[ "lp.iterations" ] with_iters with_iters in
+  Alcotest.(check int) "both sides, equal: exit 0" 0 code
+
 let test_real_report_self_diff () =
   (* A report produced by the real serializer diffs clean against
      itself. *)
@@ -192,6 +221,8 @@ let () =
             test_malformed_cells_gate;
           Alcotest.test_case "truncated cell gates" `Quick
             test_truncated_cell_gates;
+          Alcotest.test_case "critical counter absence gates" `Quick
+            test_critical_counter_absence_gates;
           Alcotest.test_case "real report self-diff" `Quick
             test_real_report_self_diff;
         ] );

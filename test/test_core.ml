@@ -13,6 +13,9 @@ module Generator = Indq_dataset.Generator
 module Skyline = Indq_dominance.Skyline
 module Utility = Indq_user.Utility
 module Rng = Indq_util.Rng
+module Vec = Indq_linalg.Vec
+
+let vec = Vec.of_array
 
 let ids data = List.map Tuple.id (Dataset.to_list data) |> List.sort compare
 
@@ -25,21 +28,21 @@ let car_table =
   Dataset.create
     [| [| 59.; 5. |]; [| 36.; 4. |]; [| 104.; 3. |]; [| 34.; 5. |]; [| 98.; 3. |] |]
 
-let car_utility = [| 1.; 20. |]
+let car_utility = vec [| 1.; 20. |]
 
 let test_paper_car_example () =
   let result = Indist.query_exact ~eps:0.05 car_utility car_table in
   Alcotest.(check (list int)) "cars c1,c3,c5" [ 0; 2; 4 ] (ids result)
 
 let test_indistinguishable_symmetric () =
-  let u = [| 1.; 1. |] in
+  let u = vec [| 1.; 1. |] in
   Alcotest.(check bool) "close pair" true
-    (Indist.indistinguishable ~eps:0.05 u [| 0.5; 0.5 |] [| 0.49; 0.49 |]);
+    (Indist.indistinguishable ~eps:0.05 u (vec [| 0.5; 0.5 |]) (vec [| 0.49; 0.49 |]));
   Alcotest.(check bool) "far pair" false
-    (Indist.indistinguishable ~eps:0.05 u [| 0.5; 0.5 |] [| 0.4; 0.4 |]);
+    (Indist.indistinguishable ~eps:0.05 u (vec [| 0.5; 0.5 |]) (vec [| 0.4; 0.4 |]));
   (* Symmetry. *)
   Alcotest.(check bool) "symmetric" true
-    (Indist.indistinguishable ~eps:0.05 u [| 0.49; 0.49 |] [| 0.5; 0.5 |])
+    (Indist.indistinguishable ~eps:0.05 u (vec [| 0.49; 0.49 |]) (vec [| 0.5; 0.5 |]))
 
 let test_query_contains_optimum () =
   let rng = Rng.create 4 in
@@ -112,7 +115,7 @@ let test_observation2_regret_equivalence () =
   done
 
 let test_max_regret_ratio () =
-  let us = [ [| 1.; 0. |]; [| 0.; 1. |] ] in
+  let us = [ vec [| 1.; 0. |]; vec [| 0.; 1. |] ] in
   let subset = [ Dataset.get car_table 2 ] in
   (* c3=(104,3): for u=(0,1) optimum is 5 (c1/c4), regret 1-3/5 = 0.4. *)
   let data = car_table in
@@ -125,23 +128,23 @@ let test_region_observe_narrows () =
   let r0 = Region.initial ~d:2 in
   Alcotest.(check (float 1e-6)) "initial width" 1. (Region.width r0);
   let r1 =
-    Region.observe r0 ~winner:[| 1.; 0. |] ~losers:[ [| 0.; 1. |] ]
+    Region.observe r0 ~winner:(vec [| 1.; 0. |]) ~losers:[ vec [| 0.; 1. |] ]
   in
   Alcotest.(check (float 1e-6)) "narrowed" 0.5 (Region.width r1);
   Alcotest.(check int) "counted" 1 (Region.questions_recorded r1)
 
 let test_region_no_losers_no_cut () =
   let r0 = Region.initial ~d:2 in
-  let r1 = Region.observe r0 ~winner:[| 1.; 0. |] ~losers:[] in
+  let r1 = Region.observe r0 ~winner:(vec [| 1.; 0. |]) ~losers:[] in
   Alcotest.(check int) "not counted" 0 (Region.questions_recorded r1)
 
 let test_region_delta_weaker () =
   let r_strict =
-    Region.observe (Region.initial ~d:2) ~winner:[| 1.; 0. |] ~losers:[ [| 0.; 1. |] ]
+    Region.observe (Region.initial ~d:2) ~winner:(vec [| 1.; 0. |]) ~losers:[ vec [| 0.; 1. |] ]
   in
   let r_weak =
-    Region.observe ~delta:0.2 (Region.initial ~d:2) ~winner:[| 1.; 0. |]
-      ~losers:[ [| 0.; 1. |] ]
+    Region.observe ~delta:0.2 (Region.initial ~d:2) ~winner:(vec [| 1.; 0. |])
+      ~losers:[ vec [| 0.; 1. |] ]
   in
   Alcotest.(check bool) "delta region wider" true
     (Region.width r_weak >= Region.width r_strict -. 1e-9)
@@ -154,7 +157,7 @@ let test_region_consistency_with_true_utility () =
     let u = Utility.random rng ~d in
     let region = ref (Region.initial ~d) in
     for _ = 1 to 5 do
-      let options = Array.init 3 (fun _ -> Array.init d (fun _ -> Rng.uniform rng)) in
+      let options = Array.init 3 (fun _ -> Vec.init d (fun _ -> Rng.uniform rng)) in
       let best = Utility.best_index u options in
       let losers = ref [] in
       Array.iteri (fun i p -> if i <> best then losers := p :: !losers) options;
@@ -174,8 +177,8 @@ let test_box_prune_fast_keeps_ground_truth () =
     let data = Generator.independent rng ~n:120 ~d in
     let u = Utility.random_max_normalized rng ~d in
     (* A box that genuinely contains u. *)
-    let lo = Array.map (fun x -> Float.max 0. (x -. 0.1)) u in
-    let hi = Array.map (fun x -> Float.min 1. (x +. 0.1)) u in
+    let lo = Vec.map (fun x -> Float.max 0. (x -. 0.1)) u in
+    let hi = Vec.map (fun x -> Float.min 1. (x +. 0.1)) u in
     let eps = 0.05 in
     let pruned = Pruning.box_prune_fast ~eps ~lo ~hi data in
     Alcotest.(check bool) "no false negatives" false
@@ -186,8 +189,8 @@ let test_box_prune_exact_subset_of_fast_input () =
   let rng = Rng.create 29 in
   let data = Generator.independent rng ~n:80 ~d:3 in
   let u = Utility.random_max_normalized rng ~d:3 in
-  let lo = Array.map (fun x -> Float.max 0. (x -. 0.05)) u in
-  let hi = Array.map (fun x -> Float.min 1. (x +. 0.05)) u in
+  let lo = Vec.map (fun x -> Float.max 0. (x -. 0.05)) u in
+  let hi = Vec.map (fun x -> Float.min 1. (x +. 0.05)) u in
   let eps = 0.05 in
   let exact = Pruning.box_prune_exact ~eps ~lo ~hi data in
   (* The exact test prunes at least as hard as the fast heuristic and never
@@ -197,7 +200,7 @@ let test_box_prune_exact_subset_of_fast_input () =
 
 let test_box_prune_degenerate_box_is_sharp () =
   (* With lo = hi = u the fast prune computes I exactly (V = optimum). *)
-  let u = [| 1.; 0.5 |] in
+  let u = vec [| 1.; 0.5 |] in
   let data =
     Dataset.create [| [| 1.; 1. |]; [| 0.97; 0.97 |]; [| 0.1; 0.1 |] |]
   in
@@ -236,8 +239,8 @@ let test_region_prune_actually_prunes () =
   (* User strongly prefers attribute 0: region near u = (1,0)... cut with a
      decisive comparison. *)
   let region =
-    Region.observe (Region.initial ~d:2) ~winner:[| 1.; 0. |]
-      ~losers:[ [| 0.; 0.9 |] ]
+    Region.observe (Region.initial ~d:2) ~winner:(vec [| 1.; 0. |])
+      ~losers:[ vec [| 0.; 0.9 |] ]
   in
   let pruned = Pruning.region_prune ~eps:0.05 region data in
   Alcotest.(check bool) "bad tuple pruned" false (List.mem 1 (ids pruned));
@@ -268,7 +271,7 @@ let test_generic_utility_nonlinear () =
   (* A concave user can rank a dominated-in-sum tuple first; the generic
      query must follow the evaluator, not linearity. *)
   let data = Dataset.create [| [| 1.0; 0.0 |]; [| 0.45; 0.45 |] |] in
-  let f p = sqrt p.(0) +. sqrt p.(1) in
+  let f p = sqrt (Vec.get p 0) +. sqrt (Vec.get p 1) in
   let result = Indist.query_exact_fn ~eps:0.05 f data in
   (* sqrt(0.45)*2 = 1.342 > 1, so the balanced tuple is optimal and the
      extreme one is excluded at eps = 0.05 (1.05 < 1.342). *)
@@ -308,7 +311,7 @@ let test_greedy_regret_set_guards () =
   let data = Dataset.create [| [| 1. |] |] in
   Alcotest.check_raises "size" (Invalid_argument "Baselines.greedy_regret_set: size must be positive")
     (fun () ->
-      ignore (Baselines.greedy_regret_set data ~size:0 ~sample_utilities:[ [| 1. |] ]));
+      ignore (Baselines.greedy_regret_set data ~size:0 ~sample_utilities:[ vec [| 1. |] ]));
   Alcotest.check_raises "sample" (Invalid_argument "Baselines.greedy_regret_set: empty utility sample")
     (fun () -> ignore (Baselines.greedy_regret_set data ~size:1 ~sample_utilities:[]))
 
@@ -326,7 +329,7 @@ let test_skyline_baseline_misses_indistinguishable () =
   (* The motivating failure mode: a dominated-but-indistinguishable tuple
      is invisible to the skyline baseline. *)
   let data = Dataset.create [| [| 1.; 1. |]; [| 0.99; 0.99 |] |] in
-  let u = [| 0.5; 0.5 |] in
+  let u = vec [| 0.5; 0.5 |] in
   let c = Baselines.compare_with_truth ~eps:0.05 u ~data (Baselines.skyline data) in
   Alcotest.(check int) "I has both" 2 c.Baselines.truth_size;
   Alcotest.(check bool) "skyline misses one" true (c.Baselines.coverage < 1.)

@@ -6,18 +6,21 @@ module Dataset = Indq_dataset.Dataset
 module Generator = Indq_dataset.Generator
 module Realistic = Indq_dataset.Realistic
 module Rng = Indq_util.Rng
+module Vec = Indq_linalg.Vec
+
+let vec = Vec.of_array
 
 let test_tuple_basics () =
-  let p = Tuple.make ~id:7 [| 0.5; 0.25 |] in
+  let p = Tuple.make ~id:7 (vec [| 0.5; 0.25 |]) in
   Alcotest.(check int) "id" 7 (Tuple.id p);
   Alcotest.(check int) "dim" 2 (Tuple.dim p);
   Alcotest.(check (float 1e-9)) "get" 0.25 (Tuple.get p 1);
-  Alcotest.(check (float 1e-9)) "utility" 1.0 (Tuple.utility p [| 1.; 2. |])
+  Alcotest.(check (float 1e-9)) "utility" 1.0 (Tuple.utility p (vec [| 1.; 2. |]))
 
 let test_tuple_copy_isolation () =
-  let src = [| 1.; 2. |] in
+  let src = vec [| 1.; 2. |] in
   let p = Tuple.make ~id:0 src in
-  src.(0) <- 99.;
+  Vec.set src 0 99.;
   Alcotest.(check (float 1e-9)) "copied on make" 1. (Tuple.get p 0)
 
 let test_dataset_create () =
@@ -90,8 +93,8 @@ let test_scale_to_unit_max_preserves_query () =
     in
     let scaled = Dataset.scale_to_unit_max raw in
     let ranges = Dataset.attribute_ranges raw in
-    let u = Array.init 3 (fun _ -> 0.1 +. Rng.uniform rng) in
-    let u' = Array.mapi (fun i w -> w *. snd ranges.(i)) u in
+    let u = Vec.init 3 (fun _ -> 0.1 +. Rng.uniform rng) in
+    let u' = Vec.mapi (fun i w -> w *. snd ranges.(i)) u in
     let ids data =
       List.sort compare (List.map Tuple.id (Dataset.to_list data))
     in
@@ -111,7 +114,7 @@ let test_invert_attributes () =
 
 let test_max_utility_and_top_k () =
   let d = Dataset.create [| [| 1.; 0. |]; [| 0.; 1. |]; [| 0.6; 0.6 |] |] in
-  let u = [| 1.; 1. |] in
+  let u = vec [| 1.; 1. |] in
   let best, v = Dataset.max_utility d u in
   Alcotest.(check int) "best id" 2 (Tuple.id best);
   Alcotest.(check (float 1e-9)) "best value" 1.2 v;
@@ -168,7 +171,7 @@ let test_generator_shapes () =
       Alcotest.(check int) (kind ^ " dim") 3 (Dataset.dim d);
       Array.iter
         (fun p ->
-          Array.iter
+          Vec.iter
             (fun x ->
               Alcotest.(check bool) (kind ^ " in unit box") true (x >= 0. && x <= 1.))
             (Tuple.values p))
@@ -226,7 +229,7 @@ let test_realistic_shapes () =
     (fun data ->
       let m =
         Array.fold_left
-          (fun acc p -> Array.fold_left Float.max acc (Tuple.values p))
+          (fun acc p -> Vec.fold_left Float.max acc (Tuple.values p))
           0. (Dataset.tuples data)
       in
       Alcotest.(check (float 1e-9)) "global max is 1" 1. m)

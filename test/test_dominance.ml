@@ -7,33 +7,36 @@ module Dataset = Indq_dataset.Dataset
 module Tuple = Indq_dataset.Tuple
 module Generator = Indq_dataset.Generator
 module Rng = Indq_util.Rng
+module Vec = Indq_linalg.Vec
+
+let vec = Vec.of_array
 
 let test_dominates () =
-  Alcotest.(check bool) "strict" true (Dominance.dominates [| 1.; 1. |] [| 0.5; 0.5 |]);
-  Alcotest.(check bool) "partial tie" true (Dominance.dominates [| 1.; 0.5 |] [| 0.5; 0.5 |]);
-  Alcotest.(check bool) "equal" false (Dominance.dominates [| 0.5; 0.5 |] [| 0.5; 0.5 |]);
-  Alcotest.(check bool) "incomparable" false (Dominance.dominates [| 1.; 0. |] [| 0.; 1. |]);
-  Alcotest.(check bool) "reverse" false (Dominance.dominates [| 0.5; 0.5 |] [| 1.; 1. |])
+  Alcotest.(check bool) "strict" true (Dominance.dominates (vec [| 1.; 1. |]) (vec [| 0.5; 0.5 |]));
+  Alcotest.(check bool) "partial tie" true (Dominance.dominates (vec [| 1.; 0.5 |]) (vec [| 0.5; 0.5 |]));
+  Alcotest.(check bool) "equal" false (Dominance.dominates (vec [| 0.5; 0.5 |]) (vec [| 0.5; 0.5 |]));
+  Alcotest.(check bool) "incomparable" false (Dominance.dominates (vec [| 1.; 0. |]) (vec [| 0.; 1. |]));
+  Alcotest.(check bool) "reverse" false (Dominance.dominates (vec [| 0.5; 0.5 |]) (vec [| 1.; 1. |]))
 
 let test_c_dominates () =
   (* a = (1, 1), b = (0.9, 0.9): a dominates 1.05*b = (0.945, 0.945). *)
   Alcotest.(check bool) "c-dominated" true
-    (Dominance.c_dominates ~c:1.05 [| 1.; 1. |] [| 0.9; 0.9 |]);
+    (Dominance.c_dominates ~c:1.05 (vec [| 1.; 1. |]) (vec [| 0.9; 0.9 |]));
   (* b = (0.97, 0.97): 1.05*b = (1.0185, ...) escapes. *)
   Alcotest.(check bool) "escapes" false
-    (Dominance.c_dominates ~c:1.05 [| 1.; 1. |] [| 0.97; 0.97 |]);
+    (Dominance.c_dominates ~c:1.05 (vec [| 1.; 1. |]) (vec [| 0.97; 0.97 |]));
   Alcotest.check_raises "c < 1" (Invalid_argument "Dominance.c_dominates: c must be >= 1")
-    (fun () -> ignore (Dominance.c_dominates ~c:0.9 [| 1. |] [| 1. |]))
+    (fun () -> ignore (Dominance.c_dominates ~c:0.9 (vec [| 1. |]) (vec [| 1. |])))
 
 let test_c_dominates_zero_tuple () =
   Alcotest.(check bool) "anything beats zero" true
-    (Dominance.c_dominates ~c:1.05 [| 0.1; 0. |] [| 0.; 0. |])
+    (Dominance.c_dominates ~c:1.05 (vec [| 0.1; 0. |]) (vec [| 0.; 0. |]))
 
 let test_incomparable () =
   Alcotest.(check bool) "incomparable" true
-    (Dominance.incomparable [| 1.; 0. |] [| 0.; 1. |]);
+    (Dominance.incomparable (vec [| 1.; 0. |]) (vec [| 0.; 1. |]));
   Alcotest.(check bool) "comparable" false
-    (Dominance.incomparable [| 1.; 1. |] [| 0.; 0. |])
+    (Dominance.incomparable (vec [| 1.; 1. |]) (vec [| 0.; 0. |]))
 
 let ids data = List.map Tuple.id (Dataset.to_list data) |> List.sort compare
 
@@ -194,7 +197,7 @@ let prop_dominance_transitive =
     (fun seed ->
       let rng = Rng.create seed in
       let d = 1 + Rng.int rng 4 in
-      let p () = Array.init d (fun _ -> Rng.uniform rng) in
+      let p () = Vec.init d (fun _ -> Rng.uniform rng) in
       let a = p () and b = p () and c = p () in
       if Dominance.dominates a b && Dominance.dominates b c then
         Dominance.dominates a c

@@ -17,6 +17,9 @@ module Utility = Indq_user.Utility
 module Algo = Indq_core.Algo
 module Pool = Indq_exec.Pool
 module Rng = Indq_util.Rng
+module Vec = Indq_linalg.Vec
+
+let vec = Vec.of_array
 
 (* Per-test counter deltas, all on the test's own domain (the pool folds
    worker counters back here before parallel_map returns). *)
@@ -106,12 +109,12 @@ let test_random_plan_deterministic () =
 
 let lp_constraints =
   [
-    { Lp.coeffs = [| 1.; 2. |]; relation = Lp.Le; rhs = 4. };
-    { Lp.coeffs = [| 3.; 1. |]; relation = Lp.Le; rhs = 6. };
+    { Lp.coeffs = vec [| 1.; 2. |]; relation = Lp.Le; rhs = 4. };
+    { Lp.coeffs = vec [| 3.; 1. |]; relation = Lp.Le; rhs = 6. };
   ]
 
 let lp_solve ?max_pivots () =
-  fst (Lp.solve ?max_pivots ~n:2 ~objective:[| 1.; 1. |] `Maximize lp_constraints)
+  Lp.solve ?max_pivots ~n:2 ~objective:(vec [| 1.; 1. |]) `Maximize lp_constraints
 
 let test_lp_iteration_cap_recovers () =
   let clean =
@@ -129,7 +132,8 @@ let test_lp_iteration_cap_recovers () =
   | Lp.Optimal s ->
     Alcotest.(check (float 0.)) "same objective" clean.Lp.objective
       s.Lp.objective;
-    Alcotest.(check (array (float 0.))) "same point" clean.Lp.point s.Lp.point
+    Alcotest.(check (array (float 0.))) "same point"
+      (Vec.to_array clean.Lp.point) (Vec.to_array s.Lp.point)
   | _ -> Alcotest.fail "Bland fallback must recover the optimum");
   check_delta "one injection" 1. (delta "fault.injected");
   check_delta "one fallback" 1. (delta "retry.attempts");
@@ -338,10 +342,10 @@ let test_fault_matrix () =
                 | "inject.oracle_contradiction" ->
                   (* Re-arm inside: contradiction_run installs its own plan,
                      so drive the oracle directly here. *)
-                  let u = [| 0.75; 0.25 |] in
+                  let u = vec [| 0.75; 0.25 |] in
                   let oracle = Oracle.exact u in
                   let options =
-                    [| [| 1.; 0. |]; [| 0.; 1. |]; [| 0.5; 0.5 |] |]
+                    [| vec [| 1.; 0. |]; vec [| 0.; 1. |]; vec [| 0.5; 0.5 |] |]
                   in
                   let choices =
                     List.init reaches_for_once (fun _ ->

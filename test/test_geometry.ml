@@ -3,37 +3,40 @@
 module Halfspace = Indq_geom.Halfspace
 module Polytope = Indq_geom.Polytope
 module Rng = Indq_util.Rng
+module Vec = Indq_linalg.Vec
+
+let vec = Vec.of_array
 
 let test_halfspace_membership () =
-  let h = Halfspace.ge [| 1.; -1. |] 0. in
-  Alcotest.(check bool) "inside" true (Halfspace.satisfies h [| 0.7; 0.3 |]);
-  Alcotest.(check bool) "boundary" true (Halfspace.satisfies h [| 0.5; 0.5 |]);
-  Alcotest.(check bool) "outside" false (Halfspace.satisfies h [| 0.3; 0.7 |])
+  let h = Halfspace.ge (vec [| 1.; -1. |]) 0. in
+  Alcotest.(check bool) "inside" true (Halfspace.satisfies h (vec [| 0.7; 0.3 |]));
+  Alcotest.(check bool) "boundary" true (Halfspace.satisfies h (vec [| 0.5; 0.5 |]));
+  Alcotest.(check bool) "outside" false (Halfspace.satisfies h (vec [| 0.3; 0.7 |]))
 
 let test_halfspace_le () =
-  let h = Halfspace.le [| 1.; 0. |] 0.5 in
-  Alcotest.(check bool) "inside" true (Halfspace.satisfies h [| 0.4; 0.6 |]);
-  Alcotest.(check bool) "outside" false (Halfspace.satisfies h [| 0.6; 0.4 |])
+  let h = Halfspace.le (vec [| 1.; 0. |]) 0.5 in
+  Alcotest.(check bool) "inside" true (Halfspace.satisfies h (vec [| 0.4; 0.6 |]));
+  Alcotest.(check bool) "outside" false (Halfspace.satisfies h (vec [| 0.6; 0.4 |]))
 
 let test_halfspace_preference () =
   (* Preferring a = (1,0) over b = (0,1) means u_0 >= u_1. *)
-  let h = Halfspace.of_preference ~winner:[| 1.; 0. |] ~loser:[| 0.; 1. |] () in
-  Alcotest.(check bool) "u0 > u1 ok" true (Halfspace.satisfies h [| 0.8; 0.2 |]);
-  Alcotest.(check bool) "u0 < u1 not" false (Halfspace.satisfies h [| 0.2; 0.8 |])
+  let h = Halfspace.of_preference ~winner:(vec [| 1.; 0. |]) ~loser:(vec [| 0.; 1. |]) () in
+  Alcotest.(check bool) "u0 > u1 ok" true (Halfspace.satisfies h (vec [| 0.8; 0.2 |]));
+  Alcotest.(check bool) "u0 < u1 not" false (Halfspace.satisfies h (vec [| 0.2; 0.8 |]))
 
 let test_halfspace_preference_delta () =
   (* With delta = 0.5 the constraint weakens to 1.5 u0 >= u1. *)
   let h =
-    Halfspace.of_preference ~delta:0.5 ~winner:[| 1.; 0. |] ~loser:[| 0.; 1. |] ()
+    Halfspace.of_preference ~delta:0.5 ~winner:(vec [| 1.; 0. |]) ~loser:(vec [| 0.; 1. |]) ()
   in
   Alcotest.(check bool) "u = (0.45,0.55) allowed" true
-    (Halfspace.satisfies h [| 0.45; 0.55 |]);
+    (Halfspace.satisfies h (vec [| 0.45; 0.55 |]));
   Alcotest.(check bool) "u = (0.2,0.8) excluded" false
-    (Halfspace.satisfies h [| 0.2; 0.8 |])
+    (Halfspace.satisfies h (vec [| 0.2; 0.8 |]))
 
 let test_halfspace_slack () =
-  let h = Halfspace.ge [| 2.; 0. |] 1. in
-  Alcotest.(check (float 1e-9)) "slack" 0.2 (Halfspace.slack h [| 0.6; 0.4 |])
+  let h = Halfspace.ge (vec [| 2.; 0. |]) 1. in
+  Alcotest.(check (float 1e-9)) "slack" 0.2 (Halfspace.slack h (vec [| 0.6; 0.4 |]))
 
 let test_simplex_not_empty () =
   let r = Polytope.simplex 3 in
@@ -48,25 +51,25 @@ let test_simplex_dim_guard () =
 let test_cut_to_empty () =
   let r = Polytope.simplex 2 in
   (* u0 >= 0.8 and u1 >= 0.8 cannot hold with u0 + u1 = 1. *)
-  let r = Polytope.cut r (Halfspace.ge [| 1.; 0. |] 0.8) in
+  let r = Polytope.cut r (Halfspace.ge (vec [| 1.; 0. |]) 0.8) in
   Alcotest.(check bool) "still feasible" false (Polytope.is_empty r);
-  let r = Polytope.cut r (Halfspace.ge [| 0.; 1. |] 0.8) in
+  let r = Polytope.cut r (Halfspace.ge (vec [| 0.; 1. |]) 0.8) in
   Alcotest.(check bool) "now empty" true (Polytope.is_empty r)
 
 let test_maximize_on_simplex () =
   let r = Polytope.simplex 3 in
-  match Polytope.maximize r [| 0.2; 0.9; 0.5 |] with
+  match Polytope.maximize r (vec [| 0.2; 0.9; 0.5 |]) with
   | Some (v, p) ->
     Alcotest.(check (float 1e-6)) "max is best coord" 0.9 v;
-    Alcotest.(check (float 1e-6)) "vertex" 1. p.(1)
+    Alcotest.(check (float 1e-6)) "vertex" 1. (Vec.get p 1)
   | None -> Alcotest.fail "simplex is non-empty"
 
 let test_maximize_empty () =
   let r =
     Polytope.cut_many (Polytope.simplex 2)
-      [ Halfspace.ge [| 1.; 0. |] 0.9; Halfspace.ge [| 0.; 1. |] 0.9 ]
+      [ Halfspace.ge (vec [| 1.; 0. |]) 0.9; Halfspace.ge (vec [| 0.; 1. |]) 0.9 ]
   in
-  Alcotest.(check bool) "none" true (Polytope.maximize r [| 1.; 0. |] = None)
+  Alcotest.(check bool) "none" true (Polytope.maximize r (vec [| 1.; 0. |]) = None)
 
 let test_coordinate_bounds_simplex () =
   let r = Polytope.simplex 3 in
@@ -78,7 +81,7 @@ let test_coordinate_bounds_simplex () =
     bounds
 
 let test_coordinate_bounds_after_cut () =
-  let r = Polytope.cut (Polytope.simplex 2) (Halfspace.ge [| 1.; -1. |] 0.) in
+  let r = Polytope.cut (Polytope.simplex 2) (Halfspace.ge (vec [| 1.; -1. |]) 0.) in
   (* Region: u0 >= u1, u0 + u1 = 1 -> u0 in [0.5, 1]. *)
   let bounds = Polytope.coordinate_bounds r in
   let lo0, hi0 = bounds.(0) in
@@ -88,13 +91,13 @@ let test_coordinate_bounds_after_cut () =
 let test_width () =
   let r = Polytope.simplex 2 in
   Alcotest.(check (float 1e-6)) "full width" 1. (Polytope.width r);
-  let r = Polytope.cut r (Halfspace.ge [| 1.; -1. |] 0.) in
+  let r = Polytope.cut r (Halfspace.ge (vec [| 1.; -1. |]) 0.) in
   Alcotest.(check (float 1e-6)) "half width" 0.5 (Polytope.width r)
 
 let test_support_width () =
   let r = Polytope.simplex 2 in
   (* Along (1,-1) the simplex spans from (0,1) to (1,0): extent 2. *)
-  Alcotest.(check (float 1e-6)) "support" 2. (Polytope.support_width r [| 1.; -1. |])
+  Alcotest.(check (float 1e-6)) "support" 2. (Polytope.support_width r (vec [| 1.; -1. |]))
 
 let test_diameter_simplex_2d () =
   let r = Polytope.simplex 2 in
@@ -103,24 +106,24 @@ let test_diameter_simplex_2d () =
 
 let test_diameter_decreases_with_cuts () =
   let r0 = Polytope.simplex 3 in
-  let r1 = Polytope.cut r0 (Halfspace.ge [| 1.; -1.; 0. |] 0.) in
+  let r1 = Polytope.cut r0 (Halfspace.ge (vec [| 1.; -1.; 0. |]) 0.) in
   Alcotest.(check bool) "monotone" true
     (Polytope.diameter r1 <= Polytope.diameter r0 +. 1e-9)
 
 let test_center_estimate_inside () =
-  let r = Polytope.cut (Polytope.simplex 3) (Halfspace.ge [| 1.; -1.; 0. |] 0.) in
+  let r = Polytope.cut (Polytope.simplex 3) (Halfspace.ge (vec [| 1.; -1.; 0. |]) 0.) in
   let c = Polytope.center_estimate r in
   Alcotest.(check bool) "inside" true (Polytope.contains ~tol:1e-6 r c)
 
 let test_contains () =
   let r = Polytope.simplex 3 in
   Alcotest.(check bool) "uniform in" true
-    (Polytope.contains r [| 1. /. 3.; 1. /. 3.; 1. /. 3. |]);
-  Alcotest.(check bool) "off-simplex out" false (Polytope.contains r [| 0.5; 0.5; 0.5 |]);
-  Alcotest.(check bool) "negative out" false (Polytope.contains r [| 1.5; -0.5; 0. |])
+    (Polytope.contains r (vec [| 1. /. 3.; 1. /. 3.; 1. /. 3. |]));
+  Alcotest.(check bool) "off-simplex out" false (Polytope.contains r (vec [| 0.5; 0.5; 0.5 |]));
+  Alcotest.(check bool) "negative out" false (Polytope.contains r (vec [| 1.5; -0.5; 0. |]))
 
 let test_random_point_inside () =
-  let r = Polytope.cut (Polytope.simplex 4) (Halfspace.ge [| 1.; -1.; 0.; 0. |] 0.) in
+  let r = Polytope.cut (Polytope.simplex 4) (Halfspace.ge (vec [| 1.; -1.; 0.; 0. |]) 0.) in
   let rng = Rng.create 77 in
   for _ = 1 to 20 do
     let p = Polytope.random_point r rng ~steps:8 in
@@ -130,7 +133,7 @@ let test_random_point_inside () =
 let test_empty_region_raises () =
   let r =
     Polytope.cut_many (Polytope.simplex 2)
-      [ Halfspace.ge [| 1.; 0. |] 0.9; Halfspace.ge [| 0.; 1. |] 0.9 ]
+      [ Halfspace.ge (vec [| 1.; 0. |]) 0.9; Halfspace.ge (vec [| 0.; 1. |]) 0.9 ]
   in
   Alcotest.check_raises "width on empty"
     (Invalid_argument "Polytope.coordinate_bounds: empty region") (fun () ->
@@ -143,16 +146,16 @@ let test_many_consistent_cuts_stress () =
   let rng = Rng.create 404 in
   for _ = 1 to 5 do
     let d = 3 + Rng.int rng 3 in
-    let raw = Array.init d (fun _ -> 0.05 +. Rng.uniform rng) in
-    let total = Array.fold_left ( +. ) 0. raw in
-    let u = Array.map (fun x -> x /. total) raw in
+    let raw = Vec.init d (fun _ -> 0.05 +. Rng.uniform rng) in
+    let total = Vec.sum raw in
+    let u = Vec.map (fun x -> x /. total) raw in
     let region = ref (Polytope.simplex d) in
     let last_width = ref (Polytope.width !region) in
     for _ = 1 to 60 do
-      let a = Array.init d (fun _ -> Rng.uniform rng) in
-      let b = Array.init d (fun _ -> Rng.uniform rng) in
+      let a = Vec.init d (fun _ -> Rng.uniform rng) in
+      let b = Vec.init d (fun _ -> Rng.uniform rng) in
       let du = ref 0. in
-      Array.iteri (fun i x -> du := !du +. ((a.(i) -. b.(i)) *. x)) u;
+      Vec.iteri (fun i x -> du := !du +. ((Vec.get a i -. Vec.get b i) *. x)) u;
       let winner, loser = if !du >= 0. then (a, b) else (b, a) in
       region := Polytope.cut !region (Halfspace.of_preference ~winner ~loser ());
       Alcotest.(check bool) "still non-empty" false (Polytope.is_empty !region);
@@ -171,14 +174,14 @@ let prop_cut_membership =
     (fun seed ->
       let rng = Rng.create seed in
       let d = 2 + Rng.int rng 4 in
-      let a = Array.init d (fun _ -> Rng.uniform rng) in
-      let b = Array.init d (fun _ -> Rng.uniform rng) in
+      let a = Vec.init d (fun _ -> Rng.uniform rng) in
+      let b = Vec.init d (fun _ -> Rng.uniform rng) in
       let h = Halfspace.of_preference ~winner:a ~loser:b () in
       let r = Polytope.cut (Polytope.simplex d) h in
       (* Random simplex point via exponential normalization. *)
-      let raw = Array.init d (fun _ -> Rng.exponential rng) in
-      let total = Array.fold_left ( +. ) 0. raw in
-      let v = Array.map (fun x -> x /. total) raw in
+      let raw = Vec.init d (fun _ -> Rng.exponential rng) in
+      let total = Vec.sum raw in
+      let v = Vec.map (fun x -> x /. total) raw in
       Polytope.contains ~tol:1e-7 r v = Halfspace.satisfies ~tol:1e-7 h v)
 
 (* Property: width never increases under cuts. *)
@@ -189,8 +192,8 @@ let prop_width_monotone =
       let rng = Rng.create seed in
       let d = 2 + Rng.int rng 3 in
       let r0 = Polytope.simplex d in
-      let a = Array.init d (fun _ -> Rng.uniform rng) in
-      let b = Array.init d (fun _ -> Rng.uniform rng) in
+      let a = Vec.init d (fun _ -> Rng.uniform rng) in
+      let b = Vec.init d (fun _ -> Rng.uniform rng) in
       let r1 = Polytope.cut r0 (Halfspace.of_preference ~winner:a ~loser:b ()) in
       Polytope.is_empty r1 || Polytope.width r1 <= Polytope.width r0 +. 1e-7)
 

@@ -180,8 +180,8 @@ let test_snapshot_since_merge_round_trip () =
 let test_parallel_report_byte_identical () =
   let points =
     let rng = Rng.create 77 in
-    let data = Generator.independent rng ~n:60 ~d:2 in
-    let config = Algo.default_config ~d:2 in
+    let data = Generator.independent rng ~n:60 ~d:3 in
+    let config = Algo.default_config ~d:3 in
     [ (1., data, config); (2., data, { config with Algo.q = 4 }) ]
   in
   let run ?pool () =
@@ -208,7 +208,7 @@ let test_parallel_report_byte_identical () =
     scan 0
   in
   Alcotest.(check bool) "pivot histogram present" true
-    (contains sequential "lp.pivots_per_solve");
+    (contains sequential "lp.pivots_per_reopt");
   Alcotest.(check bool) "region histogram present" true
     (contains sequential "region.halfspaces_per_round");
   Alcotest.(check bool) "seconds histograms filtered" true

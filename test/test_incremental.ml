@@ -18,6 +18,7 @@ module Halfspace = Indq_geom.Halfspace
 module Utility = Indq_user.Utility
 module Oracle = Indq_user.Oracle
 module Rng = Indq_util.Rng
+module Vec = Indq_linalg.Vec
 
 (* Run [f] with the incremental engine forced to [enabled], restoring the
    ambient setting even on exceptions. *)
@@ -105,7 +106,7 @@ let prop_polytope_matches_cold =
           (1 + Rng.int rng 4)
           (fun _ ->
             let normal =
-              Array.init d (fun _ -> Rng.float rng 2. -. 1.)
+              Vec.init d (fun _ -> Rng.float rng 2. -. 1.)
             in
             Halfspace.ge normal (Rng.float rng 0.4 -. 0.2))
       in
@@ -129,7 +130,7 @@ let prop_polytope_matches_cold =
       let approx (b1, c1, w1, d1) (b2, c2, w2, d2) =
         let close x y = Float.abs (x -. y) <= 1e-7 in
         Array.for_all2 (fun (l1, h1) (l2, h2) -> close l1 l2 && close h1 h2) b1 b2
-        && Array.for_all2 close c1 c2
+        && Vec.approx_equal ~tol:1e-7 c1 c2
         && close w1 w2 && close d1 d2
       in
       let pair_ok a b =
@@ -157,8 +158,8 @@ let prop_store_preserves_prune_decisions =
       (* A shrinking region chain from synthetic preference answers. *)
       let answers =
         List.init (2 + Rng.int rng 3) (fun _ ->
-            let a = Array.init d (fun _ -> Rng.float rng 1.) in
-            let b = Array.init d (fun _ -> Rng.float rng 1.) in
+            let a = Vec.init d (fun _ -> Rng.float rng 1.) in
+            let b = Vec.init d (fun _ -> Rng.float rng 1.) in
             if Utility.value u a >= Utility.value u b then (a, [ b ])
             else (b, [ a ]))
       in

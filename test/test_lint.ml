@@ -45,10 +45,10 @@ let ind004_good = {| let z x = Float.equal x 0.
                      let m a b = Float.min (a *. 2.) b
                      let ints a b = min a (b : int) |}
 
-(* --- IND005: warm-started LP outside the audited wrapper ---------------- *)
+(* --- IND005: Lp.Live tableau outside the audited wrapper ---------------- *)
 
 let ind005_bad =
-  {| let sneaky basis n objective cs = Lp.solve ~warm:basis ~n ~objective `Maximize cs |}
+  {| let sneaky live cut = Lp.Live.add_cut live cut |}
 
 let ind005_good =
   {| let cold n objective cs = Lp.solve ~n ~objective `Maximize cs |}
@@ -92,10 +92,29 @@ let clock_in_timer () =
     "obs may read the clock" []
     (codes ~path:"lib/obs/span.ml" {| let now () = Unix.gettimeofday () |})
 
-let warm_in_polytope () =
+let live_in_polytope () =
   Alcotest.(check (list string))
-    "polytope wrapper may warm-start" []
-    (codes ~path:"lib/geometry/polytope.ml" ind005_bad)
+    "polytope wrapper may hold tableaux" []
+    (codes ~path:"lib/geometry/polytope.ml" ind005_bad);
+  Alcotest.(check (list string))
+    "the LP layer implements Live" []
+    (codes ~path:"lib/lp/lp.ml" {| let fork t = Live.copy t |})
+
+(* --- IND009: unchecked access outside lib/linalg ------------------------- *)
+
+let ind009_bad =
+  {| let peek a i = Bigarray.Array1.unsafe_get a i |}
+
+let ind009_bad_array =
+  {| let peek a i = Array.unsafe_get a i |}
+
+let ind009_good =
+  {| let peek a i = Bigarray.Array1.get a i |}
+
+let unsafe_in_linalg () =
+  Alcotest.(check (list string))
+    "linalg kernels may skip bounds checks" []
+    (codes ~path:"lib/linalg/vec.ml" ind009_bad)
 
 (* --- Doc cross-check ----------------------------------------------------- *)
 
@@ -157,9 +176,15 @@ let () =
           Alcotest.test_case "IND004 good" `Quick
             (check_codes "float fns" ~expect:[] ind004_good);
           Alcotest.test_case "IND005 bad" `Quick
-            (check_codes "warm solve" ~expect:[ "IND005" ] ind005_bad);
+            (check_codes "stray tableau" ~expect:[ "IND005" ] ind005_bad);
           Alcotest.test_case "IND005 good" `Quick
             (check_codes "cold solve" ~expect:[] ind005_good);
+          Alcotest.test_case "IND009 bad" `Quick
+            (check_codes "unsafe bigarray" ~expect:[ "IND009" ] ind009_bad);
+          Alcotest.test_case "IND009 bad array" `Quick
+            (check_codes "unsafe array" ~expect:[ "IND009" ] ind009_bad_array);
+          Alcotest.test_case "IND009 good" `Quick
+            (check_codes "checked access" ~expect:[] ind009_good);
           Alcotest.test_case "IND006 dynamic name" `Quick
             (check_codes "dynamic obs name" ~expect:[ "IND006" ] ind006_dynamic);
           Alcotest.test_case "IND006 literal name" `Quick
@@ -180,7 +205,8 @@ let () =
         ] );
       ( "scoping",
         [ Alcotest.test_case "clock allowlist" `Quick clock_in_timer;
-          Alcotest.test_case "warm allowlist" `Quick warm_in_polytope
+          Alcotest.test_case "live allowlist" `Quick live_in_polytope;
+          Alcotest.test_case "unsafe allowlist" `Quick unsafe_in_linalg
         ] );
       ( "docs", [ Alcotest.test_case "cross-check" `Quick doc_check ] )
     ]

@@ -2,6 +2,9 @@
 
 module Lp = Indq_lp.Lp
 module Rng = Indq_util.Rng
+module Vec = Indq_linalg.Vec
+
+let vec = Vec.of_array
 
 let check_float = Alcotest.(check (float 1e-6))
 
@@ -22,139 +25,139 @@ let solve_min ~n ~objective cs =
 (* max x + y st x + 2y <= 4, 3x + y <= 6 -> optimum at (1.6, 1.2), value 2.8 *)
 let test_textbook_max () =
   let cs =
-    [ Lp.constr [| 1.; 2. |] Lp.Le 4.; Lp.constr [| 3.; 1. |] Lp.Le 6. ]
+    [ Lp.constr (vec [| 1.; 2. |]) Lp.Le 4.; Lp.constr (vec [| 3.; 1. |]) Lp.Le 6. ]
   in
-  let s = solve_max ~n:2 ~objective:[| 1.; 1. |] cs in
+  let s = solve_max ~n:2 ~objective:(vec [| 1.; 1. |]) cs in
   check_float "value" 2.8 s.objective;
-  check_float "x" 1.6 s.point.(0);
-  check_float "y" 1.2 s.point.(1)
+  check_float "x" 1.6 (Vec.get s.point 0);
+  check_float "y" 1.2 (Vec.get s.point 1)
 
 (* min 2x + 3y st x + y >= 4, x >= 1 -> optimum at (4, 0), value 8 *)
 let test_textbook_min () =
   let cs =
-    [ Lp.constr [| 1.; 1. |] Lp.Ge 4.; Lp.constr [| 1.; 0. |] Lp.Ge 1. ]
+    [ Lp.constr (vec [| 1.; 1. |]) Lp.Ge 4.; Lp.constr (vec [| 1.; 0. |]) Lp.Ge 1. ]
   in
-  let s = solve_min ~n:2 ~objective:[| 2.; 3. |] cs in
+  let s = solve_min ~n:2 ~objective:(vec [| 2.; 3. |]) cs in
   check_float "value" 8. s.objective;
-  check_float "x" 4. s.point.(0);
-  check_float "y" 0. s.point.(1)
+  check_float "x" 4. (Vec.get s.point 0);
+  check_float "y" 0. (Vec.get s.point 1)
 
 let test_equality_constraint () =
   (* max x st x + y = 1 -> x = 1 *)
-  let cs = [ Lp.constr [| 1.; 1. |] Lp.Eq 1. ] in
-  let s = solve_max ~n:2 ~objective:[| 1.; 0. |] cs in
+  let cs = [ Lp.constr (vec [| 1.; 1. |]) Lp.Eq 1. ] in
+  let s = solve_max ~n:2 ~objective:(vec [| 1.; 0. |]) cs in
   check_float "value" 1. s.objective;
-  check_float "y" 0. s.point.(1)
+  check_float "y" 0. (Vec.get s.point 1)
 
 let test_infeasible () =
   let cs =
-    [ Lp.constr [| 1.; 1. |] Lp.Le 1.; Lp.constr [| 1.; 1. |] Lp.Ge 2. ]
+    [ Lp.constr (vec [| 1.; 1. |]) Lp.Le 1.; Lp.constr (vec [| 1.; 1. |]) Lp.Ge 2. ]
   in
-  match Lp.maximize ~n:2 ~objective:[| 1.; 0. |] cs with
+  match Lp.maximize ~n:2 ~objective:(vec [| 1.; 0. |]) cs with
   | Lp.Infeasible -> ()
   | _ -> Alcotest.fail "expected infeasible"
 
 let test_unbounded () =
-  let cs = [ Lp.constr [| 1.; -1. |] Lp.Le 1. ] in
-  match Lp.maximize ~n:2 ~objective:[| 1.; 1. |] cs with
+  let cs = [ Lp.constr (vec [| 1.; -1. |]) Lp.Le 1. ] in
+  match Lp.maximize ~n:2 ~objective:(vec [| 1.; 1. |]) cs with
   | Lp.Unbounded -> ()
   | _ -> Alcotest.fail "expected unbounded"
 
 let test_no_constraints_min () =
-  match Lp.minimize ~n:3 ~objective:[| 1.; 2.; 3. |] [] with
+  match Lp.minimize ~n:3 ~objective:(vec [| 1.; 2.; 3. |]) [] with
   | Lp.Optimal s -> check_float "value" 0. s.objective
   | _ -> Alcotest.fail "expected optimal at origin"
 
 let test_no_constraints_unbounded () =
-  match Lp.maximize ~n:2 ~objective:[| 1.; 0. |] [] with
+  match Lp.maximize ~n:2 ~objective:(vec [| 1.; 0. |]) [] with
   | Lp.Unbounded -> ()
   | _ -> Alcotest.fail "expected unbounded"
 
 let test_negative_rhs_normalization () =
   (* x - y <= -1 means y >= x + 1; max x st also y <= 2 -> x = 1. *)
   let cs =
-    [ Lp.constr [| 1.; -1. |] Lp.Le (-1.); Lp.constr [| 0.; 1. |] Lp.Le 2. ]
+    [ Lp.constr (vec [| 1.; -1. |]) Lp.Le (-1.); Lp.constr (vec [| 0.; 1. |]) Lp.Le 2. ]
   in
-  let s = solve_max ~n:2 ~objective:[| 1.; 0. |] cs in
+  let s = solve_max ~n:2 ~objective:(vec [| 1.; 0. |]) cs in
   check_float "value" 1. s.objective
 
 let test_degenerate_vertex () =
   (* Three constraints meeting at one vertex; Bland's rule must not cycle. *)
   let cs =
     [
-      Lp.constr [| 1.; 1. |] Lp.Le 2.;
-      Lp.constr [| 1.; 0. |] Lp.Le 1.;
-      Lp.constr [| 0.; 1. |] Lp.Le 1.;
+      Lp.constr (vec [| 1.; 1. |]) Lp.Le 2.;
+      Lp.constr (vec [| 1.; 0. |]) Lp.Le 1.;
+      Lp.constr (vec [| 0.; 1. |]) Lp.Le 1.;
     ]
   in
-  let s = solve_max ~n:2 ~objective:[| 1.; 1. |] cs in
+  let s = solve_max ~n:2 ~objective:(vec [| 1.; 1. |]) cs in
   check_float "value" 2. s.objective
 
 let test_simplex_vertex_objective () =
   (* Over the probability simplex, max c.x is max_i c_i. *)
-  let cs = [ Lp.constr [| 1.; 1.; 1. |] Lp.Eq 1. ] in
-  let s = solve_max ~n:3 ~objective:[| 0.3; 0.9; 0.5 |] cs in
+  let cs = [ Lp.constr (vec [| 1.; 1.; 1. |]) Lp.Eq 1. ] in
+  let s = solve_max ~n:3 ~objective:(vec [| 0.3; 0.9; 0.5 |]) cs in
   check_float "value" 0.9 s.objective;
-  check_float "x1" 1. s.point.(1)
+  check_float "x1" 1. (Vec.get s.point 1)
 
 let test_redundant_equalities () =
   (* Duplicate equality rows leave a basic artificial on a zero row; the
      solver must still answer. *)
   let cs =
     [
-      Lp.constr [| 1.; 1. |] Lp.Eq 1.;
-      Lp.constr [| 1.; 1. |] Lp.Eq 1.;
-      Lp.constr [| 2.; 2. |] Lp.Eq 2.;
+      Lp.constr (vec [| 1.; 1. |]) Lp.Eq 1.;
+      Lp.constr (vec [| 1.; 1. |]) Lp.Eq 1.;
+      Lp.constr (vec [| 2.; 2. |]) Lp.Eq 2.;
     ]
   in
-  let s = solve_max ~n:2 ~objective:[| 1.; 2. |] cs in
+  let s = solve_max ~n:2 ~objective:(vec [| 1.; 2. |]) cs in
   check_float "value" 2. s.objective
 
 let test_feasible_point () =
   let cs =
-    [ Lp.constr [| 1.; 1. |] Lp.Eq 1.; Lp.constr [| 1.; -1. |] Lp.Ge 0. ]
+    [ Lp.constr (vec [| 1.; 1. |]) Lp.Eq 1.; Lp.constr (vec [| 1.; -1. |]) Lp.Ge 0. ]
   in
   match Lp.feasible_point ~n:2 cs with
   | Some p ->
-    check_float "sum" 1. (p.(0) +. p.(1));
-    Alcotest.(check bool) "x >= y" true (p.(0) >= p.(1) -. 1e-9)
+    check_float "sum" 1. (Vec.get p 0 +. Vec.get p 1);
+    Alcotest.(check bool) "x >= y" true (Vec.get p 0 >= Vec.get p 1 -. 1e-9)
   | None -> Alcotest.fail "should be feasible"
 
 let test_ge_with_positive_rhs () =
   (* Exercises the artificial-variable path (Ge rows with rhs > 0 cannot be
      rewritten as Le rows). *)
   let cs =
-    [ Lp.constr [| 1.; 1. |] Lp.Ge 2.; Lp.constr [| 1.; 0. |] Lp.Le 1.5 ]
+    [ Lp.constr (vec [| 1.; 1. |]) Lp.Ge 2.; Lp.constr (vec [| 1.; 0. |]) Lp.Le 1.5 ]
   in
-  let s = solve_min ~n:2 ~objective:[| 3.; 1. |] cs in
+  let s = solve_min ~n:2 ~objective:(vec [| 3.; 1. |]) cs in
   (* min 3x + y st x + y >= 2, x <= 1.5 -> all weight on y: (0, 2). *)
   check_float "value" 2. s.objective;
-  check_float "y" 2. s.point.(1)
+  check_float "y" 2. (Vec.get s.point 1)
 
 let test_mixed_equalities_phase1 () =
   (* x + y = 1 and x - y = 0.5 pin (0.75, 0.25); objective irrelevant. *)
   let cs =
-    [ Lp.constr [| 1.; 1. |] Lp.Eq 1.; Lp.constr [| 1.; -1. |] Lp.Eq 0.5 ]
+    [ Lp.constr (vec [| 1.; 1. |]) Lp.Eq 1.; Lp.constr (vec [| 1.; -1. |]) Lp.Eq 0.5 ]
   in
-  let s = solve_max ~n:2 ~objective:[| 1.; 7. |] cs in
-  check_float "x" 0.75 s.point.(0);
-  check_float "y" 0.25 s.point.(1)
+  let s = solve_max ~n:2 ~objective:(vec [| 1.; 7. |]) cs in
+  check_float "x" 0.75 (Vec.get s.point 0);
+  check_float "y" 0.25 (Vec.get s.point 1)
 
 let test_zero_rhs_ge_rewrite () =
   (* w . x >= 0 cuts are the hot path; check they behave like constraints,
      not like no-ops: max y st y - x <= 0 (i.e. x - y >= 0), x <= 1. *)
   let cs =
-    [ Lp.constr [| 1.; -1. |] Lp.Ge 0.; Lp.constr [| 1.; 0. |] Lp.Le 1. ]
+    [ Lp.constr (vec [| 1.; -1. |]) Lp.Ge 0.; Lp.constr (vec [| 1.; 0. |]) Lp.Le 1. ]
   in
-  let s = solve_max ~n:2 ~objective:[| 0.; 1. |] cs in
+  let s = solve_max ~n:2 ~objective:(vec [| 0.; 1. |]) cs in
   check_float "y bounded by x" 1. s.objective
 
 let test_invalid_inputs () =
   Alcotest.check_raises "bad objective length" (Invalid_argument "Lp: objective length <> n")
-    (fun () -> ignore (Lp.maximize ~n:2 ~objective:[| 1. |] []));
+    (fun () -> ignore (Lp.maximize ~n:2 ~objective:(vec [| 1. |]) []));
   Alcotest.check_raises "bad constraint length"
     (Invalid_argument "Lp: constraint coefficient length <> n") (fun () ->
-      ignore (Lp.maximize ~n:2 ~objective:[| 1.; 1. |] [ Lp.constr [| 1. |] Lp.Le 1. ]))
+      ignore (Lp.maximize ~n:2 ~objective:(vec [| 1.; 1. |]) [ Lp.constr (vec [| 1. |]) Lp.Le 1. ]))
 
 (* Property: on random bounded problems, the reported optimum is feasible and
    no random feasible point beats it. *)
@@ -164,15 +167,15 @@ let random_bounded_problem rng =
   (* Box plus random <= cuts keeps the problem bounded and feasible at 0. *)
   let box =
     List.init n (fun i ->
-        let coeffs = Array.init n (fun j -> if i = j then 1. else 0.) in
+        let coeffs = Vec.init n (fun j -> if i = j then 1. else 0.) in
         Lp.constr coeffs Lp.Le (0.5 +. Rng.uniform rng))
   in
   let cuts =
     List.init m (fun _ ->
-        let coeffs = Array.init n (fun _ -> Rng.uniform rng) in
+        let coeffs = Vec.init n (fun _ -> Rng.uniform rng) in
         Lp.constr coeffs Lp.Le (0.1 +. Rng.uniform rng))
   in
-  let objective = Array.init n (fun _ -> Rng.in_range rng (-1.) 1.) in
+  let objective = Vec.init n (fun _ -> Rng.in_range rng (-1.) 1.) in
   (n, objective, box @ cuts)
 
 let prop_optimal_dominates_samples =
@@ -189,14 +192,12 @@ let prop_optimal_dominates_samples =
         let feasible p =
           List.for_all
             (fun (c : Lp.constr) ->
-              let v = ref 0. in
-              Array.iteri (fun i x -> v := !v +. (x *. p.(i))) c.coeffs;
               match c.relation with
-              | Lp.Le -> !v <= c.rhs +. 1e-6
-              | Lp.Ge -> !v >= c.rhs -. 1e-6
-              | Lp.Eq -> Float.abs (!v -. c.rhs) <= 1e-6)
+              | Lp.Le -> Vec.dot c.coeffs p <= c.rhs +. 1e-6
+              | Lp.Ge -> Vec.dot c.coeffs p >= c.rhs -. 1e-6
+              | Lp.Eq -> Float.abs (Vec.dot c.coeffs p -. c.rhs) <= 1e-6)
             cs
-          && Array.for_all (fun x -> x >= -1e-9) p
+          && Vec.for_all (fun x -> x >= -1e-9) p
         in
         if not (feasible point) then false
         else begin
@@ -204,63 +205,108 @@ let prop_optimal_dominates_samples =
              feasible; none may exceed the optimum. *)
           let ok = ref true in
           for _ = 1 to 30 do
-            let p = Array.init n (fun _ -> Rng.uniform rng *. 0.2) in
-            if feasible p then begin
-              let v = ref 0. in
-              Array.iteri (fun i x -> v := !v +. (x *. p.(i))) objective;
-              if !v > best +. 1e-6 then ok := false
-            end
+            let p = Vec.init n (fun _ -> Rng.uniform rng *. 0.2) in
+            if feasible p && Vec.dot objective p > best +. 1e-6 then
+              ok := false
           done;
           !ok
         end)
 
-(* Warm starts must change cost, never answers: re-solving any bounded
-   problem from its own optimal basis (and solving a second objective from
-   the first's basis) returns the same verdict and an equal optimum. *)
-let prop_warm_start_matches_cold =
-  QCheck2.Test.make ~count:60 ~name:"warm start: same verdict and optimum"
+(* The live dual-simplex path must change cost, never answers: optimizing
+   any bounded problem through a Live handle returns the same verdict and
+   an equal optimum as the cold two-phase solve, both before and after
+   adding one halfspace the dual-simplex way. *)
+let random_extra_cut rng n =
+  let coeffs = Vec.init n (fun _ -> Rng.in_range rng (-0.5) 1.) in
+  Lp.constr coeffs Lp.Le (Rng.in_range rng (-0.05) 0.4)
+
+let prop_live_matches_cold =
+  QCheck2.Test.make ~count:80 ~name:"live optimize: same verdict and optimum"
     QCheck2.Gen.(int_bound 100000)
     (fun seed ->
       let rng = Rng.create seed in
       let n, objective, cs = random_bounded_problem rng in
-      match Lp.solve ~n ~objective `Maximize cs with
-      | Lp.Optimal cold, Some basis ->
-        let same_objective =
-          match Lp.solve ~warm:basis ~n ~objective `Maximize cs with
-          | Lp.Optimal warm, _ ->
-            Float.abs (warm.objective -. cold.objective) < 1e-6
-          | _ -> false
-        in
-        let other = Array.init n (fun i -> objective.((i + 1) mod n) -. 0.5) in
-        let same_other =
-          match
-            ( Lp.solve ~warm:basis ~n ~objective:other `Maximize cs,
-              Lp.solve ~n ~objective:other `Maximize cs )
-          with
-          | (Lp.Optimal w, _), (Lp.Optimal c, _) ->
-            Float.abs (w.objective -. c.objective) < 1e-6
-          | _ -> false
-        in
-        same_objective && same_other
+      match Lp.Live.create ~n cs with
+      | `Infeasible | `Failed _ -> false (* impossible: origin feasible *)
+      | `Feasible h -> (
+        match (Lp.Live.optimize h ~objective `Maximize, Lp.maximize ~n ~objective cs) with
+        | Lp.Optimal live, Lp.Optimal cold ->
+          Float.abs (live.objective -. cold.objective) < 1e-6
+        | _ -> false))
+
+let prop_add_cut_matches_cold =
+  QCheck2.Test.make ~count:80
+    ~name:"live add_cut: dual verdict and optimum match the cold solve"
+    QCheck2.Gen.(int_bound 100000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n, objective, cs = random_bounded_problem rng in
+      let cut = random_extra_cut rng n in
+      let cs' = cs @ [ cut ] in
+      match Lp.Live.create ~n cs with
+      | `Infeasible | `Failed _ -> false
+      | `Feasible h -> (
+        match Lp.Live.optimize h ~objective `Maximize with
+        | Lp.Optimal _ -> (
+          match (Lp.Live.add_cut h cut, Lp.maximize ~n ~objective cs') with
+          | (`Sat | `Reopt _), Lp.Optimal cold -> (
+            match Lp.Live.optimize h ~objective `Maximize with
+            | Lp.Optimal live ->
+              Float.abs (live.objective -. cold.objective) < 1e-6
+            | _ -> false)
+          | `Infeasible, Lp.Infeasible -> true
+          | _ -> false)
+        | _ -> false))
+
+(* Replay determinism: the dual path is a pure function of its inputs, so
+   re-running the identical create / optimize / add_cut / optimize sequence
+   must reproduce the optimum bit-for-bit. *)
+let prop_live_replay_bit_equal =
+  QCheck2.Test.make ~count:60 ~name:"live replay is bit-identical"
+    QCheck2.Gen.(int_bound 100000)
+    (fun seed ->
+      let run () =
+        let rng = Rng.create seed in
+        let n, objective, cs = random_bounded_problem rng in
+        let cut = random_extra_cut rng n in
+        match Lp.Live.create ~n cs with
+        | `Infeasible | `Failed _ -> None
+        | `Feasible h -> (
+          match Lp.Live.add_cut h cut with
+          | `Infeasible | `Failed _ -> Some nan
+          | `Sat | `Reopt _ -> (
+            match Lp.Live.optimize h ~objective `Maximize with
+            | Lp.Optimal s -> Some s.objective
+            | _ -> None))
+      in
+      match (run (), run ()) with
+      | Some a, Some b ->
+        (Float.is_nan a && Float.is_nan b)
+        || Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+      | None, None -> true
       | _ -> false)
 
-(* A basis from an unrelated problem (wrong shape, wrong constraints) must
-   degrade to the cold path, not to a wrong answer. *)
-let test_bogus_warm_basis () =
+(* Forking: a copy refines independently and the parent's standing basis
+   (hence its answers) is untouched by cuts added to the fork. *)
+let test_live_copy_isolation () =
   let cs =
-    [ Lp.constr [| 1.; 2. |] Lp.Le 4.; Lp.constr [| 3.; 1. |] Lp.Le 6. ]
+    [ Lp.constr (vec [| 1.; 2. |]) Lp.Le 4.; Lp.constr (vec [| 3.; 1. |]) Lp.Le 6. ]
   in
-  let foreign =
-    let big =
-      [ Lp.constr [| 1.; 1.; 1. |] Lp.Eq 1.; Lp.constr [| 1.; 0.; 0. |] Lp.Le 0.7 ]
-    in
-    match Lp.solve ~n:3 ~objective:[| 1.; 0.; 0. |] `Maximize big with
-    | _, Some b -> b
-    | _, None -> Alcotest.fail "no basis from the foreign problem"
-  in
-  match Lp.solve ~warm:foreign ~n:2 ~objective:[| 1.; 1. |] `Maximize cs with
-  | Lp.Optimal s, _ -> check_float "value survives bogus basis" 2.8 s.objective
-  | _ -> Alcotest.fail "bogus warm basis changed the verdict"
+  match Lp.Live.create ~n:2 cs with
+  | `Infeasible | `Failed _ -> Alcotest.fail "textbook problem is feasible"
+  | `Feasible parent -> (
+    let fork = Lp.Live.copy parent in
+    (match Lp.Live.add_cut fork (Lp.constr (vec [| 1.; 0. |]) Lp.Le 0.5) with
+    | `Sat | `Reopt _ -> ()
+    | `Infeasible | `Failed _ -> Alcotest.fail "fork cut is satisfiable");
+    match
+      ( Lp.Live.optimize parent ~objective:(vec [| 1.; 1. |]) `Maximize,
+        Lp.Live.optimize fork ~objective:(vec [| 1.; 1. |]) `Maximize )
+    with
+    | Lp.Optimal p, Lp.Optimal f ->
+      check_float "parent unchanged" 2.8 p.objective;
+      Alcotest.(check bool) "fork tighter" true (f.objective < 2.8 -. 1e-9)
+    | _ -> Alcotest.fail "both solves are bounded and feasible")
 
 let prop_minimize_is_negated_maximize =
   QCheck2.Test.make ~count:60 ~name:"min f = -max(-f)"
@@ -268,7 +314,7 @@ let prop_minimize_is_negated_maximize =
     (fun seed ->
       let rng = Rng.create seed in
       let n, objective, cs = random_bounded_problem rng in
-      let neg = Array.map (fun x -> -.x) objective in
+      let neg = Vec.neg objective in
       match (Lp.minimize ~n ~objective cs, Lp.maximize ~n ~objective:neg cs) with
       | Lp.Optimal a, Lp.Optimal b -> Float.abs (a.objective +. b.objective) < 1e-6
       | Lp.Infeasible, Lp.Infeasible -> true
@@ -297,12 +343,14 @@ let () =
           Alcotest.test_case "mixed equalities" `Quick test_mixed_equalities_phase1;
           Alcotest.test_case "zero-rhs ge rewrite" `Quick test_zero_rhs_ge_rewrite;
           Alcotest.test_case "invalid inputs" `Quick test_invalid_inputs;
-          Alcotest.test_case "bogus warm basis" `Quick test_bogus_warm_basis;
+          Alcotest.test_case "live copy isolation" `Quick test_live_copy_isolation;
         ] );
       ( "properties",
         [
           QCheck_alcotest.to_alcotest prop_optimal_dominates_samples;
           QCheck_alcotest.to_alcotest prop_minimize_is_negated_maximize;
-          QCheck_alcotest.to_alcotest prop_warm_start_matches_cold;
+          QCheck_alcotest.to_alcotest prop_live_matches_cold;
+          QCheck_alcotest.to_alcotest prop_add_cut_matches_cold;
+          QCheck_alcotest.to_alcotest prop_live_replay_bit_equal;
         ] );
     ]

@@ -4,34 +4,37 @@
 module Rect = Indq_rtree.Rect
 module Rtree = Indq_rtree.Rtree
 module Rng = Indq_util.Rng
+module Vec = Indq_linalg.Vec
+
+let vec = Vec.of_array
 
 let test_rect_make_guards () =
   Alcotest.check_raises "lo > hi" (Invalid_argument "Rect.make: lo > hi")
-    (fun () -> ignore (Rect.make ~lo:[| 1. |] ~hi:[| 0. |]));
+    (fun () -> ignore (Rect.make ~lo:(vec [| 1. |]) ~hi:(vec [| 0. |])));
   Alcotest.check_raises "ragged" (Invalid_argument "Rect.make: bad corners")
-    (fun () -> ignore (Rect.make ~lo:[| 0. |] ~hi:[| 1.; 2. |]))
+    (fun () -> ignore (Rect.make ~lo:(vec [| 0. |]) ~hi:(vec [| 1.; 2. |])))
 
 let test_rect_intersects () =
-  let a = Rect.make ~lo:[| 0.; 0. |] ~hi:[| 1.; 1. |] in
-  let b = Rect.make ~lo:[| 0.5; 0.5 |] ~hi:[| 2.; 2. |] in
-  let c = Rect.make ~lo:[| 1.5; 1.5 |] ~hi:[| 2.; 2. |] in
+  let a = Rect.make ~lo:(vec [| 0.; 0. |]) ~hi:(vec [| 1.; 1. |]) in
+  let b = Rect.make ~lo:(vec [| 0.5; 0.5 |]) ~hi:(vec [| 2.; 2. |]) in
+  let c = Rect.make ~lo:(vec [| 1.5; 1.5 |]) ~hi:(vec [| 2.; 2. |]) in
   Alcotest.(check bool) "overlap" true (Rect.intersects a b);
   Alcotest.(check bool) "touch counts" true
-    (Rect.intersects a (Rect.make ~lo:[| 1.; 0. |] ~hi:[| 2.; 1. |]));
+    (Rect.intersects a (Rect.make ~lo:(vec [| 1.; 0. |]) ~hi:(vec [| 2.; 1. |])));
   Alcotest.(check bool) "disjoint" false (Rect.intersects a c)
 
 let test_rect_contains () =
-  let r = Rect.make ~lo:[| 0.; 0. |] ~hi:[| 1.; 1. |] in
-  Alcotest.(check bool) "inside" true (Rect.contains_point r [| 0.5; 0.5 |]);
-  Alcotest.(check bool) "boundary" true (Rect.contains_point r [| 1.; 0. |]);
-  Alcotest.(check bool) "outside" false (Rect.contains_point r [| 1.1; 0.5 |]);
+  let r = Rect.make ~lo:(vec [| 0.; 0. |]) ~hi:(vec [| 1.; 1. |]) in
+  Alcotest.(check bool) "inside" true (Rect.contains_point r (vec [| 0.5; 0.5 |]));
+  Alcotest.(check bool) "boundary" true (Rect.contains_point r (vec [| 1.; 0. |]));
+  Alcotest.(check bool) "outside" false (Rect.contains_point r (vec [| 1.1; 0.5 |]));
   Alcotest.(check bool) "rect in rect" true
     (Rect.contains_rect ~outer:r
-       ~inner:(Rect.make ~lo:[| 0.2; 0.2 |] ~hi:[| 0.8; 0.8 |]))
+       ~inner:(Rect.make ~lo:(vec [| 0.2; 0.2 |]) ~hi:(vec [| 0.8; 0.8 |])))
 
 let test_rect_union_area () =
-  let a = Rect.make ~lo:[| 0.; 0. |] ~hi:[| 1.; 1. |] in
-  let b = Rect.make ~lo:[| 2.; 2. |] ~hi:[| 3.; 4. |] in
+  let a = Rect.make ~lo:(vec [| 0.; 0. |]) ~hi:(vec [| 1.; 1. |]) in
+  let b = Rect.make ~lo:(vec [| 2.; 2. |]) ~hi:(vec [| 3.; 4. |]) in
   let u = Rect.union a b in
   Alcotest.(check (float 1e-9)) "area a" 1. (Rect.area a);
   Alcotest.(check (float 1e-9)) "area b" 2. (Rect.area b);
@@ -40,19 +43,19 @@ let test_rect_union_area () =
   Alcotest.(check (float 1e-9)) "margin" 7. (Rect.margin u)
 
 let test_rect_above_corner () =
-  let r = Rect.above_corner [| 0.3; 0.6 |] ~upper:[| 1.; 1. |] in
-  Alcotest.(check bool) "dominator inside" true (Rect.contains_point r [| 0.5; 0.8 |]);
+  let r = Rect.above_corner (vec [| 0.3; 0.6 |]) ~upper:(vec [| 1.; 1. |]) in
+  Alcotest.(check bool) "dominator inside" true (Rect.contains_point r (vec [| 0.5; 0.8 |]));
   Alcotest.(check bool) "non-dominator outside" false
-    (Rect.contains_point r [| 0.2; 0.9 |])
+    (Rect.contains_point r (vec [| 0.2; 0.9 |]))
 
 let test_insert_search_small () =
   let t = Rtree.create ~dim:2 () in
-  Rtree.insert_point t [| 0.1; 0.1 |] "a";
-  Rtree.insert_point t [| 0.9; 0.9 |] "b";
-  Rtree.insert_point t [| 0.5; 0.5 |] "c";
+  Rtree.insert_point t (vec [| 0.1; 0.1 |]) "a";
+  Rtree.insert_point t (vec [| 0.9; 0.9 |]) "b";
+  Rtree.insert_point t (vec [| 0.5; 0.5 |]) "c";
   Alcotest.(check int) "size" 3 (Rtree.size t);
   let hits =
-    Rtree.search t (Rect.make ~lo:[| 0.4; 0.4 |] ~hi:[| 1.; 1. |])
+    Rtree.search t (Rect.make ~lo:(vec [| 0.4; 0.4 |]) ~hi:(vec [| 1.; 1. |]))
   in
   let sorted = List.sort compare hits in
   Alcotest.(check (list string)) "hits" [ "b"; "c" ] sorted
@@ -62,14 +65,14 @@ let test_empty_tree () =
   Alcotest.(check int) "size" 0 (Rtree.size t);
   Alcotest.(check int) "depth" 0 (Rtree.depth t);
   Alcotest.(check (list int)) "search" []
-    (Rtree.search t (Rect.make ~lo:[| 0.; 0.; 0. |] ~hi:[| 1.; 1.; 1. |]));
+    (Rtree.search t (Rect.make ~lo:(vec [| 0.; 0.; 0. |]) ~hi:(vec [| 1.; 1.; 1. |])));
   Alcotest.(check bool) "invariants" true (Rtree.check_invariants t)
 
 let test_split_grows_depth () =
   let t = Rtree.create ~max_entries:4 ~dim:2 () in
   let rng = Rng.create 5 in
   for i = 1 to 100 do
-    Rtree.insert_point t [| Rng.uniform rng; Rng.uniform rng |] i
+    Rtree.insert_point t (vec [| Rng.uniform rng; Rng.uniform rng |]) i
   done;
   Alcotest.(check int) "size" 100 (Rtree.size t);
   Alcotest.(check bool) "deeper than a leaf" true (Rtree.depth t > 1);
@@ -78,20 +81,20 @@ let test_split_grows_depth () =
 let test_exists_overlapping () =
   let t = Rtree.create ~dim:2 () in
   for i = 0 to 9 do
-    Rtree.insert_point t [| float_of_int i /. 10.; float_of_int i /. 10. |] i
+    Rtree.insert_point t (vec [| float_of_int i /. 10.; float_of_int i /. 10. |]) i
   done;
-  let q = Rect.make ~lo:[| 0.75; 0.75 |] ~hi:[| 1.; 1. |] in
+  let q = Rect.make ~lo:(vec [| 0.75; 0.75 |]) ~hi:(vec [| 1.; 1. |]) in
   Alcotest.(check bool) "found" true (Rtree.exists_overlapping t q ~f:(fun _ _ -> true));
   Alcotest.(check bool) "predicate filters" false
     (Rtree.exists_overlapping t q ~f:(fun _ v -> v > 100));
-  let q2 = Rect.make ~lo:[| 0.91; 0.0 |] ~hi:[| 1.; 0.05 |] in
+  let q2 = Rect.make ~lo:(vec [| 0.91; 0.0 |]) ~hi:(vec [| 1.; 0.05 |]) in
   Alcotest.(check bool) "empty zone" false
     (Rtree.exists_overlapping t q2 ~f:(fun _ _ -> true))
 
 let test_iter_visits_all () =
   let t = Rtree.create ~max_entries:4 ~dim:1 () in
   for i = 1 to 50 do
-    Rtree.insert_point t [| float_of_int i |] i
+    Rtree.insert_point t (vec [| float_of_int i |]) i
   done;
   let total = ref 0 in
   Rtree.iter t (fun _ v -> total := !total + v);
@@ -100,7 +103,7 @@ let test_iter_visits_all () =
 let test_dimension_guard () =
   let t : unit Rtree.t = Rtree.create ~dim:2 () in
   Alcotest.check_raises "bad dim" (Invalid_argument "Rtree.insert: dimension mismatch")
-    (fun () -> Rtree.insert t (Rect.of_point [| 1. |]) ())
+    (fun () -> Rtree.insert t (Rect.of_point (vec [| 1. |])) ())
 
 (* Property: search results match brute force on random point sets. *)
 let prop_search_matches_bruteforce =
@@ -111,15 +114,15 @@ let prop_search_matches_bruteforce =
       let d = 1 + Rng.int rng 4 in
       let n = 1 + Rng.int rng 300 in
       let points =
-        Array.init n (fun i -> (Array.init d (fun _ -> Rng.uniform rng), i))
+        Array.init n (fun i -> (Vec.init d (fun _ -> Rng.uniform rng), i))
       in
       let t = Rtree.of_points ~max_entries:4 ~dim:d (Array.to_list points) in
       let ok = ref (Rtree.check_invariants t) in
       for _ = 1 to 10 do
-        let a = Array.init d (fun _ -> Rng.uniform rng) in
-        let b = Array.init d (fun _ -> Rng.uniform rng) in
-        let lo = Array.init d (fun i -> Float.min a.(i) b.(i)) in
-        let hi = Array.init d (fun i -> Float.max a.(i) b.(i)) in
+        let a = Vec.init d (fun _ -> Rng.uniform rng) in
+        let b = Vec.init d (fun _ -> Rng.uniform rng) in
+        let lo = Vec.init d (fun i -> Float.min (Vec.get a i) (Vec.get b i)) in
+        let hi = Vec.init d (fun i -> Float.max (Vec.get a i) (Vec.get b i)) in
         let q = Rect.make ~lo ~hi in
         let expected =
           Array.to_list points
@@ -139,7 +142,7 @@ let prop_size_matches_inserts =
       let n = Rng.int rng 500 in
       let t = Rtree.create ~max_entries:6 ~dim:2 () in
       for i = 1 to n do
-        Rtree.insert_point t [| Rng.uniform rng; Rng.uniform rng |] i
+        Rtree.insert_point t (vec [| Rng.uniform rng; Rng.uniform rng |]) i
       done;
       let visited = ref 0 in
       Rtree.iter t (fun _ _ -> incr visited);

@@ -12,6 +12,8 @@ module Counter = Indq_obs.Counter
 module Dataset = Indq_dataset.Dataset
 module Generator = Indq_dataset.Generator
 module Rng = Indq_util.Rng
+
+let vec = Indq_linalg.Vec.of_array
 module Utility = Indq_user.Utility
 
 let entry =
@@ -91,7 +93,7 @@ let test_journal_corrupt () =
 
 (* --- Driving sessions -------------------------------------------------- *)
 
-let u = [| 0.7; 0.3 |]
+let u = vec [| 0.7; 0.3 |]
 
 let drive session =
   let rec loop () =

@@ -4,52 +4,58 @@
 module Utility = Indq_user.Utility
 module Oracle = Indq_user.Oracle
 module Rng = Indq_util.Rng
+module Vec = Indq_linalg.Vec
+
+let vec = Vec.of_array
 
 let test_utility_value () =
   Alcotest.(check (float 1e-9)) "dot" 1.4
-    (Utility.value [| 1.; 2. |] [| 0.4; 0.5 |])
+    (Utility.value (vec [| 1.; 2. |]) (vec [| 0.4; 0.5 |]))
 
 let test_utility_validate () =
   Alcotest.check_raises "negative"
     (Invalid_argument "Utility.validate: components must be finite and >= 0")
-    (fun () -> Utility.validate [| 1.; -0.1 |]);
+    (fun () -> Utility.validate (vec [| 1.; -0.1 |]));
   Alcotest.check_raises "all zero" (Invalid_argument "Utility.validate: all-zero utility")
-    (fun () -> Utility.validate [| 0.; 0. |]);
-  Utility.validate [| 0.; 1. |]
+    (fun () -> Utility.validate (vec [| 0.; 0. |]));
+  Utility.validate (vec [| 0.; 1. |])
 
 let test_normalizations () =
-  let u = [| 2.; 4. |] in
+  let u = vec [| 2.; 4. |] in
   let m = Utility.normalize_max u in
-  Alcotest.(check (float 1e-9)) "max is 1" 1. m.(1);
-  Alcotest.(check (float 1e-9)) "ratio kept" 0.5 m.(0);
+  Alcotest.(check (float 1e-9)) "max is 1" 1. (Vec.get m 1);
+  Alcotest.(check (float 1e-9)) "ratio kept" 0.5 (Vec.get m 0);
   let s = Utility.normalize_sum u in
-  Alcotest.(check (float 1e-9)) "sums to 1" 1. (s.(0) +. s.(1))
+  Alcotest.(check (float 1e-9)) "sums to 1" 1. (Vec.get s 0 +. Vec.get s 1)
 
 let test_random_utility () =
   let rng = Rng.create 2 in
   for _ = 1 to 50 do
     let u = Utility.random rng ~d:4 in
-    Alcotest.(check (float 1e-9)) "sum 1" 1. (Array.fold_left ( +. ) 0. u);
-    Array.iter (fun x -> Alcotest.(check bool) "non-negative" true (x >= 0.)) u
+    Alcotest.(check (float 1e-9)) "sum 1" 1. (Vec.sum u);
+    Vec.iter (fun x -> Alcotest.(check bool) "non-negative" true (x >= 0.)) u
   done
 
 let test_best () =
-  let u = [| 1.; 0. |] in
-  let best = Utility.best u [ [| 0.2; 0.9 |]; [| 0.8; 0.1 |]; [| 0.5; 0.5 |] ] in
-  Alcotest.(check (float 1e-9)) "argmax" 0.8 best.(0);
+  let u = vec [| 1.; 0. |] in
+  let best =
+    Utility.best u
+      [ vec [| 0.2; 0.9 |]; vec [| 0.8; 0.1 |]; vec [| 0.5; 0.5 |] ]
+  in
+  Alcotest.(check (float 1e-9)) "argmax" 0.8 (Vec.get best 0);
   Alcotest.(check int) "best index" 1
-    (Utility.best_index u [| [| 0.2; 0.9 |]; [| 0.8; 0.1 |] |])
+    (Utility.best_index u [| vec [| 0.2; 0.9 |]; vec [| 0.8; 0.1 |] |])
 
 let test_exact_oracle_picks_argmax () =
-  let oracle = Oracle.exact [| 1.; 2. |] in
-  let options = [| [| 1.; 0. |]; [| 0.; 1. |]; [| 0.4; 0.4 |] |] in
+  let oracle = Oracle.exact (vec [| 1.; 2. |]) in
+  let options = [| vec [| 1.; 0. |]; vec [| 0.; 1. |]; vec [| 0.4; 0.4 |] |] in
   Alcotest.(check int) "argmax" 1 (Oracle.choose oracle options);
   Alcotest.(check int) "questions" 1 (Oracle.questions_asked oracle);
   Alcotest.(check int) "options" 3 (Oracle.options_shown oracle)
 
 let test_counters_reset () =
-  let oracle = Oracle.exact [| 1. |] in
-  ignore (Oracle.choose oracle [| [| 1. |]; [| 0. |] |]);
+  let oracle = Oracle.exact (vec [| 1. |]) in
+  ignore (Oracle.choose oracle [| vec [| 1. |]; vec [| 0. |] |]);
   Oracle.reset_counters oracle;
   Alcotest.(check int) "reset" 0 (Oracle.questions_asked oracle)
 
@@ -57,9 +63,9 @@ let test_error_oracle_never_picks_distinguishable () =
   (* With delta = 0.1, an option at less than 1/(1+0.1) of the best shown
      must never be chosen. *)
   let rng = Rng.create 11 in
-  let u = [| 1.; 1. |] in
+  let u = vec [| 1.; 1. |] in
   let oracle = Oracle.with_error ~delta:0.1 ~rng u in
-  let options = [| [| 1.; 0. |]; [| 0.85; 0. |]; [| 0.5; 0. |] |] in
+  let options = [| vec [| 1.; 0. |]; vec [| 0.85; 0. |]; vec [| 0.5; 0. |] |] in
   for _ = 1 to 200 do
     let c = Oracle.choose oracle options in
     Alcotest.(check bool) "never the bad one" true (c <> 2)
@@ -69,8 +75,8 @@ let test_error_oracle_sometimes_errs () =
   (* Options within delta of each other: over many trials both must
      appear. *)
   let rng = Rng.create 12 in
-  let oracle = Oracle.with_error ~delta:0.1 ~rng [| 1. |] in
-  let options = [| [| 1. |]; [| 0.95 |] |] in
+  let oracle = Oracle.with_error ~delta:0.1 ~rng (vec [| 1. |]) in
+  let options = [| vec [| 1. |]; vec [| 0.95 |] |] in
   let seen = Array.make 2 false in
   for _ = 1 to 200 do
     seen.(Oracle.choose oracle options) <- true
@@ -79,8 +85,8 @@ let test_error_oracle_sometimes_errs () =
 
 let test_error_oracle_delta_zero_is_exact () =
   let rng = Rng.create 13 in
-  let oracle = Oracle.with_error ~delta:0. ~rng [| 1.; 0. |] in
-  let options = [| [| 0.3; 1. |]; [| 0.7; 0. |] |] in
+  let oracle = Oracle.with_error ~delta:0. ~rng (vec [| 1.; 0. |]) in
+  let options = [| vec [| 0.3; 1. |]; vec [| 0.7; 0. |] |] in
   for _ = 1 to 50 do
     Alcotest.(check int) "always argmax" 1 (Oracle.choose oracle options)
   done
@@ -88,39 +94,39 @@ let test_error_oracle_delta_zero_is_exact () =
 let test_external_chooser () =
   let oracle = Oracle.of_chooser (fun options -> Array.length options - 1) in
   Alcotest.(check int) "last" 2
-    (Oracle.choose oracle [| [| 1. |]; [| 2. |]; [| 3. |] |]);
+    (Oracle.choose oracle [| vec [| 1. |]; vec [| 2. |]; vec [| 3. |] |]);
   Alcotest.(check bool) "no hidden utility" true (Oracle.true_utility oracle = None);
   let bad = Oracle.of_chooser (fun _ -> 99) in
   Alcotest.check_raises "bad index"
     (Invalid_argument "Oracle.choose: external chooser returned bad index")
-    (fun () -> ignore (Oracle.choose bad [| [| 1. |] |]))
+    (fun () -> ignore (Oracle.choose bad [| vec [| 1. |] |]))
 
 let test_oracle_guards () =
-  let oracle = Oracle.exact [| 1. |] in
+  let oracle = Oracle.exact (vec [| 1. |]) in
   Alcotest.check_raises "empty options" (Invalid_argument "Oracle.choose: no options")
     (fun () -> ignore (Oracle.choose oracle [||]));
   Alcotest.check_raises "negative delta" (Invalid_argument "Oracle.with_error: negative delta")
-    (fun () -> ignore (Oracle.with_error ~delta:(-0.1) ~rng:(Rng.create 0) [| 1. |]))
+    (fun () -> ignore (Oracle.with_error ~delta:(-0.1) ~rng:(Rng.create 0) (vec [| 1. |])))
 
 let test_true_utility_copies () =
-  let oracle = Oracle.exact [| 1.; 2. |] in
+  let oracle = Oracle.exact (vec [| 1.; 2. |]) in
   (match Oracle.true_utility oracle with
-  | Some u -> u.(0) <- 99.
+  | Some u -> Vec.set u 0 99.
   | None -> Alcotest.fail "has utility");
   match Oracle.true_utility oracle with
-  | Some u -> Alcotest.(check (float 1e-9)) "unchanged" 1. u.(0)
+  | Some u -> Alcotest.(check (float 1e-9)) "unchanged" 1. (Vec.get u 0)
   | None -> Alcotest.fail "has utility"
 
 let test_delta_accessor () =
-  Alcotest.(check (float 0.)) "exact" 0. (Oracle.delta (Oracle.exact [| 1. |]));
+  Alcotest.(check (float 0.)) "exact" 0. (Oracle.delta (Oracle.exact (vec [| 1. |])));
   Alcotest.(check (float 0.)) "erring" 0.07
-    (Oracle.delta (Oracle.with_error ~delta:0.07 ~rng:(Rng.create 0) [| 1. |]))
+    (Oracle.delta (Oracle.with_error ~delta:0.07 ~rng:(Rng.create 0) (vec [| 1. |])))
 
 let test_recording_and_replay () =
-  let base = Oracle.exact [| 1.; 0. |] in
+  let base = Oracle.exact (vec [| 1.; 0. |]) in
   let recorder, transcript = Oracle.recording base in
   let rounds =
-    [| [| [| 1.; 0. |]; [| 0.; 1. |] |]; [| [| 0.2; 0.1 |]; [| 0.9; 0.3 |] |] |]
+    [| [| vec [| 1.; 0. |]; vec [| 0.; 1. |] |]; [| vec [| 0.2; 0.1 |]; vec [| 0.9; 0.3 |] |] |]
   in
   let choices = Array.map (Oracle.choose recorder) rounds in
   let log = transcript () in
@@ -139,9 +145,9 @@ let test_recording_and_replay () =
     (fun () -> ignore (Oracle.choose replayer rounds.(0)))
 
 let test_replay_mismatch () =
-  let replayer = Oracle.replay [ { Oracle.options = [| [| 1. |]; [| 2. |] |]; choice = 0 } ] in
+  let replayer = Oracle.replay [ { Oracle.options = [| vec [| 1. |]; vec [| 2. |] |]; choice = 0 } ] in
   Alcotest.check_raises "mismatch" (Invalid_argument "Oracle.replay: option-count mismatch")
-    (fun () -> ignore (Oracle.choose replayer [| [| 1. |] |]))
+    (fun () -> ignore (Oracle.choose replayer [| vec [| 1. |] |]))
 
 let test_replay_reproduces_algorithm_run () =
   (* Record a full Squeeze-u run, then replay the transcript: identical
@@ -169,12 +175,12 @@ let test_replay_reproduces_algorithm_run () =
 module Nonlinear = Indq_user.Nonlinear
 
 let test_nonlinear_linear_case_agrees () =
-  let w = [| 0.3; 0.7 |] in
+  let w = vec [| 0.3; 0.7 |] in
   let lin = Nonlinear.Linear w in
   let pow1 = Nonlinear.Concave_power { weights = w; exponent = 1. } in
   let rng = Rng.create 3 in
   for _ = 1 to 50 do
-    let x = [| Rng.uniform rng; Rng.uniform rng |] in
+    let x = vec [| Rng.uniform rng; Rng.uniform rng |] in
     Alcotest.(check (float 1e-9)) "linear = power(1)"
       (Nonlinear.value lin x) (Nonlinear.value pow1 x);
     Alcotest.(check (float 1e-9)) "linear = dot" (Utility.value w x)
@@ -183,40 +189,40 @@ let test_nonlinear_linear_case_agrees () =
 
 let test_nonlinear_concavity_diminishing_returns () =
   (* With exponent 0.5 a balanced tuple beats an extreme one of equal sum. *)
-  let f = Nonlinear.Concave_power { weights = [| 1.; 1. |]; exponent = 0.5 } in
+  let f = Nonlinear.Concave_power { weights = vec [| 1.; 1. |]; exponent = 0.5 } in
   Alcotest.(check bool) "balanced wins" true
-    (Nonlinear.value f [| 0.5; 0.5 |] > Nonlinear.value f [| 1.; 0. |])
+    (Nonlinear.value f (vec [| 0.5; 0.5 |]) > Nonlinear.value f (vec [| 1.; 0. |]))
 
 let test_nonlinear_ces () =
   (* rho = 1 CES is linear. *)
-  let w = [| 0.4; 0.6 |] in
+  let w = vec [| 0.4; 0.6 |] in
   let ces = Nonlinear.Ces { weights = w; rho = 1. } in
-  Alcotest.(check (float 1e-9)) "ces(1) linear" (Utility.value w [| 0.3; 0.8 |])
-    (Nonlinear.value ces [| 0.3; 0.8 |]);
+  Alcotest.(check (float 1e-9)) "ces(1) linear" (Utility.value w (vec [| 0.3; 0.8 |]))
+    (Nonlinear.value ces (vec [| 0.3; 0.8 |]));
   (* rho -> small: strongly complementary; zero coordinate kills value. *)
-  let comp = Nonlinear.Ces { weights = [| 1.; 1. |]; rho = 0.2 } in
+  let comp = Nonlinear.Ces { weights = vec [| 1.; 1. |]; rho = 0.2 } in
   Alcotest.(check bool) "complementary" true
-    (Nonlinear.value comp [| 0.5; 0.5 |] > Nonlinear.value comp [| 1.0; 0.01 |])
+    (Nonlinear.value comp (vec [| 0.5; 0.5 |]) > Nonlinear.value comp (vec [| 1.0; 0.01 |]))
 
 let test_nonlinear_validate () =
   Alcotest.check_raises "bad exponent"
     (Invalid_argument "Nonlinear.validate: exponent must be in (0, 1]") (fun () ->
       Nonlinear.validate
-        (Nonlinear.Concave_power { weights = [| 1. |]; exponent = 1.5 }));
+        (Nonlinear.Concave_power { weights = vec [| 1. |]; exponent = 1.5 }));
   Alcotest.check_raises "rho zero"
     (Invalid_argument "Nonlinear.validate: rho must be non-zero and <= 1")
-    (fun () -> Nonlinear.validate (Nonlinear.Ces { weights = [| 1. |]; rho = 0. }))
+    (fun () -> Nonlinear.validate (Nonlinear.Ces { weights = vec [| 1. |]; rho = 0. }))
 
 let test_nonlinear_oracle_picks_argmax () =
-  let user = Nonlinear.Concave_power { weights = [| 1.; 1. |]; exponent = 0.5 } in
+  let user = Nonlinear.Concave_power { weights = vec [| 1.; 1. |]; exponent = 0.5 } in
   let oracle = Nonlinear.oracle user in
   (* Balanced option wins under the concave utility but would lose under
      the linear one. *)
-  let options = [| [| 1.0; 0.0 |]; [| 0.45; 0.45 |] |] in
+  let options = [| vec [| 1.0; 0.0 |]; vec [| 0.45; 0.45 |] |] in
   Alcotest.(check int) "concave pick" 1 (Oracle.choose oracle options)
 
 let test_nonlinear_oracle_delta_requires_rng () =
-  let user = Nonlinear.Linear [| 1. |] in
+  let user = Nonlinear.Linear (vec [| 1. |]) in
   Alcotest.check_raises "missing rng"
     (Invalid_argument "Nonlinear.oracle: delta > 0 requires an rng") (fun () ->
       ignore (Nonlinear.oracle ~delta:0.1 user))
@@ -232,7 +238,7 @@ let prop_nonlinear_delta_pick_close =
       let oracle = Nonlinear.oracle ~delta ~rng:(Rng.split rng) user in
       let options =
         Array.init (2 + Rng.int rng 4) (fun _ ->
-            Array.init d (fun _ -> Rng.uniform rng))
+            Vec.init d (fun _ -> Rng.uniform rng))
       in
       let c = Oracle.choose oracle options in
       let best =
@@ -253,7 +259,7 @@ let prop_error_pick_is_delta_close =
       let oracle = Oracle.with_error ~delta ~rng:(Rng.split rng) u in
       let k = 2 + Rng.int rng 5 in
       let options =
-        Array.init k (fun _ -> Array.init d (fun _ -> Rng.uniform rng))
+        Array.init k (fun _ -> Vec.init d (fun _ -> Rng.uniform rng))
       in
       let c = Oracle.choose oracle options in
       let best =

@@ -245,16 +245,31 @@ let compare_time ~tol ~gate_times ~path ~what base cur acc =
 let union_keys a b =
   List.sort_uniq String.compare (obj_keys a @ obj_keys b)
 
-let compare_metrics ~path base cur acc =
+(* [critical] counters (e.g. lp.iterations, lp.dual_pivots) are the
+   quantities the perf-gate exists to protect: a critical counter present
+   on only one side is a Mismatch, not a Note — otherwise a baseline that
+   predates the counter (or a current run that silently dropped it) would
+   let any regression through the gate vacuously. *)
+let compare_metrics ~critical ~path base cur acc =
   List.fold_left
     (fun acc key ->
       let p = path ^ ".metrics_mean." ^ key in
+      let one_sided where =
+        if List.mem key critical then
+          {
+            severity = Mismatch;
+            path = p;
+            detail =
+              Printf.sprintf "critical counter only in %s (refresh the baseline)"
+                where;
+          }
+        else
+          { severity = Note; path = p; detail = "counter only in " ^ where }
+      in
       match (member key base, member key cur) with
       | Some b, Some c -> compare_perf ~path:p ~what:"counter mean" (fnum b) (fnum c) acc
-      | Some _, None ->
-        { severity = Note; path = p; detail = "counter only in baseline" } :: acc
-      | None, Some _ ->
-        { severity = Note; path = p; detail = "counter only in current" } :: acc
+      | Some _, None -> one_sided "baseline" :: acc
+      | None, Some _ -> one_sided "current" :: acc
       | None, None -> acc)
     acc
     (union_keys base cur)
@@ -305,7 +320,7 @@ let compare_hists ~tol ~gate_times ~path base cur acc =
     acc
     (union_keys base cur)
 
-let compare_cell ~tol ~gate_times ~path base cur acc =
+let compare_cell ~tol ~gate_times ~critical ~path base cur acc =
   let num what v = match Option.bind (member what v) to_num with
     | Some f -> Some f
     | None -> None
@@ -345,7 +360,7 @@ let compare_cell ~tol ~gate_times ~path base cur acc =
   in
   let acc =
     match (member "metrics_mean" base, member "metrics_mean" cur) with
-    | Some b, Some c -> compare_metrics ~path b c acc
+    | Some b, Some c -> compare_metrics ~critical ~path b c acc
     | None, None -> acc
     | _ -> missing "metrics_mean" :: acc
   in
@@ -354,7 +369,7 @@ let compare_cell ~tol ~gate_times ~path base cur acc =
   | None, None -> acc
   | _ -> missing "hists" :: acc
 
-let compare_sweep ~tol ~gate_times ~path base cur acc =
+let compare_sweep ~tol ~gate_times ~critical ~path base cur acc =
   let shape what acc =
     let b = member what base and c = member what cur in
     if b = c then acc
@@ -401,7 +416,7 @@ let compare_sweep ~tol ~gate_times ~path base cur acc =
               (List.fold_left2
                  (fun (ai, acc) b c ->
                    ( ai + 1,
-                     compare_cell ~tol ~gate_times
+                     compare_cell ~tol ~gate_times ~critical
                        ~path:(Printf.sprintf "%s.cells[%d][%d]" path xi ai)
                        b c acc ))
                  (0, acc) bcells ccells) ))
@@ -410,8 +425,11 @@ let compare_sweep ~tol ~gate_times ~path base cur acc =
 
 (* [compare_reports baseline current] — the full BENCH-JSON comparison.
    [tol] is the relative wall-clock tolerance; [gate_times] promotes
-   tolerance-exceeding time growth from Note to Regression. *)
-let compare_reports ?(tol = 0.5) ?(gate_times = false) base cur =
+   tolerance-exceeding time growth from Note to Regression; [critical]
+   names counters whose one-sided absence is a Mismatch rather than a
+   Note (see [compare_metrics]). *)
+let compare_reports ?(tol = 0.5) ?(gate_times = false) ?(critical = []) base cur
+    =
   let acc =
     List.fold_left
       (fun acc what ->
@@ -444,7 +462,7 @@ let compare_reports ?(tol = 0.5) ?(gate_times = false) base cur =
       (fun acc (name, bsweep) ->
         match List.assoc_opt name csweeps with
         | Some csweep ->
-          compare_sweep ~tol ~gate_times ~path:name bsweep csweep acc
+          compare_sweep ~tol ~gate_times ~critical ~path:name bsweep csweep acc
         | None ->
           {
             severity = Mismatch;

@@ -1,7 +1,12 @@
 (* benchdiff driver: compare a committed baseline BENCH JSON against a
    fresh one and exit nonzero on counter regressions or result mismatches.
 
-     benchdiff [-time-tol R] [-gate-times] [-strict] BASELINE.json CURRENT.json
+     benchdiff [-time-tol R] [-gate-times] [-strict] [-critical NAME]
+               [-no-critical] BASELINE.json CURRENT.json
+
+   Critical counters (default: lp.iterations, lp.dual_pivots — the LP
+   work the dual-simplex refactor exists to reduce) hard-fail when
+   present on only one side, so a stale baseline cannot un-gate them.
 
    Exit codes: 0 clean (improvements and notes allowed), 1 regression or
    mismatch (or, under -strict, any finding at all), 2 usage/IO/parse
@@ -9,7 +14,11 @@
 
 module B = Indq_benchdiff.Benchdiff
 
-let usage = "benchdiff [-time-tol R] [-gate-times] [-strict] BASELINE CURRENT"
+let usage =
+  "benchdiff [-time-tol R] [-gate-times] [-strict] [-critical NAME] \
+   [-no-critical] BASELINE CURRENT"
+
+let default_critical = [ "lp.iterations"; "lp.dual_pivots" ]
 
 let read_file p =
   let ic = open_in_bin p in
@@ -21,6 +30,7 @@ let () =
   let tol = ref 0.5 in
   let gate_times = ref false in
   let strict = ref false in
+  let critical = ref default_critical in
   let files = ref [] in
   let spec =
     [
@@ -31,6 +41,13 @@ let () =
         Arg.Set gate_times,
         " fail (not just note) when times exceed the tolerance" );
       ("-strict", Arg.Set strict, " fail on any difference, even improvements");
+      ( "-critical",
+        Arg.String (fun name -> critical := name :: !critical),
+        "NAME counter whose one-sided absence is a gate failure (repeatable; \
+         default lp.iterations, lp.dual_pivots)" );
+      ( "-no-critical",
+        Arg.Unit (fun () -> critical := []),
+        " clear the critical-counter set (including the defaults)" );
     ]
   in
   Arg.parse spec (fun p -> files := p :: !files) usage;
@@ -49,7 +66,8 @@ let () =
     let baseline = load baseline_path in
     let current = load current_path in
     let findings =
-      B.compare_reports ~tol:!tol ~gate_times:!gate_times baseline current
+      B.compare_reports ~tol:!tol ~gate_times:!gate_times ~critical:!critical
+        baseline current
     in
     List.iter (fun f -> print_endline (B.pp_finding f)) findings;
     let code = B.exit_code ~strict:!strict findings in

@@ -36,13 +36,15 @@
            [Float.…] call (minus the int/bool-returning ones), [sqrt] and
            friends, or a [(… : float)] constraint.
 
-   IND005  warm-start cache purity.  PR 3's bit-determinism argument rests
-           on comparison-feeding LP values coming only from cold solves;
-           warm bases may stop on a different vertex of a degenerate
-           optimal face.  [Lp.solve] with a [~warm]/[?warm] argument is
-           therefore only legal inside the audited wrapper
-           (lib/geometry/polytope.ml, [solve_warm]); any other call site is
-           flagged.
+   IND005  incremental-tableau confinement.  The bit-determinism argument
+           for the dual-simplex path rests on every [Lp.Live] tableau being
+           a pure replay of a region's cut list (DESIGN.md §10): frozen
+           handles are only forked, never mutated, and the replay order is
+           the cut-tree order.  That discipline is audited once, in
+           lib/geometry/polytope.ml; any other use of [Lp.Live] (outside
+           lib/lp/ itself) could re-optimize in an order that visits a
+           different vertex of a degenerate optimal face, so any mention of
+           a [Live]-qualified identifier elsewhere is flagged.
 
    IND006  observability discipline.  Every counter/span/histogram/phase
            name is a string literal at its [Counter.make]/[Span.timed]/
@@ -76,7 +78,15 @@
            [invalid_arg] guard remains legal: it marks a caller bug
            (precondition violation) in the stdlib's own idiom, not a
            runtime failure a resilient caller should handle.  Catching
-           these exceptions (patterns) is always fine. *)
+           these exceptions (patterns) is always fine.
+
+   IND009  unchecked-access confinement.  The flat-Bigarray kernels in
+           lib/linalg/ are the only code allowed to skip bounds checks:
+           their [unsafe_get]/[unsafe_set] loops sit directly behind
+           dimension guards, and that pairing is what the kernel review
+           audits.  Anywhere else, an identifier ending in
+           [unsafe_get]/[unsafe_set] (Bigarray, Array, Bytes, …) trades a
+           checked error for silent memory corruption and is flagged. *)
 
 open Ppxlib
 
@@ -118,7 +128,10 @@ let has_prefix ~prefix s =
 let clock_allowed path =
   has_prefix ~prefix:"lib/obs/" path || path = "lib/util/timer.ml"
 
-let warm_allowed path = path = "lib/geometry/polytope.ml"
+let live_allowed path =
+  path = "lib/geometry/polytope.ml" || has_prefix ~prefix:"lib/lp/" path
+
+let unsafe_allowed path = has_prefix ~prefix:"lib/linalg/" path
 
 (* lib/obs implements the registry: its merge/replay plumbing re-creates
    counters from runtime values, which is not a doc-discipline violation. *)
@@ -205,16 +218,11 @@ let rec floatish (e : expression) =
   | Pexp_sequence (_, e1) -> floatish e1
   | _ -> false
 
-let is_lp_warm_solve fn args =
-  (match fn_path fn with
-  | Some path -> last path = "solve" && List.mem "Lp" (modules path)
-  | None -> false)
-  && List.exists
-       (fun (label, _) ->
-         match label with
-         | Labelled "warm" | Optional "warm" -> true
-         | _ -> false)
-       args
+(* A [Live]-qualified identifier: [Lp.Live.add_cut], [Live.copy], … *)
+let is_live_use path = List.mem "Live" (modules path)
+
+let is_unsafe_access path =
+  match last path with "unsafe_get" | "unsafe_set" -> true | _ -> false
 
 (* [Counter.make]/[Span.timed]/[Histogram.make]/[Profile.phase]
    application: returns the name argument — the first unlabelled one, so
@@ -379,11 +387,6 @@ let lint_structure ~path (str : structure) : report =
                failure through the module's typed error instead (or \
                invalid_arg for a caller-bug precondition)"
           | _ -> ());
-          if is_lp_warm_solve fn args && not (warm_allowed path) then
-            emit e.pexp_loc "IND005"
-              "Lp.solve ~warm outside lib/geometry/polytope.ml: warm-started \
-               values are verdict-grade only and may not feed comparisons \
-               (DESIGN.md §7); call the audited Polytope wrappers instead";
           match obs_registration fn args with
           | Some { pexp_desc = Pexp_constant (Pconst_string (name, _, _)); pexp_loc; _ } ->
             names := { obs_name = name; obs_file = path; obs_line = pexp_loc.loc_start.pos_lnum } :: !names
@@ -402,6 +405,20 @@ let lint_structure ~path (str : structure) : report =
               (Printf.sprintf
                  "%s uses the ambient stdlib Random; all randomness must flow \
                   through Util.Rng (splittable + seeded)"
+                 (String.concat "." p))
+          | Some p when is_live_use p && not (live_allowed path) ->
+            emit e.pexp_loc "IND005"
+              (Printf.sprintf
+                 "%s touches an incremental Lp.Live tableau outside \
+                  lib/geometry/polytope.ml; only the audited replay wrapper \
+                  may hold tableau handles (DESIGN.md §10)"
+                 (String.concat "." p))
+          | Some p when is_unsafe_access p && not (unsafe_allowed path) ->
+            emit e.pexp_loc "IND009"
+              (Printf.sprintf
+                 "%s skips bounds checks outside lib/linalg/; use the checked \
+                  accessors — the unchecked kernels are audited only behind \
+                  the linalg dimension guards"
                  (String.concat "." p))
           | _ -> ())
         | Pexp_construct ({ txt; _ }, Some _)
