@@ -25,6 +25,7 @@ let jobs = ref 1
 let with_times = ref true
 let cold = ref false
 let json_file = ref ""
+let cache_dir = ref ""
 let selected : string list ref = ref []
 
 (* Sweeps recorded for -json, in run order, tagged with their experiment
@@ -43,12 +44,14 @@ let record sweep =
    pool never appears in the printed output. *)
 let pool : Pool.t option ref = ref None
 
-let usage = "main.exe [-quick] [-metrics] [-j N] [-no-times] [-cold] [-json FILE] [-scale S] [-utilities K] [-max-n N] [-seed S] [-faults] [-lp] [experiments...]"
+let usage = "main.exe [-quick] [-metrics] [-j N] [-no-times] [-cold] [-json FILE] [-scale S] [-cache DIR] [-utilities K] [-max-n N] [-seed S] [-faults] [-lp] [experiments...]"
 
 let spec =
   [
     ("-seed", Arg.Set_int seed, "random seed (default 2024)");
-    ("-scale", Arg.Set_float scale, "dataset size scale in (0,1] (default 1.0)");
+    ("-scale", Arg.Set_float scale,
+     "dataset size scale, > 0 (default 1.0; > 1 super-sizes, e.g. the scale \
+      experiment maps 100 to n=10^7)");
     ("-utilities", Arg.Set_int utilities, "random utility functions per cell (default 10)");
     ("-max-n", Arg.Set_int max_n, "cap for the fig6 scalability sweep (default 1000000)");
     ("-quick", Arg.Set quick, "smoke-test settings (scale 0.05, 3 utilities, max-n 10000)");
@@ -61,6 +64,10 @@ let spec =
       scratch); results must be identical, only counters and time change");
     ("-json", Arg.Set_string json_file,
      "also write the recorded sweeps as a machine-readable JSON report");
+    ("-cache", Arg.Set_string cache_dir,
+     "skyline-artifact cache directory for the scale experiment (persists \
+      (1+eps)-skyline row positions keyed by dataset fingerprint; omitted \
+      = always recompute)");
     ("-faults", Arg.Set faults,
      "run the deterministic fault-injection matrix (one armed site at a \
       time, plan derived from -seed) instead of the default experiments");
@@ -680,6 +687,135 @@ let run_lp_micro () =
   Printf.printf "agreement: %d/%d dual vs two-phase (max |delta| = %.3g)\n\n"
     !agreements !queries !max_gap
 
+(* --- Scale bench: the full columnar path at paper-exceeding sizes ---
+
+   Generates an anti-correlated 3-D dataset of [scale * 100_000] rows (so
+   -scale 100 is n = 10^7), builds the packed STR-tree straight off the
+   store buffer, runs the Observation 3 filter (artifact-cached when
+   -cache names a directory), then drives one MinR session over the
+   pruned rows through [Session] so [session.round_latency] measures real
+   per-round interaction latency.  Deliberately looked up outside
+   [all_experiments]: its runtime is set by -scale, and with -cache its
+   artifact counters depend on what previous runs left on disk, so it
+   must never ride along with the deterministic default suite. *)
+
+module Strtree = Indq_rtree.Strtree
+module Store = Indq_dataset.Store
+module Session = Indq_core.Session
+module Artifact = Indq_dominance.Artifact
+
+let run_scale () =
+  let n = max 500 (int_of_float (!scale *. 100_000.)) in
+  section (Printf.sprintf "scale (anti-correlated d=3, n=%d)" n);
+  let gated v = if !with_times then v else "-" in
+  let secs v = gated (Printf.sprintf "%.2f" v) in
+  let ms v = gated (Printf.sprintf "%.2f" (v *. 1e3)) in
+  let rng = Rng.create !seed in
+  let data, gen_secs =
+    Timer.time (fun () -> Generator.anti_correlated rng ~n ~d:3)
+  in
+  let before_counters = Counter.snapshot () in
+  let before_hists = Histogram.snapshot () in
+  let tree, build_secs =
+    Timer.time (fun () ->
+        Strtree.build ~dim:3 (Store.data (Dataset.store data)) n)
+  in
+  let eps = 0.05 in
+  let pruned, prune_secs =
+    Timer.time (fun () ->
+        if !cache_dir = "" then Skyline.prune_eps_dominated ~eps data
+        else Artifact.prune_eps_dominated_cached ~dir:!cache_dir ~eps data)
+  in
+  let d = Dataset.dim pruned in
+  let u = Utility.random rng ~d in
+  let config = Algo.default_config ~d in
+  let session =
+    Session.start Algo.MinR config ~data:pruned ~rng:(Rng.split rng)
+  in
+  let result, drive_secs =
+    Timer.time (fun () ->
+        let rec loop () =
+          match Session.current session with
+          | Session.Asking options ->
+            Session.answer session (Utility.best_index u options);
+            loop ()
+          | Session.Finished result -> result
+        in
+        loop ())
+  in
+  let counters = Counter.since before_counters in
+  let hists = Histogram.since before_hists in
+  let counter name =
+    match List.assoc_opt name counters with Some v -> v | None -> 0.
+  in
+  let t =
+    Tabulate.create ~title:"columnar path, end to end"
+      ~columns:[ "stage"; "output"; "seconds" ]
+  in
+  Tabulate.add_row t
+    [ "generate";
+      Printf.sprintf "%d rows, fingerprint %s" n (Dataset.fingerprint data);
+      secs gen_secs ];
+  Tabulate.add_row t
+    [ "strtree build";
+      Printf.sprintf "depth %d, %d leaves, %g nodes" (Strtree.depth tree)
+        (Strtree.leaf_count tree)
+        (counter "rtree.bulk_nodes");
+      secs build_secs ];
+  Tabulate.add_row t
+    [ Printf.sprintf "prune eps=%g%s" eps
+        (if !cache_dir = "" then "" else " (cached)");
+      Printf.sprintf "%d rows (hits %g misses %g writes %g)"
+        (Dataset.size pruned)
+        (counter "skyline.artifact_hits")
+        (counter "skyline.artifact_misses")
+        (counter "skyline.artifact_writes");
+      secs prune_secs ];
+  Tabulate.add_row t
+    [ "MinR session";
+      Printf.sprintf "%d questions, |output|=%d"
+        (Session.questions_asked session)
+        (Dataset.size result.Algo.output);
+      secs drive_secs ];
+  Tabulate.print t;
+  let rl =
+    match List.assoc_opt "session.round_latency" hists with
+    | Some s -> s
+    | None -> Histogram.empty Histogram.Seconds
+  in
+  Printf.printf
+    "session.round_latency (ms): rounds=%d p50=%s p90=%s p99=%s\n\n%!"
+    rl.Histogram.count
+    (ms (Histogram.p50 rl))
+    (ms (Histogram.p90 rl))
+    (ms (Histogram.p99 rl));
+  if !metrics then begin
+    let mt =
+      Tabulate.create ~title:"work histograms (this run)"
+        ~columns:[ "histogram"; "count"; "sum" ]
+    in
+    List.iter
+      (fun (hname, s) ->
+        let sum =
+          match s.Histogram.s_unit with
+          | Histogram.Seconds -> gated (Printf.sprintf "%.2fs" s.Histogram.sum)
+          | Histogram.Count -> Printf.sprintf "%g" s.Histogram.sum
+        in
+        Tabulate.add_row mt
+          [ hname; string_of_int s.Histogram.count; sum ])
+      hists;
+    Tabulate.print mt;
+    let ct =
+      Tabulate.create ~title:"work counters (this run)"
+        ~columns:[ "counter"; "delta" ]
+    in
+    List.iter
+      (fun (cname, v) ->
+        Tabulate.add_row ct [ cname; Printf.sprintf "%g" v ])
+      counters;
+    Tabulate.print ct
+  end
+
 let all_experiments =
   [
     ("fig1", run_fig1);
@@ -697,6 +833,10 @@ let all_experiments =
     ("ablation-prune", run_ablation_prune);
     ("ablation-nonlinear", run_ablation_nonlinear);
   ]
+
+(* Runnable by name only — never part of the default "all" run (see the
+   determinism note above [run_scale]). *)
+let extra_experiments = [ ("scale", run_scale) ]
 
 let () =
   Arg.parse spec (fun name -> selected := name :: !selected) usage;
@@ -729,7 +869,9 @@ let () =
       let total_start = Timer.cpu () in
       List.iter
         (fun name ->
-          match List.assoc_opt name all_experiments with
+          match
+            List.assoc_opt name (all_experiments @ extra_experiments)
+          with
           | Some f ->
             current_experiment := name;
             let start = Timer.cpu () in
@@ -739,7 +881,8 @@ let () =
                 (Timer.cpu () -. start)
           | None ->
             Printf.eprintf "unknown experiment %S; available: %s\n" name
-              (String.concat ", " (List.map fst all_experiments));
+              (String.concat ", "
+                 (List.map fst (all_experiments @ extra_experiments)));
             exit 2)
         chosen;
       if !with_times then

@@ -2,6 +2,8 @@
 
    Subcommands:
      generate     write a synthetic / simulated data set as CSV
+     ingest       stream a data source into a columnar binary .store file
+     precompute   persist a data set's (1+eps)-skyline artifact
      exact        ground-truth I(f, eps) for a known utility vector
      simulate     run an interactive algorithm against a simulated user
      run          alias of simulate
@@ -28,6 +30,7 @@ module Span = Indq_obs.Span
 module Trace = Indq_obs.Trace
 module Histogram = Indq_obs.Histogram
 module Profile = Indq_obs.Profile
+module Artifact = Indq_dominance.Artifact
 module Experiments = Indq_experiments.Experiments
 module Report = Indq_experiments.Report
 module Pool = Indq_exec.Pool
@@ -67,8 +70,9 @@ let algo_arg =
 
 let data_arg =
   let doc =
-    "Data source: a CSV path, or one of island, nba, house, independent, \
-     correlated, anti_correlated."
+    "Data source: a CSV path, a binary $(b,.store) path (see $(b,indq \
+     ingest)), or one of island, nba, house, independent, correlated, \
+     anti_correlated."
   in
   Arg.(value & opt string "independent" & info [ "data" ] ~docv:"DATA" ~doc)
 
@@ -89,7 +93,9 @@ let load_data ~source ~n ~d ~seed =
   | "independent" | "correlated" | "anti_correlated" | "anti-correlated" ->
     let n = if n > 0 then n else 10_000 in
     Generator.by_name source rng ~n ~d
-  | path -> Dataset.load_csv path
+  | path ->
+    if Filename.check_suffix path ".store" then Dataset.load_store path
+    else Dataset.load_csv path
 
 (* The library's typed failures become one-line diagnostics and exit
    code 2 instead of a backtrace. *)
@@ -268,6 +274,71 @@ let generate_cmd =
   Cmd.v
     (Cmd.info "generate" ~doc:"Generate a data set as CSV.")
     Term.(const run $ data_arg $ n_arg $ d_arg $ seed_arg $ output)
+
+(* --- ingest --- *)
+
+let ingest_cmd =
+  let run source n d seed output =
+    with_typed_errors @@ fun () ->
+    let data = load_data ~source ~n ~d ~seed in
+    Dataset.save_store data output;
+    Printf.printf "wrote %d rows x %d dims to %s (fingerprint %s)\n"
+      (Dataset.size data) (Dataset.dim data) output (Dataset.fingerprint data);
+    0
+  in
+  let output =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"OUT.store"
+          ~doc:
+            "Destination for the columnar binary store (conventionally \
+             $(b,.store); $(b,--data) then opens it without re-parsing).")
+  in
+  Cmd.v
+    (Cmd.info "ingest"
+       ~doc:
+         "Stream a data source (CSV or generator) into a columnar binary \
+          .store file for O(1) reopening.")
+    Term.(const run $ data_arg $ n_arg $ d_arg $ seed_arg $ output)
+
+(* --- precompute --- *)
+
+let precompute_cmd =
+  let run source n d seed eps cache =
+    with_typed_errors @@ fun () ->
+    if eps <= 0. then begin
+      Printf.eprintf "indq: eps must be > 0\n";
+      2
+    end
+    else begin
+      let data = load_data ~source ~n ~d ~seed in
+      let pruned = Artifact.prune_eps_dominated_cached ~dir:cache ~eps data in
+      let c = 1. +. eps in
+      Printf.printf
+        "(1+eps)-skyline of %s: %d of %d rows (eps %g)\nartifact: %s\n" source
+        (Dataset.size pruned) (Dataset.size data) eps
+        (Artifact.path ~dir:cache ~fingerprint:(Dataset.fingerprint data) ~c);
+      0
+    end
+  in
+  let cache =
+    Arg.(
+      value
+      & opt string Artifact.default_dir
+      & info [ "cache" ] ~docv:"DIR"
+          ~doc:
+            "Artifact cache directory (created if needed; default \
+             $(b,.indq-cache)).  A later run over the same data and eps — \
+             including $(b,bench -cache DIR scale) — reuses the artifact \
+             instead of recomputing the skyline.")
+  in
+  Cmd.v
+    (Cmd.info "precompute"
+       ~doc:
+         "Compute a data set's (1+eps)-skyline and persist it as a reusable \
+          artifact keyed by (fingerprint, eps).")
+    Term.(const run $ data_arg $ n_arg $ d_arg $ seed_arg $ eps_arg $ cache)
 
 (* --- exact --- *)
 
@@ -534,7 +605,8 @@ let experiment_cmd =
   let scale =
     Arg.(
       value & opt float 1.0
-      & info [ "scale" ] ~docv:"S" ~doc:"Data-set size scale in (0,1].")
+      & info [ "scale" ] ~docv:"S"
+          ~doc:"Data-set size scale, > 0 (values above 1 super-size).")
   in
   let utilities =
     Arg.(
@@ -694,6 +766,8 @@ let main_cmd =
   Cmd.group (Cmd.info "indq" ~version:"1.0.0" ~doc)
     [
       generate_cmd;
+      ingest_cmd;
+      precompute_cmd;
       exact_cmd;
       simulate_cmd;
       run_cmd;

@@ -115,14 +115,53 @@ end
 let point_in_cuts poly p =
   List.for_all (fun h -> Halfspace.satisfies h p) (Polytope.halfspaces poly)
 
+(* Above this size the anchor sort is replaced by a top-k selection scan
+   over the columnar store (no boxed (score, tuple) array, no O(n log n)
+   comparator pass).  The selection returns the same anchor set whenever
+   the top-k scores are distinct — the generic case for continuous data —
+   with ties resolved to the earliest row; below the threshold the
+   historical sort path runs bit-for-bit, so every committed baseline
+   keeps its exact tie behavior. *)
+let anchor_sort_threshold = 100_000
+
 let anchor_pool ~anchors region data =
   let center = Region.center region in
-  let scored =
-    Array.map (fun p -> (Vec.dot (Tuple.values p) center, p)) (Dataset.tuples data)
-  in
-  Array.sort (fun (a, _) (b, _) -> Float.compare b a) scored;
-  let k = min anchors (Array.length scored) in
-  List.init k (fun i -> snd scored.(i))
+  let n = Dataset.size data in
+  if n <= anchor_sort_threshold then begin
+    let scored =
+      Array.map
+        (fun p -> (Vec.dot (Tuple.values p) center, p))
+        (Dataset.tuples data)
+    in
+    Array.sort (fun (a, _) (b, _) -> Float.compare b a) scored;
+    let k = min anchors (Array.length scored) in
+    List.init k (fun i -> snd scored.(i))
+  end
+  else begin
+    let flat = Indq_dataset.Store.data (Dataset.store data) in
+    let d = Dataset.dim data in
+    let k = min anchors n in
+    let best_pos = Array.make k (-1) in
+    let best_score = Array.make k neg_infinity in
+    for pos = 0 to n - 1 do
+      (* Identical floats to [Vec.dot (Tuple.values p) center]: same
+         elements, same left-to-right accumulation. *)
+      let s = Vec.dot_slice flat ~pos:(pos * d) center in
+      (* Insert into the descending top-k; strict [>] keeps earlier rows
+         ahead on ties. *)
+      if s > best_score.(k - 1) then begin
+        let j = ref (k - 1) in
+        while !j > 0 && s > best_score.(!j - 1) do
+          best_score.(!j) <- best_score.(!j - 1);
+          best_pos.(!j) <- best_pos.(!j - 1);
+          decr j
+        done;
+        best_score.(!j) <- s;
+        best_pos.(!j) <- pos
+      end
+    done;
+    List.init k (fun i -> Dataset.get data best_pos.(i))
+  end
 
 (* The shared utility-floor computation: [max_a min_{v in R} a . v] over an
    anchor pool.  One LP per anchor, except that a store remembers each
@@ -132,13 +171,14 @@ let anchor_pool ~anchors region data =
    minimum to that value). *)
 let floor_over_pool ?store poly pool =
   let use_store = Polytope.incremental_enabled () in
-  (* d = 2 analytic floor: on the simplex line the region is an interval
-     whose profile witnesses are its complete vertex set, so an anchor's
-     minimum is a dot-product min over them — no LP.  Verdict-grade like
-     the rest of the cascade (the floor only feeds threshold tests). *)
+  (* Complete-vertex floor: when the region's whole vertex set is cheaply
+     known (the d = 2 interval endpoints, the d = 3 clipped polygon), an
+     anchor's minimum is a dot-product min over it — no LP.  Verdict-grade
+     like the rest of the cascade (the floor only feeds threshold
+     tests). *)
   let vertices =
-    if use_store && Polytope.dim poly = 2 then
-      snd (Polytope.coordinate_profile poly)
+    if use_store then
+      match Polytope.complete_vertices poly with Some vs -> vs | None -> []
     else []
   in
   List.fold_left
@@ -202,18 +242,40 @@ let region_prune ?(anchors = 4) ?store ~eps region data =
        with clear daylight, keeping the no-false-negative contract under
        float noise. *)
     let tol = 1e-7 in
-    (* Witness points of the region (coordinate-extreme vertices plus the
-       center): if some witness v has w . v >= 0, then max w . v >= 0 and
-       the candidate is provably not prunable via that test — no LP
-       needed.  Early rounds, when almost nothing is prunable, then cost
-       only dot products. *)
+    let use_store = Polytope.incremental_enabled () in
+    (* Witness points of the region: if some witness v has w . v >= 0,
+       then max w . v >= 0 and the candidate is provably not prunable via
+       that test — no LP needed.  With a complete vertex set (d = 2
+       interval endpoints, d = 3 clipped polygon) the witness scan is
+       decisive in {i both} directions: a failed disproof evaluated
+       max w . v over every vertex, so the candidate is prunable with no
+       confirming LP either.  Otherwise the list holds the
+       coordinate-extreme vertices and disproof-failures confirm by
+       LP. *)
     let bounds, vertex_witnesses = Polytope.coordinate_profile poly in
-    let witnesses = Region.center region :: vertex_witnesses in
+    let complete =
+      if use_store then Polytope.complete_vertices poly else None
+    in
+    let witnesses =
+      match complete with
+      | Some vs -> Region.center region :: vs
+      | None -> Region.center region :: vertex_witnesses
+    in
+    let has_complete = Option.is_some complete in
     let hi_corner = Vec.init (Array.length bounds) (fun i -> snd bounds.(i)) in
     let disproved_by_witness w =
       List.exists (fun v -> Vec.dot w v >= -.tol) witnesses
     in
-    let use_store = Polytope.incremental_enabled () in
+    (* The pair-witness store pays off when a disproof would otherwise
+       need an LP.  Beyond d = 2 a complete vertex scan is cheaper than
+       the store lookup it replaces — and at 10^7-row scale the store
+       would hold millions of entries — so only d = 2 (historical
+       behavior) and the LP dimensions use it.  Decisions are unchanged:
+       the store only ever short-circuits tests whose outcome the witness
+       scan reproduces. *)
+    let use_pair_store =
+      use_store && (Polytope.dim poly = 2 || not has_complete)
+    in
     (* "Anchor a cannot prune candidate b", certified by a cached region
        point from an earlier round when possible. *)
     let stored_witness b_id a_id w =
@@ -234,9 +296,107 @@ let region_prune ?(anchors = 4) ?store ~eps region data =
       | Some s when use_store -> Hashtbl.replace s.pair_witnesses (b_id, a_id) p
       | _ -> ()
     in
+    (* Hot-loop scratch: [scaled] and [w] are filled in place per
+       candidate / per anchor with the exact per-element expressions of
+       [Vec.scale] and [Vec.sub], so no Bigarray is allocated per tuple
+       (the 10^7-scale rounds live or die on this).  Neither buffer
+       escapes: witness tests read them transiently, and the LP branch
+       rebuilds its direction freshly (the solver may retain it). *)
+    let d = Dataset.dim data in
+    let scaled = Vec.make d 0. in
+    let w = Vec.make d 0. in
+    let c = 1. +. eps in
+    (* Positional flat sweep for the complete-vertex dimensions whenever
+       the pair store is off (it would be skipped anyway): the same
+       per-element expressions in the same order as the generic [prunable]
+       below — [scaled_i = c * b_i] from the flat buffer, the hi-corner
+       dot, [w_i = scaled_i - a_i] per anchor in pool order, witness dots
+       accumulated left to right over [center :: vertices] with the same
+       early exits — so every decision is the float-identical Lemma 2
+       test.  What it drops is the per-candidate machinery: no tuple
+       view / Bigarray-slice allocation per row, no closure per witness,
+       and counters bumped once per sweep instead of per test.  The
+       10^7-row rounds live or die on this. *)
+    let flat_sweep () =
+      let n = Dataset.size data in
+      let st = Dataset.store data in
+      let flat = Indq_dataset.Store.data st in
+      let hi = Array.init d (Vec.get hi_corner) in
+      let wit =
+        Array.of_list
+          (List.map (fun v -> Array.init d (Vec.get v)) witnesses)
+      in
+      let m = Array.length wit in
+      let pool_arr = Array.of_list pool in
+      let k = Array.length pool_arr in
+      let anchor_vals =
+        Array.map (fun a -> Array.init d (Tuple.get a)) pool_arr
+      in
+      let anchor_ids = Array.map Tuple.id pool_arr in
+      let scaled = Array.make d 0. in
+      let w = Array.make d 0. in
+      let scalar_hits = ref 0 in
+      let witness_hits = ref 0 in
+      let keep_pos = Array.make (max n 1) 0 in
+      let kept = ref 0 in
+      for pos = 0 to n - 1 do
+        let b_id = Indq_dataset.Store.id st pos in
+        let base = pos * d in
+        for i = 0 to d - 1 do
+          scaled.(i) <- c *. Vec.get flat (base + i)
+        done;
+        let hi_dot = ref 0. in
+        for i = 0 to d - 1 do
+          hi_dot := !hi_dot +. (scaled.(i) *. hi.(i))
+        done;
+        let prunable =
+          if !hi_dot < floor_value -. tol then begin
+            incr scalar_hits;
+            true
+          end
+          else begin
+            let decided = ref false in
+            let ai = ref 0 in
+            while (not !decided) && !ai < k do
+              if anchor_ids.(!ai) <> b_id then begin
+                let av = anchor_vals.(!ai) in
+                for i = 0 to d - 1 do
+                  w.(i) <- scaled.(i) -. av.(i)
+                done;
+                let disproved = ref false in
+                let j = ref 0 in
+                while (not !disproved) && !j < m do
+                  let v = wit.(!j) in
+                  let acc = ref 0. in
+                  for i = 0 to d - 1 do
+                    acc := !acc +. (w.(i) *. v.(i))
+                  done;
+                  if !acc >= -.tol then disproved := true else incr j
+                done;
+                incr witness_hits;
+                if not !disproved then decided := true
+              end;
+              incr ai
+            done;
+            !decided
+          end
+        in
+        if not prunable then begin
+          keep_pos.(!kept) <- pos;
+          incr kept
+        end
+      done;
+      Counter.add c_scalar_hits (float_of_int !scalar_hits);
+      Counter.add c_witness_hits (float_of_int !witness_hits);
+      if !kept = n then data
+      else Dataset.select_rows data (Array.sub keep_pos 0 !kept)
+    in
     let prunable b =
       let b_id = Tuple.id b in
-      let scaled = Vec.scale (1. +. eps) (Tuple.values b) in
+      let bv = Tuple.values b in
+      for i = 0 to d - 1 do
+        Vec.set scaled i (c *. Vec.get bv i)
+      done;
       (* Cheap sound prune: max (1+eps) b . v <= (1+eps) b . hi_corner. *)
       if Vec.dot scaled hi_corner < floor_value -. tol then begin
         Counter.incr c_scalar_hits;
@@ -247,26 +407,35 @@ let region_prune ?(anchors = 4) ?store ~eps region data =
           (fun a ->
             Tuple.id a <> b_id
             &&
-            let w = Vec.sub scaled (Tuple.values a) in
-            if stored_witness b_id (Tuple.id a) w then false
+            let av = Tuple.values a in
+            let () =
+              for i = 0 to d - 1 do
+                Vec.set w i (Vec.get scaled i -. Vec.get av i)
+              done
+            in
+            if use_pair_store && stored_witness b_id (Tuple.id a) w then
+              false
             else if disproved_by_witness w then begin
               Counter.incr c_witness_hits;
-              (match List.find_opt (fun v -> Vec.dot w v >= -.tol) witnesses with
-              | Some v -> remember b_id (Tuple.id a) v
-              | None -> ());
+              if use_pair_store then
+                (match
+                   List.find_opt (fun v -> Vec.dot w v >= -.tol) witnesses
+                 with
+                | Some v -> remember b_id (Tuple.id a) v
+                | None -> ());
               false
             end
-            else if use_store && Polytope.dim poly = 2 then begin
-              (* d = 2: [witnesses] contains both interval endpoints — the
-                 complete vertex set — so the failed disproof already
-                 evaluated max w . v over every vertex and found it below
-                 -tol: prunable with no confirming LP. *)
+            else if has_complete then begin
+              (* [witnesses] is the region's complete vertex set, so the
+                 failed disproof already evaluated max w . v over every
+                 vertex and found it below -tol: prunable with no
+                 confirming LP. *)
               Counter.incr c_witness_hits;
               true
             end
             else begin
               Counter.incr c_lp_calls;
-              match Polytope.maximize poly w with
+              match Polytope.maximize poly (Vec.sub scaled av) with
               | Some (m, p) ->
                 if m < -.tol then true
                 else begin
@@ -277,6 +446,7 @@ let region_prune ?(anchors = 4) ?store ~eps region data =
             end)
           pool
     in
-    Dataset.filter data (fun b -> not (prunable b))
+    (if has_complete && not use_pair_store then flat_sweep ()
+     else Dataset.filter data (fun b -> not (prunable b)))
     |> emit_stage ~stage:"lemma2" ~before:(Dataset.size data)
   end

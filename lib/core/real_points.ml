@@ -94,9 +94,17 @@ let score_display_set ?stop_above ~delta ~metric region display =
   fst (scored ?stop_above ~delta ~metric region display)
 
 let pick_display ~strategy ~trials ~delta ~rng region candidates s =
-  let pool = Dataset.tuples candidates in
-  let count = min s (Array.length pool) in
-  let sample () = Rng.sample_without_replacement rng count pool in
+  let n = Dataset.size candidates in
+  let count = min s n in
+  (* Positional sampling: identical draws and row choices as sampling from
+     [Dataset.tuples candidates], but only the [count] sampled views are
+     ever built — the 10^7-row rounds cannot afford an n-sized view
+     array (or the dense Fisher–Yates behind it) per trial. *)
+  let sample () =
+    Array.map
+      (Dataset.get candidates)
+      (Rng.sample_positions_without_replacement rng count n)
+  in
   match strategy with
   | Random -> (sample (), [||])
   | MinR | MinD ->

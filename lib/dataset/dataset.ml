@@ -1,27 +1,47 @@
+(* A dataset is a thin view layer over the columnar {!Store}: every tuple
+   handed out is a zero-copy row view, and every bulk operation below
+   traverses the flat buffer in row-major order — the same coordinate
+   order as the historical per-tuple array code, so all folds compute
+   bit-identical floats. *)
+
 module Fault = Indq_fault.Fault
+module Vec = Indq_linalg.Vec
 
-type t = { tuples : Tuple.t array; dim : int }
+type t = {
+  store : Store.t;
+  lock : Mutex.t;
+  (* Materialized tuple views, built at most once, only for the APIs that
+     need a whole array ([tuples]/[to_list]).  Guarded by a mutex rather
+     than [Lazy] because datasets are shared across bench domains and
+     [Lazy.force] is not domain-safe. *)
+  mutable memo : Tuple.t array option;
+}
 
-type load_error = { path : string option; row : int; reason : string }
+type load_error = Store.load_error = {
+  path : string option;
+  row : int;
+  reason : string;
+}
 
-exception Load_error of load_error
+exception Load_error = Store.Load_error
 
-let load_failure ?path ~row reason = raise (Load_error { path; row; reason })
+let load_failure = Store.load_failure
 
-let load_error_message { path; row; reason } =
-  let where = match path with Some p -> p | None -> "<string>" in
-  if row > 0 then Printf.sprintf "%s, row %d: %s" where row reason
-  else Printf.sprintf "%s: %s" where reason
+let load_error_message = Store.load_error_message
 
-let () =
-  Printexc.register_printer (function
-    | Load_error e ->
-      Some ("Indq_dataset.Dataset.Load_error: " ^ load_error_message e)
-    | _ -> None)
+let of_store store = { store; lock = Mutex.create (); memo = None }
+
+let store t = t.store
+
+let size t = Store.size t.store
+
+let dim t = Store.dim t.store
+
+let view t i = Tuple.of_view ~id:(Store.id t.store i) (Store.row t.store i)
 
 let create rows =
   let n = Array.length rows in
-  if n = 0 then { tuples = [||]; dim = 0 }
+  if n = 0 then of_store Store.empty
   else begin
     let d = Array.length rows.(0) in
     if d = 0 then invalid_arg "Dataset.create: zero-dimensional rows";
@@ -29,7 +49,12 @@ let create rows =
       (fun r ->
         if Array.length r <> d then invalid_arg "Dataset.create: ragged rows")
       rows;
-    { tuples = Array.mapi (fun i r -> Tuple.of_array ~id:i r) rows; dim = d }
+    of_store
+      (Store.init ~dim:d n (fun i dst ->
+           let r = rows.(i) in
+           for j = 0 to d - 1 do
+             Vec.set dst j r.(j)
+           done))
   end
 
 let of_tuples ~dim tuples =
@@ -38,56 +63,91 @@ let of_tuples ~dim tuples =
     (fun p ->
       if Tuple.dim p <> dim then invalid_arg "Dataset.of_tuples: dimension mismatch")
     tuples;
-  { tuples = Array.of_list tuples; dim }
+  let s = Store.create ~dim (List.length tuples) in
+  List.iteri
+    (fun i p ->
+      Vec.blit ~src:(Tuple.values p) ~dst:(Store.row s i);
+      Store.set_id s i (Tuple.id p))
+    tuples;
+  of_store s
 
-let size t = Array.length t.tuples
+let get t i = view t i
 
-let dim t = t.dim
+let tuples t =
+  Mutex.protect t.lock (fun () ->
+      match t.memo with
+      | Some a -> a
+      | None ->
+        let a = Array.init (size t) (view t) in
+        t.memo <- Some a;
+        a)
 
-let get t i = t.tuples.(i)
+let to_list t = Array.to_list (tuples t)
 
-let tuples t = t.tuples
-
-let to_list t = Array.to_list t.tuples
-
-let find_by_id t id = Array.find_opt (fun p -> Tuple.id p = id) t.tuples
+let find_by_id t id =
+  let n = size t in
+  let rec go i =
+    if i >= n then None
+    else if Store.id t.store i = id then Some (view t i)
+    else go (i + 1)
+  in
+  go 0
 
 let map_values t f =
-  {
-    t with
-    tuples =
-      Array.map
-        (fun p -> Tuple.make ~id:(Tuple.id p) (f (Tuple.values p)))
-        t.tuples;
-  }
+  let n = size t in
+  if n = 0 then t
+  else begin
+    let s = Store.create ~dim:(dim t) n in
+    for i = 0 to n - 1 do
+      Vec.blit ~src:(f (Store.row t.store i)) ~dst:(Store.row s i);
+      Store.set_id s i (Store.id t.store i)
+    done;
+    of_store s
+  end
 
-let filter t keep = { t with tuples = Array.of_seq (Seq.filter keep (Array.to_seq t.tuples)) }
+let select_rows t rows =
+  if Array.length rows = 0 && dim t > 0 then
+    of_store (Store.create ~dim:(dim t) 0)
+  else of_store (Store.select t.store rows)
+
+let filter t keep =
+  let n = size t in
+  let pos = Array.make (max n 1) 0 in
+  let k = ref 0 in
+  for i = 0 to n - 1 do
+    if keep (view t i) then begin
+      pos.(!k) <- i;
+      incr k
+    end
+  done;
+  if !k = n then t else select_rows t (Array.sub pos 0 !k)
 
 let attribute_ranges t =
   if size t = 0 then invalid_arg "Dataset.attribute_ranges: empty dataset";
-  Array.init t.dim (fun i ->
-      Array.fold_left
-        (fun (lo, hi) p ->
-          let x = Tuple.get p i in
-          (Float.min lo x, Float.max hi x))
-        (infinity, neg_infinity) t.tuples)
+  let n = size t in
+  Array.init (dim t) (fun i ->
+      let lo = ref infinity and hi = ref neg_infinity in
+      for r = 0 to n - 1 do
+        let x = Store.get t.store r i in
+        lo := Float.min !lo x;
+        hi := Float.max !hi x
+      done;
+      (!lo, !hi))
 
 let normalize_global t =
   if size t = 0 then t
   else begin
+    (* Row-major traversal of the flat buffer visits values in the exact
+       order the per-tuple fold used to. *)
     let max_value =
-      Array.fold_left
-        (fun acc p ->
-          Indq_linalg.Vec.fold_left
-            (fun acc x ->
-              if x < 0. then
-                invalid_arg "Dataset.normalize_global: negative value"
-              else Float.max acc x)
-            acc (Tuple.values p))
-        0. t.tuples
+      Vec.fold_left
+        (fun acc x ->
+          if x < 0. then invalid_arg "Dataset.normalize_global: negative value"
+          else Float.max acc x)
+        0. (Store.data t.store)
     in
     if max_value <= 0. then t
-    else map_values t (Indq_linalg.Vec.map (fun x -> x /. max_value))
+    else map_values t (Vec.map (fun x -> x /. max_value))
   end
 
 let normalize_per_attribute t =
@@ -95,7 +155,7 @@ let normalize_per_attribute t =
   else begin
     let ranges = attribute_ranges t in
     map_values t (fun values ->
-        Indq_linalg.Vec.mapi
+        Vec.mapi
           (fun i x ->
             let lo, hi = ranges.(i) in
             if hi -. lo <= 0. then 0. else (x -. lo) /. (hi -. lo))
@@ -106,15 +166,12 @@ let scale_to_unit_max t =
   if size t = 0 then t
   else begin
     let ranges = attribute_ranges t in
-    Array.iter
-      (fun p ->
-        Indq_linalg.Vec.iter
-          (fun x ->
-            if x < 0. then invalid_arg "Dataset.scale_to_unit_max: negative value")
-          (Tuple.values p))
-      t.tuples;
+    Vec.iter
+      (fun x ->
+        if x < 0. then invalid_arg "Dataset.scale_to_unit_max: negative value")
+      (Store.data t.store);
     map_values t (fun values ->
-        Indq_linalg.Vec.mapi
+        Vec.mapi
           (fun i x ->
             let _, hi = ranges.(i) in
             if hi <= 0. then x else x /. hi)
@@ -122,13 +179,13 @@ let scale_to_unit_max t =
   end
 
 let invert_attributes t ~smaller_is_better =
-  if Array.length smaller_is_better <> t.dim then
+  if Array.length smaller_is_better <> dim t then
     invalid_arg "Dataset.invert_attributes: flag array length mismatch";
   if size t = 0 then t
   else begin
     let ranges = attribute_ranges t in
     map_values t (fun values ->
-        Indq_linalg.Vec.mapi
+        Vec.mapi
           (fun i x ->
             if smaller_is_better.(i) then snd ranges.(i) -. x else x)
           values)
@@ -136,51 +193,56 @@ let invert_attributes t ~smaller_is_better =
 
 let max_utility t u =
   if size t = 0 then invalid_arg "Dataset.max_utility: empty dataset";
-  let best = ref t.tuples.(0) in
-  let best_value = ref (Tuple.utility t.tuples.(0) u) in
-  Array.iter
-    (fun p ->
-      let v = Tuple.utility p u in
-      if v > !best_value then begin
-        best := p;
-        best_value := v
-      end)
-    t.tuples;
-  (!best, !best_value)
+  let d = dim t in
+  let data = Store.data t.store in
+  (* The row-0 [dot] performs the dimension check; the scan then runs
+     allocation-free over the flat buffer (same multiply-accumulate order,
+     so the same floats — including the historical row-0 self-compare). *)
+  let best = ref 0 in
+  let best_value = ref (Vec.dot (Store.row t.store 0) u) in
+  for i = 0 to size t - 1 do
+    let v = Vec.dot_slice data ~pos:(i * d) u in
+    if v > !best_value then begin
+      best := i;
+      best_value := v
+    end
+  done;
+  (view t !best, !best_value)
 
 let top_k t u k =
+  let n = size t in
   let scored =
-    Array.map (fun p -> (Tuple.utility p u, p)) t.tuples
+    Array.init n (fun i ->
+        (Vec.dot (Store.row t.store i) u, Store.id t.store i, i))
   in
   Array.sort
-    (fun (va, pa) (vb, pb) ->
-      match Float.compare vb va with
-      | 0 -> Tuple.compare_id pa pb
-      | c -> c)
+    (fun (va, ia, _) (vb, ib, _) ->
+      match Float.compare vb va with 0 -> Int.compare ia ib | c -> c)
     scored;
-  let k = min k (Array.length scored) in
-  List.init k (fun i -> snd scored.(i))
+  let k = min k n in
+  List.init k (fun i ->
+      let _, _, pos = scored.(i) in
+      view t pos)
 
 let to_csv t =
   let buf = Buffer.create (size t * 16) in
-  Array.iter
-    (fun p ->
-      Buffer.add_string buf (string_of_int (Tuple.id p));
-      Indq_linalg.Vec.iter
-        (fun x ->
-          Buffer.add_char buf ',';
-          Buffer.add_string buf (Printf.sprintf "%.17g" x))
-        (Tuple.values p);
-      Buffer.add_char buf '\n')
-    t.tuples;
+  for i = 0 to size t - 1 do
+    Buffer.add_string buf (string_of_int (Store.id t.store i));
+    Vec.iter
+      (fun x ->
+        Buffer.add_char buf ',';
+        Buffer.add_string buf (Printf.sprintf "%.17g" x))
+      (Store.row t.store i);
+    Buffer.add_char buf '\n'
+  done;
   Buffer.contents buf
 
-let of_csv ?path text =
-  if Fault.fire "inject.dataset_load" then
-    load_failure ?path ~row:0 "injected fault: source unreadable";
-  (* Keep original line numbers for error context; blank lines are legal
-     separators and skipped. *)
-  let lines = String.split_on_char '\n' text in
+(* Streaming CSV core: consumes one [(line_number, line)] at a time from
+   [next] and appends validated rows to a {!Store.Builder}, so memory is
+   bounded by the store itself — never by parse intermediates.  The first
+   data row fixes the dimension; every later row must match it. *)
+let parse_stream ?path next =
+  let builder = ref None in
   let parse_line row line =
     match String.split_on_char ',' line with
     | [] | [ _ ] -> load_failure ?path ~row "malformed line (need id,v1,...)"
@@ -213,27 +275,47 @@ let of_csv ?path text =
             | Some v -> v)
           rest
       in
-      Tuple.of_array ~id (Array.of_list values)
+      let values = Array.of_list values in
+      let b =
+        match !builder with
+        | Some b -> b
+        | None ->
+          let b = Store.Builder.create ~dim:(Array.length values) () in
+          builder := Some b;
+          b
+      in
+      if Array.length values <> Store.Builder.dim b then
+        load_failure ?path ~row
+          (Printf.sprintf "row has %d values, expected %d"
+             (Array.length values) (Store.Builder.dim b));
+      Store.Builder.add b ~id values
   in
-  let parsed =
-    List.concat
-      (List.mapi
-         (fun i line ->
-           if String.trim line = "" then []
-           else [ (i + 1, parse_line (i + 1) (String.trim line)) ])
-         lines)
+  let rec drain () =
+    match next () with
+    | None -> ()
+    | Some (row, line) ->
+      let line = String.trim line in
+      (* Blank lines are legal separators. *)
+      if line <> "" then parse_line row line;
+      drain ()
   in
-  match parsed with
-  | [] -> { tuples = [||]; dim = 0 }
-  | (_, first) :: _ ->
-    let d = Tuple.dim first in
-    List.iter
-      (fun (row, t) ->
-        if Tuple.dim t <> d then
-          load_failure ?path ~row
-            (Printf.sprintf "row has %d values, expected %d" (Tuple.dim t) d))
-      parsed;
-    of_tuples ~dim:d (List.map snd parsed)
+  drain ();
+  match !builder with
+  | None -> of_store Store.empty
+  | Some b -> of_store (Store.Builder.finish b)
+
+let of_csv ?path text =
+  if Fault.fire "inject.dataset_load" then
+    load_failure ?path ~row:0 "injected fault: source unreadable";
+  let lines = ref (String.split_on_char '\n' text) in
+  let row = ref 0 in
+  parse_stream ?path (fun () ->
+      match !lines with
+      | [] -> None
+      | line :: rest ->
+        lines := rest;
+        incr row;
+        Some (!row, line))
 
 let save_csv t path =
   let oc = open_out path in
@@ -247,4 +329,19 @@ let load_csv path =
   | ic ->
     Fun.protect
       ~finally:(fun () -> close_in ic)
-      (fun () -> of_csv ~path (In_channel.input_all ic))
+      (fun () ->
+        if Fault.fire "inject.dataset_load" then
+          load_failure ~path ~row:0 "injected fault: source unreadable";
+        let row = ref 0 in
+        parse_stream ~path (fun () ->
+            match In_channel.input_line ic with
+            | None -> None
+            | Some line ->
+              incr row;
+              Some (!row, line)))
+
+let save_store t path = Store.save t.store path
+
+let load_store path = of_store (Store.load path)
+
+let fingerprint t = Store.fingerprint t.store

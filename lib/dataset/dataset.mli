@@ -10,16 +10,17 @@
 
 type t
 
-type load_error = {
+type load_error = Store.load_error = {
   path : string option;  (** [None] when parsing an in-memory string *)
   row : int;  (** 1-based original line number; 0 when not row-specific *)
   reason : string;
 }
 
 exception Load_error of load_error
-(** The typed error of the CSV loaders: I/O failures, unparseable rows, and
-    values the algorithm stack cannot accept (NaN, infinite, or negative
-    coordinates — which would silently corrupt downstream geometry). *)
+(** The typed error of the CSV and binary loaders (the same exception as
+    {!Store.Load_error}): I/O failures, unparseable rows, and values the
+    algorithm stack cannot accept (NaN, infinite, or negative coordinates —
+    which would silently corrupt downstream geometry). *)
 
 val load_error_message : load_error -> string
 (** Human-readable one-liner with path and row context. *)
@@ -30,6 +31,21 @@ val create : float array array -> t
 
 val of_tuples : dim:int -> Tuple.t list -> t
 (** Keeps the given ids.  All tuples must have dimension [dim]. *)
+
+val of_store : Store.t -> t
+(** Adopt a columnar store (no copy) — the fast path for generators,
+    binary loads and bulk ingest. *)
+
+val store : t -> Store.t
+(** The columnar backing.  Algorithms that scan the flat buffer (skyline,
+    bulk R-tree builds, utility scans) go through this; treat it as
+    read-only. *)
+
+val select_rows : t -> int array -> t
+(** [select_rows t rows] copies the given row {i positions} (not ids), in
+    the given order, into a fresh dataset — ids preserved.  How columnar
+    algorithms materialize "the subset at these positions" without going
+    through per-tuple predicates. *)
 
 val size : t -> int
 
@@ -100,5 +116,18 @@ val of_csv : ?path:string -> string -> t
 val save_csv : t -> string -> unit
 
 val load_csv : string -> t
-(** Reads and {!of_csv}-parses a file.  All failures — including the file
-    being unreadable — surface as {!Load_error}. *)
+(** Reads a file through the streaming parser — one line in memory at a
+    time, rows accumulated in a columnar builder, so memory is bounded by
+    the resulting store.  All failures — including the file being
+    unreadable — surface as {!Load_error}. *)
+
+val save_store : t -> string -> unit
+(** Write the columnar binary format (see {!Store.save}). *)
+
+val load_store : string -> t
+(** Map a binary store file in O(1) (see {!Store.load}).  Raises
+    {!Load_error} on a missing, foreign, or truncated file. *)
+
+val fingerprint : t -> string
+(** The backing store's content hash (see {!Store.fingerprint}) — keys
+    persisted skyline artifacts. *)

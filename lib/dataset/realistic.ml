@@ -3,6 +3,19 @@ module Floatx = Indq_util.Floatx
 
 let clamp01 = Floatx.clamp ~lo:0. ~hi:1.
 
+(* Fill the columnar store row by row, ascending — the same RNG draw order
+   as the historical [Array.init n (fun _ -> row ())], so seeds reproduce
+   bit-identical datasets. *)
+let columnar ~d n row =
+  if n = 0 then Dataset.create [||]
+  else
+    Dataset.of_store
+      (Store.init ~dim:d n (fun _ dst ->
+           let r = row () in
+           for j = 0 to d - 1 do
+             Indq_linalg.Vec.set dst j r.(j)
+           done))
+
 let island ?(n = 63383) rng =
   if n < 0 then invalid_arg "Realistic.island: negative n";
   (* Coastal geography: a dominant outer "shoreline" — a noisy quarter-circle
@@ -44,7 +57,7 @@ let island ?(n = 63383) rng =
       |]
     end
   in
-  Dataset.normalize_global (Dataset.create (Array.init n (fun _ -> row ())))
+  Dataset.normalize_global (columnar ~d:2 n row)
 
 let nba ?(n = 21961) rng =
   if n < 0 then invalid_arg "Realistic.nba: negative n";
@@ -58,7 +71,7 @@ let nba ?(n = 21961) rng =
     in
     [| stat 1.0 0.12; stat 0.8 0.15; stat 0.7 0.18; stat 0.5 0.20 |]
   in
-  Dataset.normalize_global (Dataset.create (Array.init n (fun _ -> row ())))
+  Dataset.normalize_global (columnar ~d:4 n row)
 
 let house ?(n = 12793) rng =
   if n < 0 then invalid_arg "Realistic.house: negative n";
@@ -74,7 +87,7 @@ let house ?(n = 12793) rng =
         let ln = household +. Rng.gaussian ~mu:0.0 ~sigma:0.35 rng in
         category_scale *. exp ln)
   in
-  let raw = Dataset.create (Array.init n (fun _ -> row ())) in
+  let raw = columnar ~d n row in
   let inverted =
     Dataset.invert_attributes raw ~smaller_is_better:(Array.make d true)
   in

@@ -1,0 +1,345 @@
+(* Columnar backing for datasets: one flat Float64 Vec for every attribute
+   value (row-major) plus an Int64 id column, both Bigarray-backed so a
+   saved store is exactly its in-memory bytes and can be mapped back with
+   [Unix.map_file] in O(1).  See store.mli for the file format. *)
+
+module Fault = Indq_fault.Fault
+module Vec = Indq_linalg.Vec
+
+type id_column = (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = {
+  s_dim : int;
+  s_n : int;
+  s_data : Vec.t;  (* length s_n * s_dim, row-major *)
+  s_ids : id_column;
+  (* Content hash, memoized: computed at most once per store, and read
+     straight from the header for mapped stores. *)
+  mutable s_fp : string option;
+}
+
+let make_ids n : id_column =
+  Bigarray.Array1.create Bigarray.Int64 Bigarray.c_layout n
+
+let empty =
+  { s_dim = 0; s_n = 0; s_data = Vec.make 0 0.; s_ids = make_ids 0; s_fp = None }
+
+let create ~dim n =
+  if dim <= 0 then invalid_arg "Store.create: dimension must be positive";
+  if n < 0 then invalid_arg "Store.create: negative row count";
+  let ids = make_ids n in
+  for i = 0 to n - 1 do
+    Bigarray.Array1.set ids i (Int64.of_int i)
+  done;
+  { s_dim = dim; s_n = n; s_data = Vec.make (n * dim) 0.; s_ids = ids; s_fp = None }
+
+let dim t = t.s_dim
+
+let size t = t.s_n
+
+let check_row t i name =
+  if i < 0 || i >= t.s_n then invalid_arg (name ^ ": row out of range")
+
+let row t i =
+  check_row t i "Store.row";
+  Vec.sub_view t.s_data ~pos:(i * t.s_dim) ~len:t.s_dim
+
+let get t i j =
+  check_row t i "Store.get";
+  if j < 0 || j >= t.s_dim then invalid_arg "Store.get: column out of range";
+  Vec.get t.s_data ((i * t.s_dim) + j)
+
+let data t = t.s_data
+
+let id t i =
+  check_row t i "Store.id";
+  Int64.to_int (Bigarray.Array1.get t.s_ids i)
+
+let set_id t i id =
+  check_row t i "Store.set_id";
+  Bigarray.Array1.set t.s_ids i (Int64.of_int id)
+
+let init ~dim n f =
+  let t = create ~dim n in
+  for i = 0 to n - 1 do
+    f i (row t i)
+  done;
+  t
+
+let select t rows =
+  let k = Array.length rows in
+  if k = 0 then empty
+  else begin
+    let out = create ~dim:t.s_dim k in
+    Array.iteri
+      (fun j i ->
+        check_row t i "Store.select";
+        Vec.blit ~src:(row t i) ~dst:(row out j);
+        Bigarray.Array1.set out.s_ids j (Bigarray.Array1.get t.s_ids i))
+      rows;
+    out
+  end
+
+let copy t =
+  if t.s_n = 0 then empty
+  else begin
+    let out = create ~dim:t.s_dim t.s_n in
+    Vec.blit ~src:t.s_data ~dst:out.s_data;
+    Bigarray.Array1.blit t.s_ids out.s_ids;
+    out.s_fp <- t.s_fp;
+    out
+  end
+
+(* --- Content fingerprint: FNV-1a folded into OCaml's native 63-bit int
+   (multiplication wraps mod 2^63 identically on every 64-bit platform).
+   Floats are fed as their IEEE bit patterns, split into 32-bit halves, so
+   the hash sees exact values — including negative zeros — and never
+   re-rounds. *)
+
+let fnv_prime = 0x100000001b3
+
+let fnv_basis = 0x0bf29ce484222325
+
+let fnv h x = (h lxor x) * fnv_prime
+
+let fnv_int64 h b =
+  let lo = Int64.to_int (Int64.logand b 0xFFFFFFFFL) in
+  let hi = Int64.to_int (Int64.shift_right_logical b 32) in
+  fnv (fnv h lo) hi
+
+let fingerprint_int t =
+  let h = ref (fnv (fnv fnv_basis t.s_dim) t.s_n) in
+  for i = 0 to t.s_n - 1 do
+    h := fnv_int64 !h (Bigarray.Array1.get t.s_ids i)
+  done;
+  for i = 0 to (t.s_n * t.s_dim) - 1 do
+    h := fnv_int64 !h (Int64.bits_of_float (Vec.get t.s_data i))
+  done;
+  !h
+
+let fingerprint t =
+  match t.s_fp with
+  | Some fp -> fp
+  | None ->
+    let fp = Printf.sprintf "%016x" (fingerprint_int t) in
+    t.s_fp <- Some fp;
+    fp
+
+(* --- Typed loader errors (shared by the CSV loaders in Dataset, which
+   re-exports the exception under its historical name). *)
+
+type load_error = { path : string option; row : int; reason : string }
+
+exception Load_error of load_error
+
+let load_failure ?path ~row reason = raise (Load_error { path; row; reason })
+
+let load_error_message { path; row; reason } =
+  let where = match path with Some p -> p | None -> "<string>" in
+  if row > 0 then Printf.sprintf "%s, row %d: %s" where row reason
+  else Printf.sprintf "%s: %s" where reason
+
+let () =
+  Printexc.register_printer (function
+    | Load_error e ->
+      Some ("Indq_dataset.Dataset.Load_error: " ^ load_error_message e)
+    | _ -> None)
+
+(* --- Versioned binary format (see store.mli for the layout). *)
+
+let header_size = 64
+
+let magic = "INDQSTOR"
+
+let version = 1l
+
+let endian_probe = 0x0102030405060708L
+
+let map_ids fd ~shared ~pos n : id_column =
+  Bigarray.array1_of_genarray
+    (Unix.map_file fd ~pos:(Int64.of_int pos) Bigarray.Int64 Bigarray.c_layout
+       shared [| n |])
+
+let map_data fd ~shared ~pos len : Vec.buffer =
+  Bigarray.array1_of_genarray
+    (Unix.map_file fd ~pos:(Int64.of_int pos) Bigarray.Float64
+       Bigarray.c_layout shared [| len |])
+
+let save t path =
+  let fp = fingerprint_int t in
+  t.s_fp <- Some (Printf.sprintf "%016x" fp);
+  let n = t.s_n and d = t.s_dim in
+  let ids_bytes = 8 * n in
+  let data_bytes = 8 * n * d in
+  match
+    Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  with
+  | exception Unix.Unix_error (err, _, _) ->
+    load_failure ~path ~row:0 (Unix.error_message err)
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () ->
+        Unix.ftruncate fd (header_size + ids_bytes + data_bytes);
+        let hdr = Bytes.make header_size '\000' in
+        Bytes.blit_string magic 0 hdr 0 (String.length magic);
+        Bytes.set_int32_le hdr 8 version;
+        Bytes.set_int32_le hdr 12 (Int32.of_int d);
+        Bytes.set_int64_le hdr 16 (Int64.of_int n);
+        Bytes.set_int64_ne hdr 24 endian_probe;
+        Bytes.set_int64_le hdr 32 (Int64.of_int fp);
+        if Unix.write fd hdr 0 header_size <> header_size then
+          load_failure ~path ~row:0 "short header write";
+        if n > 0 then begin
+          Bigarray.Array1.blit t.s_ids
+            (map_ids fd ~shared:true ~pos:header_size n);
+          Vec.blit ~src:t.s_data
+            ~dst:
+              (Vec.of_buffer
+                 (map_data fd ~shared:true ~pos:(header_size + ids_bytes)
+                    (n * d)))
+        end)
+
+let really_read fd buf len ~path =
+  let off = ref 0 in
+  (try
+     while !off < len do
+       let k = Unix.read fd buf !off (len - !off) in
+       if k = 0 then raise Exit;
+       off := !off + k
+     done
+   with Exit -> ());
+  if !off <> len then load_failure ~path ~row:0 "truncated header"
+
+let load path =
+  if Fault.fire "inject.dataset_load" then
+    load_failure ~path ~row:0 "injected fault: source unreadable";
+  match Unix.openfile path [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error (err, _, _) ->
+    load_failure ~path ~row:0 (Unix.error_message err)
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () ->
+        let file_size = (Unix.fstat fd).Unix.st_size in
+        if file_size < header_size then
+          load_failure ~path ~row:0
+            (Printf.sprintf "truncated header: %d bytes, need %d" file_size
+               header_size);
+        let hdr = Bytes.create header_size in
+        really_read fd hdr header_size ~path;
+        if Bytes.sub_string hdr 0 (String.length magic) <> magic then
+          load_failure ~path ~row:0 "bad magic (not an indq store file)";
+        let v = Bytes.get_int32_le hdr 8 in
+        if v <> version then
+          load_failure ~path ~row:0
+            (Printf.sprintf "unsupported store version %ld (expected %ld)" v
+               version);
+        if not (Int64.equal (Bytes.get_int64_ne hdr 24) endian_probe) then
+          load_failure ~path ~row:0
+            "byte-order mismatch (store written on an opposite-endian \
+             machine)";
+        let d = Int32.to_int (Bytes.get_int32_le hdr 12) in
+        let n = Int64.to_int (Bytes.get_int64_le hdr 16) in
+        if d < 0 || n < 0 || (d = 0 && n > 0) then
+          load_failure ~path ~row:0
+            (Printf.sprintf "invalid shape: %d rows x %d columns" n d);
+        let expected = header_size + (8 * n) + (8 * n * d) in
+        if file_size <> expected then
+          load_failure ~path ~row:0
+            (Printf.sprintf "truncated payload: %d bytes, expected %d"
+               file_size expected);
+        let fp = Printf.sprintf "%016x" (Int64.to_int (Bytes.get_int64_le hdr 32)) in
+        if n = 0 then { empty with s_dim = d; s_fp = Some fp }
+        else begin
+          let ids = map_ids fd ~shared:false ~pos:header_size n in
+          let data =
+            map_data fd ~shared:false ~pos:(header_size + (8 * n)) (n * d)
+          in
+          {
+            s_dim = d;
+            s_n = n;
+            s_data = Vec.of_buffer data;
+            s_ids = ids;
+            s_fp = Some fp;
+          }
+        end)
+
+(* --- Streaming builder. *)
+
+type store_alias = t
+
+let create_store = create
+
+module Builder = struct
+  type t = {
+    b_dim : int;
+    mutable b_len : int;
+    mutable b_cap : int;
+    mutable b_data : Vec.t;
+    mutable b_ids : id_column;
+  }
+
+  let create ?(capacity = 64) ~dim () =
+    if dim <= 0 then invalid_arg "Store.Builder.create: dimension must be positive";
+    let cap = max 1 capacity in
+    {
+      b_dim = dim;
+      b_len = 0;
+      b_cap = cap;
+      b_data = Vec.make (cap * dim) 0.;
+      b_ids = make_ids cap;
+    }
+
+  let length b = b.b_len
+
+  let dim b = b.b_dim
+
+  let ensure_room b =
+    if b.b_len = b.b_cap then begin
+      let cap = 2 * b.b_cap in
+      let data = Vec.make (cap * b.b_dim) 0. in
+      Vec.blit
+        ~src:b.b_data
+        ~dst:(Vec.sub_view data ~pos:0 ~len:(b.b_cap * b.b_dim));
+      let ids = make_ids cap in
+      Bigarray.Array1.blit b.b_ids (Bigarray.Array1.sub ids 0 b.b_cap);
+      b.b_cap <- cap;
+      b.b_data <- data;
+      b.b_ids <- ids
+    end
+
+  let commit_row b id =
+    Bigarray.Array1.set b.b_ids b.b_len (Int64.of_int id);
+    b.b_len <- b.b_len + 1
+
+  let add b ~id row =
+    if Array.length row <> b.b_dim then
+      invalid_arg "Store.Builder.add: row length mismatch";
+    ensure_room b;
+    let base = b.b_len * b.b_dim in
+    for j = 0 to b.b_dim - 1 do
+      Vec.set b.b_data (base + j) row.(j)
+    done;
+    commit_row b id
+
+  let add_vec b ~id v =
+    if Vec.dim v <> b.b_dim then
+      invalid_arg "Store.Builder.add_vec: row length mismatch";
+    ensure_room b;
+    Vec.blit ~src:v ~dst:(Vec.sub_view b.b_data ~pos:(b.b_len * b.b_dim) ~len:b.b_dim);
+    commit_row b id
+
+  let finish b : store_alias =
+    if b.b_len = 0 then empty
+    else begin
+      let out = create_store ~dim:b.b_dim b.b_len in
+      Vec.blit
+        ~src:(Vec.sub_view b.b_data ~pos:0 ~len:(b.b_len * b.b_dim))
+        ~dst:out.s_data;
+      Bigarray.Array1.blit
+        (Bigarray.Array1.sub b.b_ids 0 b.b_len)
+        out.s_ids;
+      out
+    end
+end

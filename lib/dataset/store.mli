@@ -1,0 +1,130 @@
+(** The columnar tuple store: one flat Float64 buffer for all attribute
+    values (row-major, row [i] at offset [i*dim]) plus an Int64 id column.
+
+    Every {!Dataset.t} is backed by one of these; {!Tuple.t} values handed
+    out by a dataset are zero-copy {!Indq_linalg.Vec.sub_view}s into the
+    flat buffer.  The store also has a versioned binary file format
+    ([save]/[load]): the payload is written and mapped with
+    [Unix.map_file], so opening a 10^7-row store is O(1) — no parsing, no
+    per-row allocation — and the content fingerprint is cached in the
+    header, making artifact lookups O(1) as well.
+
+    {b File format} (version 1, 64-byte header; payload native-endian):
+    {v
+    offset  size  field
+    0       8     magic "INDQSTOR"
+    8       4     version (u32 LE) = 1
+    12      4     dim (u32 LE)
+    16      8     rows n (u64 LE)
+    24      8     byte-order probe 0x0102030405060708 (native)
+    32      8     content fingerprint (u64 LE, see {!fingerprint})
+    40      24    reserved (zero)
+    64      8n    id column (Int64, native)
+    64+8n   8nd   value payload: row-major Float64, native
+    v}
+    A reader on a machine with the opposite byte order fails the probe and
+    gets a typed {!Load_error} instead of silently-scrambled floats. *)
+
+type t
+
+val empty : t
+(** The zero-row, zero-dimension store (the empty dataset's backing). *)
+
+val create : dim:int -> int -> t
+(** [create ~dim n] is an [n]-row store of zeros with ids [0 .. n-1].
+    Fill rows in place through {!row} views.  [dim] must be positive,
+    [n] non-negative. *)
+
+val init : dim:int -> int -> (int -> Indq_linalg.Vec.t -> unit) -> t
+(** [init ~dim n f] is {!create} where [f i row_i] has filled row [i], in
+    ascending row order (generators rely on the order for deterministic
+    RNG draws). *)
+
+val dim : t -> int
+
+val size : t -> int
+(** Number of rows. *)
+
+val row : t -> int -> Indq_linalg.Vec.t
+(** [row t i] is a zero-copy mutable view of row [i]; writes through the
+    view are visible in the store (and vice versa).  O(1). *)
+
+val get : t -> int -> int -> float
+(** [get t i j] is attribute [j] of row [i], without materializing a
+    view. *)
+
+val data : t -> Indq_linalg.Vec.t
+(** The whole flat buffer (length [size * dim], row-major) — the input the
+    packed R-tree builds from.  Treat as read-only. *)
+
+val id : t -> int -> int
+
+val set_id : t -> int -> int -> unit
+
+val select : t -> int array -> t
+(** [select t rows] copies the given row positions (in the given order,
+    ids included) into a fresh compact store. *)
+
+val copy : t -> t
+
+val fingerprint : t -> string
+(** A 16-hex-digit content hash (FNV-1a over dim, n, ids and the raw bits
+    of every value, row-major).  Deterministic across runs and platforms;
+    memoized, and persisted in the file header so {!load} never rescans
+    the payload.  Keys the skyline artifact cache. *)
+
+type load_error = {
+  path : string option;  (** [None] when parsing an in-memory string *)
+  row : int;  (** 1-based original line number; 0 when not row-specific *)
+  reason : string;
+}
+
+exception Load_error of load_error
+(** The typed error of every loader in this library (CSV and binary): I/O
+    failures, malformed headers or rows, truncated files, and values the
+    algorithm stack cannot accept. *)
+
+val load_error_message : load_error -> string
+(** Human-readable one-liner with path and row context. *)
+
+val load_failure : ?path:string -> row:int -> string -> 'a
+(** Raise {!Load_error} with the given context. *)
+
+val save : t -> string -> unit
+(** Write the versioned binary format: the file is sized up front and the
+    payload is blitted through a shared mapping (no per-row encoding).
+    Computes (and persists) the {!fingerprint}. *)
+
+val load : string -> t
+(** Map a file written by {!save}: O(1) in the store size.  The mapping is
+    private (copy-on-write), so mutating the returned store never touches
+    the file.  Raises {!Load_error} on a missing file, bad magic, version
+    or byte-order mismatch, or a payload shorter than the header
+    promises. *)
+
+(** Bounded-memory accumulation for streaming ingest: rows arrive one at a
+    time (CSV parsing, network feeds), capacity doubles as needed, and
+    {!Builder.finish} compacts into an exact-size store. *)
+module Builder : sig
+  type store := t
+
+  type t
+
+  val create : ?capacity:int -> dim:int -> unit -> t
+  (** An empty builder for [dim]-column rows ([dim] positive). *)
+
+  val length : t -> int
+  (** Rows added so far. *)
+
+  val dim : t -> int
+
+  val add : t -> id:int -> float array -> unit
+  (** Append one row (copied).  Raises [Invalid_argument] when the row
+      length differs from the builder's dimension. *)
+
+  val add_vec : t -> id:int -> Indq_linalg.Vec.t -> unit
+
+  val finish : t -> store
+  (** The accumulated rows as a compact store; the builder may not be used
+      afterwards. *)
+end

@@ -4,6 +4,8 @@ type t = { id : int; values : Vec.t }
 
 let make ~id values = { id; values = Vec.copy values }
 
+let of_view ~id values = { id; values }
+
 let of_array ~id values = { id; values = Vec.of_array values }
 
 let id t = t.id

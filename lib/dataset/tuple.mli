@@ -9,6 +9,11 @@ type t = { id : int; values : Indq_linalg.Vec.t }
 val make : id:int -> Indq_linalg.Vec.t -> t
 (** Copies the value vector. *)
 
+val of_view : id:int -> Indq_linalg.Vec.t -> t
+(** Adopts the vector {i without} copying — the tuple aliases it.  This is
+    how a columnar {!Dataset.t} hands out zero-copy row views; do not
+    mutate the vector afterwards. *)
+
 val of_array : id:int -> float array -> t
 (** {!make} from a plain float array (serialization edges). *)
 

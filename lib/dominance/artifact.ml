@@ -1,0 +1,160 @@
+(* Persisted (1+eps)-skyline artifacts.
+
+   An artifact records the row POSITIONS of a dataset's c-skyline, keyed
+   by (store fingerprint, exact bits of c), so repeated experiments and
+   interactive sessions over the same data never rescan it.  The format is
+   a small text file:
+
+     INDQART1
+     <fingerprint> <c bits, 16 hex digits> <n> <count>
+     <position>          (count lines, strictly ascending)
+
+   Lookups are paranoid: any parse failure, key mismatch, or implausible
+   position list yields a miss and a recompute — a corrupt cache can cost
+   time, never correctness.  Writes go through a temp file + rename so a
+   crashed writer leaves no torn artifact behind. *)
+
+module Dataset = Indq_dataset.Dataset
+module Store = Indq_dataset.Store
+module Vec = Indq_linalg.Vec
+module Counter = Indq_obs.Counter
+
+let c_hits = Counter.make "skyline.artifact_hits"
+
+let c_misses = Counter.make "skyline.artifact_misses"
+
+let c_writes = Counter.make "skyline.artifact_writes"
+
+let default_dir = ".indq-cache"
+
+let magic = "INDQART1"
+
+let c_bits c = Printf.sprintf "%016Lx" (Int64.bits_of_float c)
+
+let path ~dir ~fingerprint ~c =
+  Filename.concat dir (Printf.sprintf "%s-%s.skyline" fingerprint (c_bits c))
+
+let ensure_dir dir =
+  match Sys.is_directory dir with
+  | true -> true
+  | false -> false
+  | exception Sys_error _ -> ( try Sys.mkdir dir 0o755; true with Sys_error _ -> false)
+
+(* The positions of [result]'s rows inside [data], relying on both being in
+   original dataset order (every skyline variant preserves it).  Rows are
+   matched by id and exact values, so duplicate ids cannot mis-map.  [None]
+   when [result] is not an ordered subset of [data]. *)
+let positions_of_result data result =
+  let ds = Dataset.store data and rs = Dataset.store result in
+  let n = Store.size ds and m = Store.size rs in
+  let pos = Array.make (max m 1) 0 in
+  let j = ref 0 and i = ref 0 in
+  while !j < m && !i < n do
+    if
+      Store.id ds !i = Store.id rs !j
+      && Vec.equal (Store.row ds !i) (Store.row rs !j)
+    then begin
+      pos.(!j) <- !i;
+      incr j
+    end;
+    incr i
+  done;
+  if !j < m then None else Some (Array.sub pos 0 m)
+
+let lookup ~dir ~c data =
+  let file = path ~dir ~fingerprint:(Dataset.fingerprint data) ~c in
+  match open_in file with
+  | exception Sys_error _ -> None
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let n = Dataset.size data in
+        let line () = In_channel.input_line ic in
+        match line () with
+        | Some m when String.equal m magic -> (
+          match line () with
+          | None -> None
+          | Some header -> (
+            match String.split_on_char ' ' header with
+            | [ fp; cb; n_str; count_str ] ->
+              if
+                (not (String.equal fp (Dataset.fingerprint data)))
+                || not (String.equal cb (c_bits c))
+              then None
+              else begin
+                match (int_of_string_opt n_str, int_of_string_opt count_str) with
+                | Some n', Some count
+                  when n' = n && count >= 0 && count <= n -> (
+                  let positions = Array.make (max count 1) 0 in
+                  let ok = ref true and prev = ref (-1) in
+                  (try
+                     for k = 0 to count - 1 do
+                       match line () with
+                       | None -> ok := false; raise Exit
+                       | Some l -> (
+                         match int_of_string_opt (String.trim l) with
+                         | Some p when p > !prev && p < n ->
+                           positions.(k) <- p;
+                           prev := p
+                         | _ -> ok := false; raise Exit)
+                     done
+                   with Exit -> ());
+                  match (!ok, line ()) with
+                  | true, None ->
+                    Some (Dataset.select_rows data (Array.sub positions 0 count))
+                  | _ -> None)
+                | _ -> None
+              end
+            | _ -> None))
+        | _ -> None)
+
+let write_file ~file ~fingerprint ~c ~n positions =
+  let tmp = file ^ ".tmp" in
+  match open_out tmp with
+  | exception Sys_error _ -> false
+  | oc ->
+    let written =
+      match
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+            Printf.fprintf oc "%s\n%s %s %d %d\n" magic fingerprint (c_bits c)
+              n (Array.length positions);
+            Array.iter (fun p -> Printf.fprintf oc "%d\n" p) positions)
+      with
+      | () -> true
+      | exception Sys_error _ -> false
+    in
+    written
+    &&
+    (match Sys.rename tmp file with
+    | () -> true
+    | exception Sys_error _ -> false)
+
+let store ~dir ~c ~result data =
+  match positions_of_result data result with
+  | None -> ()
+  | Some positions ->
+    if ensure_dir dir then begin
+      let fingerprint = Dataset.fingerprint data in
+      let file = path ~dir ~fingerprint ~c in
+      if write_file ~file ~fingerprint ~c ~n:(Dataset.size data) positions
+      then Counter.incr c_writes
+    end
+
+let c_skyline_cached ~dir ~c data =
+  match lookup ~dir ~c data with
+  | Some result ->
+    Counter.incr c_hits;
+    result
+  | None ->
+    Counter.incr c_misses;
+    let result = Skyline.c_skyline ~c data in
+    store ~dir ~c ~result data;
+    result
+
+let prune_eps_dominated_cached ~dir ~eps data =
+  if eps < 0. then
+    invalid_arg "Artifact.prune_eps_dominated_cached: negative eps";
+  c_skyline_cached ~dir ~c:(1. +. eps) data

@@ -1,0 +1,51 @@
+(** Persisted [(1+eps)]-skyline artifacts.
+
+    An artifact stores the row positions of a dataset's c-skyline in a
+    small text file keyed by [(store fingerprint, exact bits of c)] — the
+    fingerprint pins the data content, the raw float bits pin the
+    threshold, so a hit can simply select rows positionally and is
+    guaranteed to reproduce the computed skyline exactly.
+
+    Robustness over cleverness: any unreadable, mismatched, or implausible
+    artifact is treated as a miss and recomputed (then rewritten); writes
+    are atomic (temp file + rename).  A corrupt cache can cost time, never
+    correctness.
+
+    Cache traffic is counted in [skyline.artifact_hits],
+    [skyline.artifact_misses] and [skyline.artifact_writes].
+
+    {b Determinism}: the deterministic experiment sweeps never call into
+    this module — a cache hit would depend on what previous runs left on
+    disk.  Callers are the scale bench, the [indq precompute]/[ingest]
+    CLI, and CI's large-scale smoke job. *)
+
+val default_dir : string
+(** [".indq-cache"] — the conventional artifact directory. *)
+
+val path : dir:string -> fingerprint:string -> c:float -> string
+(** Where the artifact for this key lives. *)
+
+val lookup :
+  dir:string -> c:float -> Indq_dataset.Dataset.t -> Indq_dataset.Dataset.t option
+(** The cached c-skyline of the dataset, if a valid artifact exists.
+    Validates the full key (fingerprint, c bits, row count) and every
+    position; returns [None] on any doubt. *)
+
+val store :
+  dir:string ->
+  c:float ->
+  result:Indq_dataset.Dataset.t ->
+  Indq_dataset.Dataset.t ->
+  unit
+(** [store ~dir ~c ~result data] persists [result] (the computed c-skyline
+    of [data]) atomically.  Creates [dir] if needed; all I/O failures are
+    swallowed — caching is best-effort. *)
+
+val c_skyline_cached :
+  dir:string -> c:float -> Indq_dataset.Dataset.t -> Indq_dataset.Dataset.t
+(** {!lookup}, falling back to {!Skyline.c_skyline} + {!store} on a miss.
+    Bit-identical results either way. *)
+
+val prune_eps_dominated_cached :
+  dir:string -> eps:float -> Indq_dataset.Dataset.t -> Indq_dataset.Dataset.t
+(** The Observation 3 filter, cached: [c_skyline_cached ~c:(1 +. eps)]. *)

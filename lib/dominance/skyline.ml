@@ -1,6 +1,20 @@
 module Dataset = Indq_dataset.Dataset
+module Store = Indq_dataset.Store
 module Tuple = Indq_dataset.Tuple
 module Vec = Indq_linalg.Vec
+module Counter = Indq_obs.Counter
+
+(* Which variant the {!c_skyline} dispatch chose — the perf gate watches
+   these (together with [rtree.nodes_visited]) so a silent fallback to the
+   linear-window scan shows up as a counter regression, not just a slow
+   cell. *)
+let c_path_sweep = Counter.make "skyline.path_sweep"
+
+let c_path_sfs = Counter.make "skyline.path_sfs"
+
+let c_path_rtree = Counter.make "skyline.path_rtree"
+
+let c_path_store = Counter.make "skyline.path_store"
 
 let c_skyline_bnl ~c data =
   if c < 1. then invalid_arg "Skyline.c_skyline_bnl: c must be >= 1";
@@ -91,17 +105,18 @@ let c_skyline_rtree ~c data =
   if n = 0 then data
   else begin
     let d = Dataset.dim data in
-    let tree = Indq_rtree.Rtree.create ~dim:d () in
     (* Upper corner of the data, for the dominance query boxes. *)
     let upper = Vec.make d neg_infinity in
-    Array.iter
-      (fun p ->
-        let v = Tuple.values p in
-        for i = 0 to d - 1 do
-          if Vec.get v i > Vec.get upper i then Vec.set upper i (Vec.get v i)
-        done;
-        Indq_rtree.Rtree.insert_point tree v p)
-      (Dataset.tuples data);
+    let entries = ref [] in
+    for i = n - 1 downto 0 do
+      let p = Dataset.get data i in
+      let v = Tuple.values p in
+      for j = 0 to d - 1 do
+        if Vec.get v j > Vec.get upper j then Vec.set upper j (Vec.get v j)
+      done;
+      entries := (v, p) :: !entries
+    done;
+    let tree = Indq_rtree.Rtree.bulk_load_points ~dim:d !entries in
     let dominated p =
       let v = Tuple.values p in
       let corner = Vec.map (fun x -> c *. x) v in
@@ -120,15 +135,119 @@ let c_skyline_rtree ~c data =
     Dataset.filter data (fun p -> not (dominated p))
   end
 
+(* Fully columnar variant: a packed STR-tree over the dataset's flat store
+   buffer answers each c-domination test as an early-exit box probe, and
+   the result materializes through positional selection — no per-tuple
+   views on the hot path, so this is the variant that scales to 10^7
+   rows. *)
+let c_skyline_store ~c data =
+  if c < 1. then invalid_arg "Skyline.c_skyline_store: c must be >= 1";
+  let n = Dataset.size data in
+  if n = 0 then data
+  else begin
+    let d = Dataset.dim data in
+    let flat = Store.data (Dataset.store data) in
+    let tree = Indq_rtree.Strtree.build ~dim:d flat n in
+    let upper = Vec.make d neg_infinity in
+    for pos = 0 to n - 1 do
+      let base = pos * d in
+      for i = 0 to d - 1 do
+        let x = Vec.get flat (base + i) in
+        if x > Vec.get upper i then Vec.set upper i x
+      done
+    done;
+    let corner = Vec.make d 0. in
+    let dominated pos =
+      let base = pos * d in
+      (* Same float expressions as [Dominance.c_dominates]: the box's lower
+         corner is [c *. p_i], membership gives the all-geq half, and [f]
+         checks the strict half. *)
+      let escapes = ref false in
+      for i = 0 to d - 1 do
+        let ci = c *. Vec.get flat (base + i) in
+        Vec.set corner i ci;
+        (* Outside the data envelope, nothing can c-dominate. *)
+        if ci > Vec.get upper i then escapes := true
+      done;
+      if !escapes then false
+      else
+        Indq_rtree.Strtree.exists_in_box tree ~lo:corner ~hi:upper
+          ~f:(fun qpos ->
+            qpos <> pos
+            &&
+            let qbase = qpos * d in
+            let some_gt = ref false in
+            for i = 0 to d - 1 do
+              if Vec.get flat (qbase + i) > Vec.get corner i then
+                some_gt := true
+            done;
+            !some_gt)
+    in
+    let keep = Array.make n false in
+    let count = ref 0 in
+    for pos = 0 to n - 1 do
+      if not (dominated pos) then begin
+        keep.(pos) <- true;
+        incr count
+      end
+    done;
+    let positions = Array.make !count 0 in
+    let j = ref 0 in
+    for pos = 0 to n - 1 do
+      if keep.(pos) then begin
+        positions.(!j) <- pos;
+        incr j
+      end
+    done;
+    Dataset.select_rows data positions
+  end
+
+(* Dispatch thresholds, overridable for experiments: above [store] rows the
+   fully columnar {!c_skyline_store} runs; above [rtree] rows (default 512,
+   low enough that every realistic bench cell exercises the index) the
+   bulk-loaded R-tree variant runs; below, the SFS window pass.  All
+   variants return the same set in the same (original) order, so dispatch
+   changes never alter query outputs — only counters. *)
+let rtree_threshold = ref 512
+
+let store_threshold = ref 200_000
+
+let set_dispatch_thresholds ?rtree ?store () =
+  (match rtree with
+  | Some v ->
+    if v < 0 then invalid_arg "Skyline.set_dispatch_thresholds: negative rtree";
+    rtree_threshold := v
+  | None -> ());
+  match store with
+  | Some v ->
+    if v < 0 then invalid_arg "Skyline.set_dispatch_thresholds: negative store";
+    store_threshold := v
+  | None -> ()
+
+let dispatch_thresholds () = (!rtree_threshold, !store_threshold)
+
 (* Dispatch: the 2-D sweep is always best for d = 2; the SFS window pass
-   wins while the c-skyline is small, but on data whose c-skyline grows
-   with n (anti-correlated) it degenerates to O(n * |skyline|), so large
-   inputs go to the R-tree variant instead. *)
+   wins while inputs are small, but on data whose c-skyline grows with n
+   (anti-correlated) it degenerates to O(n * |skyline|), so larger inputs
+   go to the bulk-loaded R-tree variant, and store-scale inputs to the
+   packed columnar index. *)
 let c_skyline ~c data =
-  if Dataset.size data > 0 && Dataset.dim data = 2 then
+  if Dataset.size data > 0 && Dataset.dim data = 2 then begin
+    Counter.incr c_path_sweep;
     c_skyline_sweep_2d ~c data
-  else if Dataset.size data > 50_000 then c_skyline_rtree ~c data
-  else c_skyline_sfs ~c data
+  end
+  else if Dataset.size data > !store_threshold then begin
+    Counter.incr c_path_store;
+    c_skyline_store ~c data
+  end
+  else if Dataset.size data > !rtree_threshold then begin
+    Counter.incr c_path_rtree;
+    c_skyline_rtree ~c data
+  end
+  else begin
+    Counter.incr c_path_sfs;
+    c_skyline_sfs ~c data
+  end
 
 let skyline data = c_skyline ~c:1. data
 

@@ -34,9 +34,28 @@ val c_skyline_rtree :
   c:float -> Indq_dataset.Dataset.t -> Indq_dataset.Dataset.t
 (** Index-assisted variant (Section V-A mentions R-tree pruning): every
     c-domination test becomes an early-exit rectangle query
-    [\[c * p, upper\]] against an R-tree of the data.  Best when the
-    c-skyline is small relative to [n]; compared against the other variants
-    in the ablation bench. *)
+    [\[c * p, upper\]] against an STR-bulk-loaded R-tree of the data.
+    Best when the c-skyline is small relative to [n]; compared against the
+    other variants in the ablation bench. *)
+
+val c_skyline_store :
+  c:float -> Indq_dataset.Dataset.t -> Indq_dataset.Dataset.t
+(** Fully columnar variant: a packed {!Indq_rtree.Strtree} over the
+    dataset's flat store buffer answers each c-domination test as an
+    early-exit box probe; the result is selected positionally.  No
+    per-tuple heap objects anywhere on the hot path — the variant that
+    scales to 10^7 rows.  Same result set and order as every other
+    variant. *)
+
+val set_dispatch_thresholds : ?rtree:int -> ?store:int -> unit -> unit
+(** Override the {!c_skyline} dispatch: inputs larger than [store]
+    (default 200_000) use {!c_skyline_store}; larger than [rtree]
+    (default 512) use {!c_skyline_rtree}; 2-D inputs always use the plane
+    sweep.  Dispatch never changes results — only which counters move.
+    Set once at startup (before bench worker domains spawn). *)
+
+val dispatch_thresholds : unit -> int * int
+(** Current [(rtree, store)] thresholds. *)
 
 val prune_eps_dominated : eps:float -> Indq_dataset.Dataset.t -> Indq_dataset.Dataset.t
 (** Observation 3 filter: [c_skyline ~c:(1 +. eps)]. *)

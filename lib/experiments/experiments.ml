@@ -41,7 +41,7 @@ let generate ~scale ~seed kind =
   | House_like -> Realistic.house ~n:(scaled_size ~scale 12793) rng
 
 let load ?(scale = 1.) ~seed kind =
-  if scale <= 0. || scale > 1. then invalid_arg "Experiments.load: scale in (0,1]";
+  if scale <= 0. then invalid_arg "Experiments.load: scale must be positive";
   let key = (kind, scale, seed) in
   match
     Mutex.protect dataset_cache_lock (fun () ->

@@ -7,9 +7,11 @@
     seconds.  Defaults mirror the paper: [eps = delta = 0.05], [s = d],
     [q = 3d], [T = 10].
 
-    A [scale] in (0, 1] shrinks the data-set cardinalities proportionally
+    A [scale] below 1 shrinks the data-set cardinalities proportionally
     (minimum 500 tuples) so the whole suite can be smoke-tested quickly;
-    [scale = 1.] reproduces the paper's sizes. *)
+    [scale = 1.] reproduces the paper's sizes, and larger values super-size
+    them (the scale bench drives [n = 10^7] this way).  Any positive scale
+    is accepted. *)
 
 type dataset_kind = Island_like | Nba_like | House_like
 

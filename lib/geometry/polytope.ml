@@ -459,6 +459,52 @@ let coordinate_profile r =
 
 let coordinate_bounds r = fst (coordinate_profile r)
 
+(* --- Complete vertex enumeration (small dimensions) -------------------- *)
+
+(* d = 3: the region is a polygon on the plane x + y + z = 1.  Clip the
+   simplex triangle (e_0, e_1, e_2) by every cut, oldest to newest, with
+   Sutherland–Hodgman.  Pure float arithmetic over the cut list — no LP,
+   no cache, no RNG — so the vertex list is a deterministic function of
+   the cuts, identical in incremental and cold mode.  Returns [] when the
+   clipping degenerates away (the region may still be nonempty within
+   solver tolerance; callers must fall back to LP-grade queries). *)
+let d3_polygon r =
+  let dim = r.dim in
+  let clip poly h =
+    match poly with
+    | [] -> []
+    | first :: _ ->
+      let crossing p q sp sq =
+        let t = sp /. (sp -. sq) in
+        Vec.init dim (fun i ->
+            Vec.get p i +. (t *. (Vec.get q i -. Vec.get p i)))
+      in
+      (* Emit, per directed edge (p, q): p when inside, plus the boundary
+         crossing when the edge straddles it. *)
+      let edge p q =
+        let sp = Halfspace.slack h p and sq = Halfspace.slack h q in
+        if sp >= 0. then
+          if sq >= 0. then [ p ] else [ p; crossing p q sp sq ]
+        else if sq >= 0. then [ crossing p q sp sq ]
+        else []
+      in
+      let rec go = function
+        | [] -> []
+        | [ p ] -> edge p first
+        | p :: (q :: _ as rest) -> edge p q @ go rest
+      in
+      go poly
+  in
+  List.fold_left clip
+    [ Vec.basis dim 0; Vec.basis dim 1; Vec.basis dim 2 ]
+    (List.rev r.cuts)
+
+let complete_vertices r =
+  if r.dim = 2 then Some (snd (coordinate_profile r))
+  else if r.dim = 3 then
+    match d3_polygon r with [] -> None | vs -> Some vs
+  else None
+
 (* --- Width / diameter folds -------------------------------------------- *)
 
 (* Skip margin for hint-based pruning of max-fold directions.  A hint is

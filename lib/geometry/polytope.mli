@@ -94,6 +94,17 @@ val coordinate_profile : t -> (float * float) array * Indq_linalg.Vec.t list
     are attained (each a point of the region).  The witnesses let callers
     disprove "max over the region < 0" claims without further LPs. *)
 
+val complete_vertices : t -> Indq_linalg.Vec.t list option
+(** The region's {i complete} vertex set, when one is cheaply available:
+    the interval endpoints at [d = 2] (the {!coordinate_profile}
+    witnesses), the clipped simplex-triangle polygon at [d = 3]
+    (Sutherland–Hodgman over the cut list — deterministic float
+    arithmetic, no LP).  [None] at higher dimensions or when the [d = 3]
+    clipping degenerates to nothing.  With a complete set, any linear
+    extreme over the region is a dot-product fold over the list — Lemma 2
+    pruning uses this to answer "max over the region < 0" in {i both}
+    directions without LPs.  Requires a nonempty region at [d = 2]. *)
+
 val width : ?stop_when:(float -> bool) -> t -> float
 (** Paper's MinR metric: the largest coordinate range
     [max_i (hi_i - lo_i)].  0 for a point; raises on an empty region.

@@ -12,6 +12,10 @@ open Bigarray
 
 type t = (float, float64_elt, c_layout) Array1.t
 
+type buffer = (float, float64_elt, c_layout) Array1.t
+
+let of_buffer (b : buffer) : t = b
+
 let dim = Array1.dim
 
 let create d =
@@ -67,6 +71,16 @@ let dot a b =
   let acc = ref 0. in
   for i = 0 to dim a - 1 do
     acc := !acc +. (Array1.unsafe_get a i *. Array1.unsafe_get b i)
+  done;
+  !acc
+
+let dot_slice flat ~pos u =
+  let k = dim u in
+  if pos < 0 || pos + k > dim flat then
+    invalid_arg "Vec.dot_slice: slice out of range";
+  let acc = ref 0. in
+  for i = 0 to k - 1 do
+    acc := !acc +. (Array1.unsafe_get flat (pos + i) *. Array1.unsafe_get u i)
   done;
   !acc
 

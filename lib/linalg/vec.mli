@@ -13,6 +13,17 @@
 
 type t
 
+type buffer = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** The concrete backing type, exposed for the storage tier: a columnar
+    store maps a file region as a flat [Array1] and wraps it without a
+    copy.  Constructing through {!of_buffer} is the only way in; there is
+    deliberately no way back out. *)
+
+val of_buffer : buffer -> t
+(** Zero-copy adoption of an existing flat Float64 buffer (e.g. an
+    [Unix.map_file] region).  The vector aliases the buffer: writes through
+    either are visible in both. *)
+
 val dim : t -> int
 (** Number of coordinates. *)
 
@@ -56,6 +67,14 @@ val sub_view : t -> pos:int -> len:int -> t
 
 val dot : t -> t -> float
 (** Inner product. *)
+
+val dot_slice : t -> pos:int -> t -> float
+(** [dot_slice flat ~pos u] is the inner product of [u] with the slice
+    [flat[pos .. pos + dim u - 1]] — {!dot} against {!sub_view} without
+    materializing the view.  Coordinate order is left-to-right, so the
+    result is bit-identical to [dot (sub_view flat ~pos ~len:(dim u)) u].
+    The row-major columnar store uses this for zero-allocation utility
+    scans.  Raises [Invalid_argument] when the slice escapes [flat]. *)
 
 val add : t -> t -> t
 

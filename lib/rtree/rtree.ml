@@ -2,8 +2,14 @@
    fanout is small (<= max_entries) so list traversal is fine. *)
 
 module Counter = Indq_obs.Counter
+module Histogram = Indq_obs.Histogram
+module Vec = Indq_linalg.Vec
 
 let c_nodes_visited = Counter.make "rtree.nodes_visited"
+
+let c_bulk_nodes = Counter.make "rtree.bulk_nodes"
+
+let h_leaf_fill = Histogram.make "rtree.leaf_fill"
 
 type 'a node = {
   mutable mbr : Rect.t;
@@ -198,6 +204,130 @@ let of_points ?max_entries ~dim points =
   let t = create ?max_entries ~dim () in
   List.iter (fun (p, v) -> insert_point t p v) points;
   t
+
+(* --- STR (sort-tile-recursive) bulk loading. *)
+
+(* Smallest s >= 1 with s^k >= pages, by exact integer search: slab counts
+   must not depend on libm pow rounding, or tree shapes (and the visit
+   counters the perf gate compares) could drift across platforms. *)
+let int_kth_root_ceil ~k pages =
+  let pow s =
+    let p = ref 1 in
+    for _ = 1 to k do
+      p := !p * s
+    done;
+    !p
+  in
+  let s = ref 1 in
+  while pow !s < pages do
+    incr s
+  done;
+  !s
+
+(* Partition [items] (each paired with its precomputed MBR center) into
+   consecutive groups of at most [cap]: sort by the current axis, cut into
+   ceil(pages^(1/axes_left)) slabs, recurse on the next axis inside each
+   slab.  Every group except possibly the last one per slab comes out
+   full — the near-perfect packing that makes one-pass loading worth it. *)
+let str_groups ~dim ~cap items =
+  let groups = ref [] in
+  let sort_axis axis arr =
+    Array.sort (fun (ca, _) (cb, _) -> Float.compare ca.(axis) cb.(axis)) arr
+  in
+  let rec go arr axis =
+    let n = Array.length arr in
+    if n <= cap then groups := arr :: !groups
+    else if axis >= dim - 1 then begin
+      sort_axis axis arr;
+      let i = ref 0 in
+      while !i < n do
+        let len = min cap (n - !i) in
+        groups := Array.sub arr !i len :: !groups;
+        i := !i + len
+      done
+    end
+    else begin
+      let pages = (n + cap - 1) / cap in
+      let slabs = int_kth_root_ceil ~k:(dim - axis) pages in
+      let per_slab = (n + slabs - 1) / slabs in
+      sort_axis axis arr;
+      let i = ref 0 in
+      while !i < n do
+        let len = min per_slab (n - !i) in
+        go (Array.sub arr !i len) (axis + 1);
+        i := !i + len
+      done
+    end
+  in
+  go items 0;
+  List.rev !groups
+
+let rect_center ~dim (r : Rect.t) =
+  Array.init dim (fun i -> (Vec.get r.Rect.lo i +. Vec.get r.Rect.hi i) /. 2.)
+
+let bulk_load ?(max_entries = 8) ~dim entries =
+  if dim <= 0 then invalid_arg "Rtree.bulk_load: dimension must be positive";
+  if max_entries < 4 then invalid_arg "Rtree.bulk_load: max_entries must be >= 4";
+  List.iter
+    (fun (r, _) ->
+      if Rect.dim r <> dim then
+        invalid_arg "Rtree.bulk_load: dimension mismatch")
+    entries;
+  let t =
+    {
+      dimension = dim;
+      max_entries;
+      min_entries = max_entries / 2;
+      root = None;
+      count = 0;
+    }
+  in
+  match entries with
+  | [] -> t
+  | _ ->
+    let keyed =
+      Array.of_list
+        (List.map (fun ((r, _) as e) -> (rect_center ~dim r, e)) entries)
+    in
+    let leaves =
+      List.map
+        (fun group ->
+          let es = Array.to_list (Array.map snd group) in
+          Counter.incr c_bulk_nodes;
+          Histogram.observe h_leaf_fill (float_of_int (List.length es));
+          { mbr = Rect.union_many (List.map fst es); contents = Leaf es })
+        (str_groups ~dim ~cap:max_entries keyed)
+    in
+    (* Pack upper levels with the same tiling over node-MBR centers until a
+       single root remains. *)
+    let rec pack nodes =
+      match nodes with
+      | [ root ] -> root
+      | _ ->
+        let keyed =
+          Array.of_list
+            (List.map (fun node -> (rect_center ~dim node.mbr, node)) nodes)
+        in
+        let parents =
+          List.map
+            (fun group ->
+              let kids = Array.to_list (Array.map snd group) in
+              Counter.incr c_bulk_nodes;
+              {
+                mbr = Rect.union_many (List.map (fun n -> n.mbr) kids);
+                contents = Internal kids;
+              })
+            (str_groups ~dim ~cap:max_entries keyed)
+        in
+        pack parents
+    in
+    t.root <- Some (pack leaves);
+    t.count <- List.length entries;
+    t
+
+let bulk_load_points ?max_entries ~dim points =
+  bulk_load ?max_entries ~dim
+    (List.map (fun (p, v) -> (Rect.of_point p, v)) points)
 
 let fold_overlapping t query ~init ~f =
   let rec go acc node =

@@ -26,6 +26,20 @@ val insert_point : 'a t -> Indq_linalg.Vec.t -> 'a -> unit
 
 val of_points : ?max_entries:int -> dim:int -> (Indq_linalg.Vec.t * 'a) list -> 'a t
 
+val bulk_load : ?max_entries:int -> dim:int -> (Rect.t * 'a) list -> 'a t
+(** One-pass STR (sort-tile-recursive) construction: entries are sorted by
+    MBR center and tiled axis by axis into full leaves, then upper levels
+    are packed the same way until a single root remains.  The result
+    answers every query identically to an insert-built tree over the same
+    entries (set semantics; visit counts differ) and satisfies
+    {!check_invariants}.  Increments the [rtree.bulk_nodes] counter per
+    node built and observes each leaf's occupancy in the
+    [rtree.leaf_fill] histogram. *)
+
+val bulk_load_points :
+  ?max_entries:int -> dim:int -> (Indq_linalg.Vec.t * 'a) list -> 'a t
+(** {!bulk_load} over degenerate point rectangles. *)
+
 val search : 'a t -> Rect.t -> 'a list
 (** All payloads whose rectangle intersects the query (closed intervals). *)
 

@@ -79,18 +79,35 @@ let choose rng arr =
   if Array.length arr = 0 then invalid_arg "Rng.choose: empty array";
   arr.(int rng (Array.length arr))
 
+let sample_positions_without_replacement rng k n =
+  if k < 0 || k > n then
+    invalid_arg "Rng.sample_positions_without_replacement";
+  (* Partial Fisher–Yates, sparsely: only the O(k) displaced slots of the
+     virtual index array [0; ...; n-1] are tracked, so sampling a handful
+     of rows from 10^7 never allocates an n-sized array.  Draw-for-draw
+     identical to the dense shuffle — same [int rng (n - i)] sequence,
+     same selected positions. *)
+  let moved = Hashtbl.create (4 * max 1 k) in
+  let value x =
+    match Hashtbl.find_opt moved x with Some v -> v | None -> x
+  in
+  let out = Array.make k 0 in
+  for i = 0 to k - 1 do
+    let j = i + int rng (n - i) in
+    let vj = value j in
+    let vi = value i in
+    Hashtbl.replace moved j vi;
+    Hashtbl.replace moved i vj;
+    out.(i) <- vj
+  done;
+  out
+
 let sample_without_replacement rng k arr =
   let n = Array.length arr in
   if k < 0 || k > n then invalid_arg "Rng.sample_without_replacement";
-  (* Partial Fisher–Yates on an index array. *)
-  let idx = Array.init n (fun i -> i) in
-  for i = 0 to k - 1 do
-    let j = i + int rng (n - i) in
-    let tmp = idx.(i) in
-    idx.(i) <- idx.(j);
-    idx.(j) <- tmp
-  done;
-  Array.init k (fun i -> arr.(idx.(i)))
+  Array.map
+    (fun i -> arr.(i))
+    (sample_positions_without_replacement rng k n)
 
 let direction rng d =
   if d <= 0 then invalid_arg "Rng.direction: dimension must be positive";

@@ -56,6 +56,14 @@ val sample_without_replacement : t -> int -> 'a array -> 'a array
 (** [sample_without_replacement rng k arr] picks [k] distinct elements
     uniformly.  Requires [0 <= k <= Array.length arr]. *)
 
+val sample_positions_without_replacement : t -> int -> int -> int array
+(** [sample_positions_without_replacement rng k n] picks [k] distinct
+    positions from [0 .. n-1] uniformly, drawing the same randoms (and
+    returning the same positions) as {!sample_without_replacement} over an
+    [n]-element array — but in O(k) space, so callers over columnar
+    datasets can sample rows without materializing an array of views.
+    Requires [0 <= k <= n]. *)
+
 val direction : t -> int -> float array
 (** [direction rng d] is a uniformly random unit vector in R^d (via
     normalized Gaussian draws). *)

@@ -162,6 +162,76 @@ let test_csv_malformed () =
     Alcotest.(check bool) "path kept" true
       (e.Dataset.path = Some "/nonexistent/indq.csv")
 
+(* --- columnar binary store round trips and corruption --- *)
+
+let with_temp_store f =
+  let path = Filename.temp_file "indq-test" ".store" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+let test_store_roundtrip () =
+  with_temp_store @@ fun path ->
+  let rng = Rng.create 42 in
+  let d = Generator.anti_correlated rng ~n:257 ~d:4 in
+  Dataset.save_store d path;
+  let d' = Dataset.load_store path in
+  Alcotest.(check int) "size" (Dataset.size d) (Dataset.size d');
+  Alcotest.(check int) "dim" (Dataset.dim d) (Dataset.dim d');
+  Alcotest.(check string) "fingerprint survives"
+    (Dataset.fingerprint d) (Dataset.fingerprint d');
+  for i = 0 to Dataset.size d - 1 do
+    let a = Dataset.get d i and b = Dataset.get d' i in
+    Alcotest.(check int) "id" (Tuple.id a) (Tuple.id b);
+    for j = 0 to Dataset.dim d - 1 do
+      (* Bit-identical, not approximately equal: the payload is blitted,
+         never re-encoded. *)
+      Alcotest.(check int64) "bits"
+        (Int64.bits_of_float (Tuple.get a j))
+        (Int64.bits_of_float (Tuple.get b j))
+    done
+  done
+
+let check_store_load_error name path =
+  match Dataset.load_store path with
+  | _ -> Alcotest.fail (name ^ ": expected Load_error")
+  | exception Dataset.Load_error e ->
+    Alcotest.(check bool) (name ^ " path kept") true (e.Dataset.path = Some path)
+
+let test_store_corrupt_files () =
+  (* Missing file. *)
+  check_store_load_error "missing" "/nonexistent/indq.store";
+  let rng = Rng.create 7 in
+  let d = Generator.independent rng ~n:64 ~d:3 in
+  (* Truncated payload: the header promises more rows than the file holds. *)
+  with_temp_store (fun path ->
+      Dataset.save_store d path;
+      let full = In_channel.with_open_bin path In_channel.input_all in
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc
+            (String.sub full 0 (String.length full - 16)));
+      check_store_load_error "truncated" path);
+  (* Foreign magic: not an indq store at all. *)
+  with_temp_store (fun path ->
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc "not an indq store, just bytes\n");
+      check_store_load_error "bad magic" path);
+  (* Empty file: shorter than any header. *)
+  with_temp_store (fun path ->
+      Out_channel.with_open_bin path (fun _ -> ());
+      check_store_load_error "empty file" path)
+
+let test_store_builder_streaming () =
+  let module Store = Indq_dataset.Store in
+  let b = Store.Builder.create ~capacity:2 ~dim:2 () in
+  for i = 0 to 99 do
+    Store.Builder.add b ~id:i [| float_of_int i; float_of_int (99 - i) |]
+  done;
+  Alcotest.(check int) "length while building" 100 (Store.Builder.length b);
+  let s = Store.Builder.finish b in
+  Alcotest.(check int) "size" 100 (Store.size s);
+  Alcotest.(check int) "dim" 2 (Store.dim s);
+  Alcotest.(check int) "id" 57 (Store.id s 57);
+  Alcotest.(check (float 0.)) "value" 42. (Store.get s 57 1)
+
 let test_generator_shapes () =
   let rng = Rng.create 1 in
   List.iter
@@ -274,6 +344,13 @@ let () =
           Alcotest.test_case "max utility / top-k" `Quick test_max_utility_and_top_k;
           Alcotest.test_case "csv roundtrip" `Quick test_csv_roundtrip;
           Alcotest.test_case "csv malformed" `Quick test_csv_malformed;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "binary roundtrip" `Quick test_store_roundtrip;
+          Alcotest.test_case "corrupt files" `Quick test_store_corrupt_files;
+          Alcotest.test_case "builder streaming" `Quick
+            test_store_builder_streaming;
         ] );
       ( "generator",
         [

@@ -150,6 +150,78 @@ let prop_rtree_equals_bnl =
       let c = 1. +. Rng.float rng 0.3 in
       ids (Skyline.c_skyline_rtree ~c data) = ids (Skyline.c_skyline_bnl ~c data))
 
+(* --- persisted skyline artifacts --- *)
+
+module Artifact = Indq_dominance.Artifact
+
+let with_temp_dir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "indq-artifact-%d" (Unix.getpid ()))
+  in
+  let rec cleanup path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun e -> cleanup (Filename.concat path e)) (Sys.readdir path);
+        Sys.rmdir path
+      end
+      else Sys.remove path
+  in
+  cleanup dir;
+  Fun.protect ~finally:(fun () -> cleanup dir) (fun () -> f dir)
+
+let test_artifact_roundtrip () =
+  with_temp_dir @@ fun dir ->
+  let rng = Rng.create 11 in
+  let data = Generator.anti_correlated rng ~n:400 ~d:3 in
+  let eps = 0.05 in
+  let direct = Skyline.prune_eps_dominated ~eps data in
+  (* Cold: no artifact yet. *)
+  Alcotest.(check (option unit)) "cold lookup misses" None
+    (Option.map ignore (Artifact.lookup ~dir ~c:(1. +. eps) data));
+  let first = Artifact.prune_eps_dominated_cached ~dir ~eps data in
+  Alcotest.(check (list int)) "first run = direct" (ids direct) (ids first);
+  (* Warm: the lookup must now succeed and reproduce the result exactly. *)
+  (match Artifact.lookup ~dir ~c:(1. +. eps) data with
+  | None -> Alcotest.fail "expected an artifact hit"
+  | Some cached ->
+    Alcotest.(check (list int)) "cached = direct" (ids direct) (ids cached));
+  let second = Artifact.prune_eps_dominated_cached ~dir ~eps data in
+  Alcotest.(check (list int)) "second run = direct" (ids direct) (ids second);
+  (* A different eps is a different key, never a false hit. *)
+  Alcotest.(check (option unit)) "other eps misses" None
+    (Option.map ignore (Artifact.lookup ~dir ~c:1.2 data))
+
+let test_artifact_corrupt_recomputes () =
+  with_temp_dir @@ fun dir ->
+  let rng = Rng.create 23 in
+  let data = Generator.independent rng ~n:300 ~d:3 in
+  let eps = 0.05 in
+  let direct = Skyline.prune_eps_dominated ~eps data in
+  ignore (Artifact.prune_eps_dominated_cached ~dir ~eps data);
+  let path =
+    Artifact.path ~dir ~fingerprint:(Dataset.fingerprint data) ~c:(1. +. eps)
+  in
+  Alcotest.(check bool) "artifact written" true (Sys.file_exists path);
+  (* Scribble over the artifact: positions out of range, garbage lines.
+     Robustness contract: treated as a miss, recomputed, correct. *)
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc "garbage\n999999999\nnot-a-number\n");
+  Alcotest.(check (option unit)) "corrupt lookup misses" None
+    (Option.map ignore (Artifact.lookup ~dir ~c:(1. +. eps) data));
+  let recomputed = Artifact.prune_eps_dominated_cached ~dir ~eps data in
+  Alcotest.(check (list int)) "recomputed = direct" (ids direct)
+    (ids recomputed)
+
+let prop_store_equals_bnl =
+  QCheck2.Test.make ~count:60 ~name:"columnar c-skyline = BNL"
+    QCheck2.Gen.(int_bound 100000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let data = random_dataset rng in
+      let c = 1. +. Rng.float rng 0.3 in
+      ids (Skyline.c_skyline_store ~c data) = ids (Skyline.c_skyline_bnl ~c data))
+
 let prop_sweep_2d_equals_bnl =
   QCheck2.Test.make ~count:120 ~name:"2D sweep c-skyline = BNL"
     QCheck2.Gen.(int_bound 100000)
@@ -227,11 +299,18 @@ let () =
             test_rtree_path_counts_nodes;
           Alcotest.test_case "k-skyband" `Quick test_k_skyband;
         ] );
+      ( "artifact",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_artifact_roundtrip;
+          Alcotest.test_case "corrupt recomputes" `Quick
+            test_artifact_corrupt_recomputes;
+        ] );
       ( "properties",
         [
           QCheck_alcotest.to_alcotest prop_sfs_equals_bnl;
           QCheck_alcotest.to_alcotest prop_sweep_2d_equals_bnl;
           QCheck_alcotest.to_alcotest prop_rtree_equals_bnl;
+          QCheck_alcotest.to_alcotest prop_store_equals_bnl;
           QCheck_alcotest.to_alcotest prop_skyline_members_undominated;
           QCheck_alcotest.to_alcotest prop_c_skyline_monotone_in_c;
           QCheck_alcotest.to_alcotest prop_dominance_transitive;

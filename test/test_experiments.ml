@@ -59,7 +59,7 @@ let test_load_scaling () =
   Alcotest.(check int) "scaled size" (max 500 (int_of_float (0.02 *. 21961.)))
     (Dataset.size small);
   Alcotest.check_raises "scale guard"
-    (Invalid_argument "Experiments.load: scale in (0,1]") (fun () ->
+    (Invalid_argument "Experiments.load: scale must be positive") (fun () ->
       ignore (Experiments.load ~scale:0. ~seed:1 Experiments.Nba_like))
 
 let test_dataset_names () =

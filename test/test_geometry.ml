@@ -184,6 +184,46 @@ let prop_cut_membership =
       let v = Vec.map (fun x -> x /. total) raw in
       Polytope.contains ~tol:1e-7 r v = Halfspace.satisfies ~tol:1e-7 h v)
 
+(* Property: the complete vertex set (d = 2 interval endpoints, d = 3
+   clipped polygon) answers linear extremes like the LP does — every
+   vertex lies in the region, and the dot-product max over the vertices
+   agrees with [Polytope.maximize] within LP tolerance.  This is the
+   soundness contract Lemma 2 pruning relies on when it confirms a prune
+   without a confirming LP. *)
+let prop_complete_vertices_match_lp =
+  QCheck2.Test.make ~count:100 ~name:"complete vertices = LP extremes"
+    QCheck2.Gen.(int_bound 100000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let d = 2 + Rng.int rng 2 in
+      let cuts = Rng.int rng 5 in
+      let r = ref (Polytope.simplex d) in
+      for _ = 1 to cuts do
+        let a = Vec.init d (fun _ -> Rng.uniform rng) in
+        let b = Vec.init d (fun _ -> Rng.uniform rng) in
+        let cut = Polytope.cut !r (Halfspace.of_preference ~winner:a ~loser:b ()) in
+        if not (Polytope.is_empty cut) then r := cut
+      done;
+      match Polytope.complete_vertices !r with
+      | None -> d > 3 (* only acceptable beyond the covered dimensions *)
+      | Some vs ->
+        vs <> []
+        && List.for_all (Polytope.contains ~tol:1e-6 !r) vs
+        && (let ok = ref true in
+            for _ = 1 to 5 do
+              let dir = Vec.init d (fun _ -> Rng.uniform rng -. 0.5) in
+              let vertex_max =
+                List.fold_left
+                  (fun acc v -> Float.max acc (Vec.dot dir v))
+                  neg_infinity vs
+              in
+              match Polytope.maximize !r dir with
+              | None -> ok := false
+              | Some (lp_max, _) ->
+                if Float.abs (vertex_max -. lp_max) > 1e-6 then ok := false
+            done;
+            !ok))
+
 (* Property: width never increases under cuts. *)
 let prop_width_monotone =
   QCheck2.Test.make ~count:60 ~name:"width monotone under cuts"
@@ -230,6 +270,7 @@ let () =
       ( "properties",
         [
           QCheck_alcotest.to_alcotest prop_cut_membership;
+          QCheck_alcotest.to_alcotest prop_complete_vertices_match_lp;
           QCheck_alcotest.to_alcotest prop_width_monotone;
         ] );
     ]

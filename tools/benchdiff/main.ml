@@ -4,9 +4,11 @@
      benchdiff [-time-tol R] [-gate-times] [-strict] [-critical NAME]
                [-no-critical] BASELINE.json CURRENT.json
 
-   Critical counters (default: lp.iterations, lp.dual_pivots — the LP
-   work the dual-simplex refactor exists to reduce) hard-fail when
-   present on only one side, so a stale baseline cannot un-gate them.
+   Critical counters (default: lp.iterations and lp.dual_pivots — the LP
+   work the dual-simplex refactor exists to reduce — plus
+   rtree.nodes_visited and the skyline.path_* dispatch counters from the
+   columnar data tier) hard-fail when present on only one side, so a
+   stale baseline cannot un-gate them.
 
    Exit codes: 0 clean (improvements and notes allowed), 1 regression or
    mismatch (or, under -strict, any finding at all), 2 usage/IO/parse
@@ -18,7 +20,20 @@ let usage =
   "benchdiff [-time-tol R] [-gate-times] [-strict] [-critical NAME] \
    [-no-critical] BASELINE CURRENT"
 
-let default_critical = [ "lp.iterations"; "lp.dual_pivots" ]
+let default_critical =
+  [
+    "lp.iterations";
+    "lp.dual_pivots";
+    (* The columnar-tier wins: R-tree traversal volume and the skyline
+       path dispatch (sweep / SFS / rtree / store).  Critical for the
+       same reason as the LP pair — losing one from a report means the
+       optimization it measures silently stopped being exercised. *)
+    "rtree.nodes_visited";
+    "skyline.path_sweep";
+    "skyline.path_sfs";
+    "skyline.path_rtree";
+    "skyline.path_store";
+  ]
 
 let read_file p =
   let ic = open_in_bin p in
