@@ -33,6 +33,14 @@ let selected : string list ref = ref []
    recorded; the bechamel and ablation sections print free-form tables and
    stay text-only. *)
 let recorded_sweeps : (string * Experiments.sweep) list ref = ref []
+
+(* Per-round allocation probe from the -scale experiment: for every
+   interactive round, (total minor words allocated by the round, minor
+   words allocated inside the [@indq.alloc_free] flat-sweep kernel).
+   The second number is the dynamic cross-check of the static ANA002
+   claim — it must be exactly 0 every round.  Emitted as the
+   "scale_probe" section of the JSON report when -json is given. *)
+let scale_probe : (float * float) list ref = ref []
 let current_experiment = ref ""
 
 let record sweep =
@@ -737,7 +745,12 @@ let run_scale () =
         let rec loop () =
           match Session.current session with
           | Session.Asking options ->
+            let minor0 = Gc.minor_words () in
+            let sweep0 = Counter.get "prune.sweep_minor_words" in
             Session.answer session (Utility.best_index u options);
+            let minor1 = Gc.minor_words () in
+            let sweep1 = Counter.get "prune.sweep_minor_words" in
+            scale_probe := (minor1 -. minor0, sweep1 -. sweep0) :: !scale_probe;
             loop ()
           | Session.Finished result -> result
         in
@@ -789,6 +802,13 @@ let run_scale () =
     (ms (Histogram.p50 rl))
     (ms (Histogram.p90 rl))
     (ms (Histogram.p99 rl));
+  let rounds = List.rev !scale_probe in
+  let sweep_total = List.fold_left (fun a (_, s) -> a +. s) 0. rounds in
+  Printf.printf
+    "allocation probe: rounds=%d sweep_minor_words(total)=%g%s\n\n%!"
+    (List.length rounds) sweep_total
+    (if Float.equal sweep_total 0. then " (alloc-free claim holds)"
+     else " (ALLOC-FREE CLAIM VIOLATED)");
   if !metrics then begin
     let mt =
       Tabulate.create ~title:"work histograms (this run)"
@@ -896,7 +916,18 @@ let () =
     |> List.iteri (fun i (name, sweep) ->
            Printf.fprintf oc "%s{\"experiment\":\"%s\",\"sweep\":%s}" (if i = 0 then "" else ",\n") name
              (Report.sweep_to_json ~with_times:!with_times sweep));
-    output_string oc "\n]}\n";
+    output_string oc "\n]";
+    (match List.rev !scale_probe with
+    | [] -> ()
+    | rounds ->
+      let nums sel =
+        rounds |> List.map (fun r -> Printf.sprintf "%g" (sel r))
+        |> String.concat ","
+      in
+      Printf.fprintf oc
+        ",\n\"scale_probe\":{\"rounds\":%d,\"minor_words\":[%s],\"sweep_minor_words\":[%s]}"
+        (List.length rounds) (nums fst) (nums snd));
+    output_string oc "}\n";
     close_out oc;
     Printf.eprintf "wrote %s\n" !json_file
   end

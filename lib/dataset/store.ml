@@ -23,6 +23,10 @@ let make_ids n : id_column =
 
 let empty =
   { s_dim = 0; s_n = 0; s_data = Vec.make 0 0.; s_ids = make_ids 0; s_fp = None }
+[@@indq.domain_safe
+  "the only mutable field, s_fp, is an idempotent memo: a single pointer \
+   write of the content-determined fingerprint, so concurrent writers \
+   store equal values and readers see None or a complete string"]
 
 let create ~dim n =
   if dim <= 0 then invalid_arg "Store.create: dimension must be positive";
@@ -38,7 +42,12 @@ let dim t = t.s_dim
 let size t = t.s_n
 
 let check_row t i name =
-  if i < 0 || i >= t.s_n then invalid_arg (name ^ ": row out of range")
+  if i < 0 || i >= t.s_n then
+    (invalid_arg (name ^ ": row out of range")
+    [@indq.alloc_ok
+      "cold caller-bug path: the message concat only runs when the \
+       bounds check is about to raise"])
+[@@indq.alloc_free "hot guard: one compare pair on the row index"]
 
 let row t i =
   check_row t i "Store.row";
@@ -51,6 +60,10 @@ let get t i j =
 
 let data t = t.s_data
 
+(* Not [@indq.alloc_free]: the int64 Bigarray read boxes its result (3
+   words, measured by the bench minor-words probe), so allocation-free
+   kernels must hoist the id column into an int array first — see the
+   flat sweep in [Pruning.region_prune]. *)
 let id t i =
   check_row t i "Store.id";
   Int64.to_int (Bigarray.Array1.get t.s_ids i)

@@ -208,23 +208,23 @@ let c_skyline_store ~c data =
    bulk-loaded R-tree variant runs; below, the SFS window pass.  All
    variants return the same set in the same (original) order, so dispatch
    changes never alter query outputs — only counters. *)
-let rtree_threshold = ref 512
+let rtree_threshold = Atomic.make 512
 
-let store_threshold = ref 200_000
+let store_threshold = Atomic.make 200_000
 
 let set_dispatch_thresholds ?rtree ?store () =
   (match rtree with
   | Some v ->
     if v < 0 then invalid_arg "Skyline.set_dispatch_thresholds: negative rtree";
-    rtree_threshold := v
+    Atomic.set rtree_threshold v
   | None -> ());
   match store with
   | Some v ->
     if v < 0 then invalid_arg "Skyline.set_dispatch_thresholds: negative store";
-    store_threshold := v
+    Atomic.set store_threshold v
   | None -> ()
 
-let dispatch_thresholds () = (!rtree_threshold, !store_threshold)
+let dispatch_thresholds () = (Atomic.get rtree_threshold, Atomic.get store_threshold)
 
 (* Dispatch: the 2-D sweep is always best for d = 2; the SFS window pass
    wins while inputs are small, but on data whose c-skyline grows with n
@@ -236,11 +236,11 @@ let c_skyline ~c data =
     Counter.incr c_path_sweep;
     c_skyline_sweep_2d ~c data
   end
-  else if Dataset.size data > !store_threshold then begin
+  else if Dataset.size data > Atomic.get store_threshold then begin
     Counter.incr c_path_store;
     c_skyline_store ~c data
   end
-  else if Dataset.size data > !rtree_threshold then begin
+  else if Dataset.size data > Atomic.get rtree_threshold then begin
     Counter.incr c_path_rtree;
     c_skyline_rtree ~c data
   end

@@ -34,11 +34,11 @@ let () =
    queries ran before.  Incremental mode memoizes the frozen tableau and
    the query results per node; cold mode rebuilds the same objects per
    query and necessarily lands on the same bits. *)
-let incremental = ref true
+let incremental = Atomic.make true
 
-let set_incremental b = incremental := b
+let set_incremental b = Atomic.set incremental b
 
-let incremental_enabled () = !incremental
+let incremental_enabled () = Atomic.get incremental
 
 (* Per-coordinate / per-direction extreme: optimal value plus the region
    point (LP vertex) where it is attained.  The point doubles as the cache
@@ -142,11 +142,11 @@ let new_ctx () : ctx = ref []
 
 let rec frozen_via (ctx : ctx) r =
   let cached =
-    if !incremental then r.art.frozen else List.assq_opt r !ctx
+    if Atomic.get incremental then r.art.frozen else List.assq_opt r !ctx
   in
   match cached with
   | Some f ->
-    if !incremental then Counter.incr c_cache_hits;
+    if Atomic.get incremental then Counter.incr c_cache_hits;
     f
   | None ->
     let f =
@@ -169,7 +169,7 @@ let rec frozen_via (ctx : ctx) r =
           | `Infeasible -> Empty
           | `Failed _ -> Fallback))
     in
-    (if !incremental then r.art.frozen <- Some f else ctx := (r, f) :: !ctx);
+    (if Atomic.get incremental then r.art.frozen <- Some f else ctx := (r, f) :: !ctx);
     f
 
 (* --- The d = 2 analytic path ------------------------------------------- *)
@@ -277,7 +277,7 @@ let is_empty r =
     end
     else
       let cached_point =
-        if not !incremental then None
+        if not (Atomic.get incremental) then None
         else
           (* Any ancestor point surviving the interleaving cuts is a point
              of [r]: feasibility settled by dot products alone. *)
@@ -383,7 +383,7 @@ let fresh_pair ctx r dir ~adopt_lo ~adopt_hi =
    trial-local ownership discipline the parallel bench relies on. *)
 let canonical_pair ctx r dir ~get ~set =
   let rec lookup node =
-    match (if !incremental then get node else None) with
+    match (if Atomic.get incremental then get node else None) with
     | Some pair ->
       Counter.incr c_cache_hits;
       pair
@@ -395,7 +395,7 @@ let canonical_pair ctx r dir ~get ~set =
         let lo_ok = Halfspace.satisfies cut plo.witness in
         let hi_ok = Halfspace.satisfies cut phi.witness in
         if lo_ok && hi_ok then begin
-          if !incremental then Counter.incr c_cache_hits;
+          if Atomic.get incremental then Counter.incr c_cache_hits;
           parent_pair
         end
         else
@@ -405,7 +405,7 @@ let canonical_pair ctx r dir ~get ~set =
       | None -> fresh_pair ctx node dir ~adopt_lo:None ~adopt_hi:None)
   in
   let pair = lookup r in
-  if !incremental then set r pair;
+  if Atomic.get incremental then set r pair;
   pair
 
 let ensure_fast_bounds r =
@@ -449,12 +449,12 @@ let compute_profile ctx r =
 
 let coordinate_profile r =
   match r.art.profile with
-  | Some p when !incremental ->
+  | Some p when Atomic.get incremental ->
     Counter.incr c_cache_hits;
     p
   | _ ->
     let p = compute_profile (new_ctx ()) r in
-    if !incremental then r.art.profile <- Some p;
+    if Atomic.get incremental then r.art.profile <- Some p;
     p
 
 let coordinate_bounds r = fst (coordinate_profile r)
@@ -569,7 +569,7 @@ let width ?stop_when r =
   end
   else
     let ctx = new_ctx () in
-    if not !incremental then begin
+    if not (Atomic.get incremental) then begin
       let acc = ref 0. in
       for i = 0 to r.dim - 1 do
         let lo, hi = axis_pair ctx r i in
@@ -650,7 +650,7 @@ let diameter ?(extra_directions = [||]) ?stop_when r =
   let extent_of support dir = support /. Float.max (Vec.norm2 dir) 1e-12 in
   let acc = ref 0. in
   (try
-     if r.dim = 2 || not !incremental then
+     if r.dim = 2 || not (Atomic.get incremental) then
        Array.iter
          (fun dir ->
            let lo, hi = support_pair ctx r dir in

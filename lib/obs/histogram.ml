@@ -25,7 +25,9 @@ let registry : (string, t) Hashtbl.t = Hashtbl.create 16
 
 let registry_lock = Mutex.create ()
 
-let registered = ref 0
+(* Atomic for the same reason as {!Counter.registered}: the DLS init
+   closure reads it from worker domains while [make] may run elsewhere. *)
+let registered = Atomic.make 0
 
 type cell = {
   mutable c_count : int;
@@ -41,7 +43,7 @@ let new_cell () =
    {!Counter.cells}. *)
 let cells_key : cell array ref Domain.DLS.key =
   Domain.DLS.new_key (fun () ->
-      ref (Array.init (max 8 !registered) (fun _ -> new_cell ())))
+      ref (Array.init (max 8 (Atomic.get registered)) (fun _ -> new_cell ())))
 
 let cells (h : t) =
   let r = Domain.DLS.get cells_key in
@@ -62,8 +64,8 @@ let make ?(unit_ = Count) name =
       match Hashtbl.find_opt registry name with
       | Some h -> h
       | None ->
-        let h = { name; index = !registered; unit_ } in
-        incr registered;
+        let h = { name; index = Atomic.get registered; unit_ } in
+        Atomic.incr registered;
         Hashtbl.replace registry name h;
         h)
 
@@ -79,6 +81,9 @@ let kind h = h.unit_
    relative bucket width 2^0.25 ≈ 1.19 (percentile error < 19 %). *)
 let sub_thresholds =
   [| 0.5; 0.59460355750136051; 0.70710678118654757; 0.84089641525371461 |]
+[@@indq.domain_safe
+  "write-free after initialization: constant bucket thresholds, read-only \
+   lookup table shared by all domains"]
 
 let sub_buckets = Array.length sub_thresholds
 

@@ -189,6 +189,9 @@ let node_intersects t level j ~lo ~hi =
     then ok := false
   done;
   !ok
+[@@indq.alloc_free
+  "query-probe kernel: Bigarray box compares against the flat level \
+   arrays, with a local bool accumulator the backend keeps in a register"]
 
 let point_in_box t pos ~lo ~hi =
   let d = t.t_dim in
@@ -199,6 +202,9 @@ let point_in_box t pos ~lo ~hi =
     if x < Vec.get lo i || x > Vec.get hi i then ok := false
   done;
   !ok
+[@@indq.alloc_free
+  "query-probe kernel: leaf-point containment test over the flat \
+   coordinate array; no boxing on the compare path"]
 
 exception Found
 

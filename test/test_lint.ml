@@ -116,6 +116,28 @@ let unsafe_in_linalg () =
     "linalg kernels may skip bounds checks" []
     (codes ~path:"lib/linalg/vec.ml" ind009_bad)
 
+(* --- IND010: analyzer-attribute hygiene ---------------------------------- *)
+
+let ind010_bare =
+  {| let f x = x + 1 [@@indq.alloc_free] |}
+
+let ind010_empty =
+  {| let f x = x + 1 [@@indq.alloc_free "  "] |}
+
+let ind010_nonstring =
+  {| let tbl : (int, int) Hashtbl.t = Hashtbl.create 8
+       [@@indq.domain_safe 42] |}
+
+let ind010_expr_marker =
+  {| let g xs = List.iter (fun x -> ignore (x, x) [@indq.alloc_ok]) xs |}
+
+let ind010_good =
+  {| let f x = x + 1
+       [@@indq.alloc_free "fixture: pure integer arithmetic"]
+     let tbl : (int, int) Hashtbl.t = Hashtbl.create 8
+       [@@indq.domain_safe "fixture: confined to the main domain"]
+     let g x = ignore ((x, x) [@indq.alloc_ok "fixture: cold path"]) |}
+
 (* --- Doc cross-check ----------------------------------------------------- *)
 
 let obs_name name line : Lint.obs_name =
@@ -188,7 +210,19 @@ let () =
           Alcotest.test_case "IND006 dynamic name" `Quick
             (check_codes "dynamic obs name" ~expect:[ "IND006" ] ind006_dynamic);
           Alcotest.test_case "IND006 literal name" `Quick
-            (check_codes "literal obs name" ~expect:[] ind006_literal)
+            (check_codes "literal obs name" ~expect:[] ind006_literal);
+          Alcotest.test_case "IND010 bare marker" `Quick
+            (check_codes "bare alloc_free" ~expect:[ "IND010" ] ind010_bare);
+          Alcotest.test_case "IND010 empty justification" `Quick
+            (check_codes "empty alloc_free" ~expect:[ "IND010" ] ind010_empty);
+          Alcotest.test_case "IND010 non-string payload" `Quick
+            (check_codes "non-string domain_safe" ~expect:[ "IND010" ]
+               ind010_nonstring);
+          Alcotest.test_case "IND010 expression marker" `Quick
+            (check_codes "bare alloc_ok" ~expect:[ "IND010" ]
+               ind010_expr_marker);
+          Alcotest.test_case "IND010 justified markers" `Quick
+            (check_codes "justified markers" ~expect:[] ind010_good)
         ] );
       ( "suppression",
         [ Alcotest.test_case "expression allow" `Quick

@@ -1,0 +1,70 @@
+(* indq-analyze driver: walk the given directories for .cmt files (the
+   typed trees dune writes under *.objs/byte/ as part of @check), feed
+   every implementation to the analyzer, print findings as
+   file:line:col diagnostics, and exit nonzero if any survive.
+
+   Run via the root alias: `dune build @analyze`. *)
+
+module Analyze = Indq_analyze.Analyze
+
+let usage = "indq_analyze DIR..."
+
+let walk root =
+  (* Depth-first, name-sorted; descends into dot-directories because the
+     .cmt files live under .<lib>.objs/byte/. *)
+  let rec go acc p =
+    if Sys.is_directory p then
+      Sys.readdir p |> Array.to_list |> List.sort String.compare
+      |> List.fold_left (fun acc f -> go acc (Filename.concat p f)) acc
+    else if Filename.check_suffix p ".cmt" then p :: acc
+    else acc
+  in
+  List.rev (go [] root)
+
+let load_cmt path =
+  match Cmt_format.read_cmt path with
+  | { cmt_annots = Implementation str; cmt_modname; cmt_sourcefile; _ } ->
+    let file = Option.value cmt_sourcefile ~default:(cmt_modname ^ ".ml") in
+    Some { Analyze.in_modname = cmt_modname; in_file = file; in_structure = str }
+  | _ -> None
+  | exception _ ->
+    Printf.eprintf "indq-analyze: warning: unreadable cmt %s (skipped)\n" path;
+    None
+
+let () =
+  let roots = ref [] in
+  Arg.parse [] (fun p -> roots := p :: !roots) usage;
+  if !roots = [] then begin
+    prerr_endline usage;
+    exit 2
+  end;
+  let cmts = List.concat_map walk (List.rev !roots) in
+  (* One input per module name: byte/native builds may both leave a cmt. *)
+  let seen = Hashtbl.create 128 in
+  let inputs =
+    List.filter_map
+      (fun p ->
+        match load_cmt p with
+        | Some i when not (Hashtbl.mem seen i.Analyze.in_modname) ->
+          Hashtbl.add seen i.Analyze.in_modname ();
+          Some i
+        | _ -> None)
+      cmts
+  in
+  let findings, stats = Analyze.run inputs in
+  List.iter (fun f -> Format.printf "%a@." Analyze.pp_finding f) findings;
+  let count code =
+    List.length (List.filter (fun f -> f.Analyze.code = code) findings)
+  in
+  if findings = [] then
+    Format.printf
+      "indq-analyze: %d modules, %d task spawners, %d toplevel mutables, %d \
+       alloc-free functions, clean@."
+      stats.Analyze.st_modules stats.st_spawners stats.st_mutables
+      stats.st_annotated
+  else begin
+    Format.printf
+      "indq-analyze: %d finding(s) (ANA001=%d ANA002=%d ANA003=%d)@."
+      (List.length findings) (count "ANA001") (count "ANA002") (count "ANA003");
+    exit 1
+  end

@@ -33,6 +33,11 @@ let default_critical =
     "skyline.path_sfs";
     "skyline.path_rtree";
     "skyline.path_store";
+    (* The dynamic half of the ANA002 allocation-freedom story: minor
+       words allocated inside the [@indq.alloc_free] flat-sweep kernel.
+       Must stay exactly 0; one-sided absence means the probe was
+       dropped and the static claim is no longer cross-checked. *)
+    "prune.sweep_minor_words";
   ]
 
 let read_file p =

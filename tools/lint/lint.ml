@@ -86,7 +86,16 @@
            dimension guards, and that pairing is what the kernel review
            audits.  Anywhere else, an identifier ending in
            [unsafe_get]/[unsafe_set] (Bigarray, Array, Bytes, …) trades a
-           checked error for silent memory corruption and is flagged. *)
+           checked error for silent memory corruption and is flagged.
+
+   IND010  analyzer-attribute hygiene.  The indq-analyze markers —
+           [@indq.alloc_free], [@indq.domain_safe], [@indq.alloc_ok] —
+           are audit records, not switches: each must carry a single
+           non-empty string literal saying why the claim holds (the
+           analyzer reads the same payload as ANA003, but the lint runs
+           on every source file, with or without a .cmt).  A bare or
+           empty-string marker silences a semantic check without leaving
+           a reviewable justification and is flagged. *)
 
 open Ppxlib
 
@@ -251,6 +260,12 @@ let string_const (e : expression) =
   | Pexp_constant (Pconst_string (s, _, _)) -> Some s
   | _ -> None
 
+(* The indq-analyze markers checked by IND010 (tools/analyze reads the
+   same payloads from the typedtree as ANA003; the lint covers files the
+   analyzer never sees a .cmt for). *)
+let indq_marker_names =
+  [ "indq.alloc_free"; "indq.domain_safe"; "indq.alloc_ok" ]
+
 (* [@lint.allow ("IND00x", "justification")] *)
 let parse_allow (attr : attribute) =
   if attr.attr_name.txt <> "lint.allow" then None
@@ -354,6 +369,24 @@ let lint_structure ~path (str : structure) : report =
         allows := scope :: !allows;
         super#value_binding vb;
         allows := List.tl !allows
+
+      method! attribute attr =
+        (if List.mem attr.attr_name.txt indq_marker_names then
+           let reject detail =
+             emit attr.attr_loc "IND010"
+               (Printf.sprintf
+                  "[@%s] %s; the payload is the audit record reviewers \
+                   rely on — write [@%s \"why the claim holds\"]"
+                  attr.attr_name.txt detail attr.attr_name.txt)
+           in
+           match attr.attr_payload with
+           | PStr [ { pstr_desc = Pstr_eval (e, _); _ } ] -> (
+             match string_const e with
+             | Some why when String.trim why <> "" -> ()
+             | Some _ -> reject "has an empty justification"
+             | None -> reject "needs a string-literal justification")
+           | _ -> reject "is missing its justification");
+        super#attribute attr
 
       method! expression e =
         let scope = allows_of_attrs e.pexp_attributes in
