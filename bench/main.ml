@@ -12,6 +12,11 @@
 module Experiments = Indq_experiments.Experiments
 module Report = Indq_experiments.Report
 module Pool = Indq_exec.Pool
+module Wire = Indq_server.Wire
+module Journal_store = Indq_server.Journal_store
+module Engine = Indq_server.Engine
+module Server = Indq_server.Server
+module Sclient = Indq_server.Client
 
 let seed = ref 2024
 let scale = ref 1.0
@@ -21,6 +26,7 @@ let quick = ref false
 let metrics = ref false
 let faults = ref false
 let lp_micro = ref false
+let serve_bench = ref false
 let jobs = ref 1
 let with_times = ref true
 let cold = ref false
@@ -52,7 +58,7 @@ let record sweep =
    pool never appears in the printed output. *)
 let pool : Pool.t option ref = ref None
 
-let usage = "main.exe [-quick] [-metrics] [-j N] [-no-times] [-cold] [-json FILE] [-scale S] [-cache DIR] [-utilities K] [-max-n N] [-seed S] [-faults] [-lp] [experiments...]"
+let usage = "main.exe [-quick] [-metrics] [-j N] [-no-times] [-cold] [-json FILE] [-scale S] [-cache DIR] [-utilities K] [-max-n N] [-seed S] [-faults] [-lp] [-serve] [experiments...]"
 
 let spec =
   [
@@ -82,6 +88,9 @@ let spec =
     ("-lp", Arg.Set lp_micro,
      "run the LP micro-benchmark (flat-kernel throughput, dual-simplex \
       vs two-phase latency) instead of the default experiments");
+    ("-serve", Arg.Set serve_bench,
+     "run the session-server load benchmark (socket load generation plus \
+      the eviction-transparency check) instead of the default experiments");
   ]
 
 let print_sweep sweep =
@@ -500,6 +509,123 @@ let drive_worker_death () =
       | exception Fault.Injected _ ->
         "retries exhausted: typed Fault.Injected")
 
+let bench_temp_dir prefix =
+  let base = Filename.temp_file prefix "" in
+  Sys.remove base;
+  Unix.mkdir base 0o700;
+  base
+
+let serve_hello id =
+  {
+    Wire.id;
+    algo = Algo.Squeeze_u;
+    data = "independent";
+    n = 30;
+    d = 2;
+    seed = 5;
+    s = 0;
+    q = 0;
+    eps = 0.;
+    delta = 0.;
+  }
+
+(* Every fsync failure is absorbed by the durable sink: appends keep
+   succeeding, the records all land on disk, and only the
+   serve.sync_failures counter betrays the injection. *)
+let drive_journal_sync () =
+  let dir = bench_temp_dir "indq-bench-sync" in
+  let before = Counter.get "serve.sync_failures" in
+  let sink =
+    Journal_store.create ~dir ~fsync:Journal_store.Always (serve_hello "sync")
+  in
+  let entries =
+    List.init (fault_reaches - 1) (fun i ->
+        Indq_core.Session.Answered { round = i + 1; options = 2; choice = 0 })
+  in
+  List.iter (Journal_store.append sink) entries;
+  Journal_store.close sink;
+  let failures = Counter.get "serve.sync_failures" -. before in
+  match Journal_store.load ~dir "sync" with
+  | Ok l
+    when l.Journal_store.entries = entries && not l.Journal_store.torn_tail ->
+    Printf.sprintf "absorbed %g fsync failure(s), all %d records durable"
+      failures (List.length entries)
+  | Ok _ -> "RECORDS MISMATCH AFTER SYNC FAILURE"
+  | Error _ -> "JOURNAL FAILED TO LOAD"
+
+(* A torn append poisons the sink; recovery reloads (dropping the torn
+   tail), reopens with a rewrite, and re-appends the failed record.  The
+   final journal must hold every record exactly once. *)
+let drive_journal_torn_write () =
+  let dir = bench_temp_dir "indq-bench-torn" in
+  let torn = ref 0 in
+  (* A tear can land on the header write itself; creation is atomic, so
+     recovery there is delete-and-retry. *)
+  let rec fresh () =
+    match
+      Journal_store.create ~dir ~fsync:Journal_store.Never (serve_hello "torn")
+    with
+    | sink -> sink
+    | exception Journal_store.Torn _ ->
+      incr torn;
+      Sys.remove (Journal_store.path ~dir "torn");
+      fresh ()
+  in
+  let sink = ref (fresh ()) in
+  let entries =
+    List.init fault_reaches (fun i ->
+        Indq_core.Session.Answered { round = i + 1; options = 2; choice = 10 + i })
+  in
+  List.iter
+    (fun e ->
+      match Journal_store.append !sink e with
+      | () -> ()
+      | exception Journal_store.Torn _ -> (
+        incr torn;
+        Journal_store.close !sink;
+        match Journal_store.load ~dir "torn" with
+        | Ok loaded ->
+          sink :=
+            Journal_store.reopen ~dir ~fsync:Journal_store.Never
+              ~rewrite:loaded.Journal_store.torn_tail loaded "torn";
+          Journal_store.append !sink e
+        | Error _ -> ()))
+    entries;
+  Journal_store.close !sink;
+  match Journal_store.load ~dir "torn" with
+  | Ok l
+    when l.Journal_store.entries = entries && not l.Journal_store.torn_tail ->
+    Printf.sprintf "tear recovered x%d, journal intact (%d records)" !torn
+      (List.length entries)
+  | Ok _ | Error _ -> "JOURNAL DAMAGED AFTER TORN WRITE"
+
+(* The engine swallows exactly one reply; session state stays intact, so
+   the following request sees the same pending round. *)
+let drive_client_disconnect () =
+  let dir = bench_temp_dir "indq-bench-disc" in
+  let engine =
+    Engine.create
+      { (Engine.default_config ~dir) with Engine.fsync = Journal_store.Never }
+  in
+  let outcomes =
+    List.init fault_reaches (fun i ->
+        Engine.handle engine
+          (if i = 0 then Wire.Hello (serve_hello "c")
+           else Wire.Ask { id = "c" }))
+  in
+  Engine.shutdown engine;
+  let count p = List.length (List.filter p outcomes) in
+  let dropped =
+    count (function Engine.Disconnect -> true | _ -> false)
+  in
+  let clean =
+    count (function
+      | Engine.Reply (Wire.R_ask _ | Wire.R_done _) -> true
+      | _ -> false)
+  in
+  Printf.sprintf "reply dropped x%d, %d clean replies, session intact" dropped
+    clean
+
 let run_faults () =
   section (Printf.sprintf "fault matrix (plan seed=%d)" !seed);
   let plan = Fault.random_plan ~seed:!seed in
@@ -520,6 +646,9 @@ let run_faults () =
             | "inject.lp_nan_pivot" -> drive_lp `Nan
             | "inject.oracle_contradiction" -> drive_oracle_contradiction ()
             | "inject.worker_death" -> drive_worker_death ()
+            | "inject.journal_sync" -> drive_journal_sync ()
+            | "inject.journal_torn_write" -> drive_journal_torn_write ()
+            | "inject.client_disconnect" -> drive_client_disconnect ()
             | _ -> "no driver for this site")
       in
       let delta = Counter.since before in
@@ -694,6 +823,197 @@ let run_lp_micro () =
     (counter "lp.iterations");
   Printf.printf "agreement: %d/%d dual vs two-phase (max |delta| = %.3g)\n\n"
     !agreements !queries !max_gap
+
+(* --- Serve bench (-serve): the crash-tolerant session server under load.
+
+   Phase A drives real clients over a Unix-domain socket against a server
+   running in its own domain; counters are domain-local, so every figure
+   comes back over the wire through the [stats] op.  Phase B replays one
+   interleaved schedule through two engines — one starved to
+   [max_hydrated = 3], one uncapped — and byte-compares the final encoded
+   [done] lines: eviction plus rehydration must be invisible in the
+   results, while [serve.evictions] proves the round trips happened. *)
+
+let serve_json = ref ""
+
+let run_serve () =
+  section "serve";
+  let gated v = if !with_times then v else "-" in
+  let ms v = Printf.sprintf "%.3f" (v *. 1e3) in
+  (* Phase A: socket load generation. *)
+  let sessions = if !quick then 30 else 150 in
+  let root = bench_temp_dir "indq-serve" in
+  let sock = Filename.concat root "indq.sock" in
+  let config =
+    {
+      (Engine.default_config ~dir:(Filename.concat root "journals")) with
+      Engine.allow_shutdown = true;
+    }
+  in
+  let ready = Atomic.make false in
+  let server =
+    Domain.spawn (fun () ->
+        Server.run
+          ~on_ready:(fun () -> Atomic.set ready true)
+          config (Server.Unix_path sock))
+  in
+  while not (Atomic.get ready) do
+    Unix.sleepf 0.005
+  done;
+  let client = Sclient.connect (Server.Unix_path sock) in
+  let load_hello i =
+    {
+      Wire.id = Printf.sprintf "load-%04d" i;
+      algo = Algo.Squeeze_u;
+      data = "independent";
+      n = 400;
+      d = 3;
+      seed = !seed + i;
+      s = 0;
+      q = 0;
+      eps = 0.;
+      delta = 0.;
+    }
+  in
+  let total_rounds = ref 0 in
+  let drive i =
+    let rec loop = function
+      | Wire.R_ask { id; round; options } ->
+        incr total_rounds;
+        let choice = (round + i) mod Array.length options in
+        loop (Sclient.rpc client (Wire.Answer { id; round; choice }))
+      | Wire.R_done _ -> ()
+      | other ->
+        failwith ("serve bench: unexpected reply " ^ Wire.response_to_line other)
+    in
+    loop (Sclient.rpc client (Wire.Hello (load_hello i)))
+  in
+  let (), secs =
+    Timer.time (fun () ->
+        for i = 0 to sessions - 1 do
+          drive i
+        done)
+  in
+  let counters, lat =
+    match Sclient.rpc client Wire.Stats with
+    | Wire.R_stats { counters; round_latency } -> (counters, round_latency)
+    | other ->
+      failwith ("serve bench: unexpected stats reply " ^ Wire.response_to_line other)
+  in
+  (match Sclient.rpc client Wire.Shutdown with
+  | Wire.R_ok _ -> ()
+  | other ->
+    failwith ("serve bench: shutdown refused: " ^ Wire.response_to_line other));
+  Sclient.close client;
+  Domain.join server;
+  let counter name =
+    match List.assoc_opt name counters with Some v -> v | None -> 0.
+  in
+  let a = Tabulate.create ~title:"phase A: socket load" ~columns:[ "metric"; "value" ] in
+  Tabulate.add_row a [ "sessions"; string_of_int sessions ];
+  Tabulate.add_row a [ "rounds answered"; string_of_int !total_rounds ];
+  Tabulate.add_row a [ "serve.sessions"; Printf.sprintf "%g" (counter "serve.sessions") ];
+  Tabulate.add_row a [ "serve.requests"; Printf.sprintf "%g" (counter "serve.requests") ];
+  Tabulate.add_row a [ "serve.journal_syncs"; Printf.sprintf "%g" (counter "serve.journal_syncs") ];
+  Tabulate.add_row a [ "serve.wire_errors"; Printf.sprintf "%g" (counter "serve.wire_errors") ];
+  Tabulate.add_row a [ "wall seconds"; gated (Printf.sprintf "%.2f" secs) ];
+  Tabulate.add_row a
+    [ "sessions/sec"; gated (Printf.sprintf "%.1f" (float_of_int sessions /. secs)) ];
+  Tabulate.add_row a
+    [ Printf.sprintf "serve.round_latency ms (n=%d)" lat.Wire.p_count;
+      gated
+        (Printf.sprintf "p50=%s p90=%s p99=%s" (ms lat.Wire.p50)
+           (ms lat.Wire.p90) (ms lat.Wire.p99)) ];
+  Tabulate.print a;
+  (* Phase B: eviction transparency on one interleaved schedule. *)
+  let clients_b = 12 in
+  let evict_hello i =
+    {
+      Wire.id = Printf.sprintf "evict-%02d" i;
+      algo = Algo.Squeeze_u;
+      data = "anti_correlated";
+      n = 300;
+      d = 2;
+      seed = !seed + (7 * i);
+      s = 0;
+      q = 0;
+      eps = 0.;
+      delta = 0.;
+    }
+  in
+  let run_schedule ~max_hydrated =
+    let dir = bench_temp_dir "indq-evict" in
+    let engine =
+      Engine.create
+        {
+          (Engine.default_config ~dir) with
+          Engine.max_hydrated;
+          fsync = Journal_store.Never;
+        }
+    in
+    let before = Counter.snapshot () in
+    let finals = Array.make clients_b "" in
+    let reply i = function
+      | Engine.Reply (Wire.R_done _ as r) ->
+        finals.(i) <- Wire.response_to_line r
+      | Engine.Reply (Wire.R_ask _) -> ()
+      | _ -> failwith "serve bench: unexpected engine outcome"
+    in
+    for i = 0 to clients_b - 1 do
+      reply i (Engine.handle engine (Wire.Hello (evict_hello i)))
+    done;
+    (* Round-robin, one answer per session per pass: with the starved
+       capacity every pass churns the LRU through all twelve sessions. *)
+    let progress = ref true in
+    while !progress do
+      progress := false;
+      for i = 0 to clients_b - 1 do
+        if finals.(i) = "" then begin
+          progress := true;
+          let id = (evict_hello i).Wire.id in
+          match Engine.handle engine (Wire.Ask { id }) with
+          | Engine.Reply (Wire.R_done _ as r) ->
+            finals.(i) <- Wire.response_to_line r
+          | Engine.Reply (Wire.R_ask { id; round; options }) ->
+            let choice = (round + i) mod Array.length options in
+            reply i (Engine.handle engine (Wire.Answer { id; round; choice }))
+          | _ -> failwith "serve bench: unexpected engine outcome"
+        end
+      done
+    done;
+    let delta = Counter.since before in
+    Engine.shutdown engine;
+    let v name =
+      match List.assoc_opt name delta with Some x -> x | None -> 0.
+    in
+    (Array.to_list finals, v "serve.evictions", v "serve.hydrations")
+  in
+  let starved, ev_starved, hy_starved = run_schedule ~max_hydrated:3 in
+  let uncapped, ev_uncapped, _ = run_schedule ~max_hydrated:1024 in
+  let identical = starved = uncapped in
+  let b =
+    Tabulate.create ~title:"phase B: eviction transparency (12 sessions)"
+      ~columns:[ "engine"; "evictions"; "hydrations"; "final done lines" ]
+  in
+  Tabulate.add_row b
+    [ "max_hydrated=3"; Printf.sprintf "%g" ev_starved;
+      Printf.sprintf "%g" hy_starved;
+      (if identical then "byte-identical" else "BYTE MISMATCH") ];
+  Tabulate.add_row b
+    [ "max_hydrated=1024"; Printf.sprintf "%g" ev_uncapped; "-"; "reference" ];
+  Tabulate.print b;
+  if not identical then
+    print_endline "EVICTION TRANSPARENCY VIOLATED: results differ\n";
+  if ev_starved <= 0. then
+    print_endline "EVICTION CHECK INCONCLUSIVE: starved engine never evicted\n";
+  serve_json :=
+    Printf.sprintf
+      "{\"sessions\":%d,\"rounds\":%d,\"seconds\":%.6f,\"sessions_per_sec\":%.2f,\"round_latency_ms\":{\"count\":%d,\"p50\":%.4f,\"p90\":%.4f,\"p99\":%.4f},\"eviction_transparency\":{\"identical\":%b,\"starved_evictions\":%g,\"starved_hydrations\":%g}}"
+      sessions !total_rounds secs
+      (float_of_int sessions /. secs)
+      lat.Wire.p_count
+      (lat.Wire.p50 *. 1e3) (lat.Wire.p90 *. 1e3) (lat.Wire.p99 *. 1e3)
+      identical ev_starved hy_starved
 
 (* --- Scale bench: the full columnar path at paper-exceeding sizes ---
 
@@ -871,7 +1191,7 @@ let () =
   end;
   let chosen =
     match List.rev !selected with
-    | [] when !faults || !lp_micro -> []
+    | [] when !faults || !lp_micro || !serve_bench -> []
     | [] | [ "all" ] -> List.map fst all_experiments
     | names -> names
   in
@@ -884,6 +1204,7 @@ let () =
     !seed !scale !utilities !max_n;
   if !faults then run_faults ();
   if !lp_micro then run_lp_micro ();
+  if !serve_bench then run_serve ();
   Pool.with_pool ~domains:!jobs (fun p ->
       if Pool.size p > 1 then pool := Some p;
       let total_start = Timer.cpu () in
@@ -927,6 +1248,8 @@ let () =
       Printf.fprintf oc
         ",\n\"scale_probe\":{\"rounds\":%d,\"minor_words\":[%s],\"sweep_minor_words\":[%s]}"
         (List.length rounds) (nums fst) (nums snd));
+    if !serve_json <> "" then
+      Printf.fprintf oc ",\n\"serve\":%s" !serve_json;
     output_string oc "}\n";
     close_out oc;
     Printf.eprintf "wrote %s\n" !json_file

@@ -9,7 +9,8 @@
      run          alias of simulate
      interactive  run an algorithm with YOU as the user (choices on stdin)
      experiment   run one of the paper's evaluation experiments
-     profile      replay a JSONL trace into a per-phase profile *)
+     profile      replay a JSONL trace into a per-phase profile
+     serve        crash-tolerant multi-session server over a line protocol *)
 
 open Cmdliner
 
@@ -34,6 +35,10 @@ module Artifact = Indq_dominance.Artifact
 module Experiments = Indq_experiments.Experiments
 module Report = Indq_experiments.Report
 module Pool = Indq_exec.Pool
+module Fault = Indq_fault.Fault
+module Server = Indq_server.Server
+module Engine = Indq_server.Engine
+module Journal_store = Indq_server.Journal_store
 
 (* --- shared arguments --- *)
 
@@ -761,6 +766,150 @@ let profile_cmd =
           folded-stack and speedscope exports.")
     Term.(const profile_run $ trace_file $ folded_out $ speedscope_out)
 
+(* --- serve --- *)
+
+(* SITE=TRIGGER with TRIGGER one of once:K, every:K, after:K, always —
+   matching the trigger grammar of bench/main.exe -faults. *)
+let parse_fault_arm text =
+  let fail msg = Error (`Msg msg) in
+  match String.index_opt text '=' with
+  | None -> fail "expected SITE=TRIGGER (e.g. inject.journal_torn_write=once:3)"
+  | Some eq -> (
+    let site = String.sub text 0 eq in
+    let spec =
+      String.lowercase_ascii
+        (String.sub text (eq + 1) (String.length text - eq - 1))
+    in
+    if not (List.mem site Fault.site_names) then
+      fail
+        (Printf.sprintf "unknown fault site %S (sites: %s)" site
+           (String.concat ", " Fault.site_names))
+    else
+      let with_count prefix k =
+        match
+          int_of_string_opt
+            (String.sub spec (String.length prefix)
+               (String.length spec - String.length prefix))
+        with
+        | Some n when n >= 1 -> Ok (site, k n)
+        | Some _ | None -> fail ("bad trigger count in " ^ spec)
+      in
+      let has p =
+        String.length spec > String.length p
+        && String.sub spec 0 (String.length p) = p
+      in
+      if spec = "always" then Ok (site, Fault.Always)
+      else if has "once:" then with_count "once:" (fun n -> Fault.Once n)
+      else if has "every:" then with_count "every:" (fun n -> Fault.Every n)
+      else if has "after:" then with_count "after:" (fun n -> Fault.After n)
+      else fail ("unknown trigger " ^ spec ^ " (once:K, every:K, after:K, always)"))
+
+let serve_cmd =
+  let socket_arg =
+    let doc = "Listen on a Unix domain socket at $(docv)." in
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let port_arg =
+    let doc = "Listen on TCP localhost:$(docv) (ignored when --socket is given)." in
+    Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT" ~doc)
+  in
+  let dir_arg =
+    let doc = "Session journal directory (created if missing): the server's \
+               only persistent state, one $(b,ID.journal) file per session." in
+    Arg.(value & opt string "indq-sessions" & info [ "dir" ] ~docv:"DIR" ~doc)
+  in
+  let max_hydrated_arg =
+    let doc = "Keep at most $(docv) sessions live in memory; colder sessions \
+               are evicted to their journals and rehydrated on demand." in
+    Arg.(value & opt int 1024 & info [ "max-hydrated" ] ~docv:"K" ~doc)
+  in
+  let fsync_arg =
+    let doc = "Journal durability: $(b,always), $(b,batch:K), or $(b,never)." in
+    let parse s = Result.map_error (fun m -> `Msg m) (Journal_store.fsync_policy_of_string s) in
+    let print ppf p =
+      Format.pp_print_string ppf (Journal_store.fsync_policy_to_string p)
+    in
+    Arg.(
+      value
+      & opt (conv (parse, print)) (Journal_store.Batch 8)
+      & info [ "fsync" ] ~docv:"POLICY" ~doc)
+  in
+  let idle_arg =
+    let doc = "Evict sessions idle longer than $(docv) seconds (0 disables)." in
+    Arg.(value & opt float 0. & info [ "idle-timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let deadline_arg =
+    let doc = "Per-answer compute budget in seconds; an over-budget round \
+               returns a typed $(b,deadline_exceeded) error (0 disables)." in
+    Arg.(value & opt float 0. & info [ "deadline" ] ~docv:"SECONDS" ~doc)
+  in
+  let max_line_arg =
+    let doc = "Reject request lines longer than $(docv) bytes." in
+    Arg.(value & opt int Server.default_max_line & info [ "max-line" ] ~docv:"BYTES" ~doc)
+  in
+  let max_n_arg =
+    let doc = "Largest dataset size a hello may request." in
+    Arg.(value & opt int 200_000 & info [ "max-n" ] ~docv:"N" ~doc)
+  in
+  let max_d_arg =
+    let doc = "Largest dimension a hello may request." in
+    Arg.(value & opt int 16 & info [ "max-d" ] ~docv:"D" ~doc)
+  in
+  let fault_arg =
+    let doc =
+      "Arm a deterministic fault for the whole run (repeatable): \
+       $(b,SITE=once:K|every:K|after:K|always), e.g. \
+       $(b,inject.journal_torn_write=once:3)."
+    in
+    let parse s = parse_fault_arm s in
+    let print ppf (site, _) = Format.pp_print_string ppf site in
+    Arg.(value & opt_all (conv (parse, print)) [] & info [ "fault" ] ~docv:"ARM" ~doc)
+  in
+  let allow_shutdown_arg =
+    let doc = "Honor the $(b,shutdown) op (off by default: clients get a \
+               typed $(b,forbidden) error)." in
+    Arg.(value & flag & info [ "allow-shutdown" ] ~doc)
+  in
+  let run socket port dir max_hydrated fsync idle deadline max_line max_n max_d
+      arms allow_shutdown =
+    let transport =
+      match (socket, port) with
+      | Some path, _ -> Server.Unix_path path
+      | None, Some p -> Server.Tcp p
+      | None, None ->
+        Printf.eprintf "indq: serve needs --socket PATH or --port PORT\n";
+        exit 2
+    in
+    if max_hydrated < 1 then begin
+      Printf.eprintf "indq: --max-hydrated must be >= 1\n";
+      exit 2
+    end;
+    let config =
+      {
+        (Engine.default_config ~dir) with
+        Engine.fsync;
+        max_hydrated;
+        idle_timeout = idle;
+        deadline;
+        max_n;
+        max_d;
+        allow_shutdown;
+      }
+    in
+    let plan = match arms with [] -> None | arms -> Some (Fault.plan arms) in
+    Server.run ?plan ~max_line config transport;
+    0
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve interactive sessions over a line-delimited JSON protocol, \
+          one crash-recoverable journal per session.")
+    Term.(
+      const run $ socket_arg $ port_arg $ dir_arg $ max_hydrated_arg
+      $ fsync_arg $ idle_arg $ deadline_arg $ max_line_arg $ max_n_arg
+      $ max_d_arg $ fault_arg $ allow_shutdown_arg)
+
 let main_cmd =
   let doc = "interactive indistinguishability queries (ICDE 2024 reproduction)" in
   Cmd.group (Cmd.info "indq" ~version:"1.0.0" ~doc)
@@ -774,6 +923,7 @@ let main_cmd =
       interactive_cmd;
       experiment_cmd;
       profile_cmd;
+      serve_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -7,6 +7,7 @@ module Timer = Indq_util.Timer
 
 let c_records = Counter.make "journal.records"
 let c_replayed = Counter.make "journal.replayed"
+let c_torn_tail = Counter.make "journal.torn_tail"
 
 (* Wall seconds between accepting an answer and yielding the next question
    (or finishing) — the interactive round latency the ROADMAP's session
@@ -120,6 +121,14 @@ let bool_field line key =
 let journal_entry_of_json_line ~line text =
   let corrupt () = raise (Error (Journal_corrupt { line; text })) in
   let req = function Some v -> v | None -> corrupt () in
+  (* Completeness fence: every record is a single flat object, so a line
+     that does not close its brace is a torn append, never a valid record.
+     Without this check a record chopped inside its final numeric field
+     ("choice":12 torn to "choice":1) would parse to a DIFFERENT record —
+     fatal for crash recovery, which must only ever replay answers the
+     user actually gave. *)
+  let n = String.length text in
+  if n < 2 || text.[0] <> '{' || text.[n - 1] <> '}' then corrupt ();
   match string_field text "type" with
   | Some "session_started" ->
     Started
@@ -143,17 +152,31 @@ let journal_entry_of_json_line ~line text =
       }
   | Some _ | None -> corrupt ()
 
-let journal_of_string text =
-  let lines = String.split_on_char '\n' text in
-  let entries = ref [] in
-  List.iteri
-    (fun i line ->
-      if String.trim line <> "" then
-        entries :=
-          journal_entry_of_json_line ~line:(i + 1) (String.trim line)
-          :: !entries)
-    lines;
-  List.rev !entries
+(* A crash mid-append leaves a truncated final line.  By default that tail
+   is dropped and counted in ["journal.torn_tail"] — the journal recovers
+   to the last complete record, which write-ahead ordering guarantees is a
+   state the user actually reached.  Unparseable lines anywhere BEFORE the
+   last record can only mean real corruption (appends are sequential), so
+   they always raise.  [~strict:true] restores the raise-on-any-bad-line
+   behavior for callers that need tampering to be loud. *)
+let journal_of_string ?(strict = false) text =
+  let numbered =
+    String.split_on_char '\n' text
+    |> List.mapi (fun i line -> (i + 1, String.trim line))
+    |> List.filter (fun (_, line) -> line <> "")
+  in
+  let rec go = function
+    | [] -> []
+    | [ (line, last) ] -> (
+      match journal_entry_of_json_line ~line last with
+      | entry -> [ entry ]
+      | exception Error (Journal_corrupt _) when not strict ->
+        Counter.incr c_torn_tail;
+        [])
+    | (line, text) :: rest ->
+      journal_entry_of_json_line ~line text :: go rest
+  in
+  go numbered
 
 (* --- The session coroutine --------------------------------------------- *)
 

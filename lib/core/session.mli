@@ -73,10 +73,20 @@ type journal_entry =
 val journal_entry_to_json : journal_entry -> string
 (** One JSON object, no trailing newline. *)
 
-val journal_of_string : string -> journal_entry list
+val journal_of_string : ?strict:bool -> string -> journal_entry list
 (** Parse a journal read back from disk (one record per line; blank lines
-    ignored).  Raises {!Error} ([Journal_corrupt]) on the first unparseable
-    line. *)
+    ignored).  A record line must be a complete flat JSON object (closing
+    brace included) — a byte-truncated record never parses, even when the
+    chopped text would scan, so crash recovery can never replay an answer
+    the user did not give.
+
+    A crash mid-append leaves exactly one truncated final line.  By
+    default ([strict = false]) that torn tail is dropped, counted in
+    ["journal.torn_tail"], and parsing recovers to the last complete
+    record.  Unparseable lines {e before} the last record always raise
+    {!Error} ([Journal_corrupt]) — sequential appends cannot tear mid-file,
+    so that is real corruption.  [~strict:true] keeps the historical
+    behavior: the first unparseable line raises, tail included. *)
 
 val start :
   ?trace:Indq_obs.Trace.sink ->

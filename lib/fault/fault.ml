@@ -16,7 +16,15 @@ let () =
 
 let sites =
   [
+    ("inject.client_disconnect",
+     "the session server drops a client connection instead of delivering a \
+      response");
     ("inject.dataset_load", "Dataset.of_csv fails as if the source were unreadable");
+    ("inject.journal_sync",
+     "a session-journal fsync fails as if the device returned EIO");
+    ("inject.journal_torn_write",
+     "a session-journal append is torn mid-record, as if the process died \
+      mid-write");
     ("inject.lp_iteration_cap", "Lp.solve primary pivot budget collapses to zero");
     ("inject.lp_nan_pivot", "a non-finite value is planted in the simplex tableau");
     ("inject.oracle_contradiction", "the simulated user picks the worst option");

@@ -9,7 +9,7 @@
 
     Plans are domain-local (installed with {!with_plan}); with no plan
     installed every site is dormant and costs one thread-local read.  The
-    five sites and what each one exercises:
+    eight sites and what each one exercises:
 
     - [inject.lp_iteration_cap] — collapses [Lp.solve]'s primary pivot
       budget to zero, forcing the Bland's-rule anti-cycling fallback;
@@ -21,7 +21,17 @@
     - [inject.dataset_load] — fails [Dataset.of_csv] as if the source were
       unreadable, surfacing the typed [Dataset.Load_error];
     - [inject.worker_death] — kills a [Pool.parallel_map] chunk before it
-      computes, exercising the per-chunk retry. *)
+      computes, exercising the per-chunk retry;
+    - [inject.journal_torn_write] — tears a session-journal append
+      mid-record (a byte-truncated line, no newline), exercising the
+      torn-tail recovery in [Session.journal_of_string] and the server's
+      crashed-session eviction;
+    - [inject.journal_sync] — fails a journal fsync as if the device
+      returned EIO; the durable sink absorbs it, counts it and retries on
+      the next record;
+    - [inject.client_disconnect] — makes the session server drop the
+      connection instead of delivering a response, exercising the
+      client-side reconnect-and-resume path mid-round. *)
 
 type trigger =
   | Never

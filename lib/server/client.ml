@@ -1,0 +1,86 @@
+type t = {
+  fd : Unix.file_descr;
+  mutable pending : string;
+  mutable closed : bool;
+}
+
+exception Closed
+
+exception Protocol of string
+
+let () =
+  Printexc.register_printer (function
+    | Closed -> Some "Indq_server.Client.Closed"
+    | Protocol msg -> Some ("Indq_server.Client.Protocol: " ^ msg)
+    | _ -> None)
+
+let sockaddr = function
+  | Server.Unix_path path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+  | Server.Tcp port ->
+    (Unix.PF_INET, Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+
+let connect ?(attempts = 50) transport =
+  let domain, addr = sockaddr transport in
+  let rec go remaining =
+    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+    match Unix.connect fd addr with
+    | () -> { fd; pending = ""; closed = false }
+    | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _)
+      when remaining > 1 ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Unix.sleepf 0.1;
+      go (remaining - 1)
+    | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e
+  in
+  go (max 1 attempts)
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let rec write_all fd bytes off len =
+  if len > 0 then
+    let written = Unix.write fd bytes off len in
+    write_all fd bytes (off + written) (len - written)
+
+let send t req =
+  if t.closed then raise Closed;
+  let bytes = Bytes.of_string (Wire.request_to_line req ^ "\n") in
+  match write_all t.fd bytes 0 (Bytes.length bytes) with
+  | () -> ()
+  | exception Unix.Unix_error _ ->
+    close t;
+    raise Closed
+
+let rec recv_line t =
+  match String.index_opt t.pending '\n' with
+  | Some nl ->
+    let line = String.sub t.pending 0 nl in
+    t.pending <-
+      String.sub t.pending (nl + 1) (String.length t.pending - nl - 1);
+    line
+  | None -> (
+    if t.closed then raise Closed;
+    let chunk = Bytes.create 8192 in
+    match Unix.read t.fd chunk 0 (Bytes.length chunk) with
+    | 0 ->
+      close t;
+      raise Closed
+    | len ->
+      t.pending <- t.pending ^ Bytes.sub_string chunk 0 len;
+      recv_line t
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> recv_line t
+    | exception Unix.Unix_error _ ->
+      close t;
+      raise Closed)
+
+let rpc t req =
+  send t req;
+  let line = recv_line t in
+  match Wire.parse_response line with
+  | Ok resp -> resp
+  | Error msg -> raise (Protocol (msg ^ ": " ^ line))

@@ -1,0 +1,24 @@
+(** A minimal blocking client for the {!Wire} protocol — what the bench
+    load generator and the kill-and-restart tests speak through.  One
+    request out, one response line back. *)
+
+type t
+
+exception Closed
+(** The server closed the connection (EOF mid-read or a failed write) —
+    for a client under the [inject.client_disconnect] fault this is the
+    expected signal to reconnect and [resume]. *)
+
+exception Protocol of string
+(** The peer sent bytes that do not decode as a {!Wire.response}. *)
+
+val connect : ?attempts:int -> Server.transport -> t
+(** Connect, retrying [attempts] times (default 50) with a 100 ms pause —
+    absorbs the startup race against a server still binding its socket.
+    Raises [Unix.Unix_error] once the attempts are exhausted. *)
+
+val rpc : t -> Wire.request -> Wire.response
+(** Send one request and block for its reply.  Raises {!Closed} /
+    {!Protocol}. *)
+
+val close : t -> unit

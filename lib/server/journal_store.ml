@@ -1,0 +1,227 @@
+module Session = Indq_core.Session
+module Counter = Indq_obs.Counter
+module Fault = Indq_fault.Fault
+
+let c_syncs = Counter.make "serve.journal_syncs"
+let c_sync_failures = Counter.make "serve.sync_failures"
+
+type fsync_policy = Always | Batch of int | Never
+
+let fsync_policy_of_string text =
+  match String.lowercase_ascii text with
+  | "always" -> Ok Always
+  | "never" -> Ok Never
+  | s when String.length s > 6 && String.sub s 0 6 = "batch:" -> (
+    match int_of_string_opt (String.sub s 6 (String.length s - 6)) with
+    | Some k when k >= 1 -> Ok (Batch k)
+    | Some _ | None -> Error "batch count must be a positive integer")
+  | _ -> Error "expected always, never, or batch:K"
+
+let fsync_policy_to_string = function
+  | Always -> "always"
+  | Never -> "never"
+  | Batch k -> Printf.sprintf "batch:%d" k
+
+type t = {
+  id : string;
+  fd : Unix.file_descr;
+  policy : fsync_policy;
+  mutable pending : int;  (** records written since the last fsync *)
+  mutable broken : bool;  (** a torn append poisoned the sink *)
+  mutable closed : bool;
+}
+
+exception Torn of string
+
+let () =
+  Printexc.register_printer (function
+    | Torn id -> Some (Printf.sprintf "Indq_server.Journal_store.Torn(%s)" id)
+    | _ -> None)
+
+let rec ensure_dir dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then ensure_dir parent;
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let path ~dir id = Filename.concat dir (id ^ ".journal")
+
+let exists ~dir id = Sys.file_exists (path ~dir id)
+
+(* --- Durable writes ---------------------------------------------------- *)
+
+let write_all fd bytes =
+  let len = Bytes.length bytes in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write fd bytes !off (len - !off)
+  done
+
+(* One fsync attempt.  Failures — the [inject.journal_sync] fault or a real
+   device error — are absorbed by design: the records are already in the
+   kernel, durability is retried on the next append, and only the counter
+   betrays that anything happened. *)
+let try_sync t =
+  if t.pending > 0 then begin
+    let failed =
+      Fault.fire "inject.journal_sync"
+      ||
+      match Unix.fsync t.fd with
+      | () -> false
+      | exception Unix.Unix_error _ -> true
+    in
+    if failed then Counter.incr c_sync_failures
+    else begin
+      Counter.incr c_syncs;
+      t.pending <- 0
+    end
+  end
+
+let policy_sync t =
+  match t.policy with
+  | Always -> try_sync t
+  | Batch k -> if t.pending >= k then try_sync t
+  | Never -> ()
+
+let append_line t line =
+  (* A torn append writes a strict prefix of the record and no newline —
+     byte-for-byte what a crash between [write] and completion leaves. *)
+  if Fault.fire "inject.journal_torn_write" then begin
+    let cut = max 1 (String.length line / 2) in
+    write_all t.fd (Bytes.of_string (String.sub line 0 cut));
+    t.broken <- true;
+    raise (Torn t.id)
+  end;
+  write_all t.fd (Bytes.of_string (line ^ "\n"));
+  t.pending <- t.pending + 1
+
+let append t entry =
+  if t.broken then raise (Torn t.id);
+  append_line t (Session.journal_entry_to_json entry);
+  policy_sync t
+
+let sink_id t = t.id
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    if not t.broken then (match t.policy with Never -> () | _ -> try_sync t);
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+(* --- Creation and recovery --------------------------------------------- *)
+
+let open_append file =
+  Unix.openfile file [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644
+
+let create ~dir ~fsync hello =
+  let t =
+    {
+      id = hello.Wire.id;
+      fd = open_append (path ~dir hello.Wire.id);
+      policy = fsync;
+      pending = 0;
+      broken = false;
+      closed = false;
+    }
+  in
+  match
+    append_line t (Wire.request_to_line (Wire.Hello hello));
+    (* The header is the session's registry entry: fsync it regardless of
+       policy, so a session the server acknowledged survives any crash. *)
+    try_sync t
+  with
+  | () -> t
+  | exception e ->
+    (* A tear on the very first write: close the descriptor here — the
+       caller never saw a sink — and leave the stub file to the caller's
+       cleanup. *)
+    (try Unix.close t.fd with Unix.Unix_error _ -> ());
+    raise e
+
+type loaded = {
+  hello : Wire.hello;
+  entries : Session.journal_entry list;
+  torn_tail : bool;
+}
+
+type load_error =
+  | No_session
+  | Bad_header of string
+  | Bad_journal of Session.error
+
+let read_file file =
+  let ic = open_in_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load ~dir id =
+  let file = path ~dir id in
+  if not (Sys.file_exists file) then Error No_session
+  else
+    let text = read_file file in
+    match String.index_opt text '\n' with
+    | None ->
+      (* No complete first line: the process died inside [create], before
+         the header fsync returned.  The session was never acknowledged. *)
+      Error (Bad_header "truncated header line")
+    | Some nl -> (
+      let header = String.sub text 0 nl in
+      let rest = String.sub text (nl + 1) (String.length text - nl - 1) in
+      match Wire.parse_request header with
+      | Ok (Wire.Hello hello) when hello.Wire.id = id -> (
+        let body_lines =
+          String.split_on_char '\n' rest
+          |> List.filter (fun l -> String.trim l <> "")
+          |> List.length
+        in
+        match Session.journal_of_string rest with
+        | entries ->
+          (* [journal_of_string] silently drops a torn final record; the
+             line count betrays whether it did, and a torn tail obliges the
+             caller to rewrite before appending. *)
+          Ok { hello; entries; torn_tail = body_lines <> List.length entries }
+        | exception Session.Error e -> Error (Bad_journal e))
+      | Ok (Wire.Hello hello) ->
+        Error
+          (Bad_header
+             (Printf.sprintf "header names session %S, file is for %S"
+                hello.Wire.id id))
+      | Ok _ -> Error (Bad_header "first line is not a hello record")
+      | Error (_, msg) -> Error (Bad_header msg))
+
+(* Canonical re-serialization, written aside and renamed into place: the
+   one way a journal is ever modified other than appending, and the step
+   that physically removes a torn tail so it cannot be appended after. *)
+let rewrite_file ~dir loaded id =
+  let file = path ~dir id in
+  let tmp = file ^ ".tmp" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let buf = Buffer.create 1024 in
+      Buffer.add_string buf (Wire.request_to_line (Wire.Hello loaded.hello));
+      Buffer.add_char buf '\n';
+      List.iter
+        (fun entry ->
+          Buffer.add_string buf (Session.journal_entry_to_json entry);
+          Buffer.add_char buf '\n')
+        loaded.entries;
+      write_all fd (Bytes.of_string (Buffer.contents buf));
+      (try Unix.fsync fd with Unix.Unix_error _ -> ()));
+  Unix.rename tmp file
+
+let reopen ~dir ~fsync ~rewrite loaded id =
+  if rewrite then rewrite_file ~dir loaded id;
+  {
+    id;
+    fd = open_append (path ~dir id);
+    policy = fsync;
+    pending = 0;
+    broken = false;
+    closed = false;
+  }

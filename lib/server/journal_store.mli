@@ -1,0 +1,98 @@
+(** Per-session journals on disk: the server's only session registry.
+
+    Each session [id] owns one file, [DIR/id.journal]:
+
+    - line 1 is the encoded [hello] request that created the session
+      (see {!Wire.request_to_line}) — the full recipe for rebuilding its
+      dataset and configuration deterministically;
+    - every following line is one {!Indq_core.Session.journal_entry},
+      written {e ahead} of the state change it records.
+
+    A hydrated session holds an open append {!t} (the durable sink); a cold
+    session is {e only} its file.  {!load} + [Session.resume] reconstructs
+    the live session byte-identically, which is what lets the engine evict
+    any session at any time.
+
+    {b Durability.}  The header line is fsynced unconditionally at
+    {!create} — a session the server acknowledged must survive a crash —
+    and subsequent appends follow the {!fsync_policy}.  An fsync failure
+    (real [EIO] or the [inject.journal_sync] fault) is absorbed: counted in
+    ["serve.sync_failures"], records kept pending, retried on the next
+    append.  Successful syncs count in ["serve.journal_syncs"].
+
+    {b Torn writes.}  The [inject.journal_torn_write] fault makes
+    {!append} write a byte-truncated prefix of the record — exactly what a
+    crash mid-[write] leaves — then raises {!Torn} with the sink marked
+    broken.  Recovery is {!load}'s job: a torn final line is dropped (and
+    counted in ["journal.torn_tail"]) and {!reopen} with [rewrite:true]
+    replaces the file with its canonical re-serialization (tmp + atomic
+    rename) before appending resumes, so a torn tail can never be appended
+    after. *)
+
+type fsync_policy =
+  | Always  (** fsync after every record *)
+  | Batch of int  (** fsync after every [k] pending records *)
+  | Never  (** rely on the kernel; crash may lose recent records *)
+
+val fsync_policy_of_string : string -> (fsync_policy, string) result
+(** ["always" | "never" | "batch:K"] (K >= 1). *)
+
+val fsync_policy_to_string : fsync_policy -> string
+
+type t
+(** An open append sink for one session's journal. *)
+
+exception Torn of string
+(** [Torn id]: the append was torn mid-record (fault-injected or a short
+    [write]).  The sink is broken — the caller must treat the session as
+    crashed: {!close} the sink, drop the hydrated state, and let the next
+    [resume] recover from the journal. *)
+
+val ensure_dir : string -> unit
+(** Create the journal directory (and parents) if missing. *)
+
+val path : dir:string -> string -> string
+(** [path ~dir id] is [DIR/id.journal]. *)
+
+val exists : dir:string -> string -> bool
+(** A journal file for this session id exists. *)
+
+type loaded = {
+  hello : Wire.hello;
+  entries : Indq_core.Session.journal_entry list;
+  torn_tail : bool;
+      (** the final line was a torn append and was dropped; {!reopen} must
+          be called with [rewrite:true] before appending *)
+}
+
+type load_error =
+  | No_session  (** no journal file for this id *)
+  | Bad_header of string  (** line 1 unreadable or not a [hello] *)
+  | Bad_journal of Indq_core.Session.error
+      (** a record line before the tail is corrupt, or the journal
+          contradicts itself — real corruption, never a crash artifact *)
+
+val load : dir:string -> string -> (loaded, load_error) result
+
+val create : dir:string -> fsync:fsync_policy -> Wire.hello -> t
+(** Create [DIR/id.journal] with the encoded hello as its header line,
+    fsynced unconditionally.  Raises [Sys_error] via the underlying I/O if
+    the directory is unwritable; the caller guards [exists] first. *)
+
+val reopen :
+  dir:string -> fsync:fsync_policy -> rewrite:bool -> loaded -> string -> t
+(** [reopen ~dir ~fsync ~rewrite loaded id] opens the append sink of an
+    existing journal.  With [rewrite:true] the file is first replaced by
+    its canonical re-serialization (header + every entry), written to a
+    temp file, fsynced and renamed into place — the recovery step that
+    physically removes a torn tail. *)
+
+val append : t -> Indq_core.Session.journal_entry -> unit
+(** Write one record line and apply the fsync policy.  Raises {!Torn} when
+    the write is torn (see above); absorbs sync failures. *)
+
+val sink_id : t -> string
+
+val close : t -> unit
+(** Flush pending durability (unless the sink is broken or the policy is
+    [Never]) and close the descriptor.  Idempotent. *)

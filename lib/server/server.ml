@@ -1,0 +1,160 @@
+module Fault = Indq_fault.Fault
+
+type transport = Unix_path of string | Tcp of int
+
+(* One connected client: its descriptor plus the bytes received that do not
+   yet end in a newline.  Connections are deliberately dumb — all protocol
+   state lives in the engine, keyed by session id, so a client may drop its
+   connection (or have it dropped by the [inject.client_disconnect] fault)
+   and carry on over a fresh one. *)
+type conn = { c_fd : Unix.file_descr; mutable c_pending : string }
+
+type t = {
+  engine : Engine.t;
+  listener : Unix.file_descr;
+  max_line : int;
+  cleanup : unit -> unit;
+  mutable conns : conn list;
+  mutable stop : bool;
+}
+
+let default_max_line = 65_536
+
+let rec write_all fd bytes off len =
+  if len > 0 then
+    let written = Unix.write fd bytes off len in
+    write_all fd bytes (off + written) (len - written)
+
+(* A reply that cannot be delivered (peer gone, send buffer jammed past the
+   timeout) just costs the connection; the session survives on disk. *)
+let try_send conn text =
+  let bytes = Bytes.of_string (text ^ "\n") in
+  match write_all conn.c_fd bytes 0 (Bytes.length bytes) with
+  | () -> true
+  | exception Unix.Unix_error _ -> false
+
+let close_conn t conn =
+  (try Unix.close conn.c_fd with Unix.Unix_error _ -> ());
+  t.conns <- List.filter (fun c -> c != conn) t.conns
+
+let listen_on transport =
+  match transport with
+  | Unix_path path ->
+    if Sys.file_exists path then Sys.remove path;
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    Unix.listen fd 128;
+    (fd, fun () -> try Sys.remove path with Sys_error _ -> ())
+  | Tcp port ->
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+    Unix.listen fd 128;
+    (fd, fun () -> ())
+
+let create ?(max_line = default_max_line) config transport =
+  let engine = Engine.create config in
+  let listener, cleanup = listen_on transport in
+  { engine; listener; max_line; cleanup; conns = []; stop = false }
+
+let accept_conn t =
+  match Unix.accept t.listener with
+  | fd, _ ->
+    (* Bound the damage of a peer that stops reading: a reply write that
+       stalls this long drops the connection instead of wedging the loop. *)
+    (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO 10. with Unix.Unix_error _ -> ());
+    t.conns <- { c_fd = fd; c_pending = "" } :: t.conns
+  | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+    -> ()
+
+let handle_one_line t conn line =
+  match Engine.handle_line t.engine line with
+  | Engine.Reply r ->
+    if not (try_send conn (Wire.response_to_line r)) then begin
+      close_conn t conn;
+      false
+    end
+    else true
+  | Engine.Disconnect ->
+    close_conn t conn;
+    false
+  | Engine.Stop r ->
+    ignore (try_send conn (Wire.response_to_line r));
+    t.stop <- true;
+    false
+
+(* Split the pending bytes on newlines and feed each complete line to the
+   engine; the remainder (if any) waits for more bytes. *)
+let rec drain_lines t conn =
+  match String.index_opt conn.c_pending '\n' with
+  | None ->
+    if String.length conn.c_pending > t.max_line then begin
+      ignore
+        (try_send conn
+           (Wire.response_to_line
+              (Wire.R_error
+                 {
+                   id = None;
+                   code = Wire.Line_too_long;
+                   message =
+                     Printf.sprintf "request line exceeds %d bytes" t.max_line;
+                 })));
+      close_conn t conn
+    end
+  | Some nl ->
+    let line = String.sub conn.c_pending 0 nl in
+    conn.c_pending <-
+      String.sub conn.c_pending (nl + 1)
+        (String.length conn.c_pending - nl - 1);
+    if String.trim line = "" then drain_lines t conn
+    else if handle_one_line t conn line then drain_lines t conn
+
+let read_conn t conn =
+  let chunk = Bytes.create 8192 in
+  match Unix.read conn.c_fd chunk 0 (Bytes.length chunk) with
+  | 0 -> close_conn t conn
+  | len ->
+    conn.c_pending <- conn.c_pending ^ Bytes.sub_string chunk 0 len;
+    drain_lines t conn
+  | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+    -> ()
+  | exception Unix.Unix_error _ -> close_conn t conn
+
+let step t timeout =
+  let fds = t.listener :: List.map (fun c -> c.c_fd) t.conns in
+  (match Unix.select fds [] [] timeout with
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  | ready, _, _ ->
+    if List.memq t.listener ready then accept_conn t;
+    (* Iterate a snapshot: handling a line may close the connection and
+       replace [t.conns], but each ready descriptor is visited once. *)
+    let snapshot = t.conns in
+    List.iter
+      (fun conn -> if List.memq conn.c_fd ready then read_conn t conn)
+      snapshot);
+  Engine.sweep t.engine
+
+let close t =
+  List.iter (fun c -> try Unix.close c.c_fd with Unix.Unix_error _ -> ()) t.conns;
+  t.conns <- [];
+  (try Unix.close t.listener with Unix.Unix_error _ -> ());
+  t.cleanup ();
+  Engine.shutdown t.engine
+
+let run ?plan ?max_line ?on_ready config transport =
+  let t = create ?max_line config transport in
+  (match Sys.signal Sys.sigpipe Sys.Signal_ignore with _ -> ());
+  let request_stop _ = t.stop <- true in
+  let prev_term = Sys.signal Sys.sigterm (Sys.Signal_handle request_stop) in
+  let prev_int = Sys.signal Sys.sigint (Sys.Signal_handle request_stop) in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.set_signal Sys.sigterm prev_term;
+      Sys.set_signal Sys.sigint prev_int;
+      close t)
+    (fun () ->
+      Fault.with_plan_opt plan (fun () ->
+          (match on_ready with Some f -> f () | None -> ());
+          while not t.stop do
+            step t 0.25
+          done))

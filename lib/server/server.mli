@@ -1,0 +1,32 @@
+(** The socket transport around {!Engine}: a single-threaded
+    [Unix.select] loop speaking the line-delimited {!Wire} protocol.
+
+    Connections are stateless carriers — every session lives in the engine
+    (and on disk), keyed by its id, so clients can disconnect, reconnect
+    and [resume] freely; the [inject.client_disconnect] fault exploits
+    exactly this.  A request line over [max_line] bytes gets a typed
+    [line_too_long] error and the connection is closed; a reply that cannot
+    be written within the send timeout costs the connection, never the
+    session.
+
+    [SIGTERM]/[SIGINT] stop the loop gracefully (sinks flushed, socket
+    unlinked); [SIGKILL] is the crash the journals exist for. *)
+
+type transport =
+  | Unix_path of string  (** Unix domain socket at this path *)
+  | Tcp of int  (** TCP on localhost at this port *)
+
+val default_max_line : int
+(** 65536 bytes. *)
+
+val run :
+  ?plan:Indq_fault.Fault.plan ->
+  ?max_line:int ->
+  ?on_ready:(unit -> unit) ->
+  Engine.config ->
+  transport ->
+  unit
+(** Serve until a permitted [shutdown] request or a termination signal.
+    [plan] installs a fault plan on the serving domain for the whole run
+    ({!Indq_fault.Fault.with_plan}).  [on_ready] fires once the socket is
+    listening — the hook a bench harness uses to start its clients. *)

@@ -1,0 +1,116 @@
+(** The [indq serve] wire protocol: one JSON object per line, both ways.
+
+    A client speaks five session verbs — [hello] (create), [resume]
+    (rehydrate after a crash or reconnect), [ask] (re-fetch the pending
+    round idempotently), [answer], [bye] (release) — plus two server verbs,
+    [stats] and [shutdown].  The server replies to every request with
+    exactly one line: [ask] (the pending round), [done] (the final result),
+    [ok], [stats], or [error {code, message}].
+
+    This module is the codec only: parsing is total (malformed bytes come
+    back as a typed {!error_code}, never an exception) and printing is
+    canonical — field order is fixed and floats print with [%.17g], so a
+    response encodes to the same bytes on every run.  Byte-identical
+    results across crash/restart are asserted on these encoded lines. *)
+
+(** A minimal JSON tree.  Object fields keep their wire order. *)
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of json list
+  | Obj of (string * json) list
+
+val parse_json : string -> (json, string) result
+(** Strict recursive-descent parse of one JSON value (the whole string).
+    Rejects trailing bytes, unterminated literals, and nesting deeper than
+    64 levels (abusive input must not overflow the stack). *)
+
+val print_json : json -> string
+(** Canonical one-line rendering; floats as [%.17g] (integral values print
+    with no decimal point, so round-trips are exact both ways). *)
+
+(** Typed protocol errors; the wire [code] field is {!code_string}. *)
+type error_code =
+  | Bad_json  (** the line is not a JSON object *)
+  | Unknown_op  (** unrecognized [op] *)
+  | Bad_field  (** missing, ill-typed or out-of-bounds field *)
+  | Session_exists  (** [hello] with an id that already has a journal *)
+  | Unknown_session  (** no journal for this id *)
+  | Already_finished  (** [answer] after the run returned *)
+  | Choice_out_of_range  (** [answer] outside the pending options *)
+  | Round_mismatch  (** [answer] for a round that is not the pending one *)
+  | Journal_corrupt  (** the session's journal does not parse *)
+  | Journal_mismatch  (** the journal contradicts its own header on replay *)
+  | Torn_write  (** a journal append was torn; resume to recover *)
+  | Deadline_exceeded  (** the round exceeded the per-request deadline *)
+  | Line_too_long  (** request line over the server's byte cap *)
+  | Forbidden  (** the operation is disabled on this server *)
+  | Internal  (** unexpected server-side failure *)
+
+val code_string : error_code -> string
+(** Stable wire spelling, e.g. [Choice_out_of_range] is
+    ["choice_out_of_range"] and [Torn_write] is ["journal_torn_write"]. *)
+
+val code_of_string : string -> error_code option
+
+type hello = {
+  id : string;
+  algo : Indq_core.Algo.name;
+  data : string;  (** builtin generator name; the server loads no files *)
+  n : int;  (** tuples; 0 = server default *)
+  d : int;  (** dimensions *)
+  seed : int;  (** derives both the dataset and the session RNG *)
+  s : int;  (** options per round; 0 = paper default for [d] *)
+  q : int;  (** question budget; 0 = paper default *)
+  eps : float;  (** 0 = paper default *)
+  delta : float;  (** modeled user error *)
+}
+(** Everything needed to rebuild a session deterministically.  The server
+    persists the encoded [hello] line as the first record of the session's
+    journal, so a journal alone (plus the algorithms) reconstructs the
+    run. *)
+
+type request =
+  | Hello of hello
+  | Resume of { id : string }
+  | Ask of { id : string }
+  | Answer of { id : string; round : int; choice : int }
+  | Bye of { id : string }
+  | Stats
+  | Shutdown
+
+type percentiles = { p_count : int; p50 : float; p90 : float; p99 : float }
+
+type response =
+  | R_ask of { id : string; round : int; options : float array array }
+      (** the pending question: option index -> attribute values *)
+  | R_done of { id : string; questions : int; output : (int * float array) list }
+      (** the final result: (tuple id, values) per output tuple *)
+  | R_ok of { id : string option }
+  | R_stats of {
+      counters : (string * float) list;  (** sorted by name *)
+      round_latency : percentiles;  (** ["serve.round_latency"], seconds *)
+    }
+  | R_error of { id : string option; code : error_code; message : string }
+
+val valid_id : string -> bool
+(** Session ids are 1–64 bytes of [A-Za-z0-9_.-] — they name journal files,
+    so path separators and empty names are rejected at the wire. *)
+
+val request_to_line : request -> string
+(** Canonical encoding, no trailing newline. *)
+
+val parse_request : string -> (request, error_code * string) result
+(** Decode one request line.  Every failure is typed: unparseable bytes are
+    [Bad_json], an unknown [op] is [Unknown_op], anything missing or
+    ill-typed in a known op is [Bad_field] (ids are {!valid_id}-checked
+    here). *)
+
+val response_to_line : response -> string
+(** Canonical encoding, no trailing newline. *)
+
+val parse_response : string -> (response, string) result
+(** Decode one response line (the client side of the codec).  Round-trips
+    {!response_to_line} exactly. *)

@@ -18,8 +18,32 @@ module Algo = Indq_core.Algo
 module Pool = Indq_exec.Pool
 module Rng = Indq_util.Rng
 module Vec = Indq_linalg.Vec
+module Session = Indq_core.Session
+module Wire = Indq_server.Wire
+module Journal_store = Indq_server.Journal_store
+module Engine = Indq_server.Engine
 
 let vec = Vec.of_array
+
+let temp_dir prefix =
+  let base = Filename.temp_file prefix "" in
+  Sys.remove base;
+  Unix.mkdir base 0o700;
+  base
+
+let sample_hello id =
+  {
+    Wire.id;
+    algo = Algo.Squeeze_u;
+    data = "independent";
+    n = 30;
+    d = 2;
+    seed = 5;
+    s = 0;
+    q = 0;
+    eps = 0.;
+    delta = 0.;
+  }
 
 (* Per-test counter deltas, all on the test's own domain (the pool folds
    worker counters back here before parallel_map returns). *)
@@ -28,7 +52,7 @@ let counted f =
     [
       "fault.injected"; "retry.attempts"; "retry.exhausted"; "lp.failures";
       "region.collapses"; "prune.degraded"; "squeeze_u2.widened_restarts";
-      "oracle.questions";
+      "oracle.questions"; "serve.sync_failures"; "journal.torn_tail";
     ]
   in
   let before = List.map (fun n -> (n, Counter.get n)) names in
@@ -361,6 +385,110 @@ let test_fault_matrix () =
                       Pool.parallel_map ~chunks:reaches_for_once pool pool_f
                         pool_input
                       = Array.map pool_f pool_input)
+                | "inject.journal_sync" ->
+                  (* Every fsync failure is absorbed: appends keep
+                     succeeding and the records all land on disk. *)
+                  let dir = temp_dir "indq-sync" in
+                  let sink =
+                    Journal_store.create ~dir ~fsync:Journal_store.Always
+                      (sample_hello "sync")
+                  in
+                  let entries =
+                    List.init (reaches_for_once - 1) (fun i ->
+                        Session.Answered { round = i + 1; options = 2; choice = 0 })
+                  in
+                  List.iter (Journal_store.append sink) entries;
+                  Journal_store.close sink;
+                  (match Journal_store.load ~dir "sync" with
+                  | Ok l ->
+                    l.Journal_store.entries = entries
+                    && not l.Journal_store.torn_tail
+                  | Error _ -> false)
+                | "inject.journal_torn_write" ->
+                  (* A torn append poisons the sink; recovery is a reload
+                     (dropping the torn tail) plus a rewriting reopen, after
+                     which the failed record is appended again.  The final
+                     journal must hold every record exactly once. *)
+                  let dir = temp_dir "indq-torn" in
+                  let torn = ref 0 in
+                  (* A tear can land on the header write itself; creation is
+                     atomic, so the recovery there is delete-and-retry. *)
+                  let rec fresh () =
+                    match
+                      Journal_store.create ~dir ~fsync:Journal_store.Never
+                        (sample_hello "torn")
+                    with
+                    | sink -> sink
+                    | exception Journal_store.Torn _ ->
+                      incr torn;
+                      Sys.remove (Journal_store.path ~dir "torn");
+                      fresh ()
+                  in
+                  let sink = ref (fresh ()) in
+                  let entries =
+                    List.init reaches_for_once (fun i ->
+                        Session.Answered
+                          { round = i + 1; options = 2; choice = 10 + i })
+                  in
+                  List.iter
+                    (fun e ->
+                      match Journal_store.append !sink e with
+                      | () -> ()
+                      | exception Journal_store.Torn _ -> (
+                        incr torn;
+                        Journal_store.close !sink;
+                        match Journal_store.load ~dir "torn" with
+                        | Ok loaded ->
+                          sink :=
+                            Journal_store.reopen ~dir
+                              ~fsync:Journal_store.Never
+                              ~rewrite:loaded.Journal_store.torn_tail loaded
+                              "torn";
+                          Journal_store.append !sink e
+                        | Error _ ->
+                          Alcotest.fail "torn journal failed to load"))
+                    entries;
+                  Journal_store.close !sink;
+                  !torn = 1
+                  &&
+                  (match Journal_store.load ~dir "torn" with
+                  | Ok l ->
+                    l.Journal_store.entries = entries
+                    && not l.Journal_store.torn_tail
+                  | Error _ -> false)
+                | "inject.client_disconnect" ->
+                  (* The engine swallows the reply exactly once; session
+                     state stays intact, so the following request sees the
+                     same pending round. *)
+                  let dir = temp_dir "indq-disc" in
+                  let engine =
+                    Engine.create
+                      {
+                        (Engine.default_config ~dir) with
+                        Engine.fsync = Journal_store.Never;
+                      }
+                  in
+                  let outcomes =
+                    List.init reaches_for_once (fun i ->
+                        Engine.handle engine
+                          (if i = 0 then Wire.Hello (sample_hello "c")
+                           else Wire.Ask { id = "c" }))
+                  in
+                  Engine.shutdown engine;
+                  let dropped =
+                    List.filter
+                      (fun o -> match o with Engine.Disconnect -> true | _ -> false)
+                      outcomes
+                  in
+                  List.length dropped = 1
+                  && List.for_all
+                       (fun o ->
+                         match o with
+                         | Engine.Disconnect
+                         | Engine.Reply (Wire.R_ask _ | Wire.R_done _) ->
+                           true
+                         | _ -> false)
+                       outcomes
                 | other -> Alcotest.fail ("unknown site " ^ other)))
       in
       Alcotest.(check bool)
@@ -370,7 +498,9 @@ let test_fault_matrix () =
       if site = "inject.worker_death" then begin
         check_delta "death retried" 1. (delta "retry.attempts");
         check_delta "death not exhausted" 0. (delta "retry.exhausted")
-      end)
+      end;
+      if site = "inject.journal_sync" then
+        check_delta "sync failure absorbed" 1. (delta "serve.sync_failures"))
     plan.Fault.arms
 
 let () =

@@ -76,20 +76,78 @@ let test_journal_round_trip () =
 
 let test_journal_corrupt () =
   let header_json = Session.journal_entry_to_json sample_header in
-  (* Line numbers are 1-based and count blank lines. *)
+  (* Strict mode is the historical contract: the first unparseable line
+     raises, even when it is the final one.  Line numbers are 1-based and
+     count blank lines. *)
   Alcotest.check_raises "unparseable line"
     (Session.Error (Session.Journal_corrupt { line = 3; text = "not json" }))
     (fun () ->
-      ignore (Session.journal_of_string ("\n" ^ header_json ^ "\nnot json")));
+      ignore
+        (Session.journal_of_string ~strict:true
+           ("\n" ^ header_json ^ "\nnot json")));
   let missing = {|{"type":"answered","round":1}|} in
   Alcotest.check_raises "missing required field"
     (Session.Error (Session.Journal_corrupt { line = 1; text = missing }))
-    (fun () -> ignore (Session.journal_of_string missing));
+    (fun () -> ignore (Session.journal_of_string ~strict:true missing));
   let unknown = {|{"type":"paused"}|} in
   Alcotest.check_raises "unknown record type"
     (Session.Error (Session.Journal_corrupt { line = 2; text = unknown }))
     (fun () ->
-      ignore (Session.journal_of_string (header_json ^ "\n" ^ unknown)))
+      ignore
+        (Session.journal_of_string ~strict:true (header_json ^ "\n" ^ unknown)));
+  (* Default mode drops only the final bad line; damage before the last
+     record is real corruption either way, because sequential appends can
+     only ever tear the tail. *)
+  let answered =
+    Session.journal_entry_to_json
+      (Session.Answered { round = 1; options = 2; choice = 0 })
+  in
+  Alcotest.(check (list entry))
+    "default drops a bad tail"
+    [ sample_header ]
+    (Session.journal_of_string (header_json ^ "\nnot json"));
+  Alcotest.check_raises "default still raises mid-file"
+    (Session.Error (Session.Journal_corrupt { line = 2; text = "not json" }))
+    (fun () ->
+      ignore
+        (Session.journal_of_string (header_json ^ "\nnot json\n" ^ answered)))
+
+(* A crash can truncate the final record at any byte boundary.  Chop the
+   last line at every offset: the default parse must always recover to
+   exactly the complete records (counting each drop in journal.torn_tail),
+   and never misread a prefix as a record — the "choice":12 torn to
+   "choice":1 trap.  Strict mode must raise for every chop. *)
+let test_journal_torn_tail_chops () =
+  let entries =
+    [
+      sample_header;
+      Session.Answered { round = 1; options = 2; choice = 1 };
+      Session.Answered { round = 2; options = 2; choice = 12 };
+    ]
+  in
+  let lines = List.map Session.journal_entry_to_json entries in
+  let intact = String.concat "\n" lines ^ "\n" in
+  let last = List.nth lines (List.length lines - 1) in
+  let body = String.concat "\n" [ List.nth lines 0; List.nth lines 1 ] ^ "\n" in
+  let kept = [ List.nth entries 0; List.nth entries 1 ] in
+  Alcotest.(check (list entry))
+    "intact journal parses fully" entries
+    (Session.journal_of_string intact);
+  for cut = 1 to String.length last - 1 do
+    let torn = body ^ String.sub last 0 cut in
+    let before = Counter.get "journal.torn_tail" in
+    Alcotest.(check (list entry))
+      (Printf.sprintf "chop at %d recovers to last complete record" cut)
+      kept
+      (Session.journal_of_string torn);
+    Alcotest.(check (float 0.))
+      (Printf.sprintf "chop at %d counted" cut)
+      (before +. 1.)
+      (Counter.get "journal.torn_tail");
+    match Session.journal_of_string ~strict:true torn with
+    | _ -> Alcotest.failf "strict parse accepted a chop at byte %d" cut
+    | exception Session.Error (Session.Journal_corrupt _) -> ()
+  done
 
 (* --- Driving sessions -------------------------------------------------- *)
 
@@ -301,6 +359,8 @@ let () =
         [
           Alcotest.test_case "round trip" `Quick test_journal_round_trip;
           Alcotest.test_case "corrupt records" `Quick test_journal_corrupt;
+          Alcotest.test_case "torn tail chops" `Quick
+            test_journal_torn_tail_chops;
           Alcotest.test_case "write-ahead records" `Quick
             test_journal_write_ahead;
         ] );

@@ -38,6 +38,13 @@ let default_critical =
        Must stay exactly 0; one-sided absence means the probe was
        dropped and the static claim is no longer cross-checked. *)
     "prune.sweep_minor_words";
+    (* The session server's crash-tolerance story: eviction/rehydration
+       round trips and torn-tail recoveries must keep being exercised —
+       a report that silently loses one of these is a gate failure, not
+       a cleanup. *)
+    "serve.evictions";
+    "serve.hydrations";
+    "journal.torn_tail";
   ]
 
 let read_file p =
